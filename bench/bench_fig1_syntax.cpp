@@ -1,0 +1,161 @@
+//===- bench/bench_fig1_syntax.cpp - Figure 1 reproduction ----------------===//
+//
+// Figure 1 is the syntax of the Typecoin logic. The golden-output tests
+// reproduce its grammar classes; this harness prints one witness of
+// every syntactic class and benchmarks the core operations on them
+// (construction, serialization round-trip, printing, formation
+// checking).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/parse.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+const std::string K1(40, 'a');
+const std::string Tx(64, 'b');
+
+lf::ConstName local(const char *S) { return lf::ConstName::local(S); }
+
+/// One witness per Figure 1 syntactic class.
+void printWitnesses() {
+  std::printf("=== Figure 1: syntax witnesses ===\n");
+  std::printf("kind         k    : %s | %s | %s\n",
+              lf::printKind(lf::kType()).c_str(),
+              lf::printKind(lf::kProp()).c_str(),
+              lf::printKind(lf::kPi(lf::natType(), lf::kProp())).c_str());
+  std::printf("type family  tau  : %s\n",
+              lf::printType(
+                  lf::tApp(lf::tConst(local("coin")), lf::nat(5)))
+                  .c_str());
+  std::printf("index term   m    : %s\n",
+              lf::printTerm(lf::app(lf::lam(lf::natType(), lf::var(0)),
+                                    lf::nat(7)))
+                  .c_str());
+  PropPtr A = pAtom(lf::tConst(local("a")));
+  std::printf("propositions A    : %s\n",
+              printProp(pLolli(pTensor(A, A), A)).c_str());
+  std::printf("                    %s\n",
+              printProp(pWith(pPlus(A, pZero()), pBang(A))).c_str());
+  std::printf("                    %s\n",
+              printProp(pForall(lf::natType(),
+                                pExists(lf::natType(), pOne())))
+                  .c_str());
+  std::printf("                    %s\n",
+              printProp(pSays(lf::principal(K1), A)).c_str());
+  std::printf("                    %s\n",
+              printProp(pReceipt(A, 500, lf::principal(K1))).c_str());
+  std::printf("conditional       : %s\n",
+              printProp(pIf(cAnd(cUnspent(Tx, 0), cBefore(99)), A))
+                  .c_str());
+  std::printf("proof term   M    : %s\n",
+              printProof(mSayBind("x", mVar("p"),
+                                  mSayReturn(lf::principal(K1),
+                                             mVar("x"))))
+                  .c_str());
+  std::printf("\n");
+}
+
+PropPtr bigProp(int Depth) {
+  PropPtr P = pAtom(lf::tConst(local("a")));
+  for (int I = 0; I < Depth; ++I)
+    P = pTensor(pLolli(P, pOne()), pWith(P, pIf(cBefore(I), P)));
+  return P;
+}
+
+void BM_PropSerializeRoundTrip(benchmark::State &State) {
+  PropPtr P = bigProp(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    Writer W;
+    writeProp(W, P);
+    Reader R(W.buffer());
+    auto Back = readProp(R);
+    benchmark::DoNotOptimize(Back);
+  }
+}
+BENCHMARK(BM_PropSerializeRoundTrip)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_PropPrint(benchmark::State &State) {
+  PropPtr P = bigProp(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    std::string S = printProp(P);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_PropPrint)->Arg(2)->Arg(6);
+
+void BM_PropFormationCheck(benchmark::State &State) {
+  lf::Signature Sig;
+  (void)Sig.declareFamily(local("a"), lf::kProp());
+  PropPtr P = bigProp(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    auto S = checkProp(Sig, {}, P);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_PropFormationCheck)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_PropEquality(benchmark::State &State) {
+  PropPtr P = bigProp(static_cast<int>(State.range(0)));
+  PropPtr Q = bigProp(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    bool Eq = propEqual(P, Q);
+    benchmark::DoNotOptimize(Eq);
+  }
+}
+BENCHMARK(BM_PropEquality)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_PropParse(benchmark::State &State) {
+  // Parse throughput on a representative authored proposition.
+  std::string Text =
+      "forall n:nat. forall m:nat. forall p:nat. "
+      "(exists x: plus n m p. 1) -o this.coin n (x) this.coin m -o "
+      "this.coin p";
+  for (auto _ : State) {
+    auto P = parseProp(Text);
+    benchmark::DoNotOptimize(P);
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Text.size()));
+}
+BENCHMARK(BM_PropParse);
+
+void BM_ProofParse(benchmark::State &State) {
+  std::string Text =
+      "\\x:this.a (x) this.a. let (u, v) = x in "
+      "saybind f <- p in sayreturn [K:"
+      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa] ((f u) v)";
+  for (auto _ : State) {
+    auto M = parseProof(Text);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_ProofParse);
+
+void BM_LfNormalize(benchmark::State &State) {
+  // Church-numeral style beta-reduction workload.
+  lf::TermPtr Term = lf::nat(1);
+  for (int I = 0; I < State.range(0); ++I)
+    Term = lf::app(lf::lam(lf::natType(), lf::var(0)), Term);
+  for (auto _ : State) {
+    auto N = lf::normalizeTerm(Term);
+    benchmark::DoNotOptimize(N);
+  }
+}
+BENCHMARK(BM_LfNormalize)->Arg(8)->Arg(64)->Arg(256);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printWitnesses();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

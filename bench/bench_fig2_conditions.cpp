@@ -1,0 +1,103 @@
+//===- bench/bench_fig2_conditions.cpp - Figure 2 reproduction ------------===//
+//
+// Figure 2 adds the conditional `if(phi, A)` with its monad and the
+// condition entailment judgement. This harness prints an entailment
+// truth table for the paper's key sequents and benchmarks the sequent
+// prover as conditions grow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/condition.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+const std::string TxA(64, 'a');
+
+void printTable() {
+  std::printf("=== Figure 2: condition entailment ===\n");
+  struct Row {
+    CondPtr L, R;
+    const char *Note;
+  } Rows[] = {
+      {cBefore(5), cBefore(10), "before(t) => before(t'), t <= t'"},
+      {cBefore(10), cBefore(5), "not the other way"},
+      {cAnd(cUnspent(TxA, 0), cBefore(5)), cUnspent(TxA, 0),
+       "/\\ projection (ifweaken in Figure 3)"},
+      {cAnd(cUnspent(TxA, 0), cBefore(5)), cBefore(99),
+       "projection + before-monotone"},
+      {cUnspent(TxA, 0), cAnd(cUnspent(TxA, 0), cBefore(5)),
+       "cannot invent before(5)"},
+      {cNot(cNot(cSpent(TxA, 0))), cSpent(TxA, 0),
+       "classical double negation"},
+      {cSpent(TxA, 0), cTrue(), "true on the right"},
+  };
+  for (const Row &R : Rows)
+    std::printf("  %-45s => %-30s : %-5s (%s)\n", printCond(R.L).c_str(),
+                printCond(R.R).c_str(),
+                condEntails(R.L, R.R) ? "YES" : "no", R.Note);
+  std::printf("\n");
+}
+
+CondPtr deepCond(int Depth, bool Negate) {
+  CondPtr C = cBefore(1000);
+  for (int I = 0; I < Depth; ++I) {
+    CondPtr Leaf = I % 2 ? cSpent(TxA, static_cast<uint32_t>(I))
+                         : cBefore(1000 + I);
+    C = cAnd(C, Negate && I % 3 == 0 ? cNot(Leaf) : Leaf);
+  }
+  return C;
+}
+
+void BM_EntailmentProver(benchmark::State &State) {
+  int Depth = static_cast<int>(State.range(0));
+  CondPtr L = deepCond(Depth, true);
+  CondPtr R = deepCond(Depth / 2, true);
+  for (auto _ : State) {
+    bool E = condEntails(L, R);
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_EntailmentProver)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EntailmentReflexive(benchmark::State &State) {
+  CondPtr C = deepCond(static_cast<int>(State.range(0)), false);
+  for (auto _ : State) {
+    bool E = condEntails(C, C);
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_EntailmentReflexive)->Arg(4)->Arg(16)->Arg(64);
+
+class TimeOracle : public CondOracle {
+public:
+  uint64_t evaluationTime() const override { return 500; }
+  Result<bool> isSpent(const std::string &, uint32_t I) const override {
+    return I % 2 == 0;
+  }
+};
+
+void BM_CondEvaluation(benchmark::State &State) {
+  CondPtr C = deepCond(static_cast<int>(State.range(0)), true);
+  TimeOracle Oracle;
+  for (auto _ : State) {
+    auto V = evalCond(C, Oracle);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_CondEvaluation)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,211 @@
+//===- bench/bench_t2_batch_mode.cpp - Experiment T2 ----------------------===//
+//
+// Paper claims (Section 3.2): "A typical transaction fee is 0.0005
+// bitcoin, which, as of mid-April 2015, is about 11 cents US. This is a
+// small amount in absolute terms, but in any kind of automated
+// application it would add up quickly." Batch mode holds resources at a
+// credential server; off-chain exercises are free and instant, and a
+// withdrawal costs one on-chain transaction regardless of history
+// length.
+//
+// The harness reports, for a sweep of N credential exercises:
+//   * on-chain: total fees (BTC, USD at the paper's rate) and expected
+//     latency per exercise (one confirmation),
+//   * batch mode: fees (deposit + withdraw only) and measured off-chain
+//     transfer latency on a real BatchServer instance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "services/batchserver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace typecoin;
+using namespace typecoin::tc;
+
+namespace {
+
+void printFeeTable() {
+  std::printf("=== T2: fees and latency — on-chain vs batch mode ===\n");
+  std::printf("fee/tx = 0.0005 BTC = $%.2f (paper, mid-April 2015)\n\n",
+              0.0005 * bitcoin::UsdPerBtc2015);
+  std::printf("%8s | %14s %12s | %14s %12s\n", "N", "on-chain BTC",
+              "on-chain $", "batch BTC", "batch $");
+  for (long N : {1L, 10L, 100L, 1000L, 10000L}) {
+    double OnChainBtc = 0.0005 * static_cast<double>(N);
+    // Batch: one deposit + one withdrawal, however many exercises.
+    double BatchBtc = 0.0005 * 2;
+    std::printf("%8ld | %14.4f %12.2f | %14.4f %12.2f\n", N, OnChainBtc,
+                OnChainBtc * bitcoin::UsdPerBtc2015, BatchBtc,
+                BatchBtc * bitcoin::UsdPerBtc2015);
+  }
+  std::printf("\nlatency per exercise: on-chain ~10 min to one "
+              "confirmation (~60 min to the\npaper's six); batch mode is "
+              "measured below in microseconds.\n\n");
+}
+
+/// A real node + server; measures actual off-chain transfer cost and the
+/// single-withdrawal amortization.
+void measuredBatchRun() {
+  Node N;
+  uint32_t Clock = 0;
+  Wallet AliceWallet(71);
+  crypto::PrivateKey Alice = AliceWallet.newKey();
+  Wallet BobWallet(72);
+  crypto::PrivateKey Bob = BobWallet.newKey();
+
+  auto Mine = [&](const crypto::KeyId &Payout, int Count) {
+    for (int I = 0; I < Count; ++I) {
+      Clock += 600;
+      auto R = N.mineBlock(Payout, Clock);
+      if (!R) {
+        std::fprintf(stderr, "mine: %s\n", R.error().message().c_str());
+        std::exit(1);
+      }
+    }
+  };
+  Mine(Alice.id(), 2);
+
+  services::BatchServer Server(N, 9100);
+  Mine(Server.serverId(), 2);
+  Mine(crypto::KeyId{}, 1);
+
+  // Alice deposits a ticket with the server.
+  Transaction T;
+  auto S0 = T.LocalBasis.declareFamily(lf::ConstName::local("ticket"),
+                                       lf::kProp());
+  (void)S0;
+  T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local("ticket")));
+  auto Funds = AliceWallet.findSpendable(N.chain());
+  Input In;
+  In.SourceTxid = Funds[0].Point.Tx.toHex();
+  In.SourceIndex = Funds[0].Point.Index;
+  In.Type = logic::pOne();
+  In.Amount = Funds[0].Value;
+  T.Inputs.push_back(In);
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 10000;
+  Out.Owner = Server.serverKey();
+  T.Outputs.push_back(Out);
+  {
+    using namespace logic;
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+  }
+  auto P = buildPair(T, AliceWallet, N.chain());
+  if (!P || !N.submitPair(*P)) {
+    std::fprintf(stderr, "deposit failed\n");
+    std::exit(1);
+  }
+  std::string Txid = txidHex(P->Btc);
+  Mine(crypto::KeyId{}, 1);
+  if (!Server.registerDeposit(Txid, 0, Alice.id())) {
+    std::fprintf(stderr, "register failed\n");
+    std::exit(1);
+  }
+
+  // 10,000 off-chain transfers, timed.
+  constexpr int Transfers = 10000;
+  auto Begin = std::chrono::steady_clock::now();
+  crypto::KeyId From = Alice.id(), To = Bob.id();
+  for (int I = 0; I < Transfers; ++I) {
+    auto R = Server.transfer(Txid, 0, From, To);
+    if (!R) {
+      std::fprintf(stderr, "transfer: %s\n", R.error().message().c_str());
+      std::exit(1);
+    }
+    std::swap(From, To);
+  }
+  auto End = std::chrono::steady_clock::now();
+  double Us = std::chrono::duration<double, std::micro>(End - Begin)
+                  .count() /
+              Transfers;
+
+  // One withdrawal settles everything.
+  auto W = Server.withdraw(Txid, 0, From == Alice.id() ? Alice.publicKey()
+                                                       : Bob.publicKey());
+  if (!W) {
+    std::fprintf(stderr, "withdraw: %s\n", W.error().message().c_str());
+    std::exit(1);
+  }
+  Mine(crypto::KeyId{}, 1);
+
+  std::printf("measured on a live BatchServer: %d off-chain transfers at "
+              "%.2f us each,\nsettled by %zu on-chain transaction(s).\n\n",
+              Transfers, Us, Server.onChainTxCount());
+}
+
+void BM_OffChainTransfer(benchmark::State &State) {
+  Node N;
+  uint32_t Clock = 0;
+  Wallet AliceWallet(81);
+  crypto::PrivateKey Alice = AliceWallet.newKey();
+  Wallet BobWallet(82);
+  crypto::PrivateKey Bob = BobWallet.newKey();
+  for (int I = 0; I < 2; ++I) {
+    Clock += 600;
+    (void)N.mineBlock(Alice.id(), Clock);
+  }
+  services::BatchServer Server(N, 9200);
+  for (int I = 0; I < 3; ++I) {
+    Clock += 600;
+    (void)N.mineBlock(Server.serverId(), Clock);
+  }
+
+  Transaction T;
+  (void)T.LocalBasis.declareFamily(lf::ConstName::local("ticket"),
+                                   lf::kProp());
+  T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local("ticket")));
+  auto Funds = AliceWallet.findSpendable(N.chain());
+  Input In;
+  In.SourceTxid = Funds[0].Point.Tx.toHex();
+  In.SourceIndex = Funds[0].Point.Index;
+  In.Type = logic::pOne();
+  In.Amount = Funds[0].Value;
+  T.Inputs.push_back(In);
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 10000;
+  Out.Owner = Server.serverKey();
+  T.Outputs.push_back(Out);
+  {
+    using namespace logic;
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+  }
+  auto P = buildPair(T, AliceWallet, N.chain());
+  (void)N.submitPair(*P);
+  std::string Txid = txidHex(P->Btc);
+  Clock += 600;
+  (void)N.mineBlock(crypto::KeyId{}, Clock);
+  (void)Server.registerDeposit(Txid, 0, Alice.id());
+
+  crypto::KeyId From = Alice.id(), To = Bob.id();
+  for (auto _ : State) {
+    auto R = Server.transfer(Txid, 0, From, To);
+    benchmark::DoNotOptimize(R);
+    std::swap(From, To);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_OffChainTransfer);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFeeTable();
+  measuredBatchRun();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

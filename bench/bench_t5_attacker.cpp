@@ -1,0 +1,73 @@
+//===- bench/bench_t5_attacker.cpp - Experiment T5 ------------------------===//
+//
+// Paper claim (Section 2 item 5): "In order to reverse a transaction,
+// an attacker would need to create a new block without it, and then
+// outpace the rest of the network ... As new blocks follow a
+// transaction's block, his likelihood of success drops exponentially."
+//
+// Reproduced with both the closed forms (Nakamoto's Poisson
+// approximation and the exact negative-binomial race) and Monte Carlo
+// on the simulated substrate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bitcoin/netsim.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace typecoin;
+using namespace typecoin::bitcoin;
+
+namespace {
+
+constexpr uint64_t Seed = 987654321;
+
+void printTable() {
+  std::printf("=== T5: double-spend reversal probability vs "
+              "confirmations z ===\n");
+  for (double Q : {0.10, 0.25, 0.40}) {
+    std::printf("\nattacker hash share q = %.2f\n", Q);
+    std::printf("%4s %14s %14s %14s\n", "z", "Nakamoto", "exact",
+                "Monte Carlo");
+    for (int Z = 0; Z <= 10; Z += (Z < 4 ? 1 : 2)) {
+      double MC = Z == 0 ? 1.0
+                         : attackerSuccessMonteCarlo(Q, Z, 100000,
+                                                     Seed + Z);
+      std::printf("%4d %14.7f %14.7f %14.7f\n", Z,
+                  attackerSuccessAnalytic(Q, Z),
+                  attackerSuccessExact(Q, Z), MC);
+    }
+  }
+  std::printf("\n(The drop is exponential in z; at q=0.10 the paper's "
+              "six-block rule\n gives well under 0.1%% reversal "
+              "probability.)\n\n");
+}
+
+void BM_MonteCarloRace(benchmark::State &State) {
+  int Z = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    double P = attackerSuccessMonteCarlo(0.25, Z, 10000, Seed);
+    benchmark::DoNotOptimize(P);
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+}
+BENCHMARK(BM_MonteCarloRace)->Arg(1)->Arg(6)->Arg(10);
+
+void BM_AnalyticFormula(benchmark::State &State) {
+  for (auto _ : State) {
+    double P = attackerSuccessAnalytic(0.25, 6);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_AnalyticFormula);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,227 @@
+//===- bench/bench_t7_checker_scaling.cpp - Experiment T7 -----------------===//
+//
+// Core-cost characterization: how expensive is the verification work an
+// interested party performs (Section 3: checking a claimed txout means
+// re-checking "the set of all Typecoin transactions upstream")?
+//
+//   * upstream-set sweep: full verifyClaimedOutput over |T| = 1..1024,
+//   * proposition-size sweep: proof checking vs obligation width,
+//   * crypto substrate micro-benchmarks (SHA-256, ECDSA, script).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bitcoin/standard.h"
+#include "typecoin/newcoin.h"
+#include "typecoin/builder.h"
+#include "typecoin/state.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace typecoin;
+
+namespace {
+
+class NullOracle : public logic::CondOracle {
+public:
+  uint64_t evaluationTime() const override { return 0; }
+  Result<bool> isSpent(const std::string &, uint32_t) const override {
+    return makeError("no evidence");
+  }
+};
+
+std::string fakeTxid(int I) {
+  std::string S(64, '0');
+  std::string Suffix = std::to_string(I);
+  S.replace(S.size() - Suffix.size(), Suffix.size(), Suffix);
+  return S;
+}
+
+/// The transfer-history generator from T6 (setup + N routing steps).
+std::vector<std::pair<std::string, tc::Transaction>>
+history(int Steps, const crypto::PublicKey &Owner) {
+  std::vector<std::pair<std::string, tc::Transaction>> History;
+  tc::Transaction Setup;
+  newcoin::Vocab V = newcoin::makeBasis(Setup.LocalBasis, Owner.id());
+  Setup.Grant = logic::pAtom(lf::tApp(
+      lf::tConst(lf::ConstName::local("coin")), lf::nat(100)));
+  tc::Input In;
+  In.SourceTxid = fakeTxid(999999);
+  In.SourceIndex = 0;
+  In.Type = logic::pOne();
+  In.Amount = 100000;
+  Setup.Inputs.push_back(In);
+  tc::Output Out;
+  Out.Type = Setup.Grant;
+  Out.Amount = 10000;
+  Out.Owner = Owner;
+  Setup.Outputs.push_back(Out);
+  {
+    using namespace logic;
+    Setup.Proof = mLam(
+        "x",
+        pTensor(Setup.Grant,
+                pTensor(Setup.inputTensor(), Setup.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+  }
+  std::string PrevTxid = fakeTxid(0);
+  History.emplace_back(PrevTxid, Setup);
+  newcoin::Vocab RV = V.resolved(PrevTxid);
+  for (int I = 1; I <= Steps; ++I) {
+    tc::Transaction T;
+    tc::Input CoinIn;
+    CoinIn.SourceTxid = PrevTxid;
+    CoinIn.SourceIndex = 0;
+    CoinIn.Type = newcoin::coin(RV, 100);
+    CoinIn.Amount = 10000;
+    T.Inputs.push_back(CoinIn);
+    tc::Output CoinOut;
+    CoinOut.Type = newcoin::coin(RV, 100);
+    CoinOut.Amount = 10000;
+    CoinOut.Owner = Owner;
+    T.Outputs.push_back(CoinOut);
+    T.Proof = *tc::makeRoutingProof(T);
+    PrevTxid = fakeTxid(I);
+    History.emplace_back(PrevTxid, T);
+  }
+  return History;
+}
+
+void printUpstreamSweep() {
+  std::printf("=== T7: upstream-set verification cost (Section 3) ===\n");
+  std::printf("%10s %14s %14s\n", "|T|", "total (ms)", "per tx (us)");
+  Rng Rand(501);
+  crypto::PublicKey Owner = crypto::PrivateKey::generate(Rand).publicKey();
+  NullOracle Oracle;
+  for (int Steps : {1, 4, 16, 64, 256, 1024}) {
+    auto H = history(Steps, Owner);
+    const auto &[LastTxid, LastTx] = H.back();
+    logic::PropPtr Claimed = LastTx.Outputs[0].Type;
+    auto Begin = std::chrono::steady_clock::now();
+    auto R = tc::verifyClaimedOutput(H, LastTxid, 0, Claimed, Oracle);
+    auto End = std::chrono::steady_clock::now();
+    if (!R) {
+      std::fprintf(stderr, "verify: %s\n", R.error().message().c_str());
+      std::exit(1);
+    }
+    double Ms =
+        std::chrono::duration<double, std::milli>(End - Begin).count();
+    std::printf("%10zu %14.2f %14.2f\n", H.size(), Ms,
+                Ms * 1000.0 / H.size());
+  }
+  std::printf("\nverification is linear in the upstream set — the cost "
+              "batch-mode servers\namortize away for their clients "
+              "(Section 3.2).\n\n");
+}
+
+void BM_VerifyUpstream(benchmark::State &State) {
+  Rng Rand(502);
+  crypto::PublicKey Owner = crypto::PrivateKey::generate(Rand).publicKey();
+  auto H = history(static_cast<int>(State.range(0)), Owner);
+  const auto &[LastTxid, LastTx] = H.back();
+  logic::PropPtr Claimed = LastTx.Outputs[0].Type;
+  NullOracle Oracle;
+  for (auto _ : State) {
+    auto R = tc::verifyClaimedOutput(H, LastTxid, 0, Claimed, Oracle);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(H.size()));
+}
+BENCHMARK(BM_VerifyUpstream)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_WideObligation(benchmark::State &State) {
+  // Proof checking vs obligation width: route K resources at once.
+  int K = static_cast<int>(State.range(0));
+  Rng Rand(503);
+  crypto::PublicKey Owner = crypto::PrivateKey::generate(Rand).publicKey();
+  tc::Transaction T;
+  newcoin::Vocab V = newcoin::makeBasis(T.LocalBasis, Owner.id());
+  for (int I = 0; I < K; ++I) {
+    tc::Input In;
+    In.SourceTxid = fakeTxid(I);
+    In.SourceIndex = 0;
+    In.Type = logic::pOne();
+    In.Amount = 1000;
+    T.Inputs.push_back(In);
+    tc::Output Out;
+    Out.Type = logic::pOne();
+    Out.Amount = 1000;
+    Out.Owner = Owner;
+    T.Outputs.push_back(Out);
+  }
+  T.Proof = *tc::makeRoutingProof(T);
+  tc::State S;
+  NullOracle Oracle;
+  for (auto _ : State) {
+    auto R = S.checkTransaction(T, Oracle);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_WideObligation)->Arg(1)->Arg(8)->Arg(32);
+
+// --- crypto substrate micro-benchmarks ---------------------------------
+
+void BM_Sha256(benchmark::State &State) {
+  Bytes Data(static_cast<size_t>(State.range(0)), 0x5a);
+  for (auto _ : State) {
+    auto D = crypto::sha256(Data);
+    benchmark::DoNotOptimize(D);
+  }
+  State.SetBytesProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_EcdsaSign(benchmark::State &State) {
+  Rng Rand(504);
+  crypto::PrivateKey Key = crypto::PrivateKey::generate(Rand);
+  auto Hash = crypto::sha256(bytesOfString("message"));
+  for (auto _ : State) {
+    auto Sig = Key.sign(Hash);
+    benchmark::DoNotOptimize(Sig);
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State &State) {
+  Rng Rand(505);
+  crypto::PrivateKey Key = crypto::PrivateKey::generate(Rand);
+  auto Hash = crypto::sha256(bytesOfString("message"));
+  auto Sig = Key.sign(Hash);
+  for (auto _ : State) {
+    bool Ok = Key.publicKey().verify(Hash, Sig);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_P2pkhScriptVerify(benchmark::State &State) {
+  Rng Rand(506);
+  crypto::PrivateKey Key = crypto::PrivateKey::generate(Rand);
+  bitcoin::Script Lock = bitcoin::makeP2PKH(Key.id());
+  bitcoin::Transaction Tx;
+  bitcoin::TxIn In;
+  In.Prevout.Tx.Hash[0] = 1;
+  Tx.Inputs.push_back(In);
+  Tx.Outputs.push_back(bitcoin::TxOut{1000, Lock});
+  Tx.Inputs[0].ScriptSig = *bitcoin::signInput(Tx, 0, Lock, {Key});
+  bitcoin::TransactionSignatureChecker Checker(Tx, 0, Lock);
+  for (auto _ : State) {
+    auto R = bitcoin::verifyScript(Tx.Inputs[0].ScriptSig, Lock, Checker);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_P2pkhScriptVerify);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printUpstreamSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,21 @@
+# Benchmark binaries. Defined from the top level (not add_subdirectory)
+# so that ${CMAKE_BINARY_DIR}/bench contains only the executables and
+# `for b in build/bench/*; do $b; done` runs clean.
+function(typecoin_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE benchmark::benchmark
+    typecoin_core typecoin_services typecoin_baseline)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+typecoin_bench(bench_fig1_syntax)
+typecoin_bench(bench_fig2_conditions)
+typecoin_bench(bench_fig3_newcoin)
+typecoin_bench(bench_t1_confirmation_latency)
+typecoin_bench(bench_t2_batch_mode)
+typecoin_bench(bench_t3_utxo_deadweight)
+typecoin_bench(bench_t4_revocation)
+typecoin_bench(bench_t5_attacker)
+typecoin_bench(bench_t6_baseline)
+typecoin_bench(bench_t7_checker_scaling)

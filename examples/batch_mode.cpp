@@ -1,0 +1,130 @@
+//===- examples/batch_mode.cpp - The batch-mode credential server ---------===//
+//
+// Section 3.2: on-chain Typecoin costs a fee and ~an hour per use. "To
+// resolve these problems, Typecoin can be operated in batch mode": a
+// credential server holds resources on behalf of principals, records
+// transactions without submitting them, and touches the chain only on
+// deposit and withdrawal.
+//
+// "Note that batch mode does not compromise the trustlessness of the
+// network. No one ever needs to use a batch-mode server, batch mode only
+// exploits trust relationships that happen to exist already."
+//
+// Build and run:  ./build/examples/batch_mode
+//
+//===----------------------------------------------------------------------===//
+
+#include "services/batchserver.h"
+
+#include <cstdio>
+
+using namespace typecoin;
+using namespace typecoin::tc;
+
+namespace {
+
+void die(const char *What, const Error &E) {
+  std::fprintf(stderr, "%s: %s\n", What, E.message().c_str());
+  std::exit(1);
+}
+
+void mine(Node &N, const crypto::KeyId &Payout, int Count, uint32_t &Clock) {
+  for (int I = 0; I < Count; ++I) {
+    Clock += 600;
+    if (auto R = N.mineBlock(Payout, Clock); !R)
+      die("mining", R.error());
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Batch mode (Section 3.2) ==\n\n");
+  Node N;
+  uint32_t Clock = 0;
+
+  Wallet AliceWallet(1), BobWallet(2);
+  crypto::PrivateKey Alice = AliceWallet.newKey();
+  crypto::PrivateKey Bob = BobWallet.newKey();
+  mine(N, Alice.id(), 2, Clock);
+
+  // The university runs a credential server.
+  services::BatchServer Server(N, 777);
+  mine(N, Server.serverId(), 2, Clock);
+  mine(N, crypto::KeyId{}, 1, Clock);
+
+  // Alice deposits a meal ticket: a Typecoin resource sent to the
+  // server's key, credited to her.
+  Transaction T;
+  if (auto S = T.LocalBasis.declareFamily(
+          lf::ConstName::local("meal-ticket"), lf::kProp());
+      !S)
+    die("declare", S.error());
+  T.Grant =
+      logic::pAtom(lf::tConst(lf::ConstName::local("meal-ticket")));
+  auto Funds = AliceWallet.findSpendable(N.chain());
+  Input In;
+  In.SourceTxid = Funds[0].Point.Tx.toHex();
+  In.SourceIndex = Funds[0].Point.Index;
+  In.Type = logic::pOne();
+  In.Amount = Funds[0].Value;
+  T.Inputs.push_back(In);
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 10000;
+  Out.Owner = Server.serverKey();
+  T.Outputs.push_back(Out);
+  {
+    using namespace logic;
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+  }
+  auto P = buildPair(T, AliceWallet, N.chain());
+  if (!P)
+    die("deposit build", P.error());
+  if (auto S = N.submitPair(*P); !S)
+    die("deposit submit", S.error());
+  std::string Txid = txidHex(P->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+  if (auto S = Server.registerDeposit(Txid, 0, Alice.id()); !S)
+    die("register", S.error());
+  std::printf("Alice deposited a meal-ticket with the server "
+              "(1 on-chain tx).\n\n");
+
+  // A flurry of off-chain activity: instant, free.
+  logic::PropPtr Ticket = N.state().outputType(Txid, 0);
+  size_t Transfers = 0;
+  crypto::KeyId From = Alice.id(), To = Bob.id();
+  for (int I = 0; I < 1000; ++I) {
+    if (auto S = Server.transfer(Txid, 0, From, To); !S)
+      die("transfer", S.error());
+    std::swap(From, To);
+    ++Transfers;
+  }
+  std::printf("%zu off-chain transfers recorded; on-chain transactions "
+              "so far: %zu.\n",
+              Transfers, Server.onChainTxCount());
+  std::printf("validity query: server holds the ticket for %s\n\n",
+              Server.holdsResource(Alice.id(), Ticket) ? "Alice" : "Bob");
+
+  // Bob withdraws: the resource leaves for his own key in a single
+  // on-chain transaction.
+  // (After an even number of swaps, Alice owns it; transfer once more.)
+  if (auto S = Server.transfer(Txid, 0, Alice.id(), Bob.id()); !S)
+    die("final transfer", S.error());
+  auto Withdrawn = Server.withdraw(Txid, 0, Bob.publicKey());
+  if (!Withdrawn)
+    die("withdraw", Withdrawn.error());
+  mine(N, crypto::KeyId{}, 1, Clock);
+  std::printf("Bob withdrew: txout %s...:0 now carries\n  %s\n",
+              Withdrawn->substr(0, 16).c_str(),
+              logic::printProp(N.state().outputType(*Withdrawn, 0))
+                  .c_str());
+  std::printf("total on-chain transactions for the whole history: %zu "
+              "(deposit + withdrawal)\n",
+              Server.onChainTxCount() + 1);
+  return 0;
+}

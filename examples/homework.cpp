@@ -1,0 +1,177 @@
+//===- examples/homework.cpp - Proof-carrying authorization ---------------===//
+//
+// The paper's Section 2 story, narrated: Alice gives Bob a *single-use*
+// credential to turn in his homework. A persistent statement would let
+// Bob hand it in as many times as he chooses; an affine resource on the
+// blockchain cannot be reused.
+//
+//   1. Alice publishes the vocabulary and grants
+//      may-write(Bob, homework) to Bob.
+//   2. Bob asks the fileserver for a nonce n.
+//   3. Bob commits on-chain:
+//        may-write(Bob, homework) -o may-write-this(Bob, homework, n).
+//   4. After six confirmations the fileserver performs the write.
+//   5. A second write bounces: the credential is spent.
+//
+// Build and run:  ./build/examples/homework
+//
+//===----------------------------------------------------------------------===//
+
+#include "services/authserver.h"
+#include "typecoin/builder.h"
+
+#include <cstdio>
+
+using namespace typecoin;
+using namespace typecoin::tc;
+
+namespace {
+
+void die(const char *What, const Error &E) {
+  std::fprintf(stderr, "%s: %s\n", What, E.message().c_str());
+  std::exit(1);
+}
+
+void mine(Node &N, const crypto::KeyId &Payout, int Count, uint32_t &Clock) {
+  for (int I = 0; I < Count; ++I) {
+    Clock += 600;
+    if (auto R = N.mineBlock(Payout, Clock); !R)
+      die("mining", R.error());
+  }
+}
+
+Input trivialInput(Wallet &W, const bitcoin::Blockchain &Chain) {
+  auto Funds = W.findSpendable(Chain);
+  Input In;
+  In.SourceTxid = Funds[0].Point.Tx.toHex();
+  In.SourceIndex = Funds[0].Point.Index;
+  In.Type = logic::pOne();
+  In.Amount = Funds[0].Value;
+  return In;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Proof-carrying authorization on Typecoin ==\n\n");
+  Node N;
+  uint32_t Clock = 0;
+
+  Wallet AliceWallet(11), BobWallet(22);
+  crypto::PrivateKey Alice = AliceWallet.newKey();
+  crypto::PrivateKey Bob = BobWallet.newKey();
+  mine(N, Alice.id(), 2, Clock);
+  mine(N, Bob.id(), 2, Clock);
+  mine(N, crypto::KeyId{}, 1, Clock);
+
+  // 1. Alice's setup transaction.
+  Transaction Setup;
+  services::AuthVocab Vocab = services::authBasis(Setup.LocalBasis);
+  Setup.Grant = services::mayWrite(Vocab, Bob.id(), Vocab.Homework);
+  Setup.Inputs.push_back(trivialInput(AliceWallet, N.chain()));
+  Output Cred;
+  Cred.Type = Setup.Grant;
+  Cred.Amount = 10000;
+  Cred.Owner = Bob.publicKey();
+  Setup.Outputs.push_back(Cred);
+  {
+    using namespace logic;
+    Setup.Proof = mLam(
+        "x",
+        pTensor(Setup.Grant,
+                pTensor(Setup.inputTensor(), Setup.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+  }
+  auto SetupPair = buildPair(Setup, AliceWallet, N.chain());
+  if (!SetupPair)
+    die("setup", SetupPair.error());
+  if (auto S = N.submitPair(*SetupPair); !S)
+    die("submit setup", S.error());
+  std::string SetupTxid = txidHex(SetupPair->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+
+  services::AuthVocab V = Vocab.resolved(SetupTxid);
+  std::printf("Alice granted: %s\n\n",
+              logic::printProp(N.state().outputType(SetupTxid, 0)).c_str());
+
+  // 2. The fileserver issues a nonce.
+  services::AuthServer Server(N, V, /*MinConfirmations=*/6);
+  uint64_t Nonce = Server.requestWriteNonce(Bob.id());
+  std::printf("fileserver nonce for Bob: %llu\n",
+              static_cast<unsigned long long>(Nonce));
+
+  // 3. Bob commits the nonce-infused credential.
+  Transaction Commit;
+  Input CredIn;
+  CredIn.SourceTxid = SetupTxid;
+  CredIn.SourceIndex = 0;
+  CredIn.Type = services::mayWrite(V, Bob.id(), V.Homework);
+  CredIn.Amount = 10000;
+  Commit.Inputs.push_back(CredIn);
+  Output Committed;
+  Committed.Type =
+      services::mayWriteThis(V, Bob.id(), V.Homework, Nonce);
+  Committed.Amount = 10000;
+  Committed.Owner = Bob.publicKey();
+  Commit.Outputs.push_back(Committed);
+  {
+    using namespace logic;
+    ProofPtr Use = mApp(
+        mAllApps(mConst(V.Use),
+                 {lf::principal(Bob.id().toHex()),
+                  lf::constant(V.Homework), lf::nat(Nonce)}),
+        mVar("a"));
+    Commit.Proof = mLam(
+        "x",
+        pTensor(Commit.Grant,
+                pTensor(Commit.inputTensor(), Commit.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("c"), Use))));
+  }
+  auto CommitPair = buildPair(Commit, BobWallet, N.chain());
+  if (!CommitPair)
+    die("commit", CommitPair.error());
+  if (auto S = N.submitPair(*CommitPair); !S)
+    die("submit commit", S.error());
+  std::string CommitTxid = txidHex(CommitPair->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+  std::printf("Bob committed:  %s\n",
+              logic::printProp(N.state().outputType(CommitTxid, 0)).c_str());
+
+  // 4. Too early; then confirmed.
+  if (auto W = Server.submitWrite(Bob.id(), CommitTxid, 0, Nonce,
+                                  "homework v1");
+      !W)
+    std::printf("write at 1 confirmation: REFUSED (%s)\n",
+                W.error().message().c_str());
+  mine(N, crypto::KeyId{}, 5, Clock);
+  if (auto W = Server.submitWrite(Bob.id(), CommitTxid, 0, Nonce,
+                                  "homework v1");
+      W)
+    std::printf("write at 6 confirmations: PERFORMED\n");
+  else
+    die("write", W.error());
+
+  // 5. Reuse attempts bounce.
+  if (auto W = Server.submitWrite(Bob.id(), CommitTxid, 0, Nonce,
+                                  "homework v2");
+      !W)
+    std::printf("second write with same nonce: REFUSED (%s)\n",
+                W.error().message().c_str());
+
+  uint64_t Nonce2 = Server.requestWriteNonce(Bob.id());
+  Transaction Again = Commit;
+  Again.Outputs[0].Type =
+      services::mayWriteThis(V, Bob.id(), V.Homework, Nonce2);
+  auto AgainPair = buildPair(Again, BobWallet, N.chain());
+  if (!AgainPair)
+    std::printf("re-spending the credential: REFUSED (%s)\n",
+                AgainPair.error().message().c_str());
+
+  std::printf("\nfile contents: %zu write(s)\n",
+              Server.fileContents().size());
+  return 0;
+}

@@ -1,0 +1,239 @@
+//===- examples/logic_shell.cpp - An interactive Typecoin logic shell -----===//
+//
+// Author vocabularies, rules, and proofs in the Figure 1 surface syntax
+// and check them interactively:
+//
+//   tc> family coin : Pi n:nat. prop
+//   tc> rule merge : forall n:nat. forall m:nat. forall p:nat.
+//         (exists x: plus n m p. 1) -o coin n (x) coin m -o coin p
+//   tc> assume c1 : this.coin 40
+//   tc> assume c2 : this.coin 60
+//   tc> infer this.merge [40] [60] [100] pack [...] (plus/pf 40 60, ())
+//         (c1, c2)
+//   : this.coin 100
+//
+// Commands:
+//   family <name> : <kind>      declare a type family
+//   const  <name> : <type>      declare an index-term constant
+//   rule   <name> : <prop>      declare a persistent rule
+//   assume <name> : <prop>      add an affine hypothesis
+//   assume! <name> : <prop>     add a persistent hypothesis
+//   check <prop>                proposition formation
+//   entails <cond> => <cond>    condition entailment
+//   infer <proof>               infer the proposition a proof proves
+//   reset                       drop hypotheses
+//   quit
+//
+// With a file argument (or piped stdin), runs the script; with no input,
+// runs a built-in demo. Lines ending in '\' continue.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/check.h"
+#include "logic/parse.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+class Shell {
+public:
+  Shell() : Checker(Sigma, Trust) {}
+
+  void runLine(const std::string &Line) {
+    std::string Trimmed = trim(Line);
+    if (Trimmed.empty() || Trimmed[0] == '#')
+      return;
+    std::printf("tc> %s\n", Trimmed.c_str());
+    auto Space = Trimmed.find(' ');
+    std::string Cmd = Trimmed.substr(0, Space);
+    std::string Rest =
+        Space == std::string::npos ? "" : trim(Trimmed.substr(Space + 1));
+
+    if (Cmd == "family" || Cmd == "const" || Cmd == "rule" ||
+        Cmd == "assume" || Cmd == "assume!") {
+      auto Colon = Rest.find(':');
+      if (Colon == std::string::npos) {
+        std::printf("  error: expected '<name> : <body>'\n");
+        return;
+      }
+      std::string Name = trim(Rest.substr(0, Colon));
+      std::string Body = trim(Rest.substr(Colon + 1));
+      declare(Cmd, Name, Body);
+      return;
+    }
+    if (Cmd == "check") {
+      auto P = parseProp(Rest);
+      if (!P) {
+        std::printf("  parse error: %s\n", P.error().message().c_str());
+        return;
+      }
+      auto S = checkProp(Sigma.lfSig(), {}, *P);
+      std::printf("  %s\n",
+                  S ? "well-formed" : S.error().message().c_str());
+      return;
+    }
+    if (Cmd == "entails") {
+      auto Arrow = Rest.find("=>");
+      if (Arrow == std::string::npos) {
+        std::printf("  error: expected '<cond> => <cond>'\n");
+        return;
+      }
+      auto L = parseCond(trim(Rest.substr(0, Arrow)));
+      auto R = parseCond(trim(Rest.substr(Arrow + 2)));
+      if (!L || !R) {
+        std::printf("  parse error: %s\n",
+                    (!L ? L.error() : R.error()).message().c_str());
+        return;
+      }
+      std::printf("  %s\n", condEntails(*L, *R) ? "YES" : "no");
+      return;
+    }
+    if (Cmd == "infer") {
+      auto M = parseProof(Rest);
+      if (!M) {
+        std::printf("  parse error: %s\n", M.error().message().c_str());
+        return;
+      }
+      auto P = Checker.infer(*M, Affine, Persistent);
+      if (P)
+        std::printf("  : %s\n", printProp(*P).c_str());
+      else
+        std::printf("  rejected: %s\n", P.error().message().c_str());
+      return;
+    }
+    if (Cmd == "reset") {
+      Affine.clear();
+      Persistent.clear();
+      std::printf("  hypotheses cleared\n");
+      return;
+    }
+    if (Cmd == "quit")
+      std::exit(0);
+    std::printf("  unknown command '%s'\n", Cmd.c_str());
+  }
+
+private:
+  static std::string trim(const std::string &S) {
+    size_t B = S.find_first_not_of(" \t\r\n");
+    size_t E = S.find_last_not_of(" \t\r\n");
+    return B == std::string::npos ? "" : S.substr(B, E - B + 1);
+  }
+
+  void declare(const std::string &Cmd, const std::string &Name,
+               const std::string &Body) {
+    if (Cmd == "family") {
+      auto K = parseKind(Body);
+      if (!K) {
+        std::printf("  parse error: %s\n", K.error().message().c_str());
+        return;
+      }
+      auto S = Sigma.declareFamily(lf::ConstName::local(Name), *K);
+      std::printf("  %s\n", S ? "declared" : S.error().message().c_str());
+      return;
+    }
+    if (Cmd == "const") {
+      auto T = parseType(Body);
+      if (!T) {
+        std::printf("  parse error: %s\n", T.error().message().c_str());
+        return;
+      }
+      auto S = Sigma.declareTerm(lf::ConstName::local(Name), *T);
+      std::printf("  %s\n", S ? "declared" : S.error().message().c_str());
+      return;
+    }
+    // rule / assume / assume!: all take propositions.
+    auto P = parseProp(Body);
+    if (!P) {
+      std::printf("  parse error: %s\n", P.error().message().c_str());
+      return;
+    }
+    if (auto S = checkProp(Sigma.lfSig(), {}, *P); !S) {
+      std::printf("  ill-formed: %s\n", S.error().message().c_str());
+      return;
+    }
+    if (Cmd == "rule") {
+      auto S = Sigma.declareProp(lf::ConstName::local(Name), *P);
+      std::printf("  %s\n", S ? "declared" : S.error().message().c_str());
+    } else if (Cmd == "assume") {
+      Affine.push_back({Name, *P});
+      std::printf("  assumed (affine)\n");
+    } else {
+      Persistent.push_back({Name, *P});
+      std::printf("  assumed (persistent)\n");
+    }
+  }
+
+  Basis Sigma;
+  TrustingVerifier Trust;
+  ProofChecker Checker;
+  std::vector<Hypothesis> Affine, Persistent;
+};
+
+const char *DemoScript = R"(
+# The newcoin currency (paper, Section 6), authored interactively.
+family coin : Pi n:nat. prop
+rule split : forall n:nat. forall m:nat. forall p:nat. \
+  (exists x: plus n m p. 1) -o this.coin p -o this.coin n (x) this.coin m
+rule merge : forall n:nat. forall m:nat. forall p:nat. \
+  (exists x: plus n m p. 1) -o this.coin n (x) this.coin m -o this.coin p
+
+check forall n:nat. this.coin n
+assume c : this.coin 100
+
+# Split 100 into 40 + 60, then merge back.
+infer this.split [40] [60] [100] pack [exists x: plus 40 60 100. 1] (plus/pf 40 60, ()) c
+reset
+assume c : this.coin 100
+infer let (a, b) = this.split [40] [60] [100] pack [exists x: plus 40 60 100. 1] (plus/pf 40 60, ()) c in \
+  this.merge [40] [60] [100] pack [exists x: plus 40 60 100. 1] (plus/pf 40 60, ()) (a, b)
+
+# The affine discipline: c cannot be used twice.
+infer (c, c)
+
+# Bad arithmetic is caught by the LF layer.
+infer this.split [40] [70] [100] pack [exists x: plus 40 70 100. 1] (plus/pf 40 70, ()) c
+
+# Conditions (Figure 2).
+entails before(5) => before(10)
+entails before(10) => before(5)
+entails ~spent(@cccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccc.0) /\ before(5) => before(99)
+)";
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Shell S;
+  auto RunStream = [&](std::istream &In) {
+    std::string Line, Pending;
+    while (std::getline(In, Line)) {
+      if (!Line.empty() && Line.back() == '\\') {
+        Pending += Line.substr(0, Line.size() - 1) + " ";
+        continue;
+      }
+      S.runLine(Pending + Line);
+      Pending.clear();
+    }
+  };
+
+  if (Argc > 1) {
+    std::ifstream File(Argv[1]);
+    if (!File) {
+      std::fprintf(stderr, "cannot open %s\n", Argv[1]);
+      return 1;
+    }
+    RunStream(File);
+    return 0;
+  }
+  std::printf("== Typecoin logic shell (built-in demo; pass a script "
+              "file to run your own) ==\n\n");
+  std::istringstream Demo(DemoScript);
+  RunStream(Demo);
+  return 0;
+}

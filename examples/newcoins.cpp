@@ -1,0 +1,254 @@
+//===- examples/newcoins.cpp - The Section 6 currency & Figure 3 ----------===//
+//
+// The paper's concrete demonstration: a currency ("newcoins") defined
+// entirely in the logic, a term-limited central banker, a revocable
+// purchase offer, and the exact Figure 3 proof term that exercises it.
+//
+// Build and run:  ./build/examples/newcoins
+//
+//===----------------------------------------------------------------------===//
+
+#include "typecoin/newcoin.h"
+
+#include "typecoin/builder.h"
+
+#include <cstdio>
+
+using namespace typecoin;
+using namespace typecoin::tc;
+
+namespace {
+
+void die(const char *What, const Error &E) {
+  std::fprintf(stderr, "%s: %s\n", What, E.message().c_str());
+  std::exit(1);
+}
+
+void mine(Node &N, const crypto::KeyId &Payout, int Count, uint32_t &Clock) {
+  for (int I = 0; I < Count; ++I) {
+    Clock += 600;
+    if (auto R = N.mineBlock(Payout, Clock); !R)
+      die("mining", R.error());
+  }
+}
+
+struct Party {
+  Wallet W;
+  crypto::PrivateKey Key;
+  explicit Party(uint64_t Seed) : W(Seed), Key(W.newKey()) {}
+};
+
+Input trivialInput(Wallet &W, const bitcoin::Blockchain &Chain,
+                   std::set<std::string> &Used) {
+  for (const auto &S : W.findSpendable(Chain)) {
+    std::string K = S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+    if (Used.count(K))
+      continue;
+    Used.insert(K);
+    Input In;
+    In.SourceTxid = S.Point.Tx.toHex();
+    In.SourceIndex = S.Point.Index;
+    In.Type = logic::pOne();
+    In.Amount = S.Value;
+    return In;
+  }
+  std::fprintf(stderr, "out of funds\n");
+  std::exit(1);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Newcoins (paper Section 6) ==\n\n");
+  Node N;
+  uint32_t Clock = 0;
+  std::set<std::string> Used;
+
+  Party Bank(1), President(2), Customer(3), Deposit(4);
+  mine(N, Bank.Key.id(), 3, Clock);
+  mine(N, President.Key.id(), 2, Clock);
+  mine(N, Customer.Key.id(), 3, Clock);
+  mine(N, crypto::KeyId{}, 1, Clock);
+
+  // --- 1. The bank publishes the newcoin basis. -------------------------
+  Transaction Setup;
+  newcoin::Vocab Vocab = newcoin::makeBasis(Setup.LocalBasis,
+                                            President.Key.id());
+  Setup.Inputs.push_back(trivialInput(Bank.W, N.chain(), Used));
+  Output Token; // The revocation token R for the purchase offer.
+  Token.Type = logic::pOne();
+  Token.Amount = 5000;
+  Token.Owner = Bank.Key.publicKey();
+  Setup.Outputs.push_back(Token);
+  if (auto P = makeRoutingProof(Setup))
+    Setup.Proof = *P;
+  auto SetupPair = buildPair(Setup, Bank.W, N.chain());
+  if (!SetupPair)
+    die("setup", SetupPair.error());
+  if (auto S = N.submitPair(*SetupPair); !S)
+    die("submit", S.error());
+  std::string SetupTxid = txidHex(SetupPair->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+  newcoin::Vocab V = Vocab.resolved(SetupTxid);
+  std::printf("basis published in %s...\n", SetupTxid.substr(0, 16).c_str());
+  std::printf("  coin, merge, split, appoint, is_banker, confirm, print, "
+              "issue\n\n");
+
+  // --- 2. The President appoints the banker for a fixed term. -----------
+  uint64_t TermEnd = Clock + 100 * 600;
+  Transaction Appoint;
+  Appoint.Inputs.push_back(trivialInput(President.W, N.chain(), Used));
+  Output BankerCred;
+  BankerCred.Type = newcoin::isBanker(V, Bank.Key.id(), TermEnd);
+  BankerCred.Amount = 5000;
+  BankerCred.Owner = Bank.Key.publicKey();
+  Appoint.Outputs.push_back(BankerCred);
+  {
+    using namespace logic;
+    PropPtr AppointProp = newcoin::appoint(V, Bank.Key.id(), TermEnd);
+    ProofPtr Affirm = makeAssert(President.Key, Appoint, AppointProp);
+    ProofPtr Confirm = mApp(
+        mAllApps(mConst(V.Confirm),
+                 {lf::principal(Bank.Key.id().toHex()), lf::nat(TermEnd)}),
+        Affirm);
+    Appoint.Proof = mLam(
+        "x",
+        pTensor(Appoint.Grant,
+                pTensor(Appoint.inputTensor(), Appoint.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("c"),
+                                      mOneLet(mVar("a"), Confirm)))));
+  }
+  auto AppointPair = buildPair(Appoint, President.W, N.chain());
+  if (!AppointPair)
+    die("appoint", AppointPair.error());
+  if (auto S = N.submitPair(*AppointPair); !S)
+    die("submit appoint", S.error());
+  std::string AppointTxid = txidHex(AppointPair->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+  std::printf("President appointed the banker until t=%llu:\n  %s\n\n",
+              static_cast<unsigned long long>(TermEnd),
+              logic::printProp(N.state().outputType(AppointTxid, 0))
+                  .c_str());
+
+  // --- 3. The purchase (Figure 3). ---------------------------------------
+  const uint64_t NNc = 100;
+  const bitcoin::Amount NBtc = 2 * bitcoin::SatoshisPerCoin;
+
+  Transaction Buy;
+  Buy.Inputs.push_back(trivialInput(Customer.W, N.chain(), Used));
+  Input BankerIn;
+  BankerIn.SourceTxid = AppointTxid;
+  BankerIn.SourceIndex = 0;
+  BankerIn.Type = newcoin::isBanker(V, Bank.Key.id(), TermEnd);
+  BankerIn.Amount = 5000;
+  Buy.Inputs.push_back(BankerIn);
+  Output CoinOut;
+  CoinOut.Type = newcoin::coin(V, NNc);
+  CoinOut.Amount = 10000;
+  CoinOut.Owner = Customer.Key.publicKey();
+  Buy.Outputs.push_back(CoinOut);
+  Output Payment;
+  Payment.Type = logic::pOne();
+  Payment.Amount = NBtc;
+  Payment.Owner = Deposit.Key.publicKey();
+  Buy.Outputs.push_back(Payment);
+  {
+    using namespace logic;
+    PropPtr Order = newcoin::purchaseOrder(V, NBtc, Deposit.Key.id(),
+                                           SetupTxid, 0, NNc);
+    std::printf("the banker signs the revocable offer:\n  <Banker> %s\n\n",
+                printProp(Order).c_str());
+    ProofPtr P = makeAssertBang(Bank.Key, Order);
+    CondPtr Merged =
+        cAnd(cUnspent(SetupTxid, 0), cBefore(TermEnd));
+    ProofPtr Fig3 = newcoin::figure3Proof(V, Bank.Key.id(), TermEnd, NNc,
+                                          SetupTxid, 0, P, mVar("rd"),
+                                          mVar("b"));
+    std::printf("Figure 3 proof term:\n  %s\n\n",
+                printProof(Fig3).substr(0, 200).c_str());
+    ProofPtr Wrapped =
+        mIfBind("w", Fig3,
+                mIfReturn(Merged, mTensorPair(mVar("w"), mOne())));
+    Buy.Proof = mLam(
+        "x",
+        pTensor(Buy.Grant, pTensor(Buy.inputTensor(), Buy.receiptTensor())),
+        mTensorLet(
+            "c", "ar", mVar("x"),
+            mTensorLet(
+                "a", "r", mVar("ar"),
+                mTensorLet(
+                    "a0", "b", mVar("a"),
+                    mOneLet(mVar("a0"),
+                            mOneLet(mVar("c"),
+                                    mTensorLet("rc", "rd", mVar("r"),
+                                               Wrapped)))))));
+  }
+  // The banker co-signs (shares the signing of its is_banker txout).
+  Customer.W.import(Bank.Key);
+  auto BuyPair = buildPair(Buy, Customer.W, N.chain());
+  if (!BuyPair)
+    die("buy", BuyPair.error());
+  if (auto S = N.submitPair(*BuyPair); !S)
+    die("submit buy", S.error());
+  std::string BuyTxid = txidHex(BuyPair->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+  std::printf("purchase confirmed:\n");
+  std::printf("  customer received : %s\n",
+              logic::printProp(N.state().outputType(BuyTxid, 0)).c_str());
+  std::printf("  bank deposit      : %lld satoshi\n\n",
+              static_cast<long long>(NBtc));
+
+  // --- 4. Split and merge. ------------------------------------------------
+  Transaction Split;
+  Input CoinIn;
+  CoinIn.SourceTxid = BuyTxid;
+  CoinIn.SourceIndex = 0;
+  CoinIn.Type = newcoin::coin(V, NNc);
+  CoinIn.Amount = 10000;
+  Split.Inputs.push_back(CoinIn);
+  for (uint64_t Value : {30, 70}) {
+    Output Out;
+    Out.Type = newcoin::coin(V, Value);
+    Out.Amount = 4000;
+    Out.Owner = Customer.Key.publicKey();
+    Split.Outputs.push_back(Out);
+  }
+  {
+    using namespace logic;
+    ProofPtr Body = newcoin::splitProof(V, 30, 70, mVar("a"));
+    Split.Proof = mLam(
+        "x",
+        pTensor(Split.Grant,
+                pTensor(Split.inputTensor(), Split.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("c"), Body))));
+  }
+  auto SplitPair = buildPair(Split, Customer.W, N.chain());
+  if (!SplitPair)
+    die("split", SplitPair.error());
+  if (auto S = N.submitPair(*SplitPair); !S)
+    die("submit split", S.error());
+  std::string SplitTxid = txidHex(SplitPair->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+  std::printf("split coin %llu -> %s + %s\n",
+              static_cast<unsigned long long>(NNc),
+              logic::printProp(N.state().outputType(SplitTxid, 0)).c_str(),
+              logic::printProp(N.state().outputType(SplitTxid, 1)).c_str());
+
+  // --- 5. Revocation: the bank spends R; the offer dies. -------------------
+  auto RId = txidFromHex(SetupTxid);
+  auto Crack = crackOutputs({bitcoin::OutPoint{*RId, 0}}, Bank.W,
+                            N.chain(), Bank.Key.id(), 2000);
+  if (!Crack)
+    die("revoke", Crack.error());
+  if (auto S = N.submitPlain(*Crack); !S)
+    die("submit revoke", S.error());
+  mine(N, crypto::KeyId{}, 1, Clock);
+  std::printf("\nbank spent R: the purchase offer is revoked.\n");
+  std::printf("(any later purchase discharging ~spent(R) now fails its "
+              "condition check)\n");
+  return 0;
+}

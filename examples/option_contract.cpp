@@ -1,0 +1,184 @@
+//===- examples/option_contract.cpp - Expiring options (Section 5) --------===//
+//
+// "An important financial contract is the option, which allows the
+// holder to purchase a commodity at a given price, or not, until the
+// option expires":
+//
+//   receipt(payment ->> Alice) -o if(before(t), commodity)
+//
+// The condition sits *beneath* the lolli: discharging happens only at
+// the top level of a transaction, so the holder cannot bank a
+// non-expiring option. This example exercises the option before the
+// deadline, then shows the same exercise failing after it.
+//
+// Build and run:  ./build/examples/option_contract
+//
+//===----------------------------------------------------------------------===//
+
+#include "typecoin/builder.h"
+
+#include <cstdio>
+
+using namespace typecoin;
+using namespace typecoin::tc;
+
+namespace {
+
+void die(const char *What, const Error &E) {
+  std::fprintf(stderr, "%s: %s\n", What, E.message().c_str());
+  std::exit(1);
+}
+
+void mine(Node &N, const crypto::KeyId &Payout, int Count, uint32_t &Clock) {
+  for (int I = 0; I < Count; ++I) {
+    Clock += 600;
+    if (auto R = N.mineBlock(Payout, Clock); !R)
+      die("mining", R.error());
+  }
+}
+
+struct Party {
+  Wallet W;
+  crypto::PrivateKey Key;
+  explicit Party(uint64_t Seed) : W(Seed), Key(W.newKey()) {}
+};
+
+Input trivialInput(Wallet &W, const bitcoin::Blockchain &Chain,
+                   std::set<std::string> &Used) {
+  for (const auto &S : W.findSpendable(Chain)) {
+    std::string K = S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+    if (Used.count(K))
+      continue;
+    Used.insert(K);
+    Input In;
+    In.SourceTxid = S.Point.Tx.toHex();
+    In.SourceIndex = S.Point.Index;
+    In.Type = logic::pOne();
+    In.Amount = S.Value;
+    return In;
+  }
+  std::exit(1);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== An expiring option (Section 5) ==\n\n");
+  Node N;
+  uint32_t Clock = 0;
+  std::set<std::string> Used;
+
+  Party Alice(1), Holder(2);
+  mine(N, Alice.Key.id(), 2, Clock);
+  mine(N, Holder.Key.id(), 3, Clock);
+  mine(N, crypto::KeyId{}, 1, Clock);
+
+  // Alice publishes the commodity vocabulary. No setup resource is
+  // needed: the option itself is a persistent signed offer.
+  Transaction Setup;
+  lf::ConstName Commodity = lf::ConstName::local("commodity");
+  if (auto S = Setup.LocalBasis.declareFamily(Commodity, lf::kProp()); !S)
+    die("declare", S.error());
+  Setup.Inputs.push_back(trivialInput(Alice.W, N.chain(), Used));
+  Output Marker;
+  Marker.Type = logic::pOne();
+  Marker.Amount = 1000;
+  Marker.Owner = Alice.Key.publicKey();
+  Setup.Outputs.push_back(Marker);
+  if (auto P = makeRoutingProof(Setup))
+    Setup.Proof = *P;
+  auto SetupPair = buildPair(Setup, Alice.W, N.chain());
+  if (!SetupPair)
+    die("setup", SetupPair.error());
+  if (auto S = N.submitPair(*SetupPair); !S)
+    die("submit setup", S.error());
+  std::string SetupTxid = txidHex(SetupPair->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+  lf::ConstName RCommodity = Commodity.resolved(SetupTxid);
+
+  const bitcoin::Amount Price = bitcoin::SatoshisPerCoin; // 1 BTC strike.
+  const uint64_t Deadline = Clock + 3 * 600;
+
+  // The option: receipt(1/price ->> Alice) -o if(before(t), commodity).
+  logic::PropPtr CommodityAtom =
+      logic::pAtom(lf::tConst(RCommodity));
+  logic::PropPtr Option = logic::pLolli(
+      logic::pReceipt(logic::pOne(), static_cast<uint64_t>(Price),
+                      lf::principal(Alice.Key.id().toHex())),
+      logic::pIf(logic::cBefore(Deadline), CommodityAtom));
+  std::printf("Alice signs the option:\n  <Alice> %s\n\n",
+              logic::printProp(Option).c_str());
+  std::printf("note the condition is BENEATH the lolli — the \"incorrect\n"
+              "alternative\" if(before(t), receipt -o commodity) would let\n"
+              "the holder bank a non-expiring option (Section 5).\n\n");
+
+  // The exercise transaction: pay the strike, receive the commodity.
+  auto BuildExercise = [&]() -> Result<Pair> {
+    using namespace logic;
+    Transaction T;
+    T.Inputs.push_back(trivialInput(Holder.W, N.chain(), Used));
+    Output CommodityOut;
+    CommodityOut.Type =
+        pSays(lf::principal(Alice.Key.id().toHex()), CommodityAtom);
+    CommodityOut.Amount = 10000;
+    CommodityOut.Owner = Holder.Key.publicKey();
+    T.Outputs.push_back(CommodityOut);
+    Output PaymentOut;
+    PaymentOut.Type = pOne();
+    PaymentOut.Amount = Price;
+    PaymentOut.Owner = Alice.Key.publicKey();
+    T.Outputs.push_back(PaymentOut);
+
+    // The proof: the signed option turns the payment receipt into
+    // if(before(t), commodity); say-bind under Alice, commute, and
+    // finish with redeem.
+    ProofPtr OptionAffirm = makeAssertBang(Alice.Key, Option);
+    ProofPtr GetConditional =
+        mSayBind("f", OptionAffirm,
+                 mSayReturn(lf::principal(Alice.Key.id().toHex()),
+                            mApp(mVar("f"), mVar("rpay"))));
+    // : <Alice> if(before(t), commodity)  -> commute
+    ProofPtr Commuted = mIfSay(GetConditional);
+    // : if(before(t), <Alice> commodity)  -> bind and redeem.
+    CondPtr Phi = cBefore(Deadline);
+    ProofPtr Redeemed =
+        mIfBind("sc", Commuted,
+                mIfReturn(Phi, mTensorPair(mVar("sc"), mOne())));
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet(
+            "c", "ar", mVar("x"),
+            mTensorLet("a", "r", mVar("ar"),
+                       mOneLet(mVar("c"),
+                               mOneLet(mVar("a"),
+                                       mTensorLet("rcom", "rpay",
+                                                  mVar("r"), Redeemed))))));
+    return buildPair(T, Holder.W, N.chain());
+  };
+
+  // Exercise before the deadline: succeeds.
+  auto Exercise = BuildExercise();
+  if (!Exercise)
+    die("exercise", Exercise.error());
+  if (auto S = N.submitPair(*Exercise); !S)
+    die("submit exercise", S.error());
+  std::string ExTxid = txidHex(Exercise->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+  std::printf("exercised before t=%llu:\n  holder received %s, Alice "
+              "received %lld satoshi\n\n",
+              static_cast<unsigned long long>(Deadline),
+              logic::printProp(N.state().outputType(ExTxid, 0)).c_str(),
+              static_cast<long long>(Price));
+
+  // Let the option expire, then try again.
+  mine(N, crypto::KeyId{}, 4, Clock);
+  auto Late = BuildExercise();
+  if (!Late)
+    die("late build", Late.error());
+  if (auto S = N.submitPair(*Late); !S)
+    std::printf("exercise after expiry: REFUSED\n  %s\n",
+                S.error().message().c_str());
+  else
+    std::printf("ERROR: the expired option was accepted!\n");
+  return 0;
+}

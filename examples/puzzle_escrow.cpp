@@ -1,0 +1,216 @@
+//===- examples/puzzle_escrow.cpp - Open transactions & escrow ------------===//
+//
+// Section 7: "Suppose Alice wishes to award a prize to the first person
+// to solve a puzzle." Alice escrows the prize with Charlie (policy:
+// sign any instance that typechecks) and publishes an open transaction;
+// Bob fills in the holes to claim it.
+//
+// Build and run:  ./build/examples/puzzle_escrow
+//
+//===----------------------------------------------------------------------===//
+
+#include "services/escrow.h"
+#include "typecoin/builder.h"
+#include "typecoin/opentx.h"
+
+#include <cstdio>
+
+using namespace typecoin;
+using namespace typecoin::tc;
+
+namespace {
+
+void die(const char *What, const Error &E) {
+  std::fprintf(stderr, "%s: %s\n", What, E.message().c_str());
+  std::exit(1);
+}
+
+void mine(Node &N, const crypto::KeyId &Payout, int Count, uint32_t &Clock) {
+  for (int I = 0; I < Count; ++I) {
+    Clock += 600;
+    if (auto R = N.mineBlock(Payout, Clock); !R)
+      die("mining", R.error());
+  }
+}
+
+struct Party {
+  Wallet W;
+  crypto::PrivateKey Key;
+  explicit Party(uint64_t Seed) : W(Seed), Key(W.newKey()) {}
+};
+
+Input trivialInput(Wallet &W, const bitcoin::Blockchain &Chain,
+                   std::set<std::string> &Used) {
+  for (const auto &S : W.findSpendable(Chain)) {
+    std::string K = S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+    if (Used.count(K))
+      continue;
+    Used.insert(K);
+    Input In;
+    In.SourceTxid = S.Point.Tx.toHex();
+    In.SourceIndex = S.Point.Index;
+    In.Type = logic::pOne();
+    In.Amount = S.Value;
+    return In;
+  }
+  std::exit(1);
+}
+
+/// Publish a one-atom vocabulary and grant the atom to \p To.
+std::pair<std::string, logic::PropPtr>
+grantAtom(Node &N, Party &Issuer, const char *Name,
+          const crypto::PublicKey &To, uint32_t &Clock,
+          std::set<std::string> &Used) {
+  Transaction T;
+  if (auto S = T.LocalBasis.declareFamily(lf::ConstName::local(Name),
+                                          lf::kProp());
+      !S)
+    die("declare", S.error());
+  T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local(Name)));
+  T.Inputs.push_back(trivialInput(Issuer.W, N.chain(), Used));
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 10000;
+  Out.Owner = To;
+  T.Outputs.push_back(Out);
+  using namespace logic;
+  T.Proof = mLam(
+      "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+      mTensorLet("c", "ar", mVar("x"),
+                 mTensorLet("a", "r", mVar("ar"),
+                            mOneLet(mVar("a"), mVar("c")))));
+  auto P = buildPair(T, Issuer.W, N.chain());
+  if (!P)
+    die("grant", P.error());
+  if (auto S = N.submitPair(*P); !S)
+    die("submit grant", S.error());
+  std::string Txid = txidHex(P->Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+  return {Txid, logic::resolveProp(T.Grant, Txid)};
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Puzzle prize with type-checking escrow (Section 7) ==\n\n");
+  Node N;
+  uint32_t Clock = 0;
+  std::set<std::string> Used;
+
+  Party Alice(1), Bob(2);
+  services::EscrowAgent Charlie(3);
+  mine(N, Alice.Key.id(), 3, Clock);
+  mine(N, Bob.Key.id(), 2, Clock);
+  mine(N, crypto::KeyId{}, 1, Clock);
+
+  // Alice escrows the prize with Charlie; Bob (we stipulate) has solved
+  // the puzzle and owns a `solution` resource.
+  auto [PrizeTxid, Prize] =
+      grantAtom(N, Alice, "prize", Charlie.publicKey(), Clock, Used);
+  auto [SolutionTxid, Solution] =
+      grantAtom(N, Alice, "solution", Bob.Key.publicKey(), Clock, Used);
+  std::printf("prize escrowed with Charlie   : %s\n",
+              logic::printProp(Prize).c_str());
+  std::printf("Bob holds a solution resource : %s\n\n",
+              logic::printProp(Solution).c_str());
+
+  // Alice issues the open transaction: the solution's source txout and
+  // the prize's receiving key are holes.
+  OpenTransaction Open;
+  Input PrizeIn;
+  PrizeIn.SourceTxid = PrizeTxid;
+  PrizeIn.SourceIndex = 0;
+  PrizeIn.Type = Prize;
+  PrizeIn.Amount = 10000;
+  Open.Template.Inputs.push_back(PrizeIn);
+  Input SolutionIn;
+  SolutionIn.Type = Solution;
+  SolutionIn.Amount = 10000;
+  Open.Template.Inputs.push_back(SolutionIn);
+  Output PrizeOut;
+  PrizeOut.Type = Prize;
+  PrizeOut.Amount = 10000;
+  Open.Template.Outputs.push_back(PrizeOut);
+  Output SolutionOut;
+  SolutionOut.Type = Solution;
+  SolutionOut.Amount = 10000;
+  SolutionOut.Owner = Alice.Key.publicKey();
+  Open.Template.Outputs.push_back(SolutionOut);
+  Open.OpenInput = 1;
+  Open.OpenOutput = 0;
+  Open.sign(Alice.Key);
+  std::printf("Alice published an open transaction (2 holes), signed.\n");
+
+  // Bob fills the holes.
+  auto Filled = Open.fill(SolutionTxid, 0, Bob.Key.publicKey());
+  if (!Filled)
+    die("fill", Filled.error());
+  Transaction Final = *Filled;
+  if (auto P = makeRoutingProof(Final))
+    Final.Proof = *P;
+  else
+    die("proof", P.error());
+
+  // Pick a fee input distinct from the template's own inputs (Bob's
+  // wallet can also "see" the solution txout, which is already spent by
+  // the filled transaction).
+  bitcoin::OutPoint FeePoint;
+  for (const auto &S : Bob.W.findSpendable(N.chain())) {
+    if (S.Point.Tx.toHex() == SolutionTxid && S.Point.Index == 0)
+      continue;
+    FeePoint = S.Point;
+    break;
+  }
+  auto Btc = embedTransaction(Final, EmbedScheme::Multisig1of2, {FeePoint});
+  if (!Btc)
+    die("embed", Btc.error());
+
+  // Charlie's policy check + signature.
+  Pair P{Final, *Btc};
+  auto CharlieSig = Charlie.signIfValid(P, N, 0);
+  if (!CharlieSig)
+    die("escrow policy", CharlieSig.error());
+  std::printf("Charlie: instance typechecks; signing input 0.\n");
+  const bitcoin::Coin *PrizeCoin =
+      N.chain().utxo().find(Btc->Inputs[0].Prevout);
+  auto ScriptSig = services::assembleMultisig(
+      PrizeCoin->Out.ScriptPubKey,
+      {{Charlie.publicKey().serialize(), *CharlieSig}});
+  if (!ScriptSig)
+    die("assemble", ScriptSig.error());
+  Btc->Inputs[0].ScriptSig = *ScriptSig;
+
+  // Bob signs the rest.
+  for (size_t I = 1; I < Btc->Inputs.size(); ++I) {
+    const bitcoin::Coin *C = N.chain().utxo().find(Btc->Inputs[I].Prevout);
+    auto Sig = bitcoin::signInput(*Btc, I, C->Out.ScriptPubKey,
+                                  Bob.W.keys());
+    if (!Sig)
+      die("sign", Sig.error());
+    Btc->Inputs[I].ScriptSig = *Sig;
+  }
+
+  P.Btc = *Btc;
+  if (auto S = N.submitPair(P); !S)
+    die("submit claim", S.error());
+  std::string ClaimTxid = txidHex(P.Btc);
+  mine(N, crypto::KeyId{}, 1, Clock);
+
+  std::printf("\nclaim confirmed: %s...\n", ClaimTxid.substr(0, 16).c_str());
+  std::printf("  output 0 (Bob)   : %s\n",
+              logic::printProp(N.state().outputType(ClaimTxid, 0)).c_str());
+  std::printf("  output 1 (Alice) : %s\n",
+              logic::printProp(N.state().outputType(ClaimTxid, 1)).c_str());
+
+  // And the escrow refuses ill-typed instances.
+  Transaction Bogus = Final;
+  Bogus.Inputs[1].Type = logic::pZero(); // A lie about the txout's type.
+  auto BogusBtc = embedTransaction(Bogus, EmbedScheme::Multisig1of2);
+  if (BogusBtc) {
+    Pair BP{Bogus, *BogusBtc};
+    if (auto Sig = Charlie.signIfValid(BP, N, 0); !Sig)
+      std::printf("\nCharlie refuses an ill-typed instance: %s\n",
+                  Sig.error().message().c_str());
+  }
+  return 0;
+}

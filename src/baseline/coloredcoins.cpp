@@ -1,0 +1,107 @@
+//===- baseline/coloredcoins.cpp - Colored-coins baseline ----------------------===//
+
+#include "baseline/coloredcoins.h"
+
+namespace typecoin {
+namespace baseline {
+
+Status ColorTracker::issue(const bitcoin::Transaction &Tx, uint32_t Index,
+                           uint64_t Units) {
+  if (Index >= Tx.Outputs.size())
+    return makeError("colored: issuance index out of range");
+  bitcoin::OutPoint Point{Tx.txid(), Index};
+  if (Colors.count(Point))
+    return makeError("colored: output already colored");
+  ColorValue V;
+  V.Color = ColorId{Point};
+  V.Units = Units;
+  Colors[Point] = V;
+  return Status::success();
+}
+
+Status ColorTracker::apply(const bitcoin::Transaction &Tx) {
+  if (Tx.isCoinbase())
+    return Status::success();
+
+  // Gather the colored input stream, in input order.
+  struct Chunk {
+    ColorId Color;
+    uint64_t Units;
+  };
+  std::vector<Chunk> Stream;
+  for (const bitcoin::TxIn &In : Tx.Inputs) {
+    auto It = Colors.find(In.Prevout);
+    if (It == Colors.end())
+      continue;
+    Stream.push_back(Chunk{It->second.Color, It->second.Units});
+    Colors.erase(It); // Inputs are consumed.
+  }
+  if (Stream.empty())
+    return Status::success();
+
+  // Assign to outputs front-to-back: each output demands its satoshi
+  // amount in units. An output that would draw from two different
+  // colors is uncolored and destroys those units (conservative rule).
+  size_t Pos = 0;
+  uint64_t Offset = 0; // Units already taken from Stream[Pos].
+  bitcoin::TxId Id = Tx.txid();
+  for (uint32_t OutIdx = 0;
+       OutIdx < Tx.Outputs.size() && Pos < Stream.size(); ++OutIdx) {
+    uint64_t Demand = static_cast<uint64_t>(Tx.Outputs[OutIdx].Value);
+    if (Demand == 0)
+      continue;
+    uint64_t Available = Stream[Pos].Units - Offset;
+    if (Demand < Available) {
+      // Output takes a slice of the current chunk.
+      Colors[bitcoin::OutPoint{Id, OutIdx}] =
+          ColorValue{Stream[Pos].Color, Demand};
+      Offset += Demand;
+    } else if (Demand == Available) {
+      Colors[bitcoin::OutPoint{Id, OutIdx}] =
+          ColorValue{Stream[Pos].Color, Demand};
+      ++Pos;
+      Offset = 0;
+    } else {
+      // Demand spans chunks: merge only within one color; a cross-color
+      // span destroys the colored units it covers.
+      uint64_t Taken = 0;
+      ColorId First = Stream[Pos].Color;
+      bool Mixed = false;
+      while (Taken < Demand && Pos < Stream.size()) {
+        uint64_t Chunk = std::min(Stream[Pos].Units - Offset,
+                                  Demand - Taken);
+        if (!(Stream[Pos].Color == First))
+          Mixed = true;
+        Taken += Chunk;
+        Offset += Chunk;
+        if (Offset == Stream[Pos].Units) {
+          ++Pos;
+          Offset = 0;
+        }
+      }
+      if (!Mixed && Taken > 0)
+        Colors[bitcoin::OutPoint{Id, OutIdx}] = ColorValue{First, Taken};
+      // Mixed or underfunded spans leave the output uncolored.
+    }
+  }
+  return Status::success();
+}
+
+std::optional<ColorValue>
+ColorTracker::colorOf(const bitcoin::OutPoint &Point) const {
+  auto It = Colors.find(Point);
+  if (It == Colors.end())
+    return std::nullopt;
+  return It->second;
+}
+
+uint64_t ColorTracker::supply(const ColorId &Color) const {
+  uint64_t Total = 0;
+  for (const auto &[Point, V] : Colors)
+    if (V.Color == Color)
+      Total += V.Units;
+  return Total;
+}
+
+} // namespace baseline
+} // namespace typecoin

@@ -1,0 +1,86 @@
+//===- baseline/coloredcoins.h - Colored-coins baseline ----------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The colored-coins baseline from the related-work comparison
+/// (Section 8): "a txout is said to represent an asset (colloquially
+/// called a color) in much the same way as in Typecoin txouts are said
+/// to represent affine resources. ... a colored-coin transaction does
+/// not include a proof term that dictates how the assets/colors
+/// propagate from inputs to outputs. Instead, propagation is defined by
+/// a collection of rules, based on the order and bitcoin amounts of the
+/// inputs and outputs."
+///
+/// This implements an order-based coloring (after Rosenfeld 2012):
+/// colored value flows from inputs to outputs front-to-back, split and
+/// merged by output amounts; issuance marks a designated output of a
+/// genesis transaction. Used as the comparison baseline in experiment
+/// T6: it supports fungible transfer/split/merge but "provide[s] no
+/// mechanism for state transitions."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_BASELINE_COLOREDCOINS_H
+#define TYPECOIN_BASELINE_COLOREDCOINS_H
+
+#include "bitcoin/transaction.h"
+
+#include <map>
+#include <optional>
+
+namespace typecoin {
+namespace baseline {
+
+/// An asset identifier: the genesis outpoint that issued it.
+struct ColorId {
+  bitcoin::OutPoint Genesis;
+
+  bool operator==(const ColorId &O) const { return Genesis == O.Genesis; }
+  bool operator<(const ColorId &O) const { return Genesis < O.Genesis; }
+};
+
+/// Colored value attached to a txout: how many units of which color.
+struct ColorValue {
+  ColorId Color;
+  uint64_t Units = 0;
+};
+
+/// The tracker: processes transactions in confirmation order,
+/// propagating colors by the order-based rules.
+class ColorTracker {
+public:
+  /// Declare transaction output \p Index of \p Tx as the genesis of a
+  /// new color carrying \p Units units.
+  Status issue(const bitcoin::Transaction &Tx, uint32_t Index,
+               uint64_t Units);
+
+  /// Process a (validated) transaction: colored inputs flow to outputs
+  /// in order. Each output takes units from the pending input stream
+  /// proportionally to... in the order-based scheme, an output is
+  /// colored iff its satoshi amount equals the colored units consumed
+  /// contiguously from the input stream; simplified here: colored units
+  /// are assigned to outputs front-to-back, splitting at output
+  /// boundaries by the output's declared unit demand encoded as its
+  /// satoshi amount. Mixing colors in one output destroys the color
+  /// (conservative, like real kernels).
+  Status apply(const bitcoin::Transaction &Tx);
+
+  /// Colored value on a txout, if any.
+  std::optional<ColorValue> colorOf(const bitcoin::OutPoint &Point) const;
+
+  /// Total outstanding units of a color.
+  uint64_t supply(const ColorId &Color) const;
+
+  size_t coloredOutputCount() const { return Colors.size(); }
+
+private:
+  std::map<bitcoin::OutPoint, ColorValue> Colors;
+};
+
+} // namespace baseline
+} // namespace typecoin
+
+#endif // TYPECOIN_BASELINE_COLOREDCOINS_H

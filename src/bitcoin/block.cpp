@@ -1,0 +1,68 @@
+//===- bitcoin/block.cpp - Blocks and block headers ------------------------===//
+
+#include "bitcoin/block.h"
+
+namespace typecoin {
+namespace bitcoin {
+
+Bytes BlockHeader::serialize() const {
+  Writer W;
+  W.writeU32(static_cast<uint32_t>(Version));
+  W.writeBytes(Prev.Hash);
+  W.writeBytes(MerkleRoot);
+  W.writeU32(Time);
+  W.writeU32(Bits);
+  W.writeU32(Nonce);
+  return W.takeBuffer();
+}
+
+Result<BlockHeader> BlockHeader::deserialize(const Bytes &Data) {
+  Reader R(Data);
+  BlockHeader H;
+  TC_UNWRAP(Version, R.readU32());
+  H.Version = static_cast<int32_t>(Version);
+  TC_UNWRAP(Prev, R.readArray<32>());
+  H.Prev.Hash = Prev;
+  TC_UNWRAP(Root, R.readArray<32>());
+  H.MerkleRoot = Root;
+  TC_UNWRAP(Time, R.readU32());
+  H.Time = Time;
+  TC_UNWRAP(Bits, R.readU32());
+  H.Bits = Bits;
+  TC_UNWRAP(Nonce, R.readU32());
+  H.Nonce = Nonce;
+  return H;
+}
+
+BlockHash BlockHeader::hash() const {
+  return BlockHash{crypto::sha256d(serialize())};
+}
+
+Bytes Block::serialize() const {
+  Writer W;
+  W.writeBytes(Header.serialize());
+  W.writeCompactSize(Txs.size());
+  for (const Transaction &Tx : Txs)
+    W.writeBytes(Tx.serialize());
+  return W.takeBuffer();
+}
+
+Result<Block> Block::deserialize(const Bytes &Data) {
+  Reader R(Data);
+  Block B;
+  TC_UNWRAP(HeaderBytes, R.readBytes(80));
+  TC_UNWRAP(Header, BlockHeader::deserialize(HeaderBytes));
+  B.Header = Header;
+  TC_UNWRAP(NTx, R.readCompactSize());
+  if (NTx > 1000000)
+    return makeError("block: implausible transaction count");
+  for (uint64_t I = 0; I < NTx; ++I) {
+    TC_UNWRAP(Tx, Transaction::deserializeFrom(R));
+    B.Txs.push_back(std::move(Tx));
+  }
+  TC_TRY(R.expectEnd());
+  return B;
+}
+
+} // namespace bitcoin
+} // namespace typecoin

@@ -1,0 +1,82 @@
+//===- bitcoin/block.h - Blocks and block headers ---------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block headers and blocks. Headers carry the previous-block hash (the
+/// chain structure), the Merkle root (the transaction commitment), a
+/// timestamp (used by the `before(t)` condition of paper Section 5 —
+/// "Each block includes a timestamp that can be used to determine the
+/// transaction's time"), the compact difficulty target, and the
+/// proof-of-work nonce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_BITCOIN_BLOCK_H
+#define TYPECOIN_BITCOIN_BLOCK_H
+
+#include "bitcoin/merkle.h"
+#include "bitcoin/transaction.h"
+
+#include <algorithm>
+
+namespace typecoin {
+namespace bitcoin {
+
+/// A block hash (same representation conventions as TxId).
+struct BlockHash {
+  crypto::Digest32 Hash{};
+
+  bool operator==(const BlockHash &O) const { return Hash == O.Hash; }
+  bool operator!=(const BlockHash &O) const { return Hash != O.Hash; }
+  bool operator<(const BlockHash &O) const { return Hash < O.Hash; }
+  bool isNull() const {
+    for (uint8_t B : Hash)
+      if (B)
+        return false;
+    return true;
+  }
+  std::string toHex() const {
+    crypto::Digest32 Rev = Hash;
+    std::reverse(Rev.begin(), Rev.end());
+    return typecoin::toHex(Rev.data(), Rev.size());
+  }
+};
+
+/// An 80-byte block header.
+struct BlockHeader {
+  int32_t Version = 1;
+  BlockHash Prev;
+  crypto::Digest32 MerkleRoot{};
+  /// Seconds (simulation time or Unix time).
+  uint32_t Time = 0;
+  uint32_t Bits = 0;
+  uint32_t Nonce = 0;
+
+  Bytes serialize() const;
+  static Result<BlockHeader> deserialize(const Bytes &Data);
+
+  /// Double-SHA256 of the serialized header.
+  BlockHash hash() const;
+};
+
+/// A full block: header plus transactions (first must be the coinbase).
+struct Block {
+  BlockHeader Header;
+  std::vector<Transaction> Txs;
+
+  Bytes serialize() const;
+  static Result<Block> deserialize(const Bytes &Data);
+
+  BlockHash hash() const { return Header.hash(); }
+
+  /// Recompute the header's Merkle root from Txs.
+  void updateMerkleRoot() { Header.MerkleRoot = merkleRootOfTxs(Txs); }
+};
+
+} // namespace bitcoin
+} // namespace typecoin
+
+#endif // TYPECOIN_BITCOIN_BLOCK_H

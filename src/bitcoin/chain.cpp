@@ -1,0 +1,324 @@
+//===- bitcoin/chain.cpp - Block validation and the best chain -------------===//
+
+#include "bitcoin/chain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace typecoin {
+namespace bitcoin {
+
+Result<Amount> checkTxInputs(const Transaction &Tx, const UtxoSet &Utxo,
+                             int SpendHeight, int CoinbaseMaturity) {
+  if (Tx.Inputs.empty())
+    return makeError("tx: no inputs");
+  if (Tx.Outputs.empty())
+    return makeError("tx: no outputs");
+
+  // Duplicate-input check.
+  std::set<OutPoint> Seen;
+  for (const TxIn &In : Tx.Inputs)
+    if (!Seen.insert(In.Prevout).second)
+      return makeError("tx: duplicate input " + In.Prevout.toString());
+
+  Amount TotalOut = 0;
+  for (const TxOut &Out : Tx.Outputs) {
+    if (!moneyRange(Out.Value))
+      return makeError("tx: output value out of range");
+    TotalOut += Out.Value;
+    if (!moneyRange(TotalOut))
+      return makeError("tx: total output out of range");
+  }
+
+  Amount TotalIn = 0;
+  for (size_t I = 0; I < Tx.Inputs.size(); ++I) {
+    const TxIn &In = Tx.Inputs[I];
+    const Coin *C = Utxo.find(In.Prevout);
+    if (!C)
+      return makeError("tx: input " + In.Prevout.toString() +
+                       " missing or spent");
+    if (C->IsCoinbase && SpendHeight - C->Height < CoinbaseMaturity)
+      return makeError("tx: premature spend of coinbase output");
+    TotalIn += C->Out.Value;
+    if (!moneyRange(TotalIn))
+      return makeError("tx: total input out of range");
+
+    TransactionSignatureChecker Checker(Tx, I, C->Out.ScriptPubKey);
+    if (auto S = verifyScript(In.ScriptSig, C->Out.ScriptPubKey, Checker);
+        !S)
+      return S.takeError().withContext("tx: input " + std::to_string(I));
+  }
+
+  if (TotalIn < TotalOut)
+    return makeError("tx: inputs do not cover outputs");
+  return TotalIn - TotalOut;
+}
+
+Blockchain::Blockchain(ChainParams ParamsIn) : Params(std::move(ParamsIn)) {
+  // Deterministic genesis block: an empty coinbase paying nobody.
+  Genesis.Header.Version = 1;
+  Genesis.Header.Bits = Params.GenesisBits;
+  Genesis.Header.Time = 0;
+  Transaction Coinbase;
+  Coinbase.Inputs.push_back(TxIn{OutPoint::null(), Script(), 0xffffffff});
+  TxOut Out;
+  Out.Value = 0;
+  Out.ScriptPubKey = Script(Bytes{OP_RETURN});
+  Coinbase.Outputs.push_back(Out);
+  Genesis.Txs.push_back(Coinbase);
+  Genesis.updateMerkleRoot();
+
+  IndexEntry Entry;
+  Entry.Blk = Genesis;
+  Entry.Height = 0;
+  Entry.ChainWork = blockWork(Genesis.Header.Bits);
+  Entry.Undo = BlockUndo{};
+  BlockHash GenesisHash = Genesis.hash();
+  Blocks[GenesisHash] = std::move(Entry);
+  Tip = GenesisHash;
+  TipHeight = 0;
+  ActiveChain.push_back(GenesisHash);
+
+  // Index genesis transactions (degenerate but uniform).
+  TxIndex[Genesis.Txs[0].txid()] =
+      TxLocation{GenesisHash, 0, Genesis.Header.Time, 0};
+  auto Applied = Utxo.applyTransaction(Genesis.Txs[0], 0);
+  assert(Applied && "genesis coinbase must apply");
+}
+
+uint32_t Blockchain::tipTime() const {
+  return Blocks.at(Tip).Blk.Header.Time;
+}
+
+double Blockchain::tipWork() const { return Blocks.at(Tip).ChainWork; }
+
+std::optional<BlockHash> Blockchain::blockHashAt(int Height) const {
+  if (Height < 0 || static_cast<size_t>(Height) >= ActiveChain.size())
+    return std::nullopt;
+  return ActiveChain[static_cast<size_t>(Height)];
+}
+
+const Block *Blockchain::blockByHash(const BlockHash &Hash) const {
+  auto It = Blocks.find(Hash);
+  return It == Blocks.end() ? nullptr : &It->second.Blk;
+}
+
+Status Blockchain::checkBlock(const Block &B) const {
+  if (!checkProofOfWork(B.hash().Hash, B.Header.Bits))
+    return makeError("block: proof of work is invalid");
+  if (B.Txs.empty())
+    return makeError("block: missing coinbase");
+  if (!B.Txs[0].isCoinbase())
+    return makeError("block: first transaction is not a coinbase");
+  for (size_t I = 1; I < B.Txs.size(); ++I)
+    if (B.Txs[I].isCoinbase())
+      return makeError("block: multiple coinbases");
+  if (merkleRootOfTxs(B.Txs) != B.Header.MerkleRoot)
+    return makeError("block: merkle root mismatch");
+  return Status::success();
+}
+
+Status Blockchain::connectBlock(IndexEntry &Entry) {
+  const Block &B = Entry.Blk;
+  BlockUndo Undo;
+  Amount Fees = 0;
+  // Validate and apply the non-coinbase transactions first so the
+  // coinbase can be checked against collected fees.
+  std::vector<TxUndo> Applied;
+  auto Abort = [&](size_t UpTo) {
+    for (size_t J = UpTo; J-- > 0;)
+      Utxo.undoTransaction(B.Txs[J + 1], Applied[J]);
+  };
+  for (size_t I = 1; I < B.Txs.size(); ++I) {
+    auto FeeOr =
+        checkTxInputs(B.Txs[I], Utxo, Entry.Height, Params.CoinbaseMaturity);
+    if (!FeeOr) {
+      Abort(Applied.size());
+      return FeeOr.takeError().withContext("block: tx " + std::to_string(I));
+    }
+    Fees += *FeeOr;
+    auto UndoOr = Utxo.applyTransaction(B.Txs[I], Entry.Height);
+    if (!UndoOr) {
+      Abort(Applied.size());
+      return UndoOr.takeError();
+    }
+    Applied.push_back(UndoOr.takeValue());
+  }
+
+  if (B.Txs[0].totalOutput() > Params.Subsidy + Fees) {
+    Abort(Applied.size());
+    return makeError("block: coinbase pays more than subsidy plus fees");
+  }
+
+  auto CoinbaseUndo = Utxo.applyTransaction(B.Txs[0], Entry.Height);
+  if (!CoinbaseUndo) {
+    Abort(Applied.size());
+    return CoinbaseUndo.takeError();
+  }
+
+  Undo.Txs.push_back(CoinbaseUndo.takeValue());
+  for (auto &U : Applied)
+    Undo.Txs.push_back(std::move(U));
+  Entry.Undo = std::move(Undo);
+
+  // Connected: extend the active chain and the tx index.
+  BlockHash Hash = B.hash();
+  ActiveChain.push_back(Hash);
+  Tip = Hash;
+  TipHeight = Entry.Height;
+  for (size_t I = 0; I < B.Txs.size(); ++I)
+    TxIndex[B.Txs[I].txid()] =
+        TxLocation{Hash, Entry.Height, B.Header.Time, I};
+  return Status::success();
+}
+
+void Blockchain::disconnectTip() {
+  assert(ActiveChain.size() > 1 && "cannot disconnect genesis");
+  IndexEntry &Entry = Blocks.at(Tip);
+  const Block &B = Entry.Blk;
+  assert(Entry.Undo && "disconnecting a block without undo data");
+
+  // Undo in reverse order of application: non-coinbase txs then coinbase.
+  // Undo.Txs[0] is the coinbase; [1..] are the rest in block order.
+  for (size_t I = B.Txs.size(); I-- > 1;)
+    Utxo.undoTransaction(B.Txs[I], Entry.Undo->Txs[I]);
+  Utxo.undoTransaction(B.Txs[0], Entry.Undo->Txs[0]);
+  Entry.Undo.reset();
+
+  for (const Transaction &Tx : B.Txs)
+    TxIndex.erase(Tx.txid());
+
+  ActiveChain.pop_back();
+  Tip = ActiveChain.back();
+  TipHeight = static_cast<int>(ActiveChain.size()) - 1;
+}
+
+Status Blockchain::activateChain(const BlockHash &NewTipHash) {
+  // Collect the new branch back to a block on the active chain.
+  std::vector<BlockHash> Branch;
+  BlockHash Walk = NewTipHash;
+  while (true) {
+    const IndexEntry &E = Blocks.at(Walk);
+    if (static_cast<size_t>(E.Height) < ActiveChain.size() &&
+        ActiveChain[static_cast<size_t>(E.Height)] == Walk)
+      break; // Walk is on the active chain: the fork point.
+    Branch.push_back(Walk);
+    Walk = E.Parent;
+  }
+  const BlockHash ForkPoint = Walk;
+  const int ForkHeight = Blocks.at(ForkPoint).Height;
+
+  // Remember the blocks we disconnect in case the new branch fails.
+  std::vector<BlockHash> OldBranch(
+      ActiveChain.begin() + ForkHeight + 1, ActiveChain.end());
+
+  while (Tip != ForkPoint)
+    disconnectTip();
+
+  // Connect the new branch (Branch is tip-first).
+  for (size_t I = Branch.size(); I-- > 0;) {
+    IndexEntry &E = Blocks.at(Branch[I]);
+    if (auto S = connectBlock(E); !S) {
+      // Invalidate the failing branch and restore the old chain.
+      for (size_t J = 0; J <= I; ++J)
+        Blocks.at(Branch[J]).Invalid = true;
+      while (Tip != ForkPoint)
+        disconnectTip();
+      for (const BlockHash &H : OldBranch) {
+        Status Restored = connectBlock(Blocks.at(H));
+        assert(Restored.hasValue() && "restoring the old chain must succeed");
+        (void)Restored;
+      }
+      return S.takeError().withContext("reorg: new branch is invalid");
+    }
+  }
+  return Status::success();
+}
+
+Status Blockchain::submitBlock(const Block &B) {
+  BlockHash Hash = B.hash();
+  if (Blocks.count(Hash))
+    return Status::success(); // Duplicate; idempotent.
+  TC_TRY(checkBlock(B));
+
+  auto ParentIt = Blocks.find(B.Header.Prev);
+  if (ParentIt == Blocks.end())
+    return makeError("block: unknown parent " + B.Header.Prev.toHex());
+  if (ParentIt->second.Invalid)
+    return makeError("block: parent is invalid");
+
+  if (B.Header.Bits != nextBitsFor(ParentIt->first))
+    return makeError("block: incorrect difficulty bits");
+
+  IndexEntry Entry;
+  Entry.Blk = B;
+  Entry.Parent = B.Header.Prev;
+  Entry.Height = ParentIt->second.Height + 1;
+  Entry.ChainWork = ParentIt->second.ChainWork + blockWork(B.Header.Bits);
+  double NewWork = Entry.ChainWork;
+  Blocks[Hash] = std::move(Entry);
+
+  // Most-work rule; first-seen wins ties.
+  if (NewWork > tipWork())
+    return activateChain(Hash);
+  return Status::success();
+}
+
+uint32_t Blockchain::nextBitsFor(const BlockHash &Parent) const {
+  const IndexEntry &ParentEntry = Blocks.at(Parent);
+  if (!Params.Retargeting)
+    return Params.GenesisBits;
+  int ChildHeight = ParentEntry.Height + 1;
+  if (ChildHeight % Params.RetargetInterval != 0)
+    return ParentEntry.Blk.Header.Bits;
+  // Walk back Interval blocks to find the window's first timestamp.
+  const IndexEntry *First = &ParentEntry;
+  for (int I = 0; I < Params.RetargetInterval - 1 && First->Height > 0; ++I)
+    First = &Blocks.at(First->Parent);
+  double Actual = static_cast<double>(ParentEntry.Blk.Header.Time) -
+                  static_cast<double>(First->Blk.Header.Time);
+  if (Actual < 1.0)
+    Actual = 1.0;
+  return retarget(ParentEntry.Blk.Header.Bits, Actual,
+                  Params.TargetSpacingSeconds, Params.RetargetInterval);
+}
+
+uint32_t Blockchain::nextBits() const { return nextBitsFor(Tip); }
+
+int Blockchain::confirmations(const TxId &Tx) const {
+  auto It = TxIndex.find(Tx);
+  if (It == TxIndex.end())
+    return 0;
+  return TipHeight - It->second.Height + 1;
+}
+
+std::optional<TxLocation> Blockchain::locate(const TxId &Tx) const {
+  auto It = TxIndex.find(Tx);
+  if (It == TxIndex.end())
+    return std::nullopt;
+  return It->second;
+}
+
+Result<bool> Blockchain::isSpent(const OutPoint &Point) const {
+  auto It = TxIndex.find(Point.Tx);
+  if (It == TxIndex.end())
+    return makeError("spent: transaction " + Point.Tx.toHex() +
+                     " is not on the best chain");
+  const Block &B = Blocks.at(It->second.InBlock).Blk;
+  const Transaction &Tx = B.Txs[It->second.IndexInBlock];
+  if (Point.Index >= Tx.Outputs.size())
+    return makeError("spent: output index out of range");
+  return !Utxo.contains(Point);
+}
+
+const Transaction *Blockchain::findTransaction(const TxId &Tx) const {
+  auto It = TxIndex.find(Tx);
+  if (It == TxIndex.end())
+    return nullptr;
+  const Block &B = Blocks.at(It->second.InBlock).Blk;
+  return &B.Txs[It->second.IndexInBlock];
+}
+
+} // namespace bitcoin
+} // namespace typecoin

@@ -1,0 +1,112 @@
+//===- bitcoin/mempool.cpp - The memory pool --------------------------------===//
+
+#include "bitcoin/mempool.h"
+
+#include <algorithm>
+
+namespace typecoin {
+namespace bitcoin {
+
+Status Mempool::acceptTransaction(const Transaction &Tx,
+                                  const Blockchain &Chain) {
+  TxId Id = Tx.txid();
+  if (Pool.count(Id))
+    return Status::success(); // Already known.
+  if (Tx.isCoinbase())
+    return makeError("mempool: coinbase transactions are not relayable");
+  if (Policy.RequireStandard)
+    TC_TRY(checkStandard(Tx));
+
+  // Conflict check against other pool spends.
+  for (const TxIn &In : Tx.Inputs) {
+    auto It = SpentBy.find(In.Prevout);
+    if (It != SpentBy.end())
+      return makeError("mempool: input " + In.Prevout.toString() +
+                       " already spent by pool transaction " +
+                       It->second.toHex());
+  }
+
+  // Build a view: confirmed UTXO plus outputs of pool transactions.
+  UtxoSet View = Chain.utxo();
+  for (const auto &[PoolId, Entry] : Pool) {
+    for (uint32_t I = 0; I < Entry.Tx.Outputs.size(); ++I)
+      View.add(OutPoint{PoolId, I},
+               Coin{Entry.Tx.Outputs[I], Chain.height() + 1, false});
+    for (const TxIn &In : Entry.Tx.Inputs)
+      if (View.contains(In.Prevout)) {
+        auto Spent = View.spend(In.Prevout);
+        (void)Spent;
+      }
+  }
+
+  TC_UNWRAP(Fee, checkTxInputs(Tx, View, Chain.height() + 1,
+                               Chain.params().CoinbaseMaturity));
+  if (Fee < Policy.MinRelayFee)
+    return makeError("mempool: fee " + std::to_string(Fee) +
+                     " below relay minimum " +
+                     std::to_string(Policy.MinRelayFee));
+
+  Entry E;
+  E.Tx = Tx;
+  E.Fee = Fee;
+  E.Sequence = NextSequence++;
+  for (const TxIn &In : Tx.Inputs)
+    SpentBy[In.Prevout] = Id;
+  Pool[Id] = std::move(E);
+  return Status::success();
+}
+
+std::vector<Transaction> Mempool::snapshot() const {
+  std::vector<const Entry *> Entries;
+  Entries.reserve(Pool.size());
+  for (const auto &[Id, E] : Pool)
+    Entries.push_back(&E);
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry *A, const Entry *B) {
+              return A->Sequence < B->Sequence;
+            });
+  std::vector<Transaction> Out;
+  Out.reserve(Entries.size());
+  for (const Entry *E : Entries)
+    Out.push_back(E->Tx);
+  return Out;
+}
+
+void Mempool::removeForBlock(const Block &B) {
+  for (const Transaction &Tx : B.Txs) {
+    TxId Id = Tx.txid();
+    auto It = Pool.find(Id);
+    if (It != Pool.end()) {
+      for (const TxIn &In : It->second.Tx.Inputs)
+        SpentBy.erase(In.Prevout);
+      Pool.erase(It);
+    }
+    // Evict conflicting spends of the same outpoints.
+    if (Tx.isCoinbase())
+      continue;
+    for (const TxIn &In : Tx.Inputs) {
+      auto SpentIt = SpentBy.find(In.Prevout);
+      if (SpentIt == SpentBy.end())
+        continue;
+      TxId Conflict = SpentIt->second;
+      auto PoolIt = Pool.find(Conflict);
+      if (PoolIt != Pool.end()) {
+        for (const TxIn &CIn : PoolIt->second.Tx.Inputs)
+          SpentBy.erase(CIn.Prevout);
+        Pool.erase(PoolIt);
+      } else {
+        SpentBy.erase(SpentIt);
+      }
+    }
+  }
+}
+
+std::optional<Amount> Mempool::feeOf(const TxId &Id) const {
+  auto It = Pool.find(Id);
+  if (It == Pool.end())
+    return std::nullopt;
+  return It->second.Fee;
+}
+
+} // namespace bitcoin
+} // namespace typecoin

@@ -1,0 +1,83 @@
+//===- bitcoin/merkle.cpp - Merkle trees -----------------------------------===//
+
+#include "bitcoin/merkle.h"
+
+#include <cassert>
+
+namespace typecoin {
+namespace bitcoin {
+
+using crypto::Digest32;
+
+static Digest32 hashPair(const Digest32 &L, const Digest32 &R) {
+  Bytes Buf;
+  Buf.insert(Buf.end(), L.begin(), L.end());
+  Buf.insert(Buf.end(), R.begin(), R.end());
+  return crypto::sha256d(Buf);
+}
+
+Digest32 merkleRoot(const std::vector<Digest32> &Leaves) {
+  if (Leaves.empty())
+    return Digest32{};
+  std::vector<Digest32> Level = Leaves;
+  while (Level.size() > 1) {
+    std::vector<Digest32> Next;
+    for (size_t I = 0; I < Level.size(); I += 2) {
+      const Digest32 &L = Level[I];
+      // Bitcoin duplicates the last node when the level is odd.
+      const Digest32 &R = (I + 1 < Level.size()) ? Level[I + 1] : Level[I];
+      Next.push_back(hashPair(L, R));
+    }
+    Level = std::move(Next);
+  }
+  return Level[0];
+}
+
+Digest32 merkleRootOfTxs(const std::vector<Transaction> &Txs) {
+  std::vector<Digest32> Leaves;
+  Leaves.reserve(Txs.size());
+  for (const Transaction &Tx : Txs)
+    Leaves.push_back(Tx.txid().Hash);
+  return merkleRoot(Leaves);
+}
+
+MerkleProof merkleProve(const std::vector<Digest32> &Leaves, size_t Index) {
+  assert(Index < Leaves.size() && "merkleProve: index out of range");
+  MerkleProof Proof;
+  std::vector<Digest32> Level = Leaves;
+  size_t Pos = Index;
+  while (Level.size() > 1) {
+    size_t SiblingPos = (Pos % 2 == 0) ? Pos + 1 : Pos - 1;
+    if (SiblingPos >= Level.size())
+      SiblingPos = Pos; // Odd level: sibling is the duplicated self.
+    Proof.Siblings.push_back(Level[SiblingPos]);
+    Proof.IsRight.push_back(Pos % 2 == 1);
+
+    std::vector<Digest32> Next;
+    for (size_t I = 0; I < Level.size(); I += 2) {
+      const Digest32 &L = Level[I];
+      const Digest32 &R = (I + 1 < Level.size()) ? Level[I + 1] : Level[I];
+      Next.push_back(hashPair(L, R));
+    }
+    Level = std::move(Next);
+    Pos /= 2;
+  }
+  return Proof;
+}
+
+bool merkleVerify(const Digest32 &Leaf, const MerkleProof &Proof,
+                  const Digest32 &Root) {
+  if (Proof.Siblings.size() != Proof.IsRight.size())
+    return false;
+  Digest32 Acc = Leaf;
+  for (size_t I = 0; I < Proof.Siblings.size(); ++I) {
+    if (Proof.IsRight[I])
+      Acc = hashPair(Proof.Siblings[I], Acc);
+    else
+      Acc = hashPair(Acc, Proof.Siblings[I]);
+  }
+  return Acc == Root;
+}
+
+} // namespace bitcoin
+} // namespace typecoin

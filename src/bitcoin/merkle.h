@@ -1,0 +1,51 @@
+//===- bitcoin/merkle.h - Merkle trees --------------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bitcoin's transaction Merkle tree: each block commits to its
+/// transaction set through a Merkle root in the header, so the chain of
+/// headers alone fixes the full transaction history (paper Section 2,
+/// item 1: "Each block contains a cryptographic hash of the previous
+/// block, thereby turning the set into a tree").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_BITCOIN_MERKLE_H
+#define TYPECOIN_BITCOIN_MERKLE_H
+
+#include "bitcoin/transaction.h"
+
+#include <vector>
+
+namespace typecoin {
+namespace bitcoin {
+
+/// Merkle root of a list of leaf hashes (Bitcoin's odd-leaf duplication
+/// rule). An empty list yields the all-zero hash.
+crypto::Digest32 merkleRoot(const std::vector<crypto::Digest32> &Leaves);
+
+/// Merkle root over the txids of \p Txs.
+crypto::Digest32 merkleRootOfTxs(const std::vector<Transaction> &Txs);
+
+/// An inclusion proof: sibling hashes from leaf to root.
+struct MerkleProof {
+  std::vector<crypto::Digest32> Siblings;
+  /// Bit i set means the proved node is the right child at level i.
+  std::vector<bool> IsRight;
+};
+
+/// Produce a proof for \p Index; requires Index < Leaves.size().
+MerkleProof merkleProve(const std::vector<crypto::Digest32> &Leaves,
+                        size_t Index);
+
+/// Check a proof against a root.
+bool merkleVerify(const crypto::Digest32 &Leaf, const MerkleProof &Proof,
+                  const crypto::Digest32 &Root);
+
+} // namespace bitcoin
+} // namespace typecoin
+
+#endif // TYPECOIN_BITCOIN_MERKLE_H

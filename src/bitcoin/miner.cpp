@@ -1,0 +1,69 @@
+//===- bitcoin/miner.cpp - Block assembly and mining ------------------------===//
+
+#include "bitcoin/miner.h"
+
+#include "bitcoin/standard.h"
+
+namespace typecoin {
+namespace bitcoin {
+
+Block assembleBlock(const Blockchain &Chain, const Mempool &Pool,
+                    const crypto::KeyId &Payout, uint32_t Time) {
+  Block B;
+  B.Header.Version = 1;
+  B.Header.Prev = Chain.tipHash();
+  B.Header.Time = Time;
+  B.Header.Bits = Chain.nextBits();
+
+  Amount Fees = 0;
+  std::vector<Transaction> Txs = Pool.snapshot();
+  for (const Transaction &Tx : Txs) {
+    auto Fee = Pool.feeOf(Tx.txid());
+    Fees += Fee.value_or(0);
+  }
+
+  Transaction Coinbase;
+  TxIn In;
+  In.Prevout = OutPoint::null();
+  // Make coinbases unique per height (BIP 34 in spirit).
+  Script Tag;
+  Tag.pushInt(Chain.height() + 1);
+  In.ScriptSig = Tag;
+  Coinbase.Inputs.push_back(std::move(In));
+  TxOut Out;
+  Out.Value = Chain.params().Subsidy + Fees;
+  Out.ScriptPubKey = makeP2PKH(Payout);
+  Coinbase.Outputs.push_back(std::move(Out));
+
+  B.Txs.push_back(std::move(Coinbase));
+  for (Transaction &Tx : Txs)
+    B.Txs.push_back(std::move(Tx));
+  B.updateMerkleRoot();
+  return B;
+}
+
+bool mineBlock(Block &B, uint64_t MaxTries) {
+  for (uint64_t Try = 0; Try < MaxTries; ++Try) {
+    if (checkProofOfWork(B.hash().Hash, B.Header.Bits))
+      return true;
+    ++B.Header.Nonce;
+    if (B.Header.Nonce == 0) {
+      // Nonce space exhausted; perturb the timestamp and continue.
+      ++B.Header.Time;
+    }
+  }
+  return false;
+}
+
+Result<Block> mineAndSubmit(Blockchain &Chain, Mempool &Pool,
+                            const crypto::KeyId &Payout, uint32_t Time) {
+  Block B = assembleBlock(Chain, Pool, Payout, Time);
+  if (!mineBlock(B))
+    return makeError("miner: exhausted the search space");
+  TC_TRY(Chain.submitBlock(B));
+  Pool.removeForBlock(B);
+  return B;
+}
+
+} // namespace bitcoin
+} // namespace typecoin

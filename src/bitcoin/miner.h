@@ -1,0 +1,42 @@
+//===- bitcoin/miner.h - Block assembly and mining --------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block assembly from the mempool and nonce-grinding proof-of-work
+/// ("the miner can change the hash by altering a nonce, but no strategy
+/// for hitting the target better than brute force is known" — paper
+/// Section 2, footnote 3). Targets in tests are regtest-easy so blocks
+/// mine in microseconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_BITCOIN_MINER_H
+#define TYPECOIN_BITCOIN_MINER_H
+
+#include "bitcoin/chain.h"
+#include "bitcoin/mempool.h"
+
+namespace typecoin {
+namespace bitcoin {
+
+/// Assemble a candidate block on the current tip: coinbase paying
+/// subsidy + fees to \p Payout, then the mempool snapshot.
+Block assembleBlock(const Blockchain &Chain, const Mempool &Pool,
+                    const crypto::KeyId &Payout, uint32_t Time);
+
+/// Grind the nonce until the header hash meets its target. Returns false
+/// if \p MaxTries is exhausted (only plausible at real difficulties).
+bool mineBlock(Block &B, uint64_t MaxTries = UINT64_MAX);
+
+/// Convenience: assemble, mine, submit, and clear the mempool. Returns
+/// the connected block.
+Result<Block> mineAndSubmit(Blockchain &Chain, Mempool &Pool,
+                            const crypto::KeyId &Payout, uint32_t Time);
+
+} // namespace bitcoin
+} // namespace typecoin
+
+#endif // TYPECOIN_BITCOIN_MINER_H

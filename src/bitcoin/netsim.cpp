@@ -1,0 +1,176 @@
+//===- bitcoin/netsim.cpp - Network-level simulation ------------------------===//
+
+#include "bitcoin/netsim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace typecoin {
+namespace bitcoin {
+
+std::vector<ConfirmRecord> simulateConfirmations(
+    const NetSimParams &Params, const std::vector<double> &SubmitTimes,
+    int MaxConfirmations, uint64_t Seed) {
+  assert(MaxConfirmations >= 1);
+  Rng Rand(Seed);
+
+  // Pending transactions ordered by eligibility time.
+  struct Pending {
+    double Eligible;
+    std::size_t Index;
+    bool operator<(const Pending &O) const {
+      if (Eligible != O.Eligible)
+        return Eligible < O.Eligible;
+      return Index < O.Index;
+    }
+  };
+  std::vector<Pending> Queue;
+  Queue.reserve(SubmitTimes.size());
+  for (std::size_t I = 0; I < SubmitTimes.size(); ++I)
+    Queue.push_back({SubmitTimes[I] + Params.TxPropagationDelaySec, I});
+  std::sort(Queue.begin(), Queue.end());
+
+  std::vector<ConfirmRecord> Records(SubmitTimes.size());
+  for (std::size_t I = 0; I < SubmitTimes.size(); ++I)
+    Records[I].SubmitTime = SubmitTimes[I];
+
+  // Transactions awaiting their k-th confirmation: (index, confirmations
+  // so far).
+  std::deque<std::size_t> AwaitingConfirm;
+
+  double Clock = 0.0;
+  double PrevBlockTime = 0.0; // Start of the in-progress block's work.
+  std::size_t QueuePos = 0;
+  std::size_t Unfinished = SubmitTimes.size();
+
+  while (Unfinished > 0) {
+    double Interval = Params.Process == BlockProcess::Poisson
+                          ? Rand.nextExponential(Params.MeanBlockIntervalSec)
+                          : Params.MeanBlockIntervalSec;
+    double BlockTime = Clock + Interval;
+
+    // Count confirmations for already-included transactions.
+    for (auto It = AwaitingConfirm.begin(); It != AwaitingConfirm.end();) {
+      ConfirmRecord &R = Records[*It];
+      R.ConfirmTimes.push_back(BlockTime);
+      if (static_cast<int>(R.ConfirmTimes.size()) + 1 > MaxConfirmations) {
+        // Inclusion itself was confirmation #1.
+        It = AwaitingConfirm.erase(It);
+        --Unfinished;
+      } else {
+        ++It;
+      }
+    }
+
+    // Include eligible transactions.
+    double Cutoff = Params.Inclusion == InclusionPolicy::NextBlock
+                        ? BlockTime
+                        : PrevBlockTime;
+    std::size_t Space = Params.MaxTxPerBlock;
+    while (QueuePos < Queue.size() && Space > 0 &&
+           Queue[QueuePos].Eligible <= Cutoff) {
+      std::size_t Idx = Queue[QueuePos].Index;
+      ConfirmRecord &R = Records[Idx];
+      R.InclusionTime = BlockTime;
+      R.ConfirmTimes.clear();
+      R.ConfirmTimes.push_back(BlockTime); // k = 1 at inclusion.
+      if (MaxConfirmations == 1)
+        --Unfinished;
+      else
+        AwaitingConfirm.push_back(Idx);
+      ++QueuePos;
+      --Space;
+    }
+
+    PrevBlockTime = BlockTime;
+    Clock = BlockTime;
+  }
+  return Records;
+}
+
+LatencyStats summarize(std::vector<double> Samples) {
+  LatencyStats Stats;
+  if (Samples.empty())
+    return Stats;
+  std::sort(Samples.begin(), Samples.end());
+  double Sum = 0.0;
+  for (double S : Samples)
+    Sum += S;
+  Stats.Mean = Sum / static_cast<double>(Samples.size());
+  Stats.Median = Samples[Samples.size() / 2];
+  Stats.P95 = Samples[static_cast<std::size_t>(
+      std::ceil(static_cast<double>(Samples.size() - 1) * 0.95))];
+  return Stats;
+}
+
+double attackerSuccessMonteCarlo(double Q, int Z, int Trials,
+                                 uint64_t Seed) {
+  assert(Q > 0.0 && Q < 0.5 && "attacker must be a minority");
+  Rng Rand(Seed);
+  int Successes = 0;
+  for (int T = 0; T < Trials; ++T) {
+    // Phase 1: the merchant waits for Z honest confirmations while the
+    // attacker mines privately. Each new block is the attacker's with
+    // probability Q.
+    int AttackerBlocks = 0;
+    int HonestBlocks = 0;
+    while (HonestBlocks < Z) {
+      if (Rand.nextBool(Q))
+        ++AttackerBlocks;
+      else
+        ++HonestBlocks;
+    }
+    // Phase 2: gambler's ruin. In Nakamoto's model the attacker
+    // succeeds on *catching up* (reaching a tie: he then publishes and
+    // wins the release race). Truncate hopeless deficits.
+    int Deficit = Z - AttackerBlocks;
+    if (Deficit <= 0) {
+      ++Successes;
+      continue;
+    }
+    while (Deficit > 0 && Deficit < 60) {
+      if (Rand.nextBool(Q))
+        --Deficit;
+      else
+        ++Deficit;
+    }
+    if (Deficit <= 0)
+      ++Successes;
+  }
+  return static_cast<double>(Successes) / Trials;
+}
+
+double attackerSuccessAnalytic(double Q, int Z) {
+  // Nakamoto (2008), Section 11.
+  double P = 1.0 - Q;
+  double Lambda = Z * (Q / P);
+  double Sum = 1.0;
+  double PoissonTerm = std::exp(-Lambda);
+  for (int K = 0; K <= Z; ++K) {
+    if (K > 0)
+      PoissonTerm *= Lambda / K;
+    Sum -= PoissonTerm * (1.0 - std::pow(Q / P, Z - K));
+  }
+  return Sum;
+}
+
+double attackerSuccessExact(double Q, int Z) {
+  // While the honest chain accumulates Z blocks, the attacker's progress
+  // K is negative-binomial: P(K = k) = C(k + Z - 1, k) p^Z q^k. From a
+  // deficit of Z - k the attacker catches up with probability
+  // (q/p)^(Z-k) (gambler's ruin, with a tie counting as a win).
+  double P = 1.0 - Q;
+  double Sum = 0.0;
+  double NBTerm = std::pow(P, Z); // k = 0 term: C(Z-1, 0) p^Z.
+  for (int K = 0; K <= Z; ++K) {
+    if (K > 0)
+      NBTerm *= Q * (K + Z - 1) / static_cast<double>(K);
+    Sum += NBTerm * (1.0 - std::pow(Q / P, Z - K));
+  }
+  return 1.0 - Sum;
+}
+
+} // namespace bitcoin
+} // namespace typecoin

@@ -1,0 +1,160 @@
+//===- bitcoin/network.cpp - A message-level network of full nodes -----------===//
+
+#include "bitcoin/network.h"
+
+namespace typecoin {
+namespace bitcoin {
+
+LocalNetwork::LocalNetwork(ChainParams ParamsIn, size_t NumNodes,
+                           double LatencySeconds)
+    : Params(std::move(ParamsIn)), Latency(LatencySeconds) {
+  Nodes.reserve(NumNodes);
+  for (size_t I = 0; I < NumNodes; ++I)
+    Nodes.push_back(std::make_unique<NodeState>(Params));
+}
+
+bool LocalNetwork::linked(size_t A, size_t B) const {
+  if (A == B)
+    return false;
+  if (!Partition)
+    return true;
+  return (A < *Partition) == (B < *Partition);
+}
+
+void LocalNetwork::partitionAt(size_t Boundary) { Partition = Boundary; }
+
+void LocalNetwork::heal(double Now) {
+  Partition.reset();
+  // Cross-announce every node's active chain (skipping genesis, which
+  // everyone shares) so the sides reconcile.
+  for (size_t From = 0; From < Nodes.size(); ++From) {
+    const Blockchain &Chain = Nodes[From]->Chain;
+    for (int H = 1; H <= Chain.height(); ++H) {
+      auto Hash = Chain.blockHashAt(H);
+      if (!Hash)
+        continue;
+      const Block *B = Chain.blockByHash(*Hash);
+      if (B)
+        broadcastBlock(From, *B, Now);
+    }
+  }
+}
+
+Status LocalNetwork::submitTransaction(size_t Node, const Transaction &Tx,
+                                       double Now) {
+  TC_TRY(Nodes[Node]->Pool.acceptTransaction(Tx, Nodes[Node]->Chain));
+  Nodes[Node]->SeenTxs.insert(Tx.txid());
+  broadcastTx(Node, Tx, Now);
+  return Status::success();
+}
+
+Result<Block> LocalNetwork::mineAt(size_t Node, const crypto::KeyId &Payout,
+                                   double Now) {
+  NodeState &N = *Nodes[Node];
+  Block B = assembleBlock(N.Chain, N.Pool, Payout,
+                          static_cast<uint32_t>(Now));
+  if (!mineBlock(B))
+    return makeError("network: mining failed");
+  TC_TRY(N.Chain.submitBlock(B));
+  N.Pool.removeForBlock(B);
+  N.SeenBlocks.insert(B.hash());
+  broadcastBlock(Node, B, Now);
+  return B;
+}
+
+void LocalNetwork::broadcastBlock(size_t From, const Block &B, double Now) {
+  for (size_t Dest = 0; Dest < Nodes.size(); ++Dest) {
+    if (!linked(From, Dest))
+      continue;
+    Message M;
+    M.Time = Now + Latency;
+    M.Seq = NextSeq++;
+    M.Dest = Dest;
+    M.From = From;
+    M.Blk = B;
+    Queue.push(std::move(M));
+  }
+}
+
+void LocalNetwork::broadcastTx(size_t From, const Transaction &Tx,
+                               double Now) {
+  for (size_t Dest = 0; Dest < Nodes.size(); ++Dest) {
+    if (!linked(From, Dest))
+      continue;
+    Message M;
+    M.Time = Now + Latency;
+    M.Seq = NextSeq++;
+    M.Dest = Dest;
+    M.From = From;
+    M.Tx = Tx;
+    Queue.push(std::move(M));
+  }
+}
+
+void LocalNetwork::acceptBlock(size_t Node, const Block &B, double Now) {
+  NodeState &N = *Nodes[Node];
+  BlockHash Hash = B.hash();
+  if (N.SeenBlocks.count(Hash))
+    return;
+
+  // Unknown parent: hold as an orphan until it shows up.
+  if (!N.Chain.blockByHash(B.Header.Prev)) {
+    N.Orphans.emplace(B.Header.Prev, B);
+    return;
+  }
+
+  if (!N.Chain.submitBlock(B))
+    return; // Invalid for this node; do not relay.
+  N.SeenBlocks.insert(Hash);
+  N.Pool.removeForBlock(B);
+  broadcastBlock(Node, B, Now);
+
+  // Any orphans waiting on this block can now be tried.
+  auto [Begin, End] = N.Orphans.equal_range(Hash);
+  std::vector<Block> Ready;
+  for (auto It = Begin; It != End; ++It)
+    Ready.push_back(It->second);
+  N.Orphans.erase(Begin, End);
+  for (const Block &Child : Ready)
+    acceptBlock(Node, Child, Now);
+}
+
+void LocalNetwork::acceptTx(size_t Node, const Transaction &Tx,
+                            double Now) {
+  NodeState &N = *Nodes[Node];
+  TxId Id = Tx.txid();
+  if (N.SeenTxs.count(Id))
+    return;
+  if (!N.Pool.acceptTransaction(Tx, N.Chain))
+    return;
+  N.SeenTxs.insert(Id);
+  broadcastTx(Node, Tx, Now);
+}
+
+size_t LocalNetwork::run() {
+  size_t Processed = 0;
+  while (!Queue.empty()) {
+    Message M = Queue.top();
+    Queue.pop();
+    ++Processed;
+    // A link that was up at send time may be down now; drop crossing
+    // traffic while partitioned.
+    if (Partition && !linked(M.From, M.Dest))
+      continue;
+    if (M.Blk)
+      acceptBlock(M.Dest, *M.Blk, M.Time);
+    else if (M.Tx)
+      acceptTx(M.Dest, *M.Tx, M.Time);
+  }
+  return Processed;
+}
+
+bool LocalNetwork::converged() const {
+  for (size_t I = 1; I < Nodes.size(); ++I)
+    if (!(Nodes[I]->Chain.tipHash() == Nodes[0]->Chain.tipHash()))
+      return false;
+  return true;
+}
+
+} // namespace bitcoin
+} // namespace typecoin

@@ -1,0 +1,114 @@
+//===- bitcoin/network.h - A message-level network of full nodes -*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A discrete-event, message-level network of full nodes: every node
+/// runs its own \ref Blockchain and \ref Mempool; blocks and
+/// transactions propagate along links with latencies; nodes relay what
+/// they accept and hold orphan blocks until parents arrive.
+///
+/// This realizes, in the small, the dynamics the paper relies on:
+/// "when a new block is announced, a miner's incentive is always to
+/// restart work on a successor to the new block" (Section 2, item 4) —
+/// forks arise from racing miners or partitions and resolve to the
+/// longest branch as blocks propagate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_BITCOIN_NETWORK_H
+#define TYPECOIN_BITCOIN_NETWORK_H
+
+#include "bitcoin/miner.h"
+
+#include <memory>
+#include <queue>
+#include <set>
+
+namespace typecoin {
+namespace bitcoin {
+
+/// A network of full nodes with latency-delayed relay.
+class LocalNetwork {
+public:
+  /// Create \p NumNodes nodes, fully meshed at \p LatencySeconds per
+  /// hop, each with an identical genesis under \p Params.
+  LocalNetwork(ChainParams Params, size_t NumNodes,
+               double LatencySeconds = 2.0);
+
+  size_t size() const { return Nodes.size(); }
+
+  const Blockchain &chain(size_t Node) const {
+    return Nodes[Node]->Chain;
+  }
+  const Mempool &mempool(size_t Node) const { return Nodes[Node]->Pool; }
+
+  /// Sever every link crossing the two groups (by node index predicate:
+  /// nodes < Boundary vs the rest).
+  void partitionAt(size_t Boundary);
+  /// Restore the full mesh and cross-announce every node's tip chain so
+  /// the sides reconcile.
+  void heal(double Now);
+
+  /// Submit a transaction at a node (enters its mempool and relays).
+  Status submitTransaction(size_t Node, const Transaction &Tx, double Now);
+
+  /// Mine one block at \p Node on its current tip, then broadcast.
+  /// \p Now is the simulation time (also the block timestamp).
+  Result<Block> mineAt(size_t Node, const crypto::KeyId &Payout,
+                       double Now);
+
+  /// Deliver every in-flight message (with its scheduled delay).
+  /// Returns the number of messages processed.
+  size_t run();
+
+  /// True when every node reports the same tip.
+  bool converged() const;
+
+private:
+  struct NodeState {
+    explicit NodeState(const ChainParams &Params) : Chain(Params) {}
+    Blockchain Chain;
+    Mempool Pool;
+    /// Orphans waiting for a parent, keyed by the missing parent hash.
+    std::multimap<BlockHash, Block> Orphans;
+    std::set<BlockHash> SeenBlocks;
+    std::set<TxId> SeenTxs;
+  };
+
+  struct Message {
+    double Time = 0;
+    uint64_t Seq = 0; ///< FIFO tiebreaker.
+    size_t Dest = 0;
+    size_t From = 0;
+    std::optional<Block> Blk;
+    std::optional<Transaction> Tx;
+
+    bool operator>(const Message &O) const {
+      if (Time != O.Time)
+        return Time > O.Time;
+      return Seq > O.Seq;
+    }
+  };
+
+  bool linked(size_t A, size_t B) const;
+  void broadcastBlock(size_t From, const Block &B, double Now);
+  void broadcastTx(size_t From, const Transaction &Tx, double Now);
+  void acceptBlock(size_t Node, const Block &B, double Now);
+  void acceptTx(size_t Node, const Transaction &Tx, double Now);
+
+  ChainParams Params;
+  double Latency;
+  std::vector<std::unique_ptr<NodeState>> Nodes;
+  std::optional<size_t> Partition; ///< Boundary when partitioned.
+  std::priority_queue<Message, std::vector<Message>, std::greater<>>
+      Queue;
+  uint64_t NextSeq = 0;
+};
+
+} // namespace bitcoin
+} // namespace typecoin
+
+#endif // TYPECOIN_BITCOIN_NETWORK_H

@@ -1,0 +1,96 @@
+//===- bitcoin/pow.cpp - Proof of work and difficulty ----------------------===//
+
+#include "bitcoin/pow.h"
+
+#include <cmath>
+
+namespace typecoin {
+namespace bitcoin {
+
+using crypto::U256;
+
+U256 compactToTarget(uint32_t Bits) {
+  uint32_t Exponent = Bits >> 24;
+  uint32_t Mantissa = Bits & 0x007fffff;
+  if (Bits & 0x00800000)
+    return U256::zero(); // Negative targets are invalid.
+  U256 Target(Mantissa);
+  if (Exponent <= 3) {
+    for (uint32_t I = 0; I < (3 - Exponent) * 8; ++I)
+      Target.shr1();
+    return Target;
+  }
+  uint32_t Shift = (Exponent - 3) * 8;
+  if (Shift >= 256 || (Target.bitLength() + Shift) > 256)
+    return U256::zero(); // Overflow.
+  for (uint32_t I = 0; I < Shift; ++I)
+    Target.shl1();
+  return Target;
+}
+
+uint32_t targetToCompact(const U256 &Target) {
+  unsigned Bits = Target.bitLength();
+  if (Bits == 0)
+    return 0;
+  uint32_t Exponent = (Bits + 7) / 8;
+  U256 Shifted = Target;
+  if (Exponent <= 3) {
+    for (unsigned I = 0; I < (3 - Exponent) * 8; ++I)
+      Shifted.shl1();
+  } else {
+    for (unsigned I = 0; I < (Exponent - 3) * 8; ++I)
+      Shifted.shr1();
+  }
+  uint32_t Mantissa = static_cast<uint32_t>(Shifted.Limbs[0]) & 0x00ffffff;
+  // Keep the sign bit clear.
+  if (Mantissa & 0x00800000) {
+    Mantissa >>= 8;
+    ++Exponent;
+  }
+  return (Exponent << 24) | Mantissa;
+}
+
+bool checkProofOfWork(const crypto::Digest32 &Hash, uint32_t Bits) {
+  U256 Target = compactToTarget(Bits);
+  if (Target.isZero())
+    return false;
+  return U256::fromBytesBE(Hash) <= Target;
+}
+
+double blockWork(uint32_t Bits) {
+  U256 Target = compactToTarget(Bits);
+  if (Target.isZero())
+    return 0.0;
+  // 2^256 / (target + 1), in floating point via the target's magnitude.
+  double T = 0.0;
+  for (int I = 3; I >= 0; --I)
+    T = T * 0x1.0p64 + static_cast<double>(Target.Limbs[I]);
+  return 0x1.0p256 / (T + 1.0);
+}
+
+uint32_t retarget(uint32_t PrevBits, double ActualSeconds,
+                  double TargetSecondsPerBlock, int Interval) {
+  double Expected = TargetSecondsPerBlock * Interval;
+  double Ratio = ActualSeconds / Expected;
+  if (Ratio < 0.25)
+    Ratio = 0.25;
+  if (Ratio > 4.0)
+    Ratio = 4.0;
+
+  // Scale the target by Ratio using 16.16 fixed point to stay integral.
+  U256 Target = compactToTarget(PrevBits);
+  uint64_t Scale = static_cast<uint64_t>(Ratio * 65536.0);
+  // Target * Scale / 65536 via the wide product.
+  crypto::U512 Wide = crypto::mulWide(Target, U256(Scale));
+  U256 Scaled;
+  // Shift right by 16 bits across the limbs.
+  for (int I = 0; I < 4; ++I)
+    Scaled.Limbs[I] =
+        (Wide.Limbs[I] >> 16) | (Wide.Limbs[I + 1] << 48);
+  if (Scaled.isZero())
+    Scaled = U256::one();
+  return targetToCompact(Scaled);
+}
+
+} // namespace bitcoin
+} // namespace typecoin

@@ -1,0 +1,56 @@
+//===- bitcoin/pow.h - Proof of work and difficulty -------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proof-of-work: compact-bits target encoding, the hash-below-target
+/// check ("the block's cryptographic hash, viewed as an integer, must be
+/// less than a given target" — paper Section 2, footnote 3), per-block
+/// work, and difficulty retargeting ("Bitcoin dynamically adjusts the
+/// mining difficulty so that new blocks are always generated
+/// approximately every ten minutes" — footnote 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_BITCOIN_POW_H
+#define TYPECOIN_BITCOIN_POW_H
+
+#include "crypto/sha256.h"
+#include "crypto/u256.h"
+
+#include <cstdint>
+
+namespace typecoin {
+namespace bitcoin {
+
+/// Decode Bitcoin's compact "bits" form into a 256-bit target.
+/// Returns zero for malformed (negative/overflowing) encodings.
+crypto::U256 compactToTarget(uint32_t Bits);
+
+/// Encode a target into compact form (lossy: 3 bytes of mantissa).
+uint32_t targetToCompact(const crypto::U256 &Target);
+
+/// True if \p Hash, interpreted as a big-endian integer, is <= the
+/// target encoded by \p Bits (and the target is valid).
+bool checkProofOfWork(const crypto::Digest32 &Hash, uint32_t Bits);
+
+/// Expected work for one block at \p Bits, as a double:
+/// 2^256 / (target + 1). Doubles carry ~53 bits of precision, ample for
+/// comparing cumulative chain work in this simulator-scale substrate.
+double blockWork(uint32_t Bits);
+
+/// Difficulty retarget: given the time the last \p Interval blocks
+/// actually took and the per-block target spacing, scale the target
+/// (clamped to [1/4, 4x], as Bitcoin does).
+uint32_t retarget(uint32_t PrevBits, double ActualSeconds,
+                  double TargetSecondsPerBlock, int Interval);
+
+/// A very easy target for laptop-scale mining in tests and simulations.
+constexpr uint32_t RegtestBits = 0x207fffff;
+
+} // namespace bitcoin
+} // namespace typecoin
+
+#endif // TYPECOIN_BITCOIN_POW_H

@@ -1,0 +1,638 @@
+//===- bitcoin/script.cpp - The Bitcoin script language -------------------===//
+
+#include "bitcoin/script.h"
+
+#include "crypto/ripemd160.h"
+#include "crypto/sha256.h"
+#include "support/strings.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace typecoin {
+namespace bitcoin {
+
+using crypto::ripemd160;
+using crypto::sha256;
+using crypto::sha256d;
+
+Script &Script::push(const Bytes &Item) {
+  size_t N = Item.size();
+  if (N < OP_PUSHDATA1) {
+    Data.push_back(static_cast<uint8_t>(N));
+  } else if (N <= 0xff) {
+    Data.push_back(OP_PUSHDATA1);
+    Data.push_back(static_cast<uint8_t>(N));
+  } else if (N <= 0xffff) {
+    Data.push_back(OP_PUSHDATA2);
+    Data.push_back(static_cast<uint8_t>(N));
+    Data.push_back(static_cast<uint8_t>(N >> 8));
+  } else {
+    Data.push_back(OP_PUSHDATA4);
+    for (int I = 0; I < 4; ++I)
+      Data.push_back(static_cast<uint8_t>(N >> (8 * I)));
+  }
+  Data.insert(Data.end(), Item.begin(), Item.end());
+  return *this;
+}
+
+Script &Script::pushInt(int64_t Value) {
+  if (Value == 0)
+    return op(OP_0);
+  if (Value == -1)
+    return op(OP_1NEGATE);
+  if (Value >= 1 && Value <= 16)
+    return op(static_cast<Opcode>(OP_1 + Value - 1));
+  return push(scriptNumEncode(Value));
+}
+
+Result<std::vector<Script::Element>> Script::decode() const {
+  std::vector<Element> Out;
+  size_t Pos = 0;
+  while (Pos < Data.size()) {
+    uint8_t Op = Data[Pos++];
+    Element E;
+    E.Op = Op;
+    size_t PushLen = 0;
+    if (Op > 0 && Op < OP_PUSHDATA1) {
+      PushLen = Op;
+      E.IsPush = true;
+    } else if (Op == OP_PUSHDATA1) {
+      if (Pos + 1 > Data.size())
+        return makeError("script: truncated PUSHDATA1");
+      PushLen = Data[Pos++];
+      E.IsPush = true;
+    } else if (Op == OP_PUSHDATA2) {
+      if (Pos + 2 > Data.size())
+        return makeError("script: truncated PUSHDATA2");
+      PushLen = Data[Pos] | (static_cast<size_t>(Data[Pos + 1]) << 8);
+      Pos += 2;
+      E.IsPush = true;
+    } else if (Op == OP_PUSHDATA4) {
+      if (Pos + 4 > Data.size())
+        return makeError("script: truncated PUSHDATA4");
+      PushLen = 0;
+      for (int I = 3; I >= 0; --I)
+        PushLen = (PushLen << 8) | Data[Pos + static_cast<size_t>(I)];
+      Pos += 4;
+      E.IsPush = true;
+    } else if (Op == OP_0) {
+      // OP_0 pushes the empty byte string.
+      E.IsPush = true;
+    }
+    if (PushLen > 0) {
+      if (Pos + PushLen > Data.size())
+        return makeError("script: truncated push data");
+      E.Push.assign(Data.begin() + Pos, Data.begin() + Pos + PushLen);
+      Pos += PushLen;
+    }
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+std::string Script::toString() const {
+  auto Elems = decode();
+  if (!Elems)
+    return "<malformed script>";
+  std::vector<std::string> Parts;
+  for (const auto &E : *Elems) {
+    if (E.IsPush) {
+      Parts.push_back(E.Push.empty() ? "OP_0" : toHex(E.Push));
+      continue;
+    }
+    switch (E.Op) {
+    case OP_DUP:
+      Parts.push_back("OP_DUP");
+      break;
+    case OP_HASH160:
+      Parts.push_back("OP_HASH160");
+      break;
+    case OP_EQUALVERIFY:
+      Parts.push_back("OP_EQUALVERIFY");
+      break;
+    case OP_EQUAL:
+      Parts.push_back("OP_EQUAL");
+      break;
+    case OP_CHECKSIG:
+      Parts.push_back("OP_CHECKSIG");
+      break;
+    case OP_CHECKMULTISIG:
+      Parts.push_back("OP_CHECKMULTISIG");
+      break;
+    case OP_RETURN:
+      Parts.push_back("OP_RETURN");
+      break;
+    default:
+      if (E.Op >= OP_1 && E.Op <= OP_16)
+        Parts.push_back(strformat("OP_%d", E.Op - OP_1 + 1));
+      else
+        Parts.push_back(strformat("OP_0x%02x", E.Op));
+    }
+  }
+  return join(Parts, " ");
+}
+
+Bytes scriptNumEncode(int64_t Value) {
+  if (Value == 0)
+    return Bytes();
+  bool Negative = Value < 0;
+  uint64_t Abs = Negative ? static_cast<uint64_t>(-Value)
+                          : static_cast<uint64_t>(Value);
+  Bytes Out;
+  while (Abs) {
+    Out.push_back(static_cast<uint8_t>(Abs & 0xff));
+    Abs >>= 8;
+  }
+  // If the MSB would read as a sign bit, add a padding byte.
+  if (Out.back() & 0x80)
+    Out.push_back(Negative ? 0x80 : 0x00);
+  else if (Negative)
+    Out.back() |= 0x80;
+  return Out;
+}
+
+Result<int64_t> scriptNumDecode(const Bytes &Data, size_t MaxSize) {
+  if (Data.size() > MaxSize)
+    return makeError("script number overflow");
+  if (Data.empty())
+    return static_cast<int64_t>(0);
+  // Reject non-minimal encodings.
+  if ((Data.back() & 0x7f) == 0 &&
+      (Data.size() == 1 || !(Data[Data.size() - 2] & 0x80)))
+    return makeError("non-minimal script number");
+  uint64_t Abs = 0;
+  for (size_t I = 0; I < Data.size(); ++I)
+    Abs |= static_cast<uint64_t>(I + 1 == Data.size() ? Data[I] & 0x7f
+                                                      : Data[I])
+           << (8 * I);
+  bool Negative = Data.back() & 0x80;
+  return Negative ? -static_cast<int64_t>(Abs) : static_cast<int64_t>(Abs);
+}
+
+bool castToBool(const Bytes &Item) {
+  for (size_t I = 0; I < Item.size(); ++I) {
+    if (Item[I] != 0) {
+      // Negative zero (sign bit only in last byte) is false.
+      if (I == Item.size() - 1 && Item[I] == 0x80)
+        return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Bounded interpreter limits (Bitcoin consensus values).
+constexpr size_t MaxStackSize = 1000;
+constexpr size_t MaxScriptSize = 10000;
+constexpr size_t MaxOpsPerScript = 201;
+constexpr size_t MaxPushSize = 520;
+
+Bytes boolBytes(bool B) { return B ? Bytes{1} : Bytes(); }
+
+class Interpreter {
+public:
+  Interpreter(std::vector<Bytes> &Stack, const SignatureChecker &Checker)
+      : Stack(Stack), Checker(Checker) {}
+
+  Status run(const Script &S);
+
+private:
+  Status require(size_t N) const {
+    if (Stack.size() < N)
+      return makeError("script: stack underflow");
+    return Status::success();
+  }
+
+  Bytes popValue() {
+    Bytes V = std::move(Stack.back());
+    Stack.pop_back();
+    return V;
+  }
+
+  Result<int64_t> popNum() {
+    if (Stack.empty())
+      return makeError("script: stack underflow");
+    Bytes V = popValue();
+    return scriptNumDecode(V);
+  }
+
+  Status pushValue(Bytes V) {
+    if (Stack.size() + AltStack.size() >= MaxStackSize)
+      return makeError("script: stack size limit exceeded");
+    Stack.push_back(std::move(V));
+    return Status::success();
+  }
+
+  Status step(const Script::Element &E);
+
+  std::vector<Bytes> &Stack;
+  std::vector<Bytes> AltStack;
+  const SignatureChecker &Checker;
+  /// Each entry is true if that IF/ELSE branch is executing.
+  std::vector<bool> ExecStack;
+  size_t OpCount = 0;
+};
+
+Status Interpreter::run(const Script &S) {
+  if (S.size() > MaxScriptSize)
+    return makeError("script: size limit exceeded");
+  TC_UNWRAP(Elems, S.decode());
+  for (const auto &E : Elems) {
+    bool Executing =
+        std::find(ExecStack.begin(), ExecStack.end(), false) == ExecStack.end();
+    bool IsBranch = E.Op == OP_IF || E.Op == OP_NOTIF || E.Op == OP_ELSE ||
+                    E.Op == OP_ENDIF;
+    if (!Executing && !IsBranch && !E.IsPush)
+      continue;
+    if (!Executing && E.IsPush)
+      continue;
+    if (E.IsPush) {
+      if (E.Push.size() > MaxPushSize)
+        return makeError("script: push exceeds 520 bytes");
+      TC_TRY(pushValue(E.Push));
+      continue;
+    }
+    if (E.Op > OP_16 && ++OpCount > MaxOpsPerScript)
+      return makeError("script: op count limit exceeded");
+    if (IsBranch) {
+      switch (E.Op) {
+      case OP_IF:
+      case OP_NOTIF: {
+        bool Value = false;
+        if (Executing) {
+          TC_TRY(require(1));
+          Value = castToBool(popValue());
+          if (E.Op == OP_NOTIF)
+            Value = !Value;
+        }
+        ExecStack.push_back(Value);
+        break;
+      }
+      case OP_ELSE:
+        if (ExecStack.empty())
+          return makeError("script: OP_ELSE without OP_IF");
+        ExecStack.back() = !ExecStack.back();
+        break;
+      case OP_ENDIF:
+        if (ExecStack.empty())
+          return makeError("script: OP_ENDIF without OP_IF");
+        ExecStack.pop_back();
+        break;
+      default:
+        break;
+      }
+      continue;
+    }
+    TC_TRY(step(E));
+  }
+  if (!ExecStack.empty())
+    return makeError("script: unbalanced conditional");
+  return Status::success();
+}
+
+Status Interpreter::step(const Script::Element &E) {
+  if (E.Op >= OP_1 && E.Op <= OP_16)
+    return pushValue(scriptNumEncode(E.Op - OP_1 + 1));
+  switch (E.Op) {
+  case OP_NOP:
+    return Status::success();
+  case OP_1NEGATE:
+    return pushValue(scriptNumEncode(-1));
+  case OP_VERIFY: {
+    TC_TRY(require(1));
+    if (!castToBool(popValue()))
+      return makeError("script: OP_VERIFY failed");
+    return Status::success();
+  }
+  case OP_RETURN:
+    return makeError("script: OP_RETURN executed");
+
+  case OP_TOALTSTACK: {
+    TC_TRY(require(1));
+    AltStack.push_back(popValue());
+    return Status::success();
+  }
+  case OP_FROMALTSTACK: {
+    if (AltStack.empty())
+      return makeError("script: alt stack underflow");
+    Bytes V = std::move(AltStack.back());
+    AltStack.pop_back();
+    return pushValue(std::move(V));
+  }
+  case OP_2DROP: {
+    TC_TRY(require(2));
+    Stack.pop_back();
+    Stack.pop_back();
+    return Status::success();
+  }
+  case OP_2DUP: {
+    TC_TRY(require(2));
+    Bytes A = Stack[Stack.size() - 2], B = Stack[Stack.size() - 1];
+    TC_TRY(pushValue(std::move(A)));
+    return pushValue(std::move(B));
+  }
+  case OP_3DUP: {
+    TC_TRY(require(3));
+    for (size_t I = Stack.size() - 3, End = Stack.size(); I < End; ++I)
+      TC_TRY(pushValue(Bytes(Stack[I])));
+    return Status::success();
+  }
+  case OP_IFDUP: {
+    TC_TRY(require(1));
+    if (castToBool(Stack.back()))
+      return pushValue(Bytes(Stack.back()));
+    return Status::success();
+  }
+  case OP_DEPTH:
+    return pushValue(scriptNumEncode(static_cast<int64_t>(Stack.size())));
+  case OP_DROP: {
+    TC_TRY(require(1));
+    Stack.pop_back();
+    return Status::success();
+  }
+  case OP_DUP: {
+    TC_TRY(require(1));
+    return pushValue(Bytes(Stack.back()));
+  }
+  case OP_NIP: {
+    TC_TRY(require(2));
+    Stack.erase(Stack.end() - 2);
+    return Status::success();
+  }
+  case OP_OVER: {
+    TC_TRY(require(2));
+    return pushValue(Bytes(Stack[Stack.size() - 2]));
+  }
+  case OP_PICK:
+  case OP_ROLL: {
+    TC_TRY(require(1));
+    TC_UNWRAP(N, popNum());
+    if (N < 0 || static_cast<size_t>(N) >= Stack.size())
+      return makeError("script: PICK/ROLL index out of range");
+    size_t Idx = Stack.size() - 1 - static_cast<size_t>(N);
+    Bytes V = Stack[Idx];
+    if (E.Op == OP_ROLL)
+      Stack.erase(Stack.begin() + static_cast<ptrdiff_t>(Idx));
+    return pushValue(std::move(V));
+  }
+  case OP_ROT: {
+    TC_TRY(require(3));
+    std::swap(Stack[Stack.size() - 3], Stack[Stack.size() - 2]);
+    std::swap(Stack[Stack.size() - 2], Stack[Stack.size() - 1]);
+    return Status::success();
+  }
+  case OP_SWAP: {
+    TC_TRY(require(2));
+    std::swap(Stack[Stack.size() - 2], Stack[Stack.size() - 1]);
+    return Status::success();
+  }
+  case OP_TUCK: {
+    TC_TRY(require(2));
+    Bytes Top = Stack.back();
+    Stack.insert(Stack.end() - 2, std::move(Top));
+    return Status::success();
+  }
+  case OP_SIZE: {
+    TC_TRY(require(1));
+    return pushValue(
+        scriptNumEncode(static_cast<int64_t>(Stack.back().size())));
+  }
+
+  case OP_EQUAL:
+  case OP_EQUALVERIFY: {
+    TC_TRY(require(2));
+    Bytes B = popValue(), A = popValue();
+    bool Eq = A == B;
+    if (E.Op == OP_EQUALVERIFY) {
+      if (!Eq)
+        return makeError("script: OP_EQUALVERIFY failed");
+      return Status::success();
+    }
+    return pushValue(boolBytes(Eq));
+  }
+
+  case OP_1ADD:
+  case OP_1SUB:
+  case OP_NEGATE:
+  case OP_ABS:
+  case OP_NOT:
+  case OP_0NOTEQUAL: {
+    TC_UNWRAP(N, popNum());
+    int64_t R = 0;
+    switch (E.Op) {
+    case OP_1ADD:
+      R = N + 1;
+      break;
+    case OP_1SUB:
+      R = N - 1;
+      break;
+    case OP_NEGATE:
+      R = -N;
+      break;
+    case OP_ABS:
+      R = N < 0 ? -N : N;
+      break;
+    case OP_NOT:
+      R = N == 0;
+      break;
+    default:
+      R = N != 0;
+      break;
+    }
+    return pushValue(scriptNumEncode(R));
+  }
+
+  case OP_ADD:
+  case OP_SUB:
+  case OP_BOOLAND:
+  case OP_BOOLOR:
+  case OP_NUMEQUAL:
+  case OP_NUMEQUALVERIFY:
+  case OP_NUMNOTEQUAL:
+  case OP_LESSTHAN:
+  case OP_GREATERTHAN:
+  case OP_LESSTHANOREQUAL:
+  case OP_GREATERTHANOREQUAL:
+  case OP_MIN:
+  case OP_MAX: {
+    TC_UNWRAP(B, popNum());
+    TC_UNWRAP(A, popNum());
+    int64_t R = 0;
+    switch (E.Op) {
+    case OP_ADD:
+      R = A + B;
+      break;
+    case OP_SUB:
+      R = A - B;
+      break;
+    case OP_BOOLAND:
+      R = A != 0 && B != 0;
+      break;
+    case OP_BOOLOR:
+      R = A != 0 || B != 0;
+      break;
+    case OP_NUMEQUAL:
+    case OP_NUMEQUALVERIFY:
+      R = A == B;
+      break;
+    case OP_NUMNOTEQUAL:
+      R = A != B;
+      break;
+    case OP_LESSTHAN:
+      R = A < B;
+      break;
+    case OP_GREATERTHAN:
+      R = A > B;
+      break;
+    case OP_LESSTHANOREQUAL:
+      R = A <= B;
+      break;
+    case OP_GREATERTHANOREQUAL:
+      R = A >= B;
+      break;
+    case OP_MIN:
+      R = A < B ? A : B;
+      break;
+    default:
+      R = A > B ? A : B;
+      break;
+    }
+    if (E.Op == OP_NUMEQUALVERIFY) {
+      if (!R)
+        return makeError("script: OP_NUMEQUALVERIFY failed");
+      return Status::success();
+    }
+    return pushValue(scriptNumEncode(R));
+  }
+  case OP_WITHIN: {
+    TC_UNWRAP(Max, popNum());
+    TC_UNWRAP(Min, popNum());
+    TC_UNWRAP(X, popNum());
+    return pushValue(boolBytes(Min <= X && X < Max));
+  }
+
+  case OP_RIPEMD160: {
+    TC_TRY(require(1));
+    auto D = ripemd160(popValue());
+    return pushValue(Bytes(D.begin(), D.end()));
+  }
+  case OP_SHA256: {
+    TC_TRY(require(1));
+    auto D = sha256(popValue());
+    return pushValue(Bytes(D.begin(), D.end()));
+  }
+  case OP_HASH160: {
+    TC_TRY(require(1));
+    auto First = sha256(popValue());
+    auto D = ripemd160(First.data(), First.size());
+    return pushValue(Bytes(D.begin(), D.end()));
+  }
+  case OP_HASH256: {
+    TC_TRY(require(1));
+    auto D = sha256d(popValue());
+    return pushValue(Bytes(D.begin(), D.end()));
+  }
+
+  case OP_CHECKSIG:
+  case OP_CHECKSIGVERIFY: {
+    TC_TRY(require(2));
+    Bytes PubKey = popValue();
+    Bytes Sig = popValue();
+    bool Ok = Checker.checkSignature(Sig, PubKey);
+    if (E.Op == OP_CHECKSIGVERIFY) {
+      if (!Ok)
+        return makeError("script: OP_CHECKSIGVERIFY failed");
+      return Status::success();
+    }
+    return pushValue(boolBytes(Ok));
+  }
+
+  case OP_CHECKMULTISIG:
+  case OP_CHECKMULTISIGVERIFY: {
+    // <sig_1>...<sig_m> m <pk_1>...<pk_n> n CHECKMULTISIG.
+    TC_UNWRAP(NKeys, popNum());
+    if (NKeys < 0 || NKeys > 20)
+      return makeError("script: bad multisig key count");
+    TC_TRY(require(static_cast<size_t>(NKeys)));
+    std::vector<Bytes> Keys;
+    for (int64_t I = 0; I < NKeys; ++I)
+      Keys.push_back(popValue());
+    TC_UNWRAP(NSigs, popNum());
+    if (NSigs < 0 || NSigs > NKeys)
+      return makeError("script: bad multisig signature count");
+    TC_TRY(require(static_cast<size_t>(NSigs)));
+    std::vector<Bytes> Sigs;
+    for (int64_t I = 0; I < NSigs; ++I)
+      Sigs.push_back(popValue());
+    // The famous off-by-one: consensus pops one extra stack element.
+    TC_TRY(require(1));
+    popValue();
+
+    // Signatures must match keys in order; each key tried at most once.
+    // Keys and Sigs are top-of-stack first, so reverse to script order.
+    std::reverse(Keys.begin(), Keys.end());
+    std::reverse(Sigs.begin(), Sigs.end());
+    size_t KeyIdx = 0;
+    size_t Matched = 0;
+    for (const Bytes &Sig : Sigs) {
+      bool Found = false;
+      while (KeyIdx < Keys.size()) {
+        if (Checker.checkSignature(Sig, Keys[KeyIdx++])) {
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        break;
+      ++Matched;
+    }
+    bool Ok = Matched == Sigs.size();
+    if (E.Op == OP_CHECKMULTISIGVERIFY) {
+      if (!Ok)
+        return makeError("script: OP_CHECKMULTISIGVERIFY failed");
+      return Status::success();
+    }
+    return pushValue(boolBytes(Ok));
+  }
+
+  default:
+    return makeError(
+        strformat("script: unknown or disabled opcode 0x%02x", E.Op));
+  }
+}
+
+} // namespace
+
+Status evalScript(const Script &S, std::vector<Bytes> &Stack,
+                  const SignatureChecker &Checker) {
+  Interpreter Interp(Stack, Checker);
+  return Interp.run(S);
+}
+
+static bool isPushOnly(const Script &S) {
+  auto Elems = S.decode();
+  if (!Elems)
+    return false;
+  for (const auto &E : *Elems)
+    if (!E.IsPush && !(E.Op >= OP_1 && E.Op <= OP_16) && E.Op != OP_1NEGATE)
+      return false;
+  return true;
+}
+
+Status verifyScript(const Script &ScriptSig, const Script &ScriptPubKey,
+                    const SignatureChecker &Checker) {
+  if (!isPushOnly(ScriptSig))
+    return makeError("script: scriptSig is not push-only");
+  std::vector<Bytes> Stack;
+  TC_TRY(evalScript(ScriptSig, Stack, Checker));
+  TC_TRY(evalScript(ScriptPubKey, Stack, Checker));
+  if (Stack.empty() || !castToBool(Stack.back()))
+    return makeError("script: evaluated to false");
+  return Status::success();
+}
+
+} // namespace bitcoin
+} // namespace typecoin

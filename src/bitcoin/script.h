@@ -1,0 +1,198 @@
+//===- bitcoin/script.h - The Bitcoin script language ----------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bitcoin's Forth-like stack machine (paper Section 3.3: "The scripting
+/// language is a stack machine reminiscent of Forth"). Implements the
+/// opcode subset needed for standard transactions — data pushes, flow
+/// control, stack manipulation, numeric ops, hashing, and the signature
+/// checks `OP_CHECKSIG` / `OP_CHECKMULTISIG` — the latter powering both
+/// two-party escrow and Typecoin's 1-of-2 metadata embedding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_BITCOIN_SCRIPT_H
+#define TYPECOIN_BITCOIN_SCRIPT_H
+
+#include "support/bytes.h"
+#include "support/result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace typecoin {
+namespace bitcoin {
+
+/// Script opcodes (Bitcoin numbering).
+enum Opcode : uint8_t {
+  OP_0 = 0x00,
+  // 0x01-0x4b: direct pushes of that many bytes.
+  OP_PUSHDATA1 = 0x4c,
+  OP_PUSHDATA2 = 0x4d,
+  OP_PUSHDATA4 = 0x4e,
+  OP_1NEGATE = 0x4f,
+  OP_1 = 0x51,
+  OP_2 = 0x52,
+  OP_3 = 0x53,
+  OP_4 = 0x54,
+  OP_5 = 0x55,
+  OP_6 = 0x56,
+  OP_7 = 0x57,
+  OP_8 = 0x58,
+  OP_9 = 0x59,
+  OP_10 = 0x5a,
+  OP_11 = 0x5b,
+  OP_12 = 0x5c,
+  OP_13 = 0x5d,
+  OP_14 = 0x5e,
+  OP_15 = 0x5f,
+  OP_16 = 0x60,
+
+  OP_NOP = 0x61,
+  OP_IF = 0x63,
+  OP_NOTIF = 0x64,
+  OP_ELSE = 0x67,
+  OP_ENDIF = 0x68,
+  OP_VERIFY = 0x69,
+  OP_RETURN = 0x6a,
+
+  OP_TOALTSTACK = 0x6b,
+  OP_FROMALTSTACK = 0x6c,
+  OP_2DROP = 0x6d,
+  OP_2DUP = 0x6e,
+  OP_3DUP = 0x6f,
+  OP_IFDUP = 0x73,
+  OP_DEPTH = 0x74,
+  OP_DROP = 0x75,
+  OP_DUP = 0x76,
+  OP_NIP = 0x77,
+  OP_OVER = 0x78,
+  OP_PICK = 0x79,
+  OP_ROLL = 0x7a,
+  OP_ROT = 0x7b,
+  OP_SWAP = 0x7c,
+  OP_TUCK = 0x7d,
+
+  OP_SIZE = 0x82,
+  OP_EQUAL = 0x87,
+  OP_EQUALVERIFY = 0x88,
+
+  OP_1ADD = 0x8b,
+  OP_1SUB = 0x8c,
+  OP_NEGATE = 0x8f,
+  OP_ABS = 0x90,
+  OP_NOT = 0x91,
+  OP_0NOTEQUAL = 0x92,
+  OP_ADD = 0x93,
+  OP_SUB = 0x94,
+  OP_BOOLAND = 0x9a,
+  OP_BOOLOR = 0x9b,
+  OP_NUMEQUAL = 0x9c,
+  OP_NUMEQUALVERIFY = 0x9d,
+  OP_NUMNOTEQUAL = 0x9e,
+  OP_LESSTHAN = 0x9f,
+  OP_GREATERTHAN = 0xa0,
+  OP_LESSTHANOREQUAL = 0xa1,
+  OP_GREATERTHANOREQUAL = 0xa2,
+  OP_MIN = 0xa3,
+  OP_MAX = 0xa4,
+  OP_WITHIN = 0xa5,
+
+  OP_RIPEMD160 = 0xa6,
+  OP_SHA256 = 0xa8,
+  OP_HASH160 = 0xa9,
+  OP_HASH256 = 0xaa,
+  OP_CHECKSIG = 0xac,
+  OP_CHECKSIGVERIFY = 0xad,
+  OP_CHECKMULTISIG = 0xae,
+  OP_CHECKMULTISIGVERIFY = 0xaf,
+};
+
+/// A script: a byte string interpreted as opcodes and pushes.
+class Script {
+public:
+  Script() = default;
+  explicit Script(Bytes Data) : Data(std::move(Data)) {}
+
+  const Bytes &bytes() const { return Data; }
+  size_t size() const { return Data.size(); }
+  bool empty() const { return Data.empty(); }
+  bool operator==(const Script &O) const { return Data == O.Data; }
+
+  /// Append a bare opcode.
+  Script &op(Opcode Op) {
+    Data.push_back(static_cast<uint8_t>(Op));
+    return *this;
+  }
+
+  /// Append a data push with canonical (minimal) push encoding.
+  Script &push(const Bytes &Item);
+  template <size_t N> Script &push(const std::array<uint8_t, N> &Item) {
+    return push(Bytes(Item.begin(), Item.end()));
+  }
+
+  /// Append a small-integer push (OP_0 / OP_1..OP_16 / script number).
+  Script &pushInt(int64_t Value);
+
+  /// Human-readable disassembly.
+  std::string toString() const;
+
+  /// Decoded element: either a push (Data set) or a bare opcode.
+  struct Element {
+    uint8_t Op = 0;
+    bool IsPush = false;
+    Bytes Push;
+  };
+
+  /// Decode into elements; fails on truncated pushes.
+  Result<std::vector<Element>> decode() const;
+
+private:
+  Bytes Data;
+};
+
+/// Script numbers: minimally-encoded little-endian signed integers, at
+/// most 4 bytes when used as interpreter operands.
+Bytes scriptNumEncode(int64_t Value);
+Result<int64_t> scriptNumDecode(const Bytes &Data, size_t MaxSize = 4);
+
+/// Truthiness of a stack element (empty and negative zero are false).
+bool castToBool(const Bytes &Item);
+
+/// Context-dependent signature verification callback: the interpreter
+/// itself is transaction-agnostic. \p SigWithType is the DER signature
+/// with the trailing sighash-type byte.
+class SignatureChecker {
+public:
+  virtual ~SignatureChecker() = default;
+  virtual bool checkSignature(const Bytes &SigWithType,
+                              const Bytes &PubKey) const = 0;
+};
+
+/// A checker that rejects all signatures (for pure-data scripts).
+class NullSignatureChecker : public SignatureChecker {
+public:
+  bool checkSignature(const Bytes &, const Bytes &) const override {
+    return false;
+  }
+};
+
+/// Execute \p S against \p Stack. Returns an error on any failure
+/// (malformed script, stack underflow, failed VERIFY, OP_RETURN, ...).
+Status evalScript(const Script &S, std::vector<Bytes> &Stack,
+                  const SignatureChecker &Checker);
+
+/// Full input validation: run the unlocking script, then the locking
+/// script, and require a true value on top of the stack. The unlocking
+/// script must be push-only (standardness; prevents malleation).
+Status verifyScript(const Script &ScriptSig, const Script &ScriptPubKey,
+                    const SignatureChecker &Checker);
+
+} // namespace bitcoin
+} // namespace typecoin
+
+#endif // TYPECOIN_BITCOIN_SCRIPT_H

@@ -1,0 +1,145 @@
+//===- bitcoin/transaction.cpp - Bitcoin transactions ----------------------===//
+
+#include "bitcoin/transaction.h"
+
+#include "crypto/ecdsa.h"
+#include "crypto/keys.h"
+
+namespace typecoin {
+namespace bitcoin {
+
+static void serializeTo(const Transaction &Tx, Writer &W) {
+  W.writeU32(static_cast<uint32_t>(Tx.Version));
+  W.writeCompactSize(Tx.Inputs.size());
+  for (const TxIn &In : Tx.Inputs) {
+    W.writeBytes(In.Prevout.Tx.Hash);
+    W.writeU32(In.Prevout.Index);
+    W.writeVarBytes(In.ScriptSig.bytes());
+    W.writeU32(In.Sequence);
+  }
+  W.writeCompactSize(Tx.Outputs.size());
+  for (const TxOut &Out : Tx.Outputs) {
+    W.writeU64(static_cast<uint64_t>(Out.Value));
+    W.writeVarBytes(Out.ScriptPubKey.bytes());
+  }
+  W.writeU32(Tx.LockTime);
+}
+
+Bytes Transaction::serialize() const {
+  Writer W;
+  serializeTo(*this, W);
+  return W.takeBuffer();
+}
+
+Result<Transaction> Transaction::deserializeFrom(Reader &R) {
+  Transaction Tx;
+  TC_UNWRAP(Version, R.readU32());
+  Tx.Version = static_cast<int32_t>(Version);
+  TC_UNWRAP(NIn, R.readCompactSize());
+  if (NIn > 100000)
+    return makeError("transaction: implausible input count");
+  for (uint64_t I = 0; I < NIn; ++I) {
+    TxIn In;
+    TC_UNWRAP(Hash, R.readArray<32>());
+    In.Prevout.Tx.Hash = Hash;
+    TC_UNWRAP(Index, R.readU32());
+    In.Prevout.Index = Index;
+    TC_UNWRAP(Sig, R.readVarBytes());
+    In.ScriptSig = Script(std::move(Sig));
+    TC_UNWRAP(Seq, R.readU32());
+    In.Sequence = Seq;
+    Tx.Inputs.push_back(std::move(In));
+  }
+  TC_UNWRAP(NOut, R.readCompactSize());
+  if (NOut > 100000)
+    return makeError("transaction: implausible output count");
+  for (uint64_t I = 0; I < NOut; ++I) {
+    TxOut Out;
+    TC_UNWRAP(Value, R.readU64());
+    Out.Value = static_cast<Amount>(Value);
+    TC_UNWRAP(Spk, R.readVarBytes());
+    Out.ScriptPubKey = Script(std::move(Spk));
+    Tx.Outputs.push_back(std::move(Out));
+  }
+  TC_UNWRAP(LockTime, R.readU32());
+  Tx.LockTime = LockTime;
+  return Tx;
+}
+
+Result<Transaction> Transaction::deserialize(const Bytes &Data) {
+  Reader R(Data);
+  TC_UNWRAP(Tx, deserializeFrom(R));
+  TC_TRY(R.expectEnd());
+  return Tx;
+}
+
+TxId Transaction::txid() const { return TxId{crypto::sha256d(serialize())}; }
+
+Result<crypto::Digest32> signatureHash(const Transaction &Tx,
+                                       size_t InputIndex,
+                                       const Script &ScriptCode,
+                                       uint8_t HashType) {
+  if (InputIndex >= Tx.Inputs.size())
+    return makeError("signatureHash: input index out of range");
+
+  uint8_t BaseType = HashType & 0x1f;
+  bool AnyoneCanPay = HashType & SIGHASH_ANYONECANPAY;
+
+  Transaction Copy = Tx;
+  // Blank all input scripts; the signed input carries the script code.
+  for (TxIn &In : Copy.Inputs)
+    In.ScriptSig = Script();
+  Copy.Inputs[InputIndex].ScriptSig = ScriptCode;
+
+  if (BaseType == SIGHASH_NONE) {
+    // Sign no outputs; other inputs' sequences are not committed.
+    Copy.Outputs.clear();
+    for (size_t I = 0; I < Copy.Inputs.size(); ++I)
+      if (I != InputIndex)
+        Copy.Inputs[I].Sequence = 0;
+  } else if (BaseType == SIGHASH_SINGLE) {
+    if (InputIndex >= Copy.Outputs.size())
+      return makeError("signatureHash: SIGHASH_SINGLE with no matching "
+                       "output");
+    Copy.Outputs.resize(InputIndex + 1);
+    for (size_t I = 0; I < InputIndex; ++I) {
+      Copy.Outputs[I].Value = -1;
+      Copy.Outputs[I].ScriptPubKey = Script();
+    }
+    for (size_t I = 0; I < Copy.Inputs.size(); ++I)
+      if (I != InputIndex)
+        Copy.Inputs[I].Sequence = 0;
+  }
+
+  if (AnyoneCanPay) {
+    TxIn Keep = Copy.Inputs[InputIndex];
+    Copy.Inputs.clear();
+    Copy.Inputs.push_back(std::move(Keep));
+  }
+
+  Writer W;
+  serializeTo(Copy, W);
+  W.writeU32(HashType);
+  return crypto::sha256d(W.buffer());
+}
+
+bool TransactionSignatureChecker::checkSignature(const Bytes &SigWithType,
+                                                 const Bytes &PubKey) const {
+  if (SigWithType.empty())
+    return false;
+  uint8_t HashType = SigWithType.back();
+  Bytes Der(SigWithType.begin(), SigWithType.end() - 1);
+  auto Sig = crypto::Signature::fromDER(Der);
+  if (!Sig)
+    return false;
+  auto Pub = crypto::PublicKey::parse(PubKey);
+  if (!Pub)
+    return false;
+  auto Hash = signatureHash(Tx, InputIndex, ScriptCode, HashType);
+  if (!Hash)
+    return false;
+  return Pub->verify(*Hash, *Sig);
+}
+
+} // namespace bitcoin
+} // namespace typecoin

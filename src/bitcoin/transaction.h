@@ -1,0 +1,162 @@
+//===- bitcoin/transaction.h - Bitcoin transactions -------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bitcoin transactions: inputs spending previous transaction-outputs
+/// ("txouts"), outputs locking amounts under scripts, wire
+/// serialization, transaction ids, and the legacy signature-hash
+/// algorithm with its SIGHASH modes. The SIGHASH rules "erase parts of a
+/// transaction before checking its signatures, thereby allowing those
+/// parts to be altered" — the substrate for the paper's open
+/// transactions (Sections 7 and 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_BITCOIN_TRANSACTION_H
+#define TYPECOIN_BITCOIN_TRANSACTION_H
+
+#include "bitcoin/amount.h"
+#include "bitcoin/script.h"
+#include "crypto/sha256.h"
+#include "support/serialize.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace typecoin {
+namespace bitcoin {
+
+/// A transaction id: the double-SHA256 of the serialized transaction.
+/// Stored in internal (little-endian) byte order; displayed reversed, per
+/// Bitcoin convention.
+struct TxId {
+  crypto::Digest32 Hash{};
+
+  bool operator==(const TxId &O) const { return Hash == O.Hash; }
+  bool operator!=(const TxId &O) const { return Hash != O.Hash; }
+  bool operator<(const TxId &O) const { return Hash < O.Hash; }
+  bool isNull() const {
+    for (uint8_t B : Hash)
+      if (B)
+        return false;
+    return true;
+  }
+
+  /// Display form: byte-reversed hex, as block explorers print it.
+  std::string toHex() const {
+    crypto::Digest32 Rev = Hash;
+    std::reverse(Rev.begin(), Rev.end());
+    return typecoin::toHex(Rev.data(), Rev.size());
+  }
+};
+
+/// A reference to the \p Index-th output of transaction \p Tx.
+struct OutPoint {
+  TxId Tx;
+  uint32_t Index = 0;
+
+  bool operator==(const OutPoint &O) const {
+    return Tx == O.Tx && Index == O.Index;
+  }
+  bool operator<(const OutPoint &O) const {
+    if (Tx != O.Tx)
+      return Tx < O.Tx;
+    return Index < O.Index;
+  }
+  /// The coinbase marker: a null txid with index 0xffffffff.
+  bool isNull() const { return Tx.isNull() && Index == 0xffffffff; }
+  static OutPoint null() { return OutPoint{TxId{}, 0xffffffff}; }
+
+  std::string toString() const {
+    return Tx.toHex() + ":" + std::to_string(Index);
+  }
+};
+
+/// A transaction input: the outpoint it spends plus the unlocking script.
+struct TxIn {
+  OutPoint Prevout;
+  Script ScriptSig;
+  uint32_t Sequence = 0xffffffff;
+};
+
+/// A transaction output: an amount locked under a script.
+struct TxOut {
+  Amount Value = 0;
+  Script ScriptPubKey;
+};
+
+/// SIGHASH modes (low 5 bits select output coverage; 0x80 restricts the
+/// signature to a single input).
+enum SigHashType : uint8_t {
+  SIGHASH_ALL = 0x01,
+  SIGHASH_NONE = 0x02,
+  SIGHASH_SINGLE = 0x03,
+  SIGHASH_ANYONECANPAY = 0x80,
+};
+
+/// A Bitcoin transaction.
+struct Transaction {
+  int32_t Version = 1;
+  std::vector<TxIn> Inputs;
+  std::vector<TxOut> Outputs;
+  uint32_t LockTime = 0;
+
+  /// Serialize to the wire format.
+  Bytes serialize() const;
+  static Result<Transaction> deserialize(const Bytes &Data);
+  /// Parse from a reader positioned at the start of a transaction,
+  /// consuming exactly its bytes (the block wire format concatenates
+  /// transactions without length prefixes).
+  static Result<Transaction> deserializeFrom(Reader &R);
+
+  /// Double-SHA256 of the serialization.
+  TxId txid() const;
+
+  /// True for the block-reward transaction (single null-prevout input).
+  bool isCoinbase() const {
+    return Inputs.size() == 1 && Inputs[0].Prevout.isNull();
+  }
+
+  Amount totalOutput() const {
+    Amount Sum = 0;
+    for (const TxOut &Out : Outputs)
+      Sum += Out.Value;
+    return Sum;
+  }
+};
+
+/// The legacy signature hash: the digest an input signature commits to.
+/// \p ScriptCode is the scriptPubKey of the output being spent.
+/// SIGHASH_SINGLE with \p InputIndex beyond the outputs is rejected
+/// (Bitcoin's historical behaviour hashes the constant 1; we surface the
+/// misuse as an error instead).
+Result<crypto::Digest32> signatureHash(const Transaction &Tx,
+                                       size_t InputIndex,
+                                       const Script &ScriptCode,
+                                       uint8_t HashType);
+
+/// Script-interpreter checker bound to (transaction, input index,
+/// scriptPubKey being satisfied).
+class TransactionSignatureChecker : public SignatureChecker {
+public:
+  TransactionSignatureChecker(const Transaction &Tx, size_t InputIndex,
+                              const Script &ScriptCode)
+      : Tx(Tx), InputIndex(InputIndex), ScriptCode(ScriptCode) {}
+
+  bool checkSignature(const Bytes &SigWithType,
+                      const Bytes &PubKey) const override;
+
+private:
+  const Transaction &Tx;
+  size_t InputIndex;
+  const Script &ScriptCode;
+};
+
+} // namespace bitcoin
+} // namespace typecoin
+
+#endif // TYPECOIN_BITCOIN_TRANSACTION_H

@@ -1,0 +1,62 @@
+//===- bitcoin/utxo.cpp - The unspent-txout table ---------------------------===//
+
+#include "bitcoin/utxo.h"
+
+namespace typecoin {
+namespace bitcoin {
+
+Result<Coin> UtxoSet::spend(const OutPoint &Point) {
+  auto It = Map.find(Point);
+  if (It == Map.end())
+    return makeError("utxo: output " + Point.toString() +
+                     " is missing or already spent");
+  Coin C = std::move(It->second);
+  Map.erase(It);
+  return C;
+}
+
+/// Provably unspendable outputs (OP_RETURN data carriers) never enter
+/// the table — the standard pruning that makes OP_RETURN the polite
+/// metadata channel.
+static bool isUnspendable(const TxOut &Out) {
+  const Bytes &Script = Out.ScriptPubKey.bytes();
+  return !Script.empty() && Script[0] == OP_RETURN;
+}
+
+Result<TxUndo> UtxoSet::applyTransaction(const Transaction &Tx, int Height) {
+  TxUndo Undo;
+  if (!Tx.isCoinbase()) {
+    for (const TxIn &In : Tx.Inputs) {
+      TC_UNWRAP(C, spend(In.Prevout));
+      Undo.Spent.emplace_back(In.Prevout, std::move(C));
+    }
+  }
+  TxId Id = Tx.txid();
+  for (uint32_t I = 0; I < Tx.Outputs.size(); ++I) {
+    if (isUnspendable(Tx.Outputs[I]))
+      continue;
+    add(OutPoint{Id, I}, Coin{Tx.Outputs[I], Height, Tx.isCoinbase()});
+  }
+  return Undo;
+}
+
+void UtxoSet::undoTransaction(const Transaction &Tx, const TxUndo &Undo) {
+  TxId Id = Tx.txid();
+  for (uint32_t I = 0; I < Tx.Outputs.size(); ++I)
+    Map.erase(OutPoint{Id, I});
+  for (const auto &[Point, C] : Undo.Spent)
+    Map[Point] = C;
+}
+
+size_t UtxoSet::memoryBytes() const {
+  // Bitcoin Core's per-entry chainstate overhead is roughly 80 bytes
+  // (outpoint key, coin metadata, map node) plus the script.
+  constexpr size_t PerEntryOverhead = 80;
+  size_t Total = 0;
+  for (const auto &[Point, C] : Map)
+    Total += PerEntryOverhead + C.Out.ScriptPubKey.size();
+  return Total;
+}
+
+} // namespace bitcoin
+} // namespace typecoin

@@ -1,0 +1,101 @@
+//===- crypto/base58.cpp - Base58 and Base58Check --------------------------===//
+
+#include "crypto/base58.h"
+
+#include "crypto/sha256.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace typecoin {
+namespace crypto {
+
+static const char *const Alphabet =
+    "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+std::string base58Encode(const Bytes &Data) {
+  // Count leading zero bytes; each maps to a leading '1'.
+  size_t Zeros = 0;
+  while (Zeros < Data.size() && Data[Zeros] == 0)
+    ++Zeros;
+
+  // Repeated division by 58 on a base-256 big number.
+  Bytes Digits; // base-58 digits, least significant first
+  Bytes Num(Data.begin() + Zeros, Data.end());
+  while (!Num.empty()) {
+    unsigned Rem = 0;
+    Bytes Quot;
+    for (uint8_t Byte : Num) {
+      unsigned Acc = (Rem << 8) | Byte;
+      uint8_t Q = static_cast<uint8_t>(Acc / 58);
+      Rem = Acc % 58;
+      if (!Quot.empty() || Q != 0)
+        Quot.push_back(Q);
+    }
+    Digits.push_back(static_cast<uint8_t>(Rem));
+    Num = std::move(Quot);
+  }
+
+  std::string Out(Zeros, '1');
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It)
+    Out.push_back(Alphabet[*It]);
+  return Out;
+}
+
+Result<Bytes> base58Decode(const std::string &Str) {
+  static int8_t Map[128];
+  static bool MapInit = [] {
+    std::memset(Map, -1, sizeof(Map));
+    for (int I = 0; Alphabet[I]; ++I)
+      Map[static_cast<unsigned char>(Alphabet[I])] = static_cast<int8_t>(I);
+    return true;
+  }();
+  (void)MapInit;
+
+  size_t Ones = 0;
+  while (Ones < Str.size() && Str[Ones] == '1')
+    ++Ones;
+
+  Bytes Num; // base-256 big number, most significant first
+  for (size_t I = Ones; I < Str.size(); ++I) {
+    unsigned char C = static_cast<unsigned char>(Str[I]);
+    if (C >= 128 || Map[C] < 0)
+      return makeError("invalid base58 character");
+    // Num = Num * 58 + digit.
+    unsigned Carry = static_cast<unsigned>(Map[C]);
+    for (auto It = Num.rbegin(); It != Num.rend(); ++It) {
+      unsigned Acc = static_cast<unsigned>(*It) * 58 + Carry;
+      *It = static_cast<uint8_t>(Acc);
+      Carry = Acc >> 8;
+    }
+    while (Carry) {
+      Num.insert(Num.begin(), static_cast<uint8_t>(Carry));
+      Carry >>= 8;
+    }
+  }
+
+  Bytes Out(Ones, 0);
+  Out.insert(Out.end(), Num.begin(), Num.end());
+  return Out;
+}
+
+std::string base58CheckEncode(const Bytes &Payload) {
+  Digest32 Check = sha256d(Payload);
+  Bytes Full = Payload;
+  Full.insert(Full.end(), Check.begin(), Check.begin() + 4);
+  return base58Encode(Full);
+}
+
+Result<Bytes> base58CheckDecode(const std::string &Str) {
+  TC_UNWRAP(Full, base58Decode(Str));
+  if (Full.size() < 4)
+    return makeError("base58check string too short");
+  Bytes Payload(Full.begin(), Full.end() - 4);
+  Digest32 Check = sha256d(Payload);
+  if (!std::equal(Check.begin(), Check.begin() + 4, Full.end() - 4))
+    return makeError("base58check checksum mismatch");
+  return Payload;
+}
+
+} // namespace crypto
+} // namespace typecoin

@@ -1,0 +1,35 @@
+//===- crypto/base58.h - Base58 and Base58Check -----------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bitcoin's Base58 and Base58Check encodings, used for addresses
+/// (version byte + HASH160 of the public key + 4-byte double-SHA256
+/// checksum).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_CRYPTO_BASE58_H
+#define TYPECOIN_CRYPTO_BASE58_H
+
+#include "support/bytes.h"
+#include "support/result.h"
+
+namespace typecoin {
+namespace crypto {
+
+/// Raw Base58 (no checksum).
+std::string base58Encode(const Bytes &Data);
+Result<Bytes> base58Decode(const std::string &Str);
+
+/// Base58Check: payload followed by the first four bytes of
+/// SHA256d(payload).
+std::string base58CheckEncode(const Bytes &Payload);
+Result<Bytes> base58CheckDecode(const std::string &Str);
+
+} // namespace crypto
+} // namespace typecoin
+
+#endif // TYPECOIN_CRYPTO_BASE58_H

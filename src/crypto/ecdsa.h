@@ -1,0 +1,50 @@
+//===- crypto/ecdsa.h - ECDSA over secp256k1 --------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ECDSA signing and verification over secp256k1, with RFC 6979
+/// deterministic nonces and Bitcoin's low-S normalization, plus DER
+/// signature encoding/decoding. Digital signatures back every Bitcoin
+/// input (paper Section 2, validity condition 4) and Typecoin's
+/// `assert` / `assert!` affirmation proof terms (Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_CRYPTO_ECDSA_H
+#define TYPECOIN_CRYPTO_ECDSA_H
+
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+
+namespace typecoin {
+namespace crypto {
+
+/// An ECDSA signature (r, s), both in [1, n).
+struct Signature {
+  U256 R;
+  U256 S;
+
+  /// Strict-DER encode (SEQUENCE of two minimal INTEGERs).
+  Bytes toDER() const;
+  /// Parse a strict-DER signature.
+  static Result<Signature> fromDER(const Bytes &Data);
+};
+
+/// Sign a 32-byte message hash. Deterministic (RFC 6979): the same key and
+/// hash always produce the same signature. The result is low-S normalized.
+Signature ecdsaSign(const U256 &PrivKey, const Digest32 &Hash);
+
+/// Verify a signature over a 32-byte message hash.
+bool ecdsaVerify(const AffinePoint &PubKey, const Digest32 &Hash,
+                 const Signature &Sig);
+
+/// The RFC 6979 nonce for (key, hash); exposed for testing.
+U256 rfc6979Nonce(const U256 &PrivKey, const Digest32 &Hash);
+
+} // namespace crypto
+} // namespace typecoin
+
+#endif // TYPECOIN_CRYPTO_ECDSA_H

@@ -1,0 +1,41 @@
+//===- crypto/hmac.cpp - HMAC-SHA256 --------------------------------------===//
+
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace typecoin {
+namespace crypto {
+
+Digest32 hmacSha256(const uint8_t *Key, size_t KeyLen, const uint8_t *Data,
+                    size_t DataLen) {
+  uint8_t KeyBlock[64];
+  std::memset(KeyBlock, 0, sizeof(KeyBlock));
+  if (KeyLen > 64) {
+    Digest32 KeyHash = sha256(Key, KeyLen);
+    std::memcpy(KeyBlock, KeyHash.data(), KeyHash.size());
+  } else {
+    std::memcpy(KeyBlock, Key, KeyLen);
+  }
+
+  uint8_t Ipad[64], Opad[64];
+  for (int I = 0; I < 64; ++I) {
+    Ipad[I] = KeyBlock[I] ^ 0x36;
+    Opad[I] = KeyBlock[I] ^ 0x5c;
+  }
+
+  Sha256 Inner;
+  Inner.update(Ipad, 64).update(Data, DataLen);
+  Digest32 InnerHash = Inner.finalize();
+
+  Sha256 Outer;
+  Outer.update(Opad, 64).update(InnerHash.data(), InnerHash.size());
+  return Outer.finalize();
+}
+
+Digest32 hmacSha256(const Bytes &Key, const Bytes &Data) {
+  return hmacSha256(Key.data(), Key.size(), Data.data(), Data.size());
+}
+
+} // namespace crypto
+} // namespace typecoin

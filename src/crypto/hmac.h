@@ -1,0 +1,29 @@
+//===- crypto/hmac.h - HMAC-SHA256 ------------------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HMAC-SHA256 (RFC 2104), used by the RFC 6979 deterministic-nonce
+/// generator in the ECDSA signer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_CRYPTO_HMAC_H
+#define TYPECOIN_CRYPTO_HMAC_H
+
+#include "crypto/sha256.h"
+
+namespace typecoin {
+namespace crypto {
+
+/// HMAC-SHA256 of \p Data under \p Key.
+Digest32 hmacSha256(const uint8_t *Key, size_t KeyLen, const uint8_t *Data,
+                    size_t DataLen);
+Digest32 hmacSha256(const Bytes &Key, const Bytes &Data);
+
+} // namespace crypto
+} // namespace typecoin
+
+#endif // TYPECOIN_CRYPTO_HMAC_H

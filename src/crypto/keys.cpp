@@ -1,0 +1,56 @@
+//===- crypto/keys.cpp - Key pairs, addresses, HASH160 ---------------------===//
+
+#include "crypto/keys.h"
+
+#include "crypto/base58.h"
+
+namespace typecoin {
+namespace crypto {
+
+Digest20 hash160(const Bytes &Data) {
+  Digest32 First = sha256(Data);
+  return ripemd160(First.data(), First.size());
+}
+
+std::string KeyId::toAddress() const {
+  Bytes Payload;
+  Payload.push_back(0x00);
+  Payload.insert(Payload.end(), Hash.begin(), Hash.end());
+  return base58CheckEncode(Payload);
+}
+
+Result<KeyId> KeyId::fromAddress(const std::string &Address) {
+  TC_UNWRAP(Payload, base58CheckDecode(Address));
+  if (Payload.size() != 21 || Payload[0] != 0x00)
+    return makeError("not a version-0 P2PKH address");
+  KeyId Out;
+  std::copy(Payload.begin() + 1, Payload.end(), Out.Hash.begin());
+  return Out;
+}
+
+Result<PublicKey> PublicKey::parse(const Bytes &Data) {
+  TC_UNWRAP(Point, Secp256k1::instance().parse(Data));
+  return PublicKey(Point);
+}
+
+Result<PrivateKey> PrivateKey::fromScalar(const U256 &Scalar) {
+  const Secp256k1 &Curve = Secp256k1::instance();
+  if (Scalar.isZero() || Scalar >= Curve.order())
+    return makeError("private key scalar out of range [1, n)");
+  PublicKey Pub(Curve.multiplyBase(Scalar));
+  return PrivateKey(Scalar, Pub);
+}
+
+PrivateKey PrivateKey::generate(Rng &Rand) {
+  for (;;) {
+    U256 Scalar;
+    for (auto &Limb : Scalar.Limbs)
+      Limb = Rand.next();
+    auto Key = fromScalar(Scalar);
+    if (Key)
+      return Key.takeValue();
+  }
+}
+
+} // namespace crypto
+} // namespace typecoin

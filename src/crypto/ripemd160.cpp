@@ -1,0 +1,143 @@
+//===- crypto/ripemd160.cpp - RIPEMD-160 ---------------------------------===//
+//
+// Implements the RIPEMD-160 compression function as specified by
+// Dobbertin, Bosselaers & Preneel (1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "crypto/ripemd160.h"
+
+#include <cstring>
+
+namespace typecoin {
+namespace crypto {
+
+static inline uint32_t rotl(uint32_t X, int N) {
+  return (X << N) | (X >> (32 - N));
+}
+
+static inline uint32_t f(int Round, uint32_t X, uint32_t Y, uint32_t Z) {
+  switch (Round) {
+  case 0:
+    return X ^ Y ^ Z;
+  case 1:
+    return (X & Y) | (~X & Z);
+  case 2:
+    return (X | ~Y) ^ Z;
+  case 3:
+    return (X & Z) | (Y & ~Z);
+  default:
+    return X ^ (Y | ~Z);
+  }
+}
+
+// Message word selection, left and right lines.
+static const uint8_t RL[80] = {
+    0, 1, 2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+    7, 4, 13, 1,  10, 6,  15, 3,  12, 0,  9,  5,  2,  14, 11, 8,
+    3, 10, 14, 4, 9,  15, 8,  1,  2,  7,  0,  6,  13, 11, 5,  12,
+    1, 9, 11, 10, 0,  8,  12, 4,  13, 3,  7,  15, 14, 5,  6,  2,
+    4, 0, 5,  9,  7,  12, 2,  10, 14, 1,  3,  8,  11, 6,  15, 13};
+static const uint8_t RR[80] = {
+    5,  14, 7, 0, 9, 2,  11, 4,  13, 6,  15, 8,  1,  10, 3,  12,
+    6,  11, 3, 7, 0, 13, 5,  10, 14, 15, 8,  12, 4,  9,  1,  2,
+    15, 5,  1, 3, 7, 14, 6,  9,  11, 8,  12, 2,  10, 0,  4,  13,
+    8,  6,  4, 1, 3, 11, 15, 0,  5,  12, 2,  13, 9,  7,  10, 14,
+    12, 15, 10, 4, 1, 5, 8,  7,  6,  2,  13, 14, 0,  3,  9,  11};
+
+// Rotation amounts, left and right lines.
+static const uint8_t SL[80] = {
+    11, 14, 15, 12, 5,  8,  7,  9,  11, 13, 14, 15, 6,  7,  9,  8,
+    7,  6,  8,  13, 11, 9,  7,  15, 7,  12, 15, 9,  11, 7,  13, 12,
+    11, 13, 6,  7,  14, 9,  13, 15, 14, 8,  13, 6,  5,  12, 7,  5,
+    11, 12, 14, 15, 14, 15, 9,  8,  9,  14, 5,  6,  8,  6,  5,  12,
+    9,  15, 5,  11, 6,  8,  13, 12, 5,  12, 13, 14, 11, 8,  5,  6};
+static const uint8_t SR[80] = {
+    8,  9,  9,  11, 13, 15, 15, 5,  7,  7,  8,  11, 14, 14, 12, 6,
+    9,  13, 15, 7,  12, 8,  9,  11, 7,  7,  12, 7,  6,  15, 13, 11,
+    9,  7,  15, 11, 8,  6,  6,  14, 12, 13, 5,  14, 13, 13, 7,  5,
+    15, 5,  8,  11, 14, 14, 6,  14, 6,  9,  12, 9,  12, 5,  15, 8,
+    8,  5,  12, 9,  12, 5,  14, 6,  8,  13, 6,  5,  15, 13, 11, 11};
+
+static const uint32_t KL[5] = {0x00000000, 0x5a827999, 0x6ed9eba1, 0x8f1bbcdc,
+                               0xa953fd4e};
+static const uint32_t KR[5] = {0x50a28be6, 0x5c4dd124, 0x6d703ef3, 0x7a6d76e9,
+                               0x00000000};
+
+static void compress(uint32_t State[5], const uint8_t *Block) {
+  uint32_t X[16];
+  for (int I = 0; I < 16; ++I)
+    X[I] = static_cast<uint32_t>(Block[4 * I]) |
+           static_cast<uint32_t>(Block[4 * I + 1]) << 8 |
+           static_cast<uint32_t>(Block[4 * I + 2]) << 16 |
+           static_cast<uint32_t>(Block[4 * I + 3]) << 24;
+
+  uint32_t AL = State[0], BL = State[1], CL = State[2], DL = State[3],
+           EL = State[4];
+  uint32_t AR = AL, BR = BL, CR = CL, DR = DL, ER = EL;
+
+  for (int J = 0; J < 80; ++J) {
+    int Round = J / 16;
+    uint32_t T = rotl(AL + f(Round, BL, CL, DL) + X[RL[J]] + KL[Round],
+                      SL[J]) +
+                 EL;
+    AL = EL;
+    EL = DL;
+    DL = rotl(CL, 10);
+    CL = BL;
+    BL = T;
+
+    T = rotl(AR + f(4 - Round, BR, CR, DR) + X[RR[J]] + KR[Round], SR[J]) +
+        ER;
+    AR = ER;
+    ER = DR;
+    DR = rotl(CR, 10);
+    CR = BR;
+    BR = T;
+  }
+
+  uint32_t T = State[1] + CL + DR;
+  State[1] = State[2] + DL + ER;
+  State[2] = State[3] + EL + AR;
+  State[3] = State[4] + AL + BR;
+  State[4] = State[0] + BL + CR;
+  State[0] = T;
+}
+
+Digest20 ripemd160(const uint8_t *Data, size_t Len) {
+  uint32_t State[5] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476,
+                       0xc3d2e1f0};
+  size_t Full = Len / 64;
+  for (size_t I = 0; I < Full; ++I)
+    compress(State, Data + 64 * I);
+
+  // Padding: 0x80, zeros, 64-bit little-endian bit length.
+  uint8_t Tail[128];
+  size_t Rem = Len % 64;
+  std::memcpy(Tail, Data + 64 * Full, Rem);
+  Tail[Rem] = 0x80;
+  size_t PadEnd = (Rem < 56) ? 56 : 120;
+  std::memset(Tail + Rem + 1, 0, PadEnd - Rem - 1);
+  uint64_t BitLen = static_cast<uint64_t>(Len) * 8;
+  for (int I = 0; I < 8; ++I)
+    Tail[PadEnd + I] = static_cast<uint8_t>(BitLen >> (8 * I));
+  compress(State, Tail);
+  if (PadEnd == 120)
+    compress(State, Tail + 64);
+
+  Digest20 Out;
+  for (int I = 0; I < 5; ++I) {
+    Out[4 * I] = static_cast<uint8_t>(State[I]);
+    Out[4 * I + 1] = static_cast<uint8_t>(State[I] >> 8);
+    Out[4 * I + 2] = static_cast<uint8_t>(State[I] >> 16);
+    Out[4 * I + 3] = static_cast<uint8_t>(State[I] >> 24);
+  }
+  return Out;
+}
+
+Digest20 ripemd160(const Bytes &Data) {
+  return ripemd160(Data.data(), Data.size());
+}
+
+} // namespace crypto
+} // namespace typecoin

@@ -1,0 +1,36 @@
+//===- crypto/ripemd160.h - RIPEMD-160 --------------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// From-scratch RIPEMD-160, used by Bitcoin's HASH160 = RIPEMD160(SHA256(x))
+/// for public-key hashes; the paper identifies principals with such hashes
+/// (Section 4, "principal literals K, which we take to be cryptographic
+/// hashes of public keys").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_CRYPTO_RIPEMD160_H
+#define TYPECOIN_CRYPTO_RIPEMD160_H
+
+#include "support/bytes.h"
+
+#include <array>
+#include <cstdint>
+
+namespace typecoin {
+namespace crypto {
+
+/// A 20-byte digest.
+using Digest20 = std::array<uint8_t, 20>;
+
+/// One-shot RIPEMD-160.
+Digest20 ripemd160(const uint8_t *Data, size_t Len);
+Digest20 ripemd160(const Bytes &Data);
+
+} // namespace crypto
+} // namespace typecoin
+
+#endif // TYPECOIN_CRYPTO_RIPEMD160_H

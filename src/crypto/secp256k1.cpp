@@ -1,0 +1,225 @@
+//===- crypto/secp256k1.cpp - The secp256k1 elliptic curve ----------------===//
+
+#include "crypto/secp256k1.h"
+
+#include <cassert>
+
+namespace typecoin {
+namespace crypto {
+
+static U256 mustHex(const char *Hex) {
+  auto V = U256::fromHex(Hex);
+  assert(V && "bad builtin constant");
+  return *V;
+}
+
+static const char *const PHex =
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+static const char *const GxHex =
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798";
+static const char *const GyHex =
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8";
+
+Secp256k1::Secp256k1()
+    : Fp(mustHex(PHex)),
+      Fn(mustHex(
+          "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")),
+      N(Fn.modulus()) {
+  HalfN = N;
+  HalfN.shr1();
+  G = AffinePoint::make(mustHex(GxHex), mustHex(GyHex));
+  SevenMont = Fp.toMont(U256(7));
+  assert(isOnCurve(G) && "generator must lie on the curve");
+}
+
+const Secp256k1 &Secp256k1::instance() {
+  static const Secp256k1 Curve;
+  return Curve;
+}
+
+bool Secp256k1::isOnCurve(const AffinePoint &P) const {
+  if (P.Infinity)
+    return true;
+  if (P.X >= Fp.modulus() || P.Y >= Fp.modulus())
+    return false;
+  U256 X = Fp.toMont(P.X), Y = Fp.toMont(P.Y);
+  U256 Lhs = Fp.montMul(Y, Y);
+  U256 Rhs = Fp.montAdd(Fp.montMul(Fp.montMul(X, X), X), SevenMont);
+  return Lhs == Rhs;
+}
+
+Secp256k1::JacobianPoint Secp256k1::toJacobian(const AffinePoint &P) const {
+  if (P.Infinity)
+    return JacobianPoint{U256::zero(), U256::zero(), U256::zero()};
+  return JacobianPoint{Fp.toMont(P.X), Fp.toMont(P.Y), Fp.montOne()};
+}
+
+AffinePoint Secp256k1::toAffine(const JacobianPoint &P) const {
+  if (P.Z.isZero())
+    return AffinePoint::infinity();
+  U256 Z = Fp.fromMont(P.Z);
+  U256 ZInv = Fp.toMont(Fp.inverse(Z));
+  U256 ZInv2 = Fp.montMul(ZInv, ZInv);
+  U256 ZInv3 = Fp.montMul(ZInv2, ZInv);
+  return AffinePoint::make(Fp.fromMont(Fp.montMul(P.X, ZInv2)),
+                           Fp.fromMont(Fp.montMul(P.Y, ZInv3)));
+}
+
+Secp256k1::JacobianPoint
+Secp256k1::jacDouble(const JacobianPoint &P) const {
+  if (P.Z.isZero() || P.Y.isZero())
+    return JacobianPoint{U256::zero(), U256::zero(), U256::zero()};
+  // dbl-2009-l formulas for a = 0.
+  U256 A = Fp.montMul(P.X, P.X);             // X^2
+  U256 B = Fp.montMul(P.Y, P.Y);             // Y^2
+  U256 C = Fp.montMul(B, B);                 // B^2
+  U256 XpB = Fp.montAdd(P.X, B);
+  U256 D = Fp.montSub(Fp.montSub(Fp.montMul(XpB, XpB), A), C);
+  D = Fp.montAdd(D, D);                      // 2*((X+B)^2 - A - C)
+  U256 E = Fp.montAdd(Fp.montAdd(A, A), A);  // 3*A
+  U256 F = Fp.montMul(E, E);
+  U256 X3 = Fp.montSub(F, Fp.montAdd(D, D));
+  U256 C8 = Fp.montAdd(C, C);
+  C8 = Fp.montAdd(C8, C8);
+  C8 = Fp.montAdd(C8, C8);
+  U256 Y3 = Fp.montSub(Fp.montMul(E, Fp.montSub(D, X3)), C8);
+  U256 YZ = Fp.montMul(P.Y, P.Z);
+  U256 Z3 = Fp.montAdd(YZ, YZ);
+  return JacobianPoint{X3, Y3, Z3};
+}
+
+Secp256k1::JacobianPoint
+Secp256k1::jacAdd(const JacobianPoint &P, const JacobianPoint &Q) const {
+  if (P.Z.isZero())
+    return Q;
+  if (Q.Z.isZero())
+    return P;
+  U256 Z1Z1 = Fp.montMul(P.Z, P.Z);
+  U256 Z2Z2 = Fp.montMul(Q.Z, Q.Z);
+  U256 U1 = Fp.montMul(P.X, Z2Z2);
+  U256 U2 = Fp.montMul(Q.X, Z1Z1);
+  U256 S1 = Fp.montMul(P.Y, Fp.montMul(Z2Z2, Q.Z));
+  U256 S2 = Fp.montMul(Q.Y, Fp.montMul(Z1Z1, P.Z));
+  if (U1 == U2) {
+    if (S1 == S2)
+      return jacDouble(P);
+    return JacobianPoint{U256::zero(), U256::zero(), U256::zero()};
+  }
+  U256 H = Fp.montSub(U2, U1);
+  U256 R = Fp.montSub(S2, S1);
+  U256 H2 = Fp.montMul(H, H);
+  U256 H3 = Fp.montMul(H2, H);
+  U256 U1H2 = Fp.montMul(U1, H2);
+  U256 X3 = Fp.montSub(Fp.montSub(Fp.montMul(R, R), H3),
+                       Fp.montAdd(U1H2, U1H2));
+  U256 Y3 =
+      Fp.montSub(Fp.montMul(R, Fp.montSub(U1H2, X3)), Fp.montMul(S1, H3));
+  U256 Z3 = Fp.montMul(Fp.montMul(P.Z, Q.Z), H);
+  return JacobianPoint{X3, Y3, Z3};
+}
+
+Secp256k1::JacobianPoint
+Secp256k1::jacMultiply(const U256 &K, const JacobianPoint &P) const {
+  JacobianPoint Acc{U256::zero(), U256::zero(), U256::zero()};
+  unsigned Bits = K.bitLength();
+  for (int I = static_cast<int>(Bits) - 1; I >= 0; --I) {
+    Acc = jacDouble(Acc);
+    if (K.bit(static_cast<unsigned>(I)))
+      Acc = jacAdd(Acc, P);
+  }
+  return Acc;
+}
+
+AffinePoint Secp256k1::add(const AffinePoint &P, const AffinePoint &Q) const {
+  return toAffine(jacAdd(toJacobian(P), toJacobian(Q)));
+}
+
+AffinePoint Secp256k1::negate(const AffinePoint &P) const {
+  if (P.Infinity)
+    return P;
+  return AffinePoint::make(P.X, Fp.neg(P.Y));
+}
+
+AffinePoint Secp256k1::multiply(const U256 &K, const AffinePoint &P) const {
+  U256 KRed = K >= N ? Fn.reduce(K) : K;
+  return toAffine(jacMultiply(KRed, toJacobian(P)));
+}
+
+AffinePoint Secp256k1::multiplyBase(const U256 &K) const {
+  return multiply(K, G);
+}
+
+AffinePoint Secp256k1::doubleMultiply(const U256 &A, const U256 &B,
+                                      const AffinePoint &P) const {
+  // Shamir's trick: interleave both scalar ladders.
+  JacobianPoint JG = toJacobian(G);
+  JacobianPoint JP = toJacobian(P);
+  JacobianPoint Both = jacAdd(JG, JP);
+  JacobianPoint Acc{U256::zero(), U256::zero(), U256::zero()};
+  unsigned Bits = std::max(A.bitLength(), B.bitLength());
+  for (int I = static_cast<int>(Bits) - 1; I >= 0; --I) {
+    Acc = jacDouble(Acc);
+    bool BitA = A.bit(static_cast<unsigned>(I));
+    bool BitB = B.bit(static_cast<unsigned>(I));
+    if (BitA && BitB)
+      Acc = jacAdd(Acc, Both);
+    else if (BitA)
+      Acc = jacAdd(Acc, JG);
+    else if (BitB)
+      Acc = jacAdd(Acc, JP);
+  }
+  return toAffine(Acc);
+}
+
+Bytes Secp256k1::serialize(const AffinePoint &P, bool Compressed) const {
+  assert(!P.Infinity && "cannot serialize the point at infinity");
+  auto X = P.X.toBytesBE();
+  Bytes Out;
+  if (Compressed) {
+    Out.push_back(P.Y.bit(0) ? 0x03 : 0x02);
+    Out.insert(Out.end(), X.begin(), X.end());
+    return Out;
+  }
+  auto Y = P.Y.toBytesBE();
+  Out.push_back(0x04);
+  Out.insert(Out.end(), X.begin(), X.end());
+  Out.insert(Out.end(), Y.begin(), Y.end());
+  return Out;
+}
+
+Result<AffinePoint> Secp256k1::parse(const Bytes &Data) const {
+  if (Data.size() == 65 && Data[0] == 0x04) {
+    std::array<uint8_t, 32> XB, YB;
+    std::copy(Data.begin() + 1, Data.begin() + 33, XB.begin());
+    std::copy(Data.begin() + 33, Data.end(), YB.begin());
+    AffinePoint P = AffinePoint::make(U256::fromBytesBE(XB),
+                                      U256::fromBytesBE(YB));
+    if (!isOnCurve(P))
+      return makeError("point is not on secp256k1");
+    return P;
+  }
+  if (Data.size() == 33 && (Data[0] == 0x02 || Data[0] == 0x03)) {
+    std::array<uint8_t, 32> XB;
+    std::copy(Data.begin() + 1, Data.end(), XB.begin());
+    U256 X = U256::fromBytesBE(XB);
+    if (X >= Fp.modulus())
+      return makeError("x coordinate out of range");
+    // y^2 = x^3 + 7; p = 3 mod 4, so sqrt(a) = a^((p+1)/4).
+    U256 Rhs = Fp.add(Fp.mul(Fp.mul(X, X), X), U256(7));
+    U256 Exp = Fp.modulus();
+    Exp.addInPlace(U256::one());
+    Exp.shr1();
+    Exp.shr1();
+    U256 Y = Fp.pow(Rhs, Exp);
+    if (Fp.mul(Y, Y) != Rhs)
+      return makeError("x coordinate has no square root (not on curve)");
+    bool WantOdd = Data[0] == 0x03;
+    if (Y.bit(0) != WantOdd)
+      Y = Fp.neg(Y);
+    return AffinePoint::make(X, Y);
+  }
+  return makeError("malformed SEC1 point encoding");
+}
+
+} // namespace crypto
+} // namespace typecoin

@@ -1,0 +1,114 @@
+//===- crypto/secp256k1.h - The secp256k1 elliptic curve -------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// From-scratch secp256k1 group arithmetic: y^2 = x^3 + 7 over the prime
+/// field p = 2^256 - 2^32 - 977. Jacobian-coordinate point arithmetic with
+/// Montgomery field elements; affine conversion and SEC1 point
+/// serialization (compressed and uncompressed).
+///
+/// This implementation favors clarity over side-channel resistance; the
+/// repo is a systems reproduction, not a hardened wallet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_CRYPTO_SECP256K1_H
+#define TYPECOIN_CRYPTO_SECP256K1_H
+
+#include "crypto/u256.h"
+
+#include <optional>
+
+namespace typecoin {
+namespace crypto {
+
+/// An affine curve point, or the point at infinity.
+struct AffinePoint {
+  U256 X;
+  U256 Y;
+  bool Infinity = true;
+
+  static AffinePoint infinity() { return AffinePoint(); }
+  static AffinePoint make(const U256 &X, const U256 &Y) {
+    AffinePoint P;
+    P.X = X;
+    P.Y = Y;
+    P.Infinity = false;
+    return P;
+  }
+
+  bool operator==(const AffinePoint &O) const {
+    if (Infinity || O.Infinity)
+      return Infinity == O.Infinity;
+    return X == O.X && Y == O.Y;
+  }
+};
+
+/// The secp256k1 group: curve constants, point arithmetic, and
+/// serialization. A process-wide singleton is available via \ref instance.
+class Secp256k1 {
+public:
+  Secp256k1();
+
+  /// The curve's field arithmetic (mod p).
+  const ModArith &field() const { return Fp; }
+  /// The group-order arithmetic (mod n).
+  const ModArith &scalar() const { return Fn; }
+
+  /// Group order n.
+  const U256 &order() const { return N; }
+  /// n / 2, for low-S signature normalization.
+  const U256 &halfOrder() const { return HalfN; }
+  /// The standard generator G.
+  const AffinePoint &generator() const { return G; }
+
+  /// True if \p P is on the curve (or infinity).
+  bool isOnCurve(const AffinePoint &P) const;
+
+  /// Group operations (affine interface; Jacobian internally).
+  AffinePoint add(const AffinePoint &P, const AffinePoint &Q) const;
+  AffinePoint negate(const AffinePoint &P) const;
+  /// Scalar multiplication k*P; k is reduced mod n.
+  AffinePoint multiply(const U256 &K, const AffinePoint &P) const;
+  /// k*G.
+  AffinePoint multiplyBase(const U256 &K) const;
+  /// a*G + b*P in one pass (the ECDSA verification shape).
+  AffinePoint doubleMultiply(const U256 &A, const U256 &B,
+                             const AffinePoint &P) const;
+
+  /// SEC1 serialization: 33 bytes (compressed) or 65 (uncompressed).
+  Bytes serialize(const AffinePoint &P, bool Compressed = true) const;
+  /// SEC1 parse, with decompression (p = 3 mod 4 square root).
+  Result<AffinePoint> parse(const Bytes &Data) const;
+
+  /// Process-wide instance (curve constants are fixed).
+  static const Secp256k1 &instance();
+
+private:
+  /// Jacobian point with Montgomery-form coordinates; Z == 0 encodes
+  /// infinity.
+  struct JacobianPoint {
+    U256 X, Y, Z;
+  };
+
+  JacobianPoint toJacobian(const AffinePoint &P) const;
+  AffinePoint toAffine(const JacobianPoint &P) const;
+  JacobianPoint jacDouble(const JacobianPoint &P) const;
+  JacobianPoint jacAdd(const JacobianPoint &P, const JacobianPoint &Q) const;
+  JacobianPoint jacMultiply(const U256 &K, const JacobianPoint &P) const;
+
+  ModArith Fp;
+  ModArith Fn;
+  U256 N;
+  U256 HalfN;
+  AffinePoint G;
+  U256 SevenMont; ///< Curve constant b = 7 in Montgomery form.
+};
+
+} // namespace crypto
+} // namespace typecoin
+
+#endif // TYPECOIN_CRYPTO_SECP256K1_H

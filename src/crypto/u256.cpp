@@ -1,0 +1,220 @@
+//===- crypto/u256.cpp - 256-bit unsigned integers ------------------------===//
+
+#include "crypto/u256.h"
+
+#include <cassert>
+
+namespace typecoin {
+namespace crypto {
+
+using uint128 = unsigned __int128;
+
+int U256::cmp(const U256 &Other) const {
+  for (int I = 3; I >= 0; --I) {
+    if (Limbs[I] < Other.Limbs[I])
+      return -1;
+    if (Limbs[I] > Other.Limbs[I])
+      return 1;
+  }
+  return 0;
+}
+
+uint64_t U256::addInPlace(const U256 &Other) {
+  uint128 Carry = 0;
+  for (int I = 0; I < 4; ++I) {
+    uint128 Sum = static_cast<uint128>(Limbs[I]) + Other.Limbs[I] + Carry;
+    Limbs[I] = static_cast<uint64_t>(Sum);
+    Carry = Sum >> 64;
+  }
+  return static_cast<uint64_t>(Carry);
+}
+
+uint64_t U256::subInPlace(const U256 &Other) {
+  uint64_t Borrow = 0;
+  for (int I = 0; I < 4; ++I) {
+    uint128 Diff = static_cast<uint128>(Limbs[I]) - Other.Limbs[I] - Borrow;
+    Limbs[I] = static_cast<uint64_t>(Diff);
+    Borrow = (Diff >> 64) ? 1 : 0;
+  }
+  return Borrow;
+}
+
+void U256::shl1() {
+  for (int I = 3; I > 0; --I)
+    Limbs[I] = (Limbs[I] << 1) | (Limbs[I - 1] >> 63);
+  Limbs[0] <<= 1;
+}
+
+void U256::shr1() {
+  for (int I = 0; I < 3; ++I)
+    Limbs[I] = (Limbs[I] >> 1) | (Limbs[I + 1] << 63);
+  Limbs[3] >>= 1;
+}
+
+unsigned U256::bitLength() const {
+  for (int I = 3; I >= 0; --I) {
+    if (Limbs[I] != 0)
+      return 64 * I + (64 - __builtin_clzll(Limbs[I]));
+  }
+  return 0;
+}
+
+U256 U256::fromBytesBE(const std::array<uint8_t, 32> &Bytes) {
+  U256 Out;
+  for (int I = 0; I < 4; ++I) {
+    uint64_t Limb = 0;
+    for (int J = 0; J < 8; ++J)
+      Limb = (Limb << 8) | Bytes[(3 - I) * 8 + J];
+    Out.Limbs[I] = Limb;
+  }
+  return Out;
+}
+
+std::array<uint8_t, 32> U256::toBytesBE() const {
+  std::array<uint8_t, 32> Out;
+  for (int I = 0; I < 4; ++I)
+    for (int J = 0; J < 8; ++J)
+      Out[(3 - I) * 8 + J] = static_cast<uint8_t>(Limbs[I] >> (56 - 8 * J));
+  return Out;
+}
+
+Result<U256> U256::fromHex(const std::string &Hex) {
+  if (Hex.size() != 64)
+    return makeError("U256 hex must be 64 digits, got " +
+                     std::to_string(Hex.size()));
+  auto Raw = fromHexFixed<32>(Hex);
+  if (!Raw)
+    return Raw.takeError();
+  return fromBytesBE(*Raw);
+}
+
+std::string U256::toHex() const { return typecoin::toHex(toBytesBE()); }
+
+U512 mulWide(const U256 &A, const U256 &B) {
+  U512 Out;
+  for (int I = 0; I < 4; ++I) {
+    uint128 Carry = 0;
+    for (int J = 0; J < 4; ++J) {
+      uint128 Cur = static_cast<uint128>(A.Limbs[I]) * B.Limbs[J] +
+                    Out.Limbs[I + J] + Carry;
+      Out.Limbs[I + J] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+    }
+    Out.Limbs[I + 4] = static_cast<uint64_t>(Carry);
+  }
+  return Out;
+}
+
+/// -M^{-1} mod 2^64 via Newton iteration (valid for odd M).
+static uint64_t negInverse64(uint64_t M) {
+  uint64_t Inv = 1;
+  for (int I = 0; I < 6; ++I)
+    Inv *= 2 - M * Inv; // Doubles the number of correct low bits.
+  return ~Inv + 1; // -Inv mod 2^64.
+}
+
+ModArith::ModArith(const U256 &Modulus) : M(Modulus) {
+  assert((M.Limbs[0] & 1) != 0 && "Montgomery modulus must be odd");
+  assert(M.bitLength() == 256 && "modulus must have its top bit set");
+  Inv = negInverse64(M.Limbs[0]);
+
+  // R mod M = 2^256 - M (valid because 2^255 <= M < 2^256).
+  RModM = U256::zero();
+  RModM.subInPlace(M); // Wraps: 2^256 - M.
+
+  // RR = R * 2^256 mod M by doubling R mod M 256 times.
+  RR = RModM;
+  for (int I = 0; I < 256; ++I) {
+    uint64_t Carry = RR.addInPlace(RR);
+    if (Carry || RR >= M)
+      RR.subInPlace(M);
+  }
+}
+
+U256 ModArith::add(const U256 &A, const U256 &B) const {
+  U256 Out = A;
+  uint64_t Carry = Out.addInPlace(B);
+  if (Carry || Out >= M)
+    Out.subInPlace(M);
+  return Out;
+}
+
+U256 ModArith::sub(const U256 &A, const U256 &B) const {
+  U256 Out = A;
+  if (Out.subInPlace(B))
+    Out.addInPlace(M);
+  return Out;
+}
+
+U256 ModArith::neg(const U256 &A) const {
+  if (A.isZero())
+    return A;
+  U256 Out = M;
+  Out.subInPlace(A);
+  return Out;
+}
+
+U256 ModArith::montMul(const U256 &A, const U256 &B) const {
+  // SOS Montgomery reduction of the full 512-bit product.
+  U512 T = mulWide(A, B);
+  uint64_t Extra = 0; // Carry beyond limb 7.
+  for (int I = 0; I < 4; ++I) {
+    uint64_t Mu = T.Limbs[I] * Inv;
+    uint128 Carry = 0;
+    for (int J = 0; J < 4; ++J) {
+      uint128 Cur =
+          static_cast<uint128>(Mu) * M.Limbs[J] + T.Limbs[I + J] + Carry;
+      T.Limbs[I + J] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+    }
+    // Propagate the carry through the remaining limbs.
+    for (int J = I + 4; J < 8 && Carry; ++J) {
+      uint128 Cur = static_cast<uint128>(T.Limbs[J]) + Carry;
+      T.Limbs[J] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+    }
+    Extra += static_cast<uint64_t>(Carry);
+  }
+  U256 Out;
+  for (int I = 0; I < 4; ++I)
+    Out.Limbs[I] = T.Limbs[I + 4];
+  if (Extra || Out >= M)
+    Out.subInPlace(M);
+  return Out;
+}
+
+U256 ModArith::mul(const U256 &A, const U256 &B) const {
+  // (A*R) * (B*R) * R^-1 = A*B*R; then strip the R.
+  U256 Am = toMont(A);
+  U256 Bm = toMont(B);
+  return fromMont(montMul(Am, Bm));
+}
+
+U256 ModArith::pow(const U256 &Base, const U256 &Exp) const {
+  U256 Acc = RModM; // 1 in Montgomery form.
+  U256 B = toMont(Base);
+  unsigned Bits = Exp.bitLength();
+  for (int I = static_cast<int>(Bits) - 1; I >= 0; --I) {
+    Acc = montMul(Acc, Acc);
+    if (Exp.bit(static_cast<unsigned>(I)))
+      Acc = montMul(Acc, B);
+  }
+  return fromMont(Acc);
+}
+
+U256 ModArith::inverse(const U256 &A) const {
+  assert(!A.isZero() && "inverse of zero");
+  U256 Exp = M;
+  Exp.subInPlace(U256(2));
+  return pow(A, Exp);
+}
+
+U256 ModArith::reduce(const U256 &A) const {
+  U256 Out = A;
+  while (Out >= M)
+    Out.subInPlace(M);
+  return Out;
+}
+
+} // namespace crypto
+} // namespace typecoin

@@ -1,0 +1,127 @@
+//===- crypto/u256.h - 256-bit unsigned integers ----------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width 256-bit unsigned arithmetic: the base layer for the
+/// secp256k1 field/scalar arithmetic and for proof-of-work targets
+/// (block hashes compared as integers; paper Section 2, footnote 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_CRYPTO_U256_H
+#define TYPECOIN_CRYPTO_U256_H
+
+#include "support/bytes.h"
+#include "support/result.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace typecoin {
+namespace crypto {
+
+/// 256-bit unsigned integer, little-endian 64-bit limbs.
+struct U256 {
+  uint64_t Limbs[4] = {0, 0, 0, 0};
+
+  U256() = default;
+  explicit U256(uint64_t Low) { Limbs[0] = Low; }
+
+  static U256 zero() { return U256(); }
+  static U256 one() { return U256(1); }
+
+  bool isZero() const {
+    return Limbs[0] == 0 && Limbs[1] == 0 && Limbs[2] == 0 && Limbs[3] == 0;
+  }
+
+  /// Three-way comparison: -1, 0, or 1.
+  int cmp(const U256 &Other) const;
+
+  bool operator==(const U256 &O) const { return cmp(O) == 0; }
+  bool operator!=(const U256 &O) const { return cmp(O) != 0; }
+  bool operator<(const U256 &O) const { return cmp(O) < 0; }
+  bool operator<=(const U256 &O) const { return cmp(O) <= 0; }
+  bool operator>(const U256 &O) const { return cmp(O) > 0; }
+  bool operator>=(const U256 &O) const { return cmp(O) >= 0; }
+
+  /// `*this += Other`; returns the carry out.
+  uint64_t addInPlace(const U256 &Other);
+  /// `*this -= Other`; returns the borrow out.
+  uint64_t subInPlace(const U256 &Other);
+
+  /// Logical shifts by one bit.
+  void shl1();
+  void shr1();
+
+  /// Value of bit \p I (0 = least significant).
+  bool bit(unsigned I) const {
+    return (Limbs[I / 64] >> (I % 64)) & 1;
+  }
+
+  /// Index of the highest set bit plus one (0 for zero).
+  unsigned bitLength() const;
+
+  /// Big-endian 32-byte conversions (the Bitcoin/SEC1 convention).
+  static U256 fromBytesBE(const std::array<uint8_t, 32> &Bytes);
+  std::array<uint8_t, 32> toBytesBE() const;
+
+  /// 64-hex-digit conversions (big-endian).
+  static Result<U256> fromHex(const std::string &Hex);
+  std::string toHex() const;
+};
+
+/// 512-bit product of two U256 values, little-endian limbs.
+struct U512 {
+  uint64_t Limbs[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+};
+
+/// Schoolbook 256x256 -> 512 multiplication.
+U512 mulWide(const U256 &A, const U256 &B);
+
+/// Modular arithmetic for a fixed odd prime modulus, using Montgomery
+/// multiplication internally. Values passed in and out are ordinary
+/// (non-Montgomery) residues in [0, M).
+class ModArith {
+public:
+  /// \p Modulus must be odd with its top bit set (true for both the
+  /// secp256k1 field prime p and group order n).
+  explicit ModArith(const U256 &Modulus);
+
+  const U256 &modulus() const { return M; }
+
+  U256 add(const U256 &A, const U256 &B) const;
+  U256 sub(const U256 &A, const U256 &B) const;
+  U256 neg(const U256 &A) const;
+  U256 mul(const U256 &A, const U256 &B) const;
+  U256 sqr(const U256 &A) const { return mul(A, A); }
+  U256 pow(const U256 &Base, const U256 &Exp) const;
+  /// Inverse via Fermat's little theorem; requires a prime modulus and
+  /// nonzero \p A.
+  U256 inverse(const U256 &A) const;
+  /// Reduce an arbitrary 256-bit value mod M.
+  U256 reduce(const U256 &A) const;
+
+  /// Montgomery-form entry points for hot loops (EC point arithmetic).
+  U256 toMont(const U256 &A) const { return montMul(A, RR); }
+  U256 fromMont(const U256 &A) const { return montMul(A, U256::one()); }
+  U256 montMul(const U256 &A, const U256 &B) const;
+  /// Addition/subtraction work identically on Montgomery representatives.
+  U256 montAdd(const U256 &A, const U256 &B) const { return add(A, B); }
+  U256 montSub(const U256 &A, const U256 &B) const { return sub(A, B); }
+  const U256 &montOne() const { return RModM; }
+
+private:
+  U256 M;
+  U256 RModM; ///< 2^256 mod M (the Montgomery representation of 1).
+  U256 RR;    ///< 2^512 mod M, for conversion into Montgomery form.
+  uint64_t Inv; ///< -M^{-1} mod 2^64.
+};
+
+} // namespace crypto
+} // namespace typecoin
+
+#endif // TYPECOIN_CRYPTO_U256_H

@@ -1,0 +1,88 @@
+//===- lf/names.h - Constant names and transaction references ---*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Qualified constant names. Per the paper (Section 4, "Bases"): "Every
+/// constant is relative to a reference to the transaction in which the
+/// constant originated. Since a transaction's identifier is not known in
+/// advance, constants local to the transaction are identified using a
+/// special local reference, `this`. Once the transaction enters the
+/// blockchain, all its declarations are added to the global basis, with
+/// `this` replaced by the transaction's identifier."
+///
+/// References are `this`, a transaction id (held as display hex so the
+/// logic layers stay independent of the Bitcoin substrate), or the
+/// builtin space for `nat`, `principal`, `plus`, ...
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LF_NAMES_H
+#define TYPECOIN_LF_NAMES_H
+
+#include <string>
+#include <tuple>
+
+namespace typecoin {
+namespace lf {
+
+/// A qualified constant name.
+struct ConstName {
+  enum class Space {
+    Builtin, ///< Predefined by the logic (`nat`, `principal`, `plus`).
+    Local,   ///< `this.label` — local to the transaction being built.
+    Global,  ///< `txid.label` — fixed by a confirmed transaction.
+  };
+
+  Space Kind = Space::Builtin;
+  /// Transaction id in display hex; only meaningful for Global.
+  std::string Txid;
+  std::string Label;
+
+  static ConstName builtin(std::string Label) {
+    return ConstName{Space::Builtin, "", std::move(Label)};
+  }
+  static ConstName local(std::string Label) {
+    return ConstName{Space::Local, "", std::move(Label)};
+  }
+  static ConstName global(std::string Txid, std::string Label) {
+    return ConstName{Space::Global, std::move(Txid), std::move(Label)};
+  }
+
+  bool isLocal() const { return Kind == Space::Local; }
+  bool isBuiltin() const { return Kind == Space::Builtin; }
+
+  /// The name with `this` replaced by \p NewTxid (no-op for others).
+  ConstName resolved(const std::string &NewTxid) const {
+    if (Kind != Space::Local)
+      return *this;
+    return global(NewTxid, Label);
+  }
+
+  bool operator==(const ConstName &O) const {
+    return Kind == O.Kind && Txid == O.Txid && Label == O.Label;
+  }
+  bool operator!=(const ConstName &O) const { return !(*this == O); }
+  bool operator<(const ConstName &O) const {
+    return std::tie(Kind, Txid, Label) < std::tie(O.Kind, O.Txid, O.Label);
+  }
+
+  std::string toString() const {
+    switch (Kind) {
+    case Space::Builtin:
+      return Label;
+    case Space::Local:
+      return "this." + Label;
+    case Space::Global:
+      return Txid.substr(0, 8) + "." + Label;
+    }
+    return Label;
+  }
+};
+
+} // namespace lf
+} // namespace typecoin
+
+#endif // TYPECOIN_LF_NAMES_H

@@ -1,0 +1,183 @@
+//===- lf/serialize.cpp - Canonical serialization of LF syntax --------------===//
+
+#include "lf/serialize.h"
+
+namespace typecoin {
+namespace lf {
+
+void writeConstName(Writer &W, const ConstName &Name) {
+  W.writeU8(static_cast<uint8_t>(Name.Kind));
+  W.writeString(Name.Txid);
+  W.writeString(Name.Label);
+}
+
+Result<ConstName> readConstName(Reader &R) {
+  TC_UNWRAP(Kind, R.readU8());
+  if (Kind > 2)
+    return makeError("lf: bad constant-name space tag");
+  TC_UNWRAP(Txid, R.readString());
+  TC_UNWRAP(Label, R.readString());
+  ConstName Name;
+  Name.Kind = static_cast<ConstName::Space>(Kind);
+  Name.Txid = std::move(Txid);
+  Name.Label = std::move(Label);
+  return Name;
+}
+
+void writeTerm(Writer &W, const TermPtr &T) {
+  W.writeU8(static_cast<uint8_t>(T->Kind));
+  switch (T->Kind) {
+  case Term::Tag::Var:
+    W.writeU32(T->VarIndex);
+    break;
+  case Term::Tag::Const:
+    writeConstName(W, T->Name);
+    break;
+  case Term::Tag::Lam:
+    writeType(W, T->Annot);
+    writeTerm(W, T->Body);
+    break;
+  case Term::Tag::App:
+    writeTerm(W, T->Fn);
+    writeTerm(W, T->Arg);
+    break;
+  case Term::Tag::Principal:
+    W.writeString(T->PrincipalHash);
+    break;
+  case Term::Tag::Nat:
+    W.writeU64(T->NatValue);
+    break;
+  }
+}
+
+Result<TermPtr> readTerm(Reader &R) {
+  TC_UNWRAP(Tag, R.readU8());
+  switch (static_cast<Term::Tag>(Tag)) {
+  case Term::Tag::Var: {
+    TC_UNWRAP(Index, R.readU32());
+    return var(Index);
+  }
+  case Term::Tag::Const: {
+    TC_UNWRAP(Name, readConstName(R));
+    return constant(Name);
+  }
+  case Term::Tag::Lam: {
+    TC_UNWRAP(Annot, readType(R));
+    TC_UNWRAP(Body, readTerm(R));
+    return lam(Annot, Body);
+  }
+  case Term::Tag::App: {
+    TC_UNWRAP(Fn, readTerm(R));
+    TC_UNWRAP(Arg, readTerm(R));
+    return app(Fn, Arg);
+  }
+  case Term::Tag::Principal: {
+    TC_UNWRAP(Hash, R.readString());
+    return principal(Hash);
+  }
+  case Term::Tag::Nat: {
+    TC_UNWRAP(Value, R.readU64());
+    return nat(Value);
+  }
+  }
+  return makeError("lf: bad term tag");
+}
+
+void writeType(Writer &W, const LFTypePtr &T) {
+  W.writeU8(static_cast<uint8_t>(T->Kind));
+  switch (T->Kind) {
+  case LFType::Tag::Const:
+    writeConstName(W, T->Name);
+    break;
+  case LFType::Tag::App:
+    writeType(W, T->Head);
+    writeTerm(W, T->Arg);
+    break;
+  case LFType::Tag::Pi:
+    writeType(W, T->Head);
+    writeType(W, T->Cod);
+    break;
+  }
+}
+
+Result<LFTypePtr> readType(Reader &R) {
+  TC_UNWRAP(Tag, R.readU8());
+  switch (static_cast<LFType::Tag>(Tag)) {
+  case LFType::Tag::Const: {
+    TC_UNWRAP(Name, readConstName(R));
+    return tConst(Name);
+  }
+  case LFType::Tag::App: {
+    TC_UNWRAP(Head, readType(R));
+    TC_UNWRAP(Arg, readTerm(R));
+    return tApp(Head, Arg);
+  }
+  case LFType::Tag::Pi: {
+    TC_UNWRAP(Dom, readType(R));
+    TC_UNWRAP(Cod, readType(R));
+    return tPi(Dom, Cod);
+  }
+  }
+  return makeError("lf: bad type tag");
+}
+
+void writeKind(Writer &W, const KindPtr &K) {
+  W.writeU8(static_cast<uint8_t>(K->KindTag));
+  if (K->KindTag == Kind::Tag::Pi) {
+    writeType(W, K->Dom);
+    writeKind(W, K->Cod);
+  }
+}
+
+Result<KindPtr> readKind(Reader &R) {
+  TC_UNWRAP(Tag, R.readU8());
+  switch (static_cast<Kind::Tag>(Tag)) {
+  case Kind::Tag::Type:
+    return kType();
+  case Kind::Tag::Prop:
+    return kProp();
+  case Kind::Tag::Pi: {
+    TC_UNWRAP(Dom, readType(R));
+    TC_UNWRAP(Cod, readKind(R));
+    return kPi(Dom, Cod);
+  }
+  }
+  return makeError("lf: bad kind tag");
+}
+
+void writeSignature(Writer &W, const Signature &Sig) {
+  W.writeCompactSize(Sig.size());
+  for (const ConstName &Name : Sig.order()) {
+    const Declaration *D = Sig.lookup(Name);
+    writeConstName(W, Name);
+    W.writeU8(static_cast<uint8_t>(D->Kind));
+    if (D->Kind == Declaration::Sort::Family)
+      writeKind(W, D->FamilyKind);
+    else
+      writeType(W, D->TermType);
+  }
+}
+
+Result<Signature> readSignature(Reader &R) {
+  TC_UNWRAP(Count, R.readCompactSize());
+  if (Count > 100000)
+    return makeError("lf: implausible signature size");
+  Signature Sig;
+  for (uint64_t I = 0; I < Count; ++I) {
+    TC_UNWRAP(Name, readConstName(R));
+    TC_UNWRAP(Sort, R.readU8());
+    if (Sort == static_cast<uint8_t>(Declaration::Sort::Family)) {
+      TC_UNWRAP(K, readKind(R));
+      TC_TRY(Sig.declareFamily(Name, K));
+    } else if (Sort == static_cast<uint8_t>(Declaration::Sort::TermConst)) {
+      TC_UNWRAP(Ty, readType(R));
+      TC_TRY(Sig.declareTerm(Name, Ty));
+    } else {
+      return makeError("lf: bad declaration sort");
+    }
+  }
+  return Sig;
+}
+
+} // namespace lf
+} // namespace typecoin

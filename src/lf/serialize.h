@@ -1,0 +1,44 @@
+//===- lf/serialize.h - Canonical serialization of LF syntax ----*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical byte serialization of LF kinds, families, and terms. The
+/// full Typecoin transaction (basis, grant, inputs, outputs, proof) is
+/// "cryptographically hashed and embedded into its corresponding Bitcoin
+/// transaction" (Section 3); this module provides the deterministic
+/// encoding that hash is computed over, and the matching parser so
+/// verifiers can reconstruct and re-check transactions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LF_SERIALIZE_H
+#define TYPECOIN_LF_SERIALIZE_H
+
+#include "lf/signature.h"
+#include "support/serialize.h"
+
+namespace typecoin {
+namespace lf {
+
+void writeConstName(Writer &W, const ConstName &Name);
+Result<ConstName> readConstName(Reader &R);
+
+void writeTerm(Writer &W, const TermPtr &T);
+Result<TermPtr> readTerm(Reader &R);
+
+void writeType(Writer &W, const LFTypePtr &T);
+Result<LFTypePtr> readType(Reader &R);
+
+void writeKind(Writer &W, const KindPtr &K);
+Result<KindPtr> readKind(Reader &R);
+
+void writeSignature(Writer &W, const Signature &Sig);
+Result<Signature> readSignature(Reader &R);
+
+} // namespace lf
+} // namespace typecoin
+
+#endif // TYPECOIN_LF_SERIALIZE_H

@@ -1,0 +1,74 @@
+//===- lf/signature.h - LF signatures (family/term constants) ---*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LF portion of a Typecoin basis: declarations of type-family
+/// constants (`c : k`) and index-term constants (`c : tau`). The paper
+/// calls the whole declaration set a *basis* "to avoid the unfortunate
+/// terminological collision with digital signatures" (Section 4); the
+/// proposition-level declarations (`c : A`) live one layer up in
+/// `logic::Basis`, which embeds one of these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LF_SIGNATURE_H
+#define TYPECOIN_LF_SIGNATURE_H
+
+#include "lf/syntax.h"
+
+#include <map>
+#include <vector>
+
+namespace typecoin {
+namespace lf {
+
+/// A declaration: a type family with its kind, or a term constant with
+/// its type.
+struct Declaration {
+  enum class Sort { Family, TermConst };
+  Sort Kind = Sort::Family;
+  KindPtr FamilyKind; ///< Sort::Family
+  LFTypePtr TermType; ///< Sort::TermConst
+};
+
+/// An ordered set of LF declarations with by-name lookup. Builtins
+/// (`nat`, `principal`, `plus`) are implicitly present.
+class Signature {
+public:
+  /// Declare a type family `Name : K`. Fails on redeclaration.
+  Status declareFamily(const ConstName &Name, KindPtr K);
+  /// Declare a term constant `Name : Ty`. Fails on redeclaration.
+  Status declareTerm(const ConstName &Name, LFTypePtr Ty);
+
+  /// Look up a declaration (including builtins); null if absent.
+  const Declaration *lookup(const ConstName &Name) const;
+
+  bool contains(const ConstName &Name) const {
+    return lookup(Name) != nullptr;
+  }
+
+  /// Number of explicit (non-builtin) declarations.
+  size_t size() const { return Order.size(); }
+
+  /// Explicit declarations in declaration order.
+  const std::vector<ConstName> &order() const { return Order; }
+
+  /// A copy with every `this.l` renamed to `Txid.l`, in names and in
+  /// declaration bodies (chain formation, Appendix A).
+  Signature resolved(const std::string &Txid) const;
+
+  /// Append all of \p Other's declarations (fails on collisions).
+  Status append(const Signature &Other);
+
+private:
+  std::map<ConstName, Declaration> Decls;
+  std::vector<ConstName> Order;
+};
+
+} // namespace lf
+} // namespace typecoin
+
+#endif // TYPECOIN_LF_SIGNATURE_H

@@ -1,0 +1,472 @@
+//===- lf/syntax.cpp - LF constructors and structural operations -----------===//
+
+#include "lf/syntax.h"
+
+#include "support/strings.h"
+
+#include <cassert>
+
+namespace typecoin {
+namespace lf {
+
+// Constructors --------------------------------------------------------------
+
+TermPtr var(unsigned Index) {
+  auto T = std::make_shared<Term>(Term::Tag::Var);
+  T->VarIndex = Index;
+  return T;
+}
+
+TermPtr constant(ConstName Name) {
+  auto T = std::make_shared<Term>(Term::Tag::Const);
+  T->Name = std::move(Name);
+  return T;
+}
+
+TermPtr lam(LFTypePtr Annot, TermPtr Body) {
+  auto T = std::make_shared<Term>(Term::Tag::Lam);
+  T->Annot = std::move(Annot);
+  T->Body = std::move(Body);
+  return T;
+}
+
+TermPtr app(TermPtr Fn, TermPtr Arg) {
+  auto T = std::make_shared<Term>(Term::Tag::App);
+  T->Fn = std::move(Fn);
+  T->Arg = std::move(Arg);
+  return T;
+}
+
+TermPtr apps(TermPtr Head, const std::vector<TermPtr> &Args) {
+  TermPtr Out = std::move(Head);
+  for (const TermPtr &Arg : Args)
+    Out = app(Out, Arg);
+  return Out;
+}
+
+TermPtr principal(std::string Hash) {
+  auto T = std::make_shared<Term>(Term::Tag::Principal);
+  T->PrincipalHash = std::move(Hash);
+  return T;
+}
+
+TermPtr nat(uint64_t Value) {
+  auto T = std::make_shared<Term>(Term::Tag::Nat);
+  T->NatValue = Value;
+  return T;
+}
+
+LFTypePtr tConst(ConstName Name) {
+  auto T = std::make_shared<LFType>(LFType::Tag::Const);
+  T->Name = std::move(Name);
+  return T;
+}
+
+LFTypePtr tApp(LFTypePtr Head, TermPtr Arg) {
+  auto T = std::make_shared<LFType>(LFType::Tag::App);
+  T->Head = std::move(Head);
+  T->Arg = std::move(Arg);
+  return T;
+}
+
+LFTypePtr tApps(LFTypePtr Head, const std::vector<TermPtr> &Args) {
+  LFTypePtr Out = std::move(Head);
+  for (const TermPtr &Arg : Args)
+    Out = tApp(Out, Arg);
+  return Out;
+}
+
+LFTypePtr tPi(LFTypePtr Dom, LFTypePtr Cod) {
+  auto T = std::make_shared<LFType>(LFType::Tag::Pi);
+  T->Head = std::move(Dom);
+  T->Cod = std::move(Cod);
+  return T;
+}
+
+KindPtr kType() {
+  static const KindPtr K = std::make_shared<Kind>(Kind::Tag::Type);
+  return K;
+}
+
+KindPtr kProp() {
+  static const KindPtr K = std::make_shared<Kind>(Kind::Tag::Prop);
+  return K;
+}
+
+KindPtr kPi(LFTypePtr Dom, KindPtr Cod) {
+  auto K = std::make_shared<Kind>(Kind::Tag::Pi);
+  K->Dom = std::move(Dom);
+  K->Cod = std::move(Cod);
+  return K;
+}
+
+// Builtins ------------------------------------------------------------------
+
+LFTypePtr natType() { return tConst(ConstName::builtin("nat")); }
+LFTypePtr principalType() {
+  return tConst(ConstName::builtin("principal"));
+}
+LFTypePtr timeType() { return natType(); }
+
+LFTypePtr plusType(TermPtr N, TermPtr M, TermPtr P) {
+  return tApps(tConst(ConstName::builtin("plus")),
+               {std::move(N), std::move(M), std::move(P)});
+}
+
+TermPtr plusProof(uint64_t N, uint64_t M) {
+  return apps(constant(ConstName::builtin("plus/pf")), {nat(N), nat(M)});
+}
+
+bool isBuiltinName(const ConstName &Name) {
+  if (Name.Kind != ConstName::Space::Builtin)
+    return false;
+  return Name.Label == "nat" || Name.Label == "principal" ||
+         Name.Label == "plus" || Name.Label == "plus/pf";
+}
+
+// Shifting ------------------------------------------------------------------
+
+TermPtr shiftTerm(const TermPtr &T, int Delta, unsigned Cutoff) {
+  if (Delta == 0)
+    return T;
+  switch (T->Kind) {
+  case Term::Tag::Var:
+    if (T->VarIndex < Cutoff)
+      return T;
+    assert(Delta > 0 || T->VarIndex >= static_cast<unsigned>(-Delta));
+    return var(T->VarIndex + Delta);
+  case Term::Tag::Const:
+  case Term::Tag::Principal:
+  case Term::Tag::Nat:
+    return T;
+  case Term::Tag::Lam:
+    return lam(shiftType(T->Annot, Delta, Cutoff),
+               shiftTerm(T->Body, Delta, Cutoff + 1));
+  case Term::Tag::App:
+    return app(shiftTerm(T->Fn, Delta, Cutoff),
+               shiftTerm(T->Arg, Delta, Cutoff));
+  }
+  return T;
+}
+
+LFTypePtr shiftType(const LFTypePtr &T, int Delta, unsigned Cutoff) {
+  if (Delta == 0)
+    return T;
+  switch (T->Kind) {
+  case LFType::Tag::Const:
+    return T;
+  case LFType::Tag::App:
+    return tApp(shiftType(T->Head, Delta, Cutoff),
+                shiftTerm(T->Arg, Delta, Cutoff));
+  case LFType::Tag::Pi:
+    return tPi(shiftType(T->Head, Delta, Cutoff),
+               shiftType(T->Cod, Delta, Cutoff + 1));
+  }
+  return T;
+}
+
+KindPtr shiftKind(const KindPtr &K, int Delta, unsigned Cutoff) {
+  if (Delta == 0 || K->KindTag != Kind::Tag::Pi)
+    return K;
+  return kPi(shiftType(K->Dom, Delta, Cutoff),
+             shiftKind(K->Cod, Delta, Cutoff + 1));
+}
+
+// Substitution ---------------------------------------------------------------
+
+TermPtr substTerm(const TermPtr &T, unsigned Index, const TermPtr &Value) {
+  switch (T->Kind) {
+  case Term::Tag::Var:
+    if (T->VarIndex == Index)
+      return Value;
+    if (T->VarIndex > Index)
+      return var(T->VarIndex - 1); // The binder disappears.
+    return T;
+  case Term::Tag::Const:
+  case Term::Tag::Principal:
+  case Term::Tag::Nat:
+    return T;
+  case Term::Tag::Lam:
+    return lam(substType(T->Annot, Index, Value),
+               substTerm(T->Body, Index + 1, shiftTerm(Value, 1)));
+  case Term::Tag::App:
+    return app(substTerm(T->Fn, Index, Value),
+               substTerm(T->Arg, Index, Value));
+  }
+  return T;
+}
+
+LFTypePtr substType(const LFTypePtr &T, unsigned Index, const TermPtr &Value) {
+  switch (T->Kind) {
+  case LFType::Tag::Const:
+    return T;
+  case LFType::Tag::App:
+    return tApp(substType(T->Head, Index, Value),
+                substTerm(T->Arg, Index, Value));
+  case LFType::Tag::Pi:
+    return tPi(substType(T->Head, Index, Value),
+               substType(T->Cod, Index + 1, shiftTerm(Value, 1)));
+  }
+  return T;
+}
+
+KindPtr substKind(const KindPtr &K, unsigned Index, const TermPtr &Value) {
+  if (K->KindTag != Kind::Tag::Pi)
+    return K;
+  return kPi(substType(K->Dom, Index, Value),
+             substKind(K->Cod, Index + 1, shiftTerm(Value, 1)));
+}
+
+// Normalization --------------------------------------------------------------
+
+namespace {
+
+constexpr unsigned NormalizeFuel = 100000;
+
+Result<TermPtr> normalizeTermFueled(const TermPtr &T, unsigned &Fuel) {
+  if (Fuel-- == 0)
+    return makeError("lf: normalization fuel exhausted");
+  switch (T->Kind) {
+  case Term::Tag::Var:
+  case Term::Tag::Const:
+  case Term::Tag::Principal:
+  case Term::Tag::Nat:
+    return T;
+  case Term::Tag::Lam: {
+    TC_UNWRAP(Body, normalizeTermFueled(T->Body, Fuel));
+    return lam(T->Annot, Body);
+  }
+  case Term::Tag::App: {
+    TC_UNWRAP(Fn, normalizeTermFueled(T->Fn, Fuel));
+    TC_UNWRAP(Arg, normalizeTermFueled(T->Arg, Fuel));
+    if (Fn->Kind == Term::Tag::Lam)
+      return normalizeTermFueled(substTerm(Fn->Body, 0, Arg), Fuel);
+    return app(Fn, Arg);
+  }
+  }
+  return T;
+}
+
+} // namespace
+
+Result<TermPtr> normalizeTerm(const TermPtr &T) {
+  unsigned Fuel = NormalizeFuel;
+  return normalizeTermFueled(T, Fuel);
+}
+
+Result<LFTypePtr> normalizeType(const LFTypePtr &T) {
+  switch (T->Kind) {
+  case LFType::Tag::Const:
+    return T;
+  case LFType::Tag::App: {
+    TC_UNWRAP(Head, normalizeType(T->Head));
+    TC_UNWRAP(Arg, normalizeTerm(T->Arg));
+    return tApp(Head, Arg);
+  }
+  case LFType::Tag::Pi: {
+    TC_UNWRAP(Dom, normalizeType(T->Head));
+    TC_UNWRAP(Cod, normalizeType(T->Cod));
+    return tPi(Dom, Cod);
+  }
+  }
+  return T;
+}
+
+// Equality --------------------------------------------------------------------
+
+bool termIdentical(const TermPtr &A, const TermPtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case Term::Tag::Var:
+    return A->VarIndex == B->VarIndex;
+  case Term::Tag::Const:
+    return A->Name == B->Name;
+  case Term::Tag::Principal:
+    return A->PrincipalHash == B->PrincipalHash;
+  case Term::Tag::Nat:
+    return A->NatValue == B->NatValue;
+  case Term::Tag::Lam:
+    // Annotation equality matters for definitional equality in
+    // fully-annotated presentations; compare both.
+    return typeIdentical(A->Annot, B->Annot) &&
+           termIdentical(A->Body, B->Body);
+  case Term::Tag::App:
+    return termIdentical(A->Fn, B->Fn) && termIdentical(A->Arg, B->Arg);
+  }
+  return false;
+}
+
+bool typeIdentical(const LFTypePtr &A, const LFTypePtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case LFType::Tag::Const:
+    return A->Name == B->Name;
+  case LFType::Tag::App:
+    return typeIdentical(A->Head, B->Head) && termIdentical(A->Arg, B->Arg);
+  case LFType::Tag::Pi:
+    return typeIdentical(A->Head, B->Head) && typeIdentical(A->Cod, B->Cod);
+  }
+  return false;
+}
+
+bool termEqual(const TermPtr &A, const TermPtr &B) {
+  auto NA = normalizeTerm(A);
+  auto NB = normalizeTerm(B);
+  if (!NA || !NB)
+    return false;
+  return termIdentical(*NA, *NB);
+}
+
+bool typeEqual(const LFTypePtr &A, const LFTypePtr &B) {
+  auto NA = normalizeType(A);
+  auto NB = normalizeType(B);
+  if (!NA || !NB)
+    return false;
+  return typeIdentical(*NA, *NB);
+}
+
+bool kindEqual(const KindPtr &A, const KindPtr &B) {
+  if (A->KindTag != B->KindTag)
+    return false;
+  if (A->KindTag != Kind::Tag::Pi)
+    return true;
+  return typeEqual(A->Dom, B->Dom) && kindEqual(A->Cod, B->Cod);
+}
+
+// Resolution (`this` -> txid) -------------------------------------------------
+
+TermPtr resolveTerm(const TermPtr &T, const std::string &Txid) {
+  switch (T->Kind) {
+  case Term::Tag::Var:
+  case Term::Tag::Principal:
+  case Term::Tag::Nat:
+    return T;
+  case Term::Tag::Const:
+    if (!T->Name.isLocal())
+      return T;
+    return constant(T->Name.resolved(Txid));
+  case Term::Tag::Lam:
+    return lam(resolveType(T->Annot, Txid), resolveTerm(T->Body, Txid));
+  case Term::Tag::App:
+    return app(resolveTerm(T->Fn, Txid), resolveTerm(T->Arg, Txid));
+  }
+  return T;
+}
+
+LFTypePtr resolveType(const LFTypePtr &T, const std::string &Txid) {
+  switch (T->Kind) {
+  case LFType::Tag::Const:
+    if (!T->Name.isLocal())
+      return T;
+    return tConst(T->Name.resolved(Txid));
+  case LFType::Tag::App:
+    return tApp(resolveType(T->Head, Txid), resolveTerm(T->Arg, Txid));
+  case LFType::Tag::Pi:
+    return tPi(resolveType(T->Head, Txid), resolveType(T->Cod, Txid));
+  }
+  return T;
+}
+
+KindPtr resolveKind(const KindPtr &K, const std::string &Txid) {
+  if (K->KindTag != Kind::Tag::Pi)
+    return K;
+  return kPi(resolveType(K->Dom, Txid), resolveKind(K->Cod, Txid));
+}
+
+bool termHasLocal(const TermPtr &T) {
+  switch (T->Kind) {
+  case Term::Tag::Var:
+  case Term::Tag::Principal:
+  case Term::Tag::Nat:
+    return false;
+  case Term::Tag::Const:
+    return T->Name.isLocal();
+  case Term::Tag::Lam:
+    return typeHasLocal(T->Annot) || termHasLocal(T->Body);
+  case Term::Tag::App:
+    return termHasLocal(T->Fn) || termHasLocal(T->Arg);
+  }
+  return false;
+}
+
+bool typeHasLocal(const LFTypePtr &T) {
+  switch (T->Kind) {
+  case LFType::Tag::Const:
+    return T->Name.isLocal();
+  case LFType::Tag::App:
+    return typeHasLocal(T->Head) || termHasLocal(T->Arg);
+  case LFType::Tag::Pi:
+    return typeHasLocal(T->Head) || typeHasLocal(T->Cod);
+  }
+  return false;
+}
+
+// Printing --------------------------------------------------------------------
+
+static std::string printTermPrec(const TermPtr &T, int Prec);
+
+static std::string printTypePrec(const LFTypePtr &T, int Prec) {
+  switch (T->Kind) {
+  case LFType::Tag::Const:
+    return T->Name.toString();
+  case LFType::Tag::App: {
+    std::string S =
+        printTypePrec(T->Head, 1) + " " + printTermPrec(T->Arg, 2);
+    return Prec > 1 ? "(" + S + ")" : S;
+  }
+  case LFType::Tag::Pi: {
+    std::string S = "Pi :" + printTypePrec(T->Head, 1) + ". " +
+                    printTypePrec(T->Cod, 0);
+    return Prec > 0 ? "(" + S + ")" : S;
+  }
+  }
+  return "?";
+}
+
+static std::string printTermPrec(const TermPtr &T, int Prec) {
+  switch (T->Kind) {
+  case Term::Tag::Var:
+    return strformat("#%u", T->VarIndex);
+  case Term::Tag::Const:
+    return T->Name.toString();
+  case Term::Tag::Principal:
+    return "K:" + T->PrincipalHash.substr(0, 8);
+  case Term::Tag::Nat:
+    return std::to_string(T->NatValue);
+  case Term::Tag::Lam: {
+    std::string S = "\\:" + printTypePrec(T->Annot, 1) + ". " +
+                    printTermPrec(T->Body, 0);
+    return Prec > 0 ? "(" + S + ")" : S;
+  }
+  case Term::Tag::App: {
+    std::string S =
+        printTermPrec(T->Fn, 1) + " " + printTermPrec(T->Arg, 2);
+    return Prec > 1 ? "(" + S + ")" : S;
+  }
+  }
+  return "?";
+}
+
+std::string printTerm(const TermPtr &T) { return printTermPrec(T, 0); }
+std::string printType(const LFTypePtr &T) { return printTypePrec(T, 0); }
+
+std::string printKind(const KindPtr &K) {
+  switch (K->KindTag) {
+  case Kind::Tag::Type:
+    return "type";
+  case Kind::Tag::Prop:
+    return "prop";
+  case Kind::Tag::Pi:
+    return "Pi :" + printType(K->Dom) + ". " + printKind(K->Cod);
+  }
+  return "?";
+}
+
+} // namespace lf
+} // namespace typecoin

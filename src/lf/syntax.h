@@ -1,0 +1,181 @@
+//===- lf/syntax.h - LF kinds, type families, and terms ---------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LF layer of Figure 1:
+///
+///   kind         k ::= type | prop | Pi u:tau. k
+///   type family  tau ::= c | tau m | Pi u:tau. tau
+///   index term   m ::= u | c | lambda u:tau. m | m m | K | n
+///
+/// "For maximum generality, we follow Simmons [2012] and use LF for our
+/// index terms. ... it is convenient to isolate two particular LF types
+/// (principal and nat) for special treatment" (Section 4). Following
+/// Harper & Pfenning [2005] there are no family-level lambdas, and
+/// atomic propositions are type families of the extra kind `prop`.
+///
+/// Bound variables are de Bruijn indices; all nodes are immutable and
+/// shared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LF_SYNTAX_H
+#define TYPECOIN_LF_SYNTAX_H
+
+#include "lf/names.h"
+#include "support/result.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace typecoin {
+namespace lf {
+
+struct Term;
+struct LFType;
+struct Kind;
+using TermPtr = std::shared_ptr<const Term>;
+using LFTypePtr = std::shared_ptr<const LFType>;
+using KindPtr = std::shared_ptr<const Kind>;
+
+/// An LF index term.
+struct Term {
+  enum class Tag {
+    Var,       ///< de Bruijn variable
+    Const,     ///< declared or builtin constant
+    Lam,       ///< lambda u:tau. m
+    App,       ///< m1 m2
+    Principal, ///< principal literal K (hash of a public key, hex)
+    Nat,       ///< natural-number literal n
+  };
+
+  Tag Kind;
+  unsigned VarIndex = 0;      ///< Var
+  ConstName Name;             ///< Const
+  LFTypePtr Annot;            ///< Lam: domain annotation
+  TermPtr Body;               ///< Lam
+  TermPtr Fn, Arg;            ///< App
+  std::string PrincipalHash;  ///< Principal: 40 hex chars (HASH160)
+  uint64_t NatValue = 0;      ///< Nat
+
+  explicit Term(Tag Kind) : Kind(Kind) {}
+};
+
+/// An LF type family.
+struct LFType {
+  enum class Tag {
+    Const, ///< family constant c
+    App,   ///< tau m
+    Pi,    ///< Pi u:tau1. tau2
+  };
+
+  Tag Kind;
+  ConstName Name;     ///< Const
+  LFTypePtr Head;     ///< App: the family being applied; Pi: the domain
+  TermPtr Arg;        ///< App
+  LFTypePtr Cod;      ///< Pi: the codomain (binds index 0)
+
+  explicit LFType(Tag Kind) : Kind(Kind) {}
+};
+
+/// An LF kind; `prop` is the paper's extra base kind for atomic
+/// propositions.
+struct Kind {
+  enum class Tag { Type, Prop, Pi };
+
+  Tag KindTag;
+  LFTypePtr Dom; ///< Pi: the domain
+  KindPtr Cod;   ///< Pi: the body (binds index 0)
+
+  explicit Kind(Tag KindTag) : KindTag(KindTag) {}
+};
+
+// Constructors -------------------------------------------------------------
+
+TermPtr var(unsigned Index);
+TermPtr constant(ConstName Name);
+TermPtr lam(LFTypePtr Annot, TermPtr Body);
+TermPtr app(TermPtr Fn, TermPtr Arg);
+/// Left-nested application of a head to a spine.
+TermPtr apps(TermPtr Head, const std::vector<TermPtr> &Args);
+TermPtr principal(std::string Hash);
+TermPtr nat(uint64_t Value);
+
+LFTypePtr tConst(ConstName Name);
+LFTypePtr tApp(LFTypePtr Head, TermPtr Arg);
+LFTypePtr tApps(LFTypePtr Head, const std::vector<TermPtr> &Args);
+LFTypePtr tPi(LFTypePtr Dom, LFTypePtr Cod);
+
+KindPtr kType();
+KindPtr kProp();
+KindPtr kPi(LFTypePtr Dom, KindPtr Cod);
+
+// Builtins ------------------------------------------------------------------
+
+/// `nat : type`.
+LFTypePtr natType();
+/// `principal : type`.
+LFTypePtr principalType();
+/// `time` is just `nat` (paper, footnote 10); provided for readability.
+LFTypePtr timeType();
+/// `plus : nat -> nat -> nat -> type` — `plus N M P` is inhabited exactly
+/// when N + M = P. Proofs are the builtin constant `plus/pf` applied to
+/// two literals (a computational substitute for an inductive derivation;
+/// see DESIGN.md).
+LFTypePtr plusType(TermPtr N, TermPtr M, TermPtr P);
+/// The proof term `plus/pf n m : plus n m (n+m)` for literals.
+TermPtr plusProof(uint64_t N, uint64_t M);
+
+/// Names of the builtin constants.
+bool isBuiltinName(const ConstName &Name);
+
+// Structural operations -----------------------------------------------------
+
+/// Shift free de Bruijn indices >= Cutoff by Delta.
+TermPtr shiftTerm(const TermPtr &T, int Delta, unsigned Cutoff = 0);
+LFTypePtr shiftType(const LFTypePtr &T, int Delta, unsigned Cutoff = 0);
+KindPtr shiftKind(const KindPtr &K, int Delta, unsigned Cutoff = 0);
+
+/// Capture-avoiding substitution of \p Value for index \p Index.
+TermPtr substTerm(const TermPtr &T, unsigned Index, const TermPtr &Value);
+LFTypePtr substType(const LFTypePtr &T, unsigned Index, const TermPtr &Value);
+KindPtr substKind(const KindPtr &K, unsigned Index, const TermPtr &Value);
+
+/// Beta-normalization (fueled against malformed input; well-typed terms
+/// always normalize within the budget used by the checker).
+Result<TermPtr> normalizeTerm(const TermPtr &T);
+Result<LFTypePtr> normalizeType(const LFTypePtr &T);
+
+/// Structural equality after normalization (definitional equality).
+bool termEqual(const TermPtr &A, const TermPtr &B);
+bool typeEqual(const LFTypePtr &A, const LFTypePtr &B);
+bool kindEqual(const KindPtr &A, const KindPtr &B);
+
+/// Raw structural (syntactic) equality, no normalization.
+bool termIdentical(const TermPtr &A, const TermPtr &B);
+bool typeIdentical(const LFTypePtr &A, const LFTypePtr &B);
+
+/// Rewrite `this.l` constants to `txid.l` (chain formation).
+TermPtr resolveTerm(const TermPtr &T, const std::string &Txid);
+LFTypePtr resolveType(const LFTypePtr &T, const std::string &Txid);
+KindPtr resolveKind(const KindPtr &K, const std::string &Txid);
+
+/// True when the term/type mentions any `this.l` constant.
+bool termHasLocal(const TermPtr &T);
+bool typeHasLocal(const LFTypePtr &T);
+
+// Printing ------------------------------------------------------------------
+
+std::string printTerm(const TermPtr &T);
+std::string printType(const LFTypePtr &T);
+std::string printKind(const KindPtr &K);
+
+} // namespace lf
+} // namespace typecoin
+
+#endif // TYPECOIN_LF_SYNTAX_H

@@ -1,0 +1,170 @@
+//===- lf/typecheck.cpp - LF typechecking ------------------------------------===//
+
+#include "lf/typecheck.h"
+
+#include <algorithm>
+
+namespace typecoin {
+namespace lf {
+
+/// Look up de Bruijn index \p I in \p Psi, shifting the stored type into
+/// the full context.
+static Result<LFTypePtr> lookupVar(const Context &Psi, unsigned I) {
+  if (I >= Psi.size())
+    return makeError("lf: unbound variable #" + std::to_string(I));
+  const LFTypePtr &Stored = Psi[Psi.size() - 1 - I];
+  return shiftType(Stored, static_cast<int>(I) + 1);
+}
+
+Status checkKind(const Signature &Sig, const Context &Psi, const KindPtr &K) {
+  switch (K->KindTag) {
+  case Kind::Tag::Type:
+  case Kind::Tag::Prop:
+    return Status::success();
+  case Kind::Tag::Pi: {
+    TC_UNWRAP(DomKind, kindOfType(Sig, Psi, K->Dom));
+    if (DomKind->KindTag != Kind::Tag::Type)
+      return makeError("lf: Pi-kind domain must have kind type, got " +
+                       printKind(DomKind));
+    Context Extended = Psi;
+    Extended.push_back(K->Dom);
+    return checkKind(Sig, Extended, K->Cod);
+  }
+  }
+  return makeError("lf: malformed kind");
+}
+
+Result<KindPtr> kindOfType(const Signature &Sig, const Context &Psi,
+                           const LFTypePtr &T) {
+  switch (T->Kind) {
+  case LFType::Tag::Const: {
+    const Declaration *D = Sig.lookup(T->Name);
+    if (!D)
+      return makeError("lf: undeclared family " + T->Name.toString());
+    if (D->Kind != Declaration::Sort::Family)
+      return makeError("lf: " + T->Name.toString() +
+                       " is a term constant, not a family");
+    return D->FamilyKind;
+  }
+  case LFType::Tag::App: {
+    TC_UNWRAP(HeadKind, kindOfType(Sig, Psi, T->Head));
+    if (HeadKind->KindTag != Kind::Tag::Pi)
+      return makeError("lf: family applied to too many arguments: " +
+                       printType(T));
+    TC_TRY(checkTerm(Sig, Psi, T->Arg, HeadKind->Dom));
+    return substKind(HeadKind->Cod, 0, T->Arg);
+  }
+  case LFType::Tag::Pi: {
+    TC_UNWRAP(DomKind, kindOfType(Sig, Psi, T->Head));
+    if (DomKind->KindTag != Kind::Tag::Type)
+      return makeError("lf: Pi domain must have kind type");
+    Context Extended = Psi;
+    Extended.push_back(T->Head);
+    TC_UNWRAP(CodKind, kindOfType(Sig, Extended, T->Cod));
+    if (CodKind->KindTag != Kind::Tag::Type)
+      return makeError("lf: Pi codomain must have kind type");
+    return kType();
+  }
+  }
+  return makeError("lf: malformed type family");
+}
+
+/// The special typing rule for the builtin `plus/pf`: applied to two nat
+/// literals n and m it proves `plus n m (n+m)`.
+static Result<LFTypePtr> typeOfPlusProof(const Signature &Sig,
+                                         const Context &Psi,
+                                         const std::vector<TermPtr> &Spine) {
+  if (Spine.size() != 2)
+    return makeError("lf: plus/pf expects exactly two arguments");
+  TermPtr Args[2];
+  for (int I = 0; I < 2; ++I) {
+    TC_TRY(checkTerm(Sig, Psi, Spine[static_cast<size_t>(I)], natType()));
+    TC_UNWRAP(Norm, normalizeTerm(Spine[static_cast<size_t>(I)]));
+    if (Norm->Kind != Term::Tag::Nat)
+      return makeError("lf: plus/pf requires literal nat arguments, got " +
+                       printTerm(Norm));
+    Args[I] = Norm;
+  }
+  uint64_t N = Args[0]->NatValue, M = Args[1]->NatValue;
+  if (N + M < N)
+    return makeError("lf: plus/pf argument overflow");
+  return plusType(Args[0], Args[1], nat(N + M));
+}
+
+Result<LFTypePtr> typeOfTerm(const Signature &Sig, const Context &Psi,
+                             const TermPtr &M) {
+  switch (M->Kind) {
+  case Term::Tag::Var:
+    return lookupVar(Psi, M->VarIndex);
+  case Term::Tag::Const: {
+    if (M->Name.isBuiltin() && M->Name.Label == "plus/pf")
+      return makeError("lf: plus/pf must be fully applied");
+    const Declaration *D = Sig.lookup(M->Name);
+    if (!D)
+      return makeError("lf: undeclared constant " + M->Name.toString());
+    if (D->Kind != Declaration::Sort::TermConst)
+      return makeError("lf: " + M->Name.toString() +
+                       " is a family, not a term constant");
+    return D->TermType;
+  }
+  case Term::Tag::Principal:
+    if (M->PrincipalHash.size() != 40)
+      return makeError("lf: principal literal must be 40 hex digits");
+    return principalType();
+  case Term::Tag::Nat:
+    return natType();
+  case Term::Tag::Lam: {
+    TC_UNWRAP(AnnotKind, kindOfType(Sig, Psi, M->Annot));
+    if (AnnotKind->KindTag != Kind::Tag::Type)
+      return makeError("lf: lambda annotation must have kind type");
+    Context Extended = Psi;
+    Extended.push_back(M->Annot);
+    TC_UNWRAP(BodyType, typeOfTerm(Sig, Extended, M->Body));
+    return tPi(M->Annot, BodyType);
+  }
+  case Term::Tag::App: {
+    // Flatten the spine to special-case plus/pf.
+    std::vector<TermPtr> Spine;
+    TermPtr Head = M;
+    while (Head->Kind == Term::Tag::App) {
+      Spine.push_back(Head->Arg);
+      Head = Head->Fn;
+    }
+    std::reverse(Spine.begin(), Spine.end());
+    if (Head->Kind == Term::Tag::Const && Head->Name.isBuiltin() &&
+        Head->Name.Label == "plus/pf")
+      return typeOfPlusProof(Sig, Psi, Spine);
+
+    TC_UNWRAP(FnType, typeOfTerm(Sig, Psi, M->Fn));
+    TC_UNWRAP(FnNorm, normalizeType(FnType));
+    if (FnNorm->Kind != LFType::Tag::Pi)
+      return makeError("lf: applying a non-function of type " +
+                       printType(FnNorm));
+    TC_TRY(checkTerm(Sig, Psi, M->Arg, FnNorm->Head));
+    return substType(FnNorm->Cod, 0, M->Arg);
+  }
+  }
+  return makeError("lf: malformed term");
+}
+
+Status checkTerm(const Signature &Sig, const Context &Psi, const TermPtr &M,
+                 const LFTypePtr &Expected) {
+  TC_UNWRAP(Actual, typeOfTerm(Sig, Psi, M));
+  if (!typeEqual(Actual, Expected))
+    return makeError("lf: term " + printTerm(M) + " has type " +
+                     printType(Actual) + ", expected " +
+                     printType(Expected));
+  return Status::success();
+}
+
+Status checkPropAtom(const Signature &Sig, const Context &Psi,
+                     const LFTypePtr &T) {
+  TC_UNWRAP(K, kindOfType(Sig, Psi, T));
+  if (K->KindTag != Kind::Tag::Prop)
+    return makeError("lf: atomic proposition head " + printType(T) +
+                     " has kind " + printKind(K) + ", expected prop");
+  return Status::success();
+}
+
+} // namespace lf
+} // namespace typecoin

@@ -1,0 +1,56 @@
+//===- lf/typecheck.h - LF typechecking --------------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LF judgements of Appendix A:
+///
+///   Sigma; Psi |- k kind       (kind formation)
+///   Sigma; Psi |- tau : k      (type-family formation)
+///   Sigma; Psi |- m : tau      (term typing)
+///
+/// Definitional equality is beta-normal structural equality (family-level
+/// lambdas are omitted following Harper & Pfenning [2005], so kinds and
+/// families need no reduction of their own).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LF_TYPECHECK_H
+#define TYPECOIN_LF_TYPECHECK_H
+
+#include "lf/signature.h"
+
+namespace typecoin {
+namespace lf {
+
+/// LF contexts Psi: de Bruijn, index 0 is the innermost binder
+/// (the back of the vector). Stored types are valid in the prefix
+/// context below their binder.
+using Context = std::vector<LFTypePtr>;
+
+/// Sigma; Psi |- k kind.
+Status checkKind(const Signature &Sig, const Context &Psi, const KindPtr &K);
+
+/// Sigma; Psi |- tau : k — infer the kind of a family.
+Result<KindPtr> kindOfType(const Signature &Sig, const Context &Psi,
+                           const LFTypePtr &T);
+
+/// Sigma; Psi |- m : tau — infer the type of a term.
+Result<LFTypePtr> typeOfTerm(const Signature &Sig, const Context &Psi,
+                             const TermPtr &M);
+
+/// Check m against an expected type (inference + definitional equality).
+Status checkTerm(const Signature &Sig, const Context &Psi, const TermPtr &M,
+                 const LFTypePtr &Expected);
+
+/// Check that a family is a well-formed *atomic-proposition* head
+/// applied to enough arguments (kind prop after application).
+Status checkPropAtom(const Signature &Sig, const Context &Psi,
+                     const LFTypePtr &T);
+
+} // namespace lf
+} // namespace typecoin
+
+#endif // TYPECOIN_LF_TYPECHECK_H

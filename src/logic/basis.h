@@ -1,0 +1,81 @@
+//===- logic/basis.h - Typecoin bases -----------------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bases (Figure 1: `Sigma ::= e | Sigma, c : s` where a sort `s` is a
+/// kind, an LF type, or a proposition). "A transaction uses its local
+/// basis to define concepts or rules relevant to its transaction. ...
+/// The *global basis* is the local basis appended to the bases of all
+/// previous transactions" (Section 4).
+///
+/// Proposition-sorted constants are persistent rules (`merge`, `split`,
+/// `issue`, ...); they are referenced from proof terms and never
+/// consumed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LOGIC_BASIS_H
+#define TYPECOIN_LOGIC_BASIS_H
+
+#include "logic/proposition.h"
+
+namespace typecoin {
+namespace logic {
+
+/// A basis: LF declarations plus proposition-sorted constants.
+class Basis {
+public:
+  /// The LF portion (families and term constants).
+  const lf::Signature &lfSig() const { return LF; }
+  lf::Signature &lfSig() { return LF; }
+
+  Status declareFamily(const lf::ConstName &Name, lf::KindPtr K) {
+    return LF.declareFamily(Name, std::move(K));
+  }
+  Status declareTerm(const lf::ConstName &Name, lf::LFTypePtr Ty) {
+    return LF.declareTerm(Name, std::move(Ty));
+  }
+  /// Declare a persistent proposition constant `Name : A`.
+  Status declareProp(const lf::ConstName &Name, PropPtr A);
+
+  /// Look up a proposition constant; null if absent.
+  const PropPtr *lookupProp(const lf::ConstName &Name) const;
+
+  bool contains(const lf::ConstName &Name) const {
+    return LF.contains(Name) || lookupProp(Name) != nullptr;
+  }
+
+  /// Basis formation (Appendix A `Sigma |- Sigma' ok`): every
+  /// declaration well-formed against \p Global extended with this
+  /// basis's earlier declarations; all names local.
+  Status checkFormedAgainst(const Basis &Global) const;
+
+  /// Basis freshness (Appendix A): kinds are unconditionally fresh;
+  /// type- and prop-sorted declarations must be fresh.
+  Status checkFresh() const;
+
+  /// `this` -> txid in names and bodies.
+  Basis resolved(const std::string &Txid) const;
+
+  /// Append another basis (the global-basis accumulation step).
+  Status append(const Basis &Other);
+
+  size_t propCount() const { return PropOrder.size(); }
+  const std::vector<lf::ConstName> &propOrder() const { return PropOrder; }
+
+  void serialize(Writer &W) const;
+  static Result<Basis> deserialize(Reader &R);
+
+private:
+  lf::Signature LF;
+  std::map<lf::ConstName, PropPtr> Props;
+  std::vector<lf::ConstName> PropOrder;
+};
+
+} // namespace logic
+} // namespace typecoin
+
+#endif // TYPECOIN_LOGIC_BASIS_H

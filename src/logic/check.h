@@ -1,0 +1,101 @@
+//===- logic/check.h - The affine proof checker ------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The proof-term typing judgement of Appendix A:
+///
+///   T; Sigma; Psi; Gamma; Delta |- M : A
+///
+/// with persistent context Gamma, affine context Delta (hypotheses used
+/// *at most once* — weakening is embraced, Section 4), the affirmation
+/// monad rules, and the conditional monad rules. The transaction T
+/// enters only through the affine `assert` rule ("linear affirmations
+/// must be signed relative to the transaction, in order to prevent
+/// replay attacks"), abstracted here as an \ref AffirmationVerifier so
+/// the logic stays independent of the Bitcoin substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LOGIC_CHECK_H
+#define TYPECOIN_LOGIC_CHECK_H
+
+#include "logic/proof.h"
+
+namespace typecoin {
+namespace logic {
+
+/// Verifies the digital signatures inside `assert` / `assert!` proof
+/// terms. The typecoin layer implements this against real ECDSA keys and
+/// the enclosing transaction; unit tests may use \ref TrustingVerifier.
+class AffirmationVerifier {
+public:
+  virtual ~AffirmationVerifier() = default;
+  /// `assert(K, A, sig)`: sig signs the enclosing transaction plus A.
+  virtual Status verifyAffine(const std::string &KHash, const PropPtr &A,
+                              const Bytes &Sig) const = 0;
+  /// `assert!(K, A, sig)`: sig signs A alone (liftable out of the
+  /// transaction).
+  virtual Status verifyPersistent(const std::string &KHash,
+                                  const PropPtr &A,
+                                  const Bytes &Sig) const = 0;
+};
+
+/// Accepts every affirmation — for tests of the pure logic.
+class TrustingVerifier : public AffirmationVerifier {
+public:
+  Status verifyAffine(const std::string &, const PropPtr &,
+                      const Bytes &) const override {
+    return Status::success();
+  }
+  Status verifyPersistent(const std::string &, const PropPtr &,
+                          const Bytes &) const override {
+    return Status::success();
+  }
+};
+
+/// Checker knobs.
+struct CheckOptions {
+  /// Ablation (paper Section 4, "Affinity"): when true, weakening is
+  /// rejected — every affine hypothesis must be consumed exactly once.
+  /// The paper argues this discipline is futile on a blockchain (`A -o 1`
+  /// rules and discarded keys destroy resources anyway), which tests
+  /// demonstrate.
+  bool StrictLinear = false;
+};
+
+/// A named affine or persistent hypothesis.
+struct Hypothesis {
+  std::string Name;
+  PropPtr P;
+};
+
+/// The proof checker. Stateless across calls; cheap to construct.
+class ProofChecker {
+public:
+  ProofChecker(const Basis &Sigma, const AffirmationVerifier &Affirm,
+               CheckOptions Opts = CheckOptions())
+      : Sigma(Sigma), Affirm(Affirm), Opts(Opts) {}
+
+  /// Infer the proposition proved by \p M under the given hypotheses.
+  Result<PropPtr> infer(const ProofPtr &M,
+                        const std::vector<Hypothesis> &Affine = {},
+                        const std::vector<Hypothesis> &Persistent = {});
+
+  /// Check \p M against \p Goal.
+  Status check(const ProofPtr &M, const PropPtr &Goal,
+               const std::vector<Hypothesis> &Affine = {},
+               const std::vector<Hypothesis> &Persistent = {});
+
+private:
+  const Basis &Sigma;
+  const AffirmationVerifier &Affirm;
+  CheckOptions Opts;
+};
+
+} // namespace logic
+} // namespace typecoin
+
+#endif // TYPECOIN_LOGIC_CHECK_H

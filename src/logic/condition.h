@@ -1,0 +1,104 @@
+//===- logic/condition.h - Conditions and entailment ------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The condition language of Figure 2:
+///
+///   phi ::= true | phi /\ phi | ~phi | before(t) | spent(txid.n)
+///
+/// "The essential property of all conditions is that there be
+/// unambiguous evidence of the truth or falsity of phi for any
+/// particular transaction in the blockchain" (Section 5). `before(t)`
+/// expresses expiration against block timestamps; `spent(txid.n)` in
+/// negated form expresses revocation.
+///
+/// Entailment (`Phi => Phi'`) is the classical sequent calculus of
+/// Appendix A, including the axiom before(t) |- before(t') for t <= t'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LOGIC_CONDITION_H
+#define TYPECOIN_LOGIC_CONDITION_H
+
+#include "lf/syntax.h"
+#include "support/serialize.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace typecoin {
+namespace logic {
+
+struct Cond;
+using CondPtr = std::shared_ptr<const Cond>;
+
+/// A condition.
+struct Cond {
+  enum class Tag { True, And, Not, Before, Spent };
+
+  Tag Kind;
+  CondPtr L, R;      ///< And (L, R); Not (L).
+  lf::TermPtr Time;  ///< Before: an index term of type nat.
+  std::string Txid;  ///< Spent: transaction id (display hex).
+  uint32_t Index = 0;///< Spent: output index.
+
+  explicit Cond(Tag Kind) : Kind(Kind) {}
+};
+
+CondPtr cTrue();
+CondPtr cAnd(CondPtr L, CondPtr R);
+CondPtr cNot(CondPtr C);
+CondPtr cBefore(lf::TermPtr Time);
+CondPtr cBefore(uint64_t Time);
+CondPtr cSpent(std::string Txid, uint32_t Index);
+/// `~spent(...)` — the revocation idiom.
+CondPtr cUnspent(std::string Txid, uint32_t Index);
+
+/// Syntactic equality (after normalizing `before` time terms).
+bool condEqual(const CondPtr &A, const CondPtr &B);
+
+/// Substitute index terms (conditions may mention quantified times).
+CondPtr shiftCond(const CondPtr &C, int Delta, unsigned Cutoff = 0);
+CondPtr substCond(const CondPtr &C, unsigned Index, const lf::TermPtr &Value);
+bool condHasFreeVar(const CondPtr &C, unsigned Index);
+
+std::string printCond(const CondPtr &C);
+
+void writeCond(Writer &W, const CondPtr &C);
+Result<CondPtr> readCond(Reader &R);
+
+/// Classical sequent entailment `Phi => Phi'` over condition multisets
+/// (Appendix A). Decidable; used by `ifweaken`.
+bool condEntails(const std::vector<CondPtr> &Left,
+                 const std::vector<CondPtr> &Right);
+
+/// Convenience: phi |- phi'.
+bool condEntails(const CondPtr &Phi, const CondPtr &PhiPrime);
+
+/// The evidence oracle: answers the primitive conditions against
+/// blockchain state. Implemented by the typecoin layer over a
+/// `bitcoin::Blockchain`; tests may use fixed tables.
+class CondOracle {
+public:
+  virtual ~CondOracle() = default;
+  /// The evaluation time (the block timestamp of the transaction under
+  /// check, per Section 5).
+  virtual uint64_t evaluationTime() const = 0;
+  /// Whether output \p Index of \p Txid is spent; error when there is no
+  /// evidence (unknown transaction).
+  virtual Result<bool> isSpent(const std::string &Txid,
+                               uint32_t Index) const = 0;
+};
+
+/// Evaluate a closed condition against the oracle. `before(t)` requires
+/// a literal time after normalization.
+Result<bool> evalCond(const CondPtr &C, const CondOracle &Oracle);
+
+} // namespace logic
+} // namespace typecoin
+
+#endif // TYPECOIN_LOGIC_CONDITION_H

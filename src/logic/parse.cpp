@@ -1,0 +1,953 @@
+//===- logic/parse.cpp - Surface-syntax parser ---------------------------------===//
+
+#include "logic/parse.h"
+
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace typecoin {
+namespace logic {
+
+namespace {
+
+/// Token kinds for the surface syntax.
+enum class Tok {
+  End,
+  Ident,    // label, keyword, this, forall, ...
+  Number,   // nat literal
+  Principal,// K:<40 hex>
+  Global,   // @<64 hex>
+  Lolli,    // -o
+  Tensor,   // (x)
+  Plus,     // (+)
+  BindArrow,// <-
+  CaseArrow,// ->
+  Equals,   // =
+  Pipe,     // |
+  LBracket, // [
+  RBracket, // ]
+  With,     // &
+  Bang,     // !
+  AndAnd,   // the conjunction operator (slash backslash)
+  Not,      // ~
+  LParen,
+  RParen,
+  LAngle,
+  RAngle,
+  Dot,
+  Comma,
+  Colon,
+  Lambda,   // backslash
+  Arrow,    // ->> (receipt)
+  Slash,    // / (receipt amount separator)
+};
+
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;
+  uint64_t Number = 0;
+  size_t Pos = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> Out;
+    while (true) {
+      skipSpace();
+      if (Pos >= Text.size())
+        break;
+      TC_UNWRAP(T, next());
+      Out.push_back(T);
+    }
+    Token End;
+    End.Pos = Pos;
+    Out.push_back(End);
+    return Out;
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool startsWith(const char *S) const {
+    return Text.compare(Pos, std::strlen(S), S) == 0;
+  }
+
+  Result<Token> next() {
+    Token T;
+    T.Pos = Pos;
+    char C = Text[Pos];
+
+    // Multi-character operators first (longest match).
+    if (startsWith("->>")) {
+      Pos += 3;
+      T.Kind = Tok::Arrow;
+      return T;
+    }
+    if (startsWith("->")) {
+      Pos += 2;
+      T.Kind = Tok::CaseArrow;
+      return T;
+    }
+    if (startsWith("-o")) {
+      Pos += 2;
+      T.Kind = Tok::Lolli;
+      return T;
+    }
+    if (startsWith("<-")) {
+      Pos += 2;
+      T.Kind = Tok::BindArrow;
+      return T;
+    }
+    if (startsWith("(x)")) {
+      Pos += 3;
+      T.Kind = Tok::Tensor;
+      return T;
+    }
+    if (startsWith("(+)")) {
+      Pos += 3;
+      T.Kind = Tok::Plus;
+      return T;
+    }
+    if (startsWith("/\\")) {
+      Pos += 2;
+      T.Kind = Tok::AndAnd;
+      return T;
+    }
+    if (startsWith("K:")) {
+      Pos += 2;
+      std::string Hex;
+      while (Pos < Text.size() &&
+             std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+        Hex.push_back(Text[Pos++]);
+      if (Hex.size() != 40)
+        return makeError(strformat(
+            "parse: principal literal needs 40 hex digits at %zu", T.Pos));
+      T.Kind = Tok::Principal;
+      T.Text = Hex;
+      return T;
+    }
+    if (C == '@') {
+      ++Pos;
+      std::string Hex;
+      while (Pos < Text.size() &&
+             std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+        Hex.push_back(Text[Pos++]);
+      if (Hex.size() != 64)
+        return makeError(strformat(
+            "parse: global reference needs 64 hex digits at %zu", T.Pos));
+      T.Kind = Tok::Global;
+      T.Text = Hex;
+      return T;
+    }
+
+    switch (C) {
+    case '&':
+      ++Pos;
+      T.Kind = Tok::With;
+      return T;
+    case '!':
+      ++Pos;
+      T.Kind = Tok::Bang;
+      return T;
+    case '~':
+      ++Pos;
+      T.Kind = Tok::Not;
+      return T;
+    case '(':
+      ++Pos;
+      T.Kind = Tok::LParen;
+      return T;
+    case ')':
+      ++Pos;
+      T.Kind = Tok::RParen;
+      return T;
+    case '<':
+      ++Pos;
+      T.Kind = Tok::LAngle;
+      return T;
+    case '>':
+      ++Pos;
+      T.Kind = Tok::RAngle;
+      return T;
+    case '.':
+      ++Pos;
+      T.Kind = Tok::Dot;
+      return T;
+    case ',':
+      ++Pos;
+      T.Kind = Tok::Comma;
+      return T;
+    case ':':
+      ++Pos;
+      T.Kind = Tok::Colon;
+      return T;
+    case '\\':
+      ++Pos;
+      T.Kind = Tok::Lambda;
+      return T;
+    case '/':
+      ++Pos;
+      T.Kind = Tok::Slash;
+      return T;
+    case '=':
+      ++Pos;
+      T.Kind = Tok::Equals;
+      return T;
+    case '|':
+      ++Pos;
+      T.Kind = Tok::Pipe;
+      return T;
+    case '[':
+      ++Pos;
+      T.Kind = Tok::LBracket;
+      return T;
+    case ']':
+      ++Pos;
+      T.Kind = Tok::RBracket;
+      return T;
+    default:
+      break;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      uint64_t V = 0;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        V = V * 10 + static_cast<uint64_t>(Text[Pos++] - '0');
+      T.Kind = Tok::Number;
+      T.Number = V;
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Ident;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_' || Text[Pos] == '-' || Text[Pos] == '\''))
+        Ident.push_back(Text[Pos++]);
+      T.Kind = Tok::Ident;
+      T.Text = std::move(Ident);
+      return T;
+    }
+    return makeError(strformat("parse: unexpected character '%c' at %zu",
+                               C, T.Pos));
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+/// The parser proper. Binder names are tracked in a scope stack and
+/// resolved to de Bruijn indices at use sites.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Result<PropPtr> prop();
+  Result<CondPtr> cond();
+  Result<lf::TermPtr> term();
+  Result<lf::LFTypePtr> type();
+  Result<lf::KindPtr> kind();
+  Result<ProofPtr> proof();
+
+  Status expectEnd() {
+    if (peek().Kind != Tok::End)
+      return makeError(strformat("parse: trailing input at %zu",
+                                 peek().Pos));
+    return Status::success();
+  }
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Index + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token take() { return Tokens[Index++]; }
+  bool eat(Tok Kind) {
+    if (peek().Kind != Kind)
+      return false;
+    ++Index;
+    return true;
+  }
+  Status expect(Tok Kind, const char *What) {
+    if (!eat(Kind))
+      return makeError(strformat("parse: expected %s at %zu", What,
+                                 peek().Pos));
+    return Status::success();
+  }
+  bool peekIdent(const char *S, size_t Ahead = 0) const {
+    return peek(Ahead).Kind == Tok::Ident && peek(Ahead).Text == S;
+  }
+
+  /// Resolve an identifier: a bound variable (innermost first) or a
+  /// constant name.
+  std::optional<unsigned> lookupVar(const std::string &Name) const {
+    for (size_t I = Scope.size(); I-- > 0;)
+      if (Scope[I] == Name)
+        return static_cast<unsigned>(Scope.size() - 1 - I);
+    return std::nullopt;
+  }
+
+  Result<lf::ConstName> constName();
+  Result<PropPtr> propUnary();
+  Result<CondPtr> condUnary();
+  Result<lf::TermPtr> termAtom();
+  Result<ProofPtr> proofAtom();
+  Result<ProofPtr> parenProof(const char *What);
+  Result<std::string> binderName(const char *What);
+
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  std::vector<std::string> Scope;
+};
+
+Result<lf::ConstName> Parser::constName() {
+  if (peek().Kind == Tok::Global) {
+    std::string Txid = take().Text;
+    TC_TRY(expect(Tok::Dot, "'.' after global reference"));
+    if (peek().Kind != Tok::Ident)
+      return makeError("parse: expected label after global reference");
+    return lf::ConstName::global(Txid, take().Text);
+  }
+  if (peek().Kind != Tok::Ident)
+    return makeError(strformat("parse: expected name at %zu", peek().Pos));
+  std::string First = take().Text;
+  if (First == "this") {
+    TC_TRY(expect(Tok::Dot, "'.' after this"));
+    if (peek().Kind != Tok::Ident)
+      return makeError("parse: expected label after this.");
+    return lf::ConstName::local(take().Text);
+  }
+  // plus/pf is the one builtin with a slash in its name.
+  if (First == "plus" && peek().Kind == Tok::Slash &&
+      peekIdent("pf", 1)) {
+    take();
+    take();
+    return lf::ConstName::builtin("plus/pf");
+  }
+  return lf::ConstName::builtin(First);
+}
+
+Result<lf::TermPtr> Parser::termAtom() {
+  switch (peek().Kind) {
+  case Tok::Number:
+    return lf::nat(take().Number);
+  case Tok::Principal:
+    return lf::principal(take().Text);
+  case Tok::LParen: {
+    take();
+    if (peek().Kind == Tok::Lambda) {
+      take();
+      if (peek().Kind != Tok::Ident)
+        return makeError("parse: expected binder name after \\");
+      std::string Name = take().Text;
+      TC_TRY(expect(Tok::Colon, "':' in lambda"));
+      TC_UNWRAP(Annot, type());
+      TC_TRY(expect(Tok::Dot, "'.' in lambda"));
+      Scope.push_back(Name);
+      auto Body = term();
+      Scope.pop_back();
+      if (!Body)
+        return Body.takeError();
+      TC_TRY(expect(Tok::RParen, "')' closing lambda"));
+      return lf::lam(Annot, *Body);
+    }
+    TC_UNWRAP(Inner, term());
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return Inner;
+  }
+  case Tok::Ident:
+  case Tok::Global: {
+    // A bound variable or a constant. `this` always starts a qualified
+    // name, and `plus/...` the builtin proof constant; anything else in
+    // scope is a variable (even when a '.' follows, e.g. at the end of
+    // a quantifier domain).
+    if (peek().Kind == Tok::Ident && peek().Text != "this" &&
+        !(peek().Text == "plus" && peek(1).Kind == Tok::Slash)) {
+      if (auto Var = lookupVar(peek().Text)) {
+        take();
+        return lf::var(*Var);
+      }
+    }
+    TC_UNWRAP(Name, constName());
+    return lf::constant(Name);
+  }
+  default:
+    return makeError(strformat("parse: expected a term at %zu",
+                               peek().Pos));
+  }
+}
+
+Result<lf::TermPtr> Parser::term() {
+  TC_UNWRAP(Head, termAtom());
+  lf::TermPtr Out = Head;
+  // Application: juxtaposition, left associative, while a term can
+  // start.
+  while (true) {
+    Tok K = peek().Kind;
+    if (K != Tok::Number && K != Tok::Principal && K != Tok::LParen &&
+        K != Tok::Ident && K != Tok::Global)
+      break;
+    // An identifier that is a keyword boundary should stop application;
+    // no prop keywords appear in term position in practice.
+    TC_UNWRAP(Arg, termAtom());
+    Out = lf::app(Out, Arg);
+  }
+  return Out;
+}
+
+Result<lf::LFTypePtr> Parser::type() {
+  if (peekIdent("Pi")) {
+    take();
+    if (peek().Kind != Tok::Ident)
+      return makeError("parse: expected binder name after Pi");
+    std::string Name = take().Text;
+    TC_TRY(expect(Tok::Colon, "':' in Pi"));
+    TC_UNWRAP(Dom, type());
+    TC_TRY(expect(Tok::Dot, "'.' in Pi"));
+    Scope.push_back(Name);
+    auto Cod = type();
+    Scope.pop_back();
+    if (!Cod)
+      return Cod.takeError();
+    return lf::tPi(Dom, *Cod);
+  }
+  if (peek().Kind == Tok::LParen) {
+    take();
+    TC_UNWRAP(Inner, type());
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return Inner;
+  }
+  if (peekIdent("time")) {
+    take();
+    return lf::timeType();
+  }
+  TC_UNWRAP(Name, constName());
+  lf::LFTypePtr Out = lf::tConst(Name);
+  // Family application.
+  while (true) {
+    Tok K = peek().Kind;
+    if (K != Tok::Number && K != Tok::Principal && K != Tok::LParen &&
+        K != Tok::Ident && K != Tok::Global)
+      break;
+    TC_UNWRAP(Arg, termAtom());
+    Out = lf::tApp(Out, Arg);
+  }
+  return Out;
+}
+
+Result<lf::KindPtr> Parser::kind() {
+  if (peekIdent("type")) {
+    take();
+    return lf::kType();
+  }
+  if (peekIdent("prop")) {
+    take();
+    return lf::kProp();
+  }
+  if (peekIdent("Pi")) {
+    take();
+    if (peek().Kind != Tok::Ident)
+      return makeError("parse: expected binder name after Pi");
+    std::string Name = take().Text;
+    TC_TRY(expect(Tok::Colon, "':' in Pi"));
+    TC_UNWRAP(Dom, type());
+    TC_TRY(expect(Tok::Dot, "'.' in Pi kind"));
+    Scope.push_back(Name);
+    auto Cod = kind();
+    Scope.pop_back();
+    if (!Cod)
+      return Cod.takeError();
+    return lf::kPi(Dom, *Cod);
+  }
+  return makeError(strformat("parse: expected a kind at %zu", peek().Pos));
+}
+
+Result<CondPtr> Parser::condUnary() {
+  if (eat(Tok::Not)) {
+    TC_UNWRAP(Inner, condUnary());
+    return cNot(Inner);
+  }
+  if (peek().Kind == Tok::LParen) {
+    take();
+    TC_UNWRAP(Inner, cond());
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return Inner;
+  }
+  if (peekIdent("true")) {
+    take();
+    return cTrue();
+  }
+  if (peekIdent("before")) {
+    take();
+    TC_TRY(expect(Tok::LParen, "'(' after before"));
+    TC_UNWRAP(Time, term());
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return cBefore(Time);
+  }
+  if (peekIdent("spent")) {
+    take();
+    TC_TRY(expect(Tok::LParen, "'(' after spent"));
+    if (peek().Kind != Tok::Global)
+      return makeError("parse: spent() needs @txid");
+    std::string Txid = take().Text;
+    TC_TRY(expect(Tok::Dot, "'.' in spent"));
+    if (peek().Kind != Tok::Number)
+      return makeError("parse: spent() needs an output index");
+    uint32_t Idx = static_cast<uint32_t>(take().Number);
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return cSpent(Txid, Idx);
+  }
+  return makeError(strformat("parse: expected a condition at %zu",
+                             peek().Pos));
+}
+
+Result<CondPtr> Parser::cond() {
+  TC_UNWRAP(Left, condUnary());
+  CondPtr Out = Left;
+  while (eat(Tok::AndAnd)) {
+    TC_UNWRAP(Right, condUnary());
+    Out = cAnd(Out, Right);
+  }
+  return Out;
+}
+
+Result<PropPtr> Parser::propUnary() {
+  if (eat(Tok::Bang)) {
+    TC_UNWRAP(Inner, propUnary());
+    return pBang(Inner);
+  }
+  if (peek().Kind == Tok::LAngle) {
+    take();
+    TC_UNWRAP(Who, term());
+    TC_TRY(expect(Tok::RAngle, "'>' closing affirmation"));
+    TC_UNWRAP(Inner, propUnary());
+    return pSays(Who, Inner);
+  }
+  if (peekIdent("forall") || peekIdent("exists")) {
+    bool IsForall = take().Text == "forall";
+    if (peek().Kind != Tok::Ident)
+      return makeError("parse: expected binder name after quantifier");
+    std::string Name = take().Text;
+    TC_TRY(expect(Tok::Colon, "':' in quantifier"));
+    TC_UNWRAP(QType, type());
+    TC_TRY(expect(Tok::Dot, "'.' in quantifier"));
+    Scope.push_back(Name);
+    auto Body = prop();
+    Scope.pop_back();
+    if (!Body)
+      return Body.takeError();
+    return IsForall ? pForall(QType, *Body) : pExists(QType, *Body);
+  }
+  if (peekIdent("if")) {
+    take();
+    TC_TRY(expect(Tok::LParen, "'(' after if"));
+    TC_UNWRAP(Phi, cond());
+    TC_TRY(expect(Tok::Comma, "',' in if"));
+    TC_UNWRAP(Body, prop());
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return pIf(Phi, Body);
+  }
+  if (peekIdent("receipt")) {
+    take();
+    TC_TRY(expect(Tok::LParen, "'(' after receipt"));
+    // receipt(n ->> K) | receipt(A ->> K) | receipt(A/n ->> K).
+    PropPtr Body;
+    uint64_t Amount = 0;
+    if (peek().Kind == Tok::Number && peek(1).Kind == Tok::Arrow) {
+      Amount = take().Number;
+    } else {
+      TC_UNWRAP(Inner, prop());
+      Body = Inner;
+      if (eat(Tok::Slash)) {
+        if (peek().Kind != Tok::Number)
+          return makeError("parse: expected amount after '/' in receipt");
+        Amount = take().Number;
+      }
+    }
+    TC_TRY(expect(Tok::Arrow, "'->>' in receipt"));
+    TC_UNWRAP(Who, term());
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return pReceipt(Body, Amount, Who);
+  }
+  if (peek().Kind == Tok::Number) {
+    if (peek().Number == 0) {
+      take();
+      return pZero();
+    }
+    if (peek().Number == 1) {
+      take();
+      return pOne();
+    }
+    return makeError(strformat("parse: bare number at %zu is not a "
+                               "proposition",
+                               peek().Pos));
+  }
+  if (peek().Kind == Tok::LParen) {
+    take();
+    TC_UNWRAP(Inner, prop());
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return Inner;
+  }
+  // An atom: family application of kind prop.
+  TC_UNWRAP(Name, constName());
+  lf::LFTypePtr Head = lf::tConst(Name);
+  while (true) {
+    Tok K = peek().Kind;
+    if (K != Tok::Number && K != Tok::Principal && K != Tok::LParen &&
+        K != Tok::Ident && K != Tok::Global)
+      break;
+    // Numbers 0/1 here are term arguments (atoms are applied), fine.
+    // Identifiers that resolve as bound vars become variables.
+    TC_UNWRAP(Arg, termAtom());
+    Head = lf::tApp(Head, Arg);
+  }
+  return pAtom(Head);
+}
+
+Result<PropPtr> Parser::prop() {
+  TC_UNWRAP(First, propUnary());
+  // One multiplicative/additive operator per chain; right associative.
+  Tok Op = peek().Kind;
+  if (Op == Tok::Tensor || Op == Tok::With || Op == Tok::Plus) {
+    std::vector<PropPtr> Parts{First};
+    while (eat(Op)) {
+      TC_UNWRAP(Next, propUnary());
+      Parts.push_back(Next);
+    }
+    if (peek().Kind == Tok::Tensor || peek().Kind == Tok::With ||
+        peek().Kind == Tok::Plus)
+      return makeError(strformat("parse: mixed connectives need "
+                                 "parentheses at %zu",
+                                 peek().Pos));
+    PropPtr Out = Parts.back();
+    for (size_t I = Parts.size() - 1; I-- > 0;) {
+      switch (Op) {
+      case Tok::Tensor:
+        Out = pTensor(Parts[I], Out);
+        break;
+      case Tok::With:
+        Out = pWith(Parts[I], Out);
+        break;
+      default:
+        Out = pPlus(Parts[I], Out);
+        break;
+      }
+    }
+    First = Out;
+  }
+  if (eat(Tok::Lolli)) {
+    TC_UNWRAP(Rest, prop());
+    return pLolli(First, Rest);
+  }
+  return First;
+}
+
+Result<std::string> Parser::binderName(const char *What) {
+  if (peek().Kind != Tok::Ident)
+    return makeError(strformat("parse: expected %s name at %zu", What,
+                               peek().Pos));
+  return take().Text;
+}
+
+/// A parenthesized proof. The prop-level tensor operator lexes the
+/// three characters `(x)` as one token, so in proof position that token
+/// *is* the parenthesized variable x.
+Result<ProofPtr> Parser::parenProof(const char *What) {
+  if (eat(Tok::Tensor))
+    return mVar("x");
+  TC_TRY(expect(Tok::LParen, What));
+  TC_UNWRAP(Body, proof());
+  TC_TRY(expect(Tok::RParen, "')'"));
+  return Body;
+}
+
+Result<ProofPtr> Parser::proofAtom() {
+  if (eat(Tok::Tensor))
+    return mVar("x"); // `(x)`: see parenProof.
+  // Keyword-introduced forms.
+  if (peekIdent("fst") || peekIdent("snd")) {
+    bool IsFst = take().Text == "fst";
+    TC_UNWRAP(Inner, proofAtom());
+    return IsFst ? mWithFst(Inner) : mWithSnd(Inner);
+  }
+  if (peekIdent("inl") || peekIdent("inr")) {
+    bool IsInl = take().Text == "inl";
+    TC_TRY(expect(Tok::LBracket, "'[' after inl/inr"));
+    TC_UNWRAP(Other, prop());
+    TC_TRY(expect(Tok::RBracket, "']'"));
+    TC_UNWRAP(Inner, proofAtom());
+    return IsInl ? mInl(Other, Inner) : mInr(Other, Inner);
+  }
+  if (peekIdent("abort")) {
+    take();
+    TC_TRY(expect(Tok::LBracket, "'[' after abort"));
+    TC_UNWRAP(Goal, prop());
+    TC_TRY(expect(Tok::RBracket, "']'"));
+    TC_UNWRAP(Inner, proofAtom());
+    return mAbort(Goal, Inner);
+  }
+  if (peekIdent("pack")) {
+    take();
+    TC_TRY(expect(Tok::LBracket, "'[' after pack"));
+    TC_UNWRAP(Ex, prop());
+    TC_TRY(expect(Tok::RBracket, "']'"));
+    TC_TRY(expect(Tok::LParen, "'(' in pack"));
+    TC_UNWRAP(Witness, term());
+    TC_TRY(expect(Tok::Comma, "',' in pack"));
+    TC_UNWRAP(Body, proof());
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return mPack(Ex, Witness, Body);
+  }
+  if (peekIdent("sayreturn")) {
+    take();
+    TC_TRY(expect(Tok::LBracket, "'[' after sayreturn"));
+    TC_UNWRAP(Who, term());
+    TC_TRY(expect(Tok::RBracket, "']'"));
+    TC_UNWRAP(Body, parenProof("'(' in sayreturn"));
+    return mSayReturn(Who, Body);
+  }
+  if (peekIdent("assert")) {
+    take();
+    bool Persistent = eat(Tok::Bang);
+    TC_TRY(expect(Tok::LParen, "'(' in assert"));
+    if (peek().Kind != Tok::Principal)
+      return makeError("parse: assert needs a K:<hex40> principal");
+    std::string KHash = take().Text;
+    TC_TRY(expect(Tok::Comma, "',' in assert"));
+    TC_UNWRAP(A, prop());
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return Persistent ? mAssertBang(KHash, A, Bytes{})
+                      : mAssert(KHash, A, Bytes{});
+  }
+  if (peekIdent("ifreturn") || peekIdent("ifweaken")) {
+    bool IsReturn = take().Text == "ifreturn";
+    TC_TRY(expect(Tok::LBracket, "'[' after ifreturn/ifweaken"));
+    TC_UNWRAP(Phi, cond());
+    TC_TRY(expect(Tok::RBracket, "']'"));
+    TC_UNWRAP(Body, parenProof("'(' after the condition"));
+    return IsReturn ? mIfReturn(Phi, Body) : mIfWeaken(Phi, Body);
+  }
+  if (peekIdent("if") && peek(1).Kind == Tok::Slash &&
+      peekIdent("say", 2)) {
+    take();
+    take();
+    take();
+    TC_UNWRAP(Body, parenProof("'(' in if/say"));
+    return mIfSay(Body);
+  }
+
+  if (eat(Tok::Bang)) {
+    TC_UNWRAP(Inner, proofAtom());
+    return mBang(Inner);
+  }
+  if (peek().Kind == Tok::LAngle) {
+    take();
+    TC_UNWRAP(L, proof());
+    TC_TRY(expect(Tok::Comma, "',' in with-pair"));
+    TC_UNWRAP(R, proof());
+    TC_TRY(expect(Tok::RAngle, "'>' closing with-pair"));
+    return mWithPair(L, R);
+  }
+  if (peek().Kind == Tok::LParen) {
+    take();
+    if (eat(Tok::RParen))
+      return mOne();
+    TC_UNWRAP(First, proof());
+    if (eat(Tok::Comma)) {
+      TC_UNWRAP(Second, proof());
+      TC_TRY(expect(Tok::RParen, "')' closing tensor pair"));
+      return mTensorPair(First, Second);
+    }
+    TC_TRY(expect(Tok::RParen, "')'"));
+    return First;
+  }
+  if (peek().Kind == Tok::Global ||
+      (peek().Kind == Tok::Ident && peek().Text == "this")) {
+    TC_UNWRAP(Name, constName());
+    return mConst(Name);
+  }
+  if (peek().Kind == Tok::Ident)
+    return mVar(take().Text);
+  return makeError(strformat("parse: expected a proof term at %zu",
+                             peek().Pos));
+}
+
+Result<ProofPtr> Parser::proof() {
+  if (peek().Kind == Tok::Lambda) {
+    take();
+    TC_UNWRAP(Name, binderName("lambda binder"));
+    TC_TRY(expect(Tok::Colon, "':' in lambda"));
+    TC_UNWRAP(Dom, prop());
+    TC_TRY(expect(Tok::Dot, "'.' in lambda"));
+    TC_UNWRAP(Body, proof());
+    return mLam(Name, Dom, Body);
+  }
+  if (peekIdent("all")) {
+    take();
+    TC_UNWRAP(Name, binderName("all binder"));
+    TC_TRY(expect(Tok::Colon, "':' in all"));
+    TC_UNWRAP(QType, type());
+    TC_TRY(expect(Tok::Dot, "'.' in all"));
+    Scope.push_back(Name);
+    auto Body = proof();
+    Scope.pop_back();
+    if (!Body)
+      return Body.takeError();
+    return mAllIntro(QType, *Body);
+  }
+  if (peekIdent("let")) {
+    take();
+    if (eat(Tok::Bang)) {
+      TC_UNWRAP(X, binderName("let-bang binder"));
+      TC_TRY(expect(Tok::Equals, "'=' in let"));
+      TC_UNWRAP(Of, proof());
+      if (!peekIdent("in"))
+        return makeError("parse: expected 'in' in let");
+      take();
+      TC_UNWRAP(Body, proof());
+      return mBangLet(X, Of, Body);
+    }
+    TC_TRY(expect(Tok::LParen, "'(' in let"));
+    if (eat(Tok::RParen)) {
+      TC_TRY(expect(Tok::Equals, "'=' in let"));
+      TC_UNWRAP(Of, proof());
+      if (!peekIdent("in"))
+        return makeError("parse: expected 'in' in let");
+      take();
+      TC_UNWRAP(Body, proof());
+      return mOneLet(Of, Body);
+    }
+    TC_UNWRAP(X, binderName("let binder"));
+    TC_TRY(expect(Tok::Comma, "',' in let"));
+    TC_UNWRAP(Y, binderName("let binder"));
+    TC_TRY(expect(Tok::RParen, "')' in let"));
+    TC_TRY(expect(Tok::Equals, "'=' in let"));
+    TC_UNWRAP(Of, proof());
+    if (!peekIdent("in"))
+      return makeError("parse: expected 'in' in let");
+    take();
+    TC_UNWRAP(Body, proof());
+    return mTensorLet(X, Y, Of, Body);
+  }
+  if (peekIdent("unpack")) {
+    take();
+    TC_TRY(expect(Tok::LParen, "'(' in unpack"));
+    TC_UNWRAP(U, binderName("witness binder"));
+    TC_TRY(expect(Tok::Comma, "',' in unpack"));
+    TC_UNWRAP(X, binderName("unpack binder"));
+    TC_TRY(expect(Tok::RParen, "')' in unpack"));
+    TC_TRY(expect(Tok::Equals, "'=' in unpack"));
+    TC_UNWRAP(Of, proof());
+    if (!peekIdent("in"))
+      return makeError("parse: expected 'in' in unpack");
+    take();
+    Scope.push_back(U);
+    auto Body = proof();
+    Scope.pop_back();
+    if (!Body)
+      return Body.takeError();
+    return mUnpack(X, Of, *Body);
+  }
+  if (peekIdent("case")) {
+    take();
+    TC_UNWRAP(Of, proof());
+    if (!peekIdent("of"))
+      return makeError("parse: expected 'of' in case");
+    take();
+    if (!peekIdent("inl"))
+      return makeError("parse: expected 'inl' branch");
+    take();
+    TC_UNWRAP(X, binderName("case binder"));
+    TC_TRY(expect(Tok::CaseArrow, "'->' in case"));
+    TC_UNWRAP(Left, proof());
+    TC_TRY(expect(Tok::Pipe, "'|' between case branches"));
+    if (!peekIdent("inr"))
+      return makeError("parse: expected 'inr' branch");
+    take();
+    TC_UNWRAP(Y, binderName("case binder"));
+    TC_TRY(expect(Tok::CaseArrow, "'->' in case"));
+    TC_UNWRAP(Right, proof());
+    return mCase(Of, X, Left, Y, Right);
+  }
+  if (peekIdent("saybind") || peekIdent("ifbind")) {
+    bool IsSay = take().Text == "saybind";
+    TC_UNWRAP(X, binderName("bind binder"));
+    TC_TRY(expect(Tok::BindArrow, "'<-' in bind"));
+    TC_UNWRAP(Of, proof());
+    if (!peekIdent("in"))
+      return makeError("parse: expected 'in' in bind");
+    take();
+    TC_UNWRAP(Body, proof());
+    return IsSay ? mSayBind(X, Of, Body) : mIfBind(X, Of, Body);
+  }
+
+  // Application chain: atoms and index applications.
+  TC_UNWRAP(Head, proofAtom());
+  ProofPtr Out = Head;
+  while (true) {
+    if (peek().Kind == Tok::LBracket) {
+      take();
+      TC_UNWRAP(Index, term());
+      TC_TRY(expect(Tok::RBracket, "']' after index argument"));
+      Out = mAllApp(Out, Index);
+      continue;
+    }
+    Tok K = peek().Kind;
+    bool Starts = K == Tok::LParen || K == Tok::LAngle || K == Tok::Bang ||
+                  K == Tok::Global || K == Tok::Tensor ||
+                  (K == Tok::Ident && !peekIdent("in") && !peekIdent("of"));
+    if (!Starts)
+      break;
+    TC_UNWRAP(Arg, proofAtom());
+    Out = mApp(Out, Arg);
+  }
+  return Out;
+}
+
+template <typename T, typename F>
+Result<T> parseWith(const std::string &Text, F &&Run) {
+  Lexer Lex(Text);
+  TC_UNWRAP(Tokens, Lex.run());
+  Parser P(std::move(Tokens));
+  TC_UNWRAP(Out, Run(P));
+  TC_TRY(P.expectEnd());
+  return Out;
+}
+
+} // namespace
+
+Result<PropPtr> parseProp(const std::string &Text) {
+  return parseWith<PropPtr>(Text, [](Parser &P) { return P.prop(); });
+}
+
+Result<CondPtr> parseCond(const std::string &Text) {
+  return parseWith<CondPtr>(Text, [](Parser &P) { return P.cond(); });
+}
+
+Result<lf::TermPtr> parseTerm(const std::string &Text) {
+  return parseWith<lf::TermPtr>(Text, [](Parser &P) { return P.term(); });
+}
+
+Result<lf::LFTypePtr> parseType(const std::string &Text) {
+  return parseWith<lf::LFTypePtr>(Text, [](Parser &P) { return P.type(); });
+}
+
+Result<lf::KindPtr> parseKind(const std::string &Text) {
+  return parseWith<lf::KindPtr>(Text, [](Parser &P) { return P.kind(); });
+}
+
+Result<ProofPtr> parseProof(const std::string &Text) {
+  return parseWith<ProofPtr>(Text, [](Parser &P) { return P.proof(); });
+}
+
+} // namespace logic
+} // namespace typecoin

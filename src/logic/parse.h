@@ -1,0 +1,79 @@
+//===- logic/parse.h - Surface-syntax parser ---------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the Figure 1 / Figure 2 surface
+/// syntax, so vocabularies and contracts can be authored as text:
+///
+///   prop  ::= prop1 [-o prop]                        (right assoc)
+///   prop1 ::= prop2 { ((x) | & | (+)) prop2 }        (one operator per
+///                                                     chain, right assoc;
+///                                                     parenthesize to mix)
+///   prop2 ::= !prop2 | <term> prop2 | forall x:ty. prop
+///           | exists x:ty. prop | if(cond, prop)
+///           | receipt(prop[/n] ->> term) | receipt(n ->> term)
+///           | 0 | 1 | (prop) | name term...
+///   cond  ::= cond1 { /\ cond1 }
+///   cond1 ::= ~cond1 | true | before(term) | spent(txid.n) | (cond)
+///   term  ::= atomic-term... (application, left assoc)
+///   atomic-term ::= x | name | number | K:hex40 | (\x:ty. term) | (term)
+///   ty    ::= nat | principal | time | name term... | Pi x:ty. ty
+///   name  ::= this.label | label (builtin) | @hex64.label (global)
+///
+/// Binders use names; the parser resolves them to de Bruijn indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LOGIC_PARSE_H
+#define TYPECOIN_LOGIC_PARSE_H
+
+#include "logic/proof.h"
+#include "logic/proposition.h"
+
+namespace typecoin {
+namespace logic {
+
+/// Parse a proposition. Fails with a message naming the offending
+/// position on malformed input; trailing garbage is an error.
+Result<PropPtr> parseProp(const std::string &Text);
+
+/// Parse a condition.
+Result<CondPtr> parseCond(const std::string &Text);
+
+/// Parse an LF index term.
+Result<lf::TermPtr> parseTerm(const std::string &Text);
+
+/// Parse an LF type family.
+Result<lf::LFTypePtr> parseType(const std::string &Text);
+
+/// Parse an LF kind (`type`, `prop`, `Pi x:ty. kind`).
+Result<lf::KindPtr> parseKind(const std::string &Text);
+
+/// Parse a proof term. Authoring grammar (keywords disambiguate the
+/// forms the pretty-printer abbreviates):
+///
+///   M ::= \x:A. M                          lolli intro
+///       | all x:ty. M | M [m]              forall intro / elim
+///       | let (x, y) = M in M              tensor elim
+///       | let () = M in M                  one elim
+///       | let !x = M in M                  bang elim
+///       | unpack (u, x) = M in M           exists elim
+///       | case M of inl x -> M | inr y -> M
+///       | saybind x <- M in M | ifbind x <- M in M
+///       | fst M' | snd M' | !M'
+///       | inl [A] M' | inr [A] M' | abort [A] M'
+///       | pack [A] (m, M)
+///       | sayreturn [m] (M)
+///       | assert (K:hex, A) | assert! (K:hex, A)   (unsigned; attach
+///                                                   real blobs in code)
+///       | ifreturn [phi] (M) | ifweaken [phi] (M) | if/say (M)
+///       | () | x | name | (M, M) | <M, M> | (M) | M M'
+Result<ProofPtr> parseProof(const std::string &Text);
+
+} // namespace logic
+} // namespace typecoin
+
+#endif // TYPECOIN_LOGIC_PARSE_H

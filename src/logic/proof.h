@@ -1,0 +1,133 @@
+//===- logic/proof.h - Proof terms --------------------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proof terms: "standard affine logic" plus the affirmation monad
+/// (`sayreturn`, `saybind`, `assert`, `assert!`) of Figure 1 and the
+/// conditional monad (`ifreturn`, `ifbind`, `ifweaken`, `if/say`) of
+/// Figure 2. Proof variables are named (alpha-conversion is irrelevant
+/// because proofs are only checked, never compared); index variables
+/// inside propositions remain de Bruijn.
+///
+/// Enough annotations are carried that every form is type-*inferable*,
+/// keeping the checker syntax-directed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LOGIC_PROOF_H
+#define TYPECOIN_LOGIC_PROOF_H
+
+#include "logic/basis.h"
+
+namespace typecoin {
+namespace logic {
+
+struct Proof;
+using ProofPtr = std::shared_ptr<const Proof>;
+
+/// A proof term.
+struct Proof {
+  enum class Tag {
+    Var,        ///< x
+    Const,      ///< basis proposition constant
+    Lam,        ///< \x:A. M              : A -o B
+    App,        ///< M N
+    TensorPair, ///< (M, N)               : A (x) B
+    TensorLet,  ///< let (x, y) = M in N
+    WithPair,   ///< <M, N>               : A & B
+    WithFst,    ///< fst M
+    WithSnd,    ///< snd M
+    Inl,        ///< inl[B] M             : A (+) B
+    Inr,        ///< inr[A] M             : A (+) B
+    Case,       ///< case M of inl x -> N1 | inr y -> N2
+    Abort,      ///< abort[C] M           : C, from M : 0
+    OneIntro,   ///< ()                   : 1
+    OneLet,     ///< let () = M in N
+    BangIntro,  ///< !M                   : !A   (empty affine context)
+    BangLet,    ///< let !x = M in N      (x persistent)
+    AllIntro,   ///< /\u:tau. M           : forall u:tau. A
+    AllApp,     ///< M [m]
+    ExPack,     ///< pack[exists u:tau.A](m, M)
+    ExUnpack,   ///< let (u, x) = unpack M in N
+    SayReturn,  ///< sayreturn_m(M)       : <m> A
+    SayBind,    ///< saybind x <- M1 in M2
+    Assert,     ///< assert(K, A, sig)    : <K> A  (affine; signs the tx)
+    AssertBang, ///< assert!(K, A, sig)   : <K> A  (persistent; signs A)
+    IfReturn,   ///< ifreturn_phi(M)      : if(phi, A)
+    IfBind,     ///< ifbind x <- M1 in M2
+    IfWeaken,   ///< ifweaken_phi(M)      : if(phi, A), phi => phi'
+    IfSay,      ///< if/say(M)            : if(phi, <m>A) from <m>if(phi,A)
+  };
+
+  Tag Kind;
+  std::string Name;        ///< Var; binder name for Lam.
+  std::string X, Y;        ///< Binder names (lets, case, binds, unpack).
+  lf::ConstName CName;     ///< Const.
+  ProofPtr A, B, C;        ///< Children.
+  PropPtr Annot;           ///< Lam domain; Inl/Inr other side; Abort goal;
+                           ///< ExPack full existential.
+  lf::LFTypePtr QAnnot;    ///< AllIntro domain.
+  lf::TermPtr ITerm;       ///< AllApp argument; ExPack witness.
+  lf::TermPtr Who;         ///< SayReturn principal.
+  std::string KHash;       ///< Assert/AssertBang: principal literal (hex).
+  PropPtr AProp;           ///< Assert/AssertBang: the affirmed proposition.
+  Bytes Sig;               ///< Assert/AssertBang: signature blob.
+  CondPtr Phi;             ///< IfReturn/IfWeaken.
+
+  explicit Proof(Tag Kind) : Kind(Kind) {}
+};
+
+// Constructors ----------------------------------------------------------------
+
+ProofPtr mVar(std::string Name);
+ProofPtr mConst(lf::ConstName Name);
+ProofPtr mLam(std::string X, PropPtr Dom, ProofPtr Body);
+ProofPtr mApp(ProofPtr Fn, ProofPtr Arg);
+/// Left-nested application.
+ProofPtr mApps(ProofPtr Fn, const std::vector<ProofPtr> &Args);
+ProofPtr mTensorPair(ProofPtr L, ProofPtr R);
+ProofPtr mTensorLet(std::string X, std::string Y, ProofPtr Of, ProofPtr In);
+ProofPtr mWithPair(ProofPtr L, ProofPtr R);
+ProofPtr mWithFst(ProofPtr M);
+ProofPtr mWithSnd(ProofPtr M);
+ProofPtr mInl(PropPtr RightSide, ProofPtr M);
+ProofPtr mInr(PropPtr LeftSide, ProofPtr M);
+ProofPtr mCase(ProofPtr Of, std::string X, ProofPtr Left, std::string Y,
+               ProofPtr Right);
+ProofPtr mAbort(PropPtr Goal, ProofPtr M);
+ProofPtr mOne();
+ProofPtr mOneLet(ProofPtr Of, ProofPtr In);
+ProofPtr mBang(ProofPtr M);
+ProofPtr mBangLet(std::string X, ProofPtr Of, ProofPtr In);
+ProofPtr mAllIntro(lf::LFTypePtr Dom, ProofPtr Body);
+ProofPtr mAllApp(ProofPtr M, lf::TermPtr Index);
+/// Apply a chain of index arguments.
+ProofPtr mAllApps(ProofPtr M, const std::vector<lf::TermPtr> &Indexes);
+ProofPtr mPack(PropPtr Existential, lf::TermPtr Witness, ProofPtr M);
+ProofPtr mUnpack(std::string X, ProofPtr Of, ProofPtr In);
+ProofPtr mSayReturn(lf::TermPtr Who, ProofPtr M);
+ProofPtr mSayBind(std::string X, ProofPtr Of, ProofPtr In);
+ProofPtr mAssert(std::string KHash, PropPtr A, Bytes Sig);
+ProofPtr mAssertBang(std::string KHash, PropPtr A, Bytes Sig);
+ProofPtr mIfReturn(CondPtr Phi, ProofPtr M);
+ProofPtr mIfBind(std::string X, ProofPtr Of, ProofPtr In);
+ProofPtr mIfWeaken(CondPtr Phi, ProofPtr M);
+ProofPtr mIfSay(ProofPtr M);
+
+// Operations -------------------------------------------------------------------
+
+/// `this` resolution inside annotations and asserted propositions.
+ProofPtr resolveProof(const ProofPtr &M, const std::string &Txid);
+
+std::string printProof(const ProofPtr &M);
+
+void writeProof(Writer &W, const ProofPtr &M);
+Result<ProofPtr> readProof(Reader &R);
+
+} // namespace logic
+} // namespace typecoin
+
+#endif // TYPECOIN_LOGIC_PROOF_H

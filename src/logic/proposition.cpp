@@ -1,0 +1,608 @@
+//===- logic/proposition.cpp - Affine propositions ---------------------------===//
+
+#include "logic/proposition.h"
+
+#include <cassert>
+
+namespace typecoin {
+namespace logic {
+
+using lf::LFType;
+using lf::LFTypePtr;
+using lf::TermPtr;
+
+// Constructors ---------------------------------------------------------------
+
+PropPtr pAtom(LFTypePtr Applied) {
+  auto P = std::make_shared<Prop>(Prop::Tag::Atom);
+  P->Atom = std::move(Applied);
+  return P;
+}
+
+PropPtr pAtom(lf::ConstName Head, const std::vector<TermPtr> &Args) {
+  return pAtom(lf::tApps(lf::tConst(std::move(Head)), Args));
+}
+
+static PropPtr binary(Prop::Tag Kind, PropPtr L, PropPtr R) {
+  auto P = std::make_shared<Prop>(Kind);
+  P->L = std::move(L);
+  P->R = std::move(R);
+  return P;
+}
+
+PropPtr pTensor(PropPtr L, PropPtr R) {
+  return binary(Prop::Tag::Tensor, std::move(L), std::move(R));
+}
+
+PropPtr pTensorAll(const std::vector<PropPtr> &Ps) {
+  if (Ps.empty())
+    return pOne();
+  PropPtr Out = Ps.back();
+  for (size_t I = Ps.size() - 1; I-- > 0;)
+    Out = pTensor(Ps[I], Out);
+  return Out;
+}
+
+PropPtr pLolli(PropPtr L, PropPtr R) {
+  return binary(Prop::Tag::Lolli, std::move(L), std::move(R));
+}
+
+PropPtr pWith(PropPtr L, PropPtr R) {
+  return binary(Prop::Tag::With, std::move(L), std::move(R));
+}
+
+PropPtr pPlus(PropPtr L, PropPtr R) {
+  return binary(Prop::Tag::Plus, std::move(L), std::move(R));
+}
+
+PropPtr pZero() {
+  static const PropPtr P = std::make_shared<Prop>(Prop::Tag::Zero);
+  return P;
+}
+
+PropPtr pOne() {
+  static const PropPtr P = std::make_shared<Prop>(Prop::Tag::One);
+  return P;
+}
+
+PropPtr pBang(PropPtr Body) {
+  auto P = std::make_shared<Prop>(Prop::Tag::Bang);
+  P->Body = std::move(Body);
+  return P;
+}
+
+PropPtr pForall(LFTypePtr QType, PropPtr Body) {
+  auto P = std::make_shared<Prop>(Prop::Tag::Forall);
+  P->QType = std::move(QType);
+  P->Body = std::move(Body);
+  return P;
+}
+
+PropPtr pExists(LFTypePtr QType, PropPtr Body) {
+  auto P = std::make_shared<Prop>(Prop::Tag::Exists);
+  P->QType = std::move(QType);
+  P->Body = std::move(Body);
+  return P;
+}
+
+PropPtr pSays(TermPtr Who, PropPtr Body) {
+  auto P = std::make_shared<Prop>(Prop::Tag::Says);
+  P->Who = std::move(Who);
+  P->Body = std::move(Body);
+  return P;
+}
+
+PropPtr pReceipt(PropPtr Body, uint64_t Amount, TermPtr Who) {
+  auto P = std::make_shared<Prop>(Prop::Tag::Receipt);
+  P->Body = std::move(Body);
+  P->Amount = Amount;
+  P->Who = std::move(Who);
+  return P;
+}
+
+PropPtr pIf(CondPtr C, PropPtr Body) {
+  auto P = std::make_shared<Prop>(Prop::Tag::If);
+  P->Cond = std::move(C);
+  P->Body = std::move(Body);
+  return P;
+}
+
+// Shifting / substitution ------------------------------------------------------
+
+PropPtr shiftProp(const PropPtr &P, int Delta, unsigned Cutoff) {
+  if (Delta == 0)
+    return P;
+  switch (P->Kind) {
+  case Prop::Tag::Atom:
+    return pAtom(lf::shiftType(P->Atom, Delta, Cutoff));
+  case Prop::Tag::Tensor:
+  case Prop::Tag::Lolli:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus:
+    return binary(P->Kind, shiftProp(P->L, Delta, Cutoff),
+                  shiftProp(P->R, Delta, Cutoff));
+  case Prop::Tag::Zero:
+  case Prop::Tag::One:
+    return P;
+  case Prop::Tag::Bang:
+    return pBang(shiftProp(P->Body, Delta, Cutoff));
+  case Prop::Tag::Forall:
+    return pForall(lf::shiftType(P->QType, Delta, Cutoff),
+                   shiftProp(P->Body, Delta, Cutoff + 1));
+  case Prop::Tag::Exists:
+    return pExists(lf::shiftType(P->QType, Delta, Cutoff),
+                   shiftProp(P->Body, Delta, Cutoff + 1));
+  case Prop::Tag::Says:
+    return pSays(lf::shiftTerm(P->Who, Delta, Cutoff),
+                 shiftProp(P->Body, Delta, Cutoff));
+  case Prop::Tag::Receipt:
+    return pReceipt(P->Body ? shiftProp(P->Body, Delta, Cutoff) : nullptr,
+                    P->Amount, lf::shiftTerm(P->Who, Delta, Cutoff));
+  case Prop::Tag::If:
+    return pIf(shiftCond(P->Cond, Delta, Cutoff),
+               shiftProp(P->Body, Delta, Cutoff));
+  }
+  return P;
+}
+
+PropPtr substProp(const PropPtr &P, unsigned Index, const TermPtr &Value) {
+  switch (P->Kind) {
+  case Prop::Tag::Atom:
+    return pAtom(lf::substType(P->Atom, Index, Value));
+  case Prop::Tag::Tensor:
+  case Prop::Tag::Lolli:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus:
+    return binary(P->Kind, substProp(P->L, Index, Value),
+                  substProp(P->R, Index, Value));
+  case Prop::Tag::Zero:
+  case Prop::Tag::One:
+    return P;
+  case Prop::Tag::Bang:
+    return pBang(substProp(P->Body, Index, Value));
+  case Prop::Tag::Forall:
+    return pForall(lf::substType(P->QType, Index, Value),
+                   substProp(P->Body, Index + 1, lf::shiftTerm(Value, 1)));
+  case Prop::Tag::Exists:
+    return pExists(lf::substType(P->QType, Index, Value),
+                   substProp(P->Body, Index + 1, lf::shiftTerm(Value, 1)));
+  case Prop::Tag::Says:
+    return pSays(lf::substTerm(P->Who, Index, Value),
+                 substProp(P->Body, Index, Value));
+  case Prop::Tag::Receipt:
+    return pReceipt(P->Body ? substProp(P->Body, Index, Value) : nullptr,
+                    P->Amount, lf::substTerm(P->Who, Index, Value));
+  case Prop::Tag::If:
+    return pIf(substCond(P->Cond, Index, Value),
+               substProp(P->Body, Index, Value));
+  }
+  return P;
+}
+
+static bool typeFree(const LFTypePtr &T, unsigned Index);
+
+static bool termFree(const TermPtr &T, unsigned Index) {
+  using lf::Term;
+  switch (T->Kind) {
+  case Term::Tag::Var:
+    return T->VarIndex == Index;
+  case Term::Tag::Const:
+  case Term::Tag::Principal:
+  case Term::Tag::Nat:
+    return false;
+  case Term::Tag::Lam:
+    return typeFree(T->Annot, Index) || termFree(T->Body, Index + 1);
+  case Term::Tag::App:
+    return termFree(T->Fn, Index) || termFree(T->Arg, Index);
+  }
+  return false;
+}
+
+static bool typeFree(const LFTypePtr &T, unsigned Index) {
+  switch (T->Kind) {
+  case LFType::Tag::Const:
+    return false;
+  case LFType::Tag::App:
+    return typeFree(T->Head, Index) || termFree(T->Arg, Index);
+  case LFType::Tag::Pi:
+    return typeFree(T->Head, Index) || typeFree(T->Cod, Index + 1);
+  }
+  return false;
+}
+
+bool propHasFreeVar(const PropPtr &P, unsigned Index) {
+  switch (P->Kind) {
+  case Prop::Tag::Atom:
+    return typeFree(P->Atom, Index);
+  case Prop::Tag::Tensor:
+  case Prop::Tag::Lolli:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus:
+    return propHasFreeVar(P->L, Index) || propHasFreeVar(P->R, Index);
+  case Prop::Tag::Zero:
+  case Prop::Tag::One:
+    return false;
+  case Prop::Tag::Bang:
+    return propHasFreeVar(P->Body, Index);
+  case Prop::Tag::Forall:
+  case Prop::Tag::Exists:
+    return typeFree(P->QType, Index) ||
+           propHasFreeVar(P->Body, Index + 1);
+  case Prop::Tag::Says:
+    return termFree(P->Who, Index) || propHasFreeVar(P->Body, Index);
+  case Prop::Tag::Receipt:
+    return (P->Body && propHasFreeVar(P->Body, Index)) ||
+           termFree(P->Who, Index);
+  case Prop::Tag::If:
+    return condHasFreeVar(P->Cond, Index) ||
+           propHasFreeVar(P->Body, Index);
+  }
+  return false;
+}
+
+bool propEqual(const PropPtr &A, const PropPtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case Prop::Tag::Atom:
+    return lf::typeEqual(A->Atom, B->Atom);
+  case Prop::Tag::Tensor:
+  case Prop::Tag::Lolli:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus:
+    return propEqual(A->L, B->L) && propEqual(A->R, B->R);
+  case Prop::Tag::Zero:
+  case Prop::Tag::One:
+    return true;
+  case Prop::Tag::Bang:
+    return propEqual(A->Body, B->Body);
+  case Prop::Tag::Forall:
+  case Prop::Tag::Exists:
+    return lf::typeEqual(A->QType, B->QType) &&
+           propEqual(A->Body, B->Body);
+  case Prop::Tag::Says:
+    return lf::termEqual(A->Who, B->Who) && propEqual(A->Body, B->Body);
+  case Prop::Tag::Receipt:
+    if ((A->Body == nullptr) != (B->Body == nullptr))
+      return false;
+    return (!A->Body || propEqual(A->Body, B->Body)) &&
+           A->Amount == B->Amount && lf::termEqual(A->Who, B->Who);
+  case Prop::Tag::If:
+    return condEqual(A->Cond, B->Cond) && propEqual(A->Body, B->Body);
+  }
+  return false;
+}
+
+PropPtr resolveProp(const PropPtr &P, const std::string &Txid) {
+  switch (P->Kind) {
+  case Prop::Tag::Atom:
+    return pAtom(lf::resolveType(P->Atom, Txid));
+  case Prop::Tag::Tensor:
+  case Prop::Tag::Lolli:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus:
+    return binary(P->Kind, resolveProp(P->L, Txid),
+                  resolveProp(P->R, Txid));
+  case Prop::Tag::Zero:
+  case Prop::Tag::One:
+    return P;
+  case Prop::Tag::Bang:
+    return pBang(resolveProp(P->Body, Txid));
+  case Prop::Tag::Forall:
+    return pForall(lf::resolveType(P->QType, Txid),
+                   resolveProp(P->Body, Txid));
+  case Prop::Tag::Exists:
+    return pExists(lf::resolveType(P->QType, Txid),
+                   resolveProp(P->Body, Txid));
+  case Prop::Tag::Says:
+    return pSays(lf::resolveTerm(P->Who, Txid), resolveProp(P->Body, Txid));
+  case Prop::Tag::Receipt:
+    return pReceipt(P->Body ? resolveProp(P->Body, Txid) : nullptr,
+                    P->Amount, lf::resolveTerm(P->Who, Txid));
+  case Prop::Tag::If:
+    return pIf(P->Cond, resolveProp(P->Body, Txid));
+  }
+  return P;
+}
+
+bool propHasLocal(const PropPtr &P) {
+  switch (P->Kind) {
+  case Prop::Tag::Atom:
+    return lf::typeHasLocal(P->Atom);
+  case Prop::Tag::Tensor:
+  case Prop::Tag::Lolli:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus:
+    return propHasLocal(P->L) || propHasLocal(P->R);
+  case Prop::Tag::Zero:
+  case Prop::Tag::One:
+    return false;
+  case Prop::Tag::Bang:
+    return propHasLocal(P->Body);
+  case Prop::Tag::Forall:
+  case Prop::Tag::Exists:
+    return lf::typeHasLocal(P->QType) || propHasLocal(P->Body);
+  case Prop::Tag::Says:
+    return lf::termHasLocal(P->Who) || propHasLocal(P->Body);
+  case Prop::Tag::Receipt:
+    return (P->Body && propHasLocal(P->Body)) || lf::termHasLocal(P->Who);
+  case Prop::Tag::If:
+    return propHasLocal(P->Body);
+  }
+  return false;
+}
+
+// Printing ---------------------------------------------------------------------
+
+static std::string printPropPrec(const PropPtr &P, int Prec) {
+  auto Wrap = [&](int Needed, std::string S) {
+    return Prec > Needed ? "(" + std::move(S) + ")" : std::move(S);
+  };
+  switch (P->Kind) {
+  case Prop::Tag::Atom:
+    return lf::printType(P->Atom);
+  case Prop::Tag::Tensor:
+    return Wrap(2, printPropPrec(P->L, 3) + " (x) " +
+                       printPropPrec(P->R, 2));
+  case Prop::Tag::Lolli:
+    return Wrap(1, printPropPrec(P->L, 2) + " -o " +
+                       printPropPrec(P->R, 1));
+  case Prop::Tag::With:
+    return Wrap(2, printPropPrec(P->L, 3) + " & " + printPropPrec(P->R, 2));
+  case Prop::Tag::Plus:
+    return Wrap(2, printPropPrec(P->L, 3) + " (+) " +
+                       printPropPrec(P->R, 2));
+  case Prop::Tag::Zero:
+    return "0";
+  case Prop::Tag::One:
+    return "1";
+  case Prop::Tag::Bang:
+    return "!" + printPropPrec(P->Body, 4);
+  case Prop::Tag::Forall:
+    return Wrap(0, "forall :" + lf::printType(P->QType) + ". " +
+                       printPropPrec(P->Body, 0));
+  case Prop::Tag::Exists:
+    return Wrap(0, "exists :" + lf::printType(P->QType) + ". " +
+                       printPropPrec(P->Body, 0));
+  case Prop::Tag::Says:
+    return "<" + lf::printTerm(P->Who) + "> " + printPropPrec(P->Body, 4);
+  case Prop::Tag::Receipt: {
+    std::string Inner;
+    if (P->Body)
+      Inner = printPropPrec(P->Body, 0);
+    if (P->Amount) {
+      if (!Inner.empty())
+        Inner += "/";
+      Inner += std::to_string(P->Amount);
+    }
+    return "receipt(" + Inner + " ->> " + lf::printTerm(P->Who) + ")";
+  }
+  case Prop::Tag::If:
+    return "if(" + printCond(P->Cond) + ", " + printPropPrec(P->Body, 0) +
+           ")";
+  }
+  return "?";
+}
+
+std::string printProp(const PropPtr &P) { return printPropPrec(P, 0); }
+
+// Serialization ------------------------------------------------------------------
+
+void writeProp(Writer &W, const PropPtr &P) {
+  W.writeU8(static_cast<uint8_t>(P->Kind));
+  switch (P->Kind) {
+  case Prop::Tag::Atom:
+    lf::writeType(W, P->Atom);
+    break;
+  case Prop::Tag::Tensor:
+  case Prop::Tag::Lolli:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus:
+    writeProp(W, P->L);
+    writeProp(W, P->R);
+    break;
+  case Prop::Tag::Zero:
+  case Prop::Tag::One:
+    break;
+  case Prop::Tag::Bang:
+    writeProp(W, P->Body);
+    break;
+  case Prop::Tag::Forall:
+  case Prop::Tag::Exists:
+    lf::writeType(W, P->QType);
+    writeProp(W, P->Body);
+    break;
+  case Prop::Tag::Says:
+    lf::writeTerm(W, P->Who);
+    writeProp(W, P->Body);
+    break;
+  case Prop::Tag::Receipt:
+    W.writeU8(P->Body ? 1 : 0);
+    if (P->Body)
+      writeProp(W, P->Body);
+    W.writeU64(P->Amount);
+    lf::writeTerm(W, P->Who);
+    break;
+  case Prop::Tag::If:
+    writeCond(W, P->Cond);
+    writeProp(W, P->Body);
+    break;
+  }
+}
+
+Result<PropPtr> readProp(Reader &R) {
+  TC_UNWRAP(Tag, R.readU8());
+  switch (static_cast<Prop::Tag>(Tag)) {
+  case Prop::Tag::Atom: {
+    TC_UNWRAP(T, lf::readType(R));
+    return pAtom(T);
+  }
+  case Prop::Tag::Tensor:
+  case Prop::Tag::Lolli:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus: {
+    TC_UNWRAP(L, readProp(R));
+    TC_UNWRAP(Right, readProp(R));
+    return binary(static_cast<Prop::Tag>(Tag), L, Right);
+  }
+  case Prop::Tag::Zero:
+    return pZero();
+  case Prop::Tag::One:
+    return pOne();
+  case Prop::Tag::Bang: {
+    TC_UNWRAP(Body, readProp(R));
+    return pBang(Body);
+  }
+  case Prop::Tag::Forall:
+  case Prop::Tag::Exists: {
+    TC_UNWRAP(QType, lf::readType(R));
+    TC_UNWRAP(Body, readProp(R));
+    return static_cast<Prop::Tag>(Tag) == Prop::Tag::Forall
+               ? pForall(QType, Body)
+               : pExists(QType, Body);
+  }
+  case Prop::Tag::Says: {
+    TC_UNWRAP(Who, lf::readTerm(R));
+    TC_UNWRAP(Body, readProp(R));
+    return pSays(Who, Body);
+  }
+  case Prop::Tag::Receipt: {
+    TC_UNWRAP(HasBody, R.readU8());
+    PropPtr Body;
+    if (HasBody) {
+      TC_UNWRAP(B, readProp(R));
+      Body = B;
+    }
+    TC_UNWRAP(Amount, R.readU64());
+    TC_UNWRAP(Who, lf::readTerm(R));
+    return pReceipt(Body, Amount, Who);
+  }
+  case Prop::Tag::If: {
+    TC_UNWRAP(C, readCond(R));
+    TC_UNWRAP(Body, readProp(R));
+    return pIf(C, Body);
+  }
+  }
+  return makeError("logic: bad proposition tag");
+}
+
+// Formation ---------------------------------------------------------------------
+
+static Status checkCondFormation(const lf::Signature &Sig,
+                                 const lf::Context &Psi, const CondPtr &C) {
+  switch (C->Kind) {
+  case Cond::Tag::True:
+    return Status::success();
+  case Cond::Tag::And:
+    TC_TRY(checkCondFormation(Sig, Psi, C->L));
+    return checkCondFormation(Sig, Psi, C->R);
+  case Cond::Tag::Not:
+    return checkCondFormation(Sig, Psi, C->L);
+  case Cond::Tag::Before:
+    return lf::checkTerm(Sig, Psi, C->Time, lf::natType());
+  case Cond::Tag::Spent:
+    if (C->Txid.size() != 64)
+      return makeError("logic: spent() txid must be 64 hex digits");
+    return Status::success();
+  }
+  return makeError("logic: malformed condition");
+}
+
+Status checkProp(const lf::Signature &Sig, const lf::Context &Psi,
+                 const PropPtr &P) {
+  switch (P->Kind) {
+  case Prop::Tag::Atom:
+    return lf::checkPropAtom(Sig, Psi, P->Atom);
+  case Prop::Tag::Tensor:
+  case Prop::Tag::Lolli:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus:
+    TC_TRY(checkProp(Sig, Psi, P->L));
+    return checkProp(Sig, Psi, P->R);
+  case Prop::Tag::Zero:
+  case Prop::Tag::One:
+    return Status::success();
+  case Prop::Tag::Bang:
+    return checkProp(Sig, Psi, P->Body);
+  case Prop::Tag::Forall:
+  case Prop::Tag::Exists: {
+    TC_UNWRAP(QKind, lf::kindOfType(Sig, Psi, P->QType));
+    if (QKind->KindTag != lf::Kind::Tag::Type)
+      return makeError("logic: quantifier domain must have kind type");
+    lf::Context Extended = Psi;
+    Extended.push_back(P->QType);
+    return checkProp(Sig, Extended, P->Body);
+  }
+  case Prop::Tag::Says:
+    TC_TRY(lf::checkTerm(Sig, Psi, P->Who, lf::principalType()));
+    return checkProp(Sig, Psi, P->Body);
+  case Prop::Tag::Receipt:
+    if (P->Body)
+      TC_TRY(checkProp(Sig, Psi, P->Body));
+    if (!P->Body && P->Amount == 0)
+      return makeError("logic: receipt must carry a type or an amount");
+    return lf::checkTerm(Sig, Psi, P->Who, lf::principalType());
+  case Prop::Tag::If:
+    TC_TRY(checkCondFormation(Sig, Psi, P->Cond));
+    return checkProp(Sig, Psi, P->Body);
+  }
+  return makeError("logic: malformed proposition");
+}
+
+// Freshness ------------------------------------------------------------------------
+
+Status checkTypeFresh(const lf::LFTypePtr &T) {
+  switch (T->Kind) {
+  case LFType::Tag::Const:
+    if (!T->Name.isLocal())
+      return makeError("freshness: non-local constant " +
+                       T->Name.toString() + " in producible position");
+    return Status::success();
+  case LFType::Tag::App:
+    return checkTypeFresh(T->Head);
+  case LFType::Tag::Pi:
+    // The domain is to the left of the arrow: unrestricted.
+    return checkTypeFresh(T->Cod);
+  }
+  return makeError("freshness: malformed type");
+}
+
+Status checkPropFresh(const PropPtr &P) {
+  switch (P->Kind) {
+  case Prop::Tag::Atom:
+    return checkTypeFresh(P->Atom);
+  case Prop::Tag::Lolli:
+    // The left of a lolli is unrestricted: restricted forms may be
+    // consumed there.
+    return checkPropFresh(P->R);
+  case Prop::Tag::Tensor:
+  case Prop::Tag::With:
+  case Prop::Tag::Plus:
+    TC_TRY(checkPropFresh(P->L));
+    return checkPropFresh(P->R);
+  case Prop::Tag::Zero:
+    return makeError("freshness: 0 is a restricted form");
+  case Prop::Tag::One:
+    return Status::success();
+  case Prop::Tag::Bang:
+    return checkPropFresh(P->Body);
+  case Prop::Tag::Forall:
+    // The quantifier domain is unrestricted, like a lolli's left side.
+    return checkPropFresh(P->Body);
+  case Prop::Tag::Exists:
+    TC_TRY(checkTypeFresh(P->QType));
+    return checkPropFresh(P->Body);
+  case Prop::Tag::Says:
+    return makeError("freshness: affirmations are restricted forms");
+  case Prop::Tag::Receipt:
+    return makeError("freshness: receipts are restricted forms");
+  case Prop::Tag::If:
+    return checkPropFresh(P->Body);
+  }
+  return makeError("freshness: malformed proposition");
+}
+
+} // namespace logic
+} // namespace typecoin

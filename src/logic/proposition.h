@@ -1,0 +1,123 @@
+//===- logic/proposition.h - Affine propositions -----------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Propositions of the Typecoin logic (Figure 1 plus the Figure 2
+/// conditional):
+///
+///   A ::= tau m...      (atomic: a prop-kinded family fully applied)
+///       | A -o A | A & A | A (x) A | A (+) A | 0 | 1 | !A
+///       | forall u:tau. A | exists u:tau. A
+///       | <m> A          (affirmation: "the principal m says A")
+///       | receipt(A/n ->> m)
+///       | if(phi, A)
+///
+/// Dual intuitionistic *affine* logic: weakening is admissible
+/// ("we have elected to embrace affinity", Section 4), and top is
+/// omitted as meaningless.
+///
+/// Quantifiers bind LF index variables (de Bruijn, shared numbering with
+/// the terms inside atoms and conditions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LOGIC_PROPOSITION_H
+#define TYPECOIN_LOGIC_PROPOSITION_H
+
+#include "lf/serialize.h"
+#include "lf/typecheck.h"
+#include "logic/condition.h"
+
+namespace typecoin {
+namespace logic {
+
+struct Prop;
+using PropPtr = std::shared_ptr<const Prop>;
+
+/// A proposition.
+struct Prop {
+  enum class Tag {
+    Atom,   ///< prop-kinded LF family application
+    Tensor, ///< A (x) B
+    Lolli,  ///< A -o B
+    With,   ///< A & B
+    Plus,   ///< A (+) B
+    Zero,   ///< 0
+    One,    ///< 1
+    Bang,   ///< !A
+    Forall, ///< forall u:tau. A
+    Exists, ///< exists u:tau. A
+    Says,   ///< <m> A
+    Receipt,///< receipt(A/n ->> K)
+    If,     ///< if(phi, A)
+  };
+
+  Tag Kind;
+  lf::LFTypePtr Atom;    ///< Atom: the applied family.
+  PropPtr L, R;          ///< Binary connectives.
+  PropPtr Body;          ///< Bang/Forall/Exists/Says/If; Receipt (may be null).
+  lf::LFTypePtr QType;   ///< Forall/Exists: the domain.
+  lf::TermPtr Who;       ///< Says / Receipt: the principal term.
+  uint64_t Amount = 0;   ///< Receipt: satoshi amount (0 if pure-type).
+  CondPtr Cond;          ///< If.
+
+  explicit Prop(Tag Kind) : Kind(Kind) {}
+};
+
+// Constructors ---------------------------------------------------------------
+
+PropPtr pAtom(lf::LFTypePtr Applied);
+/// Atom from a head constant and argument spine.
+PropPtr pAtom(lf::ConstName Head, const std::vector<lf::TermPtr> &Args);
+PropPtr pTensor(PropPtr L, PropPtr R);
+/// Right-nested tensor of a list; empty list gives 1.
+PropPtr pTensorAll(const std::vector<PropPtr> &Ps);
+PropPtr pLolli(PropPtr L, PropPtr R);
+PropPtr pWith(PropPtr L, PropPtr R);
+PropPtr pPlus(PropPtr L, PropPtr R);
+PropPtr pZero();
+PropPtr pOne();
+PropPtr pBang(PropPtr Body);
+PropPtr pForall(lf::LFTypePtr QType, PropPtr Body);
+PropPtr pExists(lf::LFTypePtr QType, PropPtr Body);
+PropPtr pSays(lf::TermPtr Who, PropPtr Body);
+/// receipt(A/n ->> K); \p Body may be null for a pure-bitcoin receipt.
+PropPtr pReceipt(PropPtr Body, uint64_t Amount, lf::TermPtr Who);
+PropPtr pIf(CondPtr C, PropPtr Body);
+
+// Operations -----------------------------------------------------------------
+
+PropPtr shiftProp(const PropPtr &P, int Delta, unsigned Cutoff = 0);
+PropPtr substProp(const PropPtr &P, unsigned Index, const lf::TermPtr &Value);
+bool propHasFreeVar(const PropPtr &P, unsigned Index);
+
+/// Equality up to normalization of embedded index terms.
+bool propEqual(const PropPtr &A, const PropPtr &B);
+
+/// `this` resolution (chain formation).
+PropPtr resolveProp(const PropPtr &P, const std::string &Txid);
+bool propHasLocal(const PropPtr &P);
+
+std::string printProp(const PropPtr &P);
+
+void writeProp(Writer &W, const PropPtr &P);
+Result<PropPtr> readProp(Reader &R);
+
+/// Proposition formation: Sigma; Psi |- A prop (Appendix A).
+Status checkProp(const lf::Signature &Sig, const lf::Context &Psi,
+                 const PropPtr &P);
+
+/// Proposition freshness (Appendix A): restricted forms — non-local
+/// atoms, 0, affirmations, receipts — must appear only to the left of a
+/// lolli or in quantifier domains, so "restricted forms can be consumed
+/// but not produced."
+Status checkPropFresh(const PropPtr &P);
+Status checkTypeFresh(const lf::LFTypePtr &T);
+
+} // namespace logic
+} // namespace typecoin
+
+#endif // TYPECOIN_LOGIC_PROPOSITION_H

@@ -1,0 +1,117 @@
+//===- services/authserver.cpp - Proof-carrying-authorization server ----------===//
+
+#include "services/authserver.h"
+
+#include <cassert>
+
+namespace typecoin {
+namespace services {
+
+using lf::ConstName;
+
+AuthVocab AuthVocab::resolved(const std::string &Txid) const {
+  AuthVocab Out;
+  Out.File = File.resolved(Txid);
+  Out.Homework = Homework.resolved(Txid);
+  Out.MayWrite = MayWrite.resolved(Txid);
+  Out.MayWriteThis = MayWriteThis.resolved(Txid);
+  Out.Use = Use.resolved(Txid);
+  return Out;
+}
+
+AuthVocab authBasis(logic::Basis &Out) {
+  AuthVocab V;
+  V.File = ConstName::local("file");
+  V.Homework = ConstName::local("homework");
+  V.MayWrite = ConstName::local("may-write");
+  V.MayWriteThis = ConstName::local("may-write-this");
+  V.Use = ConstName::local("use");
+
+  auto Check = [](Status S) {
+    assert(S.hasValue() && "auth basis construction must succeed");
+    (void)S;
+  };
+
+  lf::LFTypePtr FileTy = lf::tConst(V.File);
+  Check(Out.declareFamily(V.File, lf::kType()));
+  Check(Out.declareTerm(V.Homework, FileTy));
+  // may-write : principal -> file -> prop.
+  Check(Out.declareFamily(
+      V.MayWrite,
+      lf::kPi(lf::principalType(), lf::kPi(FileTy, lf::kProp()))));
+  // may-write-this : principal -> file -> nat -> prop.
+  Check(Out.declareFamily(
+      V.MayWriteThis,
+      lf::kPi(lf::principalType(),
+              lf::kPi(FileTy, lf::kPi(lf::natType(), lf::kProp())))));
+  // use : forall K:principal. forall f:file. forall n:nat.
+  //         may-write K f -o may-write-this K f n.
+  logic::PropPtr UseRule = logic::pForall(
+      lf::principalType(),
+      logic::pForall(
+          FileTy,
+          logic::pForall(
+              lf::natType(),
+              logic::pLolli(
+                  logic::pAtom(lf::tApps(lf::tConst(V.MayWrite),
+                                         {lf::var(2), lf::var(1)})),
+                  logic::pAtom(lf::tApps(
+                      lf::tConst(V.MayWriteThis),
+                      {lf::var(2), lf::var(1), lf::var(0)}))))));
+  Check(Out.declareProp(V.Use, UseRule));
+  return V;
+}
+
+logic::PropPtr mayWrite(const AuthVocab &V, const crypto::KeyId &K,
+                        const lf::ConstName &File) {
+  return logic::pAtom(lf::tApps(
+      lf::tConst(V.MayWrite),
+      {lf::principal(K.toHex()), lf::constant(File)}));
+}
+
+logic::PropPtr mayWriteThis(const AuthVocab &V, const crypto::KeyId &K,
+                            const lf::ConstName &File, uint64_t Nonce) {
+  return logic::pAtom(lf::tApps(
+      lf::tConst(V.MayWriteThis),
+      {lf::principal(K.toHex()), lf::constant(File), lf::nat(Nonce)}));
+}
+
+uint64_t AuthServer::requestWriteNonce(const crypto::KeyId &Writer) {
+  uint64_t Nonce = NextNonce++;
+  IssuedNonces[Nonce] = Writer;
+  return Nonce;
+}
+
+Status AuthServer::submitWrite(const crypto::KeyId &Writer,
+                               const std::string &Txid,
+                               uint32_t OutputIndex, uint64_t Nonce,
+                               const std::string &Content) {
+  auto Issued = IssuedNonces.find(Nonce);
+  if (Issued == IssuedNonces.end() || !(Issued->second == Writer))
+    return makeError("auth: nonce was not issued to this writer");
+  if (UsedNonces.count(Nonce))
+    return makeError("auth: nonce already used");
+
+  // The committing transaction must be confirmed (Section 2, item 6).
+  TC_UNWRAP(Id, tc::txidFromHex(Txid));
+  int Confs = Node.chain().confirmations(Id);
+  if (Confs < MinConfirmations)
+    return makeError("auth: transaction has " + std::to_string(Confs) +
+                     " confirmations, needs " +
+                     std::to_string(MinConfirmations));
+
+  // The txout must carry exactly may-write-this(writer, homework, n).
+  logic::PropPtr Actual = Node.state().outputType(Txid, OutputIndex);
+  logic::PropPtr Expected =
+      mayWriteThis(Vocab, Writer, Vocab.Homework, Nonce);
+  if (!logic::propEqual(Actual, Expected))
+    return makeError("auth: txout has type " + logic::printProp(Actual) +
+                     ", expected " + logic::printProp(Expected));
+
+  UsedNonces.insert(Nonce);
+  Contents.push_back(Content);
+  return Status::success();
+}
+
+} // namespace services
+} // namespace typecoin

@@ -1,0 +1,94 @@
+//===- services/authserver.h - Proof-carrying-authorization server -*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running proof-carrying-authorization example (Section 2):
+/// a fileserver that performs a write only after the writer commits a
+/// single-use credential on the blockchain.
+///
+///   "Bob submits the write to the file system, which replies with a
+///    nonce n. Bob then submits a Typecoin transaction that alters his
+///    credential to include the nonce:
+///      may-write(Bob, homework) -o may-write-this(Bob, homework, n)
+///    Once the filesystem sees the nonce in a confirmed transaction, it
+///    recognizes that Bob has committed to the write, so it performs it."
+///
+/// The vocabulary (`file`, `may-write`, `may-write-this`, and the
+/// nonce-infusing rule `use`) is published as a basis in a setup
+/// transaction; \ref authBasis builds it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_SERVICES_AUTHSERVER_H
+#define TYPECOIN_SERVICES_AUTHSERVER_H
+
+#include "typecoin/builder.h"
+
+#include <set>
+
+namespace typecoin {
+namespace services {
+
+/// Labels of the constants the auth basis declares (all `this.*` until
+/// the setup transaction confirms).
+struct AuthVocab {
+  lf::ConstName File;         ///< file : type
+  lf::ConstName Homework;     ///< homework : file
+  lf::ConstName MayWrite;     ///< may-write : principal -> file -> prop
+  lf::ConstName MayWriteThis; ///< may-write-this : ... -> nat -> prop
+  lf::ConstName Use;          ///< forall K, f, n. may-write K f -o
+                              ///<   may-write-this K f n
+
+  /// Vocabulary resolved to the setup transaction's id.
+  AuthVocab resolved(const std::string &Txid) const;
+};
+
+/// Build the authorization basis; returns the vocabulary.
+AuthVocab authBasis(logic::Basis &Out);
+
+/// `may-write(K, f)` as a proposition.
+logic::PropPtr mayWrite(const AuthVocab &V, const crypto::KeyId &K,
+                        const lf::ConstName &File);
+/// `may-write-this(K, f, n)`.
+logic::PropPtr mayWriteThis(const AuthVocab &V, const crypto::KeyId &K,
+                            const lf::ConstName &File, uint64_t Nonce);
+
+/// The fileserver.
+class AuthServer {
+public:
+  AuthServer(tc::Node &Node, AuthVocab Vocab, int MinConfirmations = 6)
+      : Node(Node), Vocab(std::move(Vocab)),
+        MinConfirmations(MinConfirmations) {}
+
+  /// Step 1 of the protocol: the writer requests a nonce.
+  uint64_t requestWriteNonce(const crypto::KeyId &Writer);
+
+  /// Step 2: the writer names a txout claimed to carry
+  /// `may-write-this(writer, homework, nonce)`. The server checks that
+  /// the transaction is confirmed deeply enough, that the registered
+  /// type matches, and that the nonce is the one it issued; then it
+  /// performs the write.
+  Status submitWrite(const crypto::KeyId &Writer, const std::string &Txid,
+                     uint32_t OutputIndex, uint64_t Nonce,
+                     const std::string &Content);
+
+  /// The stored file contents (the observable effect).
+  const std::vector<std::string> &fileContents() const { return Contents; }
+
+private:
+  tc::Node &Node;
+  AuthVocab Vocab;
+  int MinConfirmations;
+  uint64_t NextNonce = 1;
+  std::map<uint64_t, crypto::KeyId> IssuedNonces;
+  std::set<uint64_t> UsedNonces;
+  std::vector<std::string> Contents;
+};
+
+} // namespace services
+} // namespace typecoin
+
+#endif // TYPECOIN_SERVICES_AUTHSERVER_H

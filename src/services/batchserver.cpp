@@ -1,0 +1,123 @@
+//===- services/batchserver.cpp - Batch-mode credential server ----------------===//
+
+#include "services/batchserver.h"
+
+namespace typecoin {
+namespace services {
+
+Status BatchServer::registerDeposit(const std::string &Txid, uint32_t Index,
+                                    const crypto::KeyId &Owner) {
+  // The txout must exist, be confirmed, and be typed.
+  TC_UNWRAP(Id, tc::txidFromHex(Txid));
+  if (Node.chain().confirmations(Id) < 1)
+    return makeError("batch: deposit transaction is unconfirmed");
+  logic::PropPtr Type = Node.state().outputType(Txid, Index);
+  if (Type->Kind == logic::Prop::Tag::One)
+    return makeError("batch: txout carries no Typecoin resource");
+  if (Node.state().isConsumed(Txid, Index))
+    return makeError("batch: txout already consumed");
+  auto Amount = Node.state().outputAmount(Txid, Index);
+
+  // It must actually be locked by the server's key.
+  const bitcoin::Transaction *Btc = Node.chain().findTransaction(Id);
+  if (!Btc || Index >= Btc->Outputs.size())
+    return makeError("batch: txout not found on chain");
+  bitcoin::SolvedScript Solved =
+      bitcoin::solveScript(Btc->Outputs[Index].ScriptPubKey);
+  bool Ours = false;
+  auto SelfId = serverId();
+  if (Solved.Kind == bitcoin::TxOutKind::PubKeyHash)
+    Ours = Solved.Data[0] == Bytes(SelfId.Hash.begin(), SelfId.Hash.end());
+  else if (Solved.Kind == bitcoin::TxOutKind::MultiSig)
+    for (const Bytes &Key : Solved.Data)
+      Ours = Ours || Key == serverKey().serialize();
+  if (!Ours)
+    return makeError("batch: deposit txout is not locked to the server");
+
+  Entry E;
+  E.Type = Type;
+  E.Amount = Amount.value_or(0);
+  E.Owner = Owner;
+  Ledger[{Txid, Index}] = std::move(E);
+  return Status::success();
+}
+
+Status BatchServer::transfer(const std::string &Txid, uint32_t Index,
+                             const crypto::KeyId &From,
+                             const crypto::KeyId &To) {
+  auto It = Ledger.find({Txid, Index});
+  if (It == Ledger.end())
+    return makeError("batch: no such held resource");
+  if (!(It->second.Owner == From))
+    return makeError("batch: transfer not authorized by the owner");
+  It->second.Owner = To;
+  return Status::success();
+}
+
+bool BatchServer::holdsResource(const crypto::KeyId &Owner,
+                                const logic::PropPtr &Type) const {
+  for (const auto &[Anchor, E] : Ledger)
+    if (E.Owner == Owner && logic::propEqual(E.Type, Type))
+      return true;
+  return false;
+}
+
+Result<bool> BatchServer::verifyResource(const std::string &Txid,
+                                         uint32_t Index,
+                                         const logic::PropPtr &Type) const {
+  // Own records first.
+  auto It = Ledger.find({Txid, Index});
+  if (It != Ledger.end())
+    return logic::propEqual(It->second.Type, Type);
+
+  // Otherwise the blockchain: the txout must exist, be confirmed, carry
+  // the claimed registered type, and be unspent.
+  TC_UNWRAP(Id, tc::txidFromHex(Txid));
+  if (Node.chain().confirmations(Id) < 1)
+    return makeError("batch: transaction is not confirmed");
+  if (Node.state().isConsumed(Txid, Index))
+    return false;
+  return logic::propEqual(Node.state().outputType(Txid, Index), Type);
+}
+
+Result<std::string>
+BatchServer::withdraw(const std::string &Txid, uint32_t Index,
+                      const crypto::PublicKey &Receiver) {
+  auto It = Ledger.find({Txid, Index});
+  if (It == Ledger.end())
+    return makeError("batch: no such held resource");
+  if (!(It->second.Owner == Receiver.id()))
+    return makeError("batch: receiver is not the recorded owner");
+
+  tc::Transaction T;
+  tc::Input In;
+  In.SourceTxid = Txid;
+  In.SourceIndex = Index;
+  In.Type = It->second.Type;
+  In.Amount = It->second.Amount;
+  T.Inputs.push_back(std::move(In));
+  tc::Output Out;
+  Out.Type = It->second.Type;
+  Out.Amount = It->second.Amount;
+  Out.Owner = Receiver;
+  T.Outputs.push_back(std::move(Out));
+  TC_UNWRAP(Proof, tc::makeRoutingProof(T));
+  T.Proof = Proof;
+
+  TC_UNWRAP(P, tc::buildPair(T, ServerWallet, Node.chain()));
+  TC_TRY(Node.submitPair(P));
+  ++OnChainTxs;
+  Ledger.erase(It);
+  return tc::txidHex(P.Btc);
+}
+
+Result<std::string>
+BatchServer::recordWriteThrough(const tc::Transaction &T) {
+  TC_UNWRAP(P, tc::buildPair(T, ServerWallet, Node.chain()));
+  TC_TRY(Node.submitPair(P));
+  ++OnChainTxs;
+  return tc::txidHex(P.Btc);
+}
+
+} // namespace services
+} // namespace typecoin

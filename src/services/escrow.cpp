@@ -1,0 +1,71 @@
+//===- services/escrow.cpp - Type-checking escrow agents ----------------------===//
+
+#include "services/escrow.h"
+
+namespace typecoin {
+namespace services {
+
+Result<Bytes> EscrowAgent::signIfValid(const tc::Pair &Filled,
+                                       const tc::Node &Node,
+                                       size_t InputIndex) const {
+  // Policy: the instance must correspond to its carrier and typecheck
+  // against the current chain state.
+  TC_TRY(tc::checkCorrespondence(Filled.Tc, Filled.Btc));
+  tc::ChainOracle Oracle(Node.chain(), Node.chain().tipTime());
+  if (auto R = Node.state().checkTransaction(Filled.Tc, Oracle); !R)
+    return R.takeError().withContext("escrow policy");
+
+  if (InputIndex >= Filled.Btc.Inputs.size())
+    return makeError("escrow: input index out of range");
+  const bitcoin::Coin *C =
+      Node.chain().utxo().find(Filled.Btc.Inputs[InputIndex].Prevout);
+  if (!C)
+    return makeError("escrow: spent txout not found");
+  TC_UNWRAP(Hash, bitcoin::signatureHash(Filled.Btc, InputIndex,
+                                         C->Out.ScriptPubKey,
+                                         bitcoin::SIGHASH_ALL));
+  Bytes Sig = Key.sign(Hash).toDER();
+  Sig.push_back(bitcoin::SIGHASH_ALL);
+  return Sig;
+}
+
+bitcoin::Script
+escrowPoolScript(int Required,
+                 const std::vector<const EscrowAgent *> &Pool) {
+  std::vector<Bytes> Keys;
+  Keys.reserve(Pool.size());
+  for (const EscrowAgent *Agent : Pool)
+    Keys.push_back(Agent->publicKey().serialize());
+  return bitcoin::makeMultiSig(Required, Keys);
+}
+
+Result<bitcoin::Script>
+assembleMultisig(const bitcoin::Script &ScriptPubKey,
+                 const std::vector<std::pair<Bytes, Bytes>> &KeySigs) {
+  bitcoin::SolvedScript Solved = bitcoin::solveScript(ScriptPubKey);
+  if (Solved.Kind != bitcoin::TxOutKind::MultiSig)
+    return makeError("escrow: not a multisig script");
+
+  bitcoin::Script Out;
+  Out.op(bitcoin::OP_0); // CHECKMULTISIG dummy.
+  int Added = 0;
+  for (const Bytes &Key : Solved.Data) {
+    for (const auto &[SigKey, Sig] : KeySigs) {
+      if (SigKey == Key) {
+        Out.push(Sig);
+        ++Added;
+        break;
+      }
+    }
+    if (Added == Solved.Required)
+      break;
+  }
+  if (Added < Solved.Required)
+    return makeError("escrow: only " + std::to_string(Added) + " of " +
+                     std::to_string(Solved.Required) +
+                     " required signatures supplied");
+  return Out;
+}
+
+} // namespace services
+} // namespace typecoin

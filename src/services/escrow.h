@@ -1,0 +1,59 @@
+//===- services/escrow.h - Type-checking escrow agents -----------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type-checking escrow (Section 7): an agent holds assets at its key
+/// and follows the policy "sign any instance of the transaction that
+/// type checks." Trust is diluted by sending assets to an m-of-n pool of
+/// agents (e.g. 2-of-3 "can tolerate one of the three agents becoming
+/// compromised").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_SERVICES_ESCROW_H
+#define TYPECOIN_SERVICES_ESCROW_H
+
+#include "typecoin/builder.h"
+#include "typecoin/opentx.h"
+
+namespace typecoin {
+namespace services {
+
+/// A single escrow agent.
+class EscrowAgent {
+public:
+  explicit EscrowAgent(uint64_t Seed) : W(Seed), Key(W.newKey()) {}
+
+  const crypto::PublicKey &publicKey() const { return Key.publicKey(); }
+  crypto::KeyId id() const { return Key.id(); }
+
+  /// The agent's policy: typecheck the filled instance against the
+  /// node's state (with its correspondence to the carrying Bitcoin
+  /// transaction), then contribute a signature for input \p InputIndex
+  /// of the Bitcoin transaction. Returns the DER signature with
+  /// sighash-type byte, for assembly into the multisig scriptSig.
+  Result<Bytes> signIfValid(const tc::Pair &Filled, const tc::Node &Node,
+                            size_t InputIndex) const;
+
+private:
+  tc::Wallet W;
+  crypto::PrivateKey Key;
+};
+
+/// Create the m-of-n locking script for an escrow pool.
+bitcoin::Script escrowPoolScript(int Required,
+                                 const std::vector<const EscrowAgent *> &Pool);
+
+/// Assemble an OP_CHECKMULTISIG scriptSig from per-agent signatures
+/// (ordering them by key position in \p ScriptPubKey).
+Result<bitcoin::Script>
+assembleMultisig(const bitcoin::Script &ScriptPubKey,
+                 const std::vector<std::pair<Bytes, Bytes>> &KeySigs);
+
+} // namespace services
+} // namespace typecoin
+
+#endif // TYPECOIN_SERVICES_ESCROW_H

@@ -1,0 +1,55 @@
+//===- support/bytes.cpp - Byte buffers and hex conversion ---------------===//
+
+#include "support/bytes.h"
+
+namespace typecoin {
+
+static const char HexDigits[] = "0123456789abcdef";
+
+std::string toHex(const uint8_t *Data, size_t Len) {
+  std::string Out;
+  Out.reserve(Len * 2);
+  for (size_t I = 0; I < Len; ++I) {
+    Out.push_back(HexDigits[Data[I] >> 4]);
+    Out.push_back(HexDigits[Data[I] & 0xf]);
+  }
+  return Out;
+}
+
+std::string toHex(const Bytes &Data) { return toHex(Data.data(), Data.size()); }
+
+static int hexValue(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+Result<Bytes> fromHex(const std::string &Hex) {
+  if (Hex.size() % 2 != 0)
+    return makeError("hex string has odd length");
+  Bytes Out;
+  Out.reserve(Hex.size() / 2);
+  for (size_t I = 0; I < Hex.size(); I += 2) {
+    int Hi = hexValue(Hex[I]), Lo = hexValue(Hex[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return makeError("invalid hex digit in string");
+    Out.push_back(static_cast<uint8_t>((Hi << 4) | Lo));
+  }
+  return Out;
+}
+
+Bytes bytesOfString(const std::string &S) {
+  return Bytes(S.begin(), S.end());
+}
+
+Bytes concat(const Bytes &A, const Bytes &B) {
+  Bytes Out = A;
+  Out.insert(Out.end(), B.begin(), B.end());
+  return Out;
+}
+
+} // namespace typecoin

@@ -1,0 +1,62 @@
+//===- support/bytes.h - Byte buffers and hex conversion -------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-buffer typedefs and hex encoding/decoding shared by the crypto and
+/// Bitcoin substrates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_SUPPORT_BYTES_H
+#define TYPECOIN_SUPPORT_BYTES_H
+
+#include "support/result.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace typecoin {
+
+/// A dynamically-sized byte buffer (wire-format payloads, scripts, ...).
+using Bytes = std::vector<uint8_t>;
+
+/// Encode \p Data as lowercase hex.
+std::string toHex(const uint8_t *Data, size_t Len);
+std::string toHex(const Bytes &Data);
+
+template <size_t N> std::string toHex(const std::array<uint8_t, N> &Data) {
+  return toHex(Data.data(), N);
+}
+
+/// Decode a hex string (even length, upper or lower case).
+Result<Bytes> fromHex(const std::string &Hex);
+
+/// Decode a hex string into a fixed-size array.
+template <size_t N>
+Result<std::array<uint8_t, N>> fromHexFixed(const std::string &Hex) {
+  auto Raw = fromHex(Hex);
+  if (!Raw)
+    return Raw.takeError();
+  if (Raw->size() != N)
+    return makeError("hex string has wrong length: expected " +
+                     std::to_string(N) + " bytes, got " +
+                     std::to_string(Raw->size()));
+  std::array<uint8_t, N> Out;
+  std::copy(Raw->begin(), Raw->end(), Out.begin());
+  return Out;
+}
+
+/// Convert a string to its raw bytes.
+Bytes bytesOfString(const std::string &S);
+
+/// Concatenate byte buffers.
+Bytes concat(const Bytes &A, const Bytes &B);
+
+} // namespace typecoin
+
+#endif // TYPECOIN_SUPPORT_BYTES_H

@@ -1,0 +1,145 @@
+//===- support/result.h - Error handling without exceptions ----*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan, "Peer-to-Peer
+// Affine Commitment using Bitcoin" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight `Result<T>` / `Error` types in the spirit of
+/// `llvm::Expected`. Library code never throws; recoverable failures are
+/// returned as `Error` values carrying a human-readable message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_SUPPORT_RESULT_H
+#define TYPECOIN_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace typecoin {
+
+/// A recoverable error: a message, optionally extended with context as it
+/// propagates up the stack (see \ref Error::withContext).
+class Error {
+public:
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  /// The full, human-readable error message.
+  const std::string &message() const { return Message; }
+
+  /// Returns a copy of this error with \p Context prepended, separated by
+  /// ": ". Used when re-raising an error from an enclosing operation.
+  Error withContext(const std::string &Context) const {
+    return Error(Context + ": " + Message);
+  }
+
+private:
+  std::string Message;
+};
+
+/// Convenience factory mirroring `llvm::createStringError`.
+inline Error makeError(std::string Message) { return Error(std::move(Message)); }
+
+/// Either a value of type \p T or an \ref Error.
+///
+/// Converts to `true` when it holds a value. On error, the error must be
+/// extracted with \ref takeError or read via \ref error.
+template <typename T> class [[nodiscard]] Result {
+public:
+  Result(T Value) : Storage(std::in_place_index<0>, std::move(Value)) {}
+  Result(Error E) : Storage(std::in_place_index<1>, std::move(E)) {}
+
+  /// True when this result holds a value.
+  bool hasValue() const { return Storage.index() == 0; }
+  explicit operator bool() const { return hasValue(); }
+
+  /// Access the contained value. Must hold a value.
+  T &value() {
+    assert(hasValue() && "Result::value() on error");
+    return std::get<0>(Storage);
+  }
+  const T &value() const {
+    assert(hasValue() && "Result::value() on error");
+    return std::get<0>(Storage);
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// Access the contained error. Must hold an error.
+  const Error &error() const {
+    assert(!hasValue() && "Result::error() on value");
+    return std::get<1>(Storage);
+  }
+
+  /// Move the error out (for propagation to the caller).
+  Error takeError() {
+    assert(!hasValue() && "Result::takeError() on value");
+    return std::move(std::get<1>(Storage));
+  }
+
+  /// Move the value out.
+  T takeValue() {
+    assert(hasValue() && "Result::takeValue() on error");
+    return std::move(std::get<0>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Result specialization for operations that produce no value.
+template <> class [[nodiscard]] Result<void> {
+public:
+  Result() = default;
+  Result(Error E) : Err(std::move(E)) {}
+
+  /// Named constructor for the success case, for readability at callsites.
+  static Result success() { return Result(); }
+
+  bool hasValue() const { return !Err.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  const Error &error() const {
+    assert(Err && "Result<void>::error() on success");
+    return *Err;
+  }
+
+  Error takeError() {
+    assert(Err && "Result<void>::takeError() on success");
+    return std::move(*Err);
+  }
+
+private:
+  std::optional<Error> Err;
+};
+
+/// Alias for fallible operations with no result value.
+using Status = Result<void>;
+
+/// Propagate an error from a fallible statement: evaluates \p expr and
+/// returns its error from the enclosing function if it failed.
+#define TC_TRY(expr)                                                           \
+  do {                                                                         \
+    if (auto TcTryResult_ = (expr); !TcTryResult_)                             \
+      return TcTryResult_.takeError();                                         \
+  } while (false)
+
+/// Bind the value of a fallible expression to a fresh variable \p var,
+/// propagating the error otherwise. Expands to two statements; only valid
+/// at block scope.
+#define TC_UNWRAP(var, expr)                                                   \
+  auto var##Result_ = (expr);                                                  \
+  if (!var##Result_)                                                           \
+    return var##Result_.takeError();                                           \
+  auto &var = *var##Result_
+
+} // namespace typecoin
+
+#endif // TYPECOIN_SUPPORT_RESULT_H

@@ -1,0 +1,62 @@
+//===- support/rng.cpp - Deterministic PRNG for simulation ---------------===//
+
+#include "support/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace typecoin {
+
+static uint64_t splitmix64(uint64_t &X) {
+  uint64_t Z = (X += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+Rng::Rng(uint64_t Seed) {
+  for (auto &S : State)
+    S = splitmix64(Seed);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+uint64_t Rng::next() {
+  uint64_t Out = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Out;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "nextBelow requires positive bound");
+  // Rejection sampling over the largest multiple of Bound.
+  uint64_t Limit = UINT64_MAX - UINT64_MAX % Bound;
+  uint64_t V;
+  do {
+    V = next();
+  } while (V >= Limit);
+  return V % Bound;
+}
+
+double Rng::nextDouble() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextExponential(double Mean) {
+  // Inverse-CDF; guard against log(0).
+  double U = nextDouble();
+  if (U <= 0.0)
+    U = 0x1.0p-53;
+  return -Mean * std::log(U);
+}
+
+bool Rng::nextBool(double P) { return nextDouble() < P; }
+
+} // namespace typecoin

@@ -1,0 +1,49 @@
+//===- support/rng.h - Deterministic PRNG for simulation -------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded xoshiro256** PRNG. All randomized components of this repo
+/// (the network simulator, property tests, workload generators) draw from
+/// this generator so that every experiment is reproducible from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_SUPPORT_RNG_H
+#define TYPECOIN_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace typecoin {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via splitmix64 so that any 64-bit seed produces a good state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed);
+
+  /// Uniform 64-bit value.
+  uint64_t next();
+
+  /// Uniform in [0, Bound) (Bound > 0), via rejection to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Exponentially distributed value with the given mean (simulated
+  /// inter-block times; paper Section 2, footnote 4).
+  double nextExponential(double Mean);
+
+  /// Bernoulli trial with success probability \p P.
+  bool nextBool(double P);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace typecoin
+
+#endif // TYPECOIN_SUPPORT_RNG_H

@@ -1,0 +1,141 @@
+//===- support/serialize.cpp - Bitcoin wire-format serialization ---------===//
+
+#include "support/serialize.h"
+
+namespace typecoin {
+
+void Writer::writeU8(uint8_t V) { Buffer.push_back(V); }
+
+void Writer::writeU16(uint16_t V) {
+  writeU8(static_cast<uint8_t>(V));
+  writeU8(static_cast<uint8_t>(V >> 8));
+}
+
+void Writer::writeU32(uint32_t V) {
+  writeU16(static_cast<uint16_t>(V));
+  writeU16(static_cast<uint16_t>(V >> 16));
+}
+
+void Writer::writeU64(uint64_t V) {
+  writeU32(static_cast<uint32_t>(V));
+  writeU32(static_cast<uint32_t>(V >> 32));
+}
+
+void Writer::writeCompactSize(uint64_t V) {
+  if (V < 0xfd) {
+    writeU8(static_cast<uint8_t>(V));
+  } else if (V <= 0xffff) {
+    writeU8(0xfd);
+    writeU16(static_cast<uint16_t>(V));
+  } else if (V <= 0xffffffff) {
+    writeU8(0xfe);
+    writeU32(static_cast<uint32_t>(V));
+  } else {
+    writeU8(0xff);
+    writeU64(V);
+  }
+}
+
+void Writer::writeBytes(const uint8_t *Data, size_t Len) {
+  Buffer.insert(Buffer.end(), Data, Data + Len);
+}
+
+void Writer::writeBytes(const Bytes &Data) {
+  writeBytes(Data.data(), Data.size());
+}
+
+void Writer::writeVarBytes(const Bytes &Data) {
+  writeCompactSize(Data.size());
+  writeBytes(Data);
+}
+
+void Writer::writeString(const std::string &S) {
+  writeCompactSize(S.size());
+  Buffer.insert(Buffer.end(), S.begin(), S.end());
+}
+
+Result<uint8_t> Reader::readU8() {
+  if (Pos + 1 > Len)
+    return makeError("read past end of buffer");
+  return Data[Pos++];
+}
+
+Result<uint16_t> Reader::readU16() {
+  if (Pos + 2 > Len)
+    return makeError("read past end of buffer");
+  uint16_t V = static_cast<uint16_t>(Data[Pos]) |
+               static_cast<uint16_t>(Data[Pos + 1]) << 8;
+  Pos += 2;
+  return V;
+}
+
+Result<uint32_t> Reader::readU32() {
+  if (Pos + 4 > Len)
+    return makeError("read past end of buffer");
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | Data[Pos + I];
+  Pos += 4;
+  return V;
+}
+
+Result<uint64_t> Reader::readU64() {
+  if (Pos + 8 > Len)
+    return makeError("read past end of buffer");
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | Data[Pos + I];
+  Pos += 8;
+  return V;
+}
+
+Result<uint64_t> Reader::readCompactSize() {
+  TC_UNWRAP(Tag, readU8());
+  if (Tag < 0xfd)
+    return static_cast<uint64_t>(Tag);
+  if (Tag == 0xfd) {
+    TC_UNWRAP(V, readU16());
+    if (V < 0xfd)
+      return makeError("non-canonical CompactSize");
+    return static_cast<uint64_t>(V);
+  }
+  if (Tag == 0xfe) {
+    TC_UNWRAP(V, readU32());
+    if (V <= 0xffff)
+      return makeError("non-canonical CompactSize");
+    return static_cast<uint64_t>(V);
+  }
+  TC_UNWRAP(V, readU64());
+  if (V <= 0xffffffff)
+    return makeError("non-canonical CompactSize");
+  return V;
+}
+
+Result<Bytes> Reader::readBytes(size_t N) {
+  if (Pos + N > Len)
+    return makeError("read past end of buffer");
+  Bytes Out(Data + Pos, Data + Pos + N);
+  Pos += N;
+  return Out;
+}
+
+Result<Bytes> Reader::readVarBytes() {
+  TC_UNWRAP(N, readCompactSize());
+  if (N > remaining())
+    return makeError("var-bytes length exceeds buffer");
+  return readBytes(static_cast<size_t>(N));
+}
+
+Result<std::string> Reader::readString() {
+  TC_UNWRAP(Raw, readVarBytes());
+  return std::string(Raw.begin(), Raw.end());
+}
+
+Status Reader::expectEnd() const {
+  if (!atEnd())
+    return makeError("trailing bytes after structure: " +
+                     std::to_string(remaining()) + " unread");
+  return Status::success();
+}
+
+} // namespace typecoin

@@ -1,0 +1,38 @@
+//===- support/strings.cpp - Small string helpers ------------------------===//
+
+#include "support/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace typecoin {
+
+std::string strformat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Len < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Len), '\0');
+  vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+} // namespace typecoin

@@ -1,0 +1,31 @@
+//===- support/strings.h - Small string helpers ----------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string and list joining, used by the
+/// pretty-printers and error messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_SUPPORT_STRINGS_H
+#define TYPECOIN_SUPPORT_STRINGS_H
+
+#include <string>
+#include <vector>
+
+namespace typecoin {
+
+/// snprintf into a std::string.
+std::string strformat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Join \p Parts with \p Sep between adjacent elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+} // namespace typecoin
+
+#endif // TYPECOIN_SUPPORT_STRINGS_H

@@ -1,0 +1,154 @@
+//===- typecoin/builder.cpp - High-level transaction construction -------------===//
+
+#include "typecoin/builder.h"
+
+namespace typecoin {
+namespace tc {
+
+Result<Pair> buildPair(const Transaction &Tc, Wallet &W,
+                       const bitcoin::Blockchain &Chain,
+                       const BuildOptions &Options) {
+  // Amount accounting: typecoin inputs bring In.Amount each; outputs
+  // consume Out.Amount; the fee must be covered on top.
+  bitcoin::Amount Have = 0;
+  for (const Input &In : Tc.Inputs)
+    Have += In.Amount;
+  bitcoin::Amount Need = Options.Fee;
+  for (const Output &Out : Tc.Outputs)
+    Need += Out.Amount;
+  if (Options.Scheme == EmbedScheme::BogusOutput)
+    Need += bitcoin::DustThreshold;
+
+  // Select trivial inputs for the shortfall, avoiding the typecoin
+  // inputs themselves.
+  std::set<std::string> UsedSources;
+  for (const Input &In : Tc.Inputs)
+    UsedSources.insert(In.SourceTxid + ":" + std::to_string(In.SourceIndex));
+  std::vector<bitcoin::OutPoint> Extra;
+  bitcoin::Amount Selected = 0;
+  if (Have < Need) {
+    for (const Wallet::Spendable &S : W.findSpendable(Chain)) {
+      std::string Key =
+          S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+      if (UsedSources.count(Key))
+        continue;
+      if (Options.AvoidTypedOutputsOf) {
+        logic::PropPtr Type = Options.AvoidTypedOutputsOf->outputType(
+            S.Point.Tx.toHex(), S.Point.Index);
+        if (Type->Kind != logic::Prop::Tag::One)
+          continue;
+      }
+      Extra.push_back(S.Point);
+      Selected += S.Value;
+      if (Have + Selected >= Need)
+        break;
+    }
+    if (Have + Selected < Need)
+      return makeError("builder: insufficient funds: need " +
+                       std::to_string(Need - Have) + " more satoshi");
+  }
+
+  // Change back to a wallet key when above dust.
+  std::vector<bitcoin::TxOut> ExtraOuts;
+  bitcoin::Amount Change = Have + Selected - Need;
+  if (Change >= bitcoin::DustThreshold) {
+    bitcoin::TxOut ChangeOut;
+    ChangeOut.Value = Change;
+    ChangeOut.ScriptPubKey = bitcoin::makeP2PKH(W.newKey().id());
+    ExtraOuts.push_back(std::move(ChangeOut));
+  }
+
+  TC_UNWRAP(Btc, embedTransaction(Tc, Options.Scheme, Extra, ExtraOuts));
+  TC_TRY(W.signTransaction(Btc, Chain));
+  return Pair{Tc, Btc};
+}
+
+Result<logic::ProofPtr> makeRoutingProof(const Transaction &T) {
+  if (T.Inputs.size() != T.Outputs.size())
+    return makeError("routing: input and output counts differ");
+  size_t N = T.Inputs.size();
+  if (N == 0)
+    return makeError("routing: transaction has no inputs");
+
+  // Match each output to a distinct input of equal type (greedy works
+  // because equality is an equivalence: any bijection exists iff the
+  // type multisets agree).
+  std::vector<size_t> SourceOf(N); // Output I takes input SourceOf[I].
+  std::vector<bool> Used(N, false);
+  for (size_t O = 0; O < N; ++O) {
+    bool Found = false;
+    for (size_t I = 0; I < N; ++I) {
+      if (Used[I] || !logic::propEqual(T.Outputs[O].Type, T.Inputs[I].Type))
+        continue;
+      SourceOf[O] = I;
+      Used[I] = true;
+      Found = true;
+      break;
+    }
+    if (!Found)
+      return makeError("routing: no unmatched input carries output " +
+                       std::to_string(O) + "'s type " +
+                       logic::printProp(T.Outputs[O].Type));
+  }
+
+  // \x : C (x) (A (x) R).
+  //   let (c, ar) = x in let (a, r) = ar in
+  //   let (a1, rest1) = a in ... — rebuild the outputs' tensor from the
+  //   matched inputs. The grant c and receipts r drop by weakening.
+  using namespace logic;
+  auto Var = [](const std::string &S) { return mVar(S); };
+  auto InName = [](size_t I) { return "a" + std::to_string(I + 1); };
+
+  ProofPtr Body;
+  {
+    std::vector<ProofPtr> Components;
+    for (size_t O = 0; O < N; ++O)
+      Components.push_back(Var(InName(SourceOf[O])));
+    ProofPtr Tensor = Components.back();
+    for (size_t I = Components.size() - 1; I-- > 0;)
+      Tensor = mTensorPair(Components[I], Tensor);
+    Body = Tensor;
+  }
+  if (N > 1) {
+    // Destructure a into a1 .. aN, outward-in.
+    for (size_t I = N - 1; I-- > 0;) {
+      std::string Src = I == 0 ? "a" : "rest" + std::to_string(I);
+      std::string Left = InName(I);
+      std::string Right =
+          (I + 2 == N) ? InName(N - 1) : "rest" + std::to_string(I + 1);
+      Body = mTensorLet(Left, Right, Var(Src), Body);
+    }
+  }
+
+  PropPtr CAR = pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor()));
+  ProofPtr Inner = mTensorLet(N == 1 ? InName(0) : "a", "r", Var("ar"), Body);
+  ProofPtr Outer = mTensorLet("c", "ar", Var("x"), Inner);
+  return mLam("x", CAR, Outer);
+}
+
+Result<bitcoin::Transaction>
+crackOutputs(const std::vector<bitcoin::OutPoint> &Points, Wallet &W,
+             const bitcoin::Blockchain &Chain, const crypto::KeyId &PayTo,
+             bitcoin::Amount Fee) {
+  bitcoin::Transaction Btc;
+  bitcoin::Amount Total = 0;
+  for (const bitcoin::OutPoint &Point : Points) {
+    const bitcoin::Coin *C = Chain.utxo().find(Point);
+    if (!C)
+      return makeError("crack: txout " + Point.toString() +
+                       " is not unspent");
+    Total += C->Out.Value;
+    Btc.Inputs.push_back(bitcoin::TxIn{Point, bitcoin::Script(), 0xffffffff});
+  }
+  if (Total <= Fee)
+    return makeError("crack: outputs do not cover the fee");
+  bitcoin::TxOut Out;
+  Out.Value = Total - Fee;
+  Out.ScriptPubKey = bitcoin::makeP2PKH(PayTo);
+  Btc.Outputs.push_back(std::move(Out));
+  TC_TRY(W.signTransaction(Btc, Chain));
+  return Btc;
+}
+
+} // namespace tc
+} // namespace typecoin

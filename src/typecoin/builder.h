@@ -1,0 +1,69 @@
+//===- typecoin/builder.h - High-level transaction construction --*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience layer for assembling coupled (Typecoin, Bitcoin)
+/// transaction pairs: fee funding via extra trivial type-1 inputs
+/// (Section 3.1), change outputs, signing, mechanical "routing" proofs
+/// for transactions that move resources without transforming them, and
+/// the cleanup transaction that cracks a resource open to recover the
+/// bitcoins inside.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_TYPECOIN_BUILDER_H
+#define TYPECOIN_TYPECOIN_BUILDER_H
+
+#include "typecoin/node.h"
+#include "typecoin/state.h"
+
+namespace typecoin {
+namespace tc {
+
+/// Options for \ref buildPair.
+struct BuildOptions {
+  EmbedScheme Scheme = EmbedScheme::Multisig1of2;
+  bitcoin::Amount Fee = bitcoin::TypicalFeePerTx;
+  /// When set, fee/balance inputs avoid txouts this state knows to carry
+  /// a non-trivial type — otherwise the builder could silently crack a
+  /// resource open just to pay a fee.
+  const State *AvoidTypedOutputsOf = nullptr;
+};
+
+/// Realize \p Tc as a signed Bitcoin transaction: selects additional
+/// trivial inputs from \p Funds (wallet money) to cover output amounts
+/// plus the fee, adds a change output back to the wallet when above
+/// dust, embeds the hash, and signs every input with the wallet's keys.
+/// The wallet must hold keys for all Typecoin inputs being spent.
+Result<Pair> buildPair(const Transaction &Tc, Wallet &W,
+                       const bitcoin::Blockchain &Chain,
+                       const BuildOptions &Options = BuildOptions());
+
+/// Build the proof term for a pure *routing* transaction: one whose
+/// outputs carry exactly the input types as a multiset, possibly
+/// reordered and with different owners (the batch-server withdrawal and
+/// open-transaction shapes). The grant and receipts are discarded by
+/// affine weakening. Fails when no bijection between input and output
+/// types exists.
+Result<logic::ProofPtr> makeRoutingProof(const Transaction &T);
+
+/// Build a plain Bitcoin transaction that spends the given txouts to a
+/// single P2PKH output, "cracking a resource open to recover the
+/// bitcoins inside" (Section 3.1). Signed by the wallet.
+Result<bitcoin::Transaction>
+crackOutputs(const std::vector<bitcoin::OutPoint> &Points, Wallet &W,
+             const bitcoin::Blockchain &Chain, const crypto::KeyId &PayTo,
+             bitcoin::Amount Fee = bitcoin::TypicalFeePerTx);
+
+/// Helper: the display-hex txid of a Bitcoin transaction.
+inline std::string txidHex(const bitcoin::Transaction &Btc) {
+  return Btc.txid().toHex();
+}
+
+} // namespace tc
+} // namespace typecoin
+
+#endif // TYPECOIN_TYPECOIN_BUILDER_H

@@ -1,0 +1,201 @@
+//===- typecoin/newcoin.cpp - The Section 6 "newcoins" currency ---------------===//
+
+#include "typecoin/newcoin.h"
+
+#include <cassert>
+
+namespace typecoin {
+namespace newcoin {
+
+using namespace logic;
+using lf::ConstName;
+
+Vocab Vocab::resolved(const std::string &Txid) const {
+  Vocab Out;
+  Out.Coin = Coin.resolved(Txid);
+  Out.Merge = Merge.resolved(Txid);
+  Out.Split = Split.resolved(Txid);
+  Out.Appoint = Appoint.resolved(Txid);
+  Out.IsBanker = IsBanker.resolved(Txid);
+  Out.Confirm = Confirm.resolved(Txid);
+  Out.Print = Print.resolved(Txid);
+  Out.Issue = Issue.resolved(Txid);
+  return Out;
+}
+
+logic::PropPtr coin(const Vocab &V, lf::TermPtr N) {
+  return pAtom(lf::tApp(lf::tConst(V.Coin), std::move(N)));
+}
+
+logic::PropPtr coin(const Vocab &V, uint64_t N) {
+  return coin(V, lf::nat(N));
+}
+
+logic::PropPtr print(const Vocab &V, uint64_t N) {
+  return pAtom(lf::tApp(lf::tConst(V.Print), lf::nat(N)));
+}
+
+logic::PropPtr appoint(const Vocab &V, const crypto::KeyId &K, uint64_t T) {
+  return pAtom(lf::tApps(lf::tConst(V.Appoint),
+                         {lf::principal(K.toHex()), lf::nat(T)}));
+}
+
+logic::PropPtr isBanker(const Vocab &V, const crypto::KeyId &K,
+                        uint64_t T) {
+  return pAtom(lf::tApps(lf::tConst(V.IsBanker),
+                         {lf::principal(K.toHex()), lf::nat(T)}));
+}
+
+logic::PropPtr plusWitnessProp(uint64_t N, uint64_t M, uint64_t P) {
+  return pExists(lf::plusType(lf::nat(N), lf::nat(M), lf::nat(P)), pOne());
+}
+
+logic::ProofPtr plusWitnessProof(uint64_t N, uint64_t M) {
+  return mPack(plusWitnessProp(N, M, N + M), lf::plusProof(N, M), mOne());
+}
+
+Vocab makeBasis(logic::Basis &Out, const crypto::KeyId &President) {
+  Vocab V;
+  V.Coin = ConstName::local("coin");
+  V.Merge = ConstName::local("merge");
+  V.Split = ConstName::local("split");
+  V.Appoint = ConstName::local("appoint");
+  V.IsBanker = ConstName::local("is_banker");
+  V.Confirm = ConstName::local("confirm");
+  V.Print = ConstName::local("print");
+  V.Issue = ConstName::local("issue");
+
+  auto Check = [](Status S) {
+    assert(S.hasValue() && "newcoin basis construction must succeed");
+    (void)S;
+  };
+
+  // coin : nat -> prop (and print, with the same kind).
+  Check(Out.declareFamily(V.Coin, lf::kPi(lf::natType(), lf::kProp())));
+
+  // Under forall N. forall M. forall P: N = #2, M = #1, P = #0.
+  auto CoinAt = [&](unsigned Index) {
+    return pAtom(lf::tApp(lf::tConst(V.Coin), lf::var(Index)));
+  };
+  PropPtr PlusWitness = pExists(
+      lf::plusType(lf::var(2), lf::var(1), lf::var(0)), pOne());
+
+  // merge : forall N,M,P. (exists x: plus N M P. 1) -o
+  //           coin N (x) coin M -o coin P.
+  PropPtr MergeRule = pForall(
+      lf::natType(),
+      pForall(lf::natType(),
+              pForall(lf::natType(),
+                      pLolli(PlusWitness,
+                             pLolli(pTensor(CoinAt(2), CoinAt(1)),
+                                    CoinAt(0))))));
+  Check(Out.declareProp(V.Merge, MergeRule));
+
+  // split : forall N,M,P. (exists x: plus N M P. 1) -o
+  //           coin P -o coin N (x) coin M.
+  PropPtr SplitRule = pForall(
+      lf::natType(),
+      pForall(lf::natType(),
+              pForall(lf::natType(),
+                      pLolli(PlusWitness,
+                             pLolli(CoinAt(0),
+                                    pTensor(CoinAt(2), CoinAt(1)))))));
+  Check(Out.declareProp(V.Split, SplitRule));
+
+  // appoint, is_banker : principal -> time -> prop.
+  lf::KindPtr PrincipalTime =
+      lf::kPi(lf::principalType(), lf::kPi(lf::timeType(), lf::kProp()));
+  Check(Out.declareFamily(V.Appoint, PrincipalTime));
+  Check(Out.declareFamily(V.IsBanker, PrincipalTime));
+
+  // confirm : forall K, t. <President>(appoint K t) -o is_banker K t.
+  auto AppliedAt = [&](const ConstName &Head) {
+    return pAtom(lf::tApps(lf::tConst(Head), {lf::var(1), lf::var(0)}));
+  };
+  PropPtr ConfirmRule = pForall(
+      lf::principalType(),
+      pForall(lf::timeType(),
+              pLolli(pSays(lf::principal(President.toHex()),
+                           AppliedAt(V.Appoint)),
+                     AppliedAt(V.IsBanker))));
+  Check(Out.declareProp(V.Confirm, ConfirmRule));
+
+  // print : nat -> prop.
+  Check(Out.declareFamily(V.Print, lf::kPi(lf::natType(), lf::kProp())));
+
+  // issue : forall K, t, N. is_banker K t -o <K>(print N) -o
+  //           if(before(t), coin N).
+  // Under K = #2, t = #1, N = #0.
+  PropPtr IssueRule = pForall(
+      lf::principalType(),
+      pForall(
+          lf::timeType(),
+          pForall(
+              lf::natType(),
+              pLolli(pAtom(lf::tApps(lf::tConst(V.IsBanker),
+                                     {lf::var(2), lf::var(1)})),
+                     pLolli(pSays(lf::var(2),
+                                  pAtom(lf::tApp(lf::tConst(V.Print),
+                                                 lf::var(0)))),
+                            pIf(cBefore(lf::var(1)),
+                                pAtom(lf::tApp(lf::tConst(V.Coin),
+                                               lf::var(0)))))))));
+  Check(Out.declareProp(V.Issue, IssueRule));
+  return V;
+}
+
+logic::ProofPtr mergeProof(const Vocab &V, uint64_t N, uint64_t M,
+                           logic::ProofPtr CN, logic::ProofPtr CM) {
+  ProofPtr Rule = mAllApps(mConst(V.Merge),
+                           {lf::nat(N), lf::nat(M), lf::nat(N + M)});
+  return mApp(mApp(Rule, plusWitnessProof(N, M)),
+              mTensorPair(std::move(CN), std::move(CM)));
+}
+
+logic::ProofPtr splitProof(const Vocab &V, uint64_t N, uint64_t M,
+                           logic::ProofPtr CP) {
+  ProofPtr Rule = mAllApps(mConst(V.Split),
+                           {lf::nat(N), lf::nat(M), lf::nat(N + M)});
+  return mApp(mApp(Rule, plusWitnessProof(N, M)), std::move(CP));
+}
+
+logic::PropPtr purchaseOrder(const Vocab &V, bitcoin::Amount NBtc,
+                             const crypto::KeyId &Deposit,
+                             const std::string &RTxid, uint32_t RIndex,
+                             uint64_t NNc) {
+  return pLolli(pReceipt(pOne(), static_cast<uint64_t>(NBtc),
+                         lf::principal(Deposit.toHex())),
+                pIf(cUnspent(RTxid, RIndex), print(V, NNc)));
+}
+
+logic::ProofPtr figure3Proof(const Vocab &V, const crypto::KeyId &Banker,
+                             uint64_t Term, uint64_t NNc,
+                             const std::string &RTxid, uint32_t RIndex,
+                             logic::ProofPtr P, logic::ProofPtr R,
+                             logic::ProofPtr B) {
+  lf::TermPtr BankerK = lf::principal(Banker.toHex());
+  CondPtr Unspent = cUnspent(RTxid, RIndex);
+  CondPtr Merged = cAnd(Unspent, cBefore(Term));
+
+  // saybind f <- p in sayreturn_Banker(f r).
+  ProofPtr X = mSayBind("f", std::move(P),
+                        mSayReturn(BankerK, mApp(mVar("f"), std::move(R))));
+  // let x <- X in let y <- if/say(x) in ... — `let` is the derived form
+  // built from lambda and application (paper, Figure 3 caption).
+  // issue Banker T NNc b z.
+  ProofPtr IssueApp = mApp(
+      mApp(mAllApps(mConst(V.Issue),
+                    {BankerK, lf::nat(Term), lf::nat(NNc)}),
+           std::move(B)),
+      mVar("z"));
+  ProofPtr Body = mIfBind("z", mIfWeaken(Merged, mVar("y")),
+                          mIfWeaken(Merged, IssueApp));
+  ProofPtr LetY =
+      mApp(mLam("y", pIf(Unspent, pSays(BankerK, print(V, NNc))), Body),
+           mIfSay(mVar("x")));
+  return mApp(mLam("x", pSays(BankerK, pIf(Unspent, print(V, NNc))), LetY),
+              X);
+}
+
+} // namespace newcoin
+} // namespace typecoin

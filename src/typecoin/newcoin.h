@@ -1,0 +1,101 @@
+//===- typecoin/newcoin.h - The Section 6 "newcoins" currency ----*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's concrete demonstration (Section 6): a currency defined in
+/// a basis —
+///
+///   coin  : nat -> prop
+///   merge : forall N,M,P:nat. (exists x: plus N M P. 1) -o
+///             coin N (x) coin M -o coin P
+///   split : forall N,M,P:nat. (exists x: plus N M P. 1) -o
+///             coin P -o coin N (x) coin M
+///
+/// — extended (Section 6.1) with a term-limited central banker:
+///
+///   appoint   : principal -> time -> prop
+///   is_banker : principal -> time -> prop
+///   confirm   : forall K, t. <President>(appoint K t) -o is_banker K t
+///   print     : nat -> prop
+///   issue     : forall K, t, N. is_banker K t -o <K>(print N) -o
+///                 if(before(t), coin N)
+///
+/// plus the banker's revocable purchase offer and the exact proof term
+/// of Figure 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_TYPECOIN_NEWCOIN_H
+#define TYPECOIN_TYPECOIN_NEWCOIN_H
+
+#include "typecoin/transaction.h"
+
+namespace typecoin {
+namespace newcoin {
+
+/// Names of the newcoin constants (local until the defining transaction
+/// confirms).
+struct Vocab {
+  lf::ConstName Coin, Merge, Split;
+  lf::ConstName Appoint, IsBanker, Confirm, Print, Issue;
+
+  Vocab resolved(const std::string &Txid) const;
+};
+
+/// Declare the full newcoin basis (coin/merge/split and the banker
+/// extension, with \p President naming the appointing principal).
+Vocab makeBasis(logic::Basis &Out, const crypto::KeyId &President);
+
+/// Atoms.
+logic::PropPtr coin(const Vocab &V, uint64_t N);
+logic::PropPtr coin(const Vocab &V, lf::TermPtr N);
+logic::PropPtr print(const Vocab &V, uint64_t N);
+logic::PropPtr appoint(const Vocab &V, const crypto::KeyId &K, uint64_t T);
+logic::PropPtr isBanker(const Vocab &V, const crypto::KeyId &K, uint64_t T);
+
+/// The inhabitation idiom `exists x: plus N M P. 1` with its proof
+/// (requires N + M = P, enforced by the builtin `plus/pf`).
+logic::PropPtr plusWitnessProp(uint64_t N, uint64_t M, uint64_t P);
+logic::ProofPtr plusWitnessProof(uint64_t N, uint64_t M);
+
+/// `merge [N][M][P] wit cn cm : coin P` from cn : coin N, cm : coin M.
+logic::ProofPtr mergeProof(const Vocab &V, uint64_t N, uint64_t M,
+                           logic::ProofPtr CN, logic::ProofPtr CM);
+/// `split [N][M][P] wit cp : coin N (x) coin M` from cp : coin (N+M).
+logic::ProofPtr splitProof(const Vocab &V, uint64_t N, uint64_t M,
+                           logic::ProofPtr CP);
+
+/// The banker's revocable purchase offer (Section 6.1): a proposition
+/// the banker signs persistently —
+///
+///   receipt(1/NBtc ->> D) -o if(~spent(R), print NNc)
+///
+/// (the paper's pure-bitcoin receipt form `receipt(n ->> K)` is encoded
+/// as the combined form with trivial type 1; see DESIGN.md).
+logic::PropPtr purchaseOrder(const Vocab &V, bitcoin::Amount NBtc,
+                             const crypto::KeyId &Deposit,
+                             const std::string &RTxid, uint32_t RIndex,
+                             uint64_t NNc);
+
+/// The exact proof term of Figure 3: given
+///   P : a proof of <Banker>(purchase order)  (the banker's assert!),
+///   R : the variable naming the deposit receipt,
+///   B : the variable naming the is_banker resource,
+/// produces a proof of if(~spent(R) /\ before(T), coin NNc):
+///
+///   let x <- (saybind f <- p in sayreturn_Banker(f r)) in
+///   let y <- if/say(x) in
+///   ifbind z <- ifweaken(y) in ifweaken(issue Banker T NNc b z)
+logic::ProofPtr figure3Proof(const Vocab &V, const crypto::KeyId &Banker,
+                             uint64_t Term, uint64_t NNc,
+                             const std::string &RTxid, uint32_t RIndex,
+                             logic::ProofPtr P, logic::ProofPtr R,
+                             logic::ProofPtr B);
+
+} // namespace newcoin
+} // namespace typecoin
+
+#endif // TYPECOIN_TYPECOIN_NEWCOIN_H

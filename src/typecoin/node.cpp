@@ -1,0 +1,99 @@
+//===- typecoin/node.cpp - A full Typecoin node --------------------------------===//
+
+#include "typecoin/node.h"
+
+#include <algorithm>
+
+namespace typecoin {
+namespace tc {
+
+Result<bitcoin::TxId> txidFromHex(const std::string &Hex) {
+  TC_UNWRAP(Raw, fromHexFixed<32>(Hex));
+  std::reverse(Raw.begin(), Raw.end());
+  bitcoin::TxId Id;
+  Id.Hash = Raw;
+  return Id;
+}
+
+Result<bool> ChainOracle::isSpent(const std::string &Txid,
+                                  uint32_t Index) const {
+  TC_UNWRAP(Id, txidFromHex(Txid));
+  return Chain.isSpent(bitcoin::OutPoint{Id, Index});
+}
+
+bitcoin::ChainParams Node::defaultParams() {
+  bitcoin::ChainParams Params;
+  Params.CoinbaseMaturity = 1;
+  return Params;
+}
+
+Node::Node(bitcoin::ChainParams Params, int RegistrationDepth)
+    : Chain(std::move(Params)), RegistrationDepth(RegistrationDepth) {}
+
+Status Node::submitPair(const Pair &P) {
+  TC_TRY(checkCorrespondence(P.Tc, P.Btc));
+  // Provisional Typecoin check against the present chain view; the
+  // authoritative check happens at confirmation time.
+  ChainOracle Oracle(Chain, Chain.tipTime());
+  if (auto R = TcState.checkTransaction(P.Tc, Oracle); !R) {
+    // A currently-invalid primary is still relayable when some fallback
+    // is valid (Section 5); otherwise reject early.
+    if (auto Sel = TcState.selectValid(P.Tc, Oracle); !Sel)
+      return R.takeError().withContext("typecoin pre-check");
+  }
+  TC_TRY(Pool.acceptTransaction(P.Btc, Chain));
+  PendingTc[P.Btc.txid().toHex()] = P.Tc;
+  return Status::success();
+}
+
+Status Node::submitPlain(const bitcoin::Transaction &Btc) {
+  return Pool.acceptTransaction(Btc, Chain);
+}
+
+Result<std::vector<std::string>>
+Node::mineBlock(const crypto::KeyId &Payout, uint32_t Time) {
+  TC_UNWRAP(Block, bitcoin::mineAndSubmit(Chain, Pool, Payout, Time));
+  (void)Block; // Registration scans all pending carriers, not just this
+               // block's.
+  std::vector<std::string> Spoiled;
+  // Register Typecoin transactions whose carriers have reached the
+  // registration depth, ordered by chain position (height, then index
+  // within the block) so dependencies resolve first.
+  std::vector<std::pair<std::pair<int, size_t>, std::string>> Ready;
+  for (const auto &[Txid, Tc] : PendingTc) {
+    auto Id = txidFromHex(Txid);
+    if (!Id)
+      continue;
+    if (Chain.confirmations(*Id) < RegistrationDepth)
+      continue;
+    auto Loc = Chain.locate(*Id);
+    if (!Loc)
+      continue;
+    Ready.push_back({{Loc->Height, Loc->IndexInBlock}, Txid});
+  }
+  std::sort(Ready.begin(), Ready.end());
+  for (const auto &[Pos, Txid] : Ready) {
+    auto It = PendingTc.find(Txid);
+    auto Id = txidFromHex(Txid);
+    auto Loc = Chain.locate(*Id);
+    // Conditions are judged at the transaction's own block (Section 5:
+    // "unambiguous evidence ... for any particular transaction in the
+    // blockchain").
+    ChainOracle Oracle(Chain, Loc->BlockTime);
+    TC_UNWRAP(Selected, TcState.applyTransaction(It->second, Txid, Oracle));
+    if (Selected > It->second.Fallbacks.size())
+      Spoiled.push_back(Txid);
+    PendingTc.erase(It);
+  }
+  return Spoiled;
+}
+
+int Node::confirmations(const std::string &TxidHex) const {
+  auto Id = txidFromHex(TxidHex);
+  if (!Id)
+    return 0;
+  return Chain.confirmations(*Id);
+}
+
+} // namespace tc
+} // namespace typecoin

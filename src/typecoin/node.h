@@ -1,0 +1,109 @@
+//===- typecoin/node.h - A full Typecoin node ---------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A full node: a Bitcoin chain + mempool coupled to the Typecoin chain
+/// state. Typecoin transactions ride Bitcoin transactions (Section 3);
+/// when a carrying Bitcoin transaction confirms, the node re-checks the
+/// Typecoin transaction (or its first valid fallback) against the
+/// block's timestamp and spent-evidence and registers it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_TYPECOIN_NODE_H
+#define TYPECOIN_TYPECOIN_NODE_H
+
+#include "bitcoin/miner.h"
+#include "typecoin/embed.h"
+#include "typecoin/state.h"
+#include "typecoin/wallet.h"
+
+namespace typecoin {
+namespace tc {
+
+/// Condition oracle backed by a Bitcoin blockchain: `before(t)` is
+/// judged against a fixed evaluation time (the block timestamp of the
+/// transaction under check), `spent(txid.n)` against the best chain.
+class ChainOracle : public logic::CondOracle {
+public:
+  ChainOracle(const bitcoin::Blockchain &Chain, uint64_t EvalTime)
+      : Chain(Chain), EvalTime(EvalTime) {}
+
+  uint64_t evaluationTime() const override { return EvalTime; }
+  Result<bool> isSpent(const std::string &Txid,
+                       uint32_t Index) const override;
+
+private:
+  const bitcoin::Blockchain &Chain;
+  uint64_t EvalTime;
+};
+
+/// Convert display-hex txid to the wire type.
+Result<bitcoin::TxId> txidFromHex(const std::string &Hex);
+
+/// A coupled pair: the Typecoin transaction and the Bitcoin transaction
+/// carrying its hash.
+struct Pair {
+  Transaction Tc;
+  bitcoin::Transaction Btc;
+};
+
+/// A full node.
+class Node {
+public:
+  explicit Node(bitcoin::ChainParams Params = defaultParams(),
+                int RegistrationDepth = 1);
+
+  /// Regtest-style parameters with instant coinbase maturity.
+  static bitcoin::ChainParams defaultParams();
+
+  /// How many confirmations a carrying Bitcoin transaction needs before
+  /// its Typecoin transaction is registered (the paper's irreversibility
+  /// threshold is six; tests default to one). Typecoin state never has
+  /// to unwind as long as reorgs shallower than this depth are the only
+  /// ones that occur.
+  int registrationDepth() const { return RegistrationDepth; }
+
+  bitcoin::Blockchain &chain() { return Chain; }
+  const bitcoin::Blockchain &chain() const { return Chain; }
+  bitcoin::Mempool &mempool() { return Pool; }
+  State &state() { return TcState; }
+  const State &state() const { return TcState; }
+
+  /// Validate a pair (correspondence, relay policy, and a provisional
+  /// Typecoin check at the current tip time) and queue it for mining.
+  Status submitPair(const Pair &P);
+
+  /// Submit a plain Bitcoin transaction (no Typecoin overlay), e.g.
+  /// cracking a resource open to recover the bitcoins (Section 3.1).
+  Status submitPlain(const bitcoin::Transaction &Btc);
+
+  /// Mine one block at \p Time paying \p Payout, then register any
+  /// confirmed Typecoin transactions against the new block's state.
+  /// Returns the ids of Typecoin transactions that spoiled, if any.
+  Result<std::vector<std::string>> mineBlock(const crypto::KeyId &Payout,
+                                             uint32_t Time);
+
+  /// Confirmations of the Bitcoin transaction carrying a pair.
+  int confirmations(const std::string &TxidHex) const;
+
+  /// The current simulated clock (last block time).
+  uint32_t now() const { return Chain.tipTime(); }
+
+private:
+  bitcoin::Blockchain Chain;
+  bitcoin::Mempool Pool;
+  State TcState;
+  int RegistrationDepth;
+  /// Typecoin transactions awaiting confirmation, keyed by the Bitcoin
+  /// txid (display hex).
+  std::map<std::string, Transaction> PendingTc;
+};
+
+} // namespace tc
+} // namespace typecoin
+
+#endif // TYPECOIN_TYPECOIN_NODE_H

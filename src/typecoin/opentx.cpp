@@ -1,0 +1,78 @@
+//===- typecoin/opentx.cpp - Open transactions ---------------------------------===//
+
+#include "typecoin/opentx.h"
+
+namespace typecoin {
+namespace tc {
+
+crypto::Digest32 OpenTransaction::templateDigest() const {
+  // Erase the holes, then hash the canonical serialization.
+  Transaction Erased = Template;
+  if (OpenInput) {
+    if (*OpenInput < Erased.Inputs.size()) {
+      Erased.Inputs[*OpenInput].SourceTxid.clear();
+      Erased.Inputs[*OpenInput].SourceIndex = 0;
+    }
+  }
+  if (OpenOutput && *OpenOutput < Erased.Outputs.size())
+    Erased.Outputs[*OpenOutput].Owner = crypto::PublicKey();
+
+  Writer W;
+  W.writeString("typecoin-open-transaction");
+  W.writeU8(OpenInput ? 1 : 0);
+  W.writeU64(OpenInput ? static_cast<uint64_t>(*OpenInput) : 0);
+  W.writeU8(OpenOutput ? 1 : 0);
+  W.writeU64(OpenOutput ? static_cast<uint64_t>(*OpenOutput) : 0);
+  // Serialize fields manually: the owner hole may be an invalid key, so
+  // reuse the pieces rather than Transaction::serialize.
+  Erased.LocalBasis.serialize(W);
+  logic::writeProp(W, Erased.Grant);
+  W.writeCompactSize(Erased.Inputs.size());
+  for (const Input &In : Erased.Inputs) {
+    W.writeString(In.SourceTxid);
+    W.writeU32(In.SourceIndex);
+    logic::writeProp(W, In.Type);
+    W.writeU64(static_cast<uint64_t>(In.Amount));
+  }
+  W.writeCompactSize(Erased.Outputs.size());
+  for (size_t I = 0; I < Erased.Outputs.size(); ++I) {
+    const Output &Out = Erased.Outputs[I];
+    logic::writeProp(W, Out.Type);
+    W.writeU64(static_cast<uint64_t>(Out.Amount));
+    bool IsHole = OpenOutput && *OpenOutput == I;
+    W.writeVarBytes(IsHole ? Bytes() : Out.Owner.serialize());
+  }
+  return crypto::sha256d(W.buffer());
+}
+
+void OpenTransaction::sign(const crypto::PrivateKey &Issuer) {
+  IssuerBlob = makeAffirmationBlob(Issuer, templateDigest());
+}
+
+Status OpenTransaction::verifyIssuer(const crypto::KeyId &Issuer) const {
+  return verifyAffirmationBlob(Issuer.toHex(), templateDigest(),
+                               IssuerBlob);
+}
+
+Result<Transaction>
+OpenTransaction::fill(const std::string &SourceTxid, uint32_t SourceIndex,
+                      const crypto::PublicKey &Receiver) const {
+  Transaction Filled = Template;
+  if (OpenInput) {
+    if (*OpenInput >= Filled.Inputs.size())
+      return makeError("opentx: open-input index out of range");
+    Filled.Inputs[*OpenInput].SourceTxid = SourceTxid;
+    Filled.Inputs[*OpenInput].SourceIndex = SourceIndex;
+  }
+  if (OpenOutput) {
+    if (*OpenOutput >= Filled.Outputs.size())
+      return makeError("opentx: open-output index out of range");
+    if (!Receiver.isValid())
+      return makeError("opentx: receiver key is invalid");
+    Filled.Outputs[*OpenOutput].Owner = Receiver;
+  }
+  return Filled;
+}
+
+} // namespace tc
+} // namespace typecoin

@@ -1,0 +1,67 @@
+//===- typecoin/opentx.h - Open transactions ----------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Open transactions (Section 7): "a transaction with holes that anyone
+/// can fill in." The issuer leaves blank the txout of one input (who
+/// provides the solution/asset) and the public key of one output (who
+/// receives the prize), signs the template, and publishes it. A claimant
+/// fills both holes; a type-checking escrow agent holding the prize
+/// txout signs any instance that typechecks.
+///
+/// "Our open transactions are inspired by and generalize Bitcoin's
+/// SIGHASH rules, which erase parts of a transaction before checking its
+/// signatures" (Section 8) — the template digest here likewise erases
+/// the holes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_TYPECOIN_OPENTX_H
+#define TYPECOIN_TYPECOIN_OPENTX_H
+
+#include "typecoin/transaction.h"
+
+#include <optional>
+
+namespace typecoin {
+namespace tc {
+
+/// An open transaction: a template with at most one open input (its
+/// source txout blank) and at most one open output (its owner blank).
+struct OpenTransaction {
+  Transaction Template;
+  /// Index of the input whose source txout the claimant supplies; that
+  /// input's type is still fixed by the template.
+  std::optional<size_t> OpenInput;
+  /// Index of the output whose receiving key the claimant supplies.
+  std::optional<size_t> OpenOutput;
+  /// The issuer's signature over the template digest (erasing the
+  /// holes), so participants know the offer is genuine.
+  Bytes IssuerBlob;
+
+  /// The digest the issuer signs: the template serialized with the open
+  /// input's source and the open output's owner erased.
+  crypto::Digest32 templateDigest() const;
+
+  /// Sign the template as \p Issuer.
+  void sign(const crypto::PrivateKey &Issuer);
+
+  /// Verify the issuer's signature against a claimed principal.
+  Status verifyIssuer(const crypto::KeyId &Issuer) const;
+
+  /// Fill the holes: the claimant's source txout for the open input and
+  /// receiving key for the open output. Other fields are untouched; the
+  /// caller then rebuilds the proof term if it mentions the new
+  /// principal (routing proofs do not).
+  Result<Transaction> fill(const std::string &SourceTxid,
+                           uint32_t SourceIndex,
+                           const crypto::PublicKey &Receiver) const;
+};
+
+} // namespace tc
+} // namespace typecoin
+
+#endif // TYPECOIN_TYPECOIN_OPENTX_H

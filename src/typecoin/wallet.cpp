@@ -1,0 +1,76 @@
+//===- typecoin/wallet.cpp - Key management and signing -----------------------===//
+
+#include "typecoin/wallet.h"
+
+namespace typecoin {
+namespace tc {
+
+crypto::PrivateKey Wallet::newKey() {
+  Keys.push_back(crypto::PrivateKey::generate(Rand));
+  return Keys.back();
+}
+
+const crypto::PrivateKey *Wallet::keyFor(const crypto::KeyId &Id) const {
+  for (const auto &Key : Keys)
+    if (Key.id() == Id)
+      return &Key;
+  return nullptr;
+}
+
+bool Wallet::canSolve(const bitcoin::Script &ScriptPubKey) const {
+  bitcoin::SolvedScript Solved = bitcoin::solveScript(ScriptPubKey);
+  switch (Solved.Kind) {
+  case bitcoin::TxOutKind::PubKeyHash: {
+    crypto::KeyId Id;
+    std::copy(Solved.Data[0].begin(), Solved.Data[0].end(),
+              Id.Hash.begin());
+    return keyFor(Id) != nullptr;
+  }
+  case bitcoin::TxOutKind::PubKey:
+  case bitcoin::TxOutKind::MultiSig: {
+    int Held = 0;
+    for (const Bytes &KeyBytes : Solved.Data)
+      for (const auto &Key : Keys)
+        if (Key.publicKey().serialize() == KeyBytes)
+          ++Held;
+    int Needed = Solved.Kind == bitcoin::TxOutKind::PubKey
+                     ? 1
+                     : Solved.Required;
+    return Held >= Needed;
+  }
+  default:
+    return false;
+  }
+}
+
+std::vector<Wallet::Spendable>
+Wallet::findSpendable(const bitcoin::Blockchain &Chain) const {
+  std::vector<Spendable> Out;
+  int NextHeight = Chain.height() + 1;
+  for (const auto &[Point, Coin] : Chain.utxo().entries()) {
+    if (Coin.IsCoinbase &&
+        NextHeight - Coin.Height < Chain.params().CoinbaseMaturity)
+      continue;
+    if (!canSolve(Coin.Out.ScriptPubKey))
+      continue;
+    Out.push_back(Spendable{Point, Coin.Out.Value, Coin.Out.ScriptPubKey});
+  }
+  return Out;
+}
+
+Status Wallet::signTransaction(bitcoin::Transaction &Btc,
+                               const bitcoin::Blockchain &Chain) const {
+  for (size_t I = 0; I < Btc.Inputs.size(); ++I) {
+    const bitcoin::Coin *C = Chain.utxo().find(Btc.Inputs[I].Prevout);
+    if (!C)
+      return makeError("wallet: input " + std::to_string(I) +
+                       " not found in the UTXO set");
+    TC_UNWRAP(Sig,
+              bitcoin::signInput(Btc, I, C->Out.ScriptPubKey, Keys));
+    Btc.Inputs[I].ScriptSig = Sig;
+  }
+  return Status::success();
+}
+
+} // namespace tc
+} // namespace typecoin

@@ -1,0 +1,68 @@
+//===- typecoin/wallet.h - Key management and signing ------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal wallet: deterministic key generation, lookup by principal,
+/// coin discovery over the UTXO set, and signing of Bitcoin transactions
+/// that spend P2PKH / P2PK / 1-of-2-embedded outputs. "The Typecoin
+/// client itself can be viewed as a very small batch-mode server,
+/// trusted by only one person" (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_TYPECOIN_WALLET_H
+#define TYPECOIN_TYPECOIN_WALLET_H
+
+#include "bitcoin/chain.h"
+#include "bitcoin/standard.h"
+#include "support/rng.h"
+
+namespace typecoin {
+namespace tc {
+
+/// A deterministic key store.
+class Wallet {
+public:
+  explicit Wallet(uint64_t Seed) : Rand(Seed) {}
+
+  /// Generate and remember a fresh key. Returned by value: the wallet's
+  /// internal storage grows, so references into it would dangle.
+  crypto::PrivateKey newKey();
+
+  const std::vector<crypto::PrivateKey> &keys() const { return Keys; }
+
+  /// The key owning \p Id, if we hold it.
+  const crypto::PrivateKey *keyFor(const crypto::KeyId &Id) const;
+
+  /// Adopt an externally created key.
+  void import(const crypto::PrivateKey &Key) { Keys.push_back(Key); }
+
+  /// A spendable output we can sign for.
+  struct Spendable {
+    bitcoin::OutPoint Point;
+    bitcoin::Amount Value = 0;
+    bitcoin::Script ScriptPubKey;
+  };
+
+  /// Scan the chain's UTXO set for outputs this wallet can spend
+  /// (subject to coinbase maturity at the next block height).
+  std::vector<Spendable> findSpendable(const bitcoin::Blockchain &Chain) const;
+
+  /// Sign every input of \p Btc against the chain's UTXO set.
+  Status signTransaction(bitcoin::Transaction &Btc,
+                         const bitcoin::Blockchain &Chain) const;
+
+private:
+  bool canSolve(const bitcoin::Script &ScriptPubKey) const;
+
+  Rng Rand;
+  std::vector<crypto::PrivateKey> Keys;
+};
+
+} // namespace tc
+} // namespace typecoin
+
+#endif // TYPECOIN_TYPECOIN_WALLET_H

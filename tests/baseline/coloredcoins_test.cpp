@@ -1,0 +1,146 @@
+//===- tests/baseline/coloredcoins_test.cpp - Colored-coins baseline ------===//
+
+#include "baseline/coloredcoins.h"
+
+#include "bitcoin/standard.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::baseline;
+
+namespace {
+
+crypto::KeyId keyIdFromSeed(uint64_t Seed) {
+  Rng Rand(Seed);
+  return crypto::PrivateKey::generate(Rand).id();
+}
+
+/// A transaction paying the given amounts (scripts are irrelevant to the
+/// color tracker).
+bitcoin::Transaction
+makeTx(const std::vector<bitcoin::OutPoint> &Ins,
+       const std::vector<bitcoin::Amount> &OutValues, uint64_t Tag = 0) {
+  bitcoin::Transaction Tx;
+  for (const auto &Point : Ins)
+    Tx.Inputs.push_back(bitcoin::TxIn{Point});
+  if (Ins.empty()) {
+    // Genesis-style: a dummy input so txids differ by Tag.
+    bitcoin::TxIn In;
+    In.Prevout.Tx.Hash[0] = static_cast<uint8_t>(Tag + 1);
+    Tx.Inputs.push_back(In);
+  }
+  for (bitcoin::Amount V : OutValues)
+    Tx.Outputs.push_back(
+        bitcoin::TxOut{V, bitcoin::makeP2PKH(keyIdFromSeed(Tag + 7))});
+  return Tx;
+}
+
+TEST(ColoredCoins, IssueAndLookup) {
+  ColorTracker Tracker;
+  bitcoin::Transaction Genesis = makeTx({}, {100});
+  ASSERT_TRUE(Tracker.issue(Genesis, 0, 100).hasValue());
+  auto V = Tracker.colorOf({Genesis.txid(), 0});
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Units, 100u);
+  EXPECT_EQ(Tracker.supply(V->Color), 100u);
+
+  EXPECT_FALSE(Tracker.issue(Genesis, 5, 1).hasValue());
+  EXPECT_FALSE(Tracker.issue(Genesis, 0, 1).hasValue()); // Recolor.
+}
+
+TEST(ColoredCoins, TransferWholeAmount) {
+  ColorTracker Tracker;
+  bitcoin::Transaction Genesis = makeTx({}, {100});
+  ASSERT_TRUE(Tracker.issue(Genesis, 0, 100).hasValue());
+
+  bitcoin::Transaction Transfer =
+      makeTx({{Genesis.txid(), 0}}, {100}, 1);
+  ASSERT_TRUE(Tracker.apply(Transfer).hasValue());
+  EXPECT_FALSE(Tracker.colorOf({Genesis.txid(), 0}).has_value());
+  auto V = Tracker.colorOf({Transfer.txid(), 0});
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Units, 100u);
+}
+
+TEST(ColoredCoins, SplitAcrossOutputs) {
+  ColorTracker Tracker;
+  bitcoin::Transaction Genesis = makeTx({}, {100});
+  ASSERT_TRUE(Tracker.issue(Genesis, 0, 100).hasValue());
+
+  bitcoin::Transaction Split =
+      makeTx({{Genesis.txid(), 0}}, {40, 60}, 2);
+  ASSERT_TRUE(Tracker.apply(Split).hasValue());
+  EXPECT_EQ(Tracker.colorOf({Split.txid(), 0})->Units, 40u);
+  EXPECT_EQ(Tracker.colorOf({Split.txid(), 1})->Units, 60u);
+  // Supply is conserved.
+  EXPECT_EQ(Tracker.supply(ColorId{{Genesis.txid(), 0}}), 100u);
+}
+
+TEST(ColoredCoins, MergeSameColor) {
+  ColorTracker Tracker;
+  bitcoin::Transaction Genesis = makeTx({}, {100});
+  ASSERT_TRUE(Tracker.issue(Genesis, 0, 100).hasValue());
+  bitcoin::Transaction Split = makeTx({{Genesis.txid(), 0}}, {40, 60}, 3);
+  ASSERT_TRUE(Tracker.apply(Split).hasValue());
+
+  bitcoin::Transaction Merge =
+      makeTx({{Split.txid(), 0}, {Split.txid(), 1}}, {100}, 4);
+  ASSERT_TRUE(Tracker.apply(Merge).hasValue());
+  EXPECT_EQ(Tracker.colorOf({Merge.txid(), 0})->Units, 100u);
+}
+
+TEST(ColoredCoins, MixingColorsDestroysThem) {
+  ColorTracker Tracker;
+  bitcoin::Transaction GA = makeTx({}, {50}, 10);
+  bitcoin::Transaction GB = makeTx({}, {50}, 11);
+  ASSERT_TRUE(Tracker.issue(GA, 0, 50).hasValue());
+  ASSERT_TRUE(Tracker.issue(GB, 0, 50).hasValue());
+
+  bitcoin::Transaction Mix =
+      makeTx({{GA.txid(), 0}, {GB.txid(), 0}}, {100}, 12);
+  ASSERT_TRUE(Tracker.apply(Mix).hasValue());
+  EXPECT_FALSE(Tracker.colorOf({Mix.txid(), 0}).has_value());
+  EXPECT_EQ(Tracker.supply(ColorId{{GA.txid(), 0}}), 0u);
+}
+
+TEST(ColoredCoins, UncoloredInputsPassThrough) {
+  ColorTracker Tracker;
+  bitcoin::Transaction Plain = makeTx({}, {500}, 20);
+  bitcoin::Transaction Spend = makeTx({{Plain.txid(), 0}}, {500}, 21);
+  ASSERT_TRUE(Tracker.apply(Spend).hasValue());
+  EXPECT_FALSE(Tracker.colorOf({Spend.txid(), 0}).has_value());
+  EXPECT_EQ(Tracker.coloredOutputCount(), 0u);
+}
+
+TEST(ColoredCoins, PartialColorToFirstOutputs) {
+  // 100 colored + outputs demanding 30/70/anything: front-to-back.
+  ColorTracker Tracker;
+  bitcoin::Transaction Genesis = makeTx({}, {100}, 30);
+  ASSERT_TRUE(Tracker.issue(Genesis, 0, 100).hasValue());
+  bitcoin::Transaction Tx =
+      makeTx({{Genesis.txid(), 0}}, {30, 70, 999}, 31);
+  ASSERT_TRUE(Tracker.apply(Tx).hasValue());
+  EXPECT_EQ(Tracker.colorOf({Tx.txid(), 0})->Units, 30u);
+  EXPECT_EQ(Tracker.colorOf({Tx.txid(), 1})->Units, 70u);
+  EXPECT_FALSE(Tracker.colorOf({Tx.txid(), 2}).has_value());
+}
+
+TEST(ColoredCoins, ExpressivenessGap) {
+  // The paper's Section 8 point: colored coins have no analogue of a
+  // typed state transition. The tracker can only move units; there is
+  // no way to express may-write -o may-write-this. This test documents
+  // the gap structurally: colors are fungible units with no payload.
+  ColorTracker Tracker;
+  bitcoin::Transaction Genesis = makeTx({}, {1}, 40);
+  ASSERT_TRUE(Tracker.issue(Genesis, 0, 1).hasValue());
+  auto V = Tracker.colorOf({Genesis.txid(), 0});
+  ASSERT_TRUE(V.has_value());
+  // The only data a colored txout carries:
+  static_assert(sizeof(ColorValue::Units) == 8,
+                "colored value is just a counter");
+  EXPECT_EQ(V->Units, 1u);
+}
+
+} // namespace

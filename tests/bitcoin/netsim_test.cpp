@@ -1,0 +1,156 @@
+//===- tests/bitcoin/netsim_test.cpp - Network simulation ------------------===//
+
+#include "bitcoin/netsim.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::bitcoin;
+
+namespace {
+
+std::vector<double> uniformSubmits(int N, double Horizon, uint64_t Seed) {
+  Rng Rand(Seed);
+  std::vector<double> Times;
+  for (int I = 0; I < N; ++I)
+    Times.push_back(Rand.nextDouble() * Horizon);
+  return Times;
+}
+
+TEST(NetSim, SixConfirmationsTakeRoughlyAnHour) {
+  // Paper Section 2 item 6: six blocks, "roughly an hour".
+  NetSimParams Params;
+  auto Records = simulateConfirmations(
+      Params, uniformSubmits(2000, 3600.0 * 100, 1), 6, 42);
+  std::vector<double> Latencies;
+  for (const auto &R : Records)
+    Latencies.push_back(R.ConfirmTimes[5] - R.SubmitTime);
+  LatencyStats Stats = summarize(Latencies);
+  // Expected: residual (~10 min) + 5 intervals = ~60 min. Allow slack.
+  EXPECT_GT(Stats.Mean, 45.0 * 60);
+  EXPECT_LT(Stats.Mean, 80.0 * 60);
+}
+
+TEST(NetSim, OneConfirmationAveragesTenMinutes) {
+  NetSimParams Params;
+  auto Records = simulateConfirmations(
+      Params, uniformSubmits(2000, 3600.0 * 100, 2), 1, 43);
+  std::vector<double> Latencies;
+  for (const auto &R : Records)
+    Latencies.push_back(R.InclusionTime - R.SubmitTime);
+  LatencyStats Stats = summarize(Latencies);
+  EXPECT_GT(Stats.Mean, 7.5 * 60);
+  EXPECT_LT(Stats.Mean, 13.0 * 60);
+}
+
+TEST(NetSim, SkipInProgressAddsLatency) {
+  NetSimParams Next;
+  NetSimParams Skip;
+  Skip.Inclusion = InclusionPolicy::SkipInProgress;
+  auto SubmitTimes = uniformSubmits(2000, 3600.0 * 100, 3);
+  auto A = simulateConfirmations(Next, SubmitTimes, 1, 44);
+  auto B = simulateConfirmations(Skip, SubmitTimes, 1, 44);
+  double MeanA = 0, MeanB = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    MeanA += A[I].InclusionTime - A[I].SubmitTime;
+    MeanB += B[I].InclusionTime - B[I].SubmitTime;
+  }
+  EXPECT_LT(MeanA, MeanB);
+}
+
+TEST(NetSim, DeterministicProcessSkipPolicyGivesFifteenMinutes) {
+  // The paper's revocation latency model (Section 5): ~15 minutes.
+  NetSimParams Params;
+  Params.Process = BlockProcess::Deterministic;
+  Params.Inclusion = InclusionPolicy::SkipInProgress;
+  auto Records = simulateConfirmations(
+      Params, uniformSubmits(2000, 3600.0 * 100, 4), 1, 45);
+  std::vector<double> Latencies;
+  for (const auto &R : Records)
+    Latencies.push_back(R.InclusionTime - R.SubmitTime);
+  LatencyStats Stats = summarize(Latencies);
+  EXPECT_GT(Stats.Mean, 13.5 * 60);
+  EXPECT_LT(Stats.Mean, 16.5 * 60);
+}
+
+TEST(NetSim, ConfirmTimesAreMonotone) {
+  NetSimParams Params;
+  auto Records = simulateConfirmations(
+      Params, uniformSubmits(100, 3600.0, 5), 6, 46);
+  for (const auto &R : Records) {
+    ASSERT_EQ(R.ConfirmTimes.size(), 6u);
+    EXPECT_GE(R.InclusionTime, R.SubmitTime);
+    for (size_t K = 1; K < R.ConfirmTimes.size(); ++K)
+      EXPECT_GT(R.ConfirmTimes[K], R.ConfirmTimes[K - 1]);
+  }
+}
+
+TEST(NetSim, CapacityDelaysBurst) {
+  NetSimParams Params;
+  Params.MaxTxPerBlock = 10;
+  // A burst of 100 simultaneous transactions needs ten blocks.
+  std::vector<double> Burst(100, 0.0);
+  auto Records = simulateConfirmations(Params, Burst, 1, 47);
+  double MaxInclusion = 0, MinInclusion = 1e18;
+  for (const auto &R : Records) {
+    MaxInclusion = std::max(MaxInclusion, R.InclusionTime);
+    MinInclusion = std::min(MinInclusion, R.InclusionTime);
+  }
+  EXPECT_GT(MaxInclusion, MinInclusion);
+}
+
+TEST(Attacker, AnalyticMatchesNakamotoTable) {
+  // Nakamoto (2008) Section 11 published table for q = 0.1:
+  // z=0 -> 1.0; z=5 -> 0.0009137.
+  EXPECT_NEAR(attackerSuccessAnalytic(0.1, 0), 1.0, 1e-9);
+  EXPECT_NEAR(attackerSuccessAnalytic(0.1, 5), 0.0009137, 2e-5);
+  // q = 0.3, z = 10 -> 0.0416605.
+  EXPECT_NEAR(attackerSuccessAnalytic(0.3, 10), 0.0416605, 2e-4);
+}
+
+TEST(Attacker, MonteCarloMatchesExactForm) {
+  for (double Q : {0.1, 0.25}) {
+    for (int Z : {1, 3, 6}) {
+      double MC = attackerSuccessMonteCarlo(Q, Z, 200000, 99);
+      double Exact = attackerSuccessExact(Q, Z);
+      EXPECT_NEAR(MC, Exact, std::max(0.005, Exact * 0.1))
+          << "q=" << Q << " z=" << Z;
+    }
+  }
+}
+
+TEST(Attacker, PoissonApproximationSitsBelowExact) {
+  // Known property: Nakamoto's approximation slightly underestimates the
+  // true race probability (Rosenfeld 2014).
+  for (double Q : {0.1, 0.25, 0.4}) {
+    for (int Z : {2, 4, 8}) {
+      double Exact = attackerSuccessExact(Q, Z);
+      double Approx = attackerSuccessAnalytic(Q, Z);
+      EXPECT_GE(Exact, Approx * 0.95) << "q=" << Q << " z=" << Z;
+      // Same order of magnitude.
+      EXPECT_LT(Approx, Exact * 3 + 1e-12);
+    }
+  }
+}
+
+TEST(Attacker, DropsExponentially) {
+  // Paper Section 2 item 5: success probability drops exponentially in
+  // the number of confirmations.
+  double Prev = 1.0;
+  for (int Z = 1; Z <= 8; ++Z) {
+    double P = attackerSuccessAnalytic(0.1, Z);
+    EXPECT_LT(P, Prev * 0.5) << Z; // At least halves each block at q=0.1.
+    Prev = P;
+  }
+}
+
+TEST(Summarize, Basics) {
+  LatencyStats S = summarize({1, 2, 3, 4, 100});
+  EXPECT_DOUBLE_EQ(S.Mean, 22.0);
+  EXPECT_DOUBLE_EQ(S.Median, 3.0);
+  EXPECT_DOUBLE_EQ(S.P95, 100.0);
+  LatencyStats Empty = summarize({});
+  EXPECT_DOUBLE_EQ(Empty.Mean, 0.0);
+}
+
+} // namespace

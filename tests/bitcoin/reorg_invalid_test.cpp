@@ -1,0 +1,130 @@
+//===- tests/bitcoin/reorg_invalid_test.cpp - Reorg failure recovery ------===//
+//
+// The hard path of chain management: a *heavier* branch turns out to be
+// invalid only when its transactions are connected. The reorg must
+// abort, mark the branch invalid, and restore the original chain and
+// UTXO set exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bitcoin/miner.h"
+
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::bitcoin;
+
+namespace {
+
+ChainParams testParams() {
+  ChainParams P;
+  P.CoinbaseMaturity = 1;
+  return P;
+}
+
+crypto::PrivateKey keyFromSeed(uint64_t Seed) {
+  Rng Rand(Seed);
+  return crypto::PrivateKey::generate(Rand);
+}
+
+/// Mine a block on an explicit parent hash (for building side branches).
+Block mineOn(const Blockchain &Chain, const BlockHash &Parent,
+             const crypto::KeyId &Payout, uint32_t Time,
+             const std::vector<Transaction> &Txs = {}) {
+  Block B;
+  B.Header.Prev = Parent;
+  B.Header.Time = Time;
+  B.Header.Bits = Chain.params().GenesisBits;
+
+  Transaction Coinbase;
+  TxIn In;
+  In.Prevout = OutPoint::null();
+  Script Tag;
+  Tag.pushInt(static_cast<int64_t>(Time)); // Unique per block.
+  In.ScriptSig = Tag;
+  Coinbase.Inputs.push_back(std::move(In));
+  Coinbase.Outputs.push_back(
+      TxOut{Chain.params().Subsidy, makeP2PKH(Payout)});
+  B.Txs.push_back(std::move(Coinbase));
+  for (const Transaction &Tx : Txs)
+    B.Txs.push_back(Tx);
+  B.updateMerkleRoot();
+  EXPECT_TRUE(mineBlock(B));
+  return B;
+}
+
+TEST(ReorgInvalid, HeavierInvalidBranchIsRejectedAndStateRestored) {
+  Blockchain Chain(testParams());
+  Mempool Pool;
+  auto Miner = keyFromSeed(1);
+
+  // Honest chain: two blocks.
+  uint32_t Clock = 0;
+  for (int I = 0; I < 2; ++I) {
+    Clock += 600;
+    ASSERT_TRUE(mineAndSubmit(Chain, Pool, Miner.id(), Clock).hasValue());
+  }
+  BlockHash HonestTip = Chain.tipHash();
+  size_t HonestUtxo = Chain.utxo().size();
+
+  // Attacker branch from genesis: three blocks, but the third contains
+  // a transaction spending a nonexistent output. Headers and PoW are
+  // fine, so the branch accumulates more work than the honest chain —
+  // the flaw only surfaces when connecting.
+  BlockHash Genesis = *Chain.blockHashAt(0);
+  Block A1 = mineOn(Chain, Genesis, keyFromSeed(2).id(), 10000);
+  Block A2 = mineOn(Chain, A1.hash(), keyFromSeed(2).id(), 10600);
+
+  Transaction Bogus;
+  TxIn BadIn;
+  BadIn.Prevout.Tx.Hash[0] = 0x99; // No such txout anywhere.
+  Bogus.Inputs.push_back(BadIn);
+  Bogus.Outputs.push_back(TxOut{1000, makeP2PKH(keyFromSeed(3).id())});
+  Block A3 = mineOn(Chain, A2.hash(), keyFromSeed(2).id(), 11200, {Bogus});
+
+  // A1 and A2 are stored quietly (inferior branch, not validated yet).
+  ASSERT_TRUE(Chain.submitBlock(A1).hasValue());
+  ASSERT_TRUE(Chain.submitBlock(A2).hasValue());
+  EXPECT_EQ(Chain.tipHash(), HonestTip);
+
+  // A3 makes the branch heavier and triggers the reorg, which must fail
+  // and roll back.
+  auto R = Chain.submitBlock(A3);
+  EXPECT_FALSE(R.hasValue());
+  EXPECT_EQ(Chain.tipHash(), HonestTip);
+  EXPECT_EQ(Chain.height(), 2);
+  EXPECT_EQ(Chain.utxo().size(), HonestUtxo);
+  // The honest coinbases are still confirmed.
+  const Block *Tip = Chain.blockByHash(HonestTip);
+  ASSERT_NE(Tip, nullptr);
+  EXPECT_EQ(Chain.confirmations(Tip->Txs[0].txid()), 1);
+
+  // The invalid branch is poisoned: extending it is refused outright.
+  Block A4 = mineOn(Chain, A3.hash(), keyFromSeed(2).id(), 11800);
+  EXPECT_FALSE(Chain.submitBlock(A4).hasValue());
+}
+
+TEST(ReorgInvalid, ValidHeavierBranchStillWins) {
+  // Control: the same shape with a *valid* third block reorganizes.
+  Blockchain Chain(testParams());
+  Mempool Pool;
+  auto Miner = keyFromSeed(4);
+  uint32_t Clock = 0;
+  for (int I = 0; I < 2; ++I) {
+    Clock += 600;
+    ASSERT_TRUE(mineAndSubmit(Chain, Pool, Miner.id(), Clock).hasValue());
+  }
+  BlockHash Genesis = *Chain.blockHashAt(0);
+  Block A1 = mineOn(Chain, Genesis, keyFromSeed(5).id(), 20000);
+  Block A2 = mineOn(Chain, A1.hash(), keyFromSeed(5).id(), 20600);
+  Block A3 = mineOn(Chain, A2.hash(), keyFromSeed(5).id(), 21200);
+  ASSERT_TRUE(Chain.submitBlock(A1).hasValue());
+  ASSERT_TRUE(Chain.submitBlock(A2).hasValue());
+  ASSERT_TRUE(Chain.submitBlock(A3).hasValue());
+  EXPECT_EQ(Chain.tipHash(), A3.hash());
+  EXPECT_EQ(Chain.height(), 3);
+}
+
+} // namespace

@@ -1,0 +1,280 @@
+//===- tests/bitcoin/script_test.cpp - Script machine ---------------------===//
+
+#include "bitcoin/script.h"
+
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::bitcoin;
+
+namespace {
+
+NullSignatureChecker NoSigs;
+
+Result<std::vector<Bytes>> runScript(const Script &S) {
+  std::vector<Bytes> Stack;
+  auto St = evalScript(S, Stack, NoSigs);
+  if (!St)
+    return St.takeError();
+  return Stack;
+}
+
+TEST(ScriptNum, EncodeDecodeRoundTrip) {
+  for (int64_t V : {0LL, 1LL, -1LL, 16LL, 127LL, 128LL, -128LL, 255LL,
+                    256LL, 32767LL, -32768LL, 8388607LL, 2147483647LL}) {
+    Bytes Enc = scriptNumEncode(V);
+    auto Dec = scriptNumDecode(Enc, 5);
+    ASSERT_TRUE(Dec.hasValue()) << V;
+    EXPECT_EQ(*Dec, V);
+  }
+}
+
+TEST(ScriptNum, ZeroIsEmpty) { EXPECT_TRUE(scriptNumEncode(0).empty()); }
+
+TEST(ScriptNum, MinimalEncodingEnforced) {
+  // 0x0100 would decode as 1 with a redundant trailing zero byte.
+  EXPECT_FALSE(scriptNumDecode(Bytes{0x01, 0x00}).hasValue());
+  // Negative zero alone is non-minimal.
+  EXPECT_FALSE(scriptNumDecode(Bytes{0x80}).hasValue());
+  // But 0xff 0x80 (= -255... sign in second byte) is fine.
+  EXPECT_TRUE(scriptNumDecode(Bytes{0xff, 0x80}).hasValue());
+}
+
+TEST(ScriptNum, SizeLimit) {
+  Bytes Big(5, 0x01);
+  EXPECT_FALSE(scriptNumDecode(Big, 4).hasValue());
+}
+
+TEST(CastToBool, Semantics) {
+  EXPECT_FALSE(castToBool(Bytes{}));
+  EXPECT_FALSE(castToBool(Bytes{0x00}));
+  EXPECT_FALSE(castToBool(Bytes{0x00, 0x00}));
+  EXPECT_FALSE(castToBool(Bytes{0x00, 0x80})); // negative zero
+  EXPECT_TRUE(castToBool(Bytes{0x01}));
+  EXPECT_TRUE(castToBool(Bytes{0x80, 0x00})); // 0x80 not in last byte
+}
+
+TEST(Script, PushEncodings) {
+  Script S;
+  S.push(Bytes(1, 0xaa));
+  S.push(Bytes(75, 0xbb));
+  S.push(Bytes(76, 0xcc));  // needs PUSHDATA1
+  S.push(Bytes(300, 0xdd)); // needs PUSHDATA2
+  auto Elems = S.decode();
+  ASSERT_TRUE(Elems.hasValue());
+  ASSERT_EQ(Elems->size(), 4u);
+  EXPECT_EQ((*Elems)[0].Push.size(), 1u);
+  EXPECT_EQ((*Elems)[1].Push.size(), 75u);
+  EXPECT_EQ((*Elems)[2].Push.size(), 76u);
+  EXPECT_EQ((*Elems)[3].Push.size(), 300u);
+}
+
+TEST(Script, DecodeRejectsTruncatedPush) {
+  Script S(Bytes{0x05, 0x01, 0x02}); // declares 5 bytes, provides 2
+  EXPECT_FALSE(S.decode().hasValue());
+}
+
+TEST(Script, Arithmetic) {
+  Script S;
+  S.pushInt(2).pushInt(3).op(OP_ADD).pushInt(5).op(OP_NUMEQUAL);
+  auto Stack = runScript(S);
+  ASSERT_TRUE(Stack.hasValue());
+  ASSERT_EQ(Stack->size(), 1u);
+  EXPECT_TRUE(castToBool(Stack->back()));
+}
+
+TEST(Script, ArithmeticTable) {
+  struct Case {
+    Opcode Op;
+    int64_t A, B, Expect;
+  } Cases[] = {
+      {OP_ADD, 7, 5, 12},    {OP_SUB, 7, 5, 2},
+      {OP_MIN, 7, 5, 5},     {OP_MAX, 7, 5, 7},
+      {OP_LESSTHAN, 3, 4, 1}, {OP_GREATERTHAN, 3, 4, 0},
+      {OP_BOOLAND, 1, 0, 0}, {OP_BOOLOR, 1, 0, 1},
+      {OP_NUMNOTEQUAL, 4, 4, 0},
+  };
+  for (const auto &C : Cases) {
+    Script S;
+    S.pushInt(C.A).pushInt(C.B).op(C.Op);
+    auto Stack = runScript(S);
+    ASSERT_TRUE(Stack.hasValue());
+    auto V = scriptNumDecode(Stack->back());
+    ASSERT_TRUE(V.hasValue());
+    EXPECT_EQ(*V, C.Expect) << "op " << C.Op;
+  }
+}
+
+TEST(Script, StackOps) {
+  Script S;
+  S.pushInt(1).pushInt(2).op(OP_SWAP); // [2, 1]
+  S.op(OP_DUP);                        // [2, 1, 1]
+  S.op(OP_DEPTH);                      // [2, 1, 1, 3]
+  auto Stack = runScript(S);
+  ASSERT_TRUE(Stack.hasValue());
+  ASSERT_EQ(Stack->size(), 4u);
+  EXPECT_EQ(*scriptNumDecode((*Stack)[3]), 3);
+  EXPECT_EQ(*scriptNumDecode((*Stack)[0]), 2);
+}
+
+TEST(Script, RotAndRoll) {
+  Script S;
+  S.pushInt(1).pushInt(2).pushInt(3).op(OP_ROT); // [2, 3, 1]
+  auto Stack = runScript(S);
+  ASSERT_TRUE(Stack.hasValue());
+  EXPECT_EQ(*scriptNumDecode((*Stack)[2]), 1);
+  EXPECT_EQ(*scriptNumDecode((*Stack)[0]), 2);
+
+  Script S2;
+  S2.pushInt(10).pushInt(20).pushInt(30).pushInt(2).op(OP_ROLL);
+  auto Stack2 = runScript(S2); // rolls depth-2 (10) to top -> [20, 30, 10]
+  ASSERT_TRUE(Stack2.hasValue());
+  EXPECT_EQ(*scriptNumDecode(Stack2->back()), 10);
+}
+
+TEST(Script, AltStack) {
+  Script S;
+  S.pushInt(42).op(OP_TOALTSTACK).pushInt(1).op(OP_FROMALTSTACK);
+  auto Stack = runScript(S);
+  ASSERT_TRUE(Stack.hasValue());
+  EXPECT_EQ(*scriptNumDecode(Stack->back()), 42);
+}
+
+TEST(Script, IfElse) {
+  for (bool Cond : {true, false}) {
+    Script S;
+    S.pushInt(Cond ? 1 : 0);
+    S.op(OP_IF).pushInt(100).op(OP_ELSE).pushInt(200).op(OP_ENDIF);
+    auto Stack = runScript(S);
+    ASSERT_TRUE(Stack.hasValue());
+    EXPECT_EQ(*scriptNumDecode(Stack->back()), Cond ? 100 : 200);
+  }
+}
+
+TEST(Script, NestedIf) {
+  Script S;
+  S.pushInt(1).op(OP_IF);
+  S.pushInt(0).op(OP_IF).pushInt(1).op(OP_ELSE).pushInt(2).op(OP_ENDIF);
+  S.op(OP_ELSE).pushInt(3).op(OP_ENDIF);
+  auto Stack = runScript(S);
+  ASSERT_TRUE(Stack.hasValue());
+  EXPECT_EQ(*scriptNumDecode(Stack->back()), 2);
+}
+
+TEST(Script, UnbalancedIfFails) {
+  Script S;
+  S.pushInt(1).op(OP_IF).pushInt(5);
+  EXPECT_FALSE(runScript(S).hasValue());
+}
+
+TEST(Script, ElseWithoutIfFails) {
+  Script S;
+  S.op(OP_ELSE);
+  EXPECT_FALSE(runScript(S).hasValue());
+}
+
+TEST(Script, VerifySemantics) {
+  Script Ok;
+  Ok.pushInt(1).op(OP_VERIFY).pushInt(7);
+  EXPECT_TRUE(runScript(Ok).hasValue());
+
+  Script Bad;
+  Bad.pushInt(0).op(OP_VERIFY);
+  EXPECT_FALSE(runScript(Bad).hasValue());
+}
+
+TEST(Script, OpReturnFails) {
+  Script S;
+  S.op(OP_RETURN);
+  EXPECT_FALSE(runScript(S).hasValue());
+}
+
+TEST(Script, StackUnderflow) {
+  Script S;
+  S.op(OP_ADD);
+  EXPECT_FALSE(runScript(S).hasValue());
+}
+
+TEST(Script, HashOpcodes) {
+  // SHA256("abc") on-stack.
+  Script S;
+  S.push(bytesOfString("abc")).op(OP_SHA256);
+  auto Stack = runScript(S);
+  ASSERT_TRUE(Stack.hasValue());
+  EXPECT_EQ(toHex(Stack->back()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+
+  Script S2;
+  S2.push(bytesOfString("abc")).op(OP_HASH160);
+  auto Stack2 = runScript(S2);
+  ASSERT_TRUE(Stack2.hasValue());
+  EXPECT_EQ(Stack2->back().size(), 20u);
+}
+
+TEST(Script, WithinAndSize) {
+  Script S;
+  S.pushInt(5).pushInt(1).pushInt(10).op(OP_WITHIN);
+  auto Stack = runScript(S);
+  ASSERT_TRUE(Stack.hasValue());
+  EXPECT_TRUE(castToBool(Stack->back()));
+
+  Script S2;
+  S2.push(Bytes(13, 0xaa)).op(OP_SIZE);
+  auto Stack2 = runScript(S2);
+  ASSERT_TRUE(Stack2.hasValue());
+  EXPECT_EQ(*scriptNumDecode(Stack2->back()), 13);
+}
+
+TEST(Script, SkippedBranchDoesNotExecute) {
+  // OP_RETURN inside a dead branch must not abort.
+  Script S;
+  S.pushInt(0).op(OP_IF).op(OP_RETURN).op(OP_ENDIF).pushInt(9);
+  auto Stack = runScript(S);
+  ASSERT_TRUE(Stack.hasValue());
+  EXPECT_EQ(*scriptNumDecode(Stack->back()), 9);
+}
+
+TEST(VerifyScript, RequiresPushOnlySig) {
+  Script Sig;
+  Sig.pushInt(1).pushInt(1).op(OP_ADD);
+  Script PubKey;
+  PubKey.pushInt(2).op(OP_NUMEQUAL);
+  EXPECT_FALSE(verifyScript(Sig, PubKey, NoSigs).hasValue());
+}
+
+TEST(VerifyScript, SimplePuzzle) {
+  // scriptPubKey: OP_HASH256 <hash> OP_EQUAL; scriptSig: <preimage>.
+  Bytes Preimage = bytesOfString("solution");
+  auto Hash = typecoin::crypto::sha256d(Preimage);
+  Script PubKey;
+  PubKey.op(OP_HASH256).push(Bytes(Hash.begin(), Hash.end())).op(OP_EQUAL);
+  Script GoodSig;
+  GoodSig.push(Preimage);
+  EXPECT_TRUE(verifyScript(GoodSig, PubKey, NoSigs).hasValue());
+
+  Script BadSig;
+  BadSig.push(bytesOfString("wrong"));
+  EXPECT_FALSE(verifyScript(BadSig, PubKey, NoSigs).hasValue());
+}
+
+TEST(Script, OpCountLimit) {
+  Script S;
+  S.pushInt(0);
+  for (int I = 0; I < 300; ++I)
+    S.op(OP_1ADD);
+  EXPECT_FALSE(runScript(S).hasValue());
+}
+
+TEST(Script, Disassembly) {
+  Script S;
+  S.op(OP_DUP).op(OP_HASH160).push(Bytes(20, 0x11)).op(OP_EQUALVERIFY).op(
+      OP_CHECKSIG);
+  std::string Text = S.toString();
+  EXPECT_NE(Text.find("OP_DUP"), std::string::npos);
+  EXPECT_NE(Text.find("OP_CHECKSIG"), std::string::npos);
+  EXPECT_NE(Text.find("1111"), std::string::npos);
+}
+
+} // namespace

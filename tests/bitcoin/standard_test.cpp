@@ -1,0 +1,198 @@
+//===- tests/bitcoin/standard_test.cpp - Standard templates & policy ------===//
+
+#include "bitcoin/standard.h"
+
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::bitcoin;
+
+namespace {
+
+crypto::PrivateKey keyFromSeed(uint64_t Seed) {
+  Rng Rand(Seed);
+  return crypto::PrivateKey::generate(Rand);
+}
+
+TEST(Solver, P2PKH) {
+  auto Key = keyFromSeed(1);
+  crypto::KeyId Id = Key.id();
+  SolvedScript S = solveScript(makeP2PKH(Id));
+  EXPECT_EQ(S.Kind, TxOutKind::PubKeyHash);
+  ASSERT_EQ(S.Data.size(), 1u);
+  EXPECT_EQ(S.Data[0], Bytes(Id.Hash.begin(), Id.Hash.end()));
+}
+
+TEST(Solver, P2PK) {
+  auto Key = keyFromSeed(2);
+  SolvedScript S = solveScript(makeP2PK(Key.publicKey()));
+  EXPECT_EQ(S.Kind, TxOutKind::PubKey);
+  ASSERT_EQ(S.Data.size(), 1u);
+  EXPECT_EQ(S.Data[0], Key.publicKey().serialize());
+}
+
+TEST(Solver, MultiSig1of2) {
+  auto K1 = keyFromSeed(3), K2 = keyFromSeed(4);
+  Script S = makeMultiSig(
+      1, {K1.publicKey().serialize(), K2.publicKey().serialize()});
+  SolvedScript Solved = solveScript(S);
+  EXPECT_EQ(Solved.Kind, TxOutKind::MultiSig);
+  EXPECT_EQ(Solved.Required, 1);
+  EXPECT_EQ(Solved.Data.size(), 2u);
+}
+
+TEST(Solver, MultiSig2of3) {
+  auto K1 = keyFromSeed(5), K2 = keyFromSeed(6), K3 = keyFromSeed(7);
+  Script S = makeMultiSig(2, {K1.publicKey().serialize(),
+                              K2.publicKey().serialize(),
+                              K3.publicKey().serialize()});
+  SolvedScript Solved = solveScript(S);
+  EXPECT_EQ(Solved.Kind, TxOutKind::MultiSig);
+  EXPECT_EQ(Solved.Required, 2);
+  EXPECT_EQ(Solved.Data.size(), 3u);
+}
+
+TEST(Solver, MultiSigAcceptsNonKeyMetadata) {
+  // Typecoin's embedding: one real key, one 33-byte hash-as-key.
+  auto K1 = keyFromSeed(8);
+  Bytes Metadata(33, 0x02);
+  Script S = makeMultiSig(1, {K1.publicKey().serialize(), Metadata});
+  SolvedScript Solved = solveScript(S);
+  EXPECT_EQ(Solved.Kind, TxOutKind::MultiSig);
+}
+
+TEST(Solver, NullData) {
+  SolvedScript S = solveScript(makeNullData(bytesOfString("metadata")));
+  EXPECT_EQ(S.Kind, TxOutKind::NullData);
+  ASSERT_EQ(S.Data.size(), 1u);
+  EXPECT_EQ(S.Data[0], bytesOfString("metadata"));
+}
+
+TEST(Solver, NonStandardScripts) {
+  Script Weird;
+  Weird.pushInt(1).pushInt(1).op(OP_ADD);
+  EXPECT_EQ(solveScript(Weird).Kind, TxOutKind::NonStandard);
+
+  // Wrong-length hash in a P2PKH shape.
+  Script Bad;
+  Bad.op(OP_DUP).op(OP_HASH160).push(Bytes(19, 0x01)).op(OP_EQUALVERIFY).op(
+      OP_CHECKSIG);
+  EXPECT_EQ(solveScript(Bad).Kind, TxOutKind::NonStandard);
+
+  // 4-key multisig exceeds BIP 11 bounds.
+  std::vector<Bytes> Keys(4, Bytes(33, 0x02));
+  Script Four;
+  Four.op(OP_1);
+  for (const auto &K : Keys)
+    Four.push(K);
+  Four.op(OP_4).op(OP_CHECKMULTISIG);
+  EXPECT_EQ(solveScript(Four).Kind, TxOutKind::NonStandard);
+}
+
+TEST(Standardness, AcceptsTypicalTransaction) {
+  auto Key = keyFromSeed(9);
+  Transaction Tx;
+  TxIn In;
+  In.Prevout.Tx.Hash[5] = 1;
+  In.ScriptSig = Script().push(Bytes(71, 0x30)).push(Bytes(33, 0x02));
+  Tx.Inputs.push_back(In);
+  Tx.Outputs.push_back(TxOut{100000, makeP2PKH(Key.id())});
+  EXPECT_TRUE(checkStandard(Tx).hasValue());
+}
+
+TEST(Standardness, RejectsNonStandardOutput) {
+  Transaction Tx;
+  Tx.Inputs.push_back(TxIn{});
+  Script Weird;
+  Weird.pushInt(1);
+  Tx.Outputs.push_back(TxOut{100000, Weird});
+  EXPECT_FALSE(checkStandard(Tx).hasValue());
+}
+
+TEST(Standardness, RejectsDust) {
+  auto Key = keyFromSeed(10);
+  Transaction Tx;
+  Tx.Inputs.push_back(TxIn{});
+  Tx.Outputs.push_back(TxOut{1, makeP2PKH(Key.id())});
+  EXPECT_FALSE(checkStandard(Tx).hasValue());
+}
+
+TEST(Standardness, NullDataExemptFromDust) {
+  auto Key = keyFromSeed(11);
+  Transaction Tx;
+  Tx.Inputs.push_back(TxIn{});
+  Tx.Outputs.push_back(TxOut{100000, makeP2PKH(Key.id())});
+  Tx.Outputs.push_back(TxOut{0, makeNullData(bytesOfString("x"))});
+  EXPECT_TRUE(checkStandard(Tx).hasValue());
+}
+
+TEST(Standardness, RejectsTwoNullData) {
+  Transaction Tx;
+  Tx.Inputs.push_back(TxIn{});
+  Tx.Outputs.push_back(TxOut{0, makeNullData(bytesOfString("a"))});
+  Tx.Outputs.push_back(TxOut{0, makeNullData(bytesOfString("b"))});
+  EXPECT_FALSE(checkStandard(Tx).hasValue());
+}
+
+TEST(Standardness, RejectsNonPushScriptSig) {
+  auto Key = keyFromSeed(12);
+  Transaction Tx;
+  TxIn In;
+  Script Sig;
+  Sig.pushInt(1).pushInt(1).op(OP_ADD);
+  In.ScriptSig = Sig;
+  Tx.Inputs.push_back(In);
+  Tx.Outputs.push_back(TxOut{100000, makeP2PKH(Key.id())});
+  EXPECT_FALSE(checkStandard(Tx).hasValue());
+}
+
+TEST(SignInput, MultiSig1of2WithOneKey) {
+  auto Real = keyFromSeed(13);
+  Bytes Metadata(33, 0x03);
+  Script Lock = makeMultiSig(1, {Real.publicKey().serialize(), Metadata});
+
+  Transaction Tx;
+  TxIn In;
+  In.Prevout.Tx.Hash[0] = 9;
+  Tx.Inputs.push_back(In);
+  Tx.Outputs.push_back(TxOut{50000, makeP2PKH(Real.id())});
+
+  auto Sig = signInput(Tx, 0, Lock, {Real});
+  ASSERT_TRUE(Sig.hasValue()) << Sig.error().message();
+  Tx.Inputs[0].ScriptSig = *Sig;
+
+  TransactionSignatureChecker Checker(Tx, 0, Lock);
+  EXPECT_TRUE(verifyScript(Tx.Inputs[0].ScriptSig, Lock, Checker).hasValue());
+}
+
+TEST(SignInput, MultiSig2of3) {
+  auto K1 = keyFromSeed(14), K2 = keyFromSeed(15), K3 = keyFromSeed(16);
+  Script Lock = makeMultiSig(2, {K1.publicKey().serialize(),
+                                 K2.publicKey().serialize(),
+                                 K3.publicKey().serialize()});
+  Transaction Tx;
+  Tx.Inputs.push_back(TxIn{});
+  Tx.Outputs.push_back(TxOut{50000, makeP2PKH(K1.id())});
+
+  // Holding only one key is insufficient.
+  EXPECT_FALSE(signInput(Tx, 0, Lock, {K2}).hasValue());
+
+  // Any two of the three suffice (here K1 and K3).
+  auto Sig = signInput(Tx, 0, Lock, {K3, K1});
+  ASSERT_TRUE(Sig.hasValue()) << Sig.error().message();
+  Tx.Inputs[0].ScriptSig = *Sig;
+  TransactionSignatureChecker Checker(Tx, 0, Lock);
+  EXPECT_TRUE(verifyScript(Tx.Inputs[0].ScriptSig, Lock, Checker).hasValue());
+}
+
+TEST(SignInput, RefusesOpReturn) {
+  Transaction Tx;
+  Tx.Inputs.push_back(TxIn{});
+  Tx.Outputs.push_back(TxOut{0, Script()});
+  EXPECT_FALSE(
+      signInput(Tx, 0, makeNullData(bytesOfString("data")), {}).hasValue());
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===- tests/crypto/base58_test.cpp - Base58 / Base58Check / addresses ----===//
+
+#include "crypto/base58.h"
+
+#include "crypto/keys.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::crypto;
+
+namespace {
+
+TEST(Base58, EmptyInput) {
+  EXPECT_EQ(base58Encode(Bytes{}), "");
+  auto Back = base58Decode("");
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_TRUE(Back->empty());
+}
+
+TEST(Base58, LeadingZeros) {
+  Bytes Data{0x00, 0x00, 0x01};
+  std::string Enc = base58Encode(Data);
+  EXPECT_EQ(Enc.substr(0, 2), "11");
+  auto Back = base58Decode(Enc);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, Data);
+}
+
+TEST(Base58, KnownVector) {
+  // From the Bitcoin Core base58 test corpus.
+  auto Raw = fromHex("73696d706c792061206c6f6e6720737472696e67");
+  ASSERT_TRUE(Raw.hasValue());
+  EXPECT_EQ(base58Encode(*Raw), "2cFupjhnEsSn59qHXstmK2ffpLv2");
+}
+
+TEST(Base58, SingleByteValues) {
+  EXPECT_EQ(base58Encode(Bytes{0x00}), "1");
+  EXPECT_EQ(base58Encode(Bytes{0x39}), "z"); // 57 -> last alphabet char
+  EXPECT_EQ(base58Encode(Bytes{0x3a}), "21"); // 58 -> "21"
+}
+
+TEST(Base58, RejectsInvalidCharacters) {
+  EXPECT_FALSE(base58Decode("0OIl").hasValue()); // Excluded look-alikes.
+  EXPECT_FALSE(base58Decode("abc!").hasValue());
+}
+
+TEST(Base58, RandomRoundTrip) {
+  Rng Rand(314);
+  for (int I = 0; I < 100; ++I) {
+    Bytes Data(Rand.nextBelow(64), 0);
+    for (auto &B : Data)
+      B = static_cast<uint8_t>(Rand.nextBelow(256));
+    auto Back = base58Decode(base58Encode(Data));
+    ASSERT_TRUE(Back.hasValue());
+    EXPECT_EQ(*Back, Data);
+  }
+}
+
+TEST(Base58Check, RoundTrip) {
+  Bytes Payload{0x00, 0xde, 0xad, 0xbe, 0xef};
+  std::string Enc = base58CheckEncode(Payload);
+  auto Back = base58CheckDecode(Enc);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, Payload);
+}
+
+TEST(Base58Check, DetectsCorruption) {
+  std::string Enc = base58CheckEncode(Bytes{0x00, 0x01, 0x02});
+  // Flip one character to another valid base58 character.
+  std::string Bad = Enc;
+  Bad[Bad.size() / 2] = Bad[Bad.size() / 2] == '2' ? '3' : '2';
+  EXPECT_FALSE(base58CheckDecode(Bad).hasValue());
+}
+
+TEST(Base58Check, TooShort) {
+  EXPECT_FALSE(base58CheckDecode("11").hasValue());
+}
+
+TEST(Address, RoundTrip) {
+  Rng Rand(55);
+  PrivateKey Key = PrivateKey::generate(Rand);
+  std::string Addr = Key.id().toAddress();
+  EXPECT_EQ(Addr[0], '1'); // Version byte 0x00 encodes a leading '1'.
+  auto Back = KeyId::fromAddress(Addr);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, Key.id());
+}
+
+TEST(Address, KnownVector) {
+  // HASH160 f54a5851e9372b87810a8e60cdd2e7cfd80b6e31 is the canonical
+  // address-construction example from the Bitcoin wiki.
+  auto Hash = fromHexFixed<20>("f54a5851e9372b87810a8e60cdd2e7cfd80b6e31");
+  ASSERT_TRUE(Hash.hasValue());
+  KeyId Id{*Hash};
+  EXPECT_EQ(Id.toAddress(), "1PMycacnJaSqwwJqjawXBErnLsZ7RkXUAs");
+}
+
+TEST(Address, RejectsWrongVersion) {
+  // A P2SH (version 5) style payload should be rejected.
+  Bytes Payload(21, 0x00);
+  Payload[0] = 0x05;
+  std::string Addr = base58CheckEncode(Payload);
+  EXPECT_FALSE(KeyId::fromAddress(Addr).hasValue());
+}
+
+} // namespace

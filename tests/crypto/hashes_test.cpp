@@ -1,0 +1,155 @@
+//===- tests/crypto/hashes_test.cpp - SHA-256 / RIPEMD-160 / HMAC ---------===//
+//
+// Known-answer tests from FIPS 180-4, the RIPEMD-160 paper, and RFC 4231,
+// plus streaming-interface and boundary-condition coverage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "crypto/ripemd160.h"
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::crypto;
+
+namespace {
+
+std::string sha256Hex(const std::string &Msg) {
+  return toHex(sha256(bytesOfString(Msg)).data(), 32);
+}
+
+std::string ripemdHex(const std::string &Msg) {
+  return toHex(ripemd160(bytesOfString(Msg)).data(), 20);
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Bytes Msg(1000000, 'a');
+  EXPECT_EQ(toHex(sha256(Msg).data(), 32),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  // Feed a message in awkward chunk sizes across the 64-byte boundary.
+  std::string Msg(300, 'x');
+  for (size_t I = 0; I < Msg.size(); ++I)
+    Msg[I] = static_cast<char>('a' + I % 26);
+  Digest32 OneShot = sha256(bytesOfString(Msg));
+  for (size_t Chunk : {1u, 7u, 63u, 64u, 65u, 128u}) {
+    Sha256 H;
+    for (size_t Pos = 0; Pos < Msg.size(); Pos += Chunk) {
+      size_t Take = std::min(Chunk, Msg.size() - Pos);
+      H.update(reinterpret_cast<const uint8_t *>(Msg.data()) + Pos, Take);
+    }
+    EXPECT_EQ(H.finalize(), OneShot) << "chunk size " << Chunk;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths straddling the 55/56-byte padding split must all be distinct
+  // and deterministic.
+  std::vector<std::string> Seen;
+  for (size_t Len : {54u, 55u, 56u, 57u, 63u, 64u, 65u}) {
+    Bytes Msg(Len, 0x5a);
+    std::string Hex = toHex(sha256(Msg).data(), 32);
+    EXPECT_EQ(std::count(Seen.begin(), Seen.end(), Hex), 0)
+        << "collision at length " << Len;
+    Seen.push_back(Hex);
+    EXPECT_EQ(toHex(sha256(Msg).data(), 32), Hex);
+  }
+}
+
+TEST(Sha256d, KnownVector) {
+  // SHA256d("hello") is a widely quoted double-hash vector.
+  EXPECT_EQ(toHex(sha256d(bytesOfString("hello")).data(), 32),
+            "9595c9df90075148eb06860365df33584b75bff782a510c6cd4883a419833d50");
+}
+
+TEST(Ripemd160, EmptyString) {
+  EXPECT_EQ(ripemdHex(""), "9c1185a5c5e9fc54612808977ee8f548b2258d31");
+}
+
+TEST(Ripemd160, SingleA) {
+  EXPECT_EQ(ripemdHex("a"), "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe");
+}
+
+TEST(Ripemd160, Abc) {
+  EXPECT_EQ(ripemdHex("abc"), "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+}
+
+TEST(Ripemd160, MessageDigest) {
+  EXPECT_EQ(ripemdHex("message digest"),
+            "5d0689ef49d2fae572b881b123a85ffa21595f36");
+}
+
+TEST(Ripemd160, Alphabet) {
+  EXPECT_EQ(ripemdHex("abcdefghijklmnopqrstuvwxyz"),
+            "f71c27109c692c1b56bbdceb5b9d2865b3708dbc");
+}
+
+TEST(Ripemd160, LongVector) {
+  EXPECT_EQ(
+      ripemdHex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "b0e20b6e3116640286ed3a87a5713079b21f5189");
+}
+
+TEST(Ripemd160, MillionAs) {
+  Bytes Msg(1000000, 'a');
+  EXPECT_EQ(toHex(ripemd160(Msg).data(), 20),
+            "52783243c1697bdbe16d37f97f68f08325dc1528");
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  Bytes Key(20, 0x0b);
+  Bytes Data = bytesOfString("Hi There");
+  EXPECT_EQ(toHex(hmacSha256(Key, Data).data(), 32),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  Bytes Key = bytesOfString("Jefe");
+  Bytes Data = bytesOfString("what do ya want for nothing?");
+  EXPECT_EQ(toHex(hmacSha256(Key, Data).data(), 32),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  Bytes Key(20, 0xaa);
+  Bytes Data(50, 0xdd);
+  EXPECT_EQ(toHex(hmacSha256(Key, Data).data(), 32),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashed) {
+  // RFC 4231 case 6: 131-byte key forces the key-hash path.
+  Bytes Key(131, 0xaa);
+  Bytes Data = bytesOfString("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(toHex(hmacSha256(Key, Data).data(), 32),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hash160, StructureMatchesComposition) {
+  Bytes Msg = bytesOfString("typecoin");
+  Digest32 Inner = sha256(Msg);
+  Digest20 Expect = ripemd160(Inner.data(), Inner.size());
+  EXPECT_EQ(hash160(Msg), Expect);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- tests/crypto/secp256k1_test.cpp - Curve group laws -----------------===//
+
+#include "crypto/secp256k1.h"
+
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::crypto;
+
+namespace {
+
+const Secp256k1 &curve() { return Secp256k1::instance(); }
+
+U256 randomScalar(Rng &Rand) {
+  U256 Out;
+  for (auto &Limb : Out.Limbs)
+    Limb = Rand.next();
+  return curve().scalar().reduce(Out);
+}
+
+TEST(Secp256k1, GeneratorOnCurve) {
+  EXPECT_TRUE(curve().isOnCurve(curve().generator()));
+}
+
+TEST(Secp256k1, KnownDoubleG) {
+  // 2G has a widely published x coordinate.
+  AffinePoint TwoG = curve().multiplyBase(U256(2));
+  EXPECT_EQ(TwoG.X.toHex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_TRUE(curve().isOnCurve(TwoG));
+}
+
+TEST(Secp256k1, OrderTimesGIsInfinity) {
+  EXPECT_TRUE(curve().multiply(curve().order(), curve().generator()).Infinity);
+}
+
+TEST(Secp256k1, OrderMinusOneGIsNegG) {
+  U256 NMinus1 = curve().order();
+  NMinus1.subInPlace(U256::one());
+  AffinePoint P = curve().multiplyBase(NMinus1);
+  EXPECT_EQ(P, curve().negate(curve().generator()));
+}
+
+TEST(Secp256k1, AddCommutes) {
+  Rng Rand(101);
+  for (int I = 0; I < 10; ++I) {
+    AffinePoint P = curve().multiplyBase(randomScalar(Rand));
+    AffinePoint Q = curve().multiplyBase(randomScalar(Rand));
+    EXPECT_EQ(curve().add(P, Q), curve().add(Q, P));
+  }
+}
+
+TEST(Secp256k1, AddAssociates) {
+  Rng Rand(103);
+  for (int I = 0; I < 5; ++I) {
+    AffinePoint P = curve().multiplyBase(randomScalar(Rand));
+    AffinePoint Q = curve().multiplyBase(randomScalar(Rand));
+    AffinePoint R = curve().multiplyBase(randomScalar(Rand));
+    EXPECT_EQ(curve().add(curve().add(P, Q), R),
+              curve().add(P, curve().add(Q, R)));
+  }
+}
+
+TEST(Secp256k1, IdentityLaws) {
+  Rng Rand(107);
+  AffinePoint P = curve().multiplyBase(randomScalar(Rand));
+  AffinePoint Inf = AffinePoint::infinity();
+  EXPECT_EQ(curve().add(P, Inf), P);
+  EXPECT_EQ(curve().add(Inf, P), P);
+  EXPECT_TRUE(curve().add(P, curve().negate(P)).Infinity);
+}
+
+TEST(Secp256k1, ScalarMulLinearity) {
+  // (k1 + k2) G == k1 G + k2 G.
+  Rng Rand(109);
+  for (int I = 0; I < 10; ++I) {
+    U256 K1 = randomScalar(Rand), K2 = randomScalar(Rand);
+    U256 Sum = curve().scalar().add(K1, K2);
+    AffinePoint Lhs = curve().multiplyBase(Sum);
+    AffinePoint Rhs =
+        curve().add(curve().multiplyBase(K1), curve().multiplyBase(K2));
+    EXPECT_EQ(Lhs, Rhs);
+  }
+}
+
+TEST(Secp256k1, MultiplyDistributesOverPoint) {
+  // k (P + Q) == kP + kQ.
+  Rng Rand(113);
+  U256 K = randomScalar(Rand);
+  AffinePoint P = curve().multiplyBase(randomScalar(Rand));
+  AffinePoint Q = curve().multiplyBase(randomScalar(Rand));
+  EXPECT_EQ(curve().multiply(K, curve().add(P, Q)),
+            curve().add(curve().multiply(K, P), curve().multiply(K, Q)));
+}
+
+TEST(Secp256k1, DoubleMultiplyMatchesSeparate) {
+  Rng Rand(127);
+  for (int I = 0; I < 10; ++I) {
+    U256 A = randomScalar(Rand), B = randomScalar(Rand);
+    AffinePoint P = curve().multiplyBase(randomScalar(Rand));
+    AffinePoint Expect =
+        curve().add(curve().multiplyBase(A), curve().multiply(B, P));
+    EXPECT_EQ(curve().doubleMultiply(A, B, P), Expect);
+  }
+}
+
+TEST(Secp256k1, SerializeParseCompressed) {
+  Rng Rand(131);
+  for (int I = 0; I < 20; ++I) {
+    AffinePoint P = curve().multiplyBase(randomScalar(Rand));
+    Bytes Enc = curve().serialize(P, /*Compressed=*/true);
+    ASSERT_EQ(Enc.size(), 33u);
+    auto Back = curve().parse(Enc);
+    ASSERT_TRUE(Back.hasValue()) << Back.error().message();
+    EXPECT_EQ(*Back, P);
+  }
+}
+
+TEST(Secp256k1, SerializeParseUncompressed) {
+  Rng Rand(137);
+  AffinePoint P = curve().multiplyBase(randomScalar(Rand));
+  Bytes Enc = curve().serialize(P, /*Compressed=*/false);
+  ASSERT_EQ(Enc.size(), 65u);
+  auto Back = curve().parse(Enc);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, P);
+}
+
+TEST(Secp256k1, ParseRejectsGarbage) {
+  EXPECT_FALSE(curve().parse(Bytes{0x05, 0x01}).hasValue());
+  Bytes OffCurve(65, 0x01);
+  OffCurve[0] = 0x04;
+  EXPECT_FALSE(curve().parse(OffCurve).hasValue());
+}
+
+TEST(Secp256k1, ParseRejectsXNotOnCurve) {
+  // x = 5 has no square root for x^3+7 on secp256k1... verify parse handles
+  // a rejected decompression gracefully either way (no crash, consistent).
+  Bytes Enc(33, 0x00);
+  Enc[0] = 0x02;
+  Enc[32] = 0x05;
+  auto R = curve().parse(Enc);
+  if (R.hasValue()) {
+    EXPECT_TRUE(curve().isOnCurve(*R));
+  }
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+//===- tests/lf/lf_test.cpp - The LF kernel --------------------------------===//
+
+#include "lf/serialize.h"
+#include "lf/typecheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::lf;
+
+namespace {
+
+ConstName local(const std::string &L) { return ConstName::local(L); }
+
+TEST(LfTerm, ShiftAndSubst) {
+  // (\x:nat. x #0applied) — substitute under a binder.
+  TermPtr Body = app(var(0), var(1)); // x and an outer variable
+  TermPtr Lambda = lam(natType(), Body);
+  // Substitute index 0 (the outer var) with a literal.
+  TermPtr Substituted = substTerm(Lambda, 0, nat(7));
+  // Inside the lambda the outer var was index 1; now it is the literal.
+  EXPECT_EQ(printTerm(Substituted), "\\:nat. #0 7");
+}
+
+TEST(LfTerm, BetaNormalization) {
+  // (\x:nat. x) 5 --> 5.
+  TermPtr Id = lam(natType(), var(0));
+  auto Norm = normalizeTerm(app(Id, nat(5)));
+  ASSERT_TRUE(Norm.hasValue());
+  EXPECT_EQ((*Norm)->Kind, Term::Tag::Nat);
+  EXPECT_EQ((*Norm)->NatValue, 5u);
+}
+
+TEST(LfTerm, NestedBeta) {
+  // (\x. \y. x) 1 2 --> 1.
+  TermPtr K = lam(natType(), lam(natType(), var(1)));
+  auto Norm = normalizeTerm(app(app(K, nat(1)), nat(2)));
+  ASSERT_TRUE(Norm.hasValue());
+  EXPECT_EQ((*Norm)->NatValue, 1u);
+}
+
+TEST(LfTerm, EqualityUpToBeta) {
+  TermPtr Id = lam(natType(), var(0));
+  EXPECT_TRUE(termEqual(app(Id, nat(9)), nat(9)));
+  EXPECT_FALSE(termEqual(nat(9), nat(10)));
+}
+
+TEST(LfTerm, SelfApplicationRunsOutOfFuel) {
+  // (\x. x x)(\x. x x) must be rejected, not loop. (Ill-typed, but the
+  // normalizer is exercised on raw syntax.)
+  TermPtr Omega = lam(natType(), app(var(0), var(0)));
+  auto Norm = normalizeTerm(app(Omega, Omega));
+  EXPECT_FALSE(Norm.hasValue());
+}
+
+TEST(LfTypecheck, Literals) {
+  Signature Sig;
+  auto T1 = typeOfTerm(Sig, {}, nat(42));
+  ASSERT_TRUE(T1.hasValue());
+  EXPECT_TRUE(typeEqual(*T1, natType()));
+
+  auto T2 = typeOfTerm(Sig, {}, principal(std::string(40, 'a')));
+  ASSERT_TRUE(T2.hasValue());
+  EXPECT_TRUE(typeEqual(*T2, principalType()));
+
+  EXPECT_FALSE(typeOfTerm(Sig, {}, principal("tooshort")).hasValue());
+}
+
+TEST(LfTypecheck, LambdaAndApplication) {
+  Signature Sig;
+  TermPtr Id = lam(natType(), var(0));
+  auto T = typeOfTerm(Sig, {}, Id);
+  ASSERT_TRUE(T.hasValue());
+  ASSERT_EQ((*T)->Kind, LFType::Tag::Pi);
+
+  auto TApp = typeOfTerm(Sig, {}, app(Id, nat(3)));
+  ASSERT_TRUE(TApp.hasValue());
+  EXPECT_TRUE(typeEqual(*TApp, natType()));
+
+  // Applying to a principal fails.
+  EXPECT_FALSE(
+      typeOfTerm(Sig, {}, app(Id, principal(std::string(40, 'b'))))
+          .hasValue());
+}
+
+TEST(LfTypecheck, UnboundVariable) {
+  Signature Sig;
+  EXPECT_FALSE(typeOfTerm(Sig, {}, var(0)).hasValue());
+}
+
+TEST(LfTypecheck, ContextLookupShifts) {
+  // In context u:nat, v:(nat -> nat): v u : nat.
+  Signature Sig;
+  Context Psi;
+  Psi.push_back(natType());                    // u at index 1
+  Psi.push_back(tPi(natType(), natType()));    // v at index 0
+  auto T = typeOfTerm(Sig, Psi, app(var(0), var(1)));
+  ASSERT_TRUE(T.hasValue()) << T.error().message();
+  EXPECT_TRUE(typeEqual(*T, natType()));
+}
+
+TEST(LfTypecheck, DeclaredConstants) {
+  Signature Sig;
+  // file : type; homework : file.
+  ASSERT_TRUE(Sig.declareFamily(local("file"), kType()).hasValue());
+  ASSERT_TRUE(
+      Sig.declareTerm(local("homework"), tConst(local("file"))).hasValue());
+  auto T = typeOfTerm(Sig, {}, constant(local("homework")));
+  ASSERT_TRUE(T.hasValue());
+  EXPECT_TRUE(typeEqual(*T, tConst(local("file"))));
+
+  EXPECT_FALSE(typeOfTerm(Sig, {}, constant(local("nonexistent")))
+                   .hasValue());
+}
+
+TEST(LfTypecheck, RedeclarationRejected) {
+  Signature Sig;
+  ASSERT_TRUE(Sig.declareFamily(local("file"), kType()).hasValue());
+  EXPECT_FALSE(Sig.declareFamily(local("file"), kType()).hasValue());
+  EXPECT_FALSE(Sig.declareTerm(local("file"), natType()).hasValue());
+}
+
+TEST(LfTypecheck, DependentFamily) {
+  Signature Sig;
+  // may-read : principal -> nat -> prop.
+  KindPtr K = kPi(principalType(), kPi(natType(), kProp()));
+  ASSERT_TRUE(Sig.declareFamily(local("may-read"), K).hasValue());
+  LFTypePtr Atom = tApps(tConst(local("may-read")),
+                         {principal(std::string(40, 'c')), nat(4)});
+  EXPECT_TRUE(checkPropAtom(Sig, {}, Atom).hasValue());
+
+  // Under-applied: kind is still a Pi, not prop.
+  LFTypePtr Partial =
+      tApp(tConst(local("may-read")), principal(std::string(40, 'c')));
+  EXPECT_FALSE(checkPropAtom(Sig, {}, Partial).hasValue());
+
+  // Wrong argument type.
+  LFTypePtr Bad = tApps(tConst(local("may-read")), {nat(1), nat(2)});
+  EXPECT_FALSE(kindOfType(Sig, {}, Bad).hasValue());
+}
+
+TEST(LfTypecheck, PlusBuiltin) {
+  Signature Sig;
+  // plus 2 3 5 is the type of plus/pf 2 3.
+  auto T = typeOfTerm(Sig, {}, plusProof(2, 3));
+  ASSERT_TRUE(T.hasValue()) << T.error().message();
+  EXPECT_TRUE(typeEqual(*T, plusType(nat(2), nat(3), nat(5))));
+  EXPECT_FALSE(typeEqual(*T, plusType(nat(2), nat(3), nat(6))));
+
+  // plus/pf must be fully applied to literals.
+  EXPECT_FALSE(
+      typeOfTerm(Sig, {}, constant(ConstName::builtin("plus/pf")))
+          .hasValue());
+  TermPtr NonLiteral =
+      apps(constant(ConstName::builtin("plus/pf")),
+           {lam(natType(), var(0)), nat(1)});
+  EXPECT_FALSE(typeOfTerm(Sig, {}, NonLiteral).hasValue());
+}
+
+TEST(LfTypecheck, PlusBetaRedexArgumentsNormalize) {
+  Signature Sig;
+  // plus/pf ((\x.x) 2) 3 : plus 2 3 5 — arguments normalize first.
+  TermPtr Redex = app(lam(natType(), var(0)), nat(2));
+  TermPtr Proof =
+      apps(constant(ConstName::builtin("plus/pf")), {Redex, nat(3)});
+  auto T = typeOfTerm(Sig, {}, Proof);
+  ASSERT_TRUE(T.hasValue()) << T.error().message();
+  EXPECT_TRUE(typeEqual(*T, plusType(nat(2), nat(3), nat(5))));
+}
+
+TEST(LfKind, Formation) {
+  Signature Sig;
+  EXPECT_TRUE(checkKind(Sig, {}, kType()).hasValue());
+  EXPECT_TRUE(checkKind(Sig, {}, kProp()).hasValue());
+  EXPECT_TRUE(
+      checkKind(Sig, {}, kPi(natType(), kProp())).hasValue());
+}
+
+TEST(LfResolve, ThisSubstitution) {
+  std::string Txid(64, 'e');
+  TermPtr T = app(constant(local("mk")), nat(1));
+  TermPtr R = resolveTerm(T, Txid);
+  EXPECT_TRUE(termHasLocal(T));
+  EXPECT_FALSE(termHasLocal(R));
+  EXPECT_EQ(R->Fn->Name.Kind, ConstName::Space::Global);
+  EXPECT_EQ(R->Fn->Name.Txid, Txid);
+}
+
+TEST(LfSignature, ResolveRewritesBodies) {
+  Signature Sig;
+  ASSERT_TRUE(Sig.declareFamily(local("file"), kType()).hasValue());
+  ASSERT_TRUE(
+      Sig.declareTerm(local("homework"), tConst(local("file"))).hasValue());
+  std::string Txid(64, 'f');
+  Signature R = Sig.resolved(Txid);
+  ConstName Global = ConstName::global(Txid, "homework");
+  const Declaration *D = R.lookup(Global);
+  ASSERT_NE(D, nullptr);
+  EXPECT_FALSE(typeHasLocal(D->TermType));
+  EXPECT_FALSE(R.contains(local("homework")));
+}
+
+TEST(LfSerialize, TermRoundTrip) {
+  TermPtr T = app(lam(tPi(natType(), natType()), app(var(0), nat(3))),
+                  constant(local("f")));
+  Writer W;
+  writeTerm(W, T);
+  Reader R(W.buffer());
+  auto Back = readTerm(R);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_TRUE(termIdentical(T, *Back));
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(LfSerialize, SignatureRoundTrip) {
+  Signature Sig;
+  ASSERT_TRUE(Sig.declareFamily(local("coin"), kPi(natType(), kProp()))
+                  .hasValue());
+  ASSERT_TRUE(Sig.declareTerm(local("c"), natType()).hasValue());
+  Writer W;
+  writeSignature(W, Sig);
+  Reader R(W.buffer());
+  auto Back = readSignature(R);
+  ASSERT_TRUE(Back.hasValue()) << Back.error().message();
+  EXPECT_EQ(Back->size(), 2u);
+  EXPECT_TRUE(Back->contains(local("coin")));
+}
+
+TEST(LfSerialize, RejectsGarbage) {
+  Bytes Garbage{0xff, 0x00, 0x12};
+  Reader R(Garbage);
+  EXPECT_FALSE(readTerm(R).hasValue());
+}
+
+TEST(LfPrint, Figure1Forms) {
+  // The grammar classes of Figure 1 print recognizably.
+  EXPECT_EQ(printKind(kType()), "type");
+  EXPECT_EQ(printKind(kProp()), "prop");
+  EXPECT_EQ(printKind(kPi(natType(), kProp())), "Pi :nat. prop");
+  EXPECT_EQ(printType(natType()), "nat");
+  EXPECT_EQ(printTerm(nat(7)), "7");
+  EXPECT_EQ(printTerm(lam(natType(), var(0))), "\\:nat. #0");
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/logic/check_depth_test.cpp - Binder/context interactions -----===//
+//
+// Focused tests for the subtlest part of the proof checker: proof
+// hypotheses bound at one LF depth and used under additional quantifier
+// binders (AllIntro / ExUnpack), where their stored propositions must be
+// shifted to the use site's context.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/check.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+lf::ConstName local(const char *S) { return lf::ConstName::local(S); }
+
+class DepthTest : public ::testing::Test {
+protected:
+  DepthTest() : Checker(Sigma, Trust) {
+    // p : nat -> prop;  q : prop.
+    EXPECT_TRUE(Sigma
+                    .declareFamily(local("p"),
+                                   lf::kPi(lf::natType(), lf::kProp()))
+                    .hasValue());
+    EXPECT_TRUE(Sigma.declareFamily(local("q"), lf::kProp()).hasValue());
+  }
+
+  static PropPtr pAt(lf::TermPtr M) {
+    return pAtom(lf::tApp(lf::tConst(local("p")), std::move(M)));
+  }
+  static PropPtr q() { return pAtom(lf::tConst(local("q"))); }
+
+  Basis Sigma;
+  TrustingVerifier Trust;
+  ProofChecker Checker;
+};
+
+TEST_F(DepthTest, HypothesisUsedUnderAllIntro) {
+  // With h : q in the affine context, /\u:nat. (h, sayreturn...) —
+  // h's proposition is closed, so the shift must be a no-op and the
+  // result quantifies over an unused variable.
+  ProofPtr M = mAllIntro(lf::natType(), mVar("h"));
+  auto R = Checker.infer(M, {{"h", q()}});
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(*R, pForall(lf::natType(), shiftProp(q(), 1))));
+}
+
+TEST_F(DepthTest, DependentHypothesisUnderAllIntro) {
+  // h : forall n. p n, used inside /\m:nat at the *bound* variable:
+  // /\m. (h [m]) : forall m. p m.
+  PropPtr AllP = pForall(lf::natType(), pAt(lf::var(0)));
+  ProofPtr M = mAllIntro(lf::natType(), mAllApp(mVar("h"), lf::var(0)));
+  auto R = Checker.infer(M, {{"h", AllP}});
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(*R, AllP));
+}
+
+TEST_F(DepthTest, NestedQuantifiersShiftCorrectly) {
+  // h : forall n. p n. /\a. /\b. ((h [a]), (h [b])) must fail — h is
+  // affine and used twice...
+  PropPtr AllP = pForall(lf::natType(), pAt(lf::var(0)));
+  ProofPtr Twice = mAllIntro(
+      lf::natType(),
+      mAllIntro(lf::natType(),
+                mTensorPair(mAllApp(mVar("h"), lf::var(1)),
+                            mAllApp(mVar("h"), lf::var(0)))));
+  EXPECT_FALSE(Checker.infer(Twice, {{"h", AllP}}).hasValue());
+
+  // ...but fine when h is persistent, and the result's indices land
+  // correctly: forall a. forall b. p a (x) p b.
+  auto R = Checker.infer(Twice, {}, {{"h", AllP}});
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  PropPtr Expect = pForall(
+      lf::natType(),
+      pForall(lf::natType(),
+              pTensor(pAt(lf::var(1)), pAt(lf::var(0)))));
+  EXPECT_TRUE(propEqual(*R, Expect)) << printProp(*R);
+}
+
+TEST_F(DepthTest, UnpackBindsWitnessAndBody) {
+  // e : exists n. p n;  f : forall n. p n -o q.
+  // let (u, x) = unpack e in (f [u] x) : q.
+  PropPtr Ex = pExists(lf::natType(), pAt(lf::var(0)));
+  PropPtr Rule = pForall(lf::natType(), pLolli(pAt(lf::var(0)), q()));
+  ProofPtr M =
+      mUnpack("x", mVar("e"),
+              mApp(mAllApp(mVar("f"), lf::var(0)), mVar("x")));
+  auto R = Checker.infer(M, {{"e", Ex}, {"f", Rule}});
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(*R, q()));
+}
+
+TEST_F(DepthTest, UnpackEscapeRejected) {
+  // let (u, x) = unpack e in x : p u — the witness escapes; rejected.
+  PropPtr Ex = pExists(lf::natType(), pAt(lf::var(0)));
+  ProofPtr M = mUnpack("x", mVar("e"), mVar("x"));
+  auto R = Checker.infer(M, {{"e", Ex}});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("witness"), std::string::npos);
+}
+
+TEST_F(DepthTest, UnpackUnderQuantifier) {
+  // Outer hypothesis used inside unpack's scope: both shifts compose.
+  // g : q, e : exists n. p n:
+  //   let (u, x) = unpack e in (g, f [u] x)
+  // with f : forall n. p n -o q gives q (x) q.
+  PropPtr Ex = pExists(lf::natType(), pAt(lf::var(0)));
+  PropPtr Rule = pForall(lf::natType(), pLolli(pAt(lf::var(0)), q()));
+  ProofPtr M = mUnpack(
+      "x", mVar("e"),
+      mTensorPair(mVar("g"),
+                  mApp(mAllApp(mVar("f"), lf::var(0)), mVar("x"))));
+  auto R = Checker.infer(M, {{"e", Ex}, {"g", q()}, {"f", Rule}});
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(*R, pTensor(q(), q())));
+}
+
+TEST_F(DepthTest, LambdaUnderQuantifierBindsShiftedDomain) {
+  // /\n. \x : p n. x : forall n. p n -o p n.
+  ProofPtr M =
+      mAllIntro(lf::natType(), mLam("x", pAt(lf::var(0)), mVar("x")));
+  auto R = Checker.infer(M);
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(
+      *R, pForall(lf::natType(), pLolli(pAt(lf::var(0)), pAt(lf::var(0))))));
+}
+
+TEST_F(DepthTest, AllAppSubstitutesThroughConditional) {
+  // h : forall t. if(before(t), q); h [99] : if(before(99), q).
+  PropPtr AllIf =
+      pForall(lf::natType(), pIf(cBefore(lf::var(0)), q()));
+  auto R = Checker.infer(mAllApp(mVar("h"), lf::nat(99)), {{"h", AllIf}});
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(*R, pIf(cBefore(99), q())));
+}
+
+TEST_F(DepthTest, SayReturnUnderQuantifierUsesBoundPrincipal) {
+  // /\k:principal. \x:q. sayreturn_k(x) :
+  //   forall k. q -o <k> q.
+  ProofPtr M = mAllIntro(
+      lf::principalType(),
+      mLam("x", q(), mSayReturn(lf::var(0), mVar("x"))));
+  auto R = Checker.infer(M);
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  PropPtr Expect = pForall(lf::principalType(),
+                           pLolli(q(), pSays(lf::var(0), q())));
+  EXPECT_TRUE(propEqual(*R, Expect));
+}
+
+TEST_F(DepthTest, WithBranchesUnderDifferentDepthsAgree) {
+  // <h, /\n-free-projection>: branch results must be compared at the
+  // same depth. h : q & q; fst/snd both give q.
+  ProofPtr M = mCase(mVar("e"), "x", mVar("x"), "y", mVar("y"));
+  auto R = Checker.infer(M, {{"e", pPlus(q(), q())}});
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_TRUE(propEqual(*R, q()));
+}
+
+} // namespace

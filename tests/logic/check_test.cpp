@@ -1,0 +1,415 @@
+//===- tests/logic/check_test.cpp - The affine proof checker --------------===//
+//
+// Exercises the proof-term typing judgement of Appendix A: every
+// connective, the affine discipline (weakening allowed, contraction
+// rejected), both monads, and the design points the paper argues for
+// (top-level-only discharge, affinity over linearity).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/check.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+const std::string Alice(40, 'a');
+const std::string Bob(40, 'b');
+const std::string TxR(64, 'c');
+
+/// A tiny basis: atoms bread, ham, sandwich : prop; rule
+/// make : bread (x) ham -o sandwich.
+class CheckTest : public ::testing::Test {
+protected:
+  CheckTest() : Checker(Sigma, Trust) {
+    auto Declare = [&](const char *Name) {
+      auto S = Sigma.declareFamily(lf::ConstName::local(Name),
+                                   lf::kProp());
+      EXPECT_TRUE(S.hasValue());
+    };
+    Declare("bread");
+    Declare("ham");
+    Declare("sandwich");
+    EXPECT_TRUE(Sigma
+                    .declareProp(lf::ConstName::local("make"),
+                                 pLolli(pTensor(atom("bread"), atom("ham")),
+                                        atom("sandwich")))
+                    .hasValue());
+  }
+
+  static PropPtr atom(const char *Name) {
+    return pAtom(lf::tConst(lf::ConstName::local(Name)));
+  }
+
+  Result<PropPtr> infer(const ProofPtr &M,
+                        const std::vector<Hypothesis> &Affine = {},
+                        const std::vector<Hypothesis> &Persistent = {}) {
+    return Checker.infer(M, Affine, Persistent);
+  }
+
+  Status check(const ProofPtr &M, const PropPtr &Goal,
+               const std::vector<Hypothesis> &Affine = {},
+               const std::vector<Hypothesis> &Persistent = {}) {
+    return Checker.check(M, Goal, Affine, Persistent);
+  }
+
+  Basis Sigma;
+  TrustingVerifier Trust;
+  ProofChecker Checker;
+};
+
+TEST_F(CheckTest, HamSandwich) {
+  // The paper's introductory example: bread (x) ham -o sandwich.
+  ProofPtr M = mApp(mConst(lf::ConstName::local("make")),
+                    mTensorPair(mVar("b"), mVar("h")));
+  EXPECT_TRUE(check(M, atom("sandwich"),
+                    {{"b", atom("bread")}, {"h", atom("ham")}})
+                  .hasValue());
+}
+
+TEST_F(CheckTest, AffineVariableUsedTwiceRejected) {
+  // b (x) b from a single b: contraction is not admissible.
+  ProofPtr M = mTensorPair(mVar("b"), mVar("b"));
+  auto R = infer(M, {{"b", atom("bread")}});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("already consumed"),
+            std::string::npos);
+}
+
+TEST_F(CheckTest, WeakeningAllowed) {
+  // An unused affine hypothesis is fine ("we have elected to embrace
+  // affinity", Section 4).
+  EXPECT_TRUE(check(mVar("b"), atom("bread"),
+                    {{"b", atom("bread")}, {"h", atom("ham")}})
+                  .hasValue());
+}
+
+TEST_F(CheckTest, StrictLinearModeRejectsWeakening) {
+  // The ablation: a linear checker rejects the same proof.
+  CheckOptions Opts;
+  Opts.StrictLinear = true;
+  ProofChecker Linear(Sigma, Trust, Opts);
+  auto R = Linear.check(mVar("b"), atom("bread"),
+                        {{"b", atom("bread")}, {"h", atom("ham")}});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("never consumed"), std::string::npos);
+}
+
+TEST_F(CheckTest, StrictLinearStillDefeatedByLolliOne) {
+  // Section 4: even a linear logic admits resource destruction via a
+  // basis rule A -o 1. The "destroyed" resource is consumed, so strict
+  // linearity is satisfied — demonstrating the paper's point that
+  // enforcing linearity is futile.
+  Basis Sigma2 = Sigma;
+  ASSERT_TRUE(Sigma2
+                  .declareProp(lf::ConstName::local("trash"),
+                               pLolli(atom("bread"), pOne()))
+                  .hasValue());
+  CheckOptions Opts;
+  Opts.StrictLinear = true;
+  ProofChecker Linear(Sigma2, Trust, Opts);
+  ProofPtr M = mApp(mConst(lf::ConstName::local("trash")), mVar("b"));
+  EXPECT_TRUE(Linear.check(M, pOne(), {{"b", atom("bread")}}).hasValue());
+}
+
+TEST_F(CheckTest, LambdaAndApplication) {
+  // \x:bread. (x, h) : bread -o bread (x) ham.
+  ProofPtr M = mLam("x", atom("bread"), mTensorPair(mVar("x"), mVar("h")));
+  EXPECT_TRUE(check(M, pLolli(atom("bread"), pTensor(atom("bread"), atom("ham"))),
+                    {{"h", atom("ham")}})
+                  .hasValue());
+}
+
+TEST_F(CheckTest, TensorLet) {
+  // let (x, y) = p in (y, x) — swaps components.
+  ProofPtr M = mTensorLet("x", "y", mVar("p"),
+                          mTensorPair(mVar("y"), mVar("x")));
+  EXPECT_TRUE(check(M, pTensor(atom("ham"), atom("bread")),
+                    {{"p", pTensor(atom("bread"), atom("ham"))}})
+                  .hasValue());
+}
+
+TEST_F(CheckTest, WithPairSharesContext) {
+  // <b, h> : bread & ham from {b, h} — each branch uses its own subset.
+  ProofPtr M = mWithPair(mVar("b"), mVar("h"));
+  EXPECT_TRUE(check(M, pWith(atom("bread"), atom("ham")),
+                    {{"b", atom("bread")}, {"h", atom("ham")}})
+                  .hasValue());
+  // Projections.
+  EXPECT_TRUE(check(mWithFst(mVar("w")), atom("bread"),
+                    {{"w", pWith(atom("bread"), atom("ham"))}})
+                  .hasValue());
+  EXPECT_TRUE(check(mWithSnd(mVar("w")), atom("ham"),
+                    {{"w", pWith(atom("bread"), atom("ham"))}})
+                  .hasValue());
+}
+
+TEST_F(CheckTest, WithConsumptionIsUnion) {
+  // After forming <b, h>, neither b nor h is available again:
+  // (<b,h>, b) must fail.
+  ProofPtr M = mTensorPair(mWithPair(mVar("b"), mVar("h")), mVar("b"));
+  EXPECT_FALSE(infer(M, {{"b", atom("bread")}, {"h", atom("ham")}})
+                   .hasValue());
+}
+
+TEST_F(CheckTest, PlusAndCase) {
+  PropPtr Either = pPlus(atom("bread"), atom("ham"));
+  // inl b.
+  EXPECT_TRUE(
+      check(mInl(atom("ham"), mVar("b")), Either, {{"b", atom("bread")}})
+          .hasValue());
+  // case e of inl x -> (x, h) | inr y -> (b2, y) : both branches agree.
+  ProofPtr M = mCase(mVar("e"), "x", mTensorPair(mVar("x"), mVar("h")),
+                     "y", mTensorPair(mVar("b2"), mVar("y")));
+  // Note the branches consume different hypotheses; that is fine in
+  // affine logic, and the union is consumed overall.
+  auto R = infer(M, {{"e", pPlus(atom("bread"), atom("ham"))},
+                     {"h", atom("ham")},
+                     {"b2", atom("bread")}});
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(*R, pTensor(atom("bread"), atom("ham"))));
+}
+
+TEST_F(CheckTest, CaseBranchMismatchRejected) {
+  ProofPtr M = mCase(mVar("e"), "x", mVar("x"), "y", mVar("y"));
+  // Branch types bread vs ham differ.
+  EXPECT_FALSE(
+      infer(M, {{"e", pPlus(atom("bread"), atom("ham"))}}).hasValue());
+}
+
+TEST_F(CheckTest, ZeroAborts) {
+  ProofPtr M = mAbort(atom("sandwich"), mVar("z"));
+  EXPECT_TRUE(check(M, atom("sandwich"), {{"z", pZero()}}).hasValue());
+}
+
+TEST_F(CheckTest, OneIntroAndLet) {
+  EXPECT_TRUE(check(mOne(), pOne()).hasValue());
+  ProofPtr M = mOneLet(mVar("u"), mVar("b"));
+  EXPECT_TRUE(
+      check(M, atom("bread"), {{"u", pOne()}, {"b", atom("bread")}})
+          .hasValue());
+}
+
+TEST_F(CheckTest, BangRequiresEmptyAffineContext) {
+  // !b from affine b is unsound and rejected...
+  EXPECT_FALSE(infer(mBang(mVar("b")), {{"b", atom("bread")}}).hasValue());
+  // ...but fine from a persistent hypothesis.
+  EXPECT_TRUE(check(mBang(mVar("p")), pBang(atom("bread")), {},
+                    {{"p", atom("bread")}})
+                  .hasValue());
+}
+
+TEST_F(CheckTest, BangLetMakesPersistent) {
+  // let !x = m in (x, x): the unbanged hypothesis is reusable.
+  ProofPtr M = mBangLet("x", mVar("m"), mTensorPair(mVar("x"), mVar("x")));
+  EXPECT_TRUE(check(M, pTensor(atom("bread"), atom("bread")),
+                    {{"m", pBang(atom("bread"))}})
+                  .hasValue());
+}
+
+TEST_F(CheckTest, ForallIntroAndApp) {
+  // /\u:principal. sayreturn_u(()) : forall u:principal. <u> 1.
+  ProofPtr M =
+      mAllIntro(lf::principalType(), mSayReturn(lf::var(0), mOne()));
+  PropPtr Goal =
+      pForall(lf::principalType(), pSays(lf::var(0), pOne()));
+  EXPECT_TRUE(check(M, Goal).hasValue());
+
+  // Instantiate at Alice.
+  ProofPtr App = mAllApp(mVar("f"), lf::principal(Alice));
+  auto R = infer(App, {{"f", Goal}});
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(*R, pSays(lf::principal(Alice), pOne())));
+}
+
+TEST_F(CheckTest, ForallAppWrongIndexTypeRejected) {
+  PropPtr Goal = pForall(lf::principalType(), pSays(lf::var(0), pOne()));
+  EXPECT_FALSE(
+      infer(mAllApp(mVar("f"), lf::nat(3)), {{"f", Goal}}).hasValue());
+}
+
+TEST_F(CheckTest, ExistsPackUnpack) {
+  // The paper's inhabitation idiom: exists x: plus 2 3 5. 1.
+  PropPtr Ex = pExists(lf::plusType(lf::nat(2), lf::nat(3), lf::nat(5)),
+                       pOne());
+  ProofPtr Pack = mPack(Ex, lf::plusProof(2, 3), mOne());
+  EXPECT_TRUE(check(Pack, Ex).hasValue());
+
+  // A wrong witness (2+3 != 6) is rejected.
+  PropPtr BadEx = pExists(lf::plusType(lf::nat(2), lf::nat(3), lf::nat(6)),
+                          pOne());
+  EXPECT_FALSE(check(mPack(BadEx, lf::plusProof(2, 3), mOne()), BadEx)
+                   .hasValue());
+
+  // Unpack: the body's type must not mention the witness.
+  ProofPtr Unpack = mUnpack("x", mVar("e"), mOneLet(mVar("x"), mVar("b")));
+  EXPECT_TRUE(
+      check(Unpack, atom("bread"), {{"e", Ex}, {"b", atom("bread")}})
+          .hasValue());
+}
+
+TEST_F(CheckTest, SayMonad) {
+  // saybind x <- s in sayreturn_K(x) : <K> bread (the monad laws' shape).
+  lf::TermPtr K = lf::principal(Alice);
+  ProofPtr M = mSayBind("x", mVar("s"), mSayReturn(K, mVar("x")));
+  EXPECT_TRUE(check(M, pSays(K, atom("bread")),
+                    {{"s", pSays(K, atom("bread"))}})
+                  .hasValue());
+}
+
+TEST_F(CheckTest, SayBindPrincipalMismatchRejected) {
+  // Binding Alice's affirmation to conclude something Bob says fails.
+  ProofPtr M = mSayBind("x", mVar("s"),
+                        mSayReturn(lf::principal(Bob), mVar("x")));
+  EXPECT_FALSE(infer(M, {{"s", pSays(lf::principal(Alice), atom("bread"))}})
+                   .hasValue());
+}
+
+TEST_F(CheckTest, AssertForms) {
+  // assert / assert! both prove <K>A under the trusting verifier.
+  ProofPtr A1 = mAssert(Alice, atom("bread"), Bytes{1, 2, 3});
+  auto R1 = infer(A1);
+  ASSERT_TRUE(R1.hasValue());
+  EXPECT_TRUE(propEqual(*R1, pSays(lf::principal(Alice), atom("bread"))));
+
+  ProofPtr A2 = mAssertBang(Alice, atom("bread"), Bytes{});
+  EXPECT_TRUE(infer(A2).hasValue());
+
+  // Bad principal literal.
+  EXPECT_FALSE(infer(mAssert("zz", atom("bread"), Bytes{})).hasValue());
+}
+
+TEST_F(CheckTest, AssertVerifierIsConsulted) {
+  class Rejecting : public AffirmationVerifier {
+  public:
+    Status verifyAffine(const std::string &, const PropPtr &,
+                        const Bytes &) const override {
+      return makeError("bad signature");
+    }
+    Status verifyPersistent(const std::string &, const PropPtr &,
+                            const Bytes &) const override {
+      return makeError("bad signature");
+    }
+  } Reject;
+  ProofChecker Strict(Sigma, Reject);
+  EXPECT_FALSE(
+      Strict.infer(mAssert(Alice, atom("bread"), Bytes{})).hasValue());
+}
+
+TEST_F(CheckTest, IfMonad) {
+  CondPtr Phi = cBefore(100);
+  // ifreturn.
+  ProofPtr Ret = mIfReturn(Phi, mVar("b"));
+  EXPECT_TRUE(
+      check(Ret, pIf(Phi, atom("bread")), {{"b", atom("bread")}})
+          .hasValue());
+  // ifbind under the same condition.
+  ProofPtr Bind =
+      mIfBind("x", mVar("c"), mIfReturn(Phi, mTensorPair(mVar("x"), mVar("h"))));
+  EXPECT_TRUE(check(Bind, pIf(Phi, pTensor(atom("bread"), atom("ham"))),
+                    {{"c", pIf(Phi, atom("bread"))}, {"h", atom("ham")}})
+                  .hasValue());
+  // ifbind under a different condition is rejected.
+  ProofPtr BadBind =
+      mIfBind("x", mVar("c"), mIfReturn(cBefore(999), mVar("x")));
+  EXPECT_FALSE(
+      infer(BadBind, {{"c", pIf(Phi, atom("bread"))}}).hasValue());
+}
+
+TEST_F(CheckTest, IfWeaken) {
+  // if(before(10), A) weakens to if(before(5), A) since
+  // before(5) => before(10).
+  ProofPtr M = mIfWeaken(cBefore(5), mVar("c"));
+  EXPECT_TRUE(check(M, pIf(cBefore(5), atom("bread")),
+                    {{"c", pIf(cBefore(10), atom("bread"))}})
+                  .hasValue());
+  // The reverse weakening fails.
+  ProofPtr Bad = mIfWeaken(cBefore(10), mVar("c"));
+  EXPECT_FALSE(infer(Bad, {{"c", pIf(cBefore(5), atom("bread"))}})
+                   .hasValue());
+}
+
+TEST_F(CheckTest, IfSayCommutation) {
+  // <K>if(phi, A) ==> if(phi, <K>A); the say/if direction is absent.
+  lf::TermPtr K = lf::principal(Alice);
+  CondPtr Phi = cUnspent(TxR, 1);
+  ProofPtr M = mIfSay(mVar("s"));
+  auto R = infer(M, {{"s", pSays(K, pIf(Phi, atom("bread")))}});
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(*R, pIf(Phi, pSays(K, atom("bread")))));
+  // if/say on the already-commuted form fails.
+  EXPECT_FALSE(
+      infer(mIfSay(mVar("s")), {{"s", pIf(Phi, pSays(K, atom("bread")))}})
+          .hasValue());
+}
+
+TEST_F(CheckTest, NoPrimitiveDischarge) {
+  // Section 5, "Discharge": there must be no proof of
+  // (bread -o if(phi, ham)) -o bread -o ham. We verify the obvious
+  // attempt fails to check: the conditional can only be eliminated into
+  // another conditional (ifbind), never dropped.
+  CondPtr Phi = cBefore(100);
+  // \f. \x. ifbind y <- f x in y — ill-typed: the body of ifbind must be
+  // a conditional.
+  ProofPtr Attempt = mLam(
+      "f", pLolli(atom("bread"), pIf(Phi, atom("ham"))),
+      mLam("x", atom("bread"),
+           mIfBind("y", mApp(mVar("f"), mVar("x")), mVar("y"))));
+  EXPECT_FALSE(infer(Attempt).hasValue());
+}
+
+TEST_F(CheckTest, BasisConstantsArePersistent) {
+  // `make` can be used twice.
+  ProofPtr Once = mApp(mConst(lf::ConstName::local("make")),
+                       mTensorPair(mVar("b1"), mVar("h1")));
+  ProofPtr Twice = mTensorPair(
+      Once, mApp(mConst(lf::ConstName::local("make")),
+                 mTensorPair(mVar("b2"), mVar("h2"))));
+  EXPECT_TRUE(check(Twice, pTensor(atom("sandwich"), atom("sandwich")),
+                    {{"b1", atom("bread")},
+                     {"h1", atom("ham")},
+                     {"b2", atom("bread")},
+                     {"h2", atom("ham")}})
+                  .hasValue());
+}
+
+TEST_F(CheckTest, UnknownConstantAndVariable) {
+  EXPECT_FALSE(infer(mVar("nope")).hasValue());
+  EXPECT_FALSE(infer(mConst(lf::ConstName::local("nope"))).hasValue());
+}
+
+TEST_F(CheckTest, ShadowingResolvesToInnermost) {
+  // \x:bread. \x:ham. x : ... -o ham.
+  ProofPtr M =
+      mLam("x", atom("bread"), mLam("x", atom("ham"), mVar("x")));
+  auto R = infer(M);
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_TRUE(propEqual(
+      *R, pLolli(atom("bread"), pLolli(atom("ham"), atom("ham")))));
+}
+
+TEST_F(CheckTest, ProofSerializationRoundTrip) {
+  ProofPtr M = mLam(
+      "x", pIf(cBefore(10), atom("bread")),
+      mIfBind("y", mVar("x"),
+              mIfReturn(cBefore(10),
+                        mApp(mConst(lf::ConstName::local("make")),
+                             mTensorPair(mVar("y"), mVar("h"))))));
+  Writer W;
+  writeProof(W, M);
+  Reader R(W.buffer());
+  auto Back = readProof(R);
+  ASSERT_TRUE(Back.hasValue()) << Back.error().message();
+  EXPECT_TRUE(R.atEnd());
+  // The round-tripped proof checks to the same proposition.
+  auto T1 = infer(M, {{"h", atom("ham")}});
+  auto T2 = infer(*Back, {{"h", atom("ham")}});
+  ASSERT_TRUE(T1.hasValue());
+  ASSERT_TRUE(T2.hasValue());
+  EXPECT_TRUE(propEqual(*T1, *T2));
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+//===- tests/logic/condition_test.cpp - Figure 2 conditions ---------------===//
+//
+// Covers the condition syntax of Figure 2, the entailment sequent
+// calculus of Appendix A, and evaluation against a mock blockchain
+// oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/condition.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+const std::string TxA(64, 'a');
+const std::string TxB(64, 'b');
+
+/// A fixed-table oracle for tests.
+class TableOracle : public CondOracle {
+public:
+  uint64_t Now = 1000;
+  std::map<std::pair<std::string, uint32_t>, bool> Spent;
+
+  uint64_t evaluationTime() const override { return Now; }
+  Result<bool> isSpent(const std::string &Txid,
+                       uint32_t Index) const override {
+    auto It = Spent.find({Txid, Index});
+    if (It == Spent.end())
+      return makeError("no evidence for " + Txid.substr(0, 8));
+    return It->second;
+  }
+};
+
+TEST(CondEntail, Reflexivity) {
+  for (const CondPtr &C :
+       {cTrue(), cBefore(5), cSpent(TxA, 0), cNot(cSpent(TxA, 1)),
+        cAnd(cBefore(5), cSpent(TxB, 2))})
+    EXPECT_TRUE(condEntails(C, C)) << printCond(C);
+}
+
+TEST(CondEntail, TrueOnRight) {
+  EXPECT_TRUE(condEntails(cSpent(TxA, 0), cTrue()));
+  EXPECT_TRUE(condEntails(cTrue(), cTrue()));
+}
+
+TEST(CondEntail, TrueOnLeftProvesNothing) {
+  EXPECT_FALSE(condEntails(cTrue(), cSpent(TxA, 0)));
+}
+
+TEST(CondEntail, BeforeMonotone) {
+  // before(t) |- before(t') when t <= t' (Appendix A).
+  EXPECT_TRUE(condEntails(cBefore(5), cBefore(10)));
+  EXPECT_TRUE(condEntails(cBefore(5), cBefore(5)));
+  EXPECT_FALSE(condEntails(cBefore(10), cBefore(5)));
+}
+
+TEST(CondEntail, AndLeftProjection) {
+  CondPtr Both = cAnd(cBefore(5), cSpent(TxA, 0));
+  EXPECT_TRUE(condEntails(Both, cBefore(5)));
+  EXPECT_TRUE(condEntails(Both, cSpent(TxA, 0)));
+  EXPECT_TRUE(condEntails(Both, cBefore(99)));
+}
+
+TEST(CondEntail, AndRightNeedsBoth) {
+  CondPtr Goal = cAnd(cBefore(5), cSpent(TxA, 0));
+  EXPECT_FALSE(condEntails(cBefore(5), Goal));
+  EXPECT_TRUE(condEntails(cAnd(cSpent(TxA, 0), cBefore(3)), Goal));
+}
+
+TEST(CondEntail, NegationClassical) {
+  // ~~phi |- phi (classical).
+  CondPtr Phi = cSpent(TxA, 0);
+  EXPECT_TRUE(condEntails(cNot(cNot(Phi)), Phi));
+  EXPECT_TRUE(condEntails(Phi, cNot(cNot(Phi))));
+  // phi |- ~psi does not hold for unrelated atoms.
+  EXPECT_FALSE(condEntails(Phi, cNot(cSpent(TxB, 0))));
+}
+
+TEST(CondEntail, ExcludedMiddleStyle) {
+  // phi /\ ~phi |- anything (left contradiction).
+  CondPtr Phi = cSpent(TxA, 0);
+  EXPECT_TRUE(condEntails(cAnd(Phi, cNot(Phi)), cBefore(1)));
+}
+
+TEST(CondEntail, NotBeforeIsNotMonotone) {
+  // ~before(10) |- ~before(5): holds iff before(5) |- before(10): yes.
+  EXPECT_TRUE(condEntails(cNot(cBefore(10)), cNot(cBefore(5))));
+  EXPECT_FALSE(condEntails(cNot(cBefore(5)), cNot(cBefore(10))));
+}
+
+TEST(CondEntail, PaperWeakeningChain) {
+  // Figure 3 uses ifweaken twice to move to
+  // ~spent(R) /\ before(T): check both directions used there.
+  CondPtr Merged = cAnd(cUnspent(TxA, 1), cBefore(500));
+  EXPECT_TRUE(condEntails(Merged, cUnspent(TxA, 1)));
+  EXPECT_TRUE(condEntails(Merged, cBefore(500)));
+  EXPECT_FALSE(condEntails(cUnspent(TxA, 1), Merged));
+}
+
+TEST(CondEval, TrueAndConnectives) {
+  TableOracle O;
+  O.Spent[{TxA, 0}] = true;
+  O.Spent[{TxB, 1}] = false;
+
+  auto Check = [&](const CondPtr &C, bool Expect) {
+    auto V = evalCond(C, O);
+    ASSERT_TRUE(V.hasValue()) << printCond(C) << ": "
+                              << V.error().message();
+    EXPECT_EQ(*V, Expect) << printCond(C);
+  };
+  Check(cTrue(), true);
+  Check(cSpent(TxA, 0), true);
+  Check(cSpent(TxB, 1), false);
+  Check(cUnspent(TxB, 1), true);
+  Check(cAnd(cSpent(TxA, 0), cUnspent(TxB, 1)), true);
+  Check(cAnd(cSpent(TxA, 0), cSpent(TxB, 1)), false);
+  Check(cNot(cTrue()), false);
+}
+
+TEST(CondEval, BeforeAgainstEvaluationTime) {
+  TableOracle O;
+  O.Now = 1000;
+  auto V1 = evalCond(cBefore(2000), O);
+  ASSERT_TRUE(V1.hasValue());
+  EXPECT_TRUE(*V1);
+  auto V2 = evalCond(cBefore(1000), O);
+  ASSERT_TRUE(V2.hasValue());
+  EXPECT_FALSE(*V2); // Not strictly before.
+  auto V3 = evalCond(cBefore(500), O);
+  ASSERT_TRUE(V3.hasValue());
+  EXPECT_FALSE(*V3);
+}
+
+TEST(CondEval, NoEvidenceIsAnError) {
+  TableOracle O;
+  EXPECT_FALSE(evalCond(cSpent(TxA, 7), O).hasValue());
+}
+
+TEST(CondEval, NonLiteralTimeRejected) {
+  TableOracle O;
+  // before(#0) with a dangling variable cannot be evaluated.
+  EXPECT_FALSE(evalCond(cBefore(lf::var(0)), O).hasValue());
+}
+
+TEST(CondSerialize, RoundTrip) {
+  CondPtr C = cAnd(cNot(cSpent(TxA, 3)), cBefore(12345));
+  Writer W;
+  writeCond(W, C);
+  Reader R(W.buffer());
+  auto Back = readCond(R);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_TRUE(condEqual(C, *Back));
+}
+
+TEST(CondPrint, Figure2Forms) {
+  EXPECT_EQ(printCond(cTrue()), "true");
+  EXPECT_EQ(printCond(cBefore(9)), "before(9)");
+  EXPECT_EQ(printCond(cNot(cSpent(TxA, 2))),
+            "~spent(" + TxA.substr(0, 8) + ".2)");
+  EXPECT_EQ(printCond(cAnd(cTrue(), cBefore(1))),
+            "(true /\\ before(1))");
+}
+
+TEST(CondSubst, TimeVariables) {
+  // before(#0) with #0 := 42.
+  CondPtr C = cBefore(lf::var(0));
+  EXPECT_TRUE(condHasFreeVar(C, 0));
+  CondPtr S = substCond(C, 0, lf::nat(42));
+  EXPECT_FALSE(condHasFreeVar(S, 0));
+  EXPECT_TRUE(condEqual(S, cBefore(42)));
+}
+
+} // namespace

@@ -1,0 +1,403 @@
+//===- tests/logic/parse_test.cpp - Surface-syntax parser -----------------===//
+
+#include "logic/parse.h"
+
+#include "logic/check.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+const std::string Tx(64, 'b');
+const std::string K(40, 'a');
+
+PropPtr mustParse(const std::string &S) {
+  auto P = parseProp(S);
+  EXPECT_TRUE(P.hasValue()) << S << ": "
+                            << (P ? "" : P.error().message());
+  return P ? *P : pZero();
+}
+
+/// Parse, print, re-parse: the round trip must be propEqual.
+void roundTrips(const std::string &S) {
+  PropPtr P1 = mustParse(S);
+  std::string Printed = printProp(P1);
+  auto P2 = parseProp(Printed);
+  ASSERT_TRUE(P2.hasValue()) << "reparse of '" << Printed << "': "
+                             << P2.error().message();
+  EXPECT_TRUE(propEqual(P1, *P2)) << S << " vs " << Printed;
+}
+
+TEST(Parse, PaperExamples) {
+  // Section 1: bread (x) ham -o ham_sandwich.
+  PropPtr Sandwich =
+      mustParse("this.bread (x) this.ham -o this.ham_sandwich");
+  ASSERT_EQ(Sandwich->Kind, Prop::Tag::Lolli);
+  EXPECT_EQ(Sandwich->L->Kind, Prop::Tag::Tensor);
+
+  // Section 2: <K> forall k:principal. may-read k.
+  PropPtr Says = mustParse("<K:" + K +
+                           "> forall k:principal. this.may-read k");
+  ASSERT_EQ(Says->Kind, Prop::Tag::Says);
+  EXPECT_EQ(Says->Body->Kind, Prop::Tag::Forall);
+
+  // Section 5: the expiring option.
+  PropPtr Option = mustParse(
+      "receipt(this.payment ->> K:" + K +
+      ") -o if(before(1000), this.commodity)");
+  ASSERT_EQ(Option->Kind, Prop::Tag::Lolli);
+  EXPECT_EQ(Option->L->Kind, Prop::Tag::Receipt);
+  EXPECT_EQ(Option->R->Kind, Prop::Tag::If);
+
+  // Section 6: merge's inhabitation idiom.
+  PropPtr Merge = mustParse(
+      "forall n:nat. forall m:nat. forall p:nat. "
+      "(exists x: plus n m p. 1) -o this.coin n (x) this.coin m -o "
+      "this.coin p");
+  ASSERT_EQ(Merge->Kind, Prop::Tag::Forall);
+}
+
+TEST(Parse, MatchesProgrammaticConstruction) {
+  // The parsed merge rule is exactly the one newcoin builds by hand.
+  PropPtr Parsed = mustParse(
+      "forall n:nat. forall m:nat. forall p:nat. "
+      "(exists x: plus n m p. 1) -o this.coin n (x) this.coin m -o "
+      "this.coin p");
+  auto CoinAt = [&](unsigned I) {
+    return pAtom(lf::tApp(lf::tConst(lf::ConstName::local("coin")),
+                          lf::var(I)));
+  };
+  PropPtr Built = pForall(
+      lf::natType(),
+      pForall(
+          lf::natType(),
+          pForall(lf::natType(),
+                  pLolli(pExists(lf::plusType(lf::var(2), lf::var(1),
+                                              lf::var(0)),
+                                 pOne()),
+                         pLolli(pTensor(CoinAt(2), CoinAt(1)),
+                                CoinAt(0))))));
+  EXPECT_TRUE(propEqual(Parsed, Built));
+}
+
+TEST(Parse, PrintParseRoundTrip) {
+  // The pretty-printer targets humans (it truncates principals/txids
+  // and prints de Bruijn indices), so print->parse round trips are
+  // promised only for closed, literal-free propositions; serialization
+  // is the fidelity channel (see prop_test.cpp). These forms do round
+  // trip:
+  for (const char *S : {
+           "this.a",
+           "this.a -o this.b",
+           "this.a (x) this.b (x) this.c",
+           "this.a & this.b",
+           "this.a (+) this.b",
+           "0",
+           "1",
+           "!this.a",
+           "!(this.a -o this.b)",
+           "if(before(9), this.a)",
+           "(this.a -o this.b) (x) this.a",
+           "this.a -o this.b -o this.c (x) this.d",
+       }) {
+    roundTrips(S);
+  }
+}
+
+TEST(Parse, AuthoringFormsAcceptLiteralReferences) {
+  // Full-fidelity references are authorable even though the printer
+  // truncates them.
+  PropPtr P1 = mustParse("<K:" + K + "> this.a");
+  EXPECT_EQ(P1->Kind, Prop::Tag::Says);
+  PropPtr P2 = mustParse("receipt(this.a/500 ->> K:" + K + ")");
+  EXPECT_EQ(P2->Kind, Prop::Tag::Receipt);
+  EXPECT_EQ(P2->Amount, 500u);
+  PropPtr P3 = mustParse("if(~spent(@" + Tx +
+                         ".0) /\\ before(9), this.a)");
+  EXPECT_EQ(P3->Kind, Prop::Tag::If);
+  PropPtr P4 = mustParse("forall k:principal. this.a -o <k> this.a");
+  EXPECT_EQ(P4->Kind, Prop::Tag::Forall);
+  PropPtr P5 = mustParse("receipt(500 ->> K:" + K + ")");
+  EXPECT_EQ(P5->Amount, 500u);
+  EXPECT_EQ(P5->Body, nullptr);
+}
+
+TEST(Parse, DeBruijnResolution) {
+  // Nested binders resolve innermost-first.
+  PropPtr P = mustParse(
+      "forall a:nat. forall b:nat. this.p a b");
+  ASSERT_EQ(P->Kind, Prop::Tag::Forall);
+  const Prop &Inner = *P->Body;
+  ASSERT_EQ(Inner.Kind, Prop::Tag::Forall);
+  // this.p #1 #0.
+  const lf::LFType &Atom = *Inner.Body->Atom;
+  ASSERT_EQ(Atom.Kind, lf::LFType::Tag::App);
+  EXPECT_EQ(Atom.Arg->VarIndex, 0u);
+  EXPECT_EQ(Atom.Head->Arg->VarIndex, 1u);
+
+  // Shadowing picks the inner binder.
+  PropPtr Sh = mustParse("forall a:nat. forall a:nat. this.p a");
+  EXPECT_EQ(Sh->Body->Body->Atom->Arg->VarIndex, 0u);
+}
+
+TEST(Parse, GlobalReferences) {
+  PropPtr P = mustParse("@" + Tx + ".coin 5");
+  ASSERT_EQ(P->Kind, Prop::Tag::Atom);
+  EXPECT_EQ(P->Atom->Head->Name.Kind, lf::ConstName::Space::Global);
+  EXPECT_EQ(P->Atom->Head->Name.Txid, Tx);
+}
+
+TEST(Parse, Conditions) {
+  auto C = parseCond("~spent(@" + Tx + ".3) /\\ before(77)");
+  ASSERT_TRUE(C.hasValue());
+  EXPECT_TRUE(condEqual(*C, cAnd(cUnspent(Tx, 3), cBefore(77))));
+  // ~ binds tighter than /\.
+  auto C2 = parseCond("~true /\\ true");
+  ASSERT_TRUE(C2.hasValue());
+  EXPECT_TRUE(condEqual(*C2, cAnd(cNot(cTrue()), cTrue())));
+  // Parenthesized negation of a conjunction.
+  auto C3 = parseCond("~(true /\\ before(5))");
+  ASSERT_TRUE(C3.hasValue());
+  EXPECT_EQ((*C3)->Kind, Cond::Tag::Not);
+}
+
+TEST(Parse, TermsAndTypes) {
+  auto T = parseTerm("(\\x:nat. x) 5");
+  ASSERT_TRUE(T.hasValue());
+  auto N = lf::normalizeTerm(*T);
+  ASSERT_TRUE(N.hasValue());
+  EXPECT_EQ((*N)->NatValue, 5u);
+
+  auto Ty = parseType("Pi x:nat. this.vec x");
+  ASSERT_TRUE(Ty.hasValue());
+  EXPECT_EQ((*Ty)->Kind, lf::LFType::Tag::Pi);
+
+  auto Kd = parseKind("Pi x:principal. Pi y:time. prop");
+  ASSERT_TRUE(Kd.hasValue());
+  EXPECT_EQ(lf::printKind(*Kd), "Pi :principal. Pi :nat. prop");
+
+  auto Pf = parseTerm("plus/pf 2 3");
+  ASSERT_TRUE(Pf.hasValue());
+  lf::Signature Sig;
+  auto PfTy = lf::typeOfTerm(Sig, {}, *Pf);
+  ASSERT_TRUE(PfTy.hasValue()) << PfTy.error().message();
+}
+
+TEST(Parse, ParsedVocabularyChecksInTheLogic) {
+  // Author a vocabulary and rule entirely in text, then run the proof
+  // checker against it.
+  Basis Sigma;
+  auto CredKind = parseKind("Pi k:principal. prop");
+  ASSERT_TRUE(CredKind.hasValue());
+  ASSERT_TRUE(Sigma.declareFamily(lf::ConstName::local("cred"), *CredKind)
+                  .hasValue());
+  auto Rule = parseProp(
+      "forall k:principal. <k> this.cred k -o this.cred k");
+  ASSERT_TRUE(Rule.hasValue()) << Rule.error().message();
+  ASSERT_TRUE(
+      Sigma.declareProp(lf::ConstName::local("accept"), *Rule).hasValue());
+  ASSERT_TRUE(
+      checkProp(Sigma.lfSig(), {},
+                *parseProp("forall k:principal. this.cred k"))
+          .hasValue());
+
+  TrustingVerifier Trust;
+  ProofChecker Checker(Sigma, Trust);
+  // accept [K] (assert(K, cred K)) : cred K.
+  ProofPtr M = mApp(
+      mAllApp(mConst(lf::ConstName::local("accept")), lf::principal(K)),
+      mAssert(K, *parseProp("this.cred K:" + K), Bytes{}));
+  auto R = Checker.infer(M);
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(*R, *parseProp("this.cred K:" + K)));
+}
+
+TEST(Parse, Errors) {
+  EXPECT_FALSE(parseProp("").hasValue());
+  EXPECT_FALSE(parseProp("this.").hasValue());
+  EXPECT_FALSE(parseProp("this.a -o").hasValue());
+  EXPECT_FALSE(parseProp("(this.a").hasValue());
+  EXPECT_FALSE(parseProp("this.a this.b (x)").hasValue());
+  EXPECT_FALSE(parseProp("this.a (x) this.b & this.c").hasValue());
+  EXPECT_FALSE(parseProp("2").hasValue());
+  EXPECT_FALSE(parseProp("forall x. this.a").hasValue());
+  EXPECT_FALSE(parseProp("K:123").hasValue());
+  EXPECT_FALSE(parseCond("spent(this.a)").hasValue());
+  EXPECT_FALSE(parseProp("this.a trailing ( junk").hasValue());
+  EXPECT_FALSE(parseProp("this.a ) ").hasValue());
+}
+
+
+TEST(ParseProof, CoreForms) {
+  // The ham-sandwich proof, authored in text and checked.
+  Basis Sigma;
+  for (const char *F : {"bread", "ham", "sandwich"})
+    ASSERT_TRUE(Sigma.declareFamily(lf::ConstName::local(F), lf::kProp())
+                    .hasValue());
+  ASSERT_TRUE(
+      Sigma
+          .declareProp(lf::ConstName::local("make"),
+                       *parseProp("this.bread (x) this.ham -o "
+                                  "this.sandwich"))
+          .hasValue());
+
+  auto M = parseProof("\\x:this.bread (x) this.ham. this.make x");
+  ASSERT_TRUE(M.hasValue()) << M.error().message();
+  TrustingVerifier Trust;
+  ProofChecker Checker(Sigma, Trust);
+  auto R = Checker.infer(*M);
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(
+      *R, *parseProp("this.bread (x) this.ham -o this.sandwich")));
+}
+
+TEST(ParseProof, LetsAndPairs) {
+  auto M = parseProof(
+      "\\p:this.a (x) this.b. let (x, y) = p in (y, x)");
+  ASSERT_TRUE(M.hasValue()) << M.error().message();
+  Basis Sigma;
+  for (const char *F : {"a", "b"})
+    ASSERT_TRUE(Sigma.declareFamily(lf::ConstName::local(F), lf::kProp())
+                    .hasValue());
+  TrustingVerifier Trust;
+  ProofChecker Checker(Sigma, Trust);
+  auto R = Checker.infer(*M);
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(
+      *R,
+      *parseProp("this.a (x) this.b -o this.b (x) this.a")));
+}
+
+TEST(ParseProof, MonadsAndQuantifiers) {
+  // all k:principal. \x:this.a. sayreturn [k] (x).
+  auto M = parseProof(
+      "all k:principal. \\x:this.a. sayreturn [k] (x)");
+  ASSERT_TRUE(M.hasValue()) << M.error().message();
+  Basis Sigma;
+  ASSERT_TRUE(Sigma.declareFamily(lf::ConstName::local("a"), lf::kProp())
+                  .hasValue());
+  TrustingVerifier Trust;
+  ProofChecker Checker(Sigma, Trust);
+  auto R = Checker.infer(*M);
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+  EXPECT_TRUE(propEqual(
+      *R, *parseProp("forall k:principal. this.a -o <k> this.a")));
+
+  // The conditional monad, with entailment in ifweaken.
+  auto M2 = parseProof(
+      "\\c:if(before(10), this.a). "
+      "ifbind z <- ifweaken [before(5)] (c) in ifreturn [before(5)] (z)");
+  ASSERT_TRUE(M2.hasValue()) << M2.error().message();
+  auto R2 = Checker.infer(*M2);
+  ASSERT_TRUE(R2.hasValue()) << R2.error().message();
+  EXPECT_TRUE(propEqual(
+      *R2,
+      *parseProp(
+          "if(before(10), this.a) -o if(before(5), this.a)")));
+}
+
+TEST(ParseProof, CaseUnpackPackAssert) {
+  Basis Sigma;
+  for (const char *F : {"a", "b"})
+    ASSERT_TRUE(Sigma.declareFamily(lf::ConstName::local(F), lf::kProp())
+                    .hasValue());
+  TrustingVerifier Trust;
+  ProofChecker Checker(Sigma, Trust);
+
+  auto Case = parseProof(
+      "\\e:this.a (+) this.b. case e of inl x -> inr [this.b] x "
+      "| inr y -> inl [this.a] y");
+  ASSERT_TRUE(Case.hasValue()) << Case.error().message();
+  auto RC = Checker.infer(*Case);
+  ASSERT_TRUE(RC.hasValue()) << RC.error().message();
+  EXPECT_TRUE(propEqual(
+      *RC,
+      *parseProp("this.a (+) this.b -o this.b (+) this.a")));
+
+  auto Pack = parseProof(
+      "pack [exists x: plus 2 3 5. 1] (plus/pf 2 3, ())");
+  ASSERT_TRUE(Pack.hasValue()) << Pack.error().message();
+  EXPECT_TRUE(Checker.infer(*Pack).hasValue());
+
+  auto Unpack = parseProof(
+      "\\e:exists n:nat. this.a. unpack (u, x) = e in x");
+  ASSERT_TRUE(Unpack.hasValue()) << Unpack.error().message();
+  EXPECT_TRUE(Checker.infer(*Unpack).hasValue());
+
+  auto Assert = parseProof("assert(K:" + K + ", this.a)");
+  ASSERT_TRUE(Assert.hasValue()) << Assert.error().message();
+  auto RA = Checker.infer(*Assert);
+  ASSERT_TRUE(RA.hasValue()) << RA.error().message();
+  EXPECT_EQ((*RA)->Kind, Prop::Tag::Says);
+
+  auto AssertBang = parseProof("assert!(K:" + K + ", this.a)");
+  ASSERT_TRUE(AssertBang.hasValue());
+  EXPECT_EQ((*AssertBang)->Kind, Proof::Tag::AssertBang);
+}
+
+TEST(ParseProof, Figure3InText) {
+  // The whole Figure 3 term, written as text against a parsed basis.
+  Basis Sigma;
+  std::string KB(40, 'd');
+  std::string R(64, 'c');
+  ASSERT_TRUE(Sigma
+                  .declareFamily(lf::ConstName::local("coin"),
+                                 *parseKind("Pi n:nat. prop"))
+                  .hasValue());
+  ASSERT_TRUE(Sigma
+                  .declareFamily(lf::ConstName::local("print"),
+                                 *parseKind("Pi n:nat. prop"))
+                  .hasValue());
+  ASSERT_TRUE(Sigma
+                  .declareFamily(lf::ConstName::local("is_banker"),
+                                 *parseKind("Pi k:principal. Pi t:time. "
+                                            "prop"))
+                  .hasValue());
+  ASSERT_TRUE(
+      Sigma
+          .declareProp(
+              lf::ConstName::local("issue"),
+              *parseProp("forall k:principal. forall t:time. "
+                         "forall n:nat. this.is_banker k t -o "
+                         "<k> this.print n -o "
+                         "if(before(t), this.coin n)"))
+          .hasValue());
+
+  std::string Fig3 =
+      "(\\x:<K:" + KB + "> if(~spent(@" + R + ".0), this.print 100). "
+      "(\\y:if(~spent(@" + R + ".0), <K:" + KB + "> this.print 100). "
+      "ifbind z <- ifweaken [~spent(@" + R + ".0) /\\ before(1000)] (y) "
+      "in ifweaken [~spent(@" + R + ".0) /\\ before(1000)] "
+      "(this.issue [K:" + KB + "] [1000] [100] b z)) (if/say (x))) "
+      "(saybind f <- p in sayreturn [K:" + KB + "] (f r))";
+  auto M = parseProof(Fig3);
+  ASSERT_TRUE(M.hasValue()) << M.error().message();
+
+  TrustingVerifier Trust;
+  ProofChecker Checker(Sigma, Trust);
+  std::vector<Hypothesis> Affine{
+      {"p", *parseProp("<K:" + KB + "> (receipt(1/200 ->> K:" + KB +
+                       ") -o if(~spent(@" + R +
+                       ".0), this.print 100))")},
+      {"r", *parseProp("receipt(1/200 ->> K:" + KB + ")")},
+      {"b", *parseProp("this.is_banker K:" + KB + " 1000")}};
+  auto Proved = Checker.infer(*M, Affine);
+  ASSERT_TRUE(Proved.hasValue()) << Proved.error().message();
+  EXPECT_TRUE(propEqual(
+      *Proved, *parseProp("if(~spent(@" + R +
+                          ".0) /\\ before(1000), this.coin 100)")));
+}
+
+TEST(ParseProof, Errors) {
+  EXPECT_FALSE(parseProof("").hasValue());
+  EXPECT_FALSE(parseProof("let (x y) = p in x").hasValue());
+  EXPECT_FALSE(parseProof("case e of inl x -> x").hasValue());
+  EXPECT_FALSE(parseProof("saybind x - p in x").hasValue());
+  EXPECT_FALSE(parseProof("pack [1] (3, ()").hasValue());
+  EXPECT_FALSE(parseProof("fst").hasValue());
+}
+
+} // namespace

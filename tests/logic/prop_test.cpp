@@ -1,0 +1,244 @@
+//===- tests/logic/prop_test.cpp - Propositions: formation, freshness -----===//
+
+#include "logic/basis.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+const std::string Alice(40, 'a');
+const std::string Tx(64, 'd');
+
+lf::ConstName local(const std::string &L) { return lf::ConstName::local(L); }
+
+PropPtr atomOf(lf::Signature &Sig, const char *Name) {
+  if (!Sig.contains(local(Name))) {
+    EXPECT_TRUE(Sig.declareFamily(local(Name), lf::kProp()).hasValue());
+  }
+  return pAtom(lf::tConst(local(Name)));
+}
+
+TEST(PropFormation, AllConnectives) {
+  lf::Signature Sig;
+  PropPtr A = atomOf(Sig, "a");
+  PropPtr B = atomOf(Sig, "b");
+  lf::TermPtr K = lf::principal(Alice);
+
+  std::vector<PropPtr> WellFormed = {
+      A,
+      pTensor(A, B),
+      pLolli(A, B),
+      pWith(A, B),
+      pPlus(A, B),
+      pZero(),
+      pOne(),
+      pBang(A),
+      pForall(lf::natType(), shiftProp(A, 1)),
+      pExists(lf::principalType(), pSays(lf::var(0), pOne())),
+      pSays(K, A),
+      pReceipt(A, 0, K),
+      pReceipt(nullptr, 5000, K),
+      pReceipt(A, 5000, K),
+      pIf(cBefore(10), A),
+      pIf(cUnspent(Tx, 0), A),
+  };
+  for (const PropPtr &P : WellFormed)
+    EXPECT_TRUE(checkProp(Sig, {}, P).hasValue()) << printProp(P);
+}
+
+TEST(PropFormation, Failures) {
+  lf::Signature Sig;
+  PropPtr A = atomOf(Sig, "a");
+  // Says with a non-principal subject.
+  EXPECT_FALSE(checkProp(Sig, {}, pSays(lf::nat(3), A)).hasValue());
+  // Undeclared atom.
+  EXPECT_FALSE(
+      checkProp(Sig, {}, pAtom(lf::tConst(local("ghost")))).hasValue());
+  // Atom of kind type, not prop.
+  ASSERT_TRUE(Sig.declareFamily(local("t"), lf::kType()).hasValue());
+  EXPECT_FALSE(checkProp(Sig, {}, pAtom(lf::tConst(local("t")))).hasValue());
+  // Receipt with neither type nor amount.
+  EXPECT_FALSE(
+      checkProp(Sig, {}, pReceipt(nullptr, 0, lf::principal(Alice)))
+          .hasValue());
+  // before() with a non-nat time.
+  EXPECT_FALSE(
+      checkProp(Sig, {}, pIf(cBefore(lf::principal(Alice)), A)).hasValue());
+  // Dangling quantifier variable.
+  EXPECT_FALSE(checkProp(Sig, {}, pSays(lf::var(0), A)).hasValue());
+}
+
+TEST(PropEquality, UpToIndexNormalization) {
+  lf::Signature Sig;
+  ASSERT_TRUE(
+      Sig.declareFamily(local("coin"), lf::kPi(lf::natType(), lf::kProp()))
+          .hasValue());
+  // coin ((\x.x) 5) == coin 5.
+  lf::TermPtr Redex = lf::app(lf::lam(lf::natType(), lf::var(0)), lf::nat(5));
+  PropPtr P1 = pAtom(lf::tApp(lf::tConst(local("coin")), Redex));
+  PropPtr P2 = pAtom(lf::tApp(lf::tConst(local("coin")), lf::nat(5)));
+  EXPECT_TRUE(propEqual(P1, P2));
+  EXPECT_FALSE(propEqual(
+      P2, pAtom(lf::tApp(lf::tConst(local("coin")), lf::nat(6)))));
+}
+
+TEST(PropSubst, QuantifierInstantiation) {
+  lf::Signature Sig;
+  ASSERT_TRUE(
+      Sig.declareFamily(local("coin"), lf::kPi(lf::natType(), lf::kProp()))
+          .hasValue());
+  // forall n:nat. coin n, instantiated at 7.
+  PropPtr Body = pAtom(lf::tApp(lf::tConst(local("coin")), lf::var(0)));
+  PropPtr Instant = substProp(Body, 0, lf::nat(7));
+  EXPECT_TRUE(propEqual(
+      Instant, pAtom(lf::tApp(lf::tConst(local("coin")), lf::nat(7)))));
+  EXPECT_TRUE(propHasFreeVar(Body, 0));
+  EXPECT_FALSE(propHasFreeVar(Instant, 0));
+}
+
+TEST(PropResolve, ThisReplacement) {
+  PropPtr P = pAtom(lf::tConst(local("cred")));
+  EXPECT_TRUE(propHasLocal(P));
+  PropPtr R = resolveProp(P, Tx);
+  EXPECT_FALSE(propHasLocal(R));
+  EXPECT_EQ(R->Atom->Name.Txid, Tx);
+}
+
+TEST(PropFresh, ProducibleForms) {
+  lf::Signature Sig;
+  PropPtr LocalAtom = pAtom(lf::tConst(local("a")));
+  PropPtr GlobalAtom =
+      pAtom(lf::tConst(lf::ConstName::global(Tx, "a")));
+
+  // Local atoms, 1, and combinations are fresh.
+  EXPECT_TRUE(checkPropFresh(LocalAtom).hasValue());
+  EXPECT_TRUE(checkPropFresh(pOne()).hasValue());
+  EXPECT_TRUE(checkPropFresh(pTensor(LocalAtom, LocalAtom)).hasValue());
+  EXPECT_TRUE(checkPropFresh(pBang(LocalAtom)).hasValue());
+  EXPECT_TRUE(checkPropFresh(pIf(cBefore(5), LocalAtom)).hasValue());
+  EXPECT_TRUE(
+      checkPropFresh(pForall(lf::natType(), LocalAtom)).hasValue());
+
+  // Restricted forms are rejected in producible position.
+  EXPECT_FALSE(checkPropFresh(GlobalAtom).hasValue());
+  EXPECT_FALSE(checkPropFresh(pZero()).hasValue());
+  EXPECT_FALSE(checkPropFresh(
+                   pSays(lf::principal(Alice), LocalAtom))
+                   .hasValue());
+  EXPECT_FALSE(
+      checkPropFresh(pReceipt(LocalAtom, 0, lf::principal(Alice)))
+          .hasValue());
+
+  // ...but permitted to the left of a lolli ("restricted forms can be
+  // consumed but not produced").
+  EXPECT_TRUE(checkPropFresh(pLolli(GlobalAtom, LocalAtom)).hasValue());
+  EXPECT_TRUE(checkPropFresh(
+                  pLolli(pSays(lf::principal(Alice), GlobalAtom), LocalAtom))
+                  .hasValue());
+  // And a restricted form on the right is still rejected.
+  EXPECT_FALSE(checkPropFresh(pLolli(LocalAtom, GlobalAtom)).hasValue());
+}
+
+TEST(PropPrint, PaperExamples) {
+  lf::Signature Sig;
+  // bread (x) ham -o ham_sandwich (Section 1).
+  PropPtr P = pLolli(pTensor(pAtom(lf::tConst(local("bread"))),
+                             pAtom(lf::tConst(local("ham")))),
+                     pAtom(lf::tConst(local("ham_sandwich"))));
+  EXPECT_EQ(printProp(P),
+            "this.bread (x) this.ham -o this.ham_sandwich");
+
+  // <Alice> may-write(Bob, homework) prints with the affirmation.
+  PropPtr Says = pSays(lf::principal(Alice),
+                       pAtom(lf::tConst(local("may-write"))));
+  EXPECT_EQ(printProp(Says), "<K:aaaaaaaa> this.may-write");
+
+  // receipt(coupon ->> ACM) (Section 4).
+  PropPtr Receipt = pReceipt(pAtom(lf::tConst(local("coupon"))), 0,
+                             lf::principal(Alice));
+  EXPECT_EQ(printProp(Receipt),
+            "receipt(this.coupon ->> K:aaaaaaaa)");
+}
+
+TEST(PropSerialize, RoundTripAllForms) {
+  lf::Signature Sig;
+  PropPtr A = pAtom(lf::tConst(local("a")));
+  std::vector<PropPtr> Props = {
+      A,
+      pTensor(A, pOne()),
+      pLolli(A, pZero()),
+      pWith(A, A),
+      pPlus(A, A),
+      pBang(A),
+      pForall(lf::natType(), pIf(cBefore(lf::var(0)), shiftProp(A, 1))),
+      pExists(lf::natType(), shiftProp(A, 1)),
+      pSays(lf::principal(Alice), A),
+      pReceipt(A, 1234, lf::principal(Alice)),
+      pReceipt(nullptr, 99, lf::principal(Alice)),
+      pIf(cAnd(cUnspent(Tx, 2), cBefore(7)), A),
+  };
+  for (const PropPtr &P : Props) {
+    Writer W;
+    writeProp(W, P);
+    Reader R(W.buffer());
+    auto Back = readProp(R);
+    ASSERT_TRUE(Back.hasValue()) << printProp(P);
+    EXPECT_TRUE(propEqual(P, *Back)) << printProp(P);
+    EXPECT_TRUE(R.atEnd());
+  }
+}
+
+TEST(BasisTest, FormationAndAccumulation) {
+  Basis Global;
+  Basis Local;
+  ASSERT_TRUE(Local.declareFamily(local("coin"),
+                                  lf::kPi(lf::natType(), lf::kProp()))
+                  .hasValue());
+  PropPtr MergeRule = pForall(
+      lf::natType(),
+      pAtom(lf::tApp(lf::tConst(local("coin")), lf::var(0))));
+  // Just a well-formed prop constant referencing the earlier family.
+  ASSERT_TRUE(Local.declareProp(local("r"), pLolli(MergeRule, pOne()))
+                  .hasValue());
+  EXPECT_TRUE(Local.checkFormedAgainst(Global).hasValue());
+
+  // Non-local declarations are rejected.
+  Basis Bad;
+  ASSERT_TRUE(
+      Bad.declareFamily(lf::ConstName::global(Tx, "x"), lf::kProp())
+          .hasValue());
+  EXPECT_FALSE(Bad.checkFormedAgainst(Global).hasValue());
+
+  // Resolution + accumulation.
+  Basis Resolved = Local.resolved(Tx);
+  EXPECT_TRUE(Global.append(Resolved).hasValue());
+  EXPECT_TRUE(Global.contains(lf::ConstName::global(Tx, "coin")));
+  EXPECT_FALSE(Global.contains(local("coin")));
+  // Appending again collides.
+  EXPECT_FALSE(Global.append(Resolved).hasValue());
+}
+
+TEST(BasisTest, SerializeRoundTrip) {
+  Basis B;
+  ASSERT_TRUE(B.declareFamily(local("coin"),
+                              lf::kPi(lf::natType(), lf::kProp()))
+                  .hasValue());
+  ASSERT_TRUE(
+      B.declareProp(local("rule"),
+                    pLolli(pAtom(lf::tApp(lf::tConst(local("coin")),
+                                          lf::nat(1))),
+                           pOne()))
+          .hasValue());
+  Writer W;
+  B.serialize(W);
+  Reader R(W.buffer());
+  auto Back = Basis::deserialize(R);
+  ASSERT_TRUE(Back.hasValue()) << Back.error().message();
+  EXPECT_TRUE(Back->contains(local("coin")));
+  EXPECT_NE(Back->lookupProp(local("rule")), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- tests/logic/syntax_golden_test.cpp - Figure 1 golden output --------===//
+//
+// One construction and one exact pretty-printed witness for every
+// syntactic class of Figure 1 (and Figure 2's conditional extension).
+// If a printer change breaks these, the printed grammar drifted from
+// the documented one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/proof.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+const std::string K(40, 'a');
+const std::string Tx(64, 'b');
+
+lf::ConstName local(const char *S) { return lf::ConstName::local(S); }
+
+TEST(Figure1Golden, Kinds) {
+  EXPECT_EQ(lf::printKind(lf::kType()), "type");
+  EXPECT_EQ(lf::printKind(lf::kProp()), "prop");
+  EXPECT_EQ(lf::printKind(lf::kPi(lf::natType(),
+                                  lf::kPi(lf::principalType(),
+                                          lf::kProp()))),
+            "Pi :nat. Pi :principal. prop");
+}
+
+TEST(Figure1Golden, TypeFamilies) {
+  EXPECT_EQ(lf::printType(lf::tConst(local("c"))), "this.c");
+  EXPECT_EQ(lf::printType(lf::tApp(lf::tConst(local("coin")), lf::nat(5))),
+            "this.coin 5");
+  EXPECT_EQ(lf::printType(lf::tPi(lf::natType(), lf::natType())),
+            "Pi :nat. nat");
+  EXPECT_EQ(lf::printType(lf::tConst(lf::ConstName::global(Tx, "coin"))),
+            "bbbbbbbb.coin");
+}
+
+TEST(Figure1Golden, IndexTerms) {
+  EXPECT_EQ(lf::printTerm(lf::var(0)), "#0");
+  EXPECT_EQ(lf::printTerm(lf::nat(42)), "42");
+  EXPECT_EQ(lf::printTerm(lf::principal(K)), "K:aaaaaaaa");
+  EXPECT_EQ(lf::printTerm(lf::lam(lf::natType(), lf::var(0))),
+            "\\:nat. #0");
+  EXPECT_EQ(lf::printTerm(lf::app(lf::constant(local("f")), lf::nat(1))),
+            "this.f 1");
+  EXPECT_EQ(lf::printTerm(lf::plusProof(2, 3)), "plus/pf 2 3");
+}
+
+TEST(Figure1Golden, Propositions) {
+  PropPtr A = pAtom(lf::tConst(local("a")));
+  PropPtr B = pAtom(lf::tConst(local("b")));
+  EXPECT_EQ(printProp(pLolli(A, B)), "this.a -o this.b");
+  EXPECT_EQ(printProp(pWith(A, B)), "this.a & this.b");
+  EXPECT_EQ(printProp(pTensor(A, B)), "this.a (x) this.b");
+  EXPECT_EQ(printProp(pPlus(A, B)), "this.a (+) this.b");
+  EXPECT_EQ(printProp(pZero()), "0");
+  EXPECT_EQ(printProp(pOne()), "1");
+  EXPECT_EQ(printProp(pBang(A)), "!this.a");
+  EXPECT_EQ(printProp(pForall(lf::natType(), shiftProp(A, 1))),
+            "forall :nat. this.a");
+  EXPECT_EQ(printProp(pExists(lf::natType(), shiftProp(A, 1))),
+            "exists :nat. this.a");
+  EXPECT_EQ(printProp(pSays(lf::principal(K), A)),
+            "<K:aaaaaaaa> this.a");
+  EXPECT_EQ(printProp(pReceipt(A, 0, lf::principal(K))),
+            "receipt(this.a ->> K:aaaaaaaa)");
+  EXPECT_EQ(printProp(pReceipt(nullptr, 500, lf::principal(K))),
+            "receipt(500 ->> K:aaaaaaaa)");
+  EXPECT_EQ(printProp(pReceipt(A, 500, lf::principal(K))),
+            "receipt(this.a/500 ->> K:aaaaaaaa)");
+  // Precedence: lolli binds loosest, tensor/with/plus tighter, ! tightest.
+  EXPECT_EQ(printProp(pLolli(pTensor(A, B), pBang(A))),
+            "this.a (x) this.b -o !this.a");
+  EXPECT_EQ(printProp(pTensor(pLolli(A, B), A)),
+            "(this.a -o this.b) (x) this.a");
+}
+
+TEST(Figure1Golden, Conditionals) {
+  PropPtr A = pAtom(lf::tConst(local("a")));
+  EXPECT_EQ(printCond(cTrue()), "true");
+  EXPECT_EQ(printCond(cBefore(7)), "before(7)");
+  EXPECT_EQ(printCond(cSpent(Tx, 3)), "spent(bbbbbbbb.3)");
+  EXPECT_EQ(printCond(cNot(cSpent(Tx, 3))), "~spent(bbbbbbbb.3)");
+  EXPECT_EQ(printCond(cAnd(cNot(cSpent(Tx, 0)), cBefore(9))),
+            "(~spent(bbbbbbbb.0) /\\ before(9))");
+  EXPECT_EQ(printProp(pIf(cBefore(9), A)), "if(before(9), this.a)");
+}
+
+TEST(Figure1Golden, ProofTerms) {
+  PropPtr A = pAtom(lf::tConst(local("a")));
+  EXPECT_EQ(printProof(mVar("x")), "x");
+  EXPECT_EQ(printProof(mConst(local("rule"))), "this.rule");
+  EXPECT_EQ(printProof(mLam("x", A, mVar("x"))), "\\x:this.a. x");
+  EXPECT_EQ(printProof(mApp(mVar("f"), mVar("x"))), "(f x)");
+  EXPECT_EQ(printProof(mTensorPair(mVar("x"), mVar("y"))), "(x, y)");
+  EXPECT_EQ(printProof(mTensorLet("x", "y", mVar("p"), mVar("x"))),
+            "let (x, y) = p in x");
+  EXPECT_EQ(printProof(mOne()), "()");
+  EXPECT_EQ(printProof(mBang(mVar("x"))), "!x");
+  EXPECT_EQ(printProof(mSayReturn(lf::principal(K), mVar("x"))),
+            "sayreturn_K:aaaaaaaa(x)");
+  EXPECT_EQ(printProof(mSayBind("y", mVar("p"), mVar("y"))),
+            "saybind y <- p in y");
+  EXPECT_EQ(printProof(mAssert(K, A, Bytes{})),
+            "assert(K:aaaaaaaa, this.a)");
+  EXPECT_EQ(printProof(mAssertBang(K, A, Bytes{})),
+            "assert!(K:aaaaaaaa, this.a)");
+  EXPECT_EQ(printProof(mIfReturn(cBefore(5), mVar("x"))),
+            "ifreturn_before(5)(x)");
+  EXPECT_EQ(printProof(mIfBind("z", mVar("c"), mVar("z"))),
+            "ifbind z <- c in z");
+  EXPECT_EQ(printProof(mIfWeaken(cBefore(5), mVar("c"))),
+            "ifweaken_before(5)(c)");
+  EXPECT_EQ(printProof(mIfSay(mVar("x"))), "if/say(x)");
+  EXPECT_EQ(printProof(mAllApp(mVar("f"), lf::nat(3))), "f [3]");
+  EXPECT_EQ(printProof(mAllIntro(lf::natType(), mVar("x"))),
+            "/\\:nat. x");
+}
+
+} // namespace

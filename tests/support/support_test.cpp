@@ -1,0 +1,220 @@
+//===- tests/support/support_test.cpp - Support library -------------------===//
+
+#include "support/bytes.h"
+#include "support/result.h"
+#include "support/rng.h"
+#include "support/serialize.h"
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+
+namespace {
+
+// --- Result ------------------------------------------------------------
+
+Result<int> half(int X) {
+  if (X % 2 != 0)
+    return makeError("odd input");
+  return X / 2;
+}
+
+Result<int> quarter(int X) {
+  TC_UNWRAP(H, half(X));
+  return half(H);
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto Ok = half(4);
+  ASSERT_TRUE(Ok.hasValue());
+  EXPECT_EQ(*Ok, 2);
+
+  auto Err = half(3);
+  ASSERT_FALSE(Err.hasValue());
+  EXPECT_EQ(Err.error().message(), "odd input");
+}
+
+TEST(ResultTest, UnwrapMacroPropagates) {
+  auto Ok = quarter(8);
+  ASSERT_TRUE(Ok.hasValue());
+  EXPECT_EQ(*Ok, 2);
+  EXPECT_FALSE(quarter(6).hasValue()); // 6/2 = 3, odd.
+}
+
+TEST(ResultTest, WithContext) {
+  Error E = makeError("inner");
+  EXPECT_EQ(E.withContext("outer").message(), "outer: inner");
+}
+
+TEST(ResultTest, VoidSpecialization) {
+  Status Ok = Status::success();
+  EXPECT_TRUE(Ok.hasValue());
+  Status Bad = makeError("nope");
+  EXPECT_FALSE(Bad.hasValue());
+  EXPECT_EQ(Bad.error().message(), "nope");
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> R(std::string("payload"));
+  std::string S = R.takeValue();
+  EXPECT_EQ(S, "payload");
+}
+
+// --- Hex ---------------------------------------------------------------
+
+TEST(HexTest, RoundTrip) {
+  Bytes Data{0x00, 0x7f, 0x80, 0xff};
+  std::string Hex = toHex(Data);
+  EXPECT_EQ(Hex, "007f80ff");
+  auto Back = fromHex(Hex);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, Data);
+}
+
+TEST(HexTest, AcceptsUppercase) {
+  auto R = fromHex("DEADBEEF");
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(toHex(*R), "deadbeef");
+}
+
+TEST(HexTest, RejectsBadInput) {
+  EXPECT_FALSE(fromHex("abc").hasValue());   // Odd length.
+  EXPECT_FALSE(fromHex("zz").hasValue());    // Not hex.
+  EXPECT_FALSE((fromHexFixed<4>("aabb").hasValue())); // Wrong size.
+  EXPECT_TRUE((fromHexFixed<2>("aabb").hasValue()));
+}
+
+// --- Serialization -----------------------------------------------------
+
+TEST(SerializeTest, IntegerRoundTrips) {
+  Writer W;
+  W.writeU8(0xab);
+  W.writeU16(0xbeef);
+  W.writeU32(0xdeadbeef);
+  W.writeU64(0x0123456789abcdefULL);
+  Reader R(W.buffer());
+  EXPECT_EQ(*R.readU8(), 0xab);
+  EXPECT_EQ(*R.readU16(), 0xbeef);
+  EXPECT_EQ(*R.readU32(), 0xdeadbeefu);
+  EXPECT_EQ(*R.readU64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(SerializeTest, LittleEndianLayout) {
+  Writer W;
+  W.writeU32(0x01020304);
+  EXPECT_EQ(toHex(W.buffer()), "04030201");
+}
+
+class CompactSizeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompactSizeTest, RoundTripsCanonically) {
+  uint64_t V = GetParam();
+  Writer W;
+  W.writeCompactSize(V);
+  Reader R(W.buffer());
+  auto Back = R.readCompactSize();
+  ASSERT_TRUE(Back.hasValue()) << V;
+  EXPECT_EQ(*Back, V);
+  EXPECT_TRUE(R.atEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, CompactSizeTest,
+    ::testing::Values(0ULL, 1ULL, 0xfcULL, 0xfdULL, 0xffffULL, 0x10000ULL,
+                      0xffffffffULL, 0x100000000ULL, UINT64_MAX));
+
+TEST(SerializeTest, RejectsNonCanonicalCompactSize) {
+  // 0xfd 0x05 0x00 encodes 5, which must use the 1-byte form.
+  Bytes Bad{0xfd, 0x05, 0x00};
+  Reader R(Bad);
+  EXPECT_FALSE(R.readCompactSize().hasValue());
+}
+
+TEST(SerializeTest, ReadsAreBoundsChecked) {
+  Bytes Short{0x01, 0x02};
+  Reader R(Short);
+  EXPECT_FALSE(R.readU32().hasValue());
+  Reader R2(Short);
+  EXPECT_FALSE(R2.readBytes(3).hasValue());
+  Reader R3(Short);
+  EXPECT_TRUE(R3.readBytes(2).hasValue());
+  EXPECT_TRUE(R3.expectEnd().hasValue());
+}
+
+TEST(SerializeTest, VarBytesLengthLies) {
+  Writer W;
+  W.writeCompactSize(1000); // Claims 1000 bytes...
+  W.writeU8(0x42);          // ...provides 1.
+  Reader R(W.buffer());
+  EXPECT_FALSE(R.readVarBytes().hasValue());
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  Writer W;
+  W.writeString("hello");
+  W.writeString("");
+  Reader R(W.buffer());
+  EXPECT_EQ(*R.readString(), "hello");
+  EXPECT_EQ(*R.readString(), "");
+}
+
+// --- RNG ---------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng Rand(7);
+  for (uint64_t Bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(Rand.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng Rand(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = Rand.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng Rand(11);
+  double Sum = 0;
+  constexpr int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Sum += Rand.nextExponential(600.0);
+  EXPECT_NEAR(Sum / N, 600.0, 15.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng Rand(13);
+  int Hits = 0;
+  constexpr int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Hits += Rand.nextBool(0.25);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.01);
+}
+
+// --- Strings -----------------------------------------------------------
+
+TEST(StringsTest, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("%05d", 7), "00007");
+  EXPECT_EQ(strformat("plain"), "plain");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " "), "a b c");
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- tests/typecoin/embed_test.cpp - Metadata embedding (Section 3.3) ---===//
+
+#include "typecoin/embed.h"
+
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::tc;
+
+namespace {
+
+crypto::PrivateKey keyFromSeed(uint64_t Seed) {
+  Rng Rand(Seed);
+  return crypto::PrivateKey::generate(Rand);
+}
+
+Transaction sampleTc() {
+  Transaction T;
+  Input In;
+  In.SourceTxid = std::string(64, 'a');
+  In.SourceIndex = 2;
+  In.Type = logic::pOne();
+  In.Amount = 100000;
+  T.Inputs.push_back(In);
+  Output Out;
+  Out.Type = logic::pOne();
+  Out.Amount = 20000;
+  Out.Owner = keyFromSeed(1).publicKey();
+  T.Outputs.push_back(Out);
+  return T;
+}
+
+TEST(Embed, MetadataKeyRoundTrip) {
+  crypto::Digest32 Hash = crypto::sha256(bytesOfString("tx"));
+  Bytes Key = metadataAsKey(Hash);
+  EXPECT_EQ(Key.size(), 33u);
+  EXPECT_EQ(Key[0], 0x02);
+  auto Back = metadataFromKey(Key);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, Hash);
+  EXPECT_FALSE(metadataFromKey(Bytes(32, 1)).hasValue());
+}
+
+TEST(Embed, Multisig1of2SchemeIsStandardAndSpendable) {
+  Transaction Tc = sampleTc();
+  auto Btc = embedTransaction(Tc, EmbedScheme::Multisig1of2);
+  ASSERT_TRUE(Btc.hasValue()) << Btc.error().message();
+  // Output 0 is a 1-of-2 bare multisig — a standard script (BIP 11).
+  bitcoin::SolvedScript Solved =
+      bitcoin::solveScript(Btc->Outputs[0].ScriptPubKey);
+  EXPECT_EQ(Solved.Kind, bitcoin::TxOutKind::MultiSig);
+  EXPECT_EQ(Solved.Required, 1);
+
+  // The hash round-trips.
+  auto Extracted = extractMetadata(*Btc);
+  ASSERT_TRUE(Extracted.hasValue());
+  EXPECT_EQ(*Extracted, Tc.hash());
+
+  // Correspondence holds.
+  EXPECT_TRUE(checkCorrespondence(Tc, *Btc).hasValue());
+}
+
+TEST(Embed, BogusOutputSchemeAddsUnspendableOutput) {
+  Transaction Tc = sampleTc();
+  auto Btc = embedTransaction(Tc, EmbedScheme::BogusOutput);
+  ASSERT_TRUE(Btc.hasValue());
+  // One extra output beyond the Typecoin outputs.
+  ASSERT_EQ(Btc->Outputs.size(), Tc.Outputs.size() + 1);
+  const bitcoin::TxOut &Bogus = Btc->Outputs.back();
+  EXPECT_EQ(Bogus.Value, bitcoin::DustThreshold);
+  // Its "key" is a hash, not a generated key: about half of such blobs
+  // happen to decode as curve points, but nobody holds the discrete
+  // log, so the amount is unrecoverable and the UTXO entry is permanent
+  // deadweight (the paper's objection).
+  bitcoin::SolvedScript Solved = bitcoin::solveScript(Bogus.ScriptPubKey);
+  ASSERT_EQ(Solved.Kind, bitcoin::TxOutKind::PubKey);
+  EXPECT_EQ(Solved.Data[0], metadataAsKey(Tc.hash()));
+
+  auto Extracted = extractMetadata(*Btc);
+  ASSERT_TRUE(Extracted.hasValue());
+  EXPECT_EQ(*Extracted, Tc.hash());
+}
+
+TEST(Embed, NullDataScheme) {
+  Transaction Tc = sampleTc();
+  auto Btc = embedTransaction(Tc, EmbedScheme::NullData);
+  ASSERT_TRUE(Btc.hasValue());
+  auto Extracted = extractMetadata(*Btc);
+  ASSERT_TRUE(Extracted.hasValue());
+  EXPECT_EQ(*Extracted, Tc.hash());
+  EXPECT_TRUE(checkCorrespondence(Tc, *Btc).hasValue());
+}
+
+TEST(Embed, Multisig1of2RequiresAnOutput) {
+  Transaction Tc = sampleTc();
+  Tc.Outputs.clear();
+  EXPECT_FALSE(
+      embedTransaction(Tc, EmbedScheme::Multisig1of2).hasValue());
+}
+
+TEST(Embed, CorrespondenceDetectsTampering) {
+  Transaction Tc = sampleTc();
+  auto Btc = embedTransaction(Tc, EmbedScheme::Multisig1of2);
+  ASSERT_TRUE(Btc.hasValue());
+
+  // Tampered Typecoin side: hash mismatch.
+  Transaction Tampered = Tc;
+  Tampered.Outputs[0].Amount += 1;
+  EXPECT_FALSE(checkCorrespondence(Tampered, *Btc).hasValue());
+
+  // Tampered Bitcoin amount: amount mismatch, caught after re-embedding
+  // the correct hash.
+  bitcoin::Transaction BtcBad = *Btc;
+  BtcBad.Outputs[0].Value += 5;
+  EXPECT_FALSE(checkCorrespondence(Tc, BtcBad).hasValue());
+
+  // Redirected output: owner mismatch.
+  bitcoin::Transaction BtcStolen = *Btc;
+  BtcStolen.Outputs[0].ScriptPubKey =
+      bitcoin::makeP2PKH(keyFromSeed(9).id());
+  EXPECT_FALSE(checkCorrespondence(Tc, BtcStolen).hasValue());
+
+  // Missing inputs.
+  bitcoin::Transaction BtcNoIn = *Btc;
+  BtcNoIn.Inputs.clear();
+  EXPECT_FALSE(checkCorrespondence(Tc, BtcNoIn).hasValue());
+}
+
+TEST(Embed, ExtraInputsAndOutputsAllowed) {
+  // Trivial inputs balance the transaction and pay fees (Section 3.1).
+  Transaction Tc = sampleTc();
+  bitcoin::OutPoint Extra;
+  Extra.Tx.Hash[3] = 7;
+  Extra.Index = 0;
+  bitcoin::TxOut Change;
+  Change.Value = 77777;
+  Change.ScriptPubKey = bitcoin::makeP2PKH(keyFromSeed(2).id());
+  auto Btc = embedTransaction(Tc, EmbedScheme::Multisig1of2, {Extra},
+                              {Change});
+  ASSERT_TRUE(Btc.hasValue());
+  EXPECT_EQ(Btc->Inputs.size(), 2u);
+  EXPECT_EQ(Btc->Outputs.size(), 2u);
+  EXPECT_TRUE(checkCorrespondence(Tc, *Btc).hasValue());
+}
+
+TEST(Fallback, CompatibilityRules) {
+  Transaction Primary = sampleTc();
+  Transaction Good = sampleTc(); // Same outpoints, owners, amounts.
+  EXPECT_TRUE(checkFallbackCompatible(Primary, Good).hasValue());
+
+  Transaction WrongOutpoint = sampleTc();
+  WrongOutpoint.Inputs[0].SourceIndex = 9;
+  EXPECT_FALSE(checkFallbackCompatible(Primary, WrongOutpoint).hasValue());
+
+  Transaction WrongAmount = sampleTc();
+  WrongAmount.Outputs[0].Amount += 1;
+  EXPECT_FALSE(checkFallbackCompatible(Primary, WrongAmount).hasValue());
+
+  Transaction WrongOwner = sampleTc();
+  WrongOwner.Outputs[0].Owner = keyFromSeed(5).publicKey();
+  EXPECT_FALSE(checkFallbackCompatible(Primary, WrongOwner).hasValue());
+
+  // A fallback's *types* may differ freely (that is its purpose).
+  Transaction DifferentTypes = sampleTc();
+  DifferentTypes.Inputs[0].Type = logic::pZero();
+  EXPECT_TRUE(
+      checkFallbackCompatible(Primary, DifferentTypes).hasValue());
+
+  // Fallbacks must not nest.
+  Transaction Nested = sampleTc();
+  Nested.Fallbacks.push_back(sampleTc());
+  EXPECT_FALSE(checkFallbackCompatible(Primary, Nested).hasValue());
+}
+
+TEST(Fallback, CorrespondenceCoversFallbacks) {
+  Transaction Primary = sampleTc();
+  Transaction Alt = sampleTc();
+  Alt.Outputs[0].Type = logic::pZero();
+  Primary.Fallbacks.push_back(Alt);
+  auto Btc = embedTransaction(Primary, EmbedScheme::Multisig1of2);
+  ASSERT_TRUE(Btc.hasValue());
+  EXPECT_TRUE(checkCorrespondence(Primary, *Btc).hasValue());
+
+  // An incompatible fallback fails the whole correspondence.
+  Transaction BadAlt = sampleTc();
+  BadAlt.Outputs[0].Amount += 1;
+  Primary.Fallbacks.push_back(BadAlt);
+  auto Btc2 = embedTransaction(Primary, EmbedScheme::Multisig1of2);
+  ASSERT_TRUE(Btc2.hasValue());
+  EXPECT_FALSE(checkCorrespondence(Primary, *Btc2).hasValue());
+}
+
+} // namespace

@@ -1,0 +1,534 @@
+//===- tests/typecoin/extended_test.cpp - Extended paper scenarios --------===//
+//
+// Coverage beyond the core flows:
+//   * the full credential lifecycle parameterized over all three
+//     embedding schemes,
+//   * the Section 4 receipt idiom (ACM recovers the coupon),
+//   * external choice (& credentials) and transferable forall
+//     credentials (Section 2),
+//   * corruption injection on serialized transactions,
+//   * delayed registration at the paper's six-confirmation depth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil.h"
+
+using namespace typecoin;
+using namespace typecoin::tc;
+using namespace typecoin::testutil;
+
+namespace {
+
+// --- Parameterized embedding sweep ---------------------------------------
+
+class EmbedSweep : public ::testing::TestWithParam<EmbedScheme> {
+protected:
+  EmbedSweep() : Alice(2001), Bob(2002) {
+    fund(Node, Alice, 3, Clock);
+    fund(Node, Bob, 2, Clock);
+  }
+
+  Input trivialInput(Actor &A) {
+    for (const auto &S : A.Wallet.findSpendable(Node.chain())) {
+      std::string Key =
+          S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+      if (UsedInputs.count(Key))
+        continue;
+      if (Node.state()
+              .outputType(S.Point.Tx.toHex(), S.Point.Index)
+              ->Kind != logic::Prop::Tag::One)
+        continue;
+      UsedInputs.insert(Key);
+      Input In;
+      In.SourceTxid = S.Point.Tx.toHex();
+      In.SourceIndex = S.Point.Index;
+      In.Type = logic::pOne();
+      In.Amount = S.Value;
+      return In;
+    }
+    ADD_FAILURE() << "no unused spendable output";
+    return Input{};
+  }
+
+  tc::Node Node;
+  Actor Alice, Bob;
+  uint32_t Clock = 0;
+  std::set<std::string> UsedInputs;
+};
+
+TEST_P(EmbedSweep, LifecycleUnderScheme) {
+  BuildOptions Options;
+  Options.Scheme = GetParam();
+  Options.AvoidTypedOutputsOf = &Node.state();
+
+  // Grant a pass to Bob.
+  Transaction T;
+  ASSERT_TRUE(T.LocalBasis
+                  .declareFamily(lf::ConstName::local("pass"), lf::kProp())
+                  .hasValue());
+  T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local("pass")));
+  T.Inputs.push_back(trivialInput(Alice));
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 10000;
+  Out.Owner = Bob.pub();
+  T.Outputs.push_back(Out);
+  {
+    using namespace logic;
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+  }
+  auto P = buildPair(T, Alice.Wallet, Node.chain(), Options);
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  std::string Txid = confirmPair(Node, *P, Clock);
+
+  logic::PropPtr Pass = Node.state().outputType(Txid, 0);
+  EXPECT_NE(Pass->Kind, logic::Prop::Tag::One);
+
+  // Bob passes it back under the same scheme.
+  Transaction Back;
+  Input In;
+  In.SourceTxid = Txid;
+  In.SourceIndex = 0;
+  In.Type = Pass;
+  In.Amount = 10000;
+  Back.Inputs.push_back(In);
+  Output Ret;
+  Ret.Type = Pass;
+  Ret.Amount = 9000;
+  Ret.Owner = Alice.pub();
+  Back.Outputs.push_back(Ret);
+  auto Routing = makeRoutingProof(Back);
+  ASSERT_TRUE(Routing.hasValue());
+  Back.Proof = *Routing;
+  auto P2 = buildPair(Back, Bob.Wallet, Node.chain(), Options);
+  ASSERT_TRUE(P2.hasValue()) << P2.error().message();
+  std::string Txid2 = confirmPair(Node, *P2, Clock);
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(Txid2, 0), Pass));
+
+  // Double spend is rejected regardless of scheme.
+  auto P3 = buildPair(Back, Bob.Wallet, Node.chain(), Options);
+  EXPECT_FALSE(P3.hasValue());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, EmbedSweep,
+                         ::testing::Values(EmbedScheme::Multisig1of2,
+                                           EmbedScheme::BogusOutput,
+                                           EmbedScheme::NullData),
+                         [](const auto &Info) {
+                           switch (Info.param) {
+                           case EmbedScheme::Multisig1of2:
+                             return "Multisig1of2";
+                           case EmbedScheme::BogusOutput:
+                             return "BogusOutput";
+                           default:
+                             return "NullData";
+                           }
+                         });
+
+// --- Section 4: receipts recover the coupon ------------------------------
+
+class PaperIdioms : public ::testing::Test {
+protected:
+  PaperIdioms() : Acm(3001), Reader(3002) {
+    fund(Node, Acm, 3, Clock);
+    fund(Node, Reader, 3, Clock);
+  }
+
+  Input trivialInput(Actor &A) {
+    for (const auto &S : A.Wallet.findSpendable(Node.chain())) {
+      std::string Key =
+          S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+      if (UsedInputs.count(Key))
+        continue;
+      if (Node.state()
+              .outputType(S.Point.Tx.toHex(), S.Point.Index)
+              ->Kind != logic::Prop::Tag::One)
+        continue;
+      UsedInputs.insert(Key);
+      Input In;
+      In.SourceTxid = S.Point.Tx.toHex();
+      In.SourceIndex = S.Point.Index;
+      In.Type = logic::pOne();
+      In.Amount = S.Value;
+      return In;
+    }
+    ADD_FAILURE() << "no unused spendable output";
+    return Input{};
+  }
+
+  /// Publish families (with their kinds) and grant \p GrantProp to
+  /// \p To; returns the txid.
+  std::string
+  publish(Actor &Issuer,
+          const std::vector<std::pair<const char *, lf::KindPtr>> &Families,
+          logic::PropPtr GrantProp, const crypto::PublicKey &To) {
+    Transaction T;
+    for (const auto &[F, K] : Families)
+      EXPECT_TRUE(
+          T.LocalBasis.declareFamily(lf::ConstName::local(F), K)
+              .hasValue());
+    T.Grant = GrantProp;
+    T.Inputs.push_back(trivialInput(Issuer));
+    Output Out;
+    Out.Type = GrantProp;
+    Out.Amount = 10000;
+    Out.Owner = To;
+    T.Outputs.push_back(Out);
+    using namespace logic;
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+    auto P = buildPair(T, Issuer.Wallet, Node.chain());
+    EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+    return confirmPair(Node, *P, Clock);
+  }
+
+  tc::Node Node;
+  Actor Acm, Reader;
+  uint32_t Clock = 0;
+  std::set<std::string> UsedInputs;
+};
+
+TEST_F(PaperIdioms, ReceiptRecoverToplasCoupon) {
+  // ACM: !<ACM>(receipt(coupon ->> ACM) -o forall K. may-read(K, TOPLAS)).
+  // "By demanding a receipt, a principal requires that the corresponding
+  // payment is made" — the coupon comes back to ACM instead of being
+  // destroyed.
+  std::string Txid = publish(
+      Acm,
+      {{"coupon", lf::kProp()},
+       {"may-read-toplas", lf::kPi(lf::principalType(), lf::kProp())}},
+      logic::pAtom(lf::tConst(lf::ConstName::local("coupon"))),
+      Reader.pub());
+  lf::ConstName Coupon = lf::ConstName::local("coupon").resolved(Txid);
+  lf::ConstName MayRead =
+      lf::ConstName::local("may-read-toplas").resolved(Txid);
+  logic::PropPtr CouponAtom = logic::pAtom(lf::tConst(Coupon));
+  logic::PropPtr MayReadOf = logic::pForall(
+      lf::principalType(),
+      logic::pAtom(lf::tApp(lf::tConst(MayRead), lf::var(0))));
+
+  // The offer demands a receipt showing the coupon went back to ACM.
+  logic::PropPtr Offer = logic::pLolli(
+      logic::pReceipt(CouponAtom, 9000, lf::principal(Acm.id().toHex())),
+      MayReadOf);
+
+  // The reader's exercise transaction: coupon in; outputs [0] the
+  // credential instantiated at the reader, [1] the coupon back to ACM.
+  Transaction T;
+  Input CouponIn;
+  CouponIn.SourceTxid = Txid;
+  CouponIn.SourceIndex = 0;
+  CouponIn.Type = CouponAtom;
+  CouponIn.Amount = 10000;
+  T.Inputs.push_back(CouponIn);
+  Output CredOut;
+  CredOut.Type = logic::pAtom(
+      lf::tApp(lf::tConst(MayRead), lf::principal(Reader.id().toHex())));
+  CredOut.Amount = 1000;
+  CredOut.Owner = Reader.pub();
+  T.Outputs.push_back(CredOut);
+  Output CouponBack;
+  CouponBack.Type = CouponAtom;
+  CouponBack.Amount = 9000;
+  CouponBack.Owner = Acm.pub();
+  T.Outputs.push_back(CouponBack);
+
+  using namespace logic;
+  ProofPtr OfferAffirm = makeAssertBang(Acm.Key, Offer);
+  // saybind f <- offer in sayreturn_ACM(f rcoupon) : <ACM> forall K...
+  // — but the goal needs the bare credential. ACM also publishes
+  // redeem-style authority by making the offer's conclusion an
+  // affirmation-free forall? Here the output type is the bare atom, so
+  // ACM instead signs the *instantiated* grant for the reader. Simpler
+  // and paper-faithful: the offer's conclusion is the credential under
+  // <ACM>, and the output type carries the affirmation.
+  (void)OfferAffirm;
+  T.Outputs[0].Type =
+      pSays(lf::principal(Acm.id().toHex()),
+            pAtom(lf::tApp(lf::tConst(MayRead),
+                           lf::principal(Reader.id().toHex()))));
+  ProofPtr GetCred = mSayBind(
+      "f", makeAssertBang(Acm.Key, Offer),
+      mSayReturn(lf::principal(Acm.id().toHex()),
+                 mAllApp(mApp(mVar("f"), mVar("rcoupon")),
+                         lf::principal(Reader.id().toHex()))));
+  // B = <ACM>may-read(Reader) (x) coupon: pair the credential with the
+  // coupon routed home (the receipt rcoupon proves output 1 pays ACM).
+  T.Proof = mLam(
+      "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+      mTensorLet(
+          "c", "ar", mVar("x"),
+          mTensorLet(
+              "a", "r", mVar("ar"),
+              mOneLet(mVar("c"),
+                      mTensorLet("rcred", "rcoupon", mVar("r"),
+                                 mTensorPair(GetCred, mVar("a")))))));
+  auto P = buildPair(T, Reader.Wallet, Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  std::string ExTxid = confirmPair(Node, *P, Clock);
+
+  // The reader holds the credential; ACM holds the coupon again.
+  EXPECT_TRUE(logic::propEqual(
+      Node.state().outputType(ExTxid, 0),
+      pSays(lf::principal(Acm.id().toHex()),
+            pAtom(lf::tApp(lf::tConst(MayRead),
+                           lf::principal(Reader.id().toHex()))))));
+  EXPECT_TRUE(
+      logic::propEqual(Node.state().outputType(ExTxid, 1), CouponAtom));
+
+  // Without the receipt (coupon kept by the reader) the proof cannot be
+  // built: the receipt for output 1 would name the reader, not ACM.
+  Transaction Cheat = T;
+  Cheat.Outputs[1].Owner = Reader.pub();
+  auto CheatPair = buildPair(Cheat, Reader.Wallet, Node.chain());
+  if (CheatPair) {
+    EXPECT_FALSE(Node.submitPair(*CheatPair).hasValue());
+  }
+}
+
+TEST_F(PaperIdioms, ExternalChoiceCredential) {
+  // <ACM> forall K. (may-read(K, TOPLAS) & may-read(K, TOCL)) — "external
+  // choice allows the resource's holder to choose between multiple
+  // options" (Section 2). The holder picks TOCL; TOPLAS is forfeited.
+  std::string Txid = publish(Acm,
+                             {{"toplas", lf::kProp()},
+                              {"tocl", lf::kProp()}},
+                             logic::pWith(logic::pAtom(lf::tConst(
+                                              lf::ConstName::local(
+                                                  "toplas"))),
+                                          logic::pAtom(lf::tConst(
+                                              lf::ConstName::local(
+                                                  "tocl")))),
+                             Reader.pub());
+  logic::PropPtr Toplas = logic::pAtom(
+      lf::tConst(lf::ConstName::local("toplas").resolved(Txid)));
+  logic::PropPtr Tocl = logic::pAtom(
+      lf::tConst(lf::ConstName::local("tocl").resolved(Txid)));
+  logic::PropPtr Choice = logic::pWith(Toplas, Tocl);
+
+  Transaction T;
+  Input In;
+  In.SourceTxid = Txid;
+  In.SourceIndex = 0;
+  In.Type = Choice;
+  In.Amount = 10000;
+  T.Inputs.push_back(In);
+  Output Out;
+  Out.Type = Tocl; // The chosen side.
+  Out.Amount = 9000;
+  Out.Owner = Reader.pub();
+  T.Outputs.push_back(Out);
+  using namespace logic;
+  T.Proof = mLam(
+      "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+      mTensorLet("c", "ar", mVar("x"),
+                 mTensorLet("a", "r", mVar("ar"),
+                            mOneLet(mVar("c"), mWithSnd(mVar("a"))))));
+  auto P = buildPair(T, Reader.Wallet, Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  std::string ChoiceTxid = confirmPair(Node, *P, Clock);
+  EXPECT_TRUE(
+      logic::propEqual(Node.state().outputType(ChoiceTxid, 0), Tocl));
+
+  // Claiming *both* from one & is rejected: fst and snd of the same
+  // hypothesis double-consumes it.
+  Transaction Both = T;
+  Both.Inputs[0].SourceTxid = ChoiceTxid; // (Stale but irrelevant: the
+  Both.Inputs[0].Type = Choice;           // proof is checked first.)
+  Output Out2;
+  Out2.Type = Toplas;
+  Out2.Amount = 1000;
+  Out2.Owner = Reader.pub();
+  Both.Outputs.push_back(Out2);
+  Both.Proof = mLam(
+      "x", pTensor(Both.Grant,
+                   pTensor(Both.inputTensor(), Both.receiptTensor())),
+      mTensorLet(
+          "c", "ar", mVar("x"),
+          mTensorLet("a", "r", mVar("ar"),
+                     mOneLet(mVar("c"),
+                             mTensorPair(mWithSnd(mVar("a")),
+                                         mWithFst(mVar("a")))))));
+  auto BothPair = buildPair(Both, Reader.Wallet, Node.chain());
+  if (BothPair) {
+    EXPECT_FALSE(Node.submitPair(*BothPair).hasValue());
+  }
+}
+
+TEST_F(PaperIdioms, TransferableForallCredential) {
+  // <ACM> forall K. may-read(K, TOPLAS): "This credential can be used by
+  // anyone, by filling in the principal K. The holder ... could transfer
+  // it to someone else" (Section 2).
+  std::string Txid = publish(
+      Acm, {{"may-read", lf::kPi(lf::principalType(), lf::kProp())}},
+      logic::pForall(lf::principalType(),
+                     logic::pAtom(lf::tApp(
+                         lf::tConst(lf::ConstName::local("may-read")),
+                         lf::var(0)))),
+      Reader.pub());
+  lf::ConstName MayRead = lf::ConstName::local("may-read").resolved(Txid);
+  logic::PropPtr AnyK = logic::pForall(
+      lf::principalType(),
+      logic::pAtom(lf::tApp(lf::tConst(MayRead), lf::var(0))));
+
+  // First transfer it (unchanged) to another principal...
+  Actor Carol(3003);
+  Transaction Move;
+  Input In;
+  In.SourceTxid = Txid;
+  In.SourceIndex = 0;
+  In.Type = AnyK;
+  In.Amount = 10000;
+  Move.Inputs.push_back(In);
+  Output Out;
+  Out.Type = AnyK;
+  Out.Amount = 9000;
+  Out.Owner = Carol.pub();
+  Move.Outputs.push_back(Out);
+  Move.Proof = *makeRoutingProof(Move);
+  auto MovePair = buildPair(Move, Reader.Wallet, Node.chain());
+  ASSERT_TRUE(MovePair.hasValue()) << MovePair.error().message();
+  std::string MoveTxid = confirmPair(Node, *MovePair, Clock);
+
+  // ...then Carol instantiates K with herself.
+  Carol.Wallet.import(Carol.Key); // Carol signs her own spend.
+  Transaction Use;
+  Input In2;
+  In2.SourceTxid = MoveTxid;
+  In2.SourceIndex = 0;
+  In2.Type = AnyK;
+  In2.Amount = 9000;
+  Use.Inputs.push_back(In2);
+  Output Out2;
+  Out2.Type = logic::pAtom(
+      lf::tApp(lf::tConst(MayRead), lf::principal(Carol.id().toHex())));
+  Out2.Amount = 8000;
+  Out2.Owner = Carol.pub();
+  Use.Outputs.push_back(Out2);
+  using namespace logic;
+  Use.Proof = mLam(
+      "x", pTensor(Use.Grant,
+                   pTensor(Use.inputTensor(), Use.receiptTensor())),
+      mTensorLet("c", "ar", mVar("x"),
+                 mTensorLet("a", "r", mVar("ar"),
+                            mOneLet(mVar("c"),
+                                    mAllApp(mVar("a"),
+                                            lf::principal(
+                                                Carol.id().toHex()))))));
+  // Carol needs fee funds.
+  fund(Node, Carol, 1, Clock);
+  auto UsePair = buildPair(Use, Carol.Wallet, Node.chain());
+  ASSERT_TRUE(UsePair.hasValue()) << UsePair.error().message();
+  std::string UseTxid = confirmPair(Node, *UsePair, Clock);
+  EXPECT_TRUE(logic::propEqual(
+      Node.state().outputType(UseTxid, 0),
+      pAtom(lf::tApp(lf::tConst(MayRead),
+                     lf::principal(Carol.id().toHex())))));
+}
+
+// --- Corruption injection -------------------------------------------------
+
+class CorruptionSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CorruptionSweep, FlippedByteNeverValidatesAsOriginal) {
+  // Build a representative transaction, corrupt one byte at a sampled
+  // offset, and require that the result either fails to parse or hashes
+  // differently (so the embedding check catches it).
+  Transaction T;
+  auto S = T.LocalBasis.declareFamily(lf::ConstName::local("a"),
+                                      lf::kProp());
+  ASSERT_TRUE(S.hasValue());
+  T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local("a")));
+  Input In;
+  In.SourceTxid = std::string(64, 'b');
+  In.SourceIndex = 1;
+  In.Type = logic::pOne();
+  In.Amount = 5000;
+  T.Inputs.push_back(In);
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 4000;
+  Rng Rand(99);
+  Out.Owner = crypto::PrivateKey::generate(Rand).publicKey();
+  T.Outputs.push_back(Out);
+  T.Proof = logic::mLam(
+      "x",
+      logic::pTensor(T.Grant, logic::pTensor(T.inputTensor(),
+                                             T.receiptTensor())),
+      logic::mVar("x"));
+
+  Bytes Ser = T.serialize();
+  size_t Offset = GetParam() % Ser.size();
+  Bytes Corrupt = Ser;
+  Corrupt[Offset] ^= 0x01;
+
+  auto Back = Transaction::deserialize(Corrupt);
+  if (Back) {
+    // Parsed after corruption: the hash must differ, so the Bitcoin
+    // embedding pins the original.
+    EXPECT_NE(Back->hash(), T.hash()) << "offset " << Offset;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampledOffsets, CorruptionSweep,
+                         ::testing::Range<size_t>(0, 120, 7));
+
+// --- Registration depth -----------------------------------------------------
+
+TEST(RegistrationDepth, WaitsForSixConfirmations) {
+  tc::Node Node(tc::Node::defaultParams(), /*RegistrationDepth=*/6);
+  uint32_t Clock = 0;
+  Actor Alice(4001);
+  fund(Node, Alice, 2, Clock);
+
+  Transaction T;
+  ASSERT_TRUE(T.LocalBasis
+                  .declareFamily(lf::ConstName::local("slow"), lf::kProp())
+                  .hasValue());
+  T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local("slow")));
+  auto Funds = Alice.Wallet.findSpendable(Node.chain());
+  ASSERT_FALSE(Funds.empty());
+  Input In;
+  In.SourceTxid = Funds[0].Point.Tx.toHex();
+  In.SourceIndex = Funds[0].Point.Index;
+  In.Type = logic::pOne();
+  In.Amount = Funds[0].Value;
+  T.Inputs.push_back(In);
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 10000;
+  Out.Owner = Alice.pub();
+  T.Outputs.push_back(Out);
+  {
+    using namespace logic;
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+  }
+  auto P = buildPair(T, Alice.Wallet, Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  ASSERT_TRUE(Node.submitPair(*P).hasValue());
+  std::string Txid = txidHex(P->Btc);
+
+  // One block: mined but not registered yet.
+  mine(Node, crypto::KeyId{}, 1, Clock);
+  EXPECT_EQ(Node.confirmations(Txid), 1);
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(Txid, 0),
+                               logic::pOne()));
+  // Five more: the paper's threshold — now registered.
+  mine(Node, crypto::KeyId{}, 5, Clock);
+  EXPECT_EQ(Node.confirmations(Txid), 6);
+  EXPECT_NE(Node.state().outputType(Txid, 0)->Kind,
+            logic::Prop::Tag::One);
+}
+
+} // namespace

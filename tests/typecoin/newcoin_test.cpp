@@ -1,0 +1,500 @@
+//===- tests/typecoin/newcoin_test.cpp - Section 6 / Figure 3 -------------===//
+//
+// The paper's concrete demonstration, end-to-end on the full stack:
+// the newcoin basis, the term-limited banker (appoint/confirm/issue),
+// the revocable purchase offer, the exact Figure 3 proof term, coin
+// splitting and merging, revocation by spending R, and expiration of
+// the banker's term.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typecoin/newcoin.h"
+
+#include "testutil.h"
+
+using namespace typecoin;
+using namespace typecoin::tc;
+using namespace typecoin::testutil;
+
+namespace {
+
+class NewcoinTest : public ::testing::Test {
+protected:
+  NewcoinTest()
+      : Bank(11), President(22), Customer(33), Deposit(44) {
+    fund(Node, Bank, 3, Clock);
+    fund(Node, President, 2, Clock);
+    fund(Node, Customer, 3, Clock);
+  }
+
+  Input trivialInput(Actor &A) {
+    auto Spendable = A.Wallet.findSpendable(Node.chain());
+    for (const auto &S : Spendable) {
+      std::string Key =
+          S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+      if (UsedInputs.count(Key))
+        continue;
+      UsedInputs.insert(Key);
+      Input In;
+      In.SourceTxid = S.Point.Tx.toHex();
+      In.SourceIndex = S.Point.Index;
+      In.Type = logic::pOne();
+      In.Amount = S.Value;
+      return In;
+    }
+    ADD_FAILURE() << "no unused spendable output";
+    return Input{};
+  }
+
+  /// Proof shape for "one trivial input, grant routed to the single
+  /// output".
+  static logic::ProofPtr grantToOutput(const Transaction &T) {
+    using namespace logic;
+    return mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+  }
+
+  /// The bank's setup transaction: publishes the basis; outputs a
+  /// revocation-token txout (index 0, trivial type) kept by the bank.
+  std::string publishBasis() {
+    Transaction T;
+    Vocab = newcoin::makeBasis(T.LocalBasis, President.id());
+    T.Inputs.push_back(trivialInput(Bank));
+    Output Token;
+    Token.Type = logic::pOne();
+    Token.Amount = 5000;
+    Token.Owner = Bank.pub();
+    T.Outputs.push_back(Token);
+    using namespace logic;
+    // 1-in, 1-out with trivial types: routing proof.
+    auto Proof = makeRoutingProof(T);
+    EXPECT_TRUE(Proof.hasValue());
+    T.Proof = *Proof;
+    auto P = buildPair(T, Bank.Wallet, Node.chain());
+    EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+    std::string Txid = confirmPair(Node, *P, Clock);
+    RV = Vocab.resolved(Txid);
+    SetupTxid = Txid;
+    return Txid;
+  }
+
+  /// The appointment transaction: President affirms appoint(Banker, T);
+  /// confirm converts it to is_banker(Banker, T) at output 0.
+  std::string appointBanker(uint64_t TermEnd) {
+    Transaction T;
+    T.Inputs.push_back(trivialInput(President));
+    Output Out;
+    Out.Type = newcoin::isBanker(RV, Bank.id(), TermEnd);
+    Out.Amount = 5000;
+    Out.Owner = Bank.pub();
+    T.Outputs.push_back(Out);
+
+    using namespace logic;
+    logic::PropPtr AppointProp = newcoin::appoint(RV, Bank.id(), TermEnd);
+    ProofPtr Affirm = makeAssert(President.Key, T, AppointProp);
+    ProofPtr Confirm = mApp(
+        mAllApps(mConst(RV.Confirm),
+                 {lf::principal(Bank.id().toHex()), lf::nat(TermEnd)}),
+        Affirm);
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("c"),
+                                      mOneLet(mVar("a"), Confirm)))));
+
+    auto P = buildPair(T, President.Wallet, Node.chain());
+    EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+    return confirmPair(Node, *P, Clock);
+  }
+
+  /// The Figure 3 purchase: the customer pays NBtc to the deposit
+  /// address and receives coin NNc, consuming the is_banker resource.
+  Result<Pair> buildPurchase(const std::string &AppointTxid,
+                             uint64_t TermEnd, uint64_t NNc,
+                             bitcoin::Amount NBtc) {
+    Transaction T;
+    // Input 0: customer funds (trivial). Input 1: is_banker.
+    T.Inputs.push_back(trivialInput(Customer));
+    Input BankerIn;
+    BankerIn.SourceTxid = AppointTxid;
+    BankerIn.SourceIndex = 0;
+    BankerIn.Type = newcoin::isBanker(RV, Bank.id(), TermEnd);
+    BankerIn.Amount = 5000;
+    T.Inputs.push_back(BankerIn);
+
+    // Output 0: coin NNc to the customer. Output 1: NBtc to the deposit
+    // address (trivial type).
+    Output CoinOut;
+    CoinOut.Type = newcoin::coin(RV, NNc);
+    CoinOut.Amount = 10000;
+    CoinOut.Owner = Customer.pub();
+    T.Outputs.push_back(CoinOut);
+    Output Payment;
+    Payment.Type = logic::pOne();
+    Payment.Amount = NBtc;
+    Payment.Owner = Deposit.pub();
+    T.Outputs.push_back(Payment);
+
+    using namespace logic;
+    // The banker's persistent signed order.
+    PropPtr Order = newcoin::purchaseOrder(RV, NBtc, Deposit.id(),
+                                           SetupTxid, 0, NNc);
+    ProofPtr P = makeAssertBang(Bank.Key, Order);
+
+    // Figure 3, plumbed into the transaction obligation.
+    CondPtr Merged =
+        cAnd(cUnspent(SetupTxid, 0), cBefore(TermEnd));
+    ProofPtr Fig3 = newcoin::figure3Proof(RV, Bank.id(), TermEnd, NNc,
+                                          SetupTxid, 0, P, mVar("rd"),
+                                          mVar("b"));
+    // The purchase spends the banker's is_banker txout, so the banker
+    // co-signs; cooperation is modeled by sharing the signing key with
+    // the transaction builder.
+    Customer.Wallet.import(Bank.Key);
+    // B = coin NNc (x) 1; wrap: ifbind w <- fig3 in ifreturn (w, ()).
+    ProofPtr Wrapped =
+        mIfBind("w", Fig3,
+                mIfReturn(Merged, mTensorPair(mVar("w"), mOne())));
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet(
+            "c", "ar", mVar("x"),
+            mTensorLet(
+                "a", "r", mVar("ar"),
+                mTensorLet(
+                    "a0", "b", mVar("a"),
+                    mOneLet(mVar("a0"),
+                            mOneLet(mVar("c"),
+                                    mTensorLet("rc", "rd", mVar("r"),
+                                               Wrapped)))))));
+    return buildPair(T, Customer.Wallet, Node.chain());
+  }
+
+  tc::Node Node;
+  Actor Bank, President, Customer, Deposit;
+  newcoin::Vocab Vocab, RV;
+  std::string SetupTxid;
+  uint32_t Clock = 0;
+  std::set<std::string> UsedInputs;
+};
+
+TEST_F(NewcoinTest, Figure3PurchaseAndSplitMerge) {
+  publishBasis();
+  uint64_t TermEnd = Clock + 100 * 600; // Well in the future.
+  std::string AppointTxid = appointBanker(TermEnd);
+
+  // The purchase (Figure 3).
+  auto Purchase = buildPurchase(AppointTxid, TermEnd, /*NNc=*/100,
+                                /*NBtc=*/2 * bitcoin::SatoshisPerCoin);
+  ASSERT_TRUE(Purchase.hasValue()) << Purchase.error().message();
+  std::string PurchaseTxid = confirmPair(Node, *Purchase, Clock);
+  EXPECT_GE(Node.confirmations(PurchaseTxid), 1);
+
+  // The customer's txout carries coin 100.
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(PurchaseTxid, 0),
+                               newcoin::coin(RV, 100)));
+  // The deposit output is trivially typed.
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(PurchaseTxid, 1),
+                               logic::pOne()));
+
+  // Split coin 100 into coin 40 and coin 60.
+  Transaction Split;
+  Input CoinIn;
+  CoinIn.SourceTxid = PurchaseTxid;
+  CoinIn.SourceIndex = 0;
+  CoinIn.Type = newcoin::coin(RV, 100);
+  CoinIn.Amount = 10000;
+  Split.Inputs.push_back(CoinIn);
+  for (uint64_t Value : {40, 60}) {
+    Output Out;
+    Out.Type = newcoin::coin(RV, Value);
+    Out.Amount = 5000;
+    Out.Owner = Customer.pub();
+    Split.Outputs.push_back(Out);
+  }
+  {
+    using namespace logic;
+    ProofPtr Body = newcoin::splitProof(RV, 40, 60, mVar("a"));
+    Split.Proof = mLam(
+        "x",
+        pTensor(Split.Grant,
+                pTensor(Split.inputTensor(), Split.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("c"), Body))));
+  }
+  auto SplitPair = buildPair(Split, Customer.Wallet, Node.chain());
+  ASSERT_TRUE(SplitPair.hasValue()) << SplitPair.error().message();
+  std::string SplitTxid = confirmPair(Node, *SplitPair, Clock);
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(SplitTxid, 0),
+                               newcoin::coin(RV, 40)));
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(SplitTxid, 1),
+                               newcoin::coin(RV, 60)));
+
+  // Merge them back into coin 100.
+  Transaction Merge;
+  for (uint32_t I = 0; I < 2; ++I) {
+    Input In;
+    In.SourceTxid = SplitTxid;
+    In.SourceIndex = I;
+    In.Type = newcoin::coin(RV, I == 0 ? 40 : 60);
+    In.Amount = 5000;
+    Merge.Inputs.push_back(In);
+  }
+  Output Merged;
+  Merged.Type = newcoin::coin(RV, 100);
+  Merged.Amount = 9000;
+  Merged.Owner = Customer.pub();
+  Merge.Outputs.push_back(Merged);
+  {
+    using namespace logic;
+    ProofPtr Body = newcoin::mergeProof(RV, 40, 60, mVar("a1"), mVar("a2"));
+    Merge.Proof = mLam(
+        "x",
+        pTensor(Merge.Grant,
+                pTensor(Merge.inputTensor(), Merge.receiptTensor())),
+        mTensorLet(
+            "c", "ar", mVar("x"),
+            mTensorLet("a", "r", mVar("ar"),
+                       mTensorLet("a1", "a2", mVar("a"),
+                                  mOneLet(mVar("c"), Body)))));
+  }
+  auto MergePair = buildPair(Merge, Customer.Wallet, Node.chain());
+  ASSERT_TRUE(MergePair.hasValue()) << MergePair.error().message();
+  std::string MergeTxid = confirmPair(Node, *MergePair, Clock);
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(MergeTxid, 0),
+                               newcoin::coin(RV, 100)));
+}
+
+TEST_F(NewcoinTest, WrongArithmeticRejected) {
+  publishBasis();
+  uint64_t TermEnd = Clock + 100 * 600;
+  std::string AppointTxid = appointBanker(TermEnd);
+  auto Purchase = buildPurchase(AppointTxid, TermEnd, 100,
+                                2 * bitcoin::SatoshisPerCoin);
+  ASSERT_TRUE(Purchase.hasValue());
+  std::string PurchaseTxid = confirmPair(Node, *Purchase, Clock);
+
+  // Split coin 100 into 40 + 70: no plus/pf witness exists.
+  Transaction Split;
+  Input CoinIn;
+  CoinIn.SourceTxid = PurchaseTxid;
+  CoinIn.SourceIndex = 0;
+  CoinIn.Type = newcoin::coin(RV, 100);
+  CoinIn.Amount = 10000;
+  Split.Inputs.push_back(CoinIn);
+  for (uint64_t Value : {40, 70}) {
+    Output Out;
+    Out.Type = newcoin::coin(RV, Value);
+    Out.Amount = 4000;
+    Out.Owner = Customer.pub();
+    Split.Outputs.push_back(Out);
+  }
+  using namespace logic;
+  // Forged witness: pack plus/pf 40 70 (which proves plus 40 70 110)
+  // into exists x: plus 40 70 100. 1 — must be rejected by the LF layer.
+  PropPtr BadExists = pExists(
+      lf::plusType(lf::nat(40), lf::nat(70), lf::nat(100)), pOne());
+  ProofPtr BadWitness = mPack(BadExists, lf::plusProof(40, 70), mOne());
+  ProofPtr Rule = mAllApps(mConst(RV.Split),
+                           {lf::nat(40), lf::nat(70), lf::nat(100)});
+  ProofPtr Body = mApp(mApp(Rule, BadWitness), mVar("a"));
+  Split.Proof = mLam(
+      "x",
+      pTensor(Split.Grant,
+              pTensor(Split.inputTensor(), Split.receiptTensor())),
+      mTensorLet("c", "ar", mVar("x"),
+                 mTensorLet("a", "r", mVar("ar"),
+                            mOneLet(mVar("c"), Body))));
+  auto SplitPair = buildPair(Split, Customer.Wallet, Node.chain());
+  ASSERT_TRUE(SplitPair.hasValue());
+  auto Submitted = Node.submitPair(*SplitPair);
+  ASSERT_FALSE(Submitted.hasValue());
+}
+
+TEST_F(NewcoinTest, RevocationBySpendingR) {
+  publishBasis();
+  uint64_t TermEnd = Clock + 100 * 600;
+  std::string AppointTxid = appointBanker(TermEnd);
+
+  // The bank revokes the offer: spend the token txout R (Section 5,
+  // "Alice can revoke the offer at any time ... simply by spending I").
+  auto RId = txidFromHex(SetupTxid);
+  ASSERT_TRUE(RId.hasValue());
+  auto Crack = crackOutputs({bitcoin::OutPoint{*RId, 0}}, Bank.Wallet,
+                            Node.chain(), Bank.id(), 2000);
+  ASSERT_TRUE(Crack.hasValue()) << Crack.error().message();
+  ASSERT_TRUE(Node.submitPlain(*Crack).hasValue());
+  mine(Node, crypto::KeyId{}, 1, Clock);
+
+  // The purchase now fails: ~spent(R) is false.
+  auto Purchase = buildPurchase(AppointTxid, TermEnd, 100,
+                                2 * bitcoin::SatoshisPerCoin);
+  ASSERT_TRUE(Purchase.hasValue()) << Purchase.error().message();
+  auto Submitted = Node.submitPair(*Purchase);
+  ASSERT_FALSE(Submitted.hasValue());
+  EXPECT_NE(Submitted.error().message().find("condition"),
+            std::string::npos);
+}
+
+TEST_F(NewcoinTest, ExpirationOfBankersTerm) {
+  publishBasis();
+  // A term that expires in two blocks.
+  uint64_t TermEnd = Clock + 2 * 600;
+  std::string AppointTxid = appointBanker(TermEnd);
+
+  // Let the term lapse.
+  mine(Node, crypto::KeyId{}, 3, Clock);
+  ASSERT_GE(Clock, TermEnd);
+
+  auto Purchase = buildPurchase(AppointTxid, TermEnd, 100,
+                                2 * bitcoin::SatoshisPerCoin);
+  ASSERT_TRUE(Purchase.hasValue()) << Purchase.error().message();
+  EXPECT_FALSE(Node.submitPair(*Purchase).hasValue());
+}
+
+TEST_F(NewcoinTest, FixedSupplyViaGrant) {
+  // Section 6: "the bank could make the money supply fixed, by creating
+  // a coin 1000000000 or the like, and giving it to themselves."
+  publishBasis();
+  Transaction T;
+  T.Grant = newcoin::coin(RV, 1000000000);
+  T.Inputs.push_back(trivialInput(Bank));
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 5000;
+  Out.Owner = Bank.pub();
+  T.Outputs.push_back(Out);
+  T.Proof = grantToOutput(T);
+  auto P = buildPair(T, Bank.Wallet, Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+
+  // But wait: coin's family constant is now *global* (txid.coin), so a
+  // later transaction's grant mentioning it must FAIL the freshness
+  // check — otherwise anyone could print money. Verify rejection.
+  auto Submitted = Node.submitPair(*P);
+  ASSERT_FALSE(Submitted.hasValue());
+  EXPECT_NE(Submitted.error().message().find("freshness"),
+            std::string::npos);
+}
+
+TEST_F(NewcoinTest, FixedSupplyInSetupTransaction) {
+  // The *defining* transaction itself can grant coins (the constant is
+  // still local there).
+  Transaction T;
+  Vocab = newcoin::makeBasis(T.LocalBasis, President.id());
+  T.Grant = logic::pAtom(
+      lf::tApp(lf::tConst(Vocab.Coin), lf::nat(1000000000)));
+  T.Inputs.push_back(trivialInput(Bank));
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 5000;
+  Out.Owner = Bank.pub();
+  T.Outputs.push_back(Out);
+  T.Proof = grantToOutput(T);
+  auto P = buildPair(T, Bank.Wallet, Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  std::string Txid = confirmPair(Node, *P, Clock);
+  newcoin::Vocab V2 = Vocab.resolved(Txid);
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(Txid, 0),
+                               newcoin::coin(V2, 1000000000)));
+}
+
+TEST_F(NewcoinTest, PrintingPressIdiom) {
+  // Section 6: "the bank could include the resource (forall n:nat.
+  // coin n) in the affine grant and hang on to it, thus giving itself
+  // the equivalent of a printing press. ... Creating persistent
+  // resources in the affine grant is an important idiom" — so the press
+  // is granted under ! and hangs on across uses.
+  Transaction T;
+  Vocab = newcoin::makeBasis(T.LocalBasis, President.id());
+  logic::PropPtr Press = logic::pBang(logic::pForall(
+      lf::natType(),
+      logic::pAtom(lf::tApp(lf::tConst(Vocab.Coin), lf::var(0)))));
+  T.Grant = Press;
+  T.Inputs.push_back(trivialInput(Bank));
+  Output Out;
+  Out.Type = Press;
+  Out.Amount = 5000;
+  Out.Owner = Bank.pub();
+  T.Outputs.push_back(Out);
+  T.Proof = grantToOutput(T);
+  auto P = buildPair(T, Bank.Wallet, Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  std::string PressTxid = confirmPair(Node, *P, Clock);
+  RV = Vocab.resolved(PressTxid);
+  logic::PropPtr RPress = logic::resolveProp(Press, PressTxid);
+
+  // One transaction prints two different denominations AND keeps the
+  // press: let !f = press in ((f [10], f [25]), !f).
+  Transaction Mint;
+  Input In;
+  In.SourceTxid = PressTxid;
+  In.SourceIndex = 0;
+  In.Type = RPress;
+  In.Amount = 5000;
+  Mint.Inputs.push_back(In);
+  for (uint64_t Value : {10, 25}) {
+    Output CoinOut;
+    CoinOut.Type = newcoin::coin(RV, Value);
+    CoinOut.Amount = 2000;
+    CoinOut.Owner = Bank.pub();
+    Mint.Outputs.push_back(CoinOut);
+  }
+  Output KeepPress;
+  KeepPress.Type = RPress;
+  KeepPress.Amount = 1000;
+  KeepPress.Owner = Bank.pub();
+  Mint.Outputs.push_back(KeepPress);
+  {
+    using namespace logic;
+    ProofPtr Body = mBangLet(
+        "f", mVar("a"),
+        mTensorPair(mAllApp(mVar("f"), lf::nat(10)),
+                    mTensorPair(mAllApp(mVar("f"), lf::nat(25)),
+                                mBang(mVar("f")))));
+    Mint.Proof = mLam(
+        "x",
+        pTensor(Mint.Grant,
+                pTensor(Mint.inputTensor(), Mint.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("c"), Body))));
+  }
+  auto MintPair = buildPair(Mint, Bank.Wallet, Node.chain());
+  ASSERT_TRUE(MintPair.hasValue()) << MintPair.error().message();
+  std::string MintTxid = confirmPair(Node, *MintPair, Clock);
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(MintTxid, 0),
+                               newcoin::coin(RV, 10)));
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(MintTxid, 1),
+                               newcoin::coin(RV, 25)));
+  EXPECT_TRUE(
+      logic::propEqual(Node.state().outputType(MintTxid, 2), RPress));
+
+  // But a press in the *basis* would let anyone print money; the
+  // freshness check is what forces it into the grant. Verify a later
+  // transaction cannot re-grant it (the coin family is now global).
+  Transaction Forge;
+  Forge.Grant = logic::pBang(logic::pForall(
+      lf::natType(),
+      logic::pAtom(lf::tApp(lf::tConst(RV.Coin), lf::var(0)))));
+  Forge.Inputs.push_back(trivialInput(Customer));
+  Output Stolen;
+  Stolen.Type = Forge.Grant;
+  Stolen.Amount = 2000;
+  Stolen.Owner = Customer.pub();
+  Forge.Outputs.push_back(Stolen);
+  Forge.Proof = grantToOutput(Forge);
+  auto ForgePair = buildPair(Forge, Customer.Wallet, Node.chain());
+  ASSERT_TRUE(ForgePair.hasValue());
+  auto Submitted = Node.submitPair(*ForgePair);
+  ASSERT_FALSE(Submitted.hasValue());
+  EXPECT_NE(Submitted.error().message().find("freshness"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+//===- tests/typecoin/property_test.cpp - Randomized property sweeps ------===//
+//
+// Seeded random-structure properties:
+//   * random propositions round-trip through serialization and survive
+//     `this`-resolution with no local constants left,
+//   * random permutation routings check; multiset mismatches fail,
+//   * random coin split/merge trees conserve value end-to-end in the
+//     checker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typecoin/builder.h"
+#include "typecoin/newcoin.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+const std::string TxHex(64, 'd');
+
+/// A random proposition over a small vocabulary. Depth-bounded;
+/// quantifier-free at the leaves to keep formation independent of the
+/// enclosing context.
+PropPtr randomProp(Rng &Rand, int Depth) {
+  if (Depth == 0) {
+    switch (Rand.nextBelow(3)) {
+    case 0:
+      return pAtom(lf::tConst(lf::ConstName::local("a")));
+    case 1:
+      return pOne();
+    default:
+      return pAtom(lf::tApp(lf::tConst(lf::ConstName::local("coin")),
+                            lf::nat(Rand.nextBelow(1000))));
+    }
+  }
+  switch (Rand.nextBelow(9)) {
+  case 0:
+    return pTensor(randomProp(Rand, Depth - 1), randomProp(Rand, Depth - 1));
+  case 1:
+    return pLolli(randomProp(Rand, Depth - 1), randomProp(Rand, Depth - 1));
+  case 2:
+    return pWith(randomProp(Rand, Depth - 1), randomProp(Rand, Depth - 1));
+  case 3:
+    return pPlus(randomProp(Rand, Depth - 1), randomProp(Rand, Depth - 1));
+  case 4:
+    return pBang(randomProp(Rand, Depth - 1));
+  case 5:
+    return pSays(lf::principal(std::string(40, 'e')),
+                 randomProp(Rand, Depth - 1));
+  case 6:
+    return pIf(Rand.nextBool(0.5)
+                   ? cBefore(Rand.nextBelow(100000))
+                   : cUnspent(TxHex, static_cast<uint32_t>(
+                                         Rand.nextBelow(8))),
+               randomProp(Rand, Depth - 1));
+  case 7:
+    return pReceipt(randomProp(Rand, Depth - 1), Rand.nextBelow(100000),
+                    lf::principal(std::string(40, 'f')));
+  default:
+    return pForall(lf::natType(),
+                   shiftProp(randomProp(Rand, Depth - 1), 1));
+  }
+}
+
+class RandomPropSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomPropSweep, SerializationRoundTrip) {
+  Rng Rand(GetParam());
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    PropPtr P = randomProp(Rand, 4);
+    Writer W;
+    writeProp(W, P);
+    Reader R(W.buffer());
+    auto Back = readProp(R);
+    ASSERT_TRUE(Back.hasValue()) << printProp(P);
+    EXPECT_TRUE(propEqual(P, *Back)) << printProp(P);
+    EXPECT_TRUE(R.atEnd());
+  }
+}
+
+TEST_P(RandomPropSweep, ResolutionEliminatesLocals) {
+  Rng Rand(GetParam() + 1000);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    PropPtr P = randomProp(Rand, 4);
+    PropPtr Resolved = resolveProp(P, TxHex);
+    EXPECT_FALSE(propHasLocal(Resolved)) << printProp(P);
+    // Resolution is idempotent.
+    EXPECT_TRUE(propEqual(resolveProp(Resolved, std::string(64, 'e')),
+                          Resolved));
+  }
+}
+
+TEST_P(RandomPropSweep, FormationAgreesWithVocabulary) {
+  Rng Rand(GetParam() + 2000);
+  lf::Signature Sig;
+  ASSERT_TRUE(Sig.declareFamily(lf::ConstName::local("a"), lf::kProp())
+                  .hasValue());
+  ASSERT_TRUE(Sig.declareFamily(lf::ConstName::local("coin"),
+                                lf::kPi(lf::natType(), lf::kProp()))
+                  .hasValue());
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    PropPtr P = randomProp(Rand, 3);
+    EXPECT_TRUE(checkProp(Sig, {}, P).hasValue()) << printProp(P);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPropSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+// --- Permutation routing -------------------------------------------------
+
+class RoutingSweep : public ::testing::TestWithParam<uint64_t> {
+protected:
+  RoutingSweep() : Checker(Sigma, Trust) {
+    auto S = Sigma.declareFamily(lf::ConstName::local("t"),
+                                 lf::kPi(lf::natType(), lf::kProp()));
+    EXPECT_TRUE(S.hasValue());
+  }
+
+  PropPtr typeOf(uint64_t I) {
+    return pAtom(lf::tApp(lf::tConst(lf::ConstName::local("t")),
+                          lf::nat(I)));
+  }
+
+  /// Build a routing transaction over the given input type tags and a
+  /// permutation of them for the outputs.
+  tc::Transaction routing(const std::vector<uint64_t> &InTags,
+                          const std::vector<uint64_t> &OutTags) {
+    Rng KeyRand(7);
+    crypto::PublicKey Owner =
+        crypto::PrivateKey::generate(KeyRand).publicKey();
+    tc::Transaction T;
+    for (size_t I = 0; I < InTags.size(); ++I) {
+      tc::Input In;
+      In.SourceTxid = TxHex;
+      In.SourceIndex = static_cast<uint32_t>(I);
+      In.Type = typeOf(InTags[I]);
+      In.Amount = 1000;
+      T.Inputs.push_back(In);
+    }
+    for (uint64_t Tag : OutTags) {
+      tc::Output Out;
+      Out.Type = typeOf(Tag);
+      Out.Amount = 1000;
+      Out.Owner = Owner;
+      T.Outputs.push_back(Out);
+    }
+    return T;
+  }
+
+  /// Check T's proof obligation directly (the routing proof discharges
+  /// no conditions).
+  bool proofChecks(const tc::Transaction &T) {
+    auto Proof = tc::makeRoutingProof(T);
+    if (!Proof)
+      return false;
+    auto Proved = Checker.infer(*Proof);
+    if (!Proved)
+      return false;
+    PropPtr CAR =
+        pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor()));
+    return (*Proved)->Kind == Prop::Tag::Lolli &&
+           propEqual((*Proved)->L, CAR) &&
+           propEqual((*Proved)->R, T.outputTensor());
+  }
+
+  Basis Sigma;
+  TrustingVerifier Trust;
+  ProofChecker Checker;
+};
+
+TEST_P(RoutingSweep, RandomPermutationsCheck) {
+  Rng Rand(GetParam());
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    size_t N = 1 + Rand.nextBelow(6);
+    std::vector<uint64_t> Tags(N);
+    for (auto &Tag : Tags)
+      Tag = Rand.nextBelow(4); // Duplicates likely: multiset matching.
+    std::vector<uint64_t> Shuffled = Tags;
+    // Fisher-Yates with the seeded RNG.
+    for (size_t I = Shuffled.size(); I > 1; --I)
+      std::swap(Shuffled[I - 1], Shuffled[Rand.nextBelow(I)]);
+    EXPECT_TRUE(proofChecks(routing(Tags, Shuffled)))
+        << "N=" << N << " trial " << Trial;
+  }
+}
+
+TEST_P(RoutingSweep, MultisetMismatchFails) {
+  Rng Rand(GetParam() + 5000);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    size_t N = 1 + Rand.nextBelow(5);
+    std::vector<uint64_t> Tags(N);
+    for (auto &Tag : Tags)
+      Tag = Rand.nextBelow(4);
+    std::vector<uint64_t> Wrong = Tags;
+    // Bump one output tag out of the input multiset.
+    Wrong[Rand.nextBelow(N)] = 100 + Rand.nextBelow(10);
+    EXPECT_FALSE(tc::makeRoutingProof(routing(Tags, Wrong)).hasValue());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// --- Coin conservation ----------------------------------------------------
+
+class CoinTreeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoinTreeSweep, SplitMergeConservesValue) {
+  // Random split/merge trees over the newcoin rules always re-check, and
+  // a value-changing "merge" never does.
+  Rng Rand(GetParam());
+  Basis Sigma;
+  Rng KeyRand(9);
+  crypto::KeyId President = crypto::PrivateKey::generate(KeyRand).id();
+  newcoin::Vocab V = newcoin::makeBasis(Sigma, President);
+  TrustingVerifier Trust;
+  ProofChecker Checker(Sigma, Trust);
+
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    // Split 100 into random parts, then merge everything back.
+    uint64_t Total = 100;
+    std::vector<uint64_t> Parts;
+    uint64_t Rest = Total;
+    while (Rest > 1 && Parts.size() < 5) {
+      uint64_t Cut = 1 + Rand.nextBelow(Rest - 1);
+      Parts.push_back(Cut);
+      Rest -= Cut;
+    }
+    Parts.push_back(Rest);
+
+    // split chain: coin Total -> tensor of parts (left-leaning).
+    ProofPtr Acc = mVar("c");
+    uint64_t Remaining = Total;
+    std::vector<ProofPtr> PartProofs;
+    for (size_t I = 0; I + 1 < Parts.size(); ++I) {
+      // split Parts[I] (Remaining - Parts[I]) <- coin Remaining.
+      ProofPtr SplitPair = newcoin::splitProof(
+          V, Parts[I], Remaining - Parts[I], Acc);
+      // let (p, rest) = split ... in ...
+      // Accumulate part proofs via nested lets at the end; build
+      // inner-out: we instead restructure as sequential lets below.
+      PartProofs.push_back(SplitPair);
+      Remaining -= Parts[I];
+      Acc = mVar("rest" + std::to_string(I));
+    }
+
+    // Assemble: let (p0, rest0) = split0 in let (p1, rest1) = split1 in
+    // ... merge everything back to coin Total.
+    ProofPtr Merge = mVar(Parts.size() == 1
+                              ? "c"
+                              : "rest" + std::to_string(Parts.size() - 2));
+    uint64_t MergedSoFar = Parts.back();
+    for (size_t I = Parts.size() - 1; I-- > 0;) {
+      Merge = newcoin::mergeProof(V, Parts[I], MergedSoFar,
+                                  mVar("p" + std::to_string(I)), Merge);
+      MergedSoFar += Parts[I];
+    }
+    ProofPtr Body = Merge;
+    for (size_t I = PartProofs.size(); I-- > 0;)
+      Body = mTensorLet("p" + std::to_string(I), "rest" + std::to_string(I),
+                        PartProofs[I], Body);
+
+    auto Proved =
+        Checker.infer(Body, {{"c", newcoin::coin(V, Total)}});
+    ASSERT_TRUE(Proved.hasValue()) << Proved.error().message();
+    EXPECT_TRUE(propEqual(*Proved, newcoin::coin(V, Total)));
+
+    // Value forgery: merging the parts to Total+1 must fail (no plus
+    // proof exists).
+    if (Parts.size() >= 2) {
+      ProofPtr Bad = newcoin::mergeProof(
+          V, Parts[0] + 1, MergedSoFar - Parts[0],
+          mVar("p0"), mVar("q"));
+      auto BadProved = Checker.infer(
+          Bad, {{"p0", newcoin::coin(V, Parts[0])},
+                {"q", newcoin::coin(V, MergedSoFar - Parts[0])}});
+      EXPECT_FALSE(BadProved.hasValue());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoinTreeSweep,
+                         ::testing::Values(101u, 202u, 303u));
+
+} // namespace

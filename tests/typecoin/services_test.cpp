@@ -1,0 +1,515 @@
+//===- tests/typecoin/services_test.cpp - Batch mode, escrow, open txs ----===//
+//
+// Section 3.2 (batch mode), Section 7 (open transactions and
+// type-checking escrow), exercised end-to-end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "services/batchserver.h"
+#include "services/escrow.h"
+#include "typecoin/opentx.h"
+
+#include "testutil.h"
+
+using namespace typecoin;
+using namespace typecoin::tc;
+using namespace typecoin::testutil;
+
+namespace {
+
+class ServicesTest : public ::testing::Test {
+protected:
+  ServicesTest() : Alice(1001), Bob(1002), Carol(1003) {
+    fund(Node, Alice, 3, Clock);
+    fund(Node, Bob, 3, Clock);
+  }
+
+  Input trivialInput(Actor &A) {
+    auto Spendable = A.Wallet.findSpendable(Node.chain());
+    for (const auto &S : Spendable) {
+      std::string Key =
+          S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+      if (UsedInputs.count(Key))
+        continue;
+      UsedInputs.insert(Key);
+      Input In;
+      In.SourceTxid = S.Point.Tx.toHex();
+      In.SourceIndex = S.Point.Index;
+      In.Type = logic::pOne();
+      In.Amount = S.Value;
+      return In;
+    }
+    ADD_FAILURE() << "no unused spendable output";
+    return Input{};
+  }
+
+  /// Publish a basis declaring a single prop family \p Name and grant
+  /// one unit of it to \p To; returns (txid, resolved atom).
+  std::pair<std::string, logic::PropPtr>
+  grantAtom(Actor &Issuer, const char *Name, const crypto::PublicKey &To,
+            bitcoin::Amount Amount = 10000) {
+    Transaction T;
+    auto S = T.LocalBasis.declareFamily(lf::ConstName::local(Name),
+                                        lf::kProp());
+    EXPECT_TRUE(S.hasValue());
+    T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local(Name)));
+    T.Inputs.push_back(trivialInput(Issuer));
+    Output Out;
+    Out.Type = T.Grant;
+    Out.Amount = Amount;
+    Out.Owner = To;
+    T.Outputs.push_back(Out);
+    using namespace logic;
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+    auto P = buildPair(T, Issuer.Wallet, Node.chain());
+    EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+    std::string Txid = confirmPair(Node, *P, Clock);
+    return {Txid, logic::resolveProp(T.Grant, Txid)};
+  }
+
+  tc::Node Node;
+  Actor Alice, Bob, Carol;
+  uint32_t Clock = 0;
+  std::set<std::string> UsedInputs;
+};
+
+TEST_F(ServicesTest, BatchModeDepositTransferWithdraw) {
+  services::BatchServer Server(Node, 9001);
+  // Fund the server for withdrawal fees.
+  mine(Node, Server.serverId(), 2, Clock);
+  mine(Node, crypto::KeyId{}, 1, Clock);
+
+  // Alice deposits a ticket (sends the resource to the server's key).
+  auto [Txid, Ticket] = grantAtom(Alice, "ticket", Server.serverKey());
+  ASSERT_TRUE(Server.registerDeposit(Txid, 0, Alice.id()).hasValue());
+  EXPECT_TRUE(Server.holdsResource(Alice.id(), Ticket));
+  EXPECT_FALSE(Server.holdsResource(Bob.id(), Ticket));
+
+  // Many off-chain transfers: no blockchain transactions at all.
+  size_t ChainTxsBefore = Node.chain().blockCount();
+  ASSERT_TRUE(Server.transfer(Txid, 0, Alice.id(), Bob.id()).hasValue());
+  ASSERT_TRUE(Server.transfer(Txid, 0, Bob.id(), Carol.id()).hasValue());
+  ASSERT_TRUE(Server.transfer(Txid, 0, Carol.id(), Bob.id()).hasValue());
+  EXPECT_EQ(Server.onChainTxCount(), 0u);
+  EXPECT_EQ(Node.chain().blockCount(), ChainTxsBefore);
+  EXPECT_TRUE(Server.holdsResource(Bob.id(), Ticket));
+
+  // Unauthorized transfer rejected.
+  EXPECT_FALSE(Server.transfer(Txid, 0, Alice.id(), Carol.id()).hasValue());
+
+  // Withdraw to Bob: exactly one on-chain transaction for the whole
+  // history (the fee amortization of Section 3.2).
+  auto Withdrawn = Server.withdraw(Txid, 0, Bob.pub());
+  ASSERT_TRUE(Withdrawn.hasValue()) << Withdrawn.error().message();
+  EXPECT_EQ(Server.onChainTxCount(), 1u);
+  mine(Node, crypto::KeyId{}, 1, Clock);
+  EXPECT_TRUE(
+      logic::propEqual(Node.state().outputType(*Withdrawn, 0), Ticket));
+  EXPECT_FALSE(Server.holdsResource(Bob.id(), Ticket));
+
+  // Withdrawing to a non-owner fails.
+  auto [Txid2, Ticket2] = grantAtom(Alice, "ticket2", Server.serverKey());
+  ASSERT_TRUE(Server.registerDeposit(Txid2, 0, Alice.id()).hasValue());
+  EXPECT_FALSE(Server.withdraw(Txid2, 0, Bob.pub()).hasValue());
+}
+
+TEST_F(ServicesTest, VerifyResourceFromRecordsAndChain) {
+  services::BatchServer Server(Node, 9005);
+  mine(Node, Server.serverId(), 2, Clock);
+  mine(Node, crypto::KeyId{}, 1, Clock);
+
+  // A held resource answers from the records.
+  auto [HeldTxid, Held] = grantAtom(Alice, "held", Server.serverKey());
+  ASSERT_TRUE(Server.registerDeposit(HeldTxid, 0, Alice.id()).hasValue());
+  auto FromRecords = Server.verifyResource(HeldTxid, 0, Held);
+  ASSERT_TRUE(FromRecords.hasValue());
+  EXPECT_TRUE(*FromRecords);
+  auto WrongType = Server.verifyResource(HeldTxid, 0, logic::pZero());
+  ASSERT_TRUE(WrongType.hasValue());
+  EXPECT_FALSE(*WrongType);
+
+  // A resource the server does NOT hold answers from the blockchain.
+  auto [ChainTxid, OnChain] = grantAtom(Alice, "onchain", Bob.pub());
+  auto FromChain = Server.verifyResource(ChainTxid, 0, OnChain);
+  ASSERT_TRUE(FromChain.hasValue()) << FromChain.error().message();
+  EXPECT_TRUE(*FromChain);
+
+  // Once consumed on-chain, the query flips to false.
+  Transaction Spend;
+  Input In;
+  In.SourceTxid = ChainTxid;
+  In.SourceIndex = 0;
+  In.Type = OnChain;
+  In.Amount = 10000;
+  Spend.Inputs.push_back(In);
+  Output Out;
+  Out.Type = OnChain;
+  Out.Amount = 9000;
+  Out.Owner = Alice.pub();
+  Spend.Outputs.push_back(Out);
+  Spend.Proof = *makeRoutingProof(Spend);
+  auto P = buildPair(Spend, Bob.Wallet, Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  confirmPair(Node, *P, Clock);
+  auto AfterSpend = Server.verifyResource(ChainTxid, 0, OnChain);
+  ASSERT_TRUE(AfterSpend.hasValue());
+  EXPECT_FALSE(*AfterSpend);
+
+  // Unknown transactions are an evidence error, not a "no".
+  EXPECT_FALSE(
+      Server.verifyResource(std::string(64, 'f'), 0, OnChain).hasValue());
+}
+
+TEST_F(ServicesTest, BatchModeRejectsBadDeposits) {
+  services::BatchServer Server(Node, 9002);
+  // A txout not owned by the server.
+  auto [Txid, Ticket] = grantAtom(Alice, "ticket", Bob.pub());
+  EXPECT_FALSE(Server.registerDeposit(Txid, 0, Alice.id()).hasValue());
+  // A trivially-typed txout.
+  EXPECT_FALSE(Server.registerDeposit(Txid, 1, Alice.id()).hasValue());
+  // An unknown transaction.
+  EXPECT_FALSE(Server.registerDeposit(std::string(64, 'e'), 0, Alice.id())
+                   .hasValue());
+}
+
+TEST_F(ServicesTest, OpenTransactionWithTypeCheckingEscrow) {
+  // Section 7: the puzzle prize. Charlie is the escrow agent.
+  services::EscrowAgent Charlie(7001);
+
+  // Alice sends the prize to Charlie's key, and (for the test) Bob has
+  // earned a solution resource.
+  auto [PrizeTxid, Prize] = grantAtom(Alice, "prize", Charlie.publicKey());
+  auto [SolutionTxid, Solution] = grantAtom(Alice, "solution", Bob.pub());
+
+  // Alice issues the open transaction: input 0 = the prize (escrowed),
+  // input 1 = OPEN (a txout typed `solution`); output 0 = the prize to
+  // OPEN, output 1 = the solution to Alice.
+  OpenTransaction Open;
+  Input PrizeIn;
+  PrizeIn.SourceTxid = PrizeTxid;
+  PrizeIn.SourceIndex = 0;
+  PrizeIn.Type = Prize;
+  PrizeIn.Amount = 10000;
+  Open.Template.Inputs.push_back(PrizeIn);
+  Input SolutionIn;
+  SolutionIn.Type = Solution;
+  SolutionIn.Amount = 10000;
+  Open.Template.Inputs.push_back(SolutionIn); // Source left blank.
+  Output PrizeOut;
+  PrizeOut.Type = Prize;
+  PrizeOut.Amount = 10000;
+  Open.Template.Outputs.push_back(PrizeOut); // Owner left blank.
+  Output SolutionOut;
+  SolutionOut.Type = Solution;
+  SolutionOut.Amount = 10000;
+  SolutionOut.Owner = Alice.pub();
+  Open.Template.Outputs.push_back(SolutionOut);
+  Open.OpenInput = 1;
+  Open.OpenOutput = 0;
+  Open.sign(Alice.Key);
+  EXPECT_TRUE(Open.verifyIssuer(Alice.id()).hasValue());
+  EXPECT_FALSE(Open.verifyIssuer(Bob.id()).hasValue());
+
+  // Bob fills in his solution txout and his key.
+  auto Filled = Open.fill(SolutionTxid, 0, Bob.pub());
+  ASSERT_TRUE(Filled.hasValue());
+  auto Routing = makeRoutingProof(*Filled);
+  ASSERT_TRUE(Routing.hasValue()) << Routing.error().message();
+  Transaction Final = *Filled;
+  Final.Proof = *Routing;
+
+  // Assemble the Bitcoin transaction: a fee input from Bob's wallet.
+  auto Spendables = Bob.Wallet.findSpendable(Node.chain());
+  ASSERT_FALSE(Spendables.empty());
+  auto Btc = embedTransaction(Final, EmbedScheme::Multisig1of2,
+                              {Spendables[0].Point});
+  ASSERT_TRUE(Btc.hasValue());
+
+  // Charlie's policy: sign iff the instance typechecks.
+  Pair P{Final, *Btc};
+  auto CharlieSig = Charlie.signIfValid(P, Node, 0);
+  ASSERT_TRUE(CharlieSig.hasValue()) << CharlieSig.error().message();
+  // The prize txout is a 1-of-2 multisig (the embedding script), so
+  // Charlie's contribution is assembled in multisig form.
+  {
+    const bitcoin::Coin *PrizeCoin =
+        Node.chain().utxo().find(Btc->Inputs[0].Prevout);
+    ASSERT_NE(PrizeCoin, nullptr);
+    auto ScriptSig = services::assembleMultisig(
+        PrizeCoin->Out.ScriptPubKey,
+        {{Charlie.publicKey().serialize(), *CharlieSig}});
+    ASSERT_TRUE(ScriptSig.hasValue()) << ScriptSig.error().message();
+    Btc->Inputs[0].ScriptSig = *ScriptSig;
+  }
+
+  // Bob signs his own inputs (1 = solution, 2 = fee).
+  for (size_t I = 1; I < Btc->Inputs.size(); ++I) {
+    const bitcoin::Coin *C =
+        Node.chain().utxo().find(Btc->Inputs[I].Prevout);
+    ASSERT_NE(C, nullptr);
+    auto Sig = bitcoin::signInput(*Btc, I, C->Out.ScriptPubKey,
+                                  Bob.Wallet.keys());
+    ASSERT_TRUE(Sig.hasValue()) << Sig.error().message();
+    Btc->Inputs[I].ScriptSig = *Sig;
+  }
+
+  P.Btc = *Btc;
+  std::string FinalTxid = confirmPair(Node, P, Clock);
+  // Bob holds the prize; Alice holds the solution.
+  EXPECT_TRUE(
+      logic::propEqual(Node.state().outputType(FinalTxid, 0), Prize));
+  EXPECT_TRUE(
+      logic::propEqual(Node.state().outputType(FinalTxid, 1), Solution));
+}
+
+TEST_F(ServicesTest, EscrowRefusesIllTypedInstance) {
+  services::EscrowAgent Charlie(7002);
+  auto [PrizeTxid, Prize] = grantAtom(Alice, "prize", Charlie.publicKey());
+
+  // Bob claims a *trivial* txout is a solution.
+  Transaction Bogus;
+  Input PrizeIn;
+  PrizeIn.SourceTxid = PrizeTxid;
+  PrizeIn.SourceIndex = 0;
+  PrizeIn.Type = Prize;
+  PrizeIn.Amount = 10000;
+  Bogus.Inputs.push_back(PrizeIn);
+  Output PrizeOut;
+  PrizeOut.Type = Prize;
+  PrizeOut.Amount = 10000;
+  PrizeOut.Owner = Bob.pub();
+  Bogus.Outputs.push_back(PrizeOut);
+  auto Routing = makeRoutingProof(Bogus);
+  ASSERT_TRUE(Routing.hasValue());
+  Bogus.Proof = *Routing;
+  auto Btc = embedTransaction(Bogus, EmbedScheme::Multisig1of2);
+  ASSERT_TRUE(Btc.hasValue());
+  // The instance "typechecks" (a plain routing)... and indeed Charlie
+  // signs it: routing the prize is a valid spend only the *owner* can
+  // authorize, and Charlie IS the owner. So instead claim a false type:
+  Bogus.Inputs[0].Type = logic::pZero();
+  auto Btc2 = embedTransaction(Bogus, EmbedScheme::Multisig1of2);
+  ASSERT_TRUE(Btc2.hasValue());
+  Pair P{Bogus, *Btc2};
+  auto Sig = Charlie.signIfValid(P, Node, 0);
+  EXPECT_FALSE(Sig.hasValue());
+}
+
+TEST_F(ServicesTest, MofNEscrowPool) {
+  // Section 7: "using a 2-of-3 script, participants can tolerate one of
+  // the three agents becoming compromised."
+  services::EscrowAgent A1(7101), A2(7102), A3(7103);
+  bitcoin::Script Pool = services::escrowPoolScript(2, {&A1, &A2, &A3});
+  bitcoin::SolvedScript Solved = bitcoin::solveScript(Pool);
+  ASSERT_EQ(Solved.Kind, bitcoin::TxOutKind::MultiSig);
+  EXPECT_EQ(Solved.Required, 2);
+  EXPECT_EQ(Solved.Data.size(), 3u);
+
+  // Alice locks funds under the pool.
+  Transaction T;
+  T.Inputs.push_back(trivialInput(Alice));
+  // (No typecoin content; just exercise the multisig machinery.)
+  bitcoin::Transaction Lock;
+  {
+    auto Point = txidFromHex(T.Inputs[0].SourceTxid);
+    ASSERT_TRUE(Point.hasValue());
+    Lock.Inputs.push_back(bitcoin::TxIn{
+        bitcoin::OutPoint{*Point, T.Inputs[0].SourceIndex}});
+    Lock.Outputs.push_back(bitcoin::TxOut{1000000, Pool});
+  }
+  ASSERT_TRUE(Alice.Wallet.signTransaction(Lock, Node.chain()).hasValue());
+  ASSERT_TRUE(Node.submitPlain(Lock).hasValue());
+  mine(Node, crypto::KeyId{}, 1, Clock);
+
+  // Spend with signatures from agents 1 and 3.
+  bitcoin::Transaction Spend;
+  Spend.Inputs.push_back(
+      bitcoin::TxIn{bitcoin::OutPoint{Lock.txid(), 0}});
+  Spend.Outputs.push_back(
+      bitcoin::TxOut{1000000 - 50000, bitcoin::makeP2PKH(Bob.id())});
+  (void)Spend;
+  // Each agent signs through its policy interface, over a minimal valid
+  // Typecoin routing transaction carried by the spend.
+  auto MakeSig = [&](const crypto::PublicKey &Pub,
+                     services::EscrowAgent &Agent) -> std::pair<Bytes, Bytes> {
+    Transaction Minimal;
+    Input In;
+    In.SourceTxid = Lock.txid().toHex();
+    In.SourceIndex = 0;
+    In.Type = logic::pOne();
+    In.Amount = 1000000;
+    Minimal.Inputs.push_back(In);
+    Output Out;
+    Out.Type = logic::pOne();
+    Out.Amount = 1000000 - 50000;
+    Out.Owner = Bob.pub();
+    Minimal.Outputs.push_back(Out);
+    auto Proof = makeRoutingProof(Minimal);
+    EXPECT_TRUE(Proof.hasValue());
+    Minimal.Proof = *Proof;
+    auto MinimalBtc = embedTransaction(Minimal, EmbedScheme::NullData);
+    EXPECT_TRUE(MinimalBtc.hasValue());
+    Pair P{Minimal, *MinimalBtc};
+    auto Sig = Agent.signIfValid(P, Node, 0);
+    EXPECT_TRUE(Sig.hasValue()) << (Sig ? "" : Sig.error().message());
+    return {Pub.serialize(), *Sig};
+  };
+  auto S1 = MakeSig(A1.publicKey(), A1);
+  auto S3 = MakeSig(A3.publicKey(), A3);
+
+  // Rebuild the spend as the typecoin-carrying transaction the agents
+  // actually signed.
+  Transaction Minimal;
+  Input In;
+  In.SourceTxid = Lock.txid().toHex();
+  In.SourceIndex = 0;
+  In.Type = logic::pOne();
+  In.Amount = 1000000;
+  Minimal.Inputs.push_back(In);
+  Output Out;
+  Out.Type = logic::pOne();
+  Out.Amount = 1000000 - 50000;
+  Out.Owner = Bob.pub();
+  Minimal.Outputs.push_back(Out);
+  auto Proof = makeRoutingProof(Minimal);
+  ASSERT_TRUE(Proof.hasValue());
+  Minimal.Proof = *Proof;
+  auto MinimalBtc = embedTransaction(Minimal, EmbedScheme::NullData);
+  ASSERT_TRUE(MinimalBtc.hasValue());
+
+  auto ScriptSig = services::assembleMultisig(Pool, {S1, S3});
+  ASSERT_TRUE(ScriptSig.hasValue()) << ScriptSig.error().message();
+  MinimalBtc->Inputs[0].ScriptSig = *ScriptSig;
+
+  // One signature is not enough.
+  auto OneSig = services::assembleMultisig(Pool, {S1});
+  EXPECT_FALSE(OneSig.hasValue());
+
+  Pair P{Minimal, *MinimalBtc};
+  std::string Txid = confirmPair(Node, P, Clock);
+  EXPECT_GE(Node.confirmations(Txid), 1);
+}
+
+TEST_F(ServicesTest, RedeemTypecoinAssetForBitcoins) {
+  // Section 7: "the banker wants to back his currency by making an
+  // executable promise to buy newcoins for bitcoins at a certain rate.
+  // The banker sends his bitcoins to a pool of escrow agents, and
+  // issues an open transaction that takes in the bitcoins and a
+  // newcoin, destroys the newcoin, sends the appropriate number of
+  // bitcoins to the customer, and sends the rest back to the escrow
+  // agents."
+  services::EscrowAgent Agent(7300);
+
+  // The "newcoin": a granted asset held by Bob.
+  auto [AssetTxid, Asset] = grantAtom(Alice, "newcoin", Bob.pub());
+  // The banker's bitcoin pool, held by the escrow agent (a plain
+  // transfer of mined coins).
+  auto PoolFunds = Alice.Wallet.findSpendable(Node.chain());
+  bitcoin::OutPoint PoolSource;
+  for (const auto &S : PoolFunds) {
+    std::string Key =
+        S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+    if (UsedInputs.count(Key))
+      continue;
+    if (Node.state().outputType(S.Point.Tx.toHex(), S.Point.Index)->Kind !=
+        logic::Prop::Tag::One)
+      continue;
+    UsedInputs.insert(Key);
+    PoolSource = S.Point;
+    break;
+  }
+  const bitcoin::Coin *SourceCoin = Node.chain().utxo().find(PoolSource);
+  ASSERT_NE(SourceCoin, nullptr);
+  bitcoin::Transaction Fund;
+  Fund.Inputs.push_back(bitcoin::TxIn{PoolSource});
+  bitcoin::Amount PoolValue = SourceCoin->Out.Value - 50000;
+  Fund.Outputs.push_back(
+      bitcoin::TxOut{PoolValue, bitcoin::makeP2PKH(Agent.id())});
+  ASSERT_TRUE(Alice.Wallet.signTransaction(Fund, Node.chain()).hasValue());
+  ASSERT_TRUE(Node.submitPlain(Fund).hasValue());
+  mine(Node, crypto::KeyId{}, 1, Clock);
+  std::string PoolTxid = Fund.txid().toHex();
+
+  // The redemption: inputs [pool (1), newcoin], outputs
+  // [payout -> Bob (1), change -> agent (1)]. The newcoin vanishes —
+  // affine weakening destroys it.
+  const bitcoin::Amount Payout = 1000000;
+  Transaction Redeem;
+  Input PoolIn;
+  PoolIn.SourceTxid = PoolTxid;
+  PoolIn.SourceIndex = 0;
+  PoolIn.Type = logic::pOne();
+  PoolIn.Amount = PoolValue;
+  Redeem.Inputs.push_back(PoolIn);
+  Input AssetIn;
+  AssetIn.SourceTxid = AssetTxid;
+  AssetIn.SourceIndex = 0;
+  AssetIn.Type = Asset;
+  AssetIn.Amount = 10000;
+  Redeem.Inputs.push_back(AssetIn);
+  Output PayoutOut;
+  PayoutOut.Type = logic::pOne();
+  PayoutOut.Amount = Payout;
+  PayoutOut.Owner = Bob.pub();
+  Redeem.Outputs.push_back(PayoutOut);
+  Output Change;
+  Change.Type = logic::pOne();
+  Change.Amount = PoolValue + 10000 - Payout - 50000;
+  Change.Owner = Agent.publicKey();
+  Redeem.Outputs.push_back(Change);
+  {
+    using namespace logic;
+    // \x. let (c,ar)=x in let (a,r)=ar in let (pool, coin)=a in
+    //   let () = c in let () = pool in ((), ()) — `coin` dropped.
+    Redeem.Proof = mLam(
+        "x",
+        pTensor(Redeem.Grant,
+                pTensor(Redeem.inputTensor(), Redeem.receiptTensor())),
+        mTensorLet(
+            "c", "ar", mVar("x"),
+            mTensorLet(
+                "a", "r", mVar("ar"),
+                mTensorLet("pool", "coin", mVar("a"),
+                           mOneLet(mVar("c"),
+                                   mOneLet(mVar("pool"),
+                                           mTensorPair(mOne(),
+                                                       mOne())))))));
+  }
+
+  auto Btc = embedTransaction(Redeem, EmbedScheme::Multisig1of2);
+  ASSERT_TRUE(Btc.hasValue());
+  Pair P{Redeem, *Btc};
+  // The agent's policy check passes (the instance typechecks) and it
+  // signs the pool input.
+  auto AgentSig = Agent.signIfValid(P, Node, 0);
+  ASSERT_TRUE(AgentSig.hasValue()) << AgentSig.error().message();
+  bitcoin::Script AgentScriptSig;
+  AgentScriptSig.push(*AgentSig);
+  AgentScriptSig.push(Agent.publicKey().serialize());
+  Btc->Inputs[0].ScriptSig = AgentScriptSig;
+  // Bob signs the newcoin input.
+  const bitcoin::Coin *AssetCoin =
+      Node.chain().utxo().find(Btc->Inputs[1].Prevout);
+  ASSERT_NE(AssetCoin, nullptr);
+  auto BobSig = bitcoin::signInput(*Btc, 1, AssetCoin->Out.ScriptPubKey,
+                                   Bob.Wallet.keys());
+  ASSERT_TRUE(BobSig.hasValue()) << BobSig.error().message();
+  Btc->Inputs[1].ScriptSig = *BobSig;
+
+  P.Btc = *Btc;
+  std::string RedeemTxid = confirmPair(Node, P, Clock);
+
+  // Bob got bitcoins, the newcoin is gone (both outputs trivial), and
+  // the asset txout is consumed at the Typecoin level.
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(RedeemTxid, 0),
+                               logic::pOne()));
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(RedeemTxid, 1),
+                               logic::pOne()));
+  EXPECT_TRUE(Node.state().isConsumed(AssetTxid, 0));
+}
+
+} // namespace

@@ -1,0 +1,57 @@
+//===- tests/typecoin/testutil.h - Shared integration-test helpers --------===//
+
+#ifndef TYPECOIN_TESTS_TESTUTIL_H
+#define TYPECOIN_TESTS_TESTUTIL_H
+
+#include "typecoin/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace typecoin {
+namespace testutil {
+
+/// A funded actor: a wallet with mined, mature coins on the node.
+struct Actor {
+  tc::Wallet Wallet;
+  crypto::PrivateKey Key;
+
+  explicit Actor(uint64_t Seed) : Wallet(Seed), Key(Wallet.newKey()) {}
+  crypto::KeyId id() const { return Key.id(); }
+  const crypto::PublicKey &pub() const { return Key.publicKey(); }
+};
+
+/// Advance the chain by \p N blocks paying \p Payout, stepping the clock
+/// ten simulated minutes per block.
+inline void mine(tc::Node &Node, const crypto::KeyId &Payout, int N,
+                 uint32_t &Clock) {
+  for (int I = 0; I < N; ++I) {
+    Clock += 600;
+    auto R = Node.mineBlock(Payout, Clock);
+    ASSERT_TRUE(R.hasValue()) << R.error().message();
+  }
+}
+
+/// Fund an actor with \p Blocks coinbases (plus enough extra blocks for
+/// maturity under the node's parameters).
+inline void fund(tc::Node &Node, Actor &A, int Blocks, uint32_t &Clock) {
+  mine(Node, A.id(), Blocks, Clock);
+  // One extra block so the last coinbase matures (maturity = 1).
+  mine(Node, crypto::KeyId{}, 1, Clock);
+}
+
+/// Submit a pair and mine it into a block; returns the Bitcoin txid hex.
+inline std::string confirmPair(tc::Node &Node, const tc::Pair &P,
+                               uint32_t &Clock, int ExtraConfs = 0) {
+  auto S = Node.submitPair(P);
+  EXPECT_TRUE(S.hasValue()) << (S ? "" : S.error().message());
+  std::string Txid = tc::txidHex(P.Btc);
+  uint32_t C = Clock;
+  mine(Node, crypto::KeyId{}, 1 + ExtraConfs, C);
+  Clock = C;
+  return Txid;
+}
+
+} // namespace testutil
+} // namespace typecoin
+
+#endif // TYPECOIN_TESTS_TESTUTIL_H

@@ -1,0 +1,249 @@
+//===- tests/typecoin/timeout_contract_test.cpp - §7 timeout contracts ----===//
+//
+// The most intricate contract in the paper (Section 7, last paragraph):
+// a contract that times out if not completed by a deadline, where the
+// *offerer* can recover her asset after expiry.
+//
+//   "Alice sends a contract receipt-for-stuff -o if(before(t),
+//    token-for-coin), sends the newcoin to the escrow agents, and issues
+//    an open transaction that trades the token for the newcoin. She also
+//    creates a rule that allows her to create a token once time expires.
+//    Using that token, she can cash in her own open transaction to
+//    recover the newcoin."
+//
+// The "once time expires" rule is the mirrored conditional
+// if(~before(t), token), exercising negated `before` end-to-end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "services/escrow.h"
+#include "typecoin/opentx.h"
+
+#include "testutil.h"
+
+using namespace typecoin;
+using namespace typecoin::tc;
+using namespace typecoin::testutil;
+
+namespace {
+
+class TimeoutContract : public ::testing::Test {
+protected:
+  TimeoutContract() : Alice(8001), Bob(8002), Charlie(8003) {
+    fund(Node, Alice, 3, Clock);
+    fund(Node, Bob, 2, Clock);
+  }
+
+  Input trivialInput(Actor &A) {
+    for (const auto &S : A.Wallet.findSpendable(Node.chain())) {
+      std::string Key =
+          S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+      if (UsedInputs.count(Key))
+        continue;
+      if (Node.state()
+              .outputType(S.Point.Tx.toHex(), S.Point.Index)
+              ->Kind != logic::Prop::Tag::One)
+        continue;
+      UsedInputs.insert(Key);
+      Input In;
+      In.SourceTxid = S.Point.Tx.toHex();
+      In.SourceIndex = S.Point.Index;
+      In.Type = logic::pOne();
+      In.Amount = S.Value;
+      return In;
+    }
+    ADD_FAILURE() << "no unused spendable output";
+    return Input{};
+  }
+
+  /// Setup: Alice publishes `asset` and `token` and the expiry rule
+  ///   reclaim : <Alice>go -o if(~before(Deadline), token)
+  /// and escrows an `asset` with Charlie. Returns the setup txid.
+  std::string setup(uint64_t Deadline) {
+    using namespace logic;
+    Transaction T;
+    auto Check = [](Status S) { ASSERT_TRUE(S.hasValue()); };
+    Check(T.LocalBasis.declareFamily(lf::ConstName::local("asset"),
+                                     lf::kProp()));
+    Check(T.LocalBasis.declareFamily(lf::ConstName::local("token"),
+                                     lf::kProp()));
+    Check(T.LocalBasis.declareFamily(lf::ConstName::local("go"),
+                                     lf::kProp()));
+    PropPtr Token = pAtom(lf::tConst(lf::ConstName::local("token")));
+    PropPtr Go = pAtom(lf::tConst(lf::ConstName::local("go")));
+    Check(T.LocalBasis.declareProp(
+        lf::ConstName::local("reclaim"),
+        pLolli(pSays(lf::principal(Alice.id().toHex()), Go),
+               pIf(cNot(cBefore(Deadline)), Token))));
+
+    T.Grant = pAtom(lf::tConst(lf::ConstName::local("asset")));
+    T.Inputs.push_back(trivialInput(Alice));
+    Output Escrowed;
+    Escrowed.Type = T.Grant;
+    Escrowed.Amount = 10000;
+    Escrowed.Owner = Charlie.publicKey();
+    T.Outputs.push_back(Escrowed);
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+    auto P = buildPair(T, Alice.Wallet, Node.chain());
+    EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+    return confirmPair(Node, *P, Clock);
+  }
+
+  /// Alice mints her token (valid only after the deadline).
+  Result<std::string> mintToken(const std::string &SetupTxid,
+                                uint64_t Deadline) {
+    using namespace logic;
+    lf::ConstName Token =
+        lf::ConstName::local("token").resolved(SetupTxid);
+    lf::ConstName Go = lf::ConstName::local("go").resolved(SetupTxid);
+    lf::ConstName Reclaim =
+        lf::ConstName::local("reclaim").resolved(SetupTxid);
+
+    Transaction T;
+    T.Inputs.push_back(trivialInput(Alice));
+    Output Out;
+    Out.Type = pAtom(lf::tConst(Token));
+    Out.Amount = 10000;
+    Out.Owner = Alice.pub();
+    T.Outputs.push_back(Out);
+
+    CondPtr Phi = cNot(cBefore(Deadline));
+    ProofPtr GoAffirm =
+        makeAssert(Alice.Key, T, pAtom(lf::tConst(Go)));
+    ProofPtr Conditional = mApp(mConst(Reclaim), GoAffirm);
+    // : if(~before(Deadline), token); B = token, so wrap the whole
+    // obligation in the same condition.
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("c"),
+                                      mOneLet(mVar("a"),
+                                              mIfBind("t", Conditional,
+                                                      mIfReturn(
+                                                          Phi,
+                                                          mVar("t"))))))));
+    TC_UNWRAP(P, buildPair(T, Alice.Wallet, Node.chain()));
+    TC_TRY(Node.submitPair(P));
+    std::string Txid = txidHex(P.Btc);
+    mine(Node, crypto::KeyId{}, 1, Clock);
+    return Txid;
+  }
+
+  tc::Node Node;
+  Actor Alice, Bob;
+  services::EscrowAgent Charlie{8003};
+  uint32_t Clock = 0;
+  std::set<std::string> UsedInputs;
+};
+
+TEST_F(TimeoutContract, TokenCannotBeMintedBeforeExpiry) {
+  uint64_t Deadline = Clock + 5 * 600;
+  std::string SetupTxid = setup(Deadline);
+  auto Minted = mintToken(SetupTxid, Deadline);
+  ASSERT_FALSE(Minted.hasValue());
+  EXPECT_NE(Minted.error().message().find("condition"),
+            std::string::npos);
+}
+
+TEST_F(TimeoutContract, ExpiryRecoveryThroughOpenTransaction) {
+  uint64_t Deadline = Clock + 3 * 600;
+  std::string SetupTxid = setup(Deadline);
+  lf::ConstName Asset = lf::ConstName::local("asset").resolved(SetupTxid);
+  lf::ConstName Token = lf::ConstName::local("token").resolved(SetupTxid);
+  logic::PropPtr AssetAtom = logic::pAtom(lf::tConst(Asset));
+  logic::PropPtr TokenAtom = logic::pAtom(lf::tConst(Token));
+
+  // Alice issues the open transaction: [escrowed asset, OPEN(token)] ->
+  // [asset -> OPEN, token -> Alice]. Anyone presenting a token can claim
+  // the asset — and after expiry only Alice can mint one.
+  OpenTransaction Open;
+  Input AssetIn;
+  AssetIn.SourceTxid = SetupTxid;
+  AssetIn.SourceIndex = 0;
+  AssetIn.Type = AssetAtom;
+  AssetIn.Amount = 10000;
+  Open.Template.Inputs.push_back(AssetIn);
+  Input TokenIn;
+  TokenIn.Type = TokenAtom;
+  TokenIn.Amount = 10000;
+  Open.Template.Inputs.push_back(TokenIn);
+  Output AssetOut;
+  AssetOut.Type = AssetAtom;
+  AssetOut.Amount = 10000;
+  Open.Template.Outputs.push_back(AssetOut); // Owner = hole.
+  Output TokenOut;
+  TokenOut.Type = TokenAtom;
+  TokenOut.Amount = 10000;
+  TokenOut.Owner = Alice.pub();
+  Open.Template.Outputs.push_back(TokenOut);
+  Open.OpenInput = 1;
+  Open.OpenOutput = 0;
+  Open.sign(Alice.Key);
+
+  // Nobody completed the contract; time passes the deadline.
+  mine(Node, crypto::KeyId{}, 4, Clock);
+  ASSERT_GE(Clock, Deadline);
+
+  // Alice mints her token now.
+  auto Minted = mintToken(SetupTxid, Deadline);
+  ASSERT_TRUE(Minted.hasValue()) << Minted.error().message();
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(*Minted, 0),
+                               TokenAtom));
+
+  // She fills her own open transaction to recover the asset.
+  auto Filled = Open.fill(*Minted, 0, Alice.pub());
+  ASSERT_TRUE(Filled.hasValue());
+  Transaction Final = *Filled;
+  Final.Proof = *makeRoutingProof(Final);
+
+  // Fee input from Alice, Charlie signs the escrowed input.
+  bitcoin::OutPoint FeePoint;
+  for (const auto &S : Alice.Wallet.findSpendable(Node.chain())) {
+    std::string Key =
+        S.Point.Tx.toHex() + ":" + std::to_string(S.Point.Index);
+    if (UsedInputs.count(Key))
+      continue;
+    if (Node.state().outputType(S.Point.Tx.toHex(), S.Point.Index)->Kind !=
+        logic::Prop::Tag::One)
+      continue;
+    FeePoint = S.Point;
+    break;
+  }
+  auto Btc =
+      embedTransaction(Final, EmbedScheme::Multisig1of2, {FeePoint});
+  ASSERT_TRUE(Btc.hasValue());
+  Pair P{Final, *Btc};
+  auto CharlieSig = Charlie.signIfValid(P, Node, 0);
+  ASSERT_TRUE(CharlieSig.hasValue()) << CharlieSig.error().message();
+  const bitcoin::Coin *EscrowCoin =
+      Node.chain().utxo().find(Btc->Inputs[0].Prevout);
+  ASSERT_NE(EscrowCoin, nullptr);
+  auto ScriptSig = services::assembleMultisig(
+      EscrowCoin->Out.ScriptPubKey,
+      {{Charlie.publicKey().serialize(), *CharlieSig}});
+  ASSERT_TRUE(ScriptSig.hasValue());
+  Btc->Inputs[0].ScriptSig = *ScriptSig;
+  for (size_t I = 1; I < Btc->Inputs.size(); ++I) {
+    const bitcoin::Coin *C = Node.chain().utxo().find(Btc->Inputs[I].Prevout);
+    ASSERT_NE(C, nullptr);
+    auto Sig = bitcoin::signInput(*Btc, I, C->Out.ScriptPubKey,
+                                  Alice.Wallet.keys());
+    ASSERT_TRUE(Sig.hasValue()) << Sig.error().message();
+    Btc->Inputs[I].ScriptSig = *Sig;
+  }
+  P.Btc = *Btc;
+  std::string ClaimTxid = confirmPair(Node, P, Clock);
+
+  // Alice recovered the asset (and her token rode back to her too).
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(ClaimTxid, 0),
+                               AssetAtom));
+  EXPECT_TRUE(logic::propEqual(Node.state().outputType(ClaimTxid, 1),
+                               TokenAtom));
+}
+
+} // namespace

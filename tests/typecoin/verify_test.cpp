@@ -1,0 +1,227 @@
+//===- tests/typecoin/verify_test.cpp - Stand-alone upstream verification -===//
+//
+// The Section 3 protocol: "he provides the Typecoin transaction T_I that
+// outputs I, as well as 𝔗, the set of all Typecoin transactions
+// upstream of T_I" and the verifier re-checks everything from scratch.
+// Plus batch-server write-through (Section 5: conditions other than
+// `true` must go to the blockchain).
+//
+//===----------------------------------------------------------------------===//
+
+#include "services/batchserver.h"
+#include "typecoin/newcoin.h"
+
+#include "testutil.h"
+
+using namespace typecoin;
+using namespace typecoin::tc;
+using namespace typecoin::testutil;
+
+namespace {
+
+class NullOracle : public logic::CondOracle {
+public:
+  uint64_t evaluationTime() const override { return 0; }
+  Result<bool> isSpent(const std::string &, uint32_t) const override {
+    return makeError("no evidence");
+  }
+};
+
+std::string fakeTxid(int I) {
+  std::string S(64, '0');
+  std::string Suffix = std::to_string(I);
+  S.replace(S.size() - Suffix.size(), Suffix.size(), Suffix);
+  return S;
+}
+
+/// A three-step history: grant coin 100, split 40/60, merge back.
+std::vector<std::pair<std::string, Transaction>>
+coinHistory(const crypto::PublicKey &Owner, newcoin::Vocab &VOut) {
+  std::vector<std::pair<std::string, Transaction>> H;
+  using namespace logic;
+
+  Transaction Setup;
+  newcoin::Vocab V = newcoin::makeBasis(Setup.LocalBasis, Owner.id());
+  Setup.Grant =
+      pAtom(lf::tApp(lf::tConst(lf::ConstName::local("coin")),
+                     lf::nat(100)));
+  Input In;
+  In.SourceTxid = fakeTxid(900);
+  In.SourceIndex = 0;
+  In.Type = pOne();
+  In.Amount = 50000;
+  Setup.Inputs.push_back(In);
+  Output Out;
+  Out.Type = Setup.Grant;
+  Out.Amount = 10000;
+  Out.Owner = Owner;
+  Setup.Outputs.push_back(Out);
+  Setup.Proof = mLam(
+      "x",
+      pTensor(Setup.Grant,
+              pTensor(Setup.inputTensor(), Setup.receiptTensor())),
+      mTensorLet("c", "ar", mVar("x"),
+                 mTensorLet("a", "r", mVar("ar"),
+                            mOneLet(mVar("a"), mVar("c")))));
+  std::string SetupTxid = fakeTxid(0);
+  H.emplace_back(SetupTxid, Setup);
+  newcoin::Vocab RV = V.resolved(SetupTxid);
+  VOut = RV;
+
+  Transaction Split;
+  Input CoinIn;
+  CoinIn.SourceTxid = SetupTxid;
+  CoinIn.SourceIndex = 0;
+  CoinIn.Type = newcoin::coin(RV, 100);
+  CoinIn.Amount = 10000;
+  Split.Inputs.push_back(CoinIn);
+  for (uint64_t Value : {40, 60}) {
+    Output O;
+    O.Type = newcoin::coin(RV, Value);
+    O.Amount = 5000;
+    O.Owner = Owner;
+    Split.Outputs.push_back(O);
+  }
+  Split.Proof = mLam(
+      "x",
+      pTensor(Split.Grant,
+              pTensor(Split.inputTensor(), Split.receiptTensor())),
+      mTensorLet("c", "ar", mVar("x"),
+                 mTensorLet("a", "r", mVar("ar"),
+                            mOneLet(mVar("c"),
+                                    newcoin::splitProof(RV, 40, 60,
+                                                        mVar("a"))))));
+  std::string SplitTxid = fakeTxid(1);
+  H.emplace_back(SplitTxid, Split);
+
+  Transaction Merge;
+  for (uint32_t I = 0; I < 2; ++I) {
+    Input MIn;
+    MIn.SourceTxid = SplitTxid;
+    MIn.SourceIndex = I;
+    MIn.Type = newcoin::coin(RV, I == 0 ? 40 : 60);
+    MIn.Amount = 5000;
+    Merge.Inputs.push_back(MIn);
+  }
+  Output MOut;
+  MOut.Type = newcoin::coin(RV, 100);
+  MOut.Amount = 9000;
+  MOut.Owner = Owner;
+  Merge.Outputs.push_back(MOut);
+  Merge.Proof = mLam(
+      "x",
+      pTensor(Merge.Grant,
+              pTensor(Merge.inputTensor(), Merge.receiptTensor())),
+      mTensorLet(
+          "c", "ar", mVar("x"),
+          mTensorLet("a", "r", mVar("ar"),
+                     mTensorLet("a1", "a2", mVar("a"),
+                                mOneLet(mVar("c"),
+                                        newcoin::mergeProof(
+                                            RV, 40, 60, mVar("a1"),
+                                            mVar("a2")))))));
+  H.emplace_back(fakeTxid(2), Merge);
+  return H;
+}
+
+TEST(VerifyClaimed, FullUpstreamAccepts) {
+  Rng Rand(71);
+  crypto::PublicKey Owner = crypto::PrivateKey::generate(Rand).publicKey();
+  newcoin::Vocab V;
+  auto H = coinHistory(Owner, V);
+  NullOracle Oracle;
+  auto R = verifyClaimedOutput(H, fakeTxid(2), 0,
+                               newcoin::coin(V, 100), Oracle);
+  ASSERT_TRUE(R.hasValue()) << R.error().message();
+}
+
+TEST(VerifyClaimed, WrongClaimRejected) {
+  Rng Rand(72);
+  crypto::PublicKey Owner = crypto::PrivateKey::generate(Rand).publicKey();
+  newcoin::Vocab V;
+  auto H = coinHistory(Owner, V);
+  NullOracle Oracle;
+  auto R = verifyClaimedOutput(H, fakeTxid(2), 0,
+                               newcoin::coin(V, 101), Oracle);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("claimed"), std::string::npos);
+}
+
+TEST(VerifyClaimed, TamperedUpstreamRejected) {
+  Rng Rand(73);
+  crypto::PublicKey Owner = crypto::PrivateKey::generate(Rand).publicKey();
+  newcoin::Vocab V;
+  auto H = coinHistory(Owner, V);
+  // Inflate the split: 40 + 61 from coin 100.
+  H[1].second.Outputs[1].Type = newcoin::coin(V, 61);
+  NullOracle Oracle;
+  auto R = verifyClaimedOutput(H, fakeTxid(2), 0,
+                               newcoin::coin(V, 100), Oracle);
+  ASSERT_FALSE(R.hasValue());
+}
+
+TEST(VerifyClaimed, MissingUpstreamRejected) {
+  Rng Rand(74);
+  crypto::PublicKey Owner = crypto::PrivateKey::generate(Rand).publicKey();
+  newcoin::Vocab V;
+  auto H = coinHistory(Owner, V);
+  // Drop the split: the merge's inputs dangle (trivial type mismatch).
+  H.erase(H.begin() + 1);
+  NullOracle Oracle;
+  EXPECT_FALSE(verifyClaimedOutput(H, fakeTxid(2), 0,
+                                   newcoin::coin(V, 100), Oracle)
+                   .hasValue());
+}
+
+TEST(BatchWriteThrough, ConditionedTransactionGoesOnChain) {
+  // "Since conditions are volatile properties, batch-mode servers must
+  // write transactions discharging anything other than true through to
+  // the blockchain" (Section 5).
+  tc::Node Node;
+  uint32_t Clock = 0;
+  Actor Alice(6001);
+  fund(Node, Alice, 2, Clock);
+  services::BatchServer Server(Node, 6002);
+  mine(Node, Server.serverId(), 2, Clock);
+  mine(Node, crypto::KeyId{}, 1, Clock);
+
+  // A conditioned grant: if(before(deadline), stamp) routed to Alice.
+  Transaction T;
+  ASSERT_TRUE(T.LocalBasis
+                  .declareFamily(lf::ConstName::local("stamp"),
+                                 lf::kProp())
+                  .hasValue());
+  T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local("stamp")));
+  auto Funds = Server.wallet().findSpendable(Node.chain());
+  ASSERT_FALSE(Funds.empty());
+  Input In;
+  In.SourceTxid = Funds[0].Point.Tx.toHex();
+  In.SourceIndex = Funds[0].Point.Index;
+  In.Type = logic::pOne();
+  In.Amount = Funds[0].Value;
+  T.Inputs.push_back(In);
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 10000;
+  Out.Owner = Alice.pub();
+  T.Outputs.push_back(Out);
+  {
+    using namespace logic;
+    CondPtr Phi = cBefore(Clock + 100000);
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"),
+                                      mIfReturn(Phi, mVar("c"))))));
+  }
+  size_t Before = Server.onChainTxCount();
+  auto Txid = Server.recordWriteThrough(T);
+  ASSERT_TRUE(Txid.hasValue()) << Txid.error().message();
+  EXPECT_EQ(Server.onChainTxCount(), Before + 1);
+  mine(Node, crypto::KeyId{}, 1, Clock);
+  EXPECT_NE(Node.state().outputType(*Txid, 0)->Kind,
+            logic::Prop::Tag::One);
+}
+
+} // namespace

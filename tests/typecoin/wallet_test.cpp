@@ -1,0 +1,115 @@
+//===- tests/typecoin/wallet_test.cpp - Wallet behaviour ------------------===//
+
+#include "typecoin/wallet.h"
+
+#include "bitcoin/miner.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::tc;
+
+namespace {
+
+bitcoin::ChainParams testParams() {
+  bitcoin::ChainParams P;
+  P.CoinbaseMaturity = 2;
+  return P;
+}
+
+TEST(WalletTest, DeterministicKeys) {
+  Wallet A(42), B(42), C(43);
+  EXPECT_EQ(A.newKey().id(), B.newKey().id());
+  EXPECT_NE(A.newKey().id(), C.newKey().id());
+}
+
+TEST(WalletTest, KeyForLookup) {
+  Wallet W(1);
+  crypto::PrivateKey K1 = W.newKey();
+  crypto::PrivateKey K2 = W.newKey();
+  ASSERT_NE(W.keyFor(K1.id()), nullptr);
+  EXPECT_EQ(W.keyFor(K1.id())->id(), K1.id());
+  ASSERT_NE(W.keyFor(K2.id()), nullptr);
+  Wallet Other(2);
+  crypto::PrivateKey K3 = Other.newKey();
+  EXPECT_EQ(W.keyFor(K3.id()), nullptr);
+  W.import(K3);
+  EXPECT_NE(W.keyFor(K3.id()), nullptr);
+}
+
+TEST(WalletTest, FindSpendableRespectsMaturity) {
+  bitcoin::Blockchain Chain(testParams());
+  bitcoin::Mempool Pool;
+  Wallet W(3);
+  crypto::PrivateKey Key = W.newKey();
+
+  // One coinbase to our key: immature at height 1 (maturity 2).
+  ASSERT_TRUE(bitcoin::mineAndSubmit(Chain, Pool, Key.id(), 600).hasValue());
+  EXPECT_TRUE(W.findSpendable(Chain).empty());
+
+  // After another block it matures.
+  ASSERT_TRUE(
+      bitcoin::mineAndSubmit(Chain, Pool, crypto::KeyId{}, 1200).hasValue());
+  auto Spendable = W.findSpendable(Chain);
+  ASSERT_EQ(Spendable.size(), 1u);
+  EXPECT_EQ(Spendable[0].Value, Chain.params().Subsidy);
+
+  // Other people's coinbases are never ours.
+  Wallet Other(4);
+  EXPECT_TRUE(Other.findSpendable(Chain).empty());
+}
+
+TEST(WalletTest, FindSpendableSeesMultisigWithOurKey) {
+  bitcoin::Blockchain Chain(testParams());
+  bitcoin::Mempool Pool;
+  Wallet Miner(5);
+  crypto::PrivateKey MinerKey = Miner.newKey();
+  Wallet W(6);
+  crypto::PrivateKey Ours = W.newKey();
+
+  ASSERT_TRUE(
+      bitcoin::mineAndSubmit(Chain, Pool, MinerKey.id(), 600).hasValue());
+  ASSERT_TRUE(
+      bitcoin::mineAndSubmit(Chain, Pool, crypto::KeyId{}, 1200).hasValue());
+  ASSERT_TRUE(
+      bitcoin::mineAndSubmit(Chain, Pool, crypto::KeyId{}, 1800).hasValue());
+
+  // Send to a 1-of-2 [ours, metadata] script (the Typecoin embedding
+  // shape).
+  auto Coinbase = Chain.blockByHash(*Chain.blockHashAt(1))->Txs[0];
+  bitcoin::Transaction Tx;
+  Tx.Inputs.push_back(bitcoin::TxIn{{Coinbase.txid(), 0}});
+  Bytes Metadata(33, 0x02);
+  Tx.Outputs.push_back(bitcoin::TxOut{
+      Coinbase.Outputs[0].Value - 10000,
+      bitcoin::makeMultiSig(1, {Ours.publicKey().serialize(), Metadata})});
+  ASSERT_TRUE(Miner.signTransaction(Tx, Chain).hasValue());
+  ASSERT_TRUE(Pool.acceptTransaction(Tx, Chain).hasValue());
+  ASSERT_TRUE(
+      bitcoin::mineAndSubmit(Chain, Pool, crypto::KeyId{}, 2400).hasValue());
+
+  auto Spendable = W.findSpendable(Chain);
+  ASSERT_EQ(Spendable.size(), 1u);
+  // And we can actually spend it.
+  bitcoin::Transaction Spend;
+  Spend.Inputs.push_back(bitcoin::TxIn{Spendable[0].Point});
+  Spend.Outputs.push_back(bitcoin::TxOut{
+      Spendable[0].Value - 10000, bitcoin::makeP2PKH(Ours.id())});
+  ASSERT_TRUE(W.signTransaction(Spend, Chain).hasValue());
+  ASSERT_TRUE(Pool.acceptTransaction(Spend, Chain).hasValue());
+}
+
+TEST(WalletTest, SignTransactionFailsForUnknownInputs) {
+  bitcoin::Blockchain Chain(testParams());
+  Wallet W(7);
+  W.newKey();
+  bitcoin::Transaction Tx;
+  bitcoin::TxIn In;
+  In.Prevout.Tx.Hash[0] = 0x55;
+  Tx.Inputs.push_back(In);
+  Tx.Outputs.push_back(
+      bitcoin::TxOut{1000, bitcoin::makeP2PKH(crypto::KeyId{})});
+  EXPECT_FALSE(W.signTransaction(Tx, Chain).hasValue());
+}
+
+} // namespace
