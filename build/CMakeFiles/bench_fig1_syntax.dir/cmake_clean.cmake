@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_syntax.dir/bench/bench_fig1_syntax.cpp.o"
+  "CMakeFiles/bench_fig1_syntax.dir/bench/bench_fig1_syntax.cpp.o.d"
+  "bench/bench_fig1_syntax"
+  "bench/bench_fig1_syntax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_syntax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_conditions.dir/bench/bench_fig2_conditions.cpp.o"
+  "CMakeFiles/bench_fig2_conditions.dir/bench/bench_fig2_conditions.cpp.o.d"
+  "bench/bench_fig2_conditions"
+  "bench/bench_fig2_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

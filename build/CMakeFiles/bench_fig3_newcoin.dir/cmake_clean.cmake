@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_newcoin.dir/bench/bench_fig3_newcoin.cpp.o"
+  "CMakeFiles/bench_fig3_newcoin.dir/bench/bench_fig3_newcoin.cpp.o.d"
+  "bench/bench_fig3_newcoin"
+  "bench/bench_fig3_newcoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_newcoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

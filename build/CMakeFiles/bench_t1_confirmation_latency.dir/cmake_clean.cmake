@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_confirmation_latency.dir/bench/bench_t1_confirmation_latency.cpp.o"
+  "CMakeFiles/bench_t1_confirmation_latency.dir/bench/bench_t1_confirmation_latency.cpp.o.d"
+  "bench/bench_t1_confirmation_latency"
+  "bench/bench_t1_confirmation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_confirmation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_batch_mode.dir/bench/bench_t2_batch_mode.cpp.o"
+  "CMakeFiles/bench_t2_batch_mode.dir/bench/bench_t2_batch_mode.cpp.o.d"
+  "bench/bench_t2_batch_mode"
+  "bench/bench_t2_batch_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_batch_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_utxo_deadweight.dir/bench/bench_t3_utxo_deadweight.cpp.o"
+  "CMakeFiles/bench_t3_utxo_deadweight.dir/bench/bench_t3_utxo_deadweight.cpp.o.d"
+  "bench/bench_t3_utxo_deadweight"
+  "bench/bench_t3_utxo_deadweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_utxo_deadweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

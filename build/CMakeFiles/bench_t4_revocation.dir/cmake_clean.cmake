@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_revocation.dir/bench/bench_t4_revocation.cpp.o"
+  "CMakeFiles/bench_t4_revocation.dir/bench/bench_t4_revocation.cpp.o.d"
+  "bench/bench_t4_revocation"
+  "bench/bench_t4_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_attacker.dir/bench/bench_t5_attacker.cpp.o"
+  "CMakeFiles/bench_t5_attacker.dir/bench/bench_t5_attacker.cpp.o.d"
+  "bench/bench_t5_attacker"
+  "bench/bench_t5_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

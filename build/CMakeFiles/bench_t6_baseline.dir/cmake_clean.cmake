@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_baseline.dir/bench/bench_t6_baseline.cpp.o"
+  "CMakeFiles/bench_t6_baseline.dir/bench/bench_t6_baseline.cpp.o.d"
+  "bench/bench_t6_baseline"
+  "bench/bench_t6_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_mode.dir/batch_mode.cpp.o"
+  "CMakeFiles/batch_mode.dir/batch_mode.cpp.o.d"
+  "batch_mode"
+  "batch_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

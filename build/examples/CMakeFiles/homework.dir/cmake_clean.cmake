@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homework.dir/homework.cpp.o"
+  "CMakeFiles/homework.dir/homework.cpp.o.d"
+  "homework"
+  "homework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

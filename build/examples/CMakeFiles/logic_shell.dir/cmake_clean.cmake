@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_shell.dir/logic_shell.cpp.o"
+  "CMakeFiles/logic_shell.dir/logic_shell.cpp.o.d"
+  "logic_shell"
+  "logic_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

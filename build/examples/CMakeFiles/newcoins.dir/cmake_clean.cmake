@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newcoins.dir/newcoins.cpp.o"
+  "CMakeFiles/newcoins.dir/newcoins.cpp.o.d"
+  "newcoins"
+  "newcoins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newcoins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

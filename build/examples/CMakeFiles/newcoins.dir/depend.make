@@ -1,0 +1,2 @@
+# Empty dependencies file for newcoins.
+# This may be replaced when dependencies are built.

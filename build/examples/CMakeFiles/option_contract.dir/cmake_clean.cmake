@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/option_contract.dir/option_contract.cpp.o"
+  "CMakeFiles/option_contract.dir/option_contract.cpp.o.d"
+  "option_contract"
+  "option_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/option_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puzzle_escrow.dir/puzzle_escrow.cpp.o"
+  "CMakeFiles/puzzle_escrow.dir/puzzle_escrow.cpp.o.d"
+  "puzzle_escrow"
+  "puzzle_escrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puzzle_escrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

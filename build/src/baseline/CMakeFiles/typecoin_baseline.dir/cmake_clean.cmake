@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecoin_baseline.dir/coloredcoins.cpp.o"
+  "CMakeFiles/typecoin_baseline.dir/coloredcoins.cpp.o.d"
+  "libtypecoin_baseline.a"
+  "libtypecoin_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecoin_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitcoin/block.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/block.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/block.cpp.o.d"
+  "/root/repo/src/bitcoin/chain.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/chain.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/chain.cpp.o.d"
+  "/root/repo/src/bitcoin/mempool.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/mempool.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/mempool.cpp.o.d"
+  "/root/repo/src/bitcoin/merkle.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/merkle.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/merkle.cpp.o.d"
+  "/root/repo/src/bitcoin/miner.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/miner.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/miner.cpp.o.d"
+  "/root/repo/src/bitcoin/netsim.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/netsim.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/netsim.cpp.o.d"
+  "/root/repo/src/bitcoin/network.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/network.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/network.cpp.o.d"
+  "/root/repo/src/bitcoin/pow.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/pow.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/pow.cpp.o.d"
+  "/root/repo/src/bitcoin/script.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/script.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/script.cpp.o.d"
+  "/root/repo/src/bitcoin/standard.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/standard.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/standard.cpp.o.d"
+  "/root/repo/src/bitcoin/transaction.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/transaction.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/transaction.cpp.o.d"
+  "/root/repo/src/bitcoin/utxo.cpp" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/utxo.cpp.o" "gcc" "src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/utxo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/typecoin_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/typecoin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

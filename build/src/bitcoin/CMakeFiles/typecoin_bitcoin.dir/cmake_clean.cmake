@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecoin_bitcoin.dir/block.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/block.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/chain.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/chain.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/mempool.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/mempool.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/merkle.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/merkle.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/miner.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/miner.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/netsim.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/netsim.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/network.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/network.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/pow.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/pow.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/script.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/script.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/standard.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/standard.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/transaction.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/transaction.cpp.o.d"
+  "CMakeFiles/typecoin_bitcoin.dir/utxo.cpp.o"
+  "CMakeFiles/typecoin_bitcoin.dir/utxo.cpp.o.d"
+  "libtypecoin_bitcoin.a"
+  "libtypecoin_bitcoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecoin_bitcoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

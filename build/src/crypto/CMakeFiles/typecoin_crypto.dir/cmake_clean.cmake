@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecoin_crypto.dir/base58.cpp.o"
+  "CMakeFiles/typecoin_crypto.dir/base58.cpp.o.d"
+  "CMakeFiles/typecoin_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/typecoin_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/typecoin_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/typecoin_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/typecoin_crypto.dir/keys.cpp.o"
+  "CMakeFiles/typecoin_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/typecoin_crypto.dir/ripemd160.cpp.o"
+  "CMakeFiles/typecoin_crypto.dir/ripemd160.cpp.o.d"
+  "CMakeFiles/typecoin_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/typecoin_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/typecoin_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/typecoin_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/typecoin_crypto.dir/u256.cpp.o"
+  "CMakeFiles/typecoin_crypto.dir/u256.cpp.o.d"
+  "libtypecoin_crypto.a"
+  "libtypecoin_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecoin_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

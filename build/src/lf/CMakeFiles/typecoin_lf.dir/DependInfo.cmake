@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lf/serialize.cpp" "src/lf/CMakeFiles/typecoin_lf.dir/serialize.cpp.o" "gcc" "src/lf/CMakeFiles/typecoin_lf.dir/serialize.cpp.o.d"
+  "/root/repo/src/lf/signature.cpp" "src/lf/CMakeFiles/typecoin_lf.dir/signature.cpp.o" "gcc" "src/lf/CMakeFiles/typecoin_lf.dir/signature.cpp.o.d"
+  "/root/repo/src/lf/syntax.cpp" "src/lf/CMakeFiles/typecoin_lf.dir/syntax.cpp.o" "gcc" "src/lf/CMakeFiles/typecoin_lf.dir/syntax.cpp.o.d"
+  "/root/repo/src/lf/typecheck.cpp" "src/lf/CMakeFiles/typecoin_lf.dir/typecheck.cpp.o" "gcc" "src/lf/CMakeFiles/typecoin_lf.dir/typecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/typecoin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecoin_lf.dir/serialize.cpp.o"
+  "CMakeFiles/typecoin_lf.dir/serialize.cpp.o.d"
+  "CMakeFiles/typecoin_lf.dir/signature.cpp.o"
+  "CMakeFiles/typecoin_lf.dir/signature.cpp.o.d"
+  "CMakeFiles/typecoin_lf.dir/syntax.cpp.o"
+  "CMakeFiles/typecoin_lf.dir/syntax.cpp.o.d"
+  "CMakeFiles/typecoin_lf.dir/typecheck.cpp.o"
+  "CMakeFiles/typecoin_lf.dir/typecheck.cpp.o.d"
+  "libtypecoin_lf.a"
+  "libtypecoin_lf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecoin_lf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

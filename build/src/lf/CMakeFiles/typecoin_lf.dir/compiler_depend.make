@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for typecoin_lf.
+# This may be replaced when dependencies are built.

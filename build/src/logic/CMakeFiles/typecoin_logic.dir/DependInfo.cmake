@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/basis.cpp" "src/logic/CMakeFiles/typecoin_logic.dir/basis.cpp.o" "gcc" "src/logic/CMakeFiles/typecoin_logic.dir/basis.cpp.o.d"
+  "/root/repo/src/logic/check.cpp" "src/logic/CMakeFiles/typecoin_logic.dir/check.cpp.o" "gcc" "src/logic/CMakeFiles/typecoin_logic.dir/check.cpp.o.d"
+  "/root/repo/src/logic/condition.cpp" "src/logic/CMakeFiles/typecoin_logic.dir/condition.cpp.o" "gcc" "src/logic/CMakeFiles/typecoin_logic.dir/condition.cpp.o.d"
+  "/root/repo/src/logic/parse.cpp" "src/logic/CMakeFiles/typecoin_logic.dir/parse.cpp.o" "gcc" "src/logic/CMakeFiles/typecoin_logic.dir/parse.cpp.o.d"
+  "/root/repo/src/logic/proof.cpp" "src/logic/CMakeFiles/typecoin_logic.dir/proof.cpp.o" "gcc" "src/logic/CMakeFiles/typecoin_logic.dir/proof.cpp.o.d"
+  "/root/repo/src/logic/proposition.cpp" "src/logic/CMakeFiles/typecoin_logic.dir/proposition.cpp.o" "gcc" "src/logic/CMakeFiles/typecoin_logic.dir/proposition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lf/CMakeFiles/typecoin_lf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/typecoin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

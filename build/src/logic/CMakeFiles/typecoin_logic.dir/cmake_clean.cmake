@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecoin_logic.dir/basis.cpp.o"
+  "CMakeFiles/typecoin_logic.dir/basis.cpp.o.d"
+  "CMakeFiles/typecoin_logic.dir/check.cpp.o"
+  "CMakeFiles/typecoin_logic.dir/check.cpp.o.d"
+  "CMakeFiles/typecoin_logic.dir/condition.cpp.o"
+  "CMakeFiles/typecoin_logic.dir/condition.cpp.o.d"
+  "CMakeFiles/typecoin_logic.dir/parse.cpp.o"
+  "CMakeFiles/typecoin_logic.dir/parse.cpp.o.d"
+  "CMakeFiles/typecoin_logic.dir/proof.cpp.o"
+  "CMakeFiles/typecoin_logic.dir/proof.cpp.o.d"
+  "CMakeFiles/typecoin_logic.dir/proposition.cpp.o"
+  "CMakeFiles/typecoin_logic.dir/proposition.cpp.o.d"
+  "libtypecoin_logic.a"
+  "libtypecoin_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecoin_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

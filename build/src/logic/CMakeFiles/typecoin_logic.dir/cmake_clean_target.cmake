@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtypecoin_logic.a"
+)

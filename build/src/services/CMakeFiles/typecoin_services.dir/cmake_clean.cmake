@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecoin_services.dir/authserver.cpp.o"
+  "CMakeFiles/typecoin_services.dir/authserver.cpp.o.d"
+  "CMakeFiles/typecoin_services.dir/batchserver.cpp.o"
+  "CMakeFiles/typecoin_services.dir/batchserver.cpp.o.d"
+  "CMakeFiles/typecoin_services.dir/escrow.cpp.o"
+  "CMakeFiles/typecoin_services.dir/escrow.cpp.o.d"
+  "libtypecoin_services.a"
+  "libtypecoin_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecoin_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecoin_support.dir/bytes.cpp.o"
+  "CMakeFiles/typecoin_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/typecoin_support.dir/rng.cpp.o"
+  "CMakeFiles/typecoin_support.dir/rng.cpp.o.d"
+  "CMakeFiles/typecoin_support.dir/serialize.cpp.o"
+  "CMakeFiles/typecoin_support.dir/serialize.cpp.o.d"
+  "CMakeFiles/typecoin_support.dir/strings.cpp.o"
+  "CMakeFiles/typecoin_support.dir/strings.cpp.o.d"
+  "libtypecoin_support.a"
+  "libtypecoin_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecoin_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

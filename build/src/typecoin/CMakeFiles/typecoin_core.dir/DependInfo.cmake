@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typecoin/builder.cpp" "src/typecoin/CMakeFiles/typecoin_core.dir/builder.cpp.o" "gcc" "src/typecoin/CMakeFiles/typecoin_core.dir/builder.cpp.o.d"
+  "/root/repo/src/typecoin/embed.cpp" "src/typecoin/CMakeFiles/typecoin_core.dir/embed.cpp.o" "gcc" "src/typecoin/CMakeFiles/typecoin_core.dir/embed.cpp.o.d"
+  "/root/repo/src/typecoin/newcoin.cpp" "src/typecoin/CMakeFiles/typecoin_core.dir/newcoin.cpp.o" "gcc" "src/typecoin/CMakeFiles/typecoin_core.dir/newcoin.cpp.o.d"
+  "/root/repo/src/typecoin/node.cpp" "src/typecoin/CMakeFiles/typecoin_core.dir/node.cpp.o" "gcc" "src/typecoin/CMakeFiles/typecoin_core.dir/node.cpp.o.d"
+  "/root/repo/src/typecoin/opentx.cpp" "src/typecoin/CMakeFiles/typecoin_core.dir/opentx.cpp.o" "gcc" "src/typecoin/CMakeFiles/typecoin_core.dir/opentx.cpp.o.d"
+  "/root/repo/src/typecoin/state.cpp" "src/typecoin/CMakeFiles/typecoin_core.dir/state.cpp.o" "gcc" "src/typecoin/CMakeFiles/typecoin_core.dir/state.cpp.o.d"
+  "/root/repo/src/typecoin/transaction.cpp" "src/typecoin/CMakeFiles/typecoin_core.dir/transaction.cpp.o" "gcc" "src/typecoin/CMakeFiles/typecoin_core.dir/transaction.cpp.o.d"
+  "/root/repo/src/typecoin/wallet.cpp" "src/typecoin/CMakeFiles/typecoin_core.dir/wallet.cpp.o" "gcc" "src/typecoin/CMakeFiles/typecoin_core.dir/wallet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/typecoin_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/typecoin_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lf/CMakeFiles/typecoin_lf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/typecoin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecoin_core.dir/builder.cpp.o"
+  "CMakeFiles/typecoin_core.dir/builder.cpp.o.d"
+  "CMakeFiles/typecoin_core.dir/embed.cpp.o"
+  "CMakeFiles/typecoin_core.dir/embed.cpp.o.d"
+  "CMakeFiles/typecoin_core.dir/newcoin.cpp.o"
+  "CMakeFiles/typecoin_core.dir/newcoin.cpp.o.d"
+  "CMakeFiles/typecoin_core.dir/node.cpp.o"
+  "CMakeFiles/typecoin_core.dir/node.cpp.o.d"
+  "CMakeFiles/typecoin_core.dir/opentx.cpp.o"
+  "CMakeFiles/typecoin_core.dir/opentx.cpp.o.d"
+  "CMakeFiles/typecoin_core.dir/state.cpp.o"
+  "CMakeFiles/typecoin_core.dir/state.cpp.o.d"
+  "CMakeFiles/typecoin_core.dir/transaction.cpp.o"
+  "CMakeFiles/typecoin_core.dir/transaction.cpp.o.d"
+  "CMakeFiles/typecoin_core.dir/wallet.cpp.o"
+  "CMakeFiles/typecoin_core.dir/wallet.cpp.o.d"
+  "libtypecoin_core.a"
+  "libtypecoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

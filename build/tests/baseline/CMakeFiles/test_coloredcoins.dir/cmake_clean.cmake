@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coloredcoins.dir/coloredcoins_test.cpp.o"
+  "CMakeFiles/test_coloredcoins.dir/coloredcoins_test.cpp.o.d"
+  "test_coloredcoins"
+  "test_coloredcoins.pdb"
+  "test_coloredcoins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coloredcoins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reorg_invalid.dir/reorg_invalid_test.cpp.o"
+  "CMakeFiles/test_reorg_invalid.dir/reorg_invalid_test.cpp.o.d"
+  "test_reorg_invalid"
+  "test_reorg_invalid.pdb"
+  "test_reorg_invalid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reorg_invalid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

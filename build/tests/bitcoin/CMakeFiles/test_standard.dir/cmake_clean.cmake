@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_standard.dir/standard_test.cpp.o"
+  "CMakeFiles/test_standard.dir/standard_test.cpp.o.d"
+  "test_standard"
+  "test_standard.pdb"
+  "test_standard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_standard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/bitcoin
+# Build directory: /root/repo/build/tests/bitcoin
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bitcoin/test_script[1]_include.cmake")
+include("/root/repo/build/tests/bitcoin/test_transaction[1]_include.cmake")
+include("/root/repo/build/tests/bitcoin/test_standard[1]_include.cmake")
+include("/root/repo/build/tests/bitcoin/test_chain[1]_include.cmake")
+include("/root/repo/build/tests/bitcoin/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/bitcoin/test_sighash_e2e[1]_include.cmake")
+include("/root/repo/build/tests/bitcoin/test_network[1]_include.cmake")
+include("/root/repo/build/tests/bitcoin/test_reorg_invalid[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base58.dir/base58_test.cpp.o"
+  "CMakeFiles/test_base58.dir/base58_test.cpp.o.d"
+  "test_base58"
+  "test_base58.pdb"
+  "test_base58[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base58.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/crypto
+# Build directory: /root/repo/build/tests/crypto
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/crypto/test_hashes[1]_include.cmake")
+include("/root/repo/build/tests/crypto/test_u256[1]_include.cmake")
+include("/root/repo/build/tests/crypto/test_secp256k1[1]_include.cmake")
+include("/root/repo/build/tests/crypto/test_ecdsa[1]_include.cmake")
+include("/root/repo/build/tests/crypto/test_base58[1]_include.cmake")

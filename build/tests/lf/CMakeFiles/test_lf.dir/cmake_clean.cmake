@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lf.dir/lf_test.cpp.o"
+  "CMakeFiles/test_lf.dir/lf_test.cpp.o.d"
+  "test_lf"
+  "test_lf.pdb"
+  "test_lf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_check_depth.dir/check_depth_test.cpp.o"
+  "CMakeFiles/test_check_depth.dir/check_depth_test.cpp.o.d"
+  "test_check_depth"
+  "test_check_depth.pdb"
+  "test_check_depth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_check_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prop.dir/prop_test.cpp.o"
+  "CMakeFiles/test_prop.dir/prop_test.cpp.o.d"
+  "test_prop"
+  "test_prop.pdb"
+  "test_prop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

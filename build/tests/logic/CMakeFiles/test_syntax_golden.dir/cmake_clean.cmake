@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syntax_golden.dir/syntax_golden_test.cpp.o"
+  "CMakeFiles/test_syntax_golden.dir/syntax_golden_test.cpp.o.d"
+  "test_syntax_golden"
+  "test_syntax_golden.pdb"
+  "test_syntax_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syntax_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

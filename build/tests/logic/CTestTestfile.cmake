@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/logic
+# Build directory: /root/repo/build/tests/logic
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/logic/test_condition[1]_include.cmake")
+include("/root/repo/build/tests/logic/test_prop[1]_include.cmake")
+include("/root/repo/build/tests/logic/test_check[1]_include.cmake")
+include("/root/repo/build/tests/logic/test_check_depth[1]_include.cmake")
+include("/root/repo/build/tests/logic/test_syntax_golden[1]_include.cmake")
+include("/root/repo/build/tests/logic/test_parse[1]_include.cmake")

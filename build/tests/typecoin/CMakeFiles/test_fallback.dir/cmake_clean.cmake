@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fallback.dir/fallback_test.cpp.o"
+  "CMakeFiles/test_fallback.dir/fallback_test.cpp.o.d"
+  "test_fallback"
+  "test_fallback.pdb"
+  "test_fallback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_newcoin.dir/newcoin_test.cpp.o"
+  "CMakeFiles/test_newcoin.dir/newcoin_test.cpp.o.d"
+  "test_newcoin"
+  "test_newcoin.pdb"
+  "test_newcoin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_newcoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

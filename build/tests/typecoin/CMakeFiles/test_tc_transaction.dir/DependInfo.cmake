@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/typecoin/tc_transaction_test.cpp" "tests/typecoin/CMakeFiles/test_tc_transaction.dir/tc_transaction_test.cpp.o" "gcc" "tests/typecoin/CMakeFiles/test_tc_transaction.dir/tc_transaction_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/typecoin/CMakeFiles/typecoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitcoin/CMakeFiles/typecoin_bitcoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/typecoin_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/typecoin_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/lf/CMakeFiles/typecoin_lf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/typecoin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

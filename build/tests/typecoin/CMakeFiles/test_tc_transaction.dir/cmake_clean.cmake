@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tc_transaction.dir/tc_transaction_test.cpp.o"
+  "CMakeFiles/test_tc_transaction.dir/tc_transaction_test.cpp.o.d"
+  "test_tc_transaction"
+  "test_tc_transaction.pdb"
+  "test_tc_transaction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tc_transaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeout_contract.dir/timeout_contract_test.cpp.o"
+  "CMakeFiles/test_timeout_contract.dir/timeout_contract_test.cpp.o.d"
+  "test_timeout_contract"
+  "test_timeout_contract.pdb"
+  "test_timeout_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeout_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wallet.dir/wallet_test.cpp.o"
+  "CMakeFiles/test_wallet.dir/wallet_test.cpp.o.d"
+  "test_wallet"
+  "test_wallet.pdb"
+  "test_wallet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wallet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

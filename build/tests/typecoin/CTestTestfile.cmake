@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/typecoin
+# Build directory: /root/repo/build/tests/typecoin
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/typecoin/test_tc_transaction[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_state[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_newcoin[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_embed[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_services[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_fallback[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_extended[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_property[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_timeout_contract[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_scale[1]_include.cmake")
+include("/root/repo/build/tests/typecoin/test_wallet[1]_include.cmake")
