@@ -110,7 +110,7 @@ std::vector<bitcoin::Transaction> coloredHistory(int Steps) {
   for (int I = 0; I < Steps; ++I) {
     bitcoin::Transaction T;
     T.Inputs.push_back(
-        bitcoin::TxIn{bitcoin::OutPoint{History.back().txid(), 0}});
+        bitcoin::TxIn{bitcoin::OutPoint{History.back().txid(), 0}, {}});
     T.Outputs.push_back(bitcoin::TxOut{100, bitcoin::Script()});
     History.push_back(T);
   }

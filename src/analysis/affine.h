@@ -1,0 +1,67 @@
+//===- analysis/affine.h - Affine-usage audit of proof terms -----*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fast, purely structural audit of affine hypothesis usage in proof
+/// terms — the lint pass run *before* the full checker
+/// (`logic/check.cpp`). It performs no type inference and allocates no
+/// propositions; it only tracks binder scopes and consumption flags, so
+/// it is linear in the size of the proof term.
+///
+/// The audit mirrors the checker's context discipline exactly:
+///
+///   * a proof variable resolves to the innermost binder of that name;
+///     consuming an affine hypothesis twice is a *contraction attempt*
+///     and is reported as an error (`affine-reuse`) — the checker is
+///     guaranteed to reject it,
+///   * the two components of a `&`-pair and the two branches of a `case`
+///     see the same affine context; consumption merges as the union
+///     (matching `check.cpp`), so using one hypothesis in both arms is
+///     *not* a reuse,
+///   * inside `!M` every affine hypothesis is unavailable
+///     (`affine-banged`),
+///   * an affine hypothesis that is never consumed is legal weakening
+///     (the paper embraces it, Section 4) but often a bug in practice,
+///     so it is reported as a warning (`affine-unused`).
+///
+/// Because errors are emitted only where the checker must reject,
+/// lint-clean proofs are never rejected by the checker *for an
+/// affine-usage reason* (property-tested in
+/// tests/analysis/lint_property_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_ANALYSIS_AFFINE_H
+#define TYPECOIN_ANALYSIS_AFFINE_H
+
+#include "analysis/diagnostic.h"
+#include "logic/proof.h"
+
+namespace typecoin {
+namespace analysis {
+
+/// Options for the affine audit.
+struct AffineAuditOptions {
+  /// Emit `affine-unused` warnings for weakened hypotheses.
+  bool WarnUnused = true;
+  /// Maximum proof-term nesting, matching the checker's own guard.
+  unsigned MaxDepth = 100000;
+};
+
+/// Audit \p M, assuming the named hypotheses \p Affine and
+/// \p Persistent are in scope (both may be empty: transaction proof
+/// obligations are closed terms). Findings are appended to \p Out with
+/// spans rooted at \p SpanRoot.
+void auditAffineUsage(const logic::ProofPtr &M,
+                      const std::vector<std::string> &Affine,
+                      const std::vector<std::string> &Persistent,
+                      LintReport &Out, const std::string &SpanRoot = "proof",
+                      const AffineAuditOptions &Opts = AffineAuditOptions());
+
+} // namespace analysis
+} // namespace typecoin
+
+#endif // TYPECOIN_ANALYSIS_AFFINE_H

@@ -260,9 +260,16 @@ Status Blockchain::submitBlock(const Block &B) {
   Blocks[Hash] = std::move(Entry);
 
   // Most-work rule; first-seen wins ties.
+  Status Out = Status::success();
   if (NewWork > tipWork())
-    return activateChain(Hash);
-  return Status::success();
+    Out = activateChain(Hash);
+  // Audit whatever state we ended in — the extended chain, the
+  // reorganized chain, or the restored chain after a failed reorg. An
+  // invariant violation outranks the block's own verdict.
+  if (Audit)
+    if (auto A = Audit(*this); !A)
+      return A.takeError().withContext("audit after submitBlock");
+  return Out;
 }
 
 uint32_t Blockchain::nextBitsFor(const BlockHash &Parent) const {

@@ -23,6 +23,7 @@
 #include "bitcoin/utxo.h"
 #include "crypto/keys.h"
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -99,6 +100,14 @@ public:
   /// Fetch a confirmed transaction from the best chain.
   const Transaction *findTransaction(const TxId &Tx) const;
 
+  /// Debug-mode invariant auditing (TYPECOIN_AUDIT / analysis/audit.h):
+  /// when set, the hook runs after every submitBlock that may have
+  /// connected or disconnected blocks — including the restore path of a
+  /// failed reorganization — and its failure is reported in preference
+  /// to the block's own verdict.
+  using AuditHook = std::function<Status(const Blockchain &)>;
+  void setAuditHook(AuditHook Hook) { Audit = std::move(Hook); }
+
 private:
   struct IndexEntry {
     Block Blk;
@@ -132,6 +141,7 @@ private:
   std::vector<BlockHash> ActiveChain;
   /// Tx index over the active chain.
   std::map<TxId, TxLocation> TxIndex;
+  AuditHook Audit;
 };
 
 /// Full transaction validation against a UTXO view: inputs present and

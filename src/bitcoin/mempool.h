@@ -54,6 +54,10 @@ public:
   /// Fee carried by a pool entry.
   std::optional<Amount> feeOf(const TxId &Id) const;
 
+  /// The relay policy in force (read by the lint gate so its
+  /// standardness severity matches what this pool will enforce).
+  const MempoolPolicy &policy() const { return Policy; }
+
 private:
   struct Entry {
     Transaction Tx;

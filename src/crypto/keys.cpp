@@ -14,6 +14,7 @@ Digest20 hash160(const Bytes &Data) {
 
 std::string KeyId::toAddress() const {
   Bytes Payload;
+  Payload.reserve(1 + Hash.size());
   Payload.push_back(0x00);
   Payload.insert(Payload.end(), Hash.begin(), Hash.end());
   return base58CheckEncode(Payload);

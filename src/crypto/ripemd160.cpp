@@ -114,7 +114,8 @@ Digest20 ripemd160(const uint8_t *Data, size_t Len) {
   // Padding: 0x80, zeros, 64-bit little-endian bit length.
   uint8_t Tail[128];
   size_t Rem = Len % 64;
-  std::memcpy(Tail, Data + 64 * Full, Rem);
+  if (Rem != 0) // Data may be null when Len == 0.
+    std::memcpy(Tail, Data + 64 * Full, Rem);
   Tail[Rem] = 0x80;
   size_t PadEnd = (Rem < 56) ? 56 : 120;
   std::memset(Tail + Rem + 1, 0, PadEnd - Rem - 1);

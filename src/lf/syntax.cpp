@@ -223,28 +223,36 @@ namespace {
 
 constexpr unsigned NormalizeFuel = 100000;
 
-Result<TermPtr> normalizeTermFueled(const TermPtr &T, unsigned &Fuel) {
-  if (Fuel-- == 0)
-    return makeError("lf: normalization fuel exhausted");
-  switch (T->Kind) {
-  case Term::Tag::Var:
-  case Term::Tag::Const:
-  case Term::Tag::Principal:
-  case Term::Tag::Nat:
+Result<TermPtr> normalizeTermFueled(const TermPtr &T0, unsigned &Fuel) {
+  // Beta steps iterate rather than recurse: a divergent term (e.g. the
+  // omega combinator) must exhaust fuel in constant stack, not blow the
+  // stack first. Structural recursion below is bounded by term depth.
+  TermPtr T = T0;
+  for (;;) {
+    if (Fuel-- == 0)
+      return makeError("lf: normalization fuel exhausted");
+    switch (T->Kind) {
+    case Term::Tag::Var:
+    case Term::Tag::Const:
+    case Term::Tag::Principal:
+    case Term::Tag::Nat:
+      return T;
+    case Term::Tag::Lam: {
+      TC_UNWRAP(Body, normalizeTermFueled(T->Body, Fuel));
+      return lam(T->Annot, Body);
+    }
+    case Term::Tag::App: {
+      TC_UNWRAP(Fn, normalizeTermFueled(T->Fn, Fuel));
+      TC_UNWRAP(Arg, normalizeTermFueled(T->Arg, Fuel));
+      if (Fn->Kind == Term::Tag::Lam) {
+        T = substTerm(Fn->Body, 0, Arg);
+        continue;
+      }
+      return app(Fn, Arg);
+    }
+    }
     return T;
-  case Term::Tag::Lam: {
-    TC_UNWRAP(Body, normalizeTermFueled(T->Body, Fuel));
-    return lam(T->Annot, Body);
   }
-  case Term::Tag::App: {
-    TC_UNWRAP(Fn, normalizeTermFueled(T->Fn, Fuel));
-    TC_UNWRAP(Arg, normalizeTermFueled(T->Arg, Fuel));
-    if (Fn->Kind == Term::Tag::Lam)
-      return normalizeTermFueled(substTerm(Fn->Body, 0, Arg), Fuel);
-    return app(Fn, Arg);
-  }
-  }
-  return T;
 }
 
 } // namespace

@@ -438,7 +438,7 @@ Result<ProofPtr> readProof(Reader &R) {
   switch (Tag) {
   case Proof::Tag::Var: {
     TC_UNWRAP(Name, R.readString());
-    return mVar(Name);
+    return mVar(std::move(Name));
   }
   case Proof::Tag::Const: {
     TC_UNWRAP(Name, lf::readConstName(R));
@@ -448,7 +448,7 @@ Result<ProofPtr> readProof(Reader &R) {
     TC_UNWRAP(X, R.readString());
     TC_UNWRAP(Dom, readProp(R));
     TC_UNWRAP(Body, readProof(R));
-    return mLam(X, Dom, Body);
+    return mLam(std::move(X), std::move(Dom), std::move(Body));
   }
   case Proof::Tag::App:
   case Proof::Tag::TensorPair:
@@ -456,17 +456,17 @@ Result<ProofPtr> readProof(Reader &R) {
     TC_UNWRAP(A, readProof(R));
     TC_UNWRAP(B, readProof(R));
     if (Tag == Proof::Tag::App)
-      return mApp(A, B);
+      return mApp(std::move(A), std::move(B));
     if (Tag == Proof::Tag::TensorPair)
-      return mTensorPair(A, B);
-    return mWithPair(A, B);
+      return mTensorPair(std::move(A), std::move(B));
+    return mWithPair(std::move(A), std::move(B));
   }
   case Proof::Tag::TensorLet: {
     TC_UNWRAP(X, R.readString());
     TC_UNWRAP(Y, R.readString());
     TC_UNWRAP(A, readProof(R));
     TC_UNWRAP(B, readProof(R));
-    return mTensorLet(X, Y, A, B);
+    return mTensorLet(std::move(X), std::move(Y), std::move(A), std::move(B));
   }
   case Proof::Tag::WithFst:
   case Proof::Tag::WithSnd:
@@ -474,18 +474,19 @@ Result<ProofPtr> readProof(Reader &R) {
   case Proof::Tag::IfSay: {
     TC_UNWRAP(A, readProof(R));
     if (Tag == Proof::Tag::WithFst)
-      return mWithFst(A);
+      return mWithFst(std::move(A));
     if (Tag == Proof::Tag::WithSnd)
-      return mWithSnd(A);
+      return mWithSnd(std::move(A));
     if (Tag == Proof::Tag::BangIntro)
-      return mBang(A);
-    return mIfSay(A);
+      return mBang(std::move(A));
+    return mIfSay(std::move(A));
   }
   case Proof::Tag::Inl:
   case Proof::Tag::Inr: {
     TC_UNWRAP(Annot, readProp(R));
     TC_UNWRAP(A, readProof(R));
-    return Tag == Proof::Tag::Inl ? mInl(Annot, A) : mInr(Annot, A);
+    return Tag == Proof::Tag::Inl ? mInl(std::move(Annot), std::move(A))
+                                  : mInr(std::move(Annot), std::move(A));
   }
   case Proof::Tag::Case: {
     TC_UNWRAP(A, readProof(R));
@@ -493,19 +494,20 @@ Result<ProofPtr> readProof(Reader &R) {
     TC_UNWRAP(B, readProof(R));
     TC_UNWRAP(Y, R.readString());
     TC_UNWRAP(C, readProof(R));
-    return mCase(A, X, B, Y, C);
+    return mCase(std::move(A), std::move(X), std::move(B), std::move(Y),
+                 std::move(C));
   }
   case Proof::Tag::Abort: {
     TC_UNWRAP(Annot, readProp(R));
     TC_UNWRAP(A, readProof(R));
-    return mAbort(Annot, A);
+    return mAbort(std::move(Annot), std::move(A));
   }
   case Proof::Tag::OneIntro:
     return mOne();
   case Proof::Tag::OneLet: {
     TC_UNWRAP(A, readProof(R));
     TC_UNWRAP(B, readProof(R));
-    return mOneLet(A, B);
+    return mOneLet(std::move(A), std::move(B));
   }
   case Proof::Tag::BangLet:
   case Proof::Tag::SayBind:
@@ -515,48 +517,51 @@ Result<ProofPtr> readProof(Reader &R) {
     TC_UNWRAP(A, readProof(R));
     TC_UNWRAP(B, readProof(R));
     if (Tag == Proof::Tag::BangLet)
-      return mBangLet(X, A, B);
+      return mBangLet(std::move(X), std::move(A), std::move(B));
     if (Tag == Proof::Tag::SayBind)
-      return mSayBind(X, A, B);
+      return mSayBind(std::move(X), std::move(A), std::move(B));
     if (Tag == Proof::Tag::IfBind)
-      return mIfBind(X, A, B);
-    return mUnpack(X, A, B);
+      return mIfBind(std::move(X), std::move(A), std::move(B));
+    return mUnpack(std::move(X), std::move(A), std::move(B));
   }
   case Proof::Tag::AllIntro: {
     TC_UNWRAP(Dom, lf::readType(R));
     TC_UNWRAP(A, readProof(R));
-    return mAllIntro(Dom, A);
+    return mAllIntro(std::move(Dom), std::move(A));
   }
   case Proof::Tag::AllApp: {
     TC_UNWRAP(A, readProof(R));
     TC_UNWRAP(ITerm, lf::readTerm(R));
-    return mAllApp(A, ITerm);
+    return mAllApp(std::move(A), std::move(ITerm));
   }
   case Proof::Tag::ExPack: {
     TC_UNWRAP(Annot, readProp(R));
     TC_UNWRAP(ITerm, lf::readTerm(R));
     TC_UNWRAP(A, readProof(R));
-    return mPack(Annot, ITerm, A);
+    return mPack(std::move(Annot), std::move(ITerm), std::move(A));
   }
   case Proof::Tag::SayReturn: {
     TC_UNWRAP(Who, lf::readTerm(R));
     TC_UNWRAP(A, readProof(R));
-    return mSayReturn(Who, A);
+    return mSayReturn(std::move(Who), std::move(A));
   }
   case Proof::Tag::Assert:
   case Proof::Tag::AssertBang: {
     TC_UNWRAP(KHash, R.readString());
     TC_UNWRAP(AProp, readProp(R));
     TC_UNWRAP(Sig, R.readVarBytes());
-    return Tag == Proof::Tag::Assert ? mAssert(KHash, AProp, Sig)
-                                     : mAssertBang(KHash, AProp, Sig);
+    return Tag == Proof::Tag::Assert
+               ? mAssert(std::move(KHash), std::move(AProp), std::move(Sig))
+               : mAssertBang(std::move(KHash), std::move(AProp),
+                             std::move(Sig));
   }
   case Proof::Tag::IfReturn:
   case Proof::Tag::IfWeaken: {
     TC_UNWRAP(Phi, readCond(R));
     TC_UNWRAP(A, readProof(R));
-    return Tag == Proof::Tag::IfReturn ? mIfReturn(Phi, A)
-                                       : mIfWeaken(Phi, A);
+    return Tag == Proof::Tag::IfReturn
+               ? mIfReturn(std::move(Phi), std::move(A))
+               : mIfWeaken(std::move(Phi), std::move(A));
   }
   }
   return makeError("logic: bad proof tag");

@@ -2,6 +2,8 @@
 
 #include "services/batchserver.h"
 
+#include "analysis/lint.h"
+
 namespace typecoin {
 namespace services {
 
@@ -113,6 +115,9 @@ BatchServer::withdraw(const std::string &Txid, uint32_t Index,
 
 Result<std::string>
 BatchServer::recordWriteThrough(const tc::Transaction &T) {
+  // Lint before paying the cost of building and signing the Bitcoin
+  // carrier; a transaction the node would reject never leaves here.
+  TC_TRY(analysis::lintGate(T));
   TC_UNWRAP(P, tc::buildPair(T, ServerWallet, Node.chain()));
   TC_TRY(Node.submitPair(P));
   ++OnChainTxs;

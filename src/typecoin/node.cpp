@@ -2,6 +2,9 @@
 
 #include "typecoin/node.h"
 
+#include "analysis/audit.h"
+#include "analysis/lint.h"
+
 #include <algorithm>
 
 namespace typecoin {
@@ -28,9 +31,23 @@ bitcoin::ChainParams Node::defaultParams() {
 }
 
 Node::Node(bitcoin::ChainParams Params, int RegistrationDepth)
-    : Chain(std::move(Params)), RegistrationDepth(RegistrationDepth) {}
+    : Chain(std::move(Params)), RegistrationDepth(RegistrationDepth) {
+#ifdef TYPECOIN_AUDIT
+  // Debug builds re-derive the ledger invariants after every block
+  // connect/disconnect (analysis/audit.h).
+  analysis::installChainAuditor(Chain);
+#endif
+}
 
 Status Node::submitPair(const Pair &P) {
+  // Reject-early gate: a cheap structural lint (affine usage, script
+  // standardness, embedding shape) before the full correspondence and
+  // proof checks. Only findings the full pipeline is guaranteed to
+  // reject — across the primary and every fallback — turn into errors.
+  analysis::LintOptions LintOpts;
+  LintOpts.RequireStandard = Pool.policy().RequireStandard;
+  TC_TRY(analysis::lintGate(P, LintOpts));
+
   TC_TRY(checkCorrespondence(P.Tc, P.Btc));
   // Provisional Typecoin check against the present chain view; the
   // authoritative check happens at confirmation time.
@@ -85,6 +102,10 @@ Node::mineBlock(const crypto::KeyId &Payout, uint32_t Time) {
       Spoiled.push_back(Txid);
     PendingTc.erase(It);
   }
+#ifdef TYPECOIN_AUDIT
+  TC_TRY(analysis::auditMempool(Pool, Chain));
+  TC_TRY(analysis::auditState(TcState));
+#endif
   return Spoiled;
 }
 

@@ -191,6 +191,19 @@ const Transaction *State::find(const std::string &Txid) const {
   return It == Txs.end() ? nullptr : &It->second.T;
 }
 
+std::vector<std::string> State::registeredTxids() const {
+  std::vector<std::string> Out;
+  Out.reserve(Txs.size());
+  for (const auto &[Txid, E] : Txs)
+    Out.push_back(Txid);
+  return Out;
+}
+
+bool State::isSpoiled(const std::string &Txid) const {
+  auto It = Txs.find(Txid);
+  return It != Txs.end() && It->second.Spoiled;
+}
+
 Result<logic::PropPtr> verifyClaimedOutput(
     const std::vector<std::pair<std::string, Transaction>> &OrderedUpstream,
     const std::string &Txid, uint32_t Index, const logic::PropPtr &Claimed,

@@ -84,6 +84,14 @@ public:
   /// The registered transaction body (post-selection), if any.
   const Transaction *find(const std::string &Txid) const;
 
+  /// All registered Bitcoin txids, in map order (for the invariant
+  /// auditor, analysis/audit.h).
+  std::vector<std::string> registeredTxids() const;
+
+  /// Did the named transaction spoil (no valid alternative at
+  /// registration)?
+  bool isSpoiled(const std::string &Txid) const;
+
 private:
   Status checkBody(const Transaction &T, const logic::CondOracle &Oracle,
                    logic::CondPtr &PhiOut) const;

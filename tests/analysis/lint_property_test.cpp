@@ -1,0 +1,152 @@
+//===- tests/analysis/lint_property_test.cpp - Lint soundness sweeps ------===//
+//
+// The two directions of the lint severity contract, over seeded random
+// structure:
+//
+//   * **No false positives**: transactions the full checker accepts are
+//     never lint-*errors* (warnings are fine). Exercised with random
+//     permutation-routing transactions, which are valid by construction.
+//   * **Soundness of affine errors**: injecting a contraction (replacing
+//     one use of a bound variable with a tensor pair of two uses) always
+//     produces an `affine-reuse` lint error, and always makes the real
+//     proof checker reject the term.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/lint.h"
+
+#include "typecoin/builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::logic;
+
+namespace {
+
+const std::string TxHex(64, 'd');
+
+PropPtr typeOf(uint64_t I) {
+  return pAtom(lf::tApp(lf::tConst(lf::ConstName::local("t")), lf::nat(I)));
+}
+
+/// A routing transaction: inputs with the given type tags, outputs a
+/// permutation of them (tests/typecoin/property_test.cpp idiom).
+tc::Transaction routing(const std::vector<uint64_t> &InTags,
+                        const std::vector<uint64_t> &OutTags) {
+  Rng KeyRand(7);
+  crypto::PublicKey Owner = crypto::PrivateKey::generate(KeyRand).publicKey();
+  tc::Transaction T;
+  for (size_t I = 0; I < InTags.size(); ++I) {
+    tc::Input In;
+    In.SourceTxid = TxHex;
+    In.SourceIndex = static_cast<uint32_t>(I);
+    In.Type = typeOf(InTags[I]);
+    In.Amount = 1000;
+    T.Inputs.push_back(In);
+  }
+  for (uint64_t Tag : OutTags) {
+    tc::Output Out;
+    Out.Type = typeOf(Tag);
+    Out.Amount = 1000;
+    Out.Owner = Owner;
+    T.Outputs.push_back(Out);
+  }
+  return T;
+}
+
+class LintSweep : public ::testing::TestWithParam<uint64_t> {
+protected:
+  LintSweep() : Checker(Sigma, Trust) {
+    auto S = Sigma.declareFamily(lf::ConstName::local("t"),
+                                 lf::kPi(lf::natType(), lf::kProp()));
+    EXPECT_TRUE(S.hasValue());
+  }
+  Basis Sigma;
+  TrustingVerifier Trust;
+  ProofChecker Checker;
+};
+
+TEST_P(LintSweep, CheckerAcceptedTransactionsAreLintErrorFree) {
+  Rng Rand(GetParam());
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    size_t N = 1 + Rand.nextBelow(6);
+    std::vector<uint64_t> Tags(N);
+    for (auto &Tag : Tags)
+      Tag = Rand.nextBelow(4);
+    std::vector<uint64_t> Shuffled = Tags;
+    for (size_t I = Shuffled.size(); I > 1; --I)
+      std::swap(Shuffled[I - 1], Shuffled[Rand.nextBelow(I)]);
+
+    tc::Transaction T = routing(Tags, Shuffled);
+    auto Proof = tc::makeRoutingProof(T);
+    ASSERT_TRUE(Proof.hasValue()) << Proof.error().message();
+    T.Proof = *Proof;
+
+    // The full checker accepts this proof...
+    ASSERT_TRUE(Checker.infer(T.Proof).hasValue());
+    // ...so lint must not claim an error, and the gate must relay.
+    analysis::LintReport R = analysis::lint(T);
+    EXPECT_FALSE(R.hasErrors()) << R.str();
+    EXPECT_TRUE(analysis::lintGate(T).hasValue());
+  }
+}
+
+/// Replace the \p Target-th Var node (pre-order) with a tensor pair of
+/// two copies of itself, injecting a contraction. Returns the number of
+/// Var nodes seen (so callers can pick a valid target).
+ProofPtr injectContraction(const ProofPtr &M, size_t Target,
+                           size_t &Seen) {
+  if (!M)
+    return M;
+  if (M->Kind == Proof::Tag::Var) {
+    if (Seen++ == Target)
+      return mTensorPair(mVar(M->Name), mVar(M->Name));
+    return M;
+  }
+  // Rebuild with recursively transformed children. Only the child
+  // slots matter; the copied node keeps its other fields.
+  auto N = std::make_shared<Proof>(*M);
+  N->A = injectContraction(M->A, Target, Seen);
+  N->B = injectContraction(M->B, Target, Seen);
+  N->C = injectContraction(M->C, Target, Seen);
+  return N;
+}
+
+TEST_P(LintSweep, InjectedContractionIsFlaggedAndRejected) {
+  Rng Rand(GetParam() + 9000);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    size_t N = 1 + Rand.nextBelow(5);
+    std::vector<uint64_t> Tags(N);
+    for (auto &Tag : Tags)
+      Tag = Rand.nextBelow(3);
+    std::vector<uint64_t> Shuffled = Tags;
+    for (size_t I = Shuffled.size(); I > 1; --I)
+      std::swap(Shuffled[I - 1], Shuffled[Rand.nextBelow(I)]);
+
+    tc::Transaction T = routing(Tags, Shuffled);
+    auto Proof = tc::makeRoutingProof(T);
+    ASSERT_TRUE(Proof.hasValue());
+
+    // Count Var nodes, then duplicate a random one.
+    size_t Count = 0;
+    injectContraction(*Proof, static_cast<size_t>(-1), Count);
+    ASSERT_GT(Count, 0u);
+    size_t Target = Rand.nextBelow(Count);
+    size_t Seen = 0;
+    ProofPtr Broken = injectContraction(*Proof, Target, Seen);
+
+    // Lint flags the contraction...
+    analysis::LintReport R;
+    analysis::auditAffineUsage(Broken, {}, {}, R);
+    EXPECT_TRUE(R.has("affine-reuse")) << "trial " << Trial;
+    // ...and the lint error is sound: the checker rejects the term too
+    // (either the reuse itself or the type damage it causes).
+    EXPECT_FALSE(Checker.infer(Broken).hasValue()) << "trial " << Trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LintSweep,
+                         ::testing::Values(17u, 23u, 31u, 47u));
+
+} // namespace

@@ -24,7 +24,7 @@ makeTx(const std::vector<bitcoin::OutPoint> &Ins,
        const std::vector<bitcoin::Amount> &OutValues, uint64_t Tag = 0) {
   bitcoin::Transaction Tx;
   for (const auto &Point : Ins)
-    Tx.Inputs.push_back(bitcoin::TxIn{Point});
+    Tx.Inputs.push_back(bitcoin::TxIn{Point, {}});
   if (Ins.empty()) {
     // Genesis-style: a dummy input so txids differ by Tag.
     bitcoin::TxIn In;

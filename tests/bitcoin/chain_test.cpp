@@ -96,7 +96,7 @@ TEST(Chain, SpendCoinbaseAfterMaturity) {
   // Spend the first mined coinbase.
   auto CoinbaseHash = Chain.blockByHash(*Chain.blockHashAt(1))->Txs[0].txid();
   Transaction Spend;
-  Spend.Inputs.push_back(TxIn{OutPoint{CoinbaseHash, 0}});
+  Spend.Inputs.push_back(TxIn{OutPoint{CoinbaseHash, 0}, {}});
   Spend.Outputs.push_back(
       TxOut{Chain.params().Subsidy - 10000, makeP2PKH(Alice.id())});
   auto Sig = signInput(Spend, 0, makeP2PKH(Miner.id()), {Miner});
@@ -120,7 +120,7 @@ TEST(Chain, RejectsDoubleSpendInBlocks) {
   Script Lock = makeP2PKH(Miner.id());
   auto MakeSpend = [&](uint64_t Seed) {
     Transaction Spend;
-    Spend.Inputs.push_back(TxIn{OutPoint{CoinbaseHash, 0}});
+    Spend.Inputs.push_back(TxIn{OutPoint{CoinbaseHash, 0}, {}});
     Spend.Outputs.push_back(TxOut{Chain.params().Subsidy - 10000,
                                   makeP2PKH(keyFromSeed(Seed).id())});
     auto Sig = signInput(Spend, 0, Lock, {Miner});
@@ -172,7 +172,7 @@ TEST(Chain, IsSpentEvidence) {
   EXPECT_FALSE(*Unspent);
 
   Transaction Spend;
-  Spend.Inputs.push_back(TxIn{Point});
+  Spend.Inputs.push_back(TxIn{Point, {}});
   Spend.Outputs.push_back(TxOut{Chain.params().Subsidy - 10000,
                                 makeP2PKH(keyFromSeed(3).id())});
   auto Sig = signInput(Spend, 0, makeP2PKH(Miner.id()), {Miner});
@@ -276,7 +276,7 @@ TEST(Mempool, FeePolicy) {
   }
   auto CoinbaseHash = Chain.blockByHash(*Chain.blockHashAt(1))->Txs[0].txid();
   Transaction Spend;
-  Spend.Inputs.push_back(TxIn{OutPoint{CoinbaseHash, 0}});
+  Spend.Inputs.push_back(TxIn{OutPoint{CoinbaseHash, 0}, {}});
   // Fee of 10000 < 50000 minimum.
   Spend.Outputs.push_back(TxOut{Chain.params().Subsidy - 10000,
                                 makeP2PKH(keyFromSeed(3).id())});
@@ -300,7 +300,7 @@ TEST(Mempool, ChainedUnconfirmedSpends) {
   auto CoinbaseHash = Chain.blockByHash(*Chain.blockHashAt(1))->Txs[0].txid();
 
   Transaction ToAlice;
-  ToAlice.Inputs.push_back(TxIn{OutPoint{CoinbaseHash, 0}});
+  ToAlice.Inputs.push_back(TxIn{OutPoint{CoinbaseHash, 0}, {}});
   ToAlice.Outputs.push_back(
       TxOut{Chain.params().Subsidy - 10000, makeP2PKH(Alice.id())});
   ToAlice.Inputs[0].ScriptSig =
@@ -309,7 +309,7 @@ TEST(Mempool, ChainedUnconfirmedSpends) {
 
   // Alice immediately re-spends the unconfirmed output to Bob.
   Transaction ToBob;
-  ToBob.Inputs.push_back(TxIn{OutPoint{ToAlice.txid(), 0}});
+  ToBob.Inputs.push_back(TxIn{OutPoint{ToAlice.txid(), 0}, {}});
   ToBob.Outputs.push_back(
       TxOut{Chain.params().Subsidy - 20000, makeP2PKH(Bob.id())});
   ToBob.Inputs[0].ScriptSig =
@@ -366,8 +366,9 @@ TEST(Merkle, ProofsVerify) {
     MerkleProof Proof = merkleProve(Leaves, I);
     EXPECT_TRUE(merkleVerify(Leaves[I], Proof, Root)) << I;
     // A proof for one leaf fails for another.
-    if (I > 0)
+    if (I > 0) {
       EXPECT_FALSE(merkleVerify(Leaves[0], Proof, Root));
+    }
   }
 }
 

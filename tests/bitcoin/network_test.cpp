@@ -131,7 +131,7 @@ TEST(Network, TransactionRelayAndRemoteInclusion) {
       *Net.chain(1).blockHashAt(1));
   ASSERT_NE(Funding, nullptr);
   Transaction Pay;
-  Pay.Inputs.push_back(TxIn{OutPoint{Funding->Txs[0].txid(), 0}});
+  Pay.Inputs.push_back(TxIn{OutPoint{Funding->Txs[0].txid(), 0}, {}});
   Pay.Outputs.push_back(TxOut{Funding->Txs[0].Outputs[0].Value - 10000,
                               makeP2PKH(Bob.id())});
   auto Sig = signInput(Pay, 0, Funding->Txs[0].Outputs[0].ScriptPubKey,
@@ -168,7 +168,7 @@ TEST(Network, DoubleSpendRaceResolvesConsistently) {
       Net.chain(0).blockByHash(*Net.chain(0).blockHashAt(1));
   auto MakeSpend = [&](const crypto::KeyId &To) {
     Transaction T;
-    T.Inputs.push_back(TxIn{OutPoint{Funding->Txs[0].txid(), 0}});
+    T.Inputs.push_back(TxIn{OutPoint{Funding->Txs[0].txid(), 0}, {}});
     T.Outputs.push_back(TxOut{Funding->Txs[0].Outputs[0].Value - 10000,
                               makeP2PKH(To)});
     T.Inputs[0].ScriptSig =

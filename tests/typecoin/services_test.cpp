@@ -318,7 +318,7 @@ TEST_F(ServicesTest, MofNEscrowPool) {
     auto Point = txidFromHex(T.Inputs[0].SourceTxid);
     ASSERT_TRUE(Point.hasValue());
     Lock.Inputs.push_back(bitcoin::TxIn{
-        bitcoin::OutPoint{*Point, T.Inputs[0].SourceIndex}});
+        bitcoin::OutPoint{*Point, T.Inputs[0].SourceIndex}, {}});
     Lock.Outputs.push_back(bitcoin::TxOut{1000000, Pool});
   }
   ASSERT_TRUE(Alice.Wallet.signTransaction(Lock, Node.chain()).hasValue());
@@ -328,7 +328,7 @@ TEST_F(ServicesTest, MofNEscrowPool) {
   // Spend with signatures from agents 1 and 3.
   bitcoin::Transaction Spend;
   Spend.Inputs.push_back(
-      bitcoin::TxIn{bitcoin::OutPoint{Lock.txid(), 0}});
+      bitcoin::TxIn{bitcoin::OutPoint{Lock.txid(), 0}, {}});
   Spend.Outputs.push_back(
       bitcoin::TxOut{1000000 - 50000, bitcoin::makeP2PKH(Bob.id())});
   (void)Spend;
@@ -425,7 +425,7 @@ TEST_F(ServicesTest, RedeemTypecoinAssetForBitcoins) {
   const bitcoin::Coin *SourceCoin = Node.chain().utxo().find(PoolSource);
   ASSERT_NE(SourceCoin, nullptr);
   bitcoin::Transaction Fund;
-  Fund.Inputs.push_back(bitcoin::TxIn{PoolSource});
+  Fund.Inputs.push_back(bitcoin::TxIn{PoolSource, {}});
   bitcoin::Amount PoolValue = SourceCoin->Out.Value - 50000;
   Fund.Outputs.push_back(
       bitcoin::TxOut{PoolValue, bitcoin::makeP2PKH(Agent.id())});

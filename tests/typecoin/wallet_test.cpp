@@ -78,7 +78,7 @@ TEST(WalletTest, FindSpendableSeesMultisigWithOurKey) {
   // shape).
   auto Coinbase = Chain.blockByHash(*Chain.blockHashAt(1))->Txs[0];
   bitcoin::Transaction Tx;
-  Tx.Inputs.push_back(bitcoin::TxIn{{Coinbase.txid(), 0}});
+  Tx.Inputs.push_back(bitcoin::TxIn{{Coinbase.txid(), 0}, {}});
   Bytes Metadata(33, 0x02);
   Tx.Outputs.push_back(bitcoin::TxOut{
       Coinbase.Outputs[0].Value - 10000,
@@ -92,7 +92,7 @@ TEST(WalletTest, FindSpendableSeesMultisigWithOurKey) {
   ASSERT_EQ(Spendable.size(), 1u);
   // And we can actually spend it.
   bitcoin::Transaction Spend;
-  Spend.Inputs.push_back(bitcoin::TxIn{Spendable[0].Point});
+  Spend.Inputs.push_back(bitcoin::TxIn{Spendable[0].Point, {}});
   Spend.Outputs.push_back(bitcoin::TxOut{
       Spendable[0].Value - 10000, bitcoin::makeP2PKH(Ours.id())});
   ASSERT_TRUE(W.signTransaction(Spend, Chain).hasValue());

@@ -1,0 +1,338 @@
+//===- tools/tclint.cpp - Typecoin transaction linter CLI ---------------------===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end for the `analysis` lint library: reads
+/// serialized Typecoin transactions (or Bitcoin carrier transactions)
+/// from disk and prints every diagnostic with its span.
+///
+///   tclint tx1.tc tx2.tc            lint Typecoin transactions
+///   tclint --btc carrier.btc        lint a Bitcoin transaction's scripts
+///   tclint --pair tx.tc carrier.btc lint a coupled pair end-to-end
+///   tclint --hex tx.hex             input files hold hex text
+///   tclint --selftest               run the built-in self checks
+///   tclint --emit-demo PREFIX       write demo transactions to disk
+///
+/// Exit status: 0 no errors, 1 lint errors found, 2 usage or I/O failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/lint.h"
+
+#include "bitcoin/standard.h"
+#include "support/rng.h"
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+
+using namespace typecoin;
+
+namespace {
+
+struct CliOptions {
+  analysis::LintOptions Lint;
+  bool Hex = false;
+  bool Btc = false;
+  bool Quiet = false;
+};
+
+void usage(std::ostream &OS) {
+  OS << "usage: tclint [options] [file...]\n"
+        "\n"
+        "Lint serialized Typecoin transactions before submitting them to\n"
+        "the full proof checker.\n"
+        "\n"
+        "  --btc             treat files as Bitcoin transactions (script\n"
+        "                    standardness lint only)\n"
+        "  --pair TC BTC     lint a Typecoin transaction together with its\n"
+        "                    Bitcoin carrier (embedding + correspondence)\n"
+        "  --hex             files hold hex text instead of raw bytes\n"
+        "  --non-standard    relay policy does not require standard\n"
+        "                    scripts (standardness findings become\n"
+        "                    warnings)\n"
+        "  --no-unused       suppress affine-unused warnings\n"
+        "  --quiet, -q       print errors only\n"
+        "  --selftest        run the built-in self checks and exit\n"
+        "  --emit-demo P     write P.tc (clean), P.bad.tc (duplicated\n"
+        "                    affine hypothesis), P.btc (non-standard\n"
+        "                    script) and exit\n"
+        "  --help, -h        this text\n"
+        "\n"
+        "exit status: 0 clean, 1 lint errors, 2 usage or I/O failure\n";
+}
+
+Result<Bytes> readInput(const std::string &Path, bool Hex) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return makeError("cannot open '" + Path + "'");
+  Bytes Data((std::istreambuf_iterator<char>(In)),
+             std::istreambuf_iterator<char>());
+  if (!Hex)
+    return Data;
+  std::string Stripped;
+  for (uint8_t C : Data)
+    if (!std::isspace(C))
+      Stripped.push_back(static_cast<char>(C));
+  return fromHex(Stripped);
+}
+
+Status writeOutput(const std::string &Path, const Bytes &Data) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Data.data()),
+            static_cast<std::streamsize>(Data.size()));
+  if (!Out)
+    return makeError("cannot write '" + Path + "'");
+  return Status::success();
+}
+
+/// Print a report, one diagnostic per line, then a summary. Returns 1
+/// when the report has errors, 0 otherwise.
+int printReport(const std::string &Label, const analysis::LintReport &R,
+                const CliOptions &Cli) {
+  for (const analysis::Diagnostic &D : R.diagnostics()) {
+    if (Cli.Quiet && D.Sev != analysis::Severity::Error)
+      continue;
+    std::cout << Label << ": " << D.str() << "\n";
+  }
+  if (!Cli.Quiet || R.hasErrors())
+    std::cout << Label << ": " << R.count(analysis::Severity::Error)
+              << " error(s), " << R.count(analysis::Severity::Warning)
+              << " warning(s)\n";
+  return R.hasErrors() ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Demo transactions (--selftest / --emit-demo)
+//===----------------------------------------------------------------------===//
+
+crypto::PublicKey demoOwner() {
+  Rng Rand(0x7c11);
+  return crypto::PrivateKey::generate(Rand).publicKey();
+}
+
+/// A structurally clean transaction: one well-formed input, one
+/// non-dust output, a grant, and a proof that consumes its hypothesis
+/// exactly once.
+tc::Transaction demoClean() {
+  tc::Transaction T;
+  tc::Input In;
+  In.SourceTxid = std::string(64, 'a');
+  In.SourceIndex = 0;
+  In.Type = logic::pOne();
+  In.Amount = 100000;
+  T.Inputs.push_back(std::move(In));
+  tc::Output Out;
+  Out.Type = logic::pOne();
+  Out.Amount = 100000;
+  Out.Owner = demoOwner();
+  T.Outputs.push_back(std::move(Out));
+  T.Grant = logic::pOne();
+  T.Proof = logic::mLam("x", logic::pOne(), logic::mVar("x"));
+  return T;
+}
+
+/// Same shape, but the proof consumes the affine hypothesis twice —
+/// contraction, which the checker rejects.
+tc::Transaction demoAffineReuse() {
+  tc::Transaction T = demoClean();
+  T.Proof = logic::mLam(
+      "x", logic::pOne(),
+      logic::mTensorPair(logic::mVar("x"), logic::mVar("x")));
+  return T;
+}
+
+/// A Bitcoin transaction whose output script matches no standard
+/// template (a bare OP_NOP).
+bitcoin::Transaction demoNonStandard() {
+  bitcoin::Transaction Btc;
+  bitcoin::OutPoint Point;
+  Point.Tx.Hash[0] = 0x42;
+  Btc.Inputs.push_back(bitcoin::TxIn{Point, {}});
+  Btc.Outputs.push_back(
+      bitcoin::TxOut{1000000, bitcoin::Script().op(bitcoin::OP_NOP)});
+  return Btc;
+}
+
+int selftest() {
+  int Failures = 0;
+  auto Expect = [&](bool Cond, const char *What) {
+    std::cout << (Cond ? "ok:   " : "FAIL: ") << What << "\n";
+    if (!Cond)
+      ++Failures;
+  };
+
+  Expect(!analysis::lint(demoClean()).hasErrors(),
+         "clean transaction lints without errors");
+  Expect(analysis::lintGate(demoClean()).hasValue(),
+         "clean transaction passes the gate");
+
+  analysis::LintReport Reuse = analysis::lint(demoAffineReuse());
+  Expect(Reuse.has("affine-reuse"),
+         "duplicated affine hypothesis is flagged as affine-reuse");
+  Expect(!analysis::lintGate(demoAffineReuse()).hasValue(),
+         "duplicated affine hypothesis is rejected by the gate");
+
+  analysis::LintReport Scripts = analysis::lintScripts(demoNonStandard());
+  Expect(Scripts.has("script-nonstandard"),
+         "non-standard output script is flagged");
+  analysis::LintOptions Lax;
+  Lax.RequireStandard = false;
+  Expect(!analysis::lintScripts(demoNonStandard(), Lax).hasErrors(),
+         "non-standard script is only a warning without RequireStandard");
+
+  // Serialization round trip: what --emit-demo writes, a later lint run
+  // must parse back to an equivalent report.
+  auto Back = tc::Transaction::deserialize(demoAffineReuse().serialize());
+  Expect(Back.hasValue() && analysis::lint(*Back).has("affine-reuse"),
+         "affine-reuse survives a serialize/deserialize round trip");
+
+  std::cout << (Failures ? "selftest FAILED\n" : "selftest passed\n");
+  return Failures ? 1 : 0;
+}
+
+int emitDemo(const std::string &Prefix) {
+  auto Check = [](Status S) {
+    if (!S) {
+      std::cerr << "tclint: " << S.error().message() << "\n";
+      return 2;
+    }
+    return 0;
+  };
+  if (int E = Check(writeOutput(Prefix + ".tc", demoClean().serialize())))
+    return E;
+  if (int E = Check(
+          writeOutput(Prefix + ".bad.tc", demoAffineReuse().serialize())))
+    return E;
+  if (int E =
+          Check(writeOutput(Prefix + ".btc", demoNonStandard().serialize())))
+    return E;
+  std::cout << "wrote " << Prefix << ".tc, " << Prefix << ".bad.tc, "
+            << Prefix << ".btc\n";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// File linting
+//===----------------------------------------------------------------------===//
+
+/// Lint one file; returns 0/1/2 like the process exit status.
+int lintFile(const std::string &Path, const CliOptions &Cli) {
+  auto Data = readInput(Path, Cli.Hex);
+  if (!Data) {
+    std::cerr << "tclint: " << Data.error().message() << "\n";
+    return 2;
+  }
+  if (Cli.Btc) {
+    auto Btc = bitcoin::Transaction::deserialize(*Data);
+    if (!Btc) {
+      std::cerr << "tclint: " << Path
+                << ": not a Bitcoin transaction: " << Btc.error().message()
+                << "\n";
+      return 2;
+    }
+    return printReport(Path, analysis::lintScripts(*Btc, Cli.Lint), Cli);
+  }
+  auto T = tc::Transaction::deserialize(*Data);
+  if (!T) {
+    std::cerr << "tclint: " << Path
+              << ": not a Typecoin transaction: " << T.error().message()
+              << "\n";
+    return 2;
+  }
+  return printReport(Path, analysis::lint(*T, Cli.Lint), Cli);
+}
+
+int lintPair(const std::string &TcPath, const std::string &BtcPath,
+             const CliOptions &Cli) {
+  auto TcData = readInput(TcPath, Cli.Hex);
+  auto BtcData = readInput(BtcPath, Cli.Hex);
+  if (!TcData || !BtcData) {
+    std::cerr << "tclint: "
+              << (!TcData ? TcData.error().message()
+                          : BtcData.error().message())
+              << "\n";
+    return 2;
+  }
+  auto T = tc::Transaction::deserialize(*TcData);
+  auto Btc = bitcoin::Transaction::deserialize(*BtcData);
+  if (!T || !Btc) {
+    std::cerr << "tclint: cannot parse pair: "
+              << (!T ? T.error().message() : Btc.error().message()) << "\n";
+    return 2;
+  }
+  tc::Pair P;
+  P.Tc = *T;
+  P.Btc = *Btc;
+  return printReport(TcPath + "+" + BtcPath, analysis::lint(P, Cli.Lint),
+                     Cli);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Cli;
+  std::vector<std::string> Files;
+  std::string PairTc, PairBtc, DemoPrefix;
+  bool Selftest = false, PairMode = false, EmitDemo = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--selftest") {
+      Selftest = true;
+    } else if (A == "--hex") {
+      Cli.Hex = true;
+    } else if (A == "--btc") {
+      Cli.Btc = true;
+    } else if (A == "--non-standard") {
+      Cli.Lint.RequireStandard = false;
+    } else if (A == "--no-unused") {
+      Cli.Lint.WarnUnused = false;
+    } else if (A == "--quiet" || A == "-q") {
+      Cli.Quiet = true;
+    } else if (A == "--pair") {
+      if (I + 2 >= argc) {
+        std::cerr << "tclint: --pair needs two file arguments\n";
+        return 2;
+      }
+      PairMode = true;
+      PairTc = argv[++I];
+      PairBtc = argv[++I];
+    } else if (A == "--emit-demo") {
+      if (I + 1 >= argc) {
+        std::cerr << "tclint: --emit-demo needs a path prefix\n";
+        return 2;
+      }
+      EmitDemo = true;
+      DemoPrefix = argv[++I];
+    } else if (A == "--help" || A == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::cerr << "tclint: unknown option '" << A << "'\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      Files.push_back(A);
+    }
+  }
+
+  if (Selftest)
+    return selftest();
+  if (EmitDemo)
+    return emitDemo(DemoPrefix);
+
+  int Exit = 0;
+  if (PairMode)
+    Exit = std::max(Exit, lintPair(PairTc, PairBtc, Cli));
+  if (!PairMode && Files.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+  for (const std::string &F : Files)
+    Exit = std::max(Exit, lintFile(F, Cli));
+  return Exit;
+}
