@@ -101,6 +101,26 @@ void Mempool::removeForBlock(const Block &B) {
   }
 }
 
+void Mempool::clear() {
+  Pool.clear();
+  SpentBy.clear();
+}
+
+size_t Mempool::revalidate(const Blockchain &Chain) {
+  // Re-run admission from scratch in the original admission order so
+  // chained pool spends stay admissible when their parents do.
+  std::vector<Transaction> Entries = snapshot();
+  clear();
+  size_t Evicted = 0;
+  for (const Transaction &Tx : Entries) {
+    if (Chain.confirmations(Tx.txid()) > 0)
+      continue; // Confirmed on the new branch; not an eviction.
+    if (!acceptTransaction(Tx, Chain))
+      ++Evicted;
+  }
+  return Evicted;
+}
+
 std::optional<Amount> Mempool::feeOf(const TxId &Id) const {
   auto It = Pool.find(Id);
   if (It == Pool.end())

@@ -51,6 +51,14 @@ public:
   /// Drop entries confirmed by (or conflicting with) a connected block.
   void removeForBlock(const Block &B);
 
+  /// Drop everything (a crashed node's pool does not survive restart).
+  void clear();
+
+  /// Re-admit every entry against \p Chain's current view, dropping
+  /// entries a reorganization has invalidated (inputs spent on the new
+  /// branch, or already confirmed there). Returns the number evicted.
+  size_t revalidate(const Blockchain &Chain);
+
   /// Fee carried by a pool entry.
   std::optional<Amount> feeOf(const TxId &Id) const;
 

@@ -2,12 +2,86 @@
 
 #include "bitcoin/network.h"
 
+#include "crypto/ecdsa.h"
+#include "crypto/secp256k1.h"
+
+#include <cmath>
+
 namespace typecoin {
 namespace bitcoin {
 
+std::string FaultPlan::describe() const {
+  if (isClean())
+    return "clean";
+  return "drop=" + std::to_string(Drop) +
+         " dup=" + std::to_string(Duplicate) +
+         " jitter=" + std::to_string(JitterSeconds) + "s";
+}
+
+std::string ByzantinePlan::describe() const {
+  return "invalid-block=" + std::to_string(InvalidBlock) +
+         " malleate-relay=" + std::to_string(MalleateRelay);
+}
+
+std::optional<Transaction> malleateTxSignatures(const Transaction &Tx) {
+  const crypto::Secp256k1 &Curve = crypto::Secp256k1::instance();
+  Transaction Out = Tx;
+  bool Malleated = false;
+  for (TxIn &In : Out.Inputs) {
+    auto Elements = In.ScriptSig.decode();
+    if (!Elements)
+      continue;
+    bool Changed = false;
+    Script Rebuilt;
+    for (const Script::Element &E : *Elements) {
+      if (!E.IsPush || E.Push.size() < 9) {
+        if (E.IsPush)
+          Rebuilt.push(E.Push);
+        else
+          Rebuilt.op(static_cast<Opcode>(E.Op));
+        continue;
+      }
+      // A signature push is strict-DER followed by one sighash byte.
+      Bytes Der(E.Push.begin(), E.Push.end() - 1);
+      uint8_t SighashType = E.Push.back();
+      auto Sig = crypto::Signature::fromDER(Der);
+      if (!Sig) {
+        Rebuilt.push(E.Push);
+        continue;
+      }
+      // The malleation of Andrychowicz et al.: (r, s) -> (r, n - s)
+      // verifies identically but serializes differently, changing the
+      // txid without touching what the signature commits to.
+      Sig->S = Curve.scalar().neg(Sig->S);
+      Bytes Twisted = Sig->toDER();
+      Twisted.push_back(SighashType);
+      Rebuilt.push(Twisted);
+      Changed = true;
+    }
+    if (Changed) {
+      In.ScriptSig = Rebuilt;
+      Malleated = true;
+    }
+  }
+  if (!Malleated)
+    return std::nullopt;
+  return Out;
+}
+
+/// An invalid block a byzantine peer emits in place of a valid relay:
+/// same parent and payload claim, corrupted Merkle root, PoW re-ground
+/// so only full validation exposes it.
+static Block corruptBlock(Block B) {
+  B.Header.MerkleRoot[0] ^= 0xff;
+  B.Header.Nonce = 0;
+  mineBlock(B);
+  return B;
+}
+
 LocalNetwork::LocalNetwork(ChainParams ParamsIn, size_t NumNodes,
-                           double LatencySeconds)
-    : Params(std::move(ParamsIn)), Latency(LatencySeconds) {
+                           double LatencySeconds, uint64_t ChaosSeed)
+    : Params(std::move(ParamsIn)), Latency(LatencySeconds),
+      Chaos(ChaosSeed) {
   Nodes.reserve(NumNodes);
   for (size_t I = 0; I < NumNodes; ++I)
     Nodes.push_back(std::make_unique<NodeState>(Params));
@@ -16,9 +90,68 @@ LocalNetwork::LocalNetwork(ChainParams ParamsIn, size_t NumNodes,
 bool LocalNetwork::linked(size_t A, size_t B) const {
   if (A == B)
     return false;
+  if (Nodes[A]->Crashed || Nodes[B]->Crashed)
+    return false;
   if (!Partition)
     return true;
   return (A < *Partition) == (B < *Partition);
+}
+
+const FaultPlan &LocalNetwork::faultFor(size_t From, size_t Dest) const {
+  auto It = LinkFaults.find({From, Dest});
+  return It == LinkFaults.end() ? DefaultFault : It->second;
+}
+
+int LocalNetwork::banScore(size_t Node, size_t Peer) const {
+  const auto &Scores = Nodes[Node]->BanScore;
+  auto It = Scores.find(Peer);
+  return It == Scores.end() ? 0 : It->second;
+}
+
+void LocalNetwork::crash(size_t Node) {
+  NodeState &N = *Nodes[Node];
+  N.Crashed = true;
+  // Everything in memory is gone; only the block store (Persisted)
+  // survives. The Blockchain object itself is rebuilt on restart.
+  N.Pool.clear();
+  N.Orphans.clear();
+  N.SeenBlocks.clear();
+  N.SeenTxs.clear();
+  N.BanScore.clear();
+}
+
+Status LocalNetwork::restart(size_t Node, double Now) {
+  NodeState &N = *Nodes[Node];
+  if (!N.Crashed)
+    return makeError("network: node is not crashed");
+
+  // Replay the simulated disk into a fresh chain. Accept order
+  // guarantees parents precede children, so every block connects.
+  Blockchain Fresh(Params);
+  for (const Block &B : N.Persisted) {
+    if (auto S = Fresh.submitBlock(B); !S)
+      return S.takeError().withContext("network: restart replay");
+    N.SeenBlocks.insert(B.hash());
+  }
+  N.Chain = std::move(Fresh);
+  N.Crashed = false;
+
+  // Peers re-announce their active chains so the node catches up on
+  // blocks mined while it was down (headers-then-blocks sync, in the
+  // small). Announcements traverse the faulty links like any traffic.
+  for (size_t Peer = 0; Peer < Nodes.size(); ++Peer) {
+    if (!linked(Peer, Node))
+      continue;
+    const Blockchain &Chain = Nodes[Peer]->Chain;
+    for (int H = 1; H <= Chain.height(); ++H) {
+      auto Hash = Chain.blockHashAt(H);
+      if (!Hash)
+        continue;
+      if (const Block *B = Chain.blockByHash(*Hash))
+        send(Peer, Node, *B, std::nullopt, Now);
+    }
+  }
+  return Status::success();
 }
 
 void LocalNetwork::partitionAt(size_t Boundary) { Partition = Boundary; }
@@ -28,6 +161,8 @@ void LocalNetwork::heal(double Now) {
   // Cross-announce every node's active chain (skipping genesis, which
   // everyone shares) so the sides reconcile.
   for (size_t From = 0; From < Nodes.size(); ++From) {
+    if (Nodes[From]->Crashed)
+      continue;
     const Blockchain &Chain = Nodes[From]->Chain;
     for (int H = 1; H <= Chain.height(); ++H) {
       auto Hash = Chain.blockHashAt(H);
@@ -42,6 +177,8 @@ void LocalNetwork::heal(double Now) {
 
 Status LocalNetwork::submitTransaction(size_t Node, const Transaction &Tx,
                                        double Now) {
+  if (Nodes[Node]->Crashed)
+    return makeError("network: node is down");
   TC_TRY(Nodes[Node]->Pool.acceptTransaction(Tx, Nodes[Node]->Chain));
   Nodes[Node]->SeenTxs.insert(Tx.txid());
   broadcastTx(Node, Tx, Now);
@@ -51,6 +188,8 @@ Status LocalNetwork::submitTransaction(size_t Node, const Transaction &Tx,
 Result<Block> LocalNetwork::mineAt(size_t Node, const crypto::KeyId &Payout,
                                    double Now) {
   NodeState &N = *Nodes[Node];
+  if (N.Crashed)
+    return makeError("network: node is down");
   Block B = assembleBlock(N.Chain, N.Pool, Payout,
                           static_cast<uint32_t>(Now));
   if (!mineBlock(B))
@@ -58,54 +197,98 @@ Result<Block> LocalNetwork::mineAt(size_t Node, const crypto::KeyId &Payout,
   TC_TRY(N.Chain.submitBlock(B));
   N.Pool.removeForBlock(B);
   N.SeenBlocks.insert(B.hash());
+  N.Persisted.push_back(B);
   broadcastBlock(Node, B, Now);
   return B;
 }
 
-void LocalNetwork::broadcastBlock(size_t From, const Block &B, double Now) {
-  for (size_t Dest = 0; Dest < Nodes.size(); ++Dest) {
-    if (!linked(From, Dest))
-      continue;
+void LocalNetwork::send(size_t From, size_t Dest, std::optional<Block> Blk,
+                        std::optional<Transaction> Tx, double Now) {
+  const FaultPlan &Plan = faultFor(From, Dest);
+  if (Plan.Drop > 0 && Chaos.nextBool(Plan.Drop))
+    return;
+  int Copies = (Plan.Duplicate > 0 && Chaos.nextBool(Plan.Duplicate)) ? 2 : 1;
+  for (int C = 0; C < Copies; ++C) {
     Message M;
     M.Time = Now + Latency;
+    if (Plan.JitterSeconds > 0)
+      M.Time += Chaos.nextDouble() * Plan.JitterSeconds;
     M.Seq = NextSeq++;
     M.Dest = Dest;
     M.From = From;
-    M.Blk = B;
-    Queue.push(std::move(M));
-  }
-}
-
-void LocalNetwork::broadcastTx(size_t From, const Transaction &Tx,
-                               double Now) {
-  for (size_t Dest = 0; Dest < Nodes.size(); ++Dest) {
-    if (!linked(From, Dest))
-      continue;
-    Message M;
-    M.Time = Now + Latency;
-    M.Seq = NextSeq++;
-    M.Dest = Dest;
-    M.From = From;
+    M.Blk = Blk;
     M.Tx = Tx;
     Queue.push(std::move(M));
   }
 }
 
-void LocalNetwork::acceptBlock(size_t Node, const Block &B, double Now) {
+void LocalNetwork::broadcastBlock(size_t From, const Block &B, double Now) {
+  const auto &Byz = Nodes[From]->Byzantine;
+  for (size_t Dest = 0; Dest < Nodes.size(); ++Dest) {
+    if (!linked(From, Dest))
+      continue;
+    if (Byz && Byz->InvalidBlock > 0 && Chaos.nextBool(Byz->InvalidBlock)) {
+      send(From, Dest, corruptBlock(B), std::nullopt, Now);
+      continue;
+    }
+    send(From, Dest, B, std::nullopt, Now);
+  }
+}
+
+void LocalNetwork::broadcastTx(size_t From, const Transaction &Tx,
+                               double Now) {
+  const auto &Byz = Nodes[From]->Byzantine;
+  for (size_t Dest = 0; Dest < Nodes.size(); ++Dest) {
+    if (!linked(From, Dest))
+      continue;
+    if (Byz && Byz->MalleateRelay > 0 && Chaos.nextBool(Byz->MalleateRelay)) {
+      if (auto Twisted = malleateTxSignatures(Tx)) {
+        send(From, Dest, std::nullopt, *Twisted, Now);
+        continue;
+      }
+    }
+    send(From, Dest, std::nullopt, Tx, Now);
+  }
+}
+
+void LocalNetwork::addOrphan(NodeState &N, const Block &B) {
+  N.Orphans.emplace(B.Header.Prev, OrphanEntry{B, NextOrphanSeq++});
+  // Bounded pool: evict oldest-first so a peer spamming orphans cannot
+  // grow memory without limit.
+  while (N.Orphans.size() > OrphanLimit) {
+    auto Oldest = N.Orphans.begin();
+    for (auto It = N.Orphans.begin(); It != N.Orphans.end(); ++It)
+      if (It->second.Seq < Oldest->second.Seq)
+        Oldest = It;
+    N.Orphans.erase(Oldest);
+  }
+}
+
+void LocalNetwork::acceptBlock(size_t Node, size_t From, const Block &B,
+                               double Now) {
   NodeState &N = *Nodes[Node];
   BlockHash Hash = B.hash();
   if (N.SeenBlocks.count(Hash))
     return;
-
-  // Unknown parent: hold as an orphan until it shows up.
-  if (!N.Chain.blockByHash(B.Header.Prev)) {
-    N.Orphans.emplace(B.Header.Prev, B);
+  if (N.Chain.blockByHash(Hash)) { // Known (e.g. replayed after restart).
+    N.SeenBlocks.insert(Hash);
     return;
   }
 
-  if (!N.Chain.submitBlock(B))
-    return; // Invalid for this node; do not relay.
+  // Unknown parent: hold as an orphan until it shows up.
+  if (!N.Chain.blockByHash(B.Header.Prev)) {
+    addOrphan(N, B);
+    return;
+  }
+
+  if (!N.Chain.submitBlock(B)) {
+    // Invalid relay: penalize the sending peer; do not relay. At 100
+    // points the peer is banned and its traffic dropped on arrival.
+    N.BanScore[From] += 100;
+    return;
+  }
   N.SeenBlocks.insert(Hash);
+  N.Persisted.push_back(B);
   N.Pool.removeForBlock(B);
   broadcastBlock(Node, B, Now);
 
@@ -113,10 +296,10 @@ void LocalNetwork::acceptBlock(size_t Node, const Block &B, double Now) {
   auto [Begin, End] = N.Orphans.equal_range(Hash);
   std::vector<Block> Ready;
   for (auto It = Begin; It != End; ++It)
-    Ready.push_back(It->second);
+    Ready.push_back(It->second.Blk);
   N.Orphans.erase(Begin, End);
   for (const Block &Child : Ready)
-    acceptBlock(Node, Child, Now);
+    acceptBlock(Node, From, Child, Now);
 }
 
 void LocalNetwork::acceptTx(size_t Node, const Transaction &Tx,
@@ -131,27 +314,63 @@ void LocalNetwork::acceptTx(size_t Node, const Transaction &Tx,
   broadcastTx(Node, Tx, Now);
 }
 
+void LocalNetwork::deliver(const Message &M) {
+  // A link that was up at send time may be down now; drop crossing
+  // traffic while partitioned, traffic to crashed nodes, and traffic
+  // from banned peers.
+  if (Partition && !linked(M.From, M.Dest))
+    return;
+  if (Nodes[M.Dest]->Crashed)
+    return;
+  if (isBanned(M.Dest, M.From))
+    return;
+  if (M.Blk)
+    acceptBlock(M.Dest, M.From, *M.Blk, M.Time);
+  else if (M.Tx)
+    acceptTx(M.Dest, *M.Tx, M.Time);
+}
+
 size_t LocalNetwork::run() {
   size_t Processed = 0;
   while (!Queue.empty()) {
     Message M = Queue.top();
     Queue.pop();
     ++Processed;
-    // A link that was up at send time may be down now; drop crossing
-    // traffic while partitioned.
-    if (Partition && !linked(M.From, M.Dest))
-      continue;
-    if (M.Blk)
-      acceptBlock(M.Dest, *M.Blk, M.Time);
-    else if (M.Tx)
-      acceptTx(M.Dest, *M.Tx, M.Time);
+    deliver(M);
+  }
+  return Processed;
+}
+
+size_t LocalNetwork::runUntil(double Time) {
+  size_t Processed = 0;
+  while (!Queue.empty() && Queue.top().Time <= Time) {
+    Message M = Queue.top();
+    Queue.pop();
+    ++Processed;
+    deliver(M);
   }
   return Processed;
 }
 
 bool LocalNetwork::converged() const {
-  for (size_t I = 1; I < Nodes.size(); ++I)
-    if (!(Nodes[I]->Chain.tipHash() == Nodes[0]->Chain.tipHash()))
+  const Blockchain *Ref = nullptr;
+  for (const auto &N : Nodes) {
+    if (N->Crashed)
+      continue;
+    if (!Ref) {
+      Ref = &N->Chain;
+      continue;
+    }
+    if (!(N->Chain.tipHash() == Ref->tipHash()))
+      return false;
+  }
+  return true;
+}
+
+bool LocalNetwork::convergedAmong(const std::vector<size_t> &Among) const {
+  for (size_t I = 1; I < Among.size(); ++I)
+    if (!(Nodes[Among[I]]->Chain.tipHash() ==
+          Nodes[Among[0]]->Chain.tipHash()))
       return false;
   return true;
 }

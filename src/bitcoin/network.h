@@ -16,12 +16,22 @@
 /// forks arise from racing miners or partitions and resolve to the
 /// longest branch as blocks propagate.
 ///
+/// On top of the happy path sits a fault-injection ("chaos") layer:
+/// per-link \ref FaultPlan (drop / duplicate / latency jitter, which
+/// reorders delivery), \ref ByzantinePlan peers that relay malleated
+/// carrier transactions and emit invalid blocks, peer misbehaviour
+/// scoring with banning, node crash/restart with persisted-block
+/// replay, and a bounded orphan pool. All randomness is drawn from one
+/// seeded \ref Rng, so every chaos run is deterministically replayable
+/// from its seed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TYPECOIN_BITCOIN_NETWORK_H
 #define TYPECOIN_BITCOIN_NETWORK_H
 
 #include "bitcoin/miner.h"
+#include "support/rng.h"
 
 #include <memory>
 #include <queue>
@@ -30,13 +40,57 @@
 namespace typecoin {
 namespace bitcoin {
 
-/// A network of full nodes with latency-delayed relay.
+/// Fault injection for one directed link (or, as the default plan, for
+/// every link). Probabilities are per message.
+struct FaultPlan {
+  /// Probability a message is silently dropped.
+  double Drop = 0.0;
+  /// Probability a message is delivered twice (each copy jittered
+  /// independently).
+  double Duplicate = 0.0;
+  /// Extra uniform latency in [0, JitterSeconds) added per delivery;
+  /// different draws reorder messages relative to send order.
+  double JitterSeconds = 0.0;
+
+  bool isClean() const {
+    return Drop == 0.0 && Duplicate == 0.0 && JitterSeconds == 0.0;
+  }
+  /// Human-readable summary for chaos replay headers.
+  std::string describe() const;
+};
+
+/// Automatic misbehaviour for a byzantine peer. The malleated-relay
+/// behaviour follows Andrychowicz et al., "How to deal with malleability
+/// of BitCoin transactions": the byzantine peer re-signs nothing, it
+/// merely flips each ECDSA `s` to `n - s` in the scriptSigs it relays —
+/// the result is an equally valid transaction with a different txid that
+/// races the original as a double-spend of the same outpoints.
+struct ByzantinePlan {
+  /// Probability a relayed block is replaced (per destination) with a
+  /// structurally invalid copy (corrupted Merkle root, PoW re-ground).
+  double InvalidBlock = 0.0;
+  /// Probability a relayed transaction is replaced with its
+  /// signature-malleated twin.
+  double MalleateRelay = 0.0;
+
+  std::string describe() const;
+};
+
+/// Flip the ECDSA `s` component of every signature found in \p Tx's
+/// input scripts to `n - s` (the classic malleation of Andrychowicz et
+/// al.). Returns std::nullopt when no signature could be malleated. The
+/// result verifies under the same keys but has a different txid.
+std::optional<Transaction> malleateTxSignatures(const Transaction &Tx);
+
+/// A network of full nodes with latency-delayed relay and optional
+/// fault injection.
 class LocalNetwork {
 public:
   /// Create \p NumNodes nodes, fully meshed at \p LatencySeconds per
-  /// hop, each with an identical genesis under \p Params.
+  /// hop, each with an identical genesis under \p Params. \p ChaosSeed
+  /// seeds the deterministic RNG behind every injected fault.
   LocalNetwork(ChainParams Params, size_t NumNodes,
-               double LatencySeconds = 2.0);
+               double LatencySeconds = 2.0, uint64_t ChaosSeed = 0);
 
   size_t size() const { return Nodes.size(); }
 
@@ -45,12 +99,67 @@ public:
   }
   const Mempool &mempool(size_t Node) const { return Nodes[Node]->Pool; }
 
+  // --- Fault plans ------------------------------------------------------
+
+  /// Fault plan applied to every link without a per-link override.
+  void setDefaultFault(const FaultPlan &Plan) { DefaultFault = Plan; }
+  /// Override the plan for the directed link \p From -> \p To.
+  void setLinkFault(size_t From, size_t To, const FaultPlan &Plan) {
+    LinkFaults[{From, To}] = Plan;
+  }
+  /// Drop all fault plans (used to quiesce a chaos run before checking
+  /// convergence).
+  void clearFaults() {
+    DefaultFault = FaultPlan();
+    LinkFaults.clear();
+  }
+
+  /// Mark a node byzantine: its relays are adversarial per \p Plan.
+  void setByzantine(size_t Node, const ByzantinePlan &Plan) {
+    Nodes[Node]->Byzantine = Plan;
+  }
+
+  // --- Misbehaviour scoring --------------------------------------------
+
+  /// Accumulated misbehaviour score \p Node holds against \p Peer
+  /// (+100 per invalid block relayed; banned at >= 100).
+  int banScore(size_t Node, size_t Peer) const;
+  /// Does \p Node drop all traffic from \p Peer?
+  bool isBanned(size_t Node, size_t Peer) const {
+    return banScore(Node, Peer) >= BanThreshold;
+  }
+
+  // --- Orphan pool ------------------------------------------------------
+
+  /// Cap the per-node orphan pool (oldest-first eviction); a byzantine
+  /// peer spamming orphans cannot grow memory without limit.
+  void setOrphanLimit(size_t Limit) { OrphanLimit = Limit; }
+  size_t orphanCount(size_t Node) const {
+    return Nodes[Node]->Orphans.size();
+  }
+
+  // --- Crash / restart --------------------------------------------------
+
+  /// Crash a node: it stops sending and receiving, and loses its
+  /// mempool, orphan pool, and in-memory indices. Its block store (the
+  /// simulated disk) survives.
+  void crash(size_t Node);
+  bool isCrashed(size_t Node) const { return Nodes[Node]->Crashed; }
+  /// Restart a crashed node: rebuild its \ref Blockchain by replaying
+  /// the persisted blocks, then have every linked peer re-announce its
+  /// active chain so the node catches up on what it missed.
+  Status restart(size_t Node, double Now);
+
+  // --- Partitions (pre-existing) ---------------------------------------
+
   /// Sever every link crossing the two groups (by node index predicate:
   /// nodes < Boundary vs the rest).
   void partitionAt(size_t Boundary);
   /// Restore the full mesh and cross-announce every node's tip chain so
   /// the sides reconcile.
   void heal(double Now);
+
+  // --- Traffic ----------------------------------------------------------
 
   /// Submit a transaction at a node (enters its mempool and relays).
   Status submitTransaction(size_t Node, const Transaction &Tx, double Now);
@@ -63,19 +172,39 @@ public:
   /// Deliver every in-flight message (with its scheduled delay).
   /// Returns the number of messages processed.
   size_t run();
+  /// Deliver messages scheduled at or before \p Time; later messages
+  /// stay queued (lets chaos drivers interleave mining, crashes, and
+  /// delivery on one clock).
+  size_t runUntil(double Time);
 
-  /// True when every node reports the same tip.
+  /// True when every non-crashed node reports the same tip.
   bool converged() const;
+  /// True when all of \p Among (node indices) report the same tip — for
+  /// checking agreement among honest nodes while a byzantine peer sulks
+  /// on its own branch.
+  bool convergedAmong(const std::vector<size_t> &Among) const;
 
 private:
+  struct OrphanEntry {
+    Block Blk;
+    uint64_t Seq = 0; ///< Arrival order, for oldest-first eviction.
+  };
+
   struct NodeState {
     explicit NodeState(const ChainParams &Params) : Chain(Params) {}
     Blockchain Chain;
     Mempool Pool;
     /// Orphans waiting for a parent, keyed by the missing parent hash.
-    std::multimap<BlockHash, Block> Orphans;
+    std::multimap<BlockHash, OrphanEntry> Orphans;
     std::set<BlockHash> SeenBlocks;
     std::set<TxId> SeenTxs;
+    /// The simulated disk: every block this node accepted, in accept
+    /// order (so parents precede children on replay).
+    std::vector<Block> Persisted;
+    /// Misbehaviour score per peer.
+    std::map<size_t, int> BanScore;
+    std::optional<ByzantinePlan> Byzantine;
+    bool Crashed = false;
   };
 
   struct Message {
@@ -94,10 +223,19 @@ private:
   };
 
   bool linked(size_t A, size_t B) const;
+  const FaultPlan &faultFor(size_t From, size_t Dest) const;
+  /// Enqueue one logical message on From->Dest, applying the link's
+  /// fault plan (drop / duplicate / jitter).
+  void send(size_t From, size_t Dest, std::optional<Block> Blk,
+            std::optional<Transaction> Tx, double Now);
   void broadcastBlock(size_t From, const Block &B, double Now);
   void broadcastTx(size_t From, const Transaction &Tx, double Now);
-  void acceptBlock(size_t Node, const Block &B, double Now);
+  void acceptBlock(size_t Node, size_t From, const Block &B, double Now);
   void acceptTx(size_t Node, const Transaction &Tx, double Now);
+  void deliver(const Message &M);
+  void addOrphan(NodeState &N, const Block &B);
+
+  static constexpr int BanThreshold = 100;
 
   ChainParams Params;
   double Latency;
@@ -106,6 +244,11 @@ private:
   std::priority_queue<Message, std::vector<Message>, std::greater<>>
       Queue;
   uint64_t NextSeq = 0;
+  uint64_t NextOrphanSeq = 0;
+  size_t OrphanLimit = 64;
+  FaultPlan DefaultFault;
+  std::map<std::pair<size_t, size_t>, FaultPlan> LinkFaults;
+  Rng Chaos;
 };
 
 } // namespace bitcoin

@@ -113,15 +113,62 @@ BatchServer::withdraw(const std::string &Txid, uint32_t Index,
   return tc::txidHex(P.Btc);
 }
 
-Result<std::string>
-BatchServer::recordWriteThrough(const tc::Transaction &T) {
-  // Lint before paying the cost of building and signing the Bitcoin
-  // carrier; a transaction the node would reject never leaves here.
-  TC_TRY(analysis::lintGate(T));
+static double deferredBackoff(const tc::RetryPolicy &Retry, int Attempts) {
+  double Delay = Retry.InitialDelaySeconds;
+  for (int I = 1; I < Attempts; ++I) {
+    Delay *= Retry.BackoffFactor;
+    if (Delay >= Retry.MaxDelaySeconds)
+      return Retry.MaxDelaySeconds;
+  }
+  return std::min(Delay, Retry.MaxDelaySeconds);
+}
+
+Result<std::string> BatchServer::trySubmit(const tc::Transaction &T) {
   TC_UNWRAP(P, tc::buildPair(T, ServerWallet, Node.chain()));
   TC_TRY(Node.submitPair(P));
   ++OnChainTxs;
   return tc::txidHex(P.Btc);
+}
+
+Result<std::string>
+BatchServer::recordWriteThrough(const tc::Transaction &T) {
+  // Lint before paying the cost of building and signing the Bitcoin
+  // carrier; a transaction the node would reject never leaves here, and
+  // a lint rejection is permanent — it is not worth deferring.
+  TC_TRY(analysis::lintGate(T));
+  auto Txid = trySubmit(T);
+  if (Txid)
+    return Txid;
+  // Transient failure (funding races, mempool conflicts a reorg will
+  // clear): keep the obligation and retry later. Section 5 requires
+  // these transactions to reach the blockchain; dropping one silently
+  // would fork the server's view from the chain's.
+  DeferredWrite D;
+  D.T = T;
+  D.Attempts = 1;
+  D.NextRetryTime = static_cast<double>(Node.chain().tipTime()) +
+                    deferredBackoff(Retry, 1);
+  Deferred.push_back(std::move(D));
+  return Txid.takeError().withContext("batch: write-through deferred");
+}
+
+size_t BatchServer::retryPending(double Now) {
+  size_t Succeeded = 0;
+  for (auto It = Deferred.begin(); It != Deferred.end();) {
+    if (Now < It->NextRetryTime || It->Attempts >= Retry.MaxAttempts) {
+      ++It;
+      continue;
+    }
+    if (trySubmit(It->T)) {
+      It = Deferred.erase(It);
+      ++Succeeded;
+      continue;
+    }
+    ++It->Attempts;
+    It->NextRetryTime = Now + deferredBackoff(Retry, It->Attempts);
+    ++It;
+  }
+  return Succeeded;
 }
 
 } // namespace services

@@ -80,8 +80,24 @@ public:
 
   /// Write-through: a full Typecoin transaction that must go to the
   /// blockchain immediately (any transaction discharging a non-`true`
-  /// condition; Section 5). Returns the Bitcoin txid.
+  /// condition; Section 5). Returns the Bitcoin txid. A transiently
+  /// unsubmittable transaction (funding or mempool conflicts during
+  /// reorg churn) is not lost: it joins a deferred queue that
+  /// \ref retryPending drains with bounded exponential backoff; only a
+  /// lint rejection — which the node is guaranteed to repeat — fails
+  /// without deferral.
   Result<std::string> recordWriteThrough(const tc::Transaction &T);
+
+  /// Retry deferred write-throughs whose backoff deadline passed at
+  /// \p Now (seconds, block-timestamp clock). Each retry rebuilds the
+  /// Bitcoin carrier against the current chain. Returns how many
+  /// submissions succeeded.
+  size_t retryPending(double Now);
+
+  /// Write-throughs waiting in the deferred queue.
+  size_t deferredCount() const { return Deferred.size(); }
+
+  void setRetryPolicy(const tc::RetryPolicy &P) { Retry = P; }
 
   /// Number of ledger entries.
   size_t ledgerSize() const { return Ledger.size(); }
@@ -97,12 +113,22 @@ private:
     crypto::KeyId Owner;
   };
 
+  struct DeferredWrite {
+    tc::Transaction T;
+    int Attempts = 0;
+    double NextRetryTime = 0;
+  };
+
+  Result<std::string> trySubmit(const tc::Transaction &T);
+
   tc::Node &Node;
   tc::Wallet ServerWallet;
   crypto::PrivateKey ServerKey;
   /// Ledger keyed by the anchoring on-chain txout.
   std::map<std::pair<std::string, uint32_t>, Entry> Ledger;
   size_t OnChainTxs = 0;
+  std::vector<DeferredWrite> Deferred;
+  tc::RetryPolicy Retry;
 };
 
 } // namespace services

@@ -7,7 +7,22 @@ namespace services {
 
 Result<Bytes> EscrowAgent::signIfValid(const tc::Pair &Filled,
                                        const tc::Node &Node,
-                                       size_t InputIndex) const {
+                                       size_t InputIndex,
+                                       std::optional<double> Now) const {
+  // A stale view (e.g. the agent sat on the wrong side of a partition)
+  // cannot supply trustworthy `spent`/`before` evidence; refuse rather
+  // than attest against it.
+  if (StalenessHorizon > 0 && Now) {
+    double TipAge = *Now - static_cast<double>(Node.chain().tipTime());
+    if (TipAge > StalenessHorizon)
+      return makeError("escrow: chain tip is " +
+                       std::to_string(static_cast<long long>(TipAge)) +
+                       "s old, beyond the staleness horizon of " +
+                       std::to_string(
+                           static_cast<long long>(StalenessHorizon)) +
+                       "s; refusing to sign");
+  }
+
   // Policy: the instance must correspond to its carrier and typecheck
   // against the current chain state.
   TC_TRY(tc::checkCorrespondence(Filled.Tc, Filled.Btc));

@@ -30,17 +30,28 @@ public:
   const crypto::PublicKey &publicKey() const { return Key.publicKey(); }
   crypto::KeyId id() const { return Key.id(); }
 
+  /// How far behind the wall clock the agent's chain view may lag
+  /// before it refuses to sign (seconds; 0 disables the check). A
+  /// partitioned agent whose tip has gone stale cannot judge `spent(...)`
+  /// or `before(t)` evidence and must not attest against it.
+  void setStalenessHorizon(double Seconds) { StalenessHorizon = Seconds; }
+  double stalenessHorizon() const { return StalenessHorizon; }
+
   /// The agent's policy: typecheck the filled instance against the
   /// node's state (with its correspondence to the carrying Bitcoin
   /// transaction), then contribute a signature for input \p InputIndex
   /// of the Bitcoin transaction. Returns the DER signature with
   /// sighash-type byte, for assembly into the multisig scriptSig.
+  /// \p Now is the agent's wall clock; when set and the node's tip is
+  /// older than the staleness horizon, the agent refuses.
   Result<Bytes> signIfValid(const tc::Pair &Filled, const tc::Node &Node,
-                            size_t InputIndex) const;
+                            size_t InputIndex,
+                            std::optional<double> Now = std::nullopt) const;
 
 private:
   tc::Wallet W;
   crypto::PrivateKey Key;
+  double StalenessHorizon = 0;
 };
 
 /// Create the m-of-n locking script for an escrow pool.

@@ -1,0 +1,39 @@
+//===- support/replay.cpp - Chaos-run reproduction helpers ---------------===//
+
+#include "support/replay.h"
+
+#include <cstdlib>
+
+namespace typecoin {
+
+std::string chaosReplayHeader(const std::string &Scenario, uint64_t Seed,
+                              const std::string &PlanDescription) {
+  std::string Out = "[chaos] scenario=" + Scenario +
+                    " seed=" + std::to_string(Seed);
+  if (!PlanDescription.empty())
+    Out += " plan={" + PlanDescription + "}";
+  Out += " replay: TYPECOIN_CHAOS_SEED=" + std::to_string(Seed) +
+         " ctest -R chaos --output-on-failure";
+  return Out;
+}
+
+std::vector<uint64_t> chaosSeeds(const std::vector<uint64_t> &Defaults) {
+  const char *Env = std::getenv("TYPECOIN_CHAOS_SEED");
+  if (!Env || !*Env)
+    return Defaults;
+  std::vector<uint64_t> Out;
+  const char *P = Env;
+  while (*P) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(P, &End, 10);
+    if (End == P)
+      break; // Malformed tail; keep what parsed so far.
+    Out.push_back(static_cast<uint64_t>(V));
+    P = (*End == ',') ? End + 1 : End;
+    if (End == P && *End)
+      break;
+  }
+  return Out.empty() ? Defaults : Out;
+}
+
+} // namespace typecoin

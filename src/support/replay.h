@@ -1,0 +1,41 @@
+//===- support/replay.h - Chaos-run reproduction helpers --------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers that make every randomized chaos scenario reproducible from
+/// its `ctest --output-on-failure` log alone. Each chaos test announces
+/// a replay header (seed + fault plan) before asserting anything, and
+/// reads the `TYPECOIN_CHAOS_SEED` environment variable so a failing
+/// seed from CI can be replayed locally:
+///
+///   TYPECOIN_CHAOS_SEED=42 ctest -R chaos --output-on-failure
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_SUPPORT_REPLAY_H
+#define TYPECOIN_SUPPORT_REPLAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace typecoin {
+
+/// The one-line reproduction header logged with every chaos scenario:
+/// names the scenario, the seed, and the fault plan in force, plus the
+/// exact command to replay the run locally.
+std::string chaosReplayHeader(const std::string &Scenario, uint64_t Seed,
+                              const std::string &PlanDescription);
+
+/// The seeds a chaos suite should run. When `TYPECOIN_CHAOS_SEED` is set
+/// (a single seed or a comma-separated list) it overrides \p Defaults —
+/// the deterministic-replay workflow; otherwise \p Defaults is returned
+/// unchanged.
+std::vector<uint64_t> chaosSeeds(const std::vector<uint64_t> &Defaults);
+
+} // namespace typecoin
+
+#endif // TYPECOIN_SUPPORT_REPLAY_H

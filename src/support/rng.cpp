@@ -59,4 +59,6 @@ double Rng::nextExponential(double Mean) {
 
 bool Rng::nextBool(double P) { return nextDouble() < P; }
 
+Rng Rng::split() { return Rng(next()); }
+
 } // namespace typecoin

@@ -40,6 +40,12 @@ public:
   /// Bernoulli trial with success probability \p P.
   bool nextBool(double P);
 
+  /// Derive an independent generator from this one's stream. Chaos
+  /// scenarios hand each component (network links, workload generator,
+  /// crash scheduler) its own split so adding draws to one component
+  /// does not perturb the replay of another.
+  Rng split();
+
 private:
   uint64_t State[4];
 };

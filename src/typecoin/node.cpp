@@ -24,6 +24,68 @@ Result<bool> ChainOracle::isSpent(const std::string &Txid,
   return Chain.isSpent(bitcoin::OutPoint{Id, Index});
 }
 
+std::string payloadKey(const Pair &P) { return toHex(P.Tc.hash()); }
+
+/// Scan blocks [From, To] of the best chain (inclusive), registering
+/// any transaction that carries the payload of a journaled pair and is
+/// not yet registered. Shared by incremental sync and full replay.
+static Result<std::vector<std::string>>
+scanRange(const bitcoin::Blockchain &Chain, const PairJournal &Journal,
+          State &TcState, std::map<std::string, Registration> &Registered,
+          int From, int To) {
+  std::vector<std::string> Spoiled;
+  for (int H = From; H <= To; ++H) {
+    auto Hash = Chain.blockHashAt(H);
+    if (!Hash)
+      continue;
+    const bitcoin::Block *B = Chain.blockByHash(*Hash);
+    if (!B)
+      continue;
+    for (const bitcoin::Transaction &Tx : B->Txs) {
+      if (Tx.isCoinbase())
+        continue;
+      auto Meta = extractMetadata(Tx);
+      if (!Meta)
+        continue;
+      std::string Payload = toHex(*Meta);
+      auto JIt = Journal.find(Payload);
+      if (JIt == Journal.end() || Registered.count(Payload))
+        continue;
+      // The confirmed carrier may be a signature-malleated twin of the
+      // one we broadcast (different txid, same effect); correspondence
+      // only constrains what the payload actually commits to, so it
+      // accepts the twin and rejects unrelated transactions that merely
+      // embed the same hash.
+      if (!checkCorrespondence(JIt->second.Tc, Tx))
+        continue;
+      std::string TxidHex = Tx.txid().toHex();
+      // Conditions are judged at the transaction's own block (Section 5:
+      // "unambiguous evidence ... for any particular transaction in the
+      // blockchain").
+      ChainOracle Oracle(Chain, B->Header.Time);
+      TC_UNWRAP(Selected,
+                TcState.applyTransaction(JIt->second.Tc, TxidHex, Oracle));
+      Registered[Payload] = Registration{TxidHex, *Hash, H};
+      if (Selected > JIt->second.Tc.Fallbacks.size())
+        Spoiled.push_back(TxidHex);
+    }
+  }
+  return Spoiled;
+}
+
+Result<ReplayResult> replayChain(const bitcoin::Blockchain &Chain,
+                                 const PairJournal &Journal,
+                                 int RegistrationDepth) {
+  ReplayResult Out;
+  int End = Chain.height() - RegistrationDepth + 1;
+  if (End < 1)
+    return Out;
+  TC_UNWRAP(Spoiled, scanRange(Chain, Journal, Out.TcState, Out.Registered,
+                               1, End));
+  Out.SpoiledTxids = std::move(Spoiled);
+  return Out;
+}
+
 bitcoin::ChainParams Node::defaultParams() {
   bitcoin::ChainParams Params;
   Params.CoinbaseMaturity = 1;
@@ -37,6 +99,16 @@ Node::Node(bitcoin::ChainParams Params, int RegistrationDepth)
   // connect/disconnect (analysis/audit.h).
   analysis::installChainAuditor(Chain);
 #endif
+}
+
+double Node::backoffDelay(int Attempts) const {
+  double Delay = Retry.InitialDelaySeconds;
+  for (int I = 1; I < Attempts; ++I) {
+    Delay *= Retry.BackoffFactor;
+    if (Delay >= Retry.MaxDelaySeconds)
+      return Retry.MaxDelaySeconds;
+  }
+  return std::min(Delay, Retry.MaxDelaySeconds);
 }
 
 Status Node::submitPair(const Pair &P) {
@@ -59,7 +131,17 @@ Status Node::submitPair(const Pair &P) {
       return R.takeError().withContext("typecoin pre-check");
   }
   TC_TRY(Pool.acceptTransaction(P.Btc, Chain));
-  PendingTc[P.Btc.txid().toHex()] = P.Tc;
+
+  std::string Payload = payloadKey(P);
+  Journal[Payload] = P;
+  if (!Registered.count(Payload)) {
+    PendingCarrier PC;
+    PC.P = P;
+    PC.Attempts = 1;
+    PC.NextRetryTime =
+        static_cast<double>(Chain.tipTime()) + backoffDelay(1);
+    Pending[Payload] = std::move(PC);
+  }
   return Status::success();
 }
 
@@ -67,46 +149,166 @@ Status Node::submitPlain(const bitcoin::Transaction &Btc) {
   return Pool.acceptTransaction(Btc, Chain);
 }
 
+Result<std::vector<std::string>> Node::syncRegistrations() {
+  int End = Chain.height() - RegistrationDepth + 1;
+
+  // Deep-reorg detection: the scan frontier or any registration's block
+  // is no longer on the best chain. Shallow reorgs (entirely above the
+  // frontier) never trip this — matured history is stable by
+  // construction unless a reorg crosses registrationDepth.
+  bool Diverged = false;
+  if (LastScannedHeight > 0) {
+    auto H = Chain.blockHashAt(LastScannedHeight);
+    if (!H || !(*H == LastScannedHash))
+      Diverged = true;
+  }
+  if (!Diverged)
+    for (const auto &[Payload, Reg] : Registered) {
+      auto H = Chain.blockHashAt(Reg.Height);
+      if (!H || !(*H == Reg.InBlock)) {
+        Diverged = true;
+        break;
+      }
+    }
+
+  std::vector<std::string> Spoiled;
+  if (Diverged) {
+    // Rewritten history: rather than patching state whose premises are
+    // gone, rebuild the whole Typecoin view from genesis against the
+    // new best chain. Anything whose carrier fell out of the chain goes
+    // back to pending for resubmission.
+    TC_UNWRAP(R, replayChain(Chain, Journal, RegistrationDepth));
+    TcState = std::move(R.TcState);
+    Registered = std::move(R.Registered);
+    Spoiled = std::move(R.SpoiledTxids);
+    Pool.revalidate(Chain);
+  } else if (End > LastScannedHeight) {
+    TC_UNWRAP(S, scanRange(Chain, Journal, TcState, Registered,
+                           LastScannedHeight + 1, End));
+    Spoiled = std::move(S);
+  }
+
+  // Advance the frontier and reconcile the pending queue with what is
+  // now registered (or no longer is).
+  if (End >= 1) {
+    if (auto H = Chain.blockHashAt(End)) {
+      LastScannedHeight = End;
+      LastScannedHash = *H;
+    }
+  } else {
+    LastScannedHeight = 0;
+  }
+  for (const auto &[Payload, Reg] : Registered)
+    Pending.erase(Payload);
+  if (Diverged)
+    for (const auto &[Payload, P] : Journal) {
+      if (Registered.count(Payload) || Pending.count(Payload))
+        continue;
+      PendingCarrier PC;
+      PC.P = P;
+      PC.Attempts = 0;
+      PC.NextRetryTime = 0; // Eligible at the next tick.
+      Pending[Payload] = std::move(PC);
+    }
+  return Spoiled;
+}
+
 Result<std::vector<std::string>>
 Node::mineBlock(const crypto::KeyId &Payout, uint32_t Time) {
   TC_UNWRAP(Block, bitcoin::mineAndSubmit(Chain, Pool, Payout, Time));
-  (void)Block; // Registration scans all pending carriers, not just this
-               // block's.
-  std::vector<std::string> Spoiled;
-  // Register Typecoin transactions whose carriers have reached the
-  // registration depth, ordered by chain position (height, then index
-  // within the block) so dependencies resolve first.
-  std::vector<std::pair<std::pair<int, size_t>, std::string>> Ready;
-  for (const auto &[Txid, Tc] : PendingTc) {
-    auto Id = txidFromHex(Txid);
-    if (!Id)
-      continue;
-    if (Chain.confirmations(*Id) < RegistrationDepth)
-      continue;
-    auto Loc = Chain.locate(*Id);
-    if (!Loc)
-      continue;
-    Ready.push_back({{Loc->Height, Loc->IndexInBlock}, Txid});
-  }
-  std::sort(Ready.begin(), Ready.end());
-  for (const auto &[Pos, Txid] : Ready) {
-    auto It = PendingTc.find(Txid);
-    auto Id = txidFromHex(Txid);
-    auto Loc = Chain.locate(*Id);
-    // Conditions are judged at the transaction's own block (Section 5:
-    // "unambiguous evidence ... for any particular transaction in the
-    // blockchain").
-    ChainOracle Oracle(Chain, Loc->BlockTime);
-    TC_UNWRAP(Selected, TcState.applyTransaction(It->second, Txid, Oracle));
-    if (Selected > It->second.Fallbacks.size())
-      Spoiled.push_back(Txid);
-    PendingTc.erase(It);
-  }
+  (void)Block; // Registration scans matured heights, not just this block.
+  TC_UNWRAP(Spoiled, syncRegistrations());
 #ifdef TYPECOIN_AUDIT
   TC_TRY(analysis::auditMempool(Pool, Chain));
   TC_TRY(analysis::auditState(TcState));
 #endif
   return Spoiled;
+}
+
+Result<std::vector<std::string>> Node::submitBlock(const bitcoin::Block &B) {
+  TC_TRY(Chain.submitBlock(B));
+  // The block may have extended the tip or triggered a reorganization;
+  // either way the pool must be consistent with the new best chain.
+  Pool.revalidate(Chain);
+  TC_UNWRAP(Spoiled, syncRegistrations());
+#ifdef TYPECOIN_AUDIT
+  TC_TRY(analysis::auditMempool(Pool, Chain));
+  TC_TRY(analysis::auditState(TcState));
+#endif
+  return Spoiled;
+}
+
+Status Node::recover() {
+  // Volatile state is gone: the mempool, the pending queue, and every
+  // in-memory Typecoin index. The chain (block store) and the pair
+  // journal are the durable inputs; rebuild everything from them.
+  Pool.clear();
+  Pending.clear();
+  Registered.clear();
+  TcState = State();
+  LastScannedHeight = 0;
+  LastScannedHash = bitcoin::BlockHash{};
+
+  TC_UNWRAP(R, replayChain(Chain, Journal, RegistrationDepth));
+  TcState = std::move(R.TcState);
+  Registered = std::move(R.Registered);
+  int End = Chain.height() - RegistrationDepth + 1;
+  if (End >= 1) {
+    if (auto H = Chain.blockHashAt(End)) {
+      LastScannedHeight = End;
+      LastScannedHash = *H;
+    }
+  }
+
+  // Unconfirmed journal entries go back into the mempool (best effort —
+  // their inputs may have been spent while we were down) and the
+  // resubmission queue.
+  for (const auto &[Payload, P] : Journal) {
+    if (Registered.count(Payload))
+      continue;
+    (void)Pool.acceptTransaction(P.Btc, Chain);
+    PendingCarrier PC;
+    PC.P = P;
+    PC.Attempts = 0;
+    PC.NextRetryTime = 0;
+    Pending[Payload] = std::move(PC);
+  }
+#ifdef TYPECOIN_AUDIT
+  TC_TRY(analysis::auditMempool(Pool, Chain));
+  TC_TRY(analysis::auditState(TcState));
+#endif
+  return Status::success();
+}
+
+size_t Node::tick(double Now) {
+  size_t Resubmitted = 0;
+  for (auto &[Payload, PC] : Pending) {
+    if (PC.Attempts >= Retry.MaxAttempts)
+      continue; // Gave up; the pair stays journaled but is not retried.
+    if (Now < PC.NextRetryTime)
+      continue;
+    // Re-admission can fail transiently (e.g. inputs held by a
+    // conflicting pool entry that a reorg will evict); count the
+    // attempt either way so backoff still applies.
+    (void)Pool.acceptTransaction(PC.P.Btc, Chain);
+    if (Relay)
+      Relay(PC.P);
+    ++PC.Attempts;
+    PC.NextRetryTime = Now + backoffDelay(PC.Attempts);
+    ++Resubmitted;
+  }
+  return Resubmitted;
+}
+
+int Node::attemptsOf(const std::string &PayloadHex) const {
+  auto It = Pending.find(PayloadHex);
+  return It == Pending.end() ? 0 : It->second.Attempts;
+}
+
+const Registration *
+Node::registrationOf(const std::string &PayloadHex) const {
+  auto It = Registered.find(PayloadHex);
+  return It == Registered.end() ? nullptr : &It->second;
 }
 
 int Node::confirmations(const std::string &TxidHex) const {

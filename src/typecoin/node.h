@@ -11,6 +11,22 @@
 /// Typecoin transaction (or its first valid fallback) against the
 /// block's timestamp and spent-evidence and registers it.
 ///
+/// Registration is reorg-safe and delivery-safe:
+///
+///  * Pending carriers are keyed by the *Typecoin payload hash*, not the
+///    Bitcoin txid, so a signature-malleated twin of the carrier
+///    (Andrychowicz et al.) still registers the pair — under the txid
+///    that actually confirmed.
+///  * The node scans newly-matured chain regions (everything at least
+///    `registrationDepth` deep) and records where it stopped; a reorg
+///    that rewrites scanned history is detected and answered by
+///    rebuilding the Typecoin state from genesis via \ref replayChain,
+///    never by silently diverging.
+///  * Submitted pairs persist in a journal (the simulated disk). After a
+///    crash, \ref recover rebuilds mempool-independent state from the
+///    chain + journal; unconfirmed pairs re-enter the resubmission
+///    queue, which \ref tick drains with bounded exponential backoff.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TYPECOIN_TYPECOIN_NODE_H
@@ -20,6 +36,8 @@
 #include "typecoin/embed.h"
 #include "typecoin/state.h"
 #include "typecoin/wallet.h"
+
+#include <functional>
 
 namespace typecoin {
 namespace tc {
@@ -51,6 +69,42 @@ struct Pair {
   bitcoin::Transaction Btc;
 };
 
+/// The payload key a pair is tracked under: hex of `Tc.hash()` — stable
+/// across carrier malleation, unlike the Bitcoin txid.
+std::string payloadKey(const Pair &P);
+
+/// Where a registered Typecoin payload landed on the chain.
+struct Registration {
+  std::string TxidHex;       ///< Confirmed carrier txid (display hex).
+  bitcoin::BlockHash InBlock; ///< Best-chain block that carried it.
+  int Height = 0;
+};
+
+/// Everything submitted through a node, keyed by payload hash — the
+/// simulated durable store that survives a crash.
+using PairJournal = std::map<std::string, Pair>;
+
+/// Resubmission backoff for pairs whose carriers have not confirmed.
+struct RetryPolicy {
+  double InitialDelaySeconds = 2.0;
+  double BackoffFactor = 2.0;
+  double MaxDelaySeconds = 64.0;
+  int MaxAttempts = 8;
+};
+
+/// Rebuilt-from-genesis Typecoin view of a chain: scan every matured
+/// block for carriers of journaled pairs and register them in chain
+/// order. This is the recovery path (crash restart, deep reorg) and the
+/// cross-check for incremental registration.
+struct ReplayResult {
+  State TcState;
+  std::map<std::string, Registration> Registered; ///< By payload hash.
+  std::vector<std::string> SpoiledTxids;
+};
+Result<ReplayResult> replayChain(const bitcoin::Blockchain &Chain,
+                                 const PairJournal &Journal,
+                                 int RegistrationDepth);
+
 /// A full node.
 class Node {
 public:
@@ -62,9 +116,9 @@ public:
 
   /// How many confirmations a carrying Bitcoin transaction needs before
   /// its Typecoin transaction is registered (the paper's irreversibility
-  /// threshold is six; tests default to one). Typecoin state never has
-  /// to unwind as long as reorgs shallower than this depth are the only
-  /// ones that occur.
+  /// threshold is six; tests default to one). Reorgs shallower than
+  /// this depth never touch registered state; deeper ones trigger a
+  /// from-genesis rebuild (see \ref replayChain).
   int registrationDepth() const { return RegistrationDepth; }
 
   bitcoin::Blockchain &chain() { return Chain; }
@@ -74,7 +128,10 @@ public:
   const State &state() const { return TcState; }
 
   /// Validate a pair (correspondence, relay policy, and a provisional
-  /// Typecoin check at the current tip time) and queue it for mining.
+  /// Typecoin check at the current tip time), journal it, and queue it
+  /// for mining. The pair stays pending — and is periodically
+  /// resubmitted by \ref tick — until a carrier with its payload
+  /// confirms at registration depth.
   Status submitPair(const Pair &P);
 
   /// Submit a plain Bitcoin transaction (no Typecoin overlay), e.g.
@@ -82,10 +139,55 @@ public:
   Status submitPlain(const bitcoin::Transaction &Btc);
 
   /// Mine one block at \p Time paying \p Payout, then register any
-  /// confirmed Typecoin transactions against the new block's state.
-  /// Returns the ids of Typecoin transactions that spoiled, if any.
+  /// newly-matured Typecoin carriers. Returns the Bitcoin txids of
+  /// Typecoin transactions that spoiled, if any.
   Result<std::vector<std::string>> mineBlock(const crypto::KeyId &Payout,
                                              uint32_t Time);
+
+  /// Accept an externally-mined block (a peer's relay). Revalidates the
+  /// mempool against the possibly-reorganized chain and synchronizes
+  /// Typecoin registrations; a reorg past scanned history triggers the
+  /// from-genesis rebuild. Returns newly-spoiled txids.
+  Result<std::vector<std::string>> submitBlock(const bitcoin::Block &B);
+
+  // --- Crash / recovery -------------------------------------------------
+
+  /// Recover after a crash that lost all volatile state (mempool,
+  /// pending queue, Typecoin indices). Only the chain and the pair
+  /// journal survive; everything else is rebuilt from them. Unconfirmed
+  /// journal pairs re-enter the mempool and the resubmission queue.
+  Status recover();
+
+  // --- Resubmission queue -----------------------------------------------
+
+  /// Hook invoked whenever \ref tick resubmits a pair (wire this to a
+  /// network relay). Initial submission does not invoke it.
+  void setRelay(std::function<void(const Pair &)> Hook) {
+    Relay = std::move(Hook);
+  }
+  void setRetryPolicy(const RetryPolicy &P) { Retry = P; }
+  const RetryPolicy &retryPolicy() const { return Retry; }
+
+  /// Resubmit every pending pair whose backoff deadline has passed at
+  /// \p Now (seconds, same clock as block timestamps). Gives up on a
+  /// pair after RetryPolicy::MaxAttempts. Returns how many were
+  /// resubmitted.
+  size_t tick(double Now);
+
+  /// Unconfirmed journaled pairs awaiting (re)submission.
+  size_t pendingCount() const { return Pending.size(); }
+  /// Submission attempts so far for a payload key (0 if unknown).
+  int attemptsOf(const std::string &PayloadHex) const;
+
+  // --- Registration queries ---------------------------------------------
+
+  /// Has the payload of \p P been registered (under whatever txid its
+  /// carrier — possibly a malleated twin — confirmed as)?
+  bool isRegistered(const std::string &PayloadHex) const {
+    return Registered.count(PayloadHex) != 0;
+  }
+  const Registration *registrationOf(const std::string &PayloadHex) const;
+  const PairJournal &journal() const { return Journal; }
 
   /// Confirmations of the Bitcoin transaction carrying a pair.
   int confirmations(const std::string &TxidHex) const;
@@ -94,13 +196,35 @@ public:
   uint32_t now() const { return Chain.tipTime(); }
 
 private:
+  /// A journaled pair whose carrier has not yet reached registration
+  /// depth, with its resubmission schedule.
+  struct PendingCarrier {
+    Pair P;
+    int Attempts = 0;
+    double NextRetryTime = 0;
+  };
+
+  /// Incrementally scan newly-matured blocks for journaled carriers; on
+  /// detecting that scanned history was reorganized away, rebuild
+  /// everything via \ref replayChain. Returns newly-spoiled txids.
+  Result<std::vector<std::string>> syncRegistrations();
+  double backoffDelay(int Attempts) const;
+
   bitcoin::Blockchain Chain;
   bitcoin::Mempool Pool;
   State TcState;
   int RegistrationDepth;
-  /// Typecoin transactions awaiting confirmation, keyed by the Bitcoin
-  /// txid (display hex).
-  std::map<std::string, Transaction> PendingTc;
+
+  PairJournal Journal; ///< Durable; survives crash (see \ref recover).
+  std::map<std::string, PendingCarrier> Pending; ///< By payload hash.
+  std::map<std::string, Registration> Registered; ///< By payload hash.
+  /// Scan frontier: the highest matured height already scanned, and the
+  /// best-chain hash observed there (mismatch later = deep reorg).
+  int LastScannedHeight = 0;
+  bitcoin::BlockHash LastScannedHash{};
+
+  RetryPolicy Retry;
+  std::function<void(const Pair &)> Relay;
 };
 
 } // namespace tc

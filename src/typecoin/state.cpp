@@ -2,6 +2,8 @@
 
 #include "typecoin/state.h"
 
+#include "crypto/sha256.h"
+
 namespace typecoin {
 namespace tc {
 
@@ -202,6 +204,28 @@ std::vector<std::string> State::registeredTxids() const {
 bool State::isSpoiled(const std::string &Txid) const {
   auto It = Txs.find(Txid);
   return It != Txs.end() && It->second.Spoiled;
+}
+
+std::string State::fingerprint() const {
+  crypto::Sha256 Hasher;
+  auto Feed = [&Hasher](const std::string &S) {
+    // Length-prefix every field so concatenations cannot collide.
+    uint64_t Len = S.size();
+    Hasher.update(reinterpret_cast<const uint8_t *>(&Len), sizeof(Len));
+    Hasher.update(reinterpret_cast<const uint8_t *>(S.data()), S.size());
+  };
+  for (const auto &[Txid, E] : Txs) {
+    Feed(Txid);
+    Feed(E.Spoiled ? "spoiled" : "valid");
+    for (const logic::PropPtr &P : E.ResolvedOutputTypes)
+      Feed(logic::printProp(P));
+  }
+  Feed("|consumed|");
+  for (const auto &[Txid, Index] : Consumed) {
+    Feed(Txid);
+    Feed(std::to_string(Index));
+  }
+  return toHex(Hasher.finalize());
 }
 
 Result<logic::PropPtr> verifyClaimedOutput(

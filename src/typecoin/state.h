@@ -92,6 +92,14 @@ public:
   /// registration)?
   bool isSpoiled(const std::string &Txid) const;
 
+  /// A deterministic digest of the full registered state — registered
+  /// txids, spoiled flags, resolved output types, and the consumed
+  /// set. Two nodes (or one node before a crash and after recovery)
+  /// agree on Typecoin state iff their fingerprints are equal; the
+  /// chaos suite compares these entry-for-entry summaries instead of
+  /// trusting convergence of the underlying Bitcoin tips alone.
+  std::string fingerprint() const;
+
 private:
   Status checkBody(const Transaction &T, const logic::CondOracle &Oracle,
                    logic::CondPtr &PhiOut) const;

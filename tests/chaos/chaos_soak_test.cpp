@@ -1,0 +1,171 @@
+//===- tests/chaos/chaos_soak_test.cpp - Multi-seed chaos soak ------------===//
+//
+// The full gauntlet, repeated across seeds (override with
+// TYPECOIN_CHAOS_SEED): a four-node network with lossy, duplicating,
+// jittering links; one byzantine peer relaying invalid blocks and
+// malleated carriers; one node crashing and restarting mid-run —
+// while Typecoin pairs are submitted and mined. After the run quiesces,
+// the honest nodes must agree on one tip, every chain must pass the
+// ledger audit, the Typecoin replay of every honest chain must agree
+// entry-for-entry, and every well-typed pair must be registered exactly
+// once (resubmission closing any delivery gaps).
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaosutil.h"
+
+#include "analysis/audit.h"
+
+using namespace typecoin;
+using namespace typecoin::chaosutil;
+
+namespace {
+
+void runSoak(uint64_t Seed) {
+  bitcoin::FaultPlan Plan;
+  Plan.Drop = 0.05;
+  Plan.Duplicate = 0.10;
+  Plan.JitterSeconds = 30;
+  bitcoin::ByzantinePlan Byz;
+  Byz.InvalidBlock = 0.3;
+  Byz.MalleateRelay = 0.5;
+  announce("soak", Seed,
+           Plan.describe() + "; byzantine(3) " + Byz.describe() +
+               "; crash(2)");
+
+  bitcoin::LocalNetwork Net(testParams(), 4, 2.0, Seed);
+  Net.setDefaultFault(Plan);
+  Net.setByzantine(3, Byz);
+  const std::vector<size_t> Honest = {0, 1, 2};
+  const int Depth = 2;
+
+  auto Payout = keyFromSeed(900 + Seed);
+  double Clock = 0;
+  auto MineAt = [&](size_t NodeIdx) {
+    Clock += 600;
+    auto B = Net.mineAt(NodeIdx, Payout.id(), Clock);
+    ASSERT_TRUE(B.hasValue()) << B.error().message();
+    Net.runUntil(Clock + 120);
+  };
+
+  // Funding: one coinbase per pair, all mined at node 0, plus one block
+  // of maturity.
+  const int NPairs = 3;
+  std::vector<Actor> Actors;
+  Actors.reserve(NPairs);
+  for (int I = 0; I < NPairs; ++I)
+    Actors.emplace_back(9000 + Seed * 100 + static_cast<uint64_t>(I));
+  for (int I = 0; I < NPairs; ++I) {
+    Clock += 600;
+    auto B = Net.mineAt(0, Actors[static_cast<size_t>(I)].id(), Clock);
+    ASSERT_TRUE(B.hasValue()) << B.error().message();
+    Net.runUntil(Clock + 120);
+  }
+  MineAt(0);
+
+  // Pair phase, with chaos interleaved: node 2 crashes after the first
+  // carrier and comes back two blocks later; nodes 1 and 3 race node 0
+  // for blocks throughout.
+  tc::PairJournal Journal;
+  for (int I = 0; I < NPairs; ++I) {
+    auto P = buildGrantPair(Actors[static_cast<size_t>(I)],
+                            ("soak" + std::to_string(I)).c_str(),
+                            Actors[static_cast<size_t>(I)].pub(),
+                            Net.chain(0));
+    ASSERT_TRUE(P.hasValue()) << P.error().message();
+    Journal[tc::payloadKey(*P)] = *P;
+    ASSERT_TRUE(Net.submitTransaction(0, P->Btc, Clock).hasValue());
+    MineAt(0);
+
+    if (I == 0) {
+      Net.crash(2);
+      ASSERT_TRUE(Net.isCrashed(2));
+    }
+    MineAt(static_cast<size_t>(I) % 2 == 0 ? 1 : 3);
+    if (I == 1) {
+      ASSERT_TRUE(Net.restart(2, Clock).hasValue());
+    }
+  }
+
+  // Quiesce: stop the chaos, bring everyone back, reconcile.
+  Net.clearFaults();
+  if (Net.isCrashed(2)) {
+    ASSERT_TRUE(Net.restart(2, Clock).hasValue());
+  }
+  Net.heal(Clock);
+  Net.run();
+  MineAt(0);
+  MineAt(0); // Bury the last carriers past registration depth.
+  Net.run();
+
+  // Delivery gaps (dropped or out-raced carriers) are closed by
+  // resubmission — the same loop tc::Node::tick automates.
+  for (int Round = 0; Round < 6; ++Round) {
+    auto Replayed = tc::replayChain(Net.chain(0), Journal, Depth);
+    ASSERT_TRUE(Replayed.hasValue()) << Replayed.error().message();
+    if (Replayed->Registered.size() == Journal.size())
+      break;
+    for (const auto &[Payload, P] : Journal) {
+      if (Replayed->Registered.count(Payload))
+        continue;
+      (void)Net.submitTransaction(0, P.Btc, Clock); // May already be in.
+    }
+    MineAt(0);
+    MineAt(0);
+    Net.heal(Clock); // Re-announce full chains: orphaned stragglers heal.
+    Net.run();
+  }
+  Net.heal(Clock);
+  Net.run();
+
+  // 1. Honest tip agreement.
+  EXPECT_TRUE(Net.convergedAmong(Honest)) << "seed " << Seed;
+
+  // 2. Every honest chain passes the full ledger audit, and the UTXO
+  //    sets agree entry-for-entry.
+  for (size_t N : Honest) {
+    auto A = analysis::auditChain(Net.chain(N));
+    EXPECT_TRUE(A.hasValue())
+        << "seed " << Seed << " node " << N << ": " << A.error().message();
+  }
+  const auto &Ref = Net.chain(0).utxo().entries();
+  for (size_t N : {size_t(1), size_t(2)}) {
+    const auto &Other = Net.chain(N).utxo().entries();
+    ASSERT_EQ(Ref.size(), Other.size()) << "seed " << Seed;
+    auto RIt = Ref.begin();
+    for (const auto &[Point, Coin] : Other) {
+      EXPECT_TRUE(RIt->first == Point) << "seed " << Seed;
+      EXPECT_EQ(RIt->second.Out.Value, Coin.Out.Value) << "seed " << Seed;
+      ++RIt;
+    }
+  }
+
+  // 3. The Typecoin view of every honest chain agrees, and every
+  //    well-typed pair is registered exactly once (possibly under a
+  //    malleated twin's txid — registration is keyed by payload).
+  std::string RefFp;
+  for (size_t N : Honest) {
+    auto Replayed = tc::replayChain(Net.chain(N), Journal, Depth);
+    ASSERT_TRUE(Replayed.hasValue()) << Replayed.error().message();
+    EXPECT_EQ(Replayed->Registered.size(), Journal.size())
+        << "seed " << Seed << " node " << N;
+    EXPECT_TRUE(Replayed->SpoiledTxids.empty()) << "seed " << Seed;
+    auto S = analysis::auditState(Replayed->TcState);
+    EXPECT_TRUE(S.hasValue()) << "seed " << Seed << ": "
+                              << S.error().message();
+    std::string Fp = Replayed->TcState.fingerprint();
+    if (N == 0)
+      RefFp = Fp;
+    else
+      EXPECT_EQ(Fp, RefFp) << "seed " << Seed << " node " << N;
+  }
+}
+
+TEST(ChaosSoak, ConvergesAcrossSeeds) {
+  // At least five seeds per run; TYPECOIN_CHAOS_SEED narrows to a
+  // failing seed for replay (support/replay.h).
+  for (uint64_t Seed : chaosSeeds({101, 102, 103, 104, 105}))
+    runSoak(Seed);
+}
+
+} // namespace

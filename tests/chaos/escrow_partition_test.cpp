@@ -1,0 +1,139 @@
+//===- tests/chaos/escrow_partition_test.cpp - Escrow under partitions ----===//
+//
+// Section 7 escrow agents under network failure: an agent whose chain
+// view has gone stale (it sat on the wrong side of a partition) must
+// refuse to sign — its `spent`/`before` evidence is untrustworthy — and
+// a 2-of-3 pool must still reach quorum from the two agents with fresh
+// views.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaosutil.h"
+
+#include "services/escrow.h"
+#include "typecoin/opentx.h"
+
+using namespace typecoin;
+using namespace typecoin::chaosutil;
+
+namespace {
+
+class EscrowPartition : public ::testing::Test {
+protected:
+  EscrowPartition() : Alice(5001), Bob(5002) {
+    for (int I = 0; I < 3; ++I) {
+      Clock += 600;
+      EXPECT_TRUE(Node.mineBlock(Alice.id(), Clock).hasValue());
+    }
+    Clock += 600;
+    EXPECT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+  }
+
+  /// A minimal routing pair spending the pool-locked output, as each
+  /// agent verifies and signs it.
+  tc::Pair poolSpend(const bitcoin::Transaction &Lock,
+                     bitcoin::Amount Value) {
+    tc::Transaction Minimal;
+    tc::Input In;
+    In.SourceTxid = Lock.txid().toHex();
+    In.SourceIndex = 0;
+    In.Type = logic::pOne();
+    In.Amount = Value;
+    Minimal.Inputs.push_back(In);
+    tc::Output Out;
+    Out.Type = logic::pOne();
+    Out.Amount = Value - 50000;
+    Out.Owner = Bob.pub();
+    Minimal.Outputs.push_back(Out);
+    auto Proof = tc::makeRoutingProof(Minimal);
+    EXPECT_TRUE(Proof.hasValue());
+    Minimal.Proof = *Proof;
+    auto Btc = tc::embedTransaction(Minimal, tc::EmbedScheme::NullData);
+    EXPECT_TRUE(Btc.hasValue());
+    return tc::Pair{Minimal, *Btc};
+  }
+
+  tc::Node Node;
+  Actor Alice, Bob;
+  uint32_t Clock = 0;
+};
+
+TEST_F(EscrowPartition, StaleViewRefusesToSign) {
+  services::EscrowAgent Agent(7301);
+  Agent.setStalenessHorizon(3600);
+
+  // Lock a coin under a 1-of-1 "pool" of the agent.
+  bitcoin::Script Pool = services::escrowPoolScript(1, {&Agent});
+  auto Spendable = Alice.Wallet.findSpendable(Node.chain());
+  ASSERT_FALSE(Spendable.empty());
+  bitcoin::Transaction Lock;
+  Lock.Inputs.push_back(bitcoin::TxIn{Spendable[0].Point, {}});
+  Lock.Outputs.push_back(bitcoin::TxOut{1000000, Pool});
+  ASSERT_TRUE(Alice.Wallet.signTransaction(Lock, Node.chain()).hasValue());
+  ASSERT_TRUE(Node.submitPlain(Lock).hasValue());
+  Clock += 600;
+  ASSERT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+
+  tc::Pair P = poolSpend(Lock, 1000000);
+
+  // Fresh view: within the horizon, the agent signs.
+  auto Fresh = Agent.signIfValid(P, Node, 0, double(Clock) + 600);
+  EXPECT_TRUE(Fresh.hasValue()) << (Fresh ? "" : Fresh.error().message());
+
+  // Stale view: the agent's node saw no block for two hours (it was
+  // partitioned away); it must refuse rather than attest on old
+  // evidence.
+  auto Stale = Agent.signIfValid(P, Node, 0, double(Clock) + 7200);
+  ASSERT_FALSE(Stale.hasValue());
+  EXPECT_NE(Stale.error().message().find("staleness"), std::string::npos);
+
+  // With no horizon configured the old behaviour is unchanged.
+  Agent.setStalenessHorizon(0);
+  EXPECT_TRUE(Agent.signIfValid(P, Node, 0, double(Clock) + 7200)
+                  .hasValue());
+}
+
+TEST_F(EscrowPartition, TwoOfThreeQuorumSurvivesOnePartitionedAgent) {
+  announce("escrow-2of3-partition", 0, "one agent stale, two fresh");
+  services::EscrowAgent A1(7401), A2(7402), A3(7403);
+  for (services::EscrowAgent *A : {&A1, &A2, &A3})
+    A->setStalenessHorizon(3600);
+
+  bitcoin::Script Pool = services::escrowPoolScript(2, {&A1, &A2, &A3});
+  auto Spendable = Alice.Wallet.findSpendable(Node.chain());
+  ASSERT_FALSE(Spendable.empty());
+  bitcoin::Transaction Lock;
+  Lock.Inputs.push_back(bitcoin::TxIn{Spendable[0].Point, {}});
+  Lock.Outputs.push_back(bitcoin::TxOut{1000000, Pool});
+  ASSERT_TRUE(Alice.Wallet.signTransaction(Lock, Node.chain()).hasValue());
+  ASSERT_TRUE(Node.submitPlain(Lock).hasValue());
+  Clock += 600;
+  ASSERT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+
+  tc::Pair P = poolSpend(Lock, 1000000);
+
+  // Agent 2 sat behind a partition: by its own wall clock the shared
+  // chain view is hours old, so it refuses. Agents 1 and 3 are current.
+  double FreshNow = double(Clock) + 60;
+  double StaleNow = double(Clock) + 7200;
+  auto S1 = A1.signIfValid(P, Node, 0, FreshNow);
+  ASSERT_TRUE(S1.hasValue()) << S1.error().message();
+  auto S2 = A2.signIfValid(P, Node, 0, StaleNow);
+  EXPECT_FALSE(S2.hasValue());
+  auto S3 = A3.signIfValid(P, Node, 0, FreshNow);
+  ASSERT_TRUE(S3.hasValue()) << S3.error().message();
+
+  // Quorum from the two healthy agents.
+  auto ScriptSig = services::assembleMultisig(
+      Pool, {{A1.publicKey().serialize(), *S1},
+             {A3.publicKey().serialize(), *S3}});
+  ASSERT_TRUE(ScriptSig.hasValue()) << ScriptSig.error().message();
+  P.Btc.Inputs[0].ScriptSig = *ScriptSig;
+
+  ASSERT_TRUE(Node.submitPair(P).hasValue());
+  Clock += 600;
+  ASSERT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+  EXPECT_TRUE(Node.isRegistered(tc::payloadKey(P)));
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+//===- tests/chaos/resubmission_test.cpp - Bounded-backoff resubmission ---===//
+//
+// Delivery safety for the write path: tc::Node keeps every journaled
+// pair in a retry queue until its carrier confirms, resubmitting on
+// tick() with bounded exponential backoff; services::BatchServer defers
+// transiently unsubmittable write-throughs (Section 5 requires them to
+// reach the blockchain) and drains them the same way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaosutil.h"
+
+#include "services/batchserver.h"
+
+using namespace typecoin;
+using namespace typecoin::chaosutil;
+
+namespace {
+
+class Resubmission : public ::testing::Test {
+protected:
+  Resubmission() : Alice(6001) {
+    for (int I = 0; I < 3; ++I) {
+      Clock += 600;
+      EXPECT_TRUE(Node.mineBlock(Alice.id(), Clock).hasValue());
+    }
+    Clock += 600;
+    EXPECT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+  }
+
+  tc::Node Node;
+  Actor Alice;
+  uint32_t Clock = 0;
+};
+
+TEST_F(Resubmission, TickFollowsExponentialBackoffAndGivesUp) {
+  tc::RetryPolicy Policy;
+  Policy.InitialDelaySeconds = 2;
+  Policy.BackoffFactor = 2;
+  Policy.MaxDelaySeconds = 16;
+  Policy.MaxAttempts = 4;
+  Node.setRetryPolicy(Policy);
+
+  size_t Relayed = 0;
+  Node.setRelay([&Relayed](const tc::Pair &) { ++Relayed; });
+
+  auto P = buildGrantPair(Alice, "ticket", Alice.pub(), Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  ASSERT_TRUE(Node.submitPair(*P).hasValue());
+  std::string Payload = tc::payloadKey(*P);
+  EXPECT_EQ(Node.attemptsOf(Payload), 1); // The initial submission.
+
+  double T0 = static_cast<double>(Node.now());
+  // Before the first deadline (T0 + 2): nothing happens.
+  EXPECT_EQ(Node.tick(T0 + 1), 0u);
+  // After it: one resubmission, next deadline 4s out.
+  EXPECT_EQ(Node.tick(T0 + 3), 1u);
+  EXPECT_EQ(Node.attemptsOf(Payload), 2);
+  EXPECT_EQ(Relayed, 1u);
+  EXPECT_EQ(Node.tick(T0 + 3), 0u); // Backoff holds.
+  EXPECT_EQ(Node.tick(T0 + 3 + 3), 0u);
+  EXPECT_EQ(Node.tick(T0 + 3 + 5), 1u); // 3rd attempt; next 8s out.
+  EXPECT_EQ(Node.attemptsOf(Payload), 3);
+  EXPECT_EQ(Node.tick(T0 + 100), 1u); // 4th and final attempt.
+  EXPECT_EQ(Node.attemptsOf(Payload), 4);
+  // MaxAttempts reached: the queue holds the pair but stops retrying.
+  EXPECT_EQ(Node.tick(T0 + 1000), 0u);
+  EXPECT_EQ(Relayed, 3u);
+  EXPECT_EQ(Node.pendingCount(), 1u);
+
+  // Confirmation clears the queue regardless.
+  Clock += 600;
+  ASSERT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+  EXPECT_TRUE(Node.isRegistered(Payload));
+  EXPECT_EQ(Node.pendingCount(), 0u);
+  EXPECT_EQ(Node.tick(static_cast<double>(Node.now()) + 1000), 0u);
+}
+
+TEST_F(Resubmission, BatchServerDefersWriteThroughUntilFunded) {
+  announce("batch-deferred-writethrough", 0, "unfunded then funded");
+  services::BatchServer Server(Node, 9101);
+  tc::RetryPolicy Policy;
+  Policy.InitialDelaySeconds = 2;
+  Policy.MaxAttempts = 8;
+  Server.setRetryPolicy(Policy);
+
+  // A resource held at the server's key.
+  auto P = buildGrantPair(Alice, "res", Server.serverKey(), Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  ASSERT_TRUE(Node.submitPair(*P).hasValue());
+  Clock += 600;
+  ASSERT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+  const tc::Registration *Reg =
+      Node.registrationOf(tc::payloadKey(*P));
+  ASSERT_NE(Reg, nullptr);
+  logic::PropPtr Res = Node.state().outputType(Reg->TxidHex, 0);
+
+  // A write-through routing the resource to Alice. The server holds no
+  // bitcoins yet, so the carrier cannot be funded — a transient
+  // failure: the write must be deferred, not lost.
+  tc::Transaction T;
+  tc::Input In;
+  In.SourceTxid = Reg->TxidHex;
+  In.SourceIndex = 0;
+  In.Type = Res;
+  In.Amount = 10000;
+  T.Inputs.push_back(In);
+  tc::Output Out;
+  Out.Type = Res;
+  Out.Amount = 10000;
+  Out.Owner = Alice.pub();
+  T.Outputs.push_back(Out);
+  auto Proof = tc::makeRoutingProof(T);
+  ASSERT_TRUE(Proof.hasValue());
+  T.Proof = *Proof;
+
+  auto First = Server.recordWriteThrough(T);
+  EXPECT_FALSE(First.hasValue());
+  EXPECT_NE(First.error().message().find("deferred"), std::string::npos);
+  EXPECT_EQ(Server.deferredCount(), 1u);
+  EXPECT_EQ(Server.onChainTxCount(), 0u);
+
+  // Still failing: retries back off but keep the obligation.
+  double T0 = static_cast<double>(Node.now());
+  EXPECT_EQ(Server.retryPending(T0 + 10), 0u);
+  EXPECT_EQ(Server.deferredCount(), 1u);
+
+  // Fund the server; the next due retry succeeds.
+  Clock += 600;
+  ASSERT_TRUE(Node.mineBlock(Server.serverId(), Clock).hasValue());
+  Clock += 600;
+  ASSERT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+  size_t Sent = Server.retryPending(static_cast<double>(Node.now()) + 100);
+  EXPECT_EQ(Sent, 1u);
+  EXPECT_EQ(Server.deferredCount(), 0u);
+  EXPECT_EQ(Server.onChainTxCount(), 1u);
+
+  // The routed resource confirms: Alice owns it.
+  Clock += 600;
+  ASSERT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+  EXPECT_EQ(Node.pendingCount(), 0u);
+  EXPECT_EQ(Node.state().size(), 2u);
+}
+
+} // namespace
