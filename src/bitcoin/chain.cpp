@@ -2,6 +2,9 @@
 
 #include "bitcoin/chain.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -120,6 +123,8 @@ Status Blockchain::checkBlock(const Block &B) const {
 }
 
 Status Blockchain::connectBlock(IndexEntry &Entry) {
+  static obs::Counter &Connects = obs::counter("chain.connect.count");
+  Connects.inc();
   const Block &B = Entry.Blk;
   BlockUndo Undo;
   Amount Fees = 0;
@@ -175,6 +180,8 @@ Status Blockchain::connectBlock(IndexEntry &Entry) {
 
 void Blockchain::disconnectTip() {
   assert(ActiveChain.size() > 1 && "cannot disconnect genesis");
+  static obs::Counter &Disconnects = obs::counter("chain.disconnect.count");
+  Disconnects.inc();
   IndexEntry &Entry = Blocks.at(Tip);
   const Block &B = Entry.Blk;
   assert(Entry.Undo && "disconnecting a block without undo data");
@@ -213,6 +220,18 @@ Status Blockchain::activateChain(const BlockHash &NewTipHash) {
   std::vector<BlockHash> OldBranch(
       ActiveChain.begin() + ForkHeight + 1, ActiveChain.end());
 
+  // A non-empty OldBranch means this activation is a reorganization;
+  // its length is the reorg depth (how much matured-looking history is
+  // being rewritten — the quantity the k-block rule bounds).
+  if (!OldBranch.empty()) {
+    static obs::Counter &Reorgs = obs::counter("reorg.count");
+    static obs::Histogram &Depth = obs::sizeHistogram("reorg.depth");
+    static obs::Gauge &MaxDepth = obs::gauge("reorg.depth.max");
+    Reorgs.inc();
+    Depth.observe(OldBranch.size());
+    MaxDepth.recordMax(static_cast<int64_t>(OldBranch.size()));
+  }
+
   while (Tip != ForkPoint)
     disconnectTip();
 
@@ -237,6 +256,10 @@ Status Blockchain::activateChain(const BlockHash &NewTipHash) {
 }
 
 Status Blockchain::submitBlock(const Block &B) {
+  static obs::Histogram &SubmitNs =
+      obs::latencyHistogram("chain.submit_ns");
+  obs::ScopedTimer Timer(SubmitNs);
+  obs::Span Trace("chain.submitBlock");
   BlockHash Hash = B.hash();
   if (Blocks.count(Hash))
     return Status::success(); // Duplicate; idempotent.

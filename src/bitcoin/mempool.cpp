@@ -2,13 +2,48 @@
 
 #include "bitcoin/mempool.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 
 namespace typecoin {
 namespace bitcoin {
 
+namespace {
+struct PoolMetrics {
+  obs::Counter &AcceptOk = obs::counter("mempool.accept.ok");
+  obs::Counter &AcceptRejected = obs::counter("mempool.accept.rejected");
+  obs::Counter &RevalidateEvicted =
+      obs::counter("mempool.revalidate.evicted");
+  obs::Counter &RevalidateRuns = obs::counter("mempool.revalidate.runs");
+  obs::Counter &ClearDropped = obs::counter("mempool.clear.dropped");
+  obs::Counter &RemovedConfirmed = obs::counter("mempool.removed.confirmed");
+  obs::Counter &RemovedConflict = obs::counter("mempool.removed.conflict");
+  obs::Gauge &Size = obs::gauge("mempool.size");
+  obs::Histogram &AcceptNs = obs::latencyHistogram("mempool.accept_ns");
+
+  static PoolMetrics &get() {
+    static PoolMetrics M;
+    return M;
+  }
+};
+} // namespace
+
 Status Mempool::acceptTransaction(const Transaction &Tx,
                                   const Blockchain &Chain) {
+  PoolMetrics &M = PoolMetrics::get();
+  obs::ScopedTimer Timer(M.AcceptNs);
+  Status S = acceptTransactionImpl(Tx, Chain);
+  if (S)
+    M.AcceptOk.inc();
+  else
+    M.AcceptRejected.inc();
+  M.Size.set(static_cast<int64_t>(Pool.size()));
+  return S;
+}
+
+Status Mempool::acceptTransactionImpl(const Transaction &Tx,
+                                      const Blockchain &Chain) {
   TxId Id = Tx.txid();
   if (Pool.count(Id))
     return Status::success(); // Already known.
@@ -73,6 +108,7 @@ std::vector<Transaction> Mempool::snapshot() const {
 }
 
 void Mempool::removeForBlock(const Block &B) {
+  PoolMetrics &M = PoolMetrics::get();
   for (const Transaction &Tx : B.Txs) {
     TxId Id = Tx.txid();
     auto It = Pool.find(Id);
@@ -80,6 +116,7 @@ void Mempool::removeForBlock(const Block &B) {
       for (const TxIn &In : It->second.Tx.Inputs)
         SpentBy.erase(In.Prevout);
       Pool.erase(It);
+      M.RemovedConfirmed.inc();
     }
     // Evict conflicting spends of the same outpoints.
     if (Tx.isCoinbase())
@@ -94,30 +131,44 @@ void Mempool::removeForBlock(const Block &B) {
         for (const TxIn &CIn : PoolIt->second.Tx.Inputs)
           SpentBy.erase(CIn.Prevout);
         Pool.erase(PoolIt);
+        M.RemovedConflict.inc();
       } else {
         SpentBy.erase(SpentIt);
       }
     }
   }
+  M.Size.set(static_cast<int64_t>(Pool.size()));
 }
 
-void Mempool::clear() {
+size_t Mempool::clear() {
+  size_t Dropped = Pool.size();
   Pool.clear();
   SpentBy.clear();
+  PoolMetrics &M = PoolMetrics::get();
+  M.ClearDropped.inc(Dropped);
+  M.Size.set(0);
+  return Dropped;
 }
 
 size_t Mempool::revalidate(const Blockchain &Chain) {
   // Re-run admission from scratch in the original admission order so
-  // chained pool spends stay admissible when their parents do.
+  // chained pool spends stay admissible when their parents do. The
+  // bulk clear is bookkeeping, not a drop — do not let it count
+  // against `mempool.clear.dropped`.
   std::vector<Transaction> Entries = snapshot();
-  clear();
+  Pool.clear();
+  SpentBy.clear();
+  PoolMetrics &M = PoolMetrics::get();
+  M.RevalidateRuns.inc();
   size_t Evicted = 0;
   for (const Transaction &Tx : Entries) {
     if (Chain.confirmations(Tx.txid()) > 0)
       continue; // Confirmed on the new branch; not an eviction.
-    if (!acceptTransaction(Tx, Chain))
+    if (!acceptTransactionImpl(Tx, Chain))
       ++Evicted;
   }
+  M.RevalidateEvicted.inc(Evicted);
+  M.Size.set(static_cast<int64_t>(Pool.size()));
   return Evicted;
 }
 

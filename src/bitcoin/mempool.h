@@ -52,7 +52,10 @@ public:
   void removeForBlock(const Block &B);
 
   /// Drop everything (a crashed node's pool does not survive restart).
-  void clear();
+  /// Returns how many entries were discarded, and counts them on the
+  /// `mempool.clear.dropped` obs counter — a crash or recovery path
+  /// never discards transactions silently.
+  size_t clear();
 
   /// Re-admit every entry against \p Chain's current view, dropping
   /// entries a reorganization has invalidated (inputs spent on the new
@@ -67,6 +70,11 @@ public:
   const MempoolPolicy &policy() const { return Policy; }
 
 private:
+  /// Admission logic proper; the public entry point wraps it with obs
+  /// accounting (accept counters, size gauge, latency probe).
+  Status acceptTransactionImpl(const Transaction &Tx,
+                               const Blockchain &Chain);
+
   struct Entry {
     Transaction Tx;
     Amount Fee = 0;

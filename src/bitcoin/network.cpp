@@ -4,6 +4,7 @@
 
 #include "crypto/ecdsa.h"
 #include "crypto/secp256k1.h"
+#include "obs/metrics.h"
 
 #include <cmath>
 
@@ -109,6 +110,8 @@ int LocalNetwork::banScore(size_t Node, size_t Peer) const {
 }
 
 void LocalNetwork::crash(size_t Node) {
+  static obs::Counter &Crashes = obs::counter("net.crash.count");
+  Crashes.inc();
   NodeState &N = *Nodes[Node];
   N.Crashed = true;
   // Everything in memory is gone; only the block store (Persisted)
@@ -124,6 +127,8 @@ Status LocalNetwork::restart(size_t Node, double Now) {
   NodeState &N = *Nodes[Node];
   if (!N.Crashed)
     return makeError("network: node is not crashed");
+  static obs::Counter &Restarts = obs::counter("net.restart.count");
+  Restarts.inc();
 
   // Replay the simulated disk into a fresh chain. Accept order
   // guarantees parents precede children, so every block connects.
@@ -202,17 +207,46 @@ Result<Block> LocalNetwork::mineAt(size_t Node, const crypto::KeyId &Payout,
   return B;
 }
 
+/// Obs probes for link faults and byzantine behavior, so a chaos run's
+/// injected-fault volume is visible next to its outcome metrics.
+namespace {
+struct NetMetrics {
+  obs::Counter &Dropped = obs::counter("net.fault.dropped");
+  obs::Counter &Duplicated = obs::counter("net.fault.duplicated");
+  obs::Counter &Jittered = obs::counter("net.fault.jittered");
+  obs::Counter &InvalidBlock = obs::counter("net.byzantine.invalid_block");
+  obs::Counter &Malleated = obs::counter("net.byzantine.malleated");
+  obs::Counter &BanPenalized = obs::counter("net.ban.penalized");
+  obs::Counter &BanDropped = obs::counter("net.ban.dropped");
+  obs::Counter &OrphanAdded = obs::counter("net.orphan.added");
+  obs::Counter &OrphanEvicted = obs::counter("net.orphan.evicted");
+  obs::Counter &Delivered = obs::counter("net.msg.delivered");
+
+  static NetMetrics &get() {
+    static NetMetrics M;
+    return M;
+  }
+};
+} // namespace
+
 void LocalNetwork::send(size_t From, size_t Dest, std::optional<Block> Blk,
                         std::optional<Transaction> Tx, double Now) {
+  NetMetrics &NM = NetMetrics::get();
   const FaultPlan &Plan = faultFor(From, Dest);
-  if (Plan.Drop > 0 && Chaos.nextBool(Plan.Drop))
+  if (Plan.Drop > 0 && Chaos.nextBool(Plan.Drop)) {
+    NM.Dropped.inc();
     return;
+  }
   int Copies = (Plan.Duplicate > 0 && Chaos.nextBool(Plan.Duplicate)) ? 2 : 1;
+  if (Copies > 1)
+    NM.Duplicated.inc();
   for (int C = 0; C < Copies; ++C) {
     Message M;
     M.Time = Now + Latency;
-    if (Plan.JitterSeconds > 0)
+    if (Plan.JitterSeconds > 0) {
       M.Time += Chaos.nextDouble() * Plan.JitterSeconds;
+      NM.Jittered.inc();
+    }
     M.Seq = NextSeq++;
     M.Dest = Dest;
     M.From = From;
@@ -228,6 +262,7 @@ void LocalNetwork::broadcastBlock(size_t From, const Block &B, double Now) {
     if (!linked(From, Dest))
       continue;
     if (Byz && Byz->InvalidBlock > 0 && Chaos.nextBool(Byz->InvalidBlock)) {
+      NetMetrics::get().InvalidBlock.inc();
       send(From, Dest, corruptBlock(B), std::nullopt, Now);
       continue;
     }
@@ -243,6 +278,7 @@ void LocalNetwork::broadcastTx(size_t From, const Transaction &Tx,
       continue;
     if (Byz && Byz->MalleateRelay > 0 && Chaos.nextBool(Byz->MalleateRelay)) {
       if (auto Twisted = malleateTxSignatures(Tx)) {
+        NetMetrics::get().Malleated.inc();
         send(From, Dest, std::nullopt, *Twisted, Now);
         continue;
       }
@@ -252,7 +288,9 @@ void LocalNetwork::broadcastTx(size_t From, const Transaction &Tx,
 }
 
 void LocalNetwork::addOrphan(NodeState &N, const Block &B) {
+  NetMetrics &NM = NetMetrics::get();
   N.Orphans.emplace(B.Header.Prev, OrphanEntry{B, NextOrphanSeq++});
+  NM.OrphanAdded.inc();
   // Bounded pool: evict oldest-first so a peer spamming orphans cannot
   // grow memory without limit.
   while (N.Orphans.size() > OrphanLimit) {
@@ -261,6 +299,7 @@ void LocalNetwork::addOrphan(NodeState &N, const Block &B) {
       if (It->second.Seq < Oldest->second.Seq)
         Oldest = It;
     N.Orphans.erase(Oldest);
+    NM.OrphanEvicted.inc();
   }
 }
 
@@ -285,6 +324,7 @@ void LocalNetwork::acceptBlock(size_t Node, size_t From, const Block &B,
     // Invalid relay: penalize the sending peer; do not relay. At 100
     // points the peer is banned and its traffic dropped on arrival.
     N.BanScore[From] += 100;
+    NetMetrics::get().BanPenalized.inc();
     return;
   }
   N.SeenBlocks.insert(Hash);
@@ -322,8 +362,11 @@ void LocalNetwork::deliver(const Message &M) {
     return;
   if (Nodes[M.Dest]->Crashed)
     return;
-  if (isBanned(M.Dest, M.From))
+  if (isBanned(M.Dest, M.From)) {
+    NetMetrics::get().BanDropped.inc();
     return;
+  }
+  NetMetrics::get().Delivered.inc();
   if (M.Blk)
     acceptBlock(M.Dest, M.From, *M.Blk, M.Time);
   else if (M.Tx)

@@ -1,0 +1,143 @@
+//===- obs/export.cpp - JSON snapshot export ------------------------------===//
+
+#include "obs/export.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace typecoin {
+namespace obs {
+
+static Json histogramToJson(const HistogramData &H) {
+  Json Out = Json::object();
+  Json Bounds = Json::array();
+  for (uint64_t B : H.UpperBounds)
+    Bounds.push(Json(B));
+  Json Counts = Json::array();
+  for (uint64_t C : H.BucketCounts)
+    Counts.push(Json(C));
+  Out.set("bounds", std::move(Bounds));
+  Out.set("counts", std::move(Counts));
+  Out.set("count", Json(H.Count));
+  Out.set("sum", Json(H.Sum));
+  Out.set("max", Json(H.Max));
+  return Out;
+}
+
+Json snapshotToJson(const Snapshot &S) {
+  Json Out = Json::object();
+  Json Counters = Json::object();
+  for (const auto &[Name, V] : S.Counters)
+    Counters.set(Name, Json(V));
+  Json Gauges = Json::object();
+  for (const auto &[Name, V] : S.Gauges)
+    Gauges.set(Name, Json(V));
+  Json Histograms = Json::object();
+  for (const auto &[Name, H] : S.Histograms)
+    Histograms.set(Name, histogramToJson(H));
+  Out.set("counters", std::move(Counters));
+  Out.set("gauges", std::move(Gauges));
+  Out.set("histograms", std::move(Histograms));
+  return Out;
+}
+
+Json exportJson(const Snapshot &S, const std::vector<TraceEvent> &Trace,
+                uint64_t TraceDropped) {
+  Json Out = Json::object();
+  Out.set("schema", Json("typecoin-obs/1"));
+  Out.set("metrics", snapshotToJson(S));
+  if (!Trace.empty() || TraceDropped > 0) {
+    Json T = Json::object();
+    T.set("dropped", Json(TraceDropped));
+    Json Events = Json::array();
+    for (const TraceEvent &E : Trace) {
+      Json J = Json::object();
+      J.set("seq", Json(E.Seq));
+      J.set("name", Json(E.Name));
+      J.set("depth", Json(static_cast<int64_t>(E.Depth)));
+      J.set("start_ns", Json(E.StartNs));
+      J.set("dur_ns", Json(E.DurNs));
+      Events.push(std::move(J));
+    }
+    T.set("events", std::move(Events));
+    Out.set("trace", std::move(T));
+  }
+  return Out;
+}
+
+Json currentExportJson() {
+  return exportJson(Registry::instance().snapshot(),
+                    TraceBuffer::instance().events(),
+                    TraceBuffer::instance().dropped());
+}
+
+Status writeSnapshotFile(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return makeError("obs: cannot open " + Path + " for writing");
+  Out << currentExportJson().dump(2) << "\n";
+  if (!Out)
+    return makeError("obs: write to " + Path + " failed");
+  return Status::success();
+}
+
+Result<Snapshot> readSnapshotJson(const Json &Doc) {
+  const Json *Metrics = Doc.get("metrics");
+  if (!Metrics)
+    Metrics = &Doc; // Bare snapshot.
+  if (!Metrics->isObject())
+    return makeError("obs: snapshot is not a JSON object");
+  Snapshot Out;
+  if (const Json *Counters = Metrics->get("counters"))
+    for (const auto &[Name, V] : Counters->members())
+      Out.Counters[Name] = V.asUint();
+  if (const Json *Gauges = Metrics->get("gauges"))
+    for (const auto &[Name, V] : Gauges->members())
+      Out.Gauges[Name] = V.asInt();
+  if (const Json *Histograms = Metrics->get("histograms"))
+    for (const auto &[Name, H] : Histograms->members()) {
+      HistogramData D;
+      if (const Json *Bounds = H.get("bounds"))
+        for (const Json &B : Bounds->items())
+          D.UpperBounds.push_back(B.asUint());
+      if (const Json *Counts = H.get("counts"))
+        for (const Json &C : Counts->items())
+          D.BucketCounts.push_back(C.asUint());
+      if (const Json *Count = H.get("count"))
+        D.Count = Count->asUint();
+      if (const Json *Sum = H.get("sum"))
+        D.Sum = Sum->asUint();
+      if (const Json *Max = H.get("max"))
+        D.Max = Max->asUint();
+      Out.Histograms[Name] = std::move(D);
+    }
+  return Out;
+}
+
+namespace {
+std::string &exportPath() {
+  static std::string Path;
+  return Path;
+}
+
+extern "C" void typecoinObsAtExitExport() {
+  const std::string &Path = exportPath();
+  if (Path.empty())
+    return;
+  // Exit-path best effort: a failed write cannot be reported upward.
+  (void)writeSnapshotFile(Path);
+}
+} // namespace
+
+void maybeAttachEnvExporter(Registry &R) {
+  const char *Env = std::getenv("TYPECOIN_OBS_EXPORT");
+  if (!Env || !*Env)
+    return;
+  exportPath() = Env;
+  R.enableTiming(true);
+  TraceBuffer::instance().setEnabled(true);
+  std::atexit(typecoinObsAtExitExport);
+}
+
+} // namespace obs
+} // namespace typecoin

@@ -1,0 +1,55 @@
+//===- obs/export.h - JSON snapshot export ----------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turning the metrics registry and the trace ring into a JSON document
+/// (the `obs` snapshot format, schema `typecoin-obs/1`), plus the
+/// environment-attached exporter: when `TYPECOIN_OBS_EXPORT=<path>` is
+/// set, any binary linking obs enables timing + tracing and writes a
+/// snapshot to `<path>` at process exit. This is how tools/benchrunner
+/// harvests per-benchmark observability data without IPC, and how a
+/// node run can be inspected with tools/tcstat after the fact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_OBS_EXPORT_H
+#define TYPECOIN_OBS_EXPORT_H
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace typecoin {
+namespace obs {
+
+/// Serialize one metrics snapshot (no trace events).
+Json snapshotToJson(const Snapshot &S);
+
+/// The full export document: schema tag, metrics, and (when any were
+/// recorded) the trace ring.
+Json exportJson(const Snapshot &S, const std::vector<TraceEvent> &Trace,
+                uint64_t TraceDropped);
+
+/// Snapshot the live registry + trace buffer and serialize.
+Json currentExportJson();
+
+/// Write \ref currentExportJson to \p Path (pretty-printed).
+Status writeSnapshotFile(const std::string &Path);
+
+/// Parse a snapshot file's metrics back into a \ref Snapshot (the
+/// inverse of \ref snapshotToJson; trace events are not restored).
+/// Accepts either a bare snapshot or a full export document.
+Result<Snapshot> readSnapshotJson(const Json &Doc);
+
+/// If `TYPECOIN_OBS_EXPORT` names a file: enable timing and tracing on
+/// \p R and register an atexit hook writing the snapshot there. Called
+/// once from the registry constructor.
+void maybeAttachEnvExporter(Registry &R);
+
+} // namespace obs
+} // namespace typecoin
+
+#endif // TYPECOIN_OBS_EXPORT_H

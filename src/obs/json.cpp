@@ -1,0 +1,410 @@
+//===- obs/json.cpp - Minimal JSON reader/writer --------------------------===//
+
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace typecoin {
+namespace obs {
+
+double Json::number() const {
+  switch (K) {
+  case Kind::Int:
+    return static_cast<double>(IntV);
+  case Kind::Uint:
+    return static_cast<double>(UintV);
+  case Kind::Double:
+    return DoubleV;
+  default:
+    return 0;
+  }
+}
+
+uint64_t Json::asUint() const {
+  switch (K) {
+  case Kind::Int:
+    return IntV < 0 ? 0 : static_cast<uint64_t>(IntV);
+  case Kind::Uint:
+    return UintV;
+  case Kind::Double:
+    return DoubleV < 0 ? 0 : static_cast<uint64_t>(DoubleV);
+  default:
+    return 0;
+  }
+}
+
+int64_t Json::asInt() const {
+  switch (K) {
+  case Kind::Int:
+    return IntV;
+  case Kind::Uint:
+    return static_cast<int64_t>(UintV);
+  case Kind::Double:
+    return static_cast<int64_t>(DoubleV);
+  default:
+    return 0;
+  }
+}
+
+Json &Json::set(const std::string &Key, Json Value) {
+  K = Kind::Object;
+  for (auto &[Name, V] : ObjectV)
+    if (Name == Key) {
+      V = std::move(Value);
+      return V;
+    }
+  ObjectV.emplace_back(Key, std::move(Value));
+  return ObjectV.back().second;
+}
+
+const Json *Json::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : ObjectV)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+static void escapeString(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void Json::dumpTo(std::string &Out, int Indent, int Level) const {
+  auto Newline = [&](int L) {
+    if (Indent < 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * L, ' ');
+  };
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolV ? "true" : "false";
+    break;
+  case Kind::Int:
+    Out += std::to_string(IntV);
+    break;
+  case Kind::Uint:
+    Out += std::to_string(UintV);
+    break;
+  case Kind::Double: {
+    if (std::isfinite(DoubleV)) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", DoubleV);
+      Out += Buf;
+    } else {
+      Out += "0"; // JSON has no Inf/NaN; clamp rather than emit garbage.
+    }
+    break;
+  }
+  case Kind::String:
+    escapeString(StringV, Out);
+    break;
+  case Kind::Array: {
+    if (ArrayV.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I = 0; I < ArrayV.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Level + 1);
+      ArrayV[I].dumpTo(Out, Indent, Level + 1);
+    }
+    Newline(Level);
+    Out += ']';
+    break;
+  }
+  case Kind::Object: {
+    if (ObjectV.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    bool First = true;
+    for (const auto &[Name, V] : ObjectV) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Newline(Level + 1);
+      escapeString(Name, Out);
+      Out += Indent < 0 ? ":" : ": ";
+      V.dumpTo(Out, Indent, Level + 1);
+    }
+    Newline(Level);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string Json::dump(int Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : S(Text) {}
+
+  Result<Json> parseDocument() {
+    TC_UNWRAP(V, parseValue());
+    skipWs();
+    if (Pos != S.size())
+      return fail("trailing characters after JSON value");
+    return V;
+  }
+
+private:
+  Error fail(const std::string &Why) const {
+    return makeError("json: " + Why + " at offset " + std::to_string(Pos));
+  }
+
+  void skipWs() {
+    while (Pos < S.size() &&
+           (S[Pos] == ' ' || S[Pos] == '\t' || S[Pos] == '\n' ||
+            S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parseValue() {
+    skipWs();
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    char C = S[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      TC_UNWRAP(Str, parseString());
+      return Json(std::move(Str));
+    }
+    if (C == 't' || C == 'f')
+      return parseKeyword();
+    if (C == 'n') {
+      if (S.compare(Pos, 4, "null") == 0) {
+        Pos += 4;
+        return Json();
+      }
+      return fail("invalid keyword");
+    }
+    return parseNumber();
+  }
+
+  Result<Json> parseKeyword() {
+    if (S.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      return Json(true);
+    }
+    if (S.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      return Json(false);
+    }
+    return fail("invalid keyword");
+  }
+
+  Result<std::string> parseString() {
+    if (!consume('"'))
+      return fail("expected '\"'");
+    std::string Out;
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        break;
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = S[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code += static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code += static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code += static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("invalid \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are passed
+        // through as two separate 3-byte sequences; good enough for
+        // metric names and benchmark labels).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<Json> parseNumber() {
+    size_t Start = Pos;
+    (void)consume('-');
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    bool Integral = true;
+    if (Pos < S.size() && (S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E')) {
+      Integral = false;
+      while (Pos < S.size() &&
+             (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+              S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+              S[Pos] == '+' || S[Pos] == '-'))
+        ++Pos;
+    }
+    if (Pos == Start || (Pos == Start + 1 && S[Start] == '-'))
+      return fail("invalid number");
+    std::string Text = S.substr(Start, Pos - Start);
+    if (Integral) {
+      errno = 0;
+      if (Text[0] == '-') {
+        long long V = std::strtoll(Text.c_str(), nullptr, 10);
+        if (errno != ERANGE)
+          return Json(static_cast<int64_t>(V));
+      } else {
+        unsigned long long V = std::strtoull(Text.c_str(), nullptr, 10);
+        if (errno != ERANGE)
+          return Json(static_cast<uint64_t>(V));
+      }
+    }
+    return Json(std::strtod(Text.c_str(), nullptr));
+  }
+
+  Result<Json> parseArray() {
+    consume('[');
+    Json Out = Json::array();
+    skipWs();
+    if (consume(']'))
+      return Out;
+    while (true) {
+      TC_UNWRAP(V, parseValue());
+      Out.push(std::move(V));
+      skipWs();
+      if (consume(']'))
+        return Out;
+      if (!consume(','))
+        return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> parseObject() {
+    consume('{');
+    Json Out = Json::object();
+    skipWs();
+    if (consume('}'))
+      return Out;
+    while (true) {
+      skipWs();
+      TC_UNWRAP(Key, parseString());
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':'");
+      TC_UNWRAP(V, parseValue());
+      Out.set(Key, std::move(V));
+      skipWs();
+      if (consume('}'))
+        return Out;
+      if (!consume(','))
+        return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Result<Json> Json::parse(const std::string &Text) {
+  return Parser(Text).parseDocument();
+}
+
+} // namespace obs
+} // namespace typecoin

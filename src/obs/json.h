@@ -1,0 +1,111 @@
+//===- obs/json.h - Minimal JSON reader/writer ------------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON value with a recursive-descent parser
+/// and a deterministic writer — enough for the observability snapshot
+/// format, for benchrunner to ingest `--benchmark_out` files, and for
+/// tcstat to dump/diff snapshots. Integers that fit int64/uint64
+/// round-trip exactly (Google Benchmark emits large iteration counts);
+/// everything else is a double.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_OBS_JSON_H
+#define TYPECOIN_OBS_JSON_H
+
+#include "support/result.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace typecoin {
+namespace obs {
+
+class Json {
+public:
+  enum class Kind { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  Json(bool B) : K(Kind::Bool), BoolV(B) {}
+  Json(int64_t I) : K(Kind::Int), IntV(I) {}
+  Json(uint64_t U) : K(Kind::Uint), UintV(U) {}
+  Json(int I) : K(Kind::Int), IntV(I) {}
+  Json(double D) : K(Kind::Double), DoubleV(D) {}
+  Json(std::string S) : K(Kind::String), StringV(std::move(S)) {}
+  Json(const char *S) : K(Kind::String), StringV(S) {}
+
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isNumber() const {
+    return K == Kind::Int || K == Kind::Uint || K == Kind::Double;
+  }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolValue() const { return BoolV; }
+  /// Numeric value as double (lossy for > 2^53 integers).
+  double number() const;
+  /// Numeric value as uint64 (truncates doubles; 0 for negatives).
+  uint64_t asUint() const;
+  int64_t asInt() const;
+  const std::string &str() const { return StringV; }
+
+  // --- Array access ------------------------------------------------------
+  std::vector<Json> &items() { return ArrayV; }
+  const std::vector<Json> &items() const { return ArrayV; }
+  void push(Json J) { ArrayV.push_back(std::move(J)); }
+  size_t size() const {
+    return K == Kind::Array ? ArrayV.size() : ObjectV.size();
+  }
+
+  // --- Object access -----------------------------------------------------
+  /// Insert-or-assign; keeps first-insertion order for the writer.
+  Json &set(const std::string &Key, Json Value);
+  /// Member lookup; nullptr when missing or not an object.
+  const Json *get(const std::string &Key) const;
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return ObjectV;
+  }
+
+  // --- Serialization -----------------------------------------------------
+  /// Compact when Indent < 0, pretty-printed otherwise.
+  std::string dump(int Indent = 2) const;
+
+  /// Parse a complete JSON document (trailing garbage is an error).
+  static Result<Json> parse(const std::string &Text);
+
+private:
+  void dumpTo(std::string &Out, int Indent, int Level) const;
+
+  Kind K;
+  bool BoolV = false;
+  int64_t IntV = 0;
+  uint64_t UintV = 0;
+  double DoubleV = 0;
+  std::string StringV;
+  std::vector<Json> ArrayV;
+  std::vector<std::pair<std::string, Json>> ObjectV;
+};
+
+} // namespace obs
+} // namespace typecoin
+
+#endif // TYPECOIN_OBS_JSON_H

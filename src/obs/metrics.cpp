@@ -1,0 +1,162 @@
+//===- obs/metrics.cpp - Process-wide metrics registry --------------------===//
+
+#include "obs/metrics.h"
+
+#include "obs/export.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace typecoin {
+namespace obs {
+
+Histogram::Histogram(const std::vector<uint64_t> &UpperBounds) {
+  NumBounds = std::min(UpperBounds.size(), MaxBuckets);
+  for (size_t I = 0; I < NumBounds; ++I)
+    Bounds[I] = UpperBounds[I];
+}
+
+void Histogram::observe(uint64_t Sample) {
+  size_t I = 0;
+  while (I < NumBounds && Sample > Bounds[I])
+    ++I;
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  uint64_t Cur = Max.load(std::memory_order_relaxed);
+  while (Cur < Sample &&
+         !Max.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+}
+
+void Histogram::reset() {
+  for (size_t I = 0; I <= NumBounds; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<uint64_t> &defaultLatencyBucketsNs() {
+  // 1us .. ~8.6s, doubling: 1us, 2us, 4us, ... (14 bounds), then
+  // 32ms, 128ms, 512ms, 2s, 8.6s coarse tail.
+  static const std::vector<uint64_t> Buckets = [] {
+    std::vector<uint64_t> B;
+    for (uint64_t V = 1000; V <= 16 * 1000 * 1000; V *= 2) // 1us..16ms
+      B.push_back(V);
+    B.push_back(32u * 1000 * 1000);
+    B.push_back(128u * 1000 * 1000);
+    B.push_back(512u * 1000 * 1000);
+    B.push_back(2000u * 1000 * 1000);
+    B.push_back(8600ull * 1000 * 1000);
+    return B;
+  }();
+  return Buckets;
+}
+
+const std::vector<uint64_t> &defaultSizeBuckets() {
+  static const std::vector<uint64_t> Buckets = [] {
+    std::vector<uint64_t> B;
+    for (uint64_t V = 1; V <= 1024; V *= 2)
+      B.push_back(V);
+    return B;
+  }();
+  return Buckets;
+}
+
+uint64_t Snapshot::counter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+int64_t Snapshot::gauge(const std::string &Name) const {
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? 0 : It->second;
+}
+
+const HistogramData *Snapshot::histogram(const std::string &Name) const {
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? nullptr : &It->second;
+}
+
+Registry::Registry() {
+  // The environment-attached exporter: when TYPECOIN_OBS_EXPORT names a
+  // file, enable timing + tracing for the whole process and write a
+  // JSON snapshot at exit (this is how benchrunner collects per-bench
+  // obs data without any IPC). Registered from the registry constructor
+  // so any binary that touches a single metric gets it; binaries that
+  // never touch obs write nothing.
+  maybeAttachEnvExporter(*this);
+}
+
+Registry &Registry::instance() {
+  // Intentionally leaked: the env-attached exporter (export.h) runs as
+  // an atexit handler registered during this object's construction,
+  // which the language sequences *after* the object's destructor. A
+  // never-destroyed registry keeps that handler — and metric handles
+  // held by other static-duration objects — valid for the whole
+  // process. Still reachable through this pointer, so LeakSanitizer
+  // does not flag it.
+  static Registry *R = new Registry();
+  return *R;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters[Name];
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Gauges[Name];
+}
+
+Histogram &Registry::histogram(const std::string &Name,
+                               const std::vector<uint64_t> &UpperBounds) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.try_emplace(Name, UpperBounds).first;
+  return It->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Snapshot Out;
+  for (const auto &[Name, C] : Counters)
+    Out.Counters[Name] = C.value();
+  for (const auto &[Name, G] : Gauges)
+    Out.Gauges[Name] = G.value();
+  for (const auto &[Name, H] : Histograms) {
+    HistogramData D;
+    for (size_t I = 0; I + 1 < H.bucketCount(); ++I)
+      D.UpperBounds.push_back(H.upperBound(I));
+    for (size_t I = 0; I < H.bucketCount(); ++I)
+      D.BucketCounts.push_back(H.bucketValue(I));
+    D.Count = H.count();
+    D.Sum = H.sum();
+    D.Max = H.max();
+    Out.Histograms[Name] = std::move(D);
+  }
+  return Out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters)
+    C.reset();
+  for (auto &[Name, G] : Gauges)
+    G.reset();
+  for (auto &[Name, H] : Histograms)
+    H.reset();
+}
+
+uint64_t monotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace obs
+} // namespace typecoin

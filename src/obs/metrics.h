@@ -1,0 +1,224 @@
+//===- obs/metrics.h - Process-wide metrics registry ------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of cheap, always-compiled-in metrics:
+///
+///  * \ref Counter — monotonically increasing, relaxed-atomic adds;
+///  * \ref Gauge — last-value / running-sum / running-max, atomic;
+///  * \ref Histogram — fixed upper-bound buckets with atomic counts,
+///    plus sum/count/max for mean and tail estimates.
+///
+/// Instrumentation sites pay one registry lookup *ever* via the
+/// function-local-static idiom:
+///
+///   static obs::Counter &Accepted = obs::counter("mempool.accept.ok");
+///   Accepted.inc();
+///
+/// after which an increment is a single relaxed atomic add — safe under
+/// the threaded sanitizer builds and cheap enough for the hottest
+/// paths. Wall-clock timing (\ref ScopedTimer, obs/trace.h spans) is
+/// additionally gated on \ref timingEnabled so that, with no exporter
+/// attached, instrumented code never reads a clock.
+///
+/// Metric naming scheme (see DESIGN.md "Observability"):
+/// dot-separated `<subsystem>.<event>[.<detail>]`, histograms named for
+/// their unit suffix (`_ns` for nanosecond latencies, `depth` / plain
+/// for dimensionless sizes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_OBS_METRICS_H
+#define TYPECOIN_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace typecoin {
+namespace obs {
+
+/// A monotonically increasing event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A point-in-time signed value (sizes, depths, high-water marks).
+class Gauge {
+public:
+  void set(int64_t X) { V.store(X, std::memory_order_relaxed); }
+  void add(int64_t X) { V.fetch_add(X, std::memory_order_relaxed); }
+  /// Raise the gauge to \p X if it is below it (high-water mark).
+  void recordMax(int64_t X) {
+    int64_t Cur = V.load(std::memory_order_relaxed);
+    while (Cur < X &&
+           !V.compare_exchange_weak(Cur, X, std::memory_order_relaxed))
+      ;
+  }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// A fixed-bucket histogram: samples land in the first bucket whose
+/// upper bound is >= the sample; an implicit overflow bucket catches
+/// the rest. Bounds are fixed at registration, so observation is one
+/// linear scan over at most \ref MaxBuckets bounds plus three relaxed
+/// atomic adds — no allocation, no locking.
+class Histogram {
+public:
+  static constexpr size_t MaxBuckets = 24; ///< excluding overflow
+
+  /// \p UpperBounds must be sorted ascending; at most MaxBuckets entries
+  /// (extras are dropped).
+  explicit Histogram(const std::vector<uint64_t> &UpperBounds);
+
+  void observe(uint64_t Sample);
+
+  size_t bucketCount() const { return NumBounds + 1; } ///< incl. overflow
+  uint64_t upperBound(size_t I) const { return Bounds[I]; } ///< I < NumBounds
+  uint64_t bucketValue(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  void reset();
+
+private:
+  size_t NumBounds = 0;
+  std::array<uint64_t, MaxBuckets> Bounds{};
+  std::array<std::atomic<uint64_t>, MaxBuckets + 1> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// Exponential nanosecond buckets, 1us .. ~8.6s — the default for every
+/// `*_ns` latency histogram (documented in DESIGN.md).
+const std::vector<uint64_t> &defaultLatencyBucketsNs();
+
+/// Small power-of-two buckets, 1 .. 1024 — for counts, sizes and depths.
+const std::vector<uint64_t> &defaultSizeBuckets();
+
+/// Point-in-time copy of one histogram, for snapshots.
+struct HistogramData {
+  std::vector<uint64_t> UpperBounds; ///< excludes the overflow bucket
+  std::vector<uint64_t> BucketCounts; ///< one longer than UpperBounds
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Max = 0;
+};
+
+/// An isolated point-in-time copy of every registered metric: later
+/// updates to the registry never alter a snapshot already taken.
+struct Snapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, int64_t> Gauges;
+  std::map<std::string, HistogramData> Histograms;
+
+  /// Convenience lookups returning 0 / empty for unknown names.
+  uint64_t counter(const std::string &Name) const;
+  int64_t gauge(const std::string &Name) const;
+  const HistogramData *histogram(const std::string &Name) const;
+};
+
+/// The process-wide registry. Metric objects live as long as the
+/// process once created; references handed out are never invalidated
+/// (node-based storage), which is what makes the function-local-static
+/// caching idiom sound.
+class Registry {
+public:
+  static Registry &instance();
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  /// Registers under the given bounds on first use; later calls return
+  /// the existing histogram regardless of \p UpperBounds.
+  Histogram &histogram(const std::string &Name,
+                       const std::vector<uint64_t> &UpperBounds);
+
+  Snapshot snapshot() const;
+
+  /// Zero every registered metric (handles stay valid). Test/tool use.
+  void reset();
+
+  /// Is wall-clock timing (ScopedTimer, trace spans) live? Off by
+  /// default; attaching an exporter — or a test — turns it on.
+  bool timingEnabled() const {
+    return Timing.load(std::memory_order_relaxed);
+  }
+  void enableTiming(bool On) {
+    Timing.store(On, std::memory_order_relaxed);
+  }
+
+private:
+  Registry();
+
+  mutable std::mutex Mu;
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+  std::atomic<bool> Timing{false};
+};
+
+// --- Free-function sugar for instrumentation sites ----------------------
+
+inline Counter &counter(const std::string &Name) {
+  return Registry::instance().counter(Name);
+}
+inline Gauge &gauge(const std::string &Name) {
+  return Registry::instance().gauge(Name);
+}
+inline Histogram &
+latencyHistogram(const std::string &Name) {
+  return Registry::instance().histogram(Name, defaultLatencyBucketsNs());
+}
+inline Histogram &sizeHistogram(const std::string &Name) {
+  return Registry::instance().histogram(Name, defaultSizeBuckets());
+}
+inline bool timingEnabled() {
+  return Registry::instance().timingEnabled();
+}
+
+/// Monotonic nanoseconds (steady clock).
+uint64_t monotonicNowNs();
+
+/// RAII latency probe: observes the elapsed nanoseconds into \p H at
+/// scope exit. A no-op (no clock read) unless timing is enabled.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Histogram &H)
+      : H(H), Active(timingEnabled()), StartNs(Active ? monotonicNowNs() : 0) {}
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+  ~ScopedTimer() {
+    if (Active)
+      H.observe(monotonicNowNs() - StartNs);
+  }
+
+private:
+  Histogram &H;
+  bool Active;
+  uint64_t StartNs;
+};
+
+} // namespace obs
+} // namespace typecoin
+
+#endif // TYPECOIN_OBS_METRICS_H

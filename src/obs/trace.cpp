@@ -1,0 +1,92 @@
+//===- obs/trace.cpp - Scoped-span tracing into a bounded ring ------------===//
+
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace typecoin {
+namespace obs {
+
+TraceBuffer &TraceBuffer::instance() {
+  // Intentionally leaked, for the same exit-ordering reason as
+  // Registry::instance(): the atexit exporter must be able to drain the
+  // ring after every other static is gone.
+  static TraceBuffer *B = new TraceBuffer();
+  return *B;
+}
+
+size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Capacity;
+}
+
+void TraceBuffer::setCapacity(size_t N) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Capacity = N == 0 ? 1 : N;
+  while (Ring.size() > Capacity) {
+    Ring.pop_front();
+    ++Dropped;
+  }
+}
+
+void TraceBuffer::record(std::string Name, int Depth, uint64_t StartNs,
+                         uint64_t DurNs) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TraceEvent E;
+  E.Seq = NextSeq++;
+  E.Name = std::move(Name);
+  E.Depth = Depth;
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  Ring.push_back(std::move(E));
+  while (Ring.size() > Capacity) {
+    Ring.pop_front();
+    ++Dropped;
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return std::vector<TraceEvent>(Ring.begin(), Ring.end());
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Ring.size();
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring.clear();
+  NextSeq = 0;
+  Dropped = 0;
+}
+
+namespace {
+/// Per-thread nesting depth of open spans.
+thread_local int OpenDepth = 0;
+} // namespace
+
+Span::Span(const char *Name)
+    : Name(Name), Active(TraceBuffer::instance().enabled()) {
+  if (!Active)
+    return;
+  Depth = OpenDepth++;
+  StartNs = monotonicNowNs();
+}
+
+Span::~Span() {
+  if (!Active)
+    return;
+  --OpenDepth;
+  TraceBuffer::instance().record(Name, Depth, StartNs,
+                                 monotonicNowNs() - StartNs);
+}
+
+} // namespace obs
+} // namespace typecoin

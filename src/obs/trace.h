@@ -1,0 +1,107 @@
+//===- obs/trace.h - Scoped-span tracing into a bounded ring ----*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight tracing facility: \ref Span is an RAII scoped timer
+/// that, when tracing is enabled, records a \ref TraceEvent into a
+/// bounded in-memory ring buffer at scope exit. Events carry a
+/// process-wide completion sequence number and the span's nesting depth
+/// at open time, so tests (and the replay workflow, per the
+/// support/replay convention) can assert a *deterministic event order*
+/// — the sequence — independent of wall-clock jitter: within one
+/// thread, a child span always completes (and is therefore sequenced)
+/// before its parent.
+///
+/// When tracing is disabled (the default), constructing a Span costs
+/// one relaxed atomic load and nothing else — no clock read, no lock,
+/// no allocation — so instrumented hot paths are unchanged for the
+/// tier-1 suite and the chaos soak.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_OBS_TRACE_H
+#define TYPECOIN_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace typecoin {
+namespace obs {
+
+/// One completed span.
+struct TraceEvent {
+  uint64_t Seq = 0;     ///< Completion order, process-wide, gap-free.
+  std::string Name;     ///< The span's label (e.g. "checker.proof").
+  int Depth = 0;        ///< Nesting depth at open time (0 = top level).
+  uint64_t StartNs = 0; ///< Monotonic open time.
+  uint64_t DurNs = 0;   ///< Wall time between open and close.
+};
+
+/// The process-wide bounded ring of completed spans. Oldest events are
+/// evicted first once \ref capacity is exceeded; \ref dropped counts
+/// the evictions so an exporter can tell a quiet run from a saturated
+/// one.
+class TraceBuffer {
+public:
+  static TraceBuffer &instance();
+
+  /// Tracing master switch; off by default.
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+  void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+
+  size_t capacity() const;
+  /// Resize the ring (evicting oldest events if shrinking).
+  void setCapacity(size_t N);
+
+  void record(std::string Name, int Depth, uint64_t StartNs,
+              uint64_t DurNs);
+
+  /// Events currently buffered, oldest first (ascending Seq).
+  std::vector<TraceEvent> events() const;
+  size_t size() const;
+  uint64_t dropped() const;
+
+  /// Forget everything and restart the sequence from 0 — the
+  /// replay-friendly reset a test performs before a scenario.
+  void clear();
+
+private:
+  TraceBuffer() = default;
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mu;
+  std::deque<TraceEvent> Ring;
+  size_t Capacity = 4096;
+  uint64_t NextSeq = 0;
+  uint64_t Dropped = 0;
+};
+
+/// RAII scoped span. Opening and closing is a no-op unless
+/// TraceBuffer::instance().enabled().
+class Span {
+public:
+  explicit Span(const char *Name);
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  ~Span();
+
+private:
+  const char *Name;
+  bool Active;
+  int Depth = 0;
+  uint64_t StartNs = 0;
+};
+
+} // namespace obs
+} // namespace typecoin
+
+#endif // TYPECOIN_OBS_TRACE_H

@@ -3,9 +3,30 @@
 #include "services/batchserver.h"
 
 #include "analysis/lint.h"
+#include "obs/metrics.h"
 
 namespace typecoin {
 namespace services {
+
+/// Obs probes for the batch server: ledger/deferred-queue sizes as
+/// gauges, write-through outcomes as counters, and submission (flush)
+/// latency as a histogram.
+namespace {
+struct BatchMetrics {
+  obs::Gauge &LedgerSize = obs::gauge("batch.ledger.size");
+  obs::Gauge &DeferredSize = obs::gauge("batch.deferred.size");
+  obs::Counter &WriteOk = obs::counter("batch.writethrough.ok");
+  obs::Counter &WriteDeferred = obs::counter("batch.writethrough.deferred");
+  obs::Counter &WriteRejected = obs::counter("batch.writethrough.rejected");
+  obs::Counter &RetryFlushed = obs::counter("batch.retry.flushed");
+  obs::Histogram &SubmitNs = obs::latencyHistogram("batch.submit_ns");
+
+  static BatchMetrics &get() {
+    static BatchMetrics M;
+    return M;
+  }
+};
+} // namespace
 
 Status BatchServer::registerDeposit(const std::string &Txid, uint32_t Index,
                                     const crypto::KeyId &Owner) {
@@ -41,6 +62,7 @@ Status BatchServer::registerDeposit(const std::string &Txid, uint32_t Index,
   E.Amount = Amount.value_or(0);
   E.Owner = Owner;
   Ledger[{Txid, Index}] = std::move(E);
+  BatchMetrics::get().LedgerSize.set(static_cast<int64_t>(Ledger.size()));
   return Status::success();
 }
 
@@ -110,6 +132,7 @@ BatchServer::withdraw(const std::string &Txid, uint32_t Index,
   TC_TRY(Node.submitPair(P));
   ++OnChainTxs;
   Ledger.erase(It);
+  BatchMetrics::get().LedgerSize.set(static_cast<int64_t>(Ledger.size()));
   return tc::txidHex(P.Btc);
 }
 
@@ -124,6 +147,7 @@ static double deferredBackoff(const tc::RetryPolicy &Retry, int Attempts) {
 }
 
 Result<std::string> BatchServer::trySubmit(const tc::Transaction &T) {
+  obs::ScopedTimer Timer(BatchMetrics::get().SubmitNs);
   TC_UNWRAP(P, tc::buildPair(T, ServerWallet, Node.chain()));
   TC_TRY(Node.submitPair(P));
   ++OnChainTxs;
@@ -132,13 +156,19 @@ Result<std::string> BatchServer::trySubmit(const tc::Transaction &T) {
 
 Result<std::string>
 BatchServer::recordWriteThrough(const tc::Transaction &T) {
+  BatchMetrics &M = BatchMetrics::get();
   // Lint before paying the cost of building and signing the Bitcoin
   // carrier; a transaction the node would reject never leaves here, and
   // a lint rejection is permanent — it is not worth deferring.
-  TC_TRY(analysis::lintGate(T));
+  if (auto S = analysis::lintGate(T); !S) {
+    M.WriteRejected.inc();
+    return S.takeError();
+  }
   auto Txid = trySubmit(T);
-  if (Txid)
+  if (Txid) {
+    M.WriteOk.inc();
     return Txid;
+  }
   // Transient failure (funding races, mempool conflicts a reorg will
   // clear): keep the obligation and retry later. Section 5 requires
   // these transactions to reach the blockchain; dropping one silently
@@ -149,10 +179,13 @@ BatchServer::recordWriteThrough(const tc::Transaction &T) {
   D.NextRetryTime = static_cast<double>(Node.chain().tipTime()) +
                     deferredBackoff(Retry, 1);
   Deferred.push_back(std::move(D));
+  M.WriteDeferred.inc();
+  M.DeferredSize.set(static_cast<int64_t>(Deferred.size()));
   return Txid.takeError().withContext("batch: write-through deferred");
 }
 
 size_t BatchServer::retryPending(double Now) {
+  BatchMetrics &M = BatchMetrics::get();
   size_t Succeeded = 0;
   for (auto It = Deferred.begin(); It != Deferred.end();) {
     if (Now < It->NextRetryTime || It->Attempts >= Retry.MaxAttempts) {
@@ -168,6 +201,8 @@ size_t BatchServer::retryPending(double Now) {
     It->NextRetryTime = Now + deferredBackoff(Retry, It->Attempts);
     ++It;
   }
+  M.RetryFlushed.inc(Succeeded);
+  M.DeferredSize.set(static_cast<int64_t>(Deferred.size()));
   return Succeeded;
 }
 

@@ -2,6 +2,8 @@
 
 #include "services/escrow.h"
 
+#include "obs/metrics.h"
+
 namespace typecoin {
 namespace services {
 
@@ -12,16 +14,31 @@ Result<Bytes> EscrowAgent::signIfValid(const tc::Pair &Filled,
   // A stale view (e.g. the agent sat on the wrong side of a partition)
   // cannot supply trustworthy `spent`/`before` evidence; refuse rather
   // than attest against it.
+  static obs::Counter &SignOk = obs::counter("escrow.sign.ok");
+  static obs::Counter &RefusedStale =
+      obs::counter("escrow.sign.refused.stale");
+  static obs::Counter &RefusedInvalid =
+      obs::counter("escrow.sign.refused.invalid");
   if (StalenessHorizon > 0 && Now) {
     double TipAge = *Now - static_cast<double>(Node.chain().tipTime());
-    if (TipAge > StalenessHorizon)
+    if (TipAge > StalenessHorizon) {
+      RefusedStale.inc();
       return makeError("escrow: chain tip is " +
                        std::to_string(static_cast<long long>(TipAge)) +
                        "s old, beyond the staleness horizon of " +
                        std::to_string(
                            static_cast<long long>(StalenessHorizon)) +
                        "s; refusing to sign");
+    }
   }
+  // Every remaining early return is a policy refusal; count it on the
+  // way out unless the signature was actually produced.
+  struct RefusalGuard {
+    obs::Counter &Ok;
+    obs::Counter &Refused;
+    bool Signed = false;
+    ~RefusalGuard() { (Signed ? Ok : Refused).inc(); }
+  } Guard{SignOk, RefusedInvalid};
 
   // Policy: the instance must correspond to its carrier and typecheck
   // against the current chain state.
@@ -41,6 +58,7 @@ Result<Bytes> EscrowAgent::signIfValid(const tc::Pair &Filled,
                                          bitcoin::SIGHASH_ALL));
   Bytes Sig = Key.sign(Hash).toDER();
   Sig.push_back(bitcoin::SIGHASH_ALL);
+  Guard.Signed = true;
   return Sig;
 }
 

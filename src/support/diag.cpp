@@ -1,0 +1,17 @@
+//===- support/diag.cpp - Diagnostic lines on stderr ----------------------===//
+
+#include "support/diag.h"
+
+#include <cstdio>
+
+namespace typecoin {
+
+void diagLine(const std::string &Channel, const std::string &Message) {
+  // One fputs per line keeps concurrent writers line-atomic in
+  // practice (POSIX stderr is unbuffered and fputs is a single write).
+  std::string Line = "[" + Channel + "] " + Message + "\n";
+  std::fputs(Line.c_str(), stderr);
+  std::fflush(stderr);
+}
+
+} // namespace typecoin

@@ -1,0 +1,33 @@
+//===- support/diag.h - Diagnostic lines on stderr --------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one funnel for human-facing diagnostic lines (chaos replay
+/// headers, obs/bench progress): every line goes to **stderr** — never
+/// interleaved with test assertions or a tool's machine-readable
+/// stdout — with the prefix-stable shape
+///
+///   [<channel>] <message>
+///
+/// so logs can be grepped by channel (`grep '^\[chaos\]'`) regardless
+/// of which binary emitted them. `ctest --output-on-failure` captures
+/// stderr, so replay headers still reach CI logs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_SUPPORT_DIAG_H
+#define TYPECOIN_SUPPORT_DIAG_H
+
+#include <string>
+
+namespace typecoin {
+
+/// Write `[<Channel>] <Message>\n` to stderr and flush.
+void diagLine(const std::string &Channel, const std::string &Message);
+
+} // namespace typecoin
+
+#endif // TYPECOIN_SUPPORT_DIAG_H

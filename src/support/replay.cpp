@@ -2,19 +2,25 @@
 
 #include "support/replay.h"
 
+#include "support/diag.h"
+
 #include <cstdlib>
 
 namespace typecoin {
 
 std::string chaosReplayHeader(const std::string &Scenario, uint64_t Seed,
                               const std::string &PlanDescription) {
-  std::string Out = "[chaos] scenario=" + Scenario +
-                    " seed=" + std::to_string(Seed);
+  std::string Out = "scenario=" + Scenario + " seed=" + std::to_string(Seed);
   if (!PlanDescription.empty())
     Out += " plan={" + PlanDescription + "}";
   Out += " replay: TYPECOIN_CHAOS_SEED=" + std::to_string(Seed) +
          " ctest -R chaos --output-on-failure";
   return Out;
+}
+
+void announceChaos(const std::string &Scenario, uint64_t Seed,
+                   const std::string &PlanDescription) {
+  diagLine("chaos", chaosReplayHeader(Scenario, Seed, PlanDescription));
 }
 
 std::vector<uint64_t> chaosSeeds(const std::vector<uint64_t> &Defaults) {

@@ -13,6 +13,10 @@
 ///
 ///   TYPECOIN_CHAOS_SEED=42 ctest -R chaos --output-on-failure
 ///
+/// Headers are emitted through support/diag.h — on stderr, with the
+/// grep-stable `[chaos]` prefix — so they never interleave with test
+/// output or a tool's machine-readable stdout.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TYPECOIN_SUPPORT_REPLAY_H
@@ -29,6 +33,11 @@ namespace typecoin {
 /// exact command to replay the run locally.
 std::string chaosReplayHeader(const std::string &Scenario, uint64_t Seed,
                               const std::string &PlanDescription);
+
+/// Emit the replay header for a scenario on the `[chaos]` diagnostic
+/// channel (stderr; see support/diag.h).
+void announceChaos(const std::string &Scenario, uint64_t Seed,
+                   const std::string &PlanDescription);
 
 /// The seeds a chaos suite should run. When `TYPECOIN_CHAOS_SEED` is set
 /// (a single seed or a comma-separated list) it overrides \p Defaults —

@@ -4,6 +4,8 @@
 
 #include "analysis/audit.h"
 #include "analysis/lint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include <algorithm>
 
@@ -111,26 +113,73 @@ double Node::backoffDelay(int Attempts) const {
   return std::min(Delay, Retry.MaxDelaySeconds);
 }
 
+/// Obs probes for the submission pipeline: one counter per gate outcome
+/// plus a latency histogram per stage, so `tcstat` can attribute
+/// submit-path time to lint vs correspondence vs the full check.
+namespace {
+struct SubmitMetrics {
+  obs::Counter &Accepted = obs::counter("node.submit.accepted");
+  obs::Counter &RejectedLint = obs::counter("node.submit.rejected.lint");
+  obs::Counter &RejectedCorrespondence =
+      obs::counter("node.submit.rejected.correspondence");
+  obs::Counter &RejectedPrecheck =
+      obs::counter("node.submit.rejected.precheck");
+  obs::Counter &RejectedMempool =
+      obs::counter("node.submit.rejected.mempool");
+  obs::Histogram &LintNs = obs::latencyHistogram("node.submit.lint_ns");
+  obs::Histogram &EmbedNs = obs::latencyHistogram("node.submit.embed_ns");
+  obs::Histogram &PrecheckNs =
+      obs::latencyHistogram("node.submit.precheck_ns");
+
+  static SubmitMetrics &get() {
+    static SubmitMetrics M;
+    return M;
+  }
+};
+} // namespace
+
 Status Node::submitPair(const Pair &P) {
+  SubmitMetrics &M = SubmitMetrics::get();
+  obs::Span Trace("node.submitPair");
   // Reject-early gate: a cheap structural lint (affine usage, script
   // standardness, embedding shape) before the full correspondence and
   // proof checks. Only findings the full pipeline is guaranteed to
   // reject — across the primary and every fallback — turn into errors.
-  analysis::LintOptions LintOpts;
-  LintOpts.RequireStandard = Pool.policy().RequireStandard;
-  TC_TRY(analysis::lintGate(P, LintOpts));
+  {
+    obs::ScopedTimer Timer(M.LintNs);
+    analysis::LintOptions LintOpts;
+    LintOpts.RequireStandard = Pool.policy().RequireStandard;
+    if (auto S = analysis::lintGate(P, LintOpts); !S) {
+      M.RejectedLint.inc();
+      return S;
+    }
+  }
 
-  TC_TRY(checkCorrespondence(P.Tc, P.Btc));
+  {
+    obs::ScopedTimer Timer(M.EmbedNs);
+    if (auto S = checkCorrespondence(P.Tc, P.Btc); !S) {
+      M.RejectedCorrespondence.inc();
+      return S;
+    }
+  }
   // Provisional Typecoin check against the present chain view; the
   // authoritative check happens at confirmation time.
   ChainOracle Oracle(Chain, Chain.tipTime());
-  if (auto R = TcState.checkTransaction(P.Tc, Oracle); !R) {
-    // A currently-invalid primary is still relayable when some fallback
-    // is valid (Section 5); otherwise reject early.
-    if (auto Sel = TcState.selectValid(P.Tc, Oracle); !Sel)
-      return R.takeError().withContext("typecoin pre-check");
+  {
+    obs::ScopedTimer Timer(M.PrecheckNs);
+    if (auto R = TcState.checkTransaction(P.Tc, Oracle); !R) {
+      // A currently-invalid primary is still relayable when some fallback
+      // is valid (Section 5); otherwise reject early.
+      if (auto Sel = TcState.selectValid(P.Tc, Oracle); !Sel) {
+        M.RejectedPrecheck.inc();
+        return R.takeError().withContext("typecoin pre-check");
+      }
+    }
   }
-  TC_TRY(Pool.acceptTransaction(P.Btc, Chain));
+  if (auto S = Pool.acceptTransaction(P.Btc, Chain); !S) {
+    M.RejectedMempool.inc();
+    return S;
+  }
 
   std::string Payload = payloadKey(P);
   Journal[Payload] = P;
@@ -142,6 +191,7 @@ Status Node::submitPair(const Pair &P) {
         static_cast<double>(Chain.tipTime()) + backoffDelay(1);
     Pending[Payload] = std::move(PC);
   }
+  M.Accepted.inc();
   return Status::success();
 }
 
@@ -177,6 +227,9 @@ Result<std::vector<std::string>> Node::syncRegistrations() {
     // gone, rebuild the whole Typecoin view from genesis against the
     // new best chain. Anything whose carrier fell out of the chain goes
     // back to pending for resubmission.
+    static obs::Counter &DeepReorgs = obs::counter("node.deep_reorg.count");
+    DeepReorgs.inc();
+    obs::Span Trace("node.replayChain");
     TC_UNWRAP(R, replayChain(Chain, Journal, RegistrationDepth));
     TcState = std::move(R.TcState);
     Registered = std::move(R.Registered);
@@ -238,11 +291,25 @@ Result<std::vector<std::string>> Node::submitBlock(const bitcoin::Block &B) {
   return Spoiled;
 }
 
-Status Node::recover() {
+Result<Node::RecoverStats> Node::recover() {
+  static obs::Counter &Runs = obs::counter("node.recover.runs");
+  static obs::Counter &RegisteredC = obs::counter("node.recover.registered");
+  static obs::Counter &RequeuedC = obs::counter("node.recover.requeued");
+  static obs::Counter &ReadmittedC =
+      obs::counter("node.recover.mempool_readmitted");
+  static obs::Histogram &RecoverNs =
+      obs::latencyHistogram("node.recover_ns");
+  Runs.inc();
+  obs::ScopedTimer Timer(RecoverNs);
+  obs::Span Trace("node.recover");
+
+  RecoverStats Stats;
+  Stats.JournalSize = Journal.size();
+
   // Volatile state is gone: the mempool, the pending queue, and every
   // in-memory Typecoin index. The chain (block store) and the pair
   // journal are the durable inputs; rebuild everything from them.
-  Pool.clear();
+  Stats.MempoolDropped = Pool.clear();
   Pending.clear();
   Registered.clear();
   TcState = State();
@@ -259,6 +326,7 @@ Status Node::recover() {
       LastScannedHash = *H;
     }
   }
+  Stats.Registered = Registered.size();
 
   // Unconfirmed journal entries go back into the mempool (best effort —
   // their inputs may have been spent while we were down) and the
@@ -266,18 +334,23 @@ Status Node::recover() {
   for (const auto &[Payload, P] : Journal) {
     if (Registered.count(Payload))
       continue;
-    (void)Pool.acceptTransaction(P.Btc, Chain);
+    if (Pool.acceptTransaction(P.Btc, Chain))
+      ++Stats.MempoolReadmitted;
     PendingCarrier PC;
     PC.P = P;
     PC.Attempts = 0;
     PC.NextRetryTime = 0;
     Pending[Payload] = std::move(PC);
+    ++Stats.Requeued;
   }
+  RegisteredC.inc(Stats.Registered);
+  RequeuedC.inc(Stats.Requeued);
+  ReadmittedC.inc(Stats.MempoolReadmitted);
 #ifdef TYPECOIN_AUDIT
   TC_TRY(analysis::auditMempool(Pool, Chain));
   TC_TRY(analysis::auditState(TcState));
 #endif
-  return Status::success();
+  return Stats;
 }
 
 size_t Node::tick(double Now) {
@@ -296,6 +369,10 @@ size_t Node::tick(double Now) {
     ++PC.Attempts;
     PC.NextRetryTime = Now + backoffDelay(PC.Attempts);
     ++Resubmitted;
+  }
+  if (Resubmitted) {
+    static obs::Counter &Resubmits = obs::counter("node.resubmit.count");
+    Resubmits.inc(Resubmitted);
   }
   return Resubmitted;
 }

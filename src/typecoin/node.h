@@ -152,11 +152,22 @@ public:
 
   // --- Crash / recovery -------------------------------------------------
 
+  /// What \ref recover rebuilt, so operators (and the `node.recover.*`
+  /// obs counters) can see exactly how much state a crash cost.
+  struct RecoverStats {
+    size_t JournalSize = 0;        ///< Durable pairs that survived.
+    size_t Registered = 0;         ///< Re-registered from the chain.
+    size_t Requeued = 0;           ///< Back in the resubmission queue.
+    size_t MempoolReadmitted = 0;  ///< Unconfirmed carriers re-admitted.
+    size_t MempoolDropped = 0;     ///< Pool entries lost in the crash.
+  };
+
   /// Recover after a crash that lost all volatile state (mempool,
   /// pending queue, Typecoin indices). Only the chain and the pair
   /// journal survive; everything else is rebuilt from them. Unconfirmed
   /// journal pairs re-enter the mempool and the resubmission queue.
-  Status recover();
+  /// Returns counts of everything rebuilt (mirrored on obs counters).
+  Result<RecoverStats> recover();
 
   // --- Resubmission queue -----------------------------------------------
 

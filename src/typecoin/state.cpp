@@ -3,27 +3,76 @@
 #include "typecoin/state.h"
 
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace typecoin {
 namespace tc {
 
 using logic::PropPtr;
 
+/// Per-rule obs probes for the `T ok` pipeline: one counter for checks,
+/// one for failures, one latency histogram per numbered rule of
+/// checkBody plus the end-to-end total. Looked up once per process.
+namespace {
+struct CheckerMetrics {
+  obs::Counter &Checks = obs::counter("checker.checks");
+  obs::Counter &Failures = obs::counter("checker.failures");
+  obs::Histogram &TotalNs = obs::latencyHistogram("checker.check_ns");
+  obs::Histogram &BasisNs = obs::latencyHistogram("checker.rule.basis_ns");
+  obs::Histogram &GrantNs = obs::latencyHistogram("checker.rule.grant_ns");
+  obs::Histogram &InputsNs = obs::latencyHistogram("checker.rule.inputs_ns");
+  obs::Histogram &OutputsNs =
+      obs::latencyHistogram("checker.rule.outputs_ns");
+  obs::Histogram &ProofNs = obs::latencyHistogram("checker.rule.proof_ns");
+  obs::Histogram &ConditionNs =
+      obs::latencyHistogram("checker.rule.condition_ns");
+
+  static CheckerMetrics &get() {
+    static CheckerMetrics M;
+    return M;
+  }
+};
+} // namespace
+
 Status State::checkBody(const Transaction &T,
                         const logic::CondOracle &Oracle,
                         logic::CondPtr &PhiOut) const {
+  CheckerMetrics &M = CheckerMetrics::get();
+  M.Checks.inc();
+  obs::ScopedTimer Total(M.TotalNs);
+  obs::Span Trace("checker.check");
+  // Count the failure on every early exit; rules below return through
+  // TC_TRY, so a scope guard is the only reliable funnel.
+  struct FailureGuard {
+    obs::Counter &Failures;
+    bool Disarmed = false;
+    ~FailureGuard() {
+      if (!Disarmed)
+        Failures.inc();
+    }
+  } Guard{M.Failures};
+
   // 1. Local basis: well-formed against the global basis, and fresh.
-  TC_TRY(T.LocalBasis.checkFormedAgainst(Global));
-  TC_TRY(T.LocalBasis.checkFresh());
+  {
+    obs::Span S("checker.basis");
+    obs::ScopedTimer Rule(M.BasisNs);
+    TC_TRY(T.LocalBasis.checkFormedAgainst(Global));
+    TC_TRY(T.LocalBasis.checkFresh());
+  }
 
   // Sigma_global, Sigma.
   logic::Basis Combined = Global;
   TC_TRY(Combined.append(T.LocalBasis));
 
   // 2. Affine grant: well-formed and fresh.
-  TC_TRY(logic::checkProp(Combined.lfSig(), {}, T.Grant));
-  if (auto S = logic::checkPropFresh(T.Grant); !S)
-    return S.takeError().withContext("grant");
+  {
+    obs::Span S("checker.grant");
+    obs::ScopedTimer Rule(M.GrantNs);
+    TC_TRY(logic::checkProp(Combined.lfSig(), {}, T.Grant));
+    if (auto S2 = logic::checkPropFresh(T.Grant); !S2)
+      return S2.takeError().withContext("grant");
+  }
 
   // 3. Every transaction must have at least one input (Section 2:
   // replayed transactions are invalid because "every transaction has at
@@ -33,71 +82,88 @@ Status State::checkBody(const Transaction &T,
 
   // 4. Inputs: claimed types are well-formed and agree with the types of
   // the outputs they spend; no duplicates.
-  std::set<std::pair<std::string, uint32_t>> Seen;
-  for (size_t I = 0; I < T.Inputs.size(); ++I) {
-    const Input &In = T.Inputs[I];
-    if (!Seen.insert({In.SourceTxid, In.SourceIndex}).second)
-      return makeError("typecoin: duplicate input " + In.SourceTxid +
-                       ":" + std::to_string(In.SourceIndex));
-    if (Consumed.count({In.SourceTxid, In.SourceIndex}))
-      return makeError("typecoin: input " + In.SourceTxid + ":" +
-                       std::to_string(In.SourceIndex) +
-                       " is already consumed");
-    TC_TRY(logic::checkProp(Combined.lfSig(), {}, In.Type));
-    PropPtr Expected = outputType(In.SourceTxid, In.SourceIndex);
-    if (!logic::propEqual(In.Type, Expected))
-      return makeError("typecoin: input " + std::to_string(I) +
-                       " claims type " + logic::printProp(In.Type) +
-                       " but the spent output has type " +
-                       logic::printProp(Expected));
-    auto KnownAmount = outputAmount(In.SourceTxid, In.SourceIndex);
-    if (KnownAmount && *KnownAmount != In.Amount)
-      return makeError("typecoin: input " + std::to_string(I) +
-                       " amount disagrees with the spent output");
+  {
+    obs::Span S("checker.inputs");
+    obs::ScopedTimer Rule(M.InputsNs);
+    std::set<std::pair<std::string, uint32_t>> Seen;
+    for (size_t I = 0; I < T.Inputs.size(); ++I) {
+      const Input &In = T.Inputs[I];
+      if (!Seen.insert({In.SourceTxid, In.SourceIndex}).second)
+        return makeError("typecoin: duplicate input " + In.SourceTxid +
+                         ":" + std::to_string(In.SourceIndex));
+      if (Consumed.count({In.SourceTxid, In.SourceIndex}))
+        return makeError("typecoin: input " + In.SourceTxid + ":" +
+                         std::to_string(In.SourceIndex) +
+                         " is already consumed");
+      TC_TRY(logic::checkProp(Combined.lfSig(), {}, In.Type));
+      PropPtr Expected = outputType(In.SourceTxid, In.SourceIndex);
+      if (!logic::propEqual(In.Type, Expected))
+        return makeError("typecoin: input " + std::to_string(I) +
+                         " claims type " + logic::printProp(In.Type) +
+                         " but the spent output has type " +
+                         logic::printProp(Expected));
+      auto KnownAmount = outputAmount(In.SourceTxid, In.SourceIndex);
+      if (KnownAmount && *KnownAmount != In.Amount)
+        return makeError("typecoin: input " + std::to_string(I) +
+                         " amount disagrees with the spent output");
+    }
   }
 
   // 5. Output types are well-formed.
-  for (size_t I = 0; I < T.Outputs.size(); ++I) {
-    const Output &Out = T.Outputs[I];
-    if (!Out.Owner.isValid())
-      return makeError("typecoin: output " + std::to_string(I) +
-                       " has an invalid owner key");
-    TC_TRY(logic::checkProp(Combined.lfSig(), {}, Out.Type));
+  {
+    obs::Span S("checker.outputs");
+    obs::ScopedTimer Rule(M.OutputsNs);
+    for (size_t I = 0; I < T.Outputs.size(); ++I) {
+      const Output &Out = T.Outputs[I];
+      if (!Out.Owner.isValid())
+        return makeError("typecoin: output " + std::to_string(I) +
+                         " has an invalid owner key");
+      TC_TRY(logic::checkProp(Combined.lfSig(), {}, Out.Type));
+    }
   }
 
   // 6. The proof obligation.
-  TxAffirmationVerifier Affirm(T);
-  logic::ProofChecker Checker(Combined, Affirm);
-  TC_UNWRAP(Proved, Checker.infer(T.Proof));
-  if (Proved->Kind != logic::Prop::Tag::Lolli)
-    return makeError("typecoin: proof term proves " +
-                     logic::printProp(Proved) +
-                     ", expected a lolli obligation");
-  PropPtr CAR = logic::pTensor(
-      T.Grant, logic::pTensor(T.inputTensor(), T.receiptTensor()));
-  if (!logic::propEqual(Proved->L, CAR))
-    return makeError("typecoin: proof consumes " +
-                     logic::printProp(Proved->L) + ", expected " +
-                     logic::printProp(CAR));
-
-  PropPtr B = T.outputTensor();
   logic::CondPtr Phi = logic::cTrue();
-  PropPtr Produced = Proved->R;
-  if (Produced->Kind == logic::Prop::Tag::If) {
-    Phi = Produced->Cond;
-    Produced = Produced->Body;
+  {
+    obs::Span S("checker.proof");
+    obs::ScopedTimer Rule(M.ProofNs);
+    TxAffirmationVerifier Affirm(T);
+    logic::ProofChecker Checker(Combined, Affirm);
+    TC_UNWRAP(Proved, Checker.infer(T.Proof));
+    if (Proved->Kind != logic::Prop::Tag::Lolli)
+      return makeError("typecoin: proof term proves " +
+                       logic::printProp(Proved) +
+                       ", expected a lolli obligation");
+    PropPtr CAR = logic::pTensor(
+        T.Grant, logic::pTensor(T.inputTensor(), T.receiptTensor()));
+    if (!logic::propEqual(Proved->L, CAR))
+      return makeError("typecoin: proof consumes " +
+                       logic::printProp(Proved->L) + ", expected " +
+                       logic::printProp(CAR));
+
+    PropPtr B = T.outputTensor();
+    PropPtr Produced = Proved->R;
+    if (Produced->Kind == logic::Prop::Tag::If) {
+      Phi = Produced->Cond;
+      Produced = Produced->Body;
+    }
+    if (!logic::propEqual(Produced, B))
+      return makeError("typecoin: proof produces " +
+                       logic::printProp(Produced) + ", expected " +
+                       logic::printProp(B));
   }
-  if (!logic::propEqual(Produced, B))
-    return makeError("typecoin: proof produces " +
-                     logic::printProp(Produced) + ", expected " +
-                     logic::printProp(B));
 
   // 7. The condition must hold now, with blockchain evidence.
-  TC_UNWRAP(Holds, logic::evalCond(Phi, Oracle));
-  if (!Holds)
-    return makeError("typecoin: condition " + logic::printCond(Phi) +
-                     " does not hold");
+  {
+    obs::Span S("checker.condition");
+    obs::ScopedTimer Rule(M.ConditionNs);
+    TC_UNWRAP(Holds, logic::evalCond(Phi, Oracle));
+    if (!Holds)
+      return makeError("typecoin: condition " + logic::printCond(Phi) +
+                       " does not hold");
+  }
   PhiOut = Phi;
+  Guard.Disarmed = true;
   return Status::success();
 }
 
@@ -148,6 +214,10 @@ Result<size_t> State::applyTransaction(const Transaction &T,
       return makeError("typecoin: input " + In.SourceTxid + ":" +
                        std::to_string(In.SourceIndex) +
                        " is already consumed");
+
+  static obs::Counter &RegisteredC = obs::counter("checker.registered");
+  static obs::Counter &SpoiledC = obs::counter("checker.spoiled");
+  (Effective ? RegisteredC : SpoiledC).inc();
 
   Entry E;
   E.T = ForInputs;

@@ -16,8 +16,6 @@
 
 #include <gtest/gtest.h>
 
-#include <iostream>
-
 namespace typecoin {
 namespace chaosutil {
 
@@ -112,12 +110,13 @@ inline Result<tc::Pair> buildGrantPair(Actor &Issuer, const char *Name,
   return tc::buildPair(T, Issuer.Wallet, Chain);
 }
 
-/// Announce the replay header for a scenario (to stdout, so a failing
+/// Announce the replay header for a scenario — on stderr via the
+/// `[chaos]` diagnostic channel (support/diag.h), so a failing
 /// `ctest --output-on-failure` log carries the exact reproduction
-/// command).
+/// command without interleaving with gtest's stdout.
 inline void announce(const std::string &Scenario, uint64_t Seed,
                      const std::string &Plan) {
-  std::cout << chaosReplayHeader(Scenario, Seed, Plan) << std::endl;
+  announceChaos(Scenario, Seed, Plan);
 }
 
 } // namespace chaosutil

@@ -17,8 +17,6 @@
 
 #include <gtest/gtest.h>
 
-#include <iostream>
-
 using namespace typecoin;
 using namespace typecoin::bitcoin;
 
@@ -62,8 +60,7 @@ TEST(ChaosFaults, SameSeedSameOutcome) {
   Plan.Drop = 0.2;
   Plan.Duplicate = 0.2;
   Plan.JitterSeconds = 900;
-  std::cout << chaosReplayHeader("determinism", 77, Plan.describe())
-            << std::endl;
+  announceChaos("determinism", 77, Plan.describe());
   auto A = runScenario(77, Plan);
   auto B = runScenario(77, Plan);
   ASSERT_EQ(A.size(), B.size());
@@ -75,8 +72,7 @@ TEST(ChaosFaults, LossyLinksConvergeAfterHeal) {
   LocalNetwork Net(testParams(), 4, 2.0, 5);
   FaultPlan Lossy;
   Lossy.Drop = 0.4;
-  std::cout << chaosReplayHeader("lossy-links", 5, Lossy.describe())
-            << std::endl;
+  announceChaos("lossy-links", 5, Lossy.describe());
   Net.setDefaultFault(Lossy);
   auto Miner = keyFromSeed(12);
   double Clock = 0;
@@ -171,9 +167,7 @@ TEST(ChaosFaults, InvalidBlockRelayGetsPeerBanned) {
   LocalNetwork Net(testParams(), 3, 2.0, 9);
   ByzantinePlan Byz;
   Byz.InvalidBlock = 1.0;
-  std::cout << chaosReplayHeader("byzantine-invalid-block", 9,
-                                 Byz.describe())
-            << std::endl;
+  announceChaos("byzantine-invalid-block", 9, Byz.describe());
   Net.setByzantine(2, Byz);
   auto Honest = keyFromSeed(16), Evil = keyFromSeed(17);
 

@@ -1,0 +1,150 @@
+//===- tests/obs/json_test.cpp - JSON reader/writer and export format -----===//
+//
+// The minimal JSON layer under the obs snapshot format: parse/dump
+// round trips (including exact 64-bit integers, which Google Benchmark
+// emits), deterministic member ordering, clean rejection of malformed
+// input, and the snapshot <-> JSON inverse pair from obs/export.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+
+namespace {
+
+TEST(ObsJson, ScalarRoundTrips) {
+  auto Doc = obs::Json::parse(
+      "{\"b\": true, \"n\": null, \"i\": -42, \"u\": 18446744073709551615, "
+      "\"d\": 1.5, \"s\": \"hi\"}");
+  ASSERT_TRUE(Doc.hasValue()) << Doc.error().message();
+  EXPECT_TRUE(Doc->get("b")->boolValue());
+  EXPECT_TRUE(Doc->get("n")->isNull());
+  EXPECT_EQ(Doc->get("i")->asInt(), -42);
+  // uint64 max survives exactly — it does not fit a double.
+  EXPECT_EQ(Doc->get("u")->asUint(), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(Doc->get("d")->number(), 1.5);
+  EXPECT_EQ(Doc->get("s")->str(), "hi");
+}
+
+TEST(ObsJson, DumpParseRoundTripPreservesStructure) {
+  obs::Json Doc = obs::Json::object();
+  Doc.set("zeta", obs::Json(uint64_t{1}));
+  Doc.set("alpha", obs::Json("first\ninserted \"wins\""));
+  obs::Json Arr = obs::Json::array();
+  Arr.push(obs::Json(int64_t{-7}));
+  Arr.push(obs::Json(false));
+  Arr.push(obs::Json::object());
+  Doc.set("arr", std::move(Arr));
+
+  for (int Indent : {-1, 0, 2}) {
+    auto Back = obs::Json::parse(Doc.dump(Indent));
+    ASSERT_TRUE(Back.hasValue())
+        << "indent " << Indent << ": " << Back.error().message();
+    // Insertion order survives the round trip (the writer is
+    // deterministic, so snapshots diff cleanly).
+    ASSERT_EQ(Back->members().size(), 3u);
+    EXPECT_EQ(Back->members()[0].first, "zeta");
+    EXPECT_EQ(Back->members()[1].first, "alpha");
+    EXPECT_EQ(Back->members()[1].second.str(), "first\ninserted \"wins\"");
+    const obs::Json *A = Back->get("arr");
+    ASSERT_NE(A, nullptr);
+    ASSERT_EQ(A->size(), 3u);
+    EXPECT_EQ(A->items()[0].asInt(), -7);
+    EXPECT_FALSE(A->items()[1].boolValue());
+    EXPECT_TRUE(A->items()[2].isObject());
+  }
+}
+
+TEST(ObsJson, SetIsInsertOrAssign) {
+  obs::Json Doc = obs::Json::object();
+  Doc.set("k", obs::Json(1));
+  Doc.set("k", obs::Json(2));
+  ASSERT_EQ(Doc.size(), 1u);
+  EXPECT_EQ(Doc.get("k")->asInt(), 2);
+}
+
+TEST(ObsJson, MalformedInputIsRejectedNotCrashed) {
+  for (const char *Bad :
+       {"", "{", "[1,", "{\"k\": }", "{\"k\": 1} trailing", "tru",
+        "\"unterminated", "{'single': 1}", "[1 2]", "nan"}) {
+    auto Doc = obs::Json::parse(Bad);
+    EXPECT_FALSE(Doc.hasValue()) << "accepted: " << Bad;
+  }
+}
+
+TEST(ObsJson, LookupsOnWrongKindsAreSafe) {
+  auto Doc = obs::Json::parse("[1, 2]");
+  ASSERT_TRUE(Doc.hasValue());
+  EXPECT_EQ(Doc->get("key"), nullptr); // Not an object: no members.
+  obs::Json Num(int64_t{3});
+  EXPECT_EQ(Num.get("key"), nullptr);
+}
+
+TEST(ObsJson, SnapshotSerializationRoundTrips) {
+  // Build a snapshot by hand and push it through the export writer and
+  // reader; readSnapshotJson must be the inverse of snapshotToJson.
+  obs::Snapshot S;
+  S.Counters["a.count"] = 7;
+  S.Gauges["a.gauge"] = -3;
+  obs::HistogramData H;
+  H.UpperBounds = {10, 100};
+  H.BucketCounts = {2, 1, 1};
+  H.Count = 4;
+  H.Sum = 150;
+  H.Max = 120;
+  S.Histograms["a.hist"] = H;
+
+  auto Back = obs::readSnapshotJson(obs::snapshotToJson(S));
+  ASSERT_TRUE(Back.hasValue()) << Back.error().message();
+  EXPECT_EQ(Back->counter("a.count"), 7u);
+  EXPECT_EQ(Back->gauge("a.gauge"), -3);
+  const obs::HistogramData *HB = Back->histogram("a.hist");
+  ASSERT_NE(HB, nullptr);
+  EXPECT_EQ(HB->UpperBounds, H.UpperBounds);
+  EXPECT_EQ(HB->BucketCounts, H.BucketCounts);
+  EXPECT_EQ(HB->Count, 4u);
+  EXPECT_EQ(HB->Sum, 150u);
+  EXPECT_EQ(HB->Max, 120u);
+}
+
+TEST(ObsJson, ExportDocumentCarriesSchemaAndTrace) {
+  obs::Snapshot S;
+  S.Counters["x"] = 1;
+  obs::TraceEvent E;
+  E.Seq = 0;
+  E.Name = "span.one";
+  E.Depth = 0;
+  E.StartNs = 10;
+  E.DurNs = 5;
+  obs::Json Doc = obs::exportJson(S, {E}, /*TraceDropped=*/2);
+
+  ASSERT_NE(Doc.get("schema"), nullptr);
+  EXPECT_EQ(Doc.get("schema")->str(), "typecoin-obs/1");
+  const obs::Json *Trace = Doc.get("trace");
+  ASSERT_NE(Trace, nullptr);
+  EXPECT_EQ(Trace->get("dropped")->asUint(), 2u);
+  ASSERT_EQ(Trace->get("events")->size(), 1u);
+  EXPECT_EQ(Trace->get("events")->items()[0].get("name")->str(), "span.one");
+
+  // readSnapshotJson accepts the full export document too.
+  auto Back = obs::readSnapshotJson(Doc);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(Back->counter("x"), 1u);
+
+  // With no trace data the section is omitted entirely.
+  obs::Json Quiet = obs::exportJson(S, {}, 0);
+  EXPECT_EQ(Quiet.get("trace"), nullptr);
+}
+
+TEST(ObsJson, StringEscapesSurviveDump) {
+  obs::Json Doc = obs::Json::object();
+  Doc.set("s", obs::Json(std::string("quote\" slash\\ tab\t nl\n \x01")));
+  auto Back = obs::Json::parse(Doc.dump(-1));
+  ASSERT_TRUE(Back.hasValue()) << Back.error().message();
+  EXPECT_EQ(Back->get("s")->str(), "quote\" slash\\ tab\t nl\n \x01");
+}
+
+} // namespace

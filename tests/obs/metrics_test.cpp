@@ -1,0 +1,189 @@
+//===- tests/obs/metrics_test.cpp - MetricsRegistry semantics -------------===//
+//
+// Counter/gauge/histogram semantics, bucket-boundary placement,
+// snapshot isolation, handle stability, and concurrent increments (the
+// TSan build runs this suite; a data race here fails CI).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace typecoin;
+
+namespace {
+
+// The registry is process-wide and shared across every test in this
+// binary; each test uses metric names unique to it and asserts on
+// deltas, never on absolute registry-wide state.
+
+TEST(ObsCounter, IncrementAndReset) {
+  obs::Counter &C = obs::counter("test.counter.basic");
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.inc(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(ObsCounter, SameNameSameObject) {
+  obs::Counter &A = obs::counter("test.counter.aliased");
+  obs::Counter &B = obs::counter("test.counter.aliased");
+  EXPECT_EQ(&A, &B);
+  A.inc();
+  EXPECT_EQ(B.value(), 1u);
+}
+
+TEST(ObsGauge, SetAddRecordMax) {
+  obs::Gauge &G = obs::gauge("test.gauge.basic");
+  G.set(10);
+  EXPECT_EQ(G.value(), 10);
+  G.add(-3);
+  EXPECT_EQ(G.value(), 7);
+  G.recordMax(5); // Below current: no effect.
+  EXPECT_EQ(G.value(), 7);
+  G.recordMax(19);
+  EXPECT_EQ(G.value(), 19);
+  G.set(-4); // set() is unconditional, unlike recordMax.
+  EXPECT_EQ(G.value(), -4);
+}
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+  obs::Histogram &H =
+      obs::Registry::instance().histogram("test.hist.bounds", {10, 100});
+  ASSERT_EQ(H.bucketCount(), 3u); // Two bounds + overflow.
+  H.observe(5);   // <= 10 -> bucket 0
+  H.observe(10);  // == 10 -> bucket 0 (bounds are inclusive)
+  H.observe(11);  // <= 100 -> bucket 1
+  H.observe(100); // bucket 1
+  H.observe(101); // overflow
+  EXPECT_EQ(H.bucketValue(0), 2u);
+  EXPECT_EQ(H.bucketValue(1), 2u);
+  EXPECT_EQ(H.bucketValue(2), 1u);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 5u + 10 + 11 + 100 + 101);
+  EXPECT_EQ(H.max(), 101u);
+}
+
+TEST(ObsHistogram, DefaultBucketVectorsAreSortedAndBounded) {
+  for (const auto *Buckets :
+       {&obs::defaultLatencyBucketsNs(), &obs::defaultSizeBuckets()}) {
+    ASSERT_FALSE(Buckets->empty());
+    ASSERT_LE(Buckets->size(), obs::Histogram::MaxBuckets);
+    for (size_t I = 1; I < Buckets->size(); ++I)
+      EXPECT_LT((*Buckets)[I - 1], (*Buckets)[I]);
+  }
+}
+
+TEST(ObsHistogram, FirstRegistrationFixesBounds) {
+  obs::Histogram &A =
+      obs::Registry::instance().histogram("test.hist.fixed", {7});
+  obs::Histogram &B =
+      obs::Registry::instance().histogram("test.hist.fixed", {1, 2, 3});
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(B.bucketCount(), 2u); // The first call's single bound won.
+}
+
+TEST(ObsSnapshot, IsolationFromLaterUpdates) {
+  obs::Counter &C = obs::counter("test.snapshot.isolated");
+  C.inc(3);
+  obs::Snapshot Before = obs::Registry::instance().snapshot();
+  uint64_t Seen = Before.counter("test.snapshot.isolated");
+  EXPECT_EQ(Seen, 3u);
+  C.inc(100);
+  // The snapshot is a point-in-time copy; the live registry moved on.
+  EXPECT_EQ(Before.counter("test.snapshot.isolated"), 3u);
+  obs::Snapshot After = obs::Registry::instance().snapshot();
+  EXPECT_EQ(After.counter("test.snapshot.isolated"), 103u);
+}
+
+TEST(ObsSnapshot, UnknownNamesReadAsZero) {
+  obs::Snapshot S = obs::Registry::instance().snapshot();
+  EXPECT_EQ(S.counter("test.no.such.counter"), 0u);
+  EXPECT_EQ(S.gauge("test.no.such.gauge"), 0);
+  EXPECT_EQ(S.histogram("test.no.such.histogram"), nullptr);
+}
+
+TEST(ObsSnapshot, HistogramDataIsComplete) {
+  obs::Histogram &H = obs::sizeHistogram("test.snapshot.hist");
+  H.observe(3);
+  H.observe(100000); // Overflow bucket.
+  obs::Snapshot S = obs::Registry::instance().snapshot();
+  const obs::HistogramData *D = S.histogram("test.snapshot.hist");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Count, 2u);
+  EXPECT_EQ(D->Max, 100000u);
+  EXPECT_EQ(D->BucketCounts.size(), D->UpperBounds.size() + 1);
+  uint64_t Total = 0;
+  for (uint64_t C : D->BucketCounts)
+    Total += C;
+  EXPECT_EQ(Total, D->Count);
+}
+
+TEST(ObsRegistry, HandlesSurviveRegistryGrowth) {
+  // References must stay valid as the registry's maps grow — this is
+  // what makes the function-local-static caching idiom sound.
+  obs::Counter &C = obs::counter("test.stability.anchor");
+  for (int I = 0; I < 200; ++I)
+    obs::counter("test.stability.filler." + std::to_string(I)).inc();
+  C.inc(7);
+  EXPECT_EQ(obs::counter("test.stability.anchor").value(), 7u);
+}
+
+TEST(ObsRegistry, ConcurrentIncrementsAreExact) {
+  obs::Counter &C = obs::counter("test.concurrent.counter");
+  obs::Histogram &H = obs::sizeHistogram("test.concurrent.hist");
+  constexpr int Threads = 4;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&C, &H, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        C.inc();
+        H.observe(static_cast<uint64_t>(T + 1));
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(H.count(), static_cast<uint64_t>(Threads) * PerThread);
+  // Sum of T+1 over all threads and iterations: (1+2+3+4) * PerThread.
+  EXPECT_EQ(H.sum(), static_cast<uint64_t>(1 + 2 + 3 + 4) * PerThread);
+}
+
+TEST(ObsScopedTimer, GatedOnTimingEnabled) {
+  bool Saved = obs::timingEnabled();
+  obs::Histogram &H = obs::latencyHistogram("test.timer.gated");
+
+  obs::Registry::instance().enableTiming(false);
+  { obs::ScopedTimer T(H); }
+  EXPECT_EQ(H.count(), 0u) << "timer observed while timing was disabled";
+
+  obs::Registry::instance().enableTiming(true);
+  { obs::ScopedTimer T(H); }
+  EXPECT_EQ(H.count(), 1u);
+
+  obs::Registry::instance().enableTiming(Saved);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsHandles) {
+  obs::Counter &C = obs::counter("test.reset.counter");
+  obs::Gauge &G = obs::gauge("test.reset.gauge");
+  obs::Histogram &H = obs::sizeHistogram("test.reset.hist");
+  C.inc(5);
+  G.set(9);
+  H.observe(2);
+  obs::Registry::instance().reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0);
+  EXPECT_EQ(H.count(), 0u);
+  C.inc(); // Handle still live after reset.
+  EXPECT_EQ(obs::counter("test.reset.counter").value(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/obs/trace_test.cpp - Span nesting and ring eviction ----------===//
+//
+// The tracing contract: spans record completion order as a gap-free
+// sequence (child before parent within a thread), carry their nesting
+// depth at open time, and the ring buffer evicts oldest-first with an
+// exact dropped count. Disabled tracing must record nothing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace typecoin;
+
+namespace {
+
+/// The trace buffer is process-wide; every test starts from a clean,
+/// enabled ring and restores the disabled default on exit.
+class ObsTrace : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::TraceBuffer &B = obs::TraceBuffer::instance();
+    B.clear();
+    B.setCapacity(4096);
+    B.setEnabled(true);
+  }
+  void TearDown() override {
+    obs::TraceBuffer &B = obs::TraceBuffer::instance();
+    B.setEnabled(false);
+    B.clear();
+  }
+};
+
+TEST_F(ObsTrace, DisabledSpansRecordNothing) {
+  obs::TraceBuffer::instance().setEnabled(false);
+  {
+    obs::Span S("trace.test.ghost");
+    obs::Span Inner("trace.test.ghost.inner");
+  }
+  EXPECT_EQ(obs::TraceBuffer::instance().size(), 0u);
+  EXPECT_EQ(obs::TraceBuffer::instance().dropped(), 0u);
+}
+
+TEST_F(ObsTrace, ChildCompletesBeforeParentAndDepthsNest) {
+  {
+    obs::Span Outer("trace.test.outer");
+    {
+      obs::Span Mid("trace.test.mid");
+      obs::Span Leaf("trace.test.leaf");
+    }
+  }
+  std::vector<obs::TraceEvent> Events = obs::TraceBuffer::instance().events();
+  ASSERT_EQ(Events.size(), 3u);
+  // Completion order is deterministic: innermost first. Seq is gap-free
+  // from 0 after a clear().
+  EXPECT_EQ(Events[0].Name, "trace.test.leaf");
+  EXPECT_EQ(Events[0].Seq, 0u);
+  EXPECT_EQ(Events[0].Depth, 2);
+  EXPECT_EQ(Events[1].Name, "trace.test.mid");
+  EXPECT_EQ(Events[1].Seq, 1u);
+  EXPECT_EQ(Events[1].Depth, 1);
+  EXPECT_EQ(Events[2].Name, "trace.test.outer");
+  EXPECT_EQ(Events[2].Seq, 2u);
+  EXPECT_EQ(Events[2].Depth, 0);
+  // A child's wall time is contained in its parent's.
+  EXPECT_GE(Events[2].StartNs, 0u);
+  EXPECT_LE(Events[1].StartNs, Events[0].StartNs);
+  EXPECT_GE(Events[2].DurNs, Events[1].DurNs);
+  EXPECT_GE(Events[1].DurNs, Events[0].DurNs);
+}
+
+TEST_F(ObsTrace, SiblingSpansSequenceInCompletionOrder) {
+  {
+    obs::Span A("trace.test.first");
+  }
+  {
+    obs::Span B("trace.test.second");
+  }
+  std::vector<obs::TraceEvent> Events = obs::TraceBuffer::instance().events();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Name, "trace.test.first");
+  EXPECT_EQ(Events[1].Name, "trace.test.second");
+  EXPECT_EQ(Events[0].Depth, 0);
+  EXPECT_EQ(Events[1].Depth, 0);
+  EXPECT_LT(Events[0].Seq, Events[1].Seq);
+}
+
+TEST_F(ObsTrace, RingEvictsOldestFirstAndCountsDrops) {
+  obs::TraceBuffer::instance().setCapacity(4);
+  for (int I = 0; I < 10; ++I) {
+    obs::Span S("trace.test.flood");
+  }
+  obs::TraceBuffer &B = obs::TraceBuffer::instance();
+  EXPECT_EQ(B.size(), 4u);
+  EXPECT_EQ(B.dropped(), 6u);
+  std::vector<obs::TraceEvent> Events = B.events();
+  ASSERT_EQ(Events.size(), 4u);
+  // Survivors are exactly the newest four, oldest first.
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].Seq, 6u + I);
+}
+
+TEST_F(ObsTrace, ShrinkingCapacityEvictsAndGrowingKeeps) {
+  for (int I = 0; I < 6; ++I) {
+    obs::Span S("trace.test.resize");
+  }
+  obs::TraceBuffer &B = obs::TraceBuffer::instance();
+  ASSERT_EQ(B.size(), 6u);
+  B.setCapacity(2);
+  EXPECT_EQ(B.size(), 2u);
+  EXPECT_EQ(B.dropped(), 4u);
+  std::vector<obs::TraceEvent> Events = B.events();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Seq, 4u);
+  EXPECT_EQ(Events[1].Seq, 5u);
+  B.setCapacity(100); // Growing never loses buffered events.
+  EXPECT_EQ(B.size(), 2u);
+}
+
+TEST_F(ObsTrace, ClearRestartsTheSequence) {
+  {
+    obs::Span S("trace.test.before");
+  }
+  obs::TraceBuffer &B = obs::TraceBuffer::instance();
+  ASSERT_EQ(B.events().back().Seq, 0u);
+  B.clear();
+  EXPECT_EQ(B.size(), 0u);
+  EXPECT_EQ(B.dropped(), 0u);
+  {
+    obs::Span S("trace.test.after");
+  }
+  std::vector<obs::TraceEvent> Events = B.events();
+  ASSERT_EQ(Events.size(), 1u);
+  // Replay-friendly: the same scenario after a clear() yields the same
+  // sequence numbers.
+  EXPECT_EQ(Events[0].Seq, 0u);
+}
+
+TEST_F(ObsTrace, ConcurrentSpansKeepPerThreadDepthAndGapFreeSeq) {
+  constexpr int Threads = 4;
+  constexpr int PerThread = 200;
+  obs::TraceBuffer::instance().setCapacity(Threads * PerThread * 2);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([] {
+      for (int I = 0; I < PerThread; ++I) {
+        obs::Span Outer("trace.test.mt.outer");
+        obs::Span Inner("trace.test.mt.inner");
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  std::vector<obs::TraceEvent> Events = obs::TraceBuffer::instance().events();
+  ASSERT_EQ(Events.size(),
+            static_cast<size_t>(Threads) * PerThread * 2);
+  // Depth is per-thread: never influenced by spans open elsewhere.
+  for (const obs::TraceEvent &E : Events) {
+    if (E.Name == "trace.test.mt.outer")
+      EXPECT_EQ(E.Depth, 0);
+    else
+      EXPECT_EQ(E.Depth, 1);
+  }
+  // Seq is gap-free and ascending across all threads.
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].Seq, I);
+}
+
+} // namespace

@@ -1,0 +1,228 @@
+//===- tools/tcstat.cpp - Obs snapshot dump/diff CLI --------------------------===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end for the `obs` snapshot format (schema
+/// `typecoin-obs/1`, see obs/export.h): read the JSON files that
+/// instrumented binaries write when `TYPECOIN_OBS_EXPORT=<path>` is
+/// set, and render or compare them.
+///
+///   tcstat dump FILE            print counters, gauges, histograms
+///   tcstat diff BEFORE AFTER    print what changed between snapshots
+///   tcstat --demo FILE          generate a demo snapshot (for tests)
+///   tcstat --selftest           run the built-in self checks
+///
+/// Exit status: 0 success, 1 malformed snapshot, 2 usage or I/O failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace typecoin;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tcstat dump FILE\n"
+               "       tcstat diff BEFORE AFTER\n"
+               "       tcstat --demo FILE\n"
+               "       tcstat --selftest\n");
+  return 2;
+}
+
+Result<obs::Snapshot> readSnapshotFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError("tcstat: cannot open " + Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  TC_UNWRAP(Doc, obs::Json::parse(Buf.str()));
+  return obs::readSnapshotJson(Doc);
+}
+
+/// Upper bound of the first bucket where the cumulative count reaches
+/// quantile \p Q, as a printable string ("inf" for the overflow bucket).
+std::string histQuantile(const obs::HistogramData &H, double Q) {
+  if (H.Count == 0)
+    return "-";
+  uint64_t Target = static_cast<uint64_t>(Q * static_cast<double>(H.Count));
+  if (Target == 0)
+    Target = 1;
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I < H.BucketCounts.size(); ++I) {
+    Cumulative += H.BucketCounts[I];
+    if (Cumulative >= Target) {
+      if (I >= H.UpperBounds.size())
+        return "inf"; // Overflow bucket.
+      return "<=" + std::to_string(H.UpperBounds[I]);
+    }
+  }
+  return "inf";
+}
+
+void dumpSnapshot(const obs::Snapshot &S) {
+  if (!S.Counters.empty()) {
+    std::printf("== counters ==\n");
+    for (const auto &[Name, V] : S.Counters)
+      std::printf("  %-44s %" PRIu64 "\n", Name.c_str(), V);
+  }
+  if (!S.Gauges.empty()) {
+    std::printf("== gauges ==\n");
+    for (const auto &[Name, V] : S.Gauges)
+      std::printf("  %-44s %" PRId64 "\n", Name.c_str(), V);
+  }
+  if (!S.Histograms.empty()) {
+    std::printf("== histograms ==\n");
+    std::printf("  %-44s %10s %12s %12s %12s %12s\n", "name", "count",
+                "avg", "p50", "p95", "max");
+    for (const auto &[Name, H] : S.Histograms) {
+      double Avg = H.Count ? static_cast<double>(H.Sum) /
+                                 static_cast<double>(H.Count)
+                           : 0;
+      std::printf("  %-44s %10" PRIu64 " %12.0f %12s %12s %12" PRIu64 "\n",
+                  Name.c_str(), H.Count, Avg,
+                  histQuantile(H, 0.50).c_str(),
+                  histQuantile(H, 0.95).c_str(), H.Max);
+    }
+  }
+}
+
+void diffSnapshots(const obs::Snapshot &A, const obs::Snapshot &B) {
+  bool Any = false;
+  for (const auto &[Name, After] : B.Counters) {
+    auto It = A.Counters.find(Name);
+    uint64_t Before = It == A.Counters.end() ? 0 : It->second;
+    if (Before == After)
+      continue;
+    std::printf("counter   %-44s %" PRIu64 " -> %" PRIu64 " (%+" PRId64
+                ")\n",
+                Name.c_str(), Before, After,
+                static_cast<int64_t>(After) - static_cast<int64_t>(Before));
+    Any = true;
+  }
+  for (const auto &[Name, After] : B.Gauges) {
+    auto It = A.Gauges.find(Name);
+    int64_t Before = It == A.Gauges.end() ? 0 : It->second;
+    if (Before == After)
+      continue;
+    std::printf("gauge     %-44s %" PRId64 " -> %" PRId64 " (%+" PRId64
+                ")\n",
+                Name.c_str(), Before, After, After - Before);
+    Any = true;
+  }
+  for (const auto &[Name, After] : B.Histograms) {
+    auto It = A.Histograms.find(Name);
+    uint64_t Before = It == A.Histograms.end() ? 0 : It->second.Count;
+    if (Before == After.Count)
+      continue;
+    std::printf("histogram %-44s count %" PRIu64 " -> %" PRIu64 "\n",
+                Name.c_str(), Before, After.Count);
+    Any = true;
+  }
+  if (!Any)
+    std::printf("no differences\n");
+}
+
+/// Produce a deterministic non-trivial snapshot: exercises every metric
+/// kind plus the trace ring, so the e2e test (and a curious user) gets
+/// a file with all sections populated.
+int emitDemo(const std::string &Path) {
+  obs::Registry::instance().enableTiming(true);
+  obs::TraceBuffer::instance().setEnabled(true);
+  obs::counter("demo.events").inc(42);
+  obs::gauge("demo.queue.size").set(7);
+  obs::Histogram &H = obs::latencyHistogram("demo.op_ns");
+  for (uint64_t Ns : {500u, 1500u, 3000u, 900000u})
+    H.observe(Ns);
+  {
+    obs::Span Outer("demo.outer");
+    obs::Span Inner("demo.inner");
+  }
+  if (auto S = obs::writeSnapshotFile(Path); !S) {
+    std::fprintf(stderr, "%s\n", S.error().message().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int selftest() {
+  // Round-trip: a populated registry must survive JSON serialization.
+  obs::counter("selftest.count").inc(3);
+  obs::gauge("selftest.gauge").set(-5);
+  obs::sizeHistogram("selftest.sizes").observe(17);
+  obs::Json Doc = obs::currentExportJson();
+  auto Parsed = obs::Json::parse(Doc.dump(2));
+  if (!Parsed) {
+    std::fprintf(stderr, "selftest: reparse failed: %s\n",
+                 Parsed.error().message().c_str());
+    return 1;
+  }
+  auto S = obs::readSnapshotJson(*Parsed);
+  if (!S) {
+    std::fprintf(stderr, "selftest: snapshot read failed: %s\n",
+                 S.error().message().c_str());
+    return 1;
+  }
+  if (S->Counters.at("selftest.count") != 3 ||
+      S->Gauges.at("selftest.gauge") != -5 ||
+      S->Histograms.at("selftest.sizes").Count != 1) {
+    std::fprintf(stderr, "selftest: round-trip values disagree\n");
+    return 1;
+  }
+  // Malformed input must fail cleanly, not crash.
+  if (obs::Json::parse("{\"metrics\": [broken")) {
+    std::fprintf(stderr, "selftest: malformed JSON accepted\n");
+    return 1;
+  }
+  std::printf("tcstat selftest: ok\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  if (Args.empty())
+    return usage();
+  if (Args[0] == "--selftest")
+    return selftest();
+  if (Args[0] == "--demo") {
+    if (Args.size() != 2)
+      return usage();
+    return emitDemo(Args[1]);
+  }
+  if (Args[0] == "dump") {
+    if (Args.size() != 2)
+      return usage();
+    auto S = readSnapshotFile(Args[1]);
+    if (!S) {
+      std::fprintf(stderr, "%s\n", S.error().message().c_str());
+      return 1;
+    }
+    dumpSnapshot(*S);
+    return 0;
+  }
+  if (Args[0] == "diff") {
+    if (Args.size() != 3)
+      return usage();
+    auto A = readSnapshotFile(Args[1]);
+    auto B = readSnapshotFile(Args[2]);
+    if (!A || !B) {
+      std::fprintf(stderr, "%s\n",
+                   (!A ? A.error() : B.error()).message().c_str());
+      return 1;
+    }
+    diffSnapshots(*A, *B);
+    return 0;
+  }
+  return usage();
+}
