@@ -19,3 +19,4 @@ typecoin_bench(bench_t4_revocation)
 typecoin_bench(bench_t5_attacker)
 typecoin_bench(bench_t6_baseline)
 typecoin_bench(bench_t7_checker_scaling)
+typecoin_bench(bench_t8_validation_fastpath)

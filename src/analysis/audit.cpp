@@ -80,11 +80,12 @@ Status auditChain(const Blockchain &Chain) {
 
     // 3. Index consistency for this block's transactions.
     for (size_t I = 0; I < B->Txs.size(); ++I) {
-      auto Loc = Chain.locate(B->Txs[I].txid());
+      TxId Id = B->Txs[I].txid();
+      auto Loc = Chain.locate(Id);
       if (!Loc || Loc->Height != H || Loc->IndexInBlock != I)
         return makeError("audit: tx index misplaces height " +
                          std::to_string(H) + " tx " + std::to_string(I));
-      int Confs = Chain.confirmations(B->Txs[I].txid());
+      int Confs = Chain.confirmations(Id);
       if (Confs != Height - H + 1)
         return makeError("audit: confirmation count wrong for height " +
                          std::to_string(H));

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/threadpool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -12,8 +13,55 @@
 namespace typecoin {
 namespace bitcoin {
 
+Status ScriptCheck::run() const {
+  TransactionSignatureChecker Checker(*Tx, InputIndex, ScriptPubKey);
+  if (auto S = verifyScript(Tx->Inputs[InputIndex].ScriptSig, ScriptPubKey,
+                            Checker);
+      !S)
+    return S.takeError().withContext("tx: input " +
+                                     std::to_string(InputIndex));
+  return Status::success();
+}
+
+Status runScriptChecks(const std::vector<ScriptCheck> &Checks) {
+  static obs::Counter &Total = obs::counter("chain.script_checks.total");
+  static obs::Counter &ParallelBatches =
+      obs::counter("chain.script_checks.parallel_batches");
+  Total.inc(Checks.size());
+
+  auto FirstError = [&](std::vector<Status> &Results) -> Status {
+    // Checks are appended in block order, so index order is
+    // (TxIndexInBlock, InputIndex) order: the lowest failing index is
+    // the error the serial path would have reported.
+    for (size_t I = 0; I < Results.size(); ++I)
+      if (!Results[I])
+        return Results[I].takeError().withContext(
+            "block: tx " + std::to_string(Checks[I].TxIndexInBlock));
+    return Status::success();
+  };
+
+  ThreadPool *Pool = ThreadPool::shared();
+  if (!Pool || Checks.size() < 2) {
+    for (const ScriptCheck &C : Checks)
+      if (auto S = C.run(); !S)
+        return S.takeError().withContext("block: tx " +
+                                         std::to_string(C.TxIndexInBlock));
+    return Status::success();
+  }
+
+  ParallelBatches.inc();
+  std::vector<Status> Results(Checks.size());
+  // Every check runs to completion (no early cancel): a rare failing
+  // block pays for full verification, and in exchange the winning error
+  // cannot depend on which worker got ahead.
+  Pool->parallelFor(Checks.size(),
+                    [&](size_t I) { Results[I] = Checks[I].run(); });
+  return FirstError(Results);
+}
+
 Result<Amount> checkTxInputs(const Transaction &Tx, const UtxoSet &Utxo,
-                             int SpendHeight, int CoinbaseMaturity) {
+                             int SpendHeight, int CoinbaseMaturity,
+                             std::vector<ScriptCheck> *Deferred) {
   if (Tx.Inputs.empty())
     return makeError("tx: no inputs");
   if (Tx.Outputs.empty())
@@ -47,10 +95,14 @@ Result<Amount> checkTxInputs(const Transaction &Tx, const UtxoSet &Utxo,
     if (!moneyRange(TotalIn))
       return makeError("tx: total input out of range");
 
-    TransactionSignatureChecker Checker(Tx, I, C->Out.ScriptPubKey);
-    if (auto S = verifyScript(In.ScriptSig, C->Out.ScriptPubKey, Checker);
-        !S)
-      return S.takeError().withContext("tx: input " + std::to_string(I));
+    if (Deferred) {
+      Deferred->push_back(ScriptCheck{&Tx, I, C->Out.ScriptPubKey, 0});
+    } else {
+      TransactionSignatureChecker Checker(Tx, I, C->Out.ScriptPubKey);
+      if (auto S = verifyScript(In.ScriptSig, C->Out.ScriptPubKey, Checker);
+          !S)
+        return S.takeError().withContext("tx: input " + std::to_string(I));
+    }
   }
 
   if (TotalIn < TotalOut)
@@ -107,8 +159,8 @@ const Block *Blockchain::blockByHash(const BlockHash &Hash) const {
   return It == Blocks.end() ? nullptr : &It->second.Blk;
 }
 
-Status Blockchain::checkBlock(const Block &B) const {
-  if (!checkProofOfWork(B.hash().Hash, B.Header.Bits))
+Status Blockchain::checkBlock(const Block &B, const BlockHash &Hash) const {
+  if (!checkProofOfWork(Hash.Hash, B.Header.Bits))
     return makeError("block: proof of work is invalid");
   if (B.Txs.empty())
     return makeError("block: missing coinbase");
@@ -129,19 +181,27 @@ Status Blockchain::connectBlock(IndexEntry &Entry) {
   BlockUndo Undo;
   Amount Fees = 0;
   // Validate and apply the non-coinbase transactions first so the
-  // coinbase can be checked against collected fees.
+  // coinbase can be checked against collected fees. Script checks are
+  // deferred: the UTXO/amount phase stays serial (it is inherently
+  // order-dependent), while the expensive, independent signature checks
+  // are batched and run at the end — across the TYPECOIN_PAR_VERIFY
+  // pool when enabled.
   std::vector<TxUndo> Applied;
   auto Abort = [&](size_t UpTo) {
     for (size_t J = UpTo; J-- > 0;)
       Utxo.undoTransaction(B.Txs[J + 1], Applied[J]);
   };
+  std::vector<ScriptCheck> Checks;
   for (size_t I = 1; I < B.Txs.size(); ++I) {
-    auto FeeOr =
-        checkTxInputs(B.Txs[I], Utxo, Entry.Height, Params.CoinbaseMaturity);
+    size_t ChecksBefore = Checks.size();
+    auto FeeOr = checkTxInputs(B.Txs[I], Utxo, Entry.Height,
+                               Params.CoinbaseMaturity, &Checks);
     if (!FeeOr) {
       Abort(Applied.size());
       return FeeOr.takeError().withContext("block: tx " + std::to_string(I));
     }
+    for (size_t J = ChecksBefore; J < Checks.size(); ++J)
+      Checks[J].TxIndexInBlock = I;
     Fees += *FeeOr;
     auto UndoOr = Utxo.applyTransaction(B.Txs[I], Entry.Height);
     if (!UndoOr) {
@@ -161,8 +221,15 @@ Status Blockchain::connectBlock(IndexEntry &Entry) {
     Abort(Applied.size());
     return CoinbaseUndo.takeError();
   }
+  TxUndo CbUndo = CoinbaseUndo.takeValue();
 
-  Undo.Txs.push_back(CoinbaseUndo.takeValue());
+  if (auto S = runScriptChecks(Checks); !S) {
+    Utxo.undoTransaction(B.Txs[0], CbUndo);
+    Abort(Applied.size());
+    return S;
+  }
+
+  Undo.Txs.push_back(std::move(CbUndo));
   for (auto &U : Applied)
     Undo.Txs.push_back(std::move(U));
   Entry.Undo = std::move(Undo);
@@ -263,7 +330,7 @@ Status Blockchain::submitBlock(const Block &B) {
   BlockHash Hash = B.hash();
   if (Blocks.count(Hash))
     return Status::success(); // Duplicate; idempotent.
-  TC_TRY(checkBlock(B));
+  TC_TRY(checkBlock(B, Hash));
 
   auto ParentIt = Blocks.find(B.Header.Prev);
   if (ParentIt == Blocks.end())

@@ -121,7 +121,8 @@ private:
   };
 
   /// Full (context-free) block checks: PoW, merkle root, coinbase shape.
-  Status checkBlock(const Block &B) const;
+  /// \p Hash is the precomputed header hash (callers already have it).
+  Status checkBlock(const Block &B, const BlockHash &Hash) const;
   /// Difficulty bits required for a child of \p Parent.
   uint32_t nextBitsFor(const BlockHash &Parent) const;
   /// Connect B's transactions onto the UTXO set (validating scripts and
@@ -144,11 +145,40 @@ private:
   AuditHook Audit;
 };
 
+/// A deferred input-script verification: everything needed to check one
+/// input independently of the UTXO set. The spent output's script is
+/// copied because the UTXO entry is consumed (erased) when the spending
+/// transaction is applied, before deferred checks run.
+struct ScriptCheck {
+  const Transaction *Tx = nullptr;
+  size_t InputIndex = 0;
+  Script ScriptPubKey;
+  /// Position of Tx in its block; orders deterministic error reporting.
+  size_t TxIndexInBlock = 0;
+
+  /// Verify the input script; errors carry the "tx: input I" context the
+  /// inline path produces.
+  Status run() const;
+};
+
 /// Full transaction validation against a UTXO view: inputs present and
 /// mature, amounts in range, fee non-negative, all input scripts verify.
 /// Returns the fee.
+///
+/// With \p Deferred set, script verification is *not* run inline;
+/// instead one ScriptCheck per input is appended for the caller to run
+/// later (serially or across a thread pool). All other checks still run
+/// inline.
 Result<Amount> checkTxInputs(const Transaction &Tx, const UtxoSet &Utxo,
-                             int SpendHeight, int CoinbaseMaturity);
+                             int SpendHeight, int CoinbaseMaturity,
+                             std::vector<ScriptCheck> *Deferred = nullptr);
+
+/// Run a batch of deferred script checks — across the shared
+/// TYPECOIN_PAR_VERIFY pool when enabled, serially otherwise. The
+/// reported error is deterministic regardless of thread schedule: the
+/// failing check with the lowest (TxIndexInBlock, InputIndex) wins, with
+/// "block: tx N" context attached.
+Status runScriptChecks(const std::vector<ScriptCheck> &Checks);
 
 } // namespace bitcoin
 } // namespace typecoin

@@ -43,14 +43,28 @@ Block assembleBlock(const Blockchain &Chain, const Mempool &Pool,
 }
 
 bool mineBlock(Block &B, uint64_t MaxTries) {
+  // Serialize the 80-byte header once and patch the nonce (and, on
+  // wraparound, the timestamp) in place: the search loop then costs two
+  // SHA-256 compressions per try instead of a full re-serialization.
+  Bytes Header = B.Header.serialize();
+  constexpr size_t TimeOff = 68;  // 4 version + 32 prev + 32 merkle
+  constexpr size_t NonceOff = 76; // ... + 4 time + 4 bits
+  auto PatchU32 = [&](size_t Off, uint32_t V) {
+    Header[Off] = static_cast<uint8_t>(V);
+    Header[Off + 1] = static_cast<uint8_t>(V >> 8);
+    Header[Off + 2] = static_cast<uint8_t>(V >> 16);
+    Header[Off + 3] = static_cast<uint8_t>(V >> 24);
+  };
   for (uint64_t Try = 0; Try < MaxTries; ++Try) {
-    if (checkProofOfWork(B.hash().Hash, B.Header.Bits))
+    if (checkProofOfWork(crypto::sha256d(Header), B.Header.Bits))
       return true;
     ++B.Header.Nonce;
     if (B.Header.Nonce == 0) {
       // Nonce space exhausted; perturb the timestamp and continue.
       ++B.Header.Time;
+      PatchU32(TimeOff, B.Header.Time);
     }
+    PatchU32(NonceOff, B.Header.Nonce);
   }
   return false;
 }

@@ -1,0 +1,108 @@
+//===- bitcoin/sigcache.cpp - Shared signature-verification cache ----------===//
+
+#include "bitcoin/sigcache.h"
+
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <random>
+
+namespace typecoin {
+namespace bitcoin {
+
+static crypto::Digest32 processSalt() {
+  std::random_device Rd;
+  crypto::Digest32 Salt;
+  for (size_t I = 0; I < Salt.size(); I += 4) {
+    uint32_t W = Rd();
+    Salt[I] = static_cast<uint8_t>(W);
+    Salt[I + 1] = static_cast<uint8_t>(W >> 8);
+    Salt[I + 2] = static_cast<uint8_t>(W >> 16);
+    Salt[I + 3] = static_cast<uint8_t>(W >> 24);
+  }
+  return Salt;
+}
+
+SignatureCache::SignatureCache(size_t MaxEntries)
+    : Salt(processSalt()), MaxEntries(MaxEntries) {}
+
+SignatureCache &SignatureCache::instance() {
+  static SignatureCache Cache([] {
+    const char *Env = std::getenv("TYPECOIN_SIGCACHE_SIZE");
+    if (!Env || !*Env)
+      return static_cast<size_t>(1) << 16;
+    char *End = nullptr;
+    long V = std::strtol(Env, &End, 10);
+    if (End == Env || V < 0)
+      return static_cast<size_t>(1) << 16;
+    return static_cast<size_t>(V);
+  }());
+  return Cache;
+}
+
+SignatureCache::Key SignatureCache::makeKey(const crypto::Digest32 &SigHash,
+                                            const Bytes &PubKey,
+                                            const Bytes &SigDer) const {
+  crypto::Sha256 H;
+  H.update(Salt.data(), Salt.size());
+  H.update(SigHash.data(), SigHash.size());
+  H.update(PubKey);
+  H.update(SigDer);
+  return H.finalize();
+}
+
+bool SignatureCache::contains(const Key &K) const {
+  static obs::Counter &Hits = obs::counter("sigcache.hit");
+  static obs::Counter &Misses = obs::counter("sigcache.miss");
+  bool Found;
+  {
+    std::shared_lock<std::shared_mutex> L(Mu);
+    Found = Entries.count(K) != 0;
+  }
+  (Found ? Hits : Misses).inc();
+  return Found;
+}
+
+void SignatureCache::add(const Key &K) {
+  std::unique_lock<std::shared_mutex> L(Mu);
+  if (MaxEntries == 0)
+    return;
+  if (!Entries.insert(K).second)
+    return;
+  InsertionOrder.push_back(K);
+  evictToCapacityLocked();
+}
+
+void SignatureCache::evictToCapacityLocked() {
+  static obs::Counter &Evicted = obs::counter("sigcache.evict");
+  while (Entries.size() > MaxEntries && !InsertionOrder.empty()) {
+    Entries.erase(InsertionOrder.front());
+    InsertionOrder.pop_front();
+    Evicted.inc();
+  }
+}
+
+size_t SignatureCache::size() const {
+  std::shared_lock<std::shared_mutex> L(Mu);
+  return Entries.size();
+}
+
+size_t SignatureCache::capacity() const {
+  std::shared_lock<std::shared_mutex> L(Mu);
+  return MaxEntries;
+}
+
+void SignatureCache::clear() {
+  std::unique_lock<std::shared_mutex> L(Mu);
+  Entries.clear();
+  InsertionOrder.clear();
+}
+
+void SignatureCache::resize(size_t NewMaxEntries) {
+  std::unique_lock<std::shared_mutex> L(Mu);
+  MaxEntries = NewMaxEntries;
+  evictToCapacityLocked();
+}
+
+} // namespace bitcoin
+} // namespace typecoin

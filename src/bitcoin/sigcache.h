@@ -1,0 +1,103 @@
+//===- bitcoin/sigcache.h - Shared signature-verification cache -*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded, salted set of already-verified (sighash, pubkey, signature)
+/// triples. `TransactionSignatureChecker` consults it before running
+/// ECDSA and inserts on success, so a signature checked once at mempool
+/// accept is free at block connect, `Mempool::revalidate`, and reorg
+/// replay.
+///
+/// Keying: SHA-256(salt ‖ sighash ‖ pubkey ‖ DER-signature). The salt is
+/// drawn once per process from std::random_device so an adversary cannot
+/// precompute colliding keys; the 256-bit digest makes accidental
+/// collisions (a false "already verified") a non-concern. Anything that
+/// perturbs the triple — a different SIGHASH type (different sighash), a
+/// malleated (r, n-s) signature (different DER bytes), a different key —
+/// produces an unrelated key and therefore a miss.
+///
+/// Bounded FIFO eviction: entries are dropped oldest-first once the cache
+/// exceeds its capacity (`TYPECOIN_SIGCACHE_SIZE` entries, default
+/// 65536). Eviction only ever costs a re-verification, never a false
+/// accept.
+///
+/// Concurrency: a shared_mutex — lookups (the hot path during parallel
+/// block connect) take the shared lock, inserts the exclusive lock.
+///
+/// Observability: `sigcache.hit`, `sigcache.miss`, `sigcache.evict`
+/// counters in the obs registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_BITCOIN_SIGCACHE_H
+#define TYPECOIN_BITCOIN_SIGCACHE_H
+
+#include "crypto/sha256.h"
+#include "support/bytes.h"
+
+#include <cstddef>
+#include <deque>
+#include <shared_mutex>
+#include <unordered_set>
+
+namespace typecoin {
+namespace bitcoin {
+
+class SignatureCache {
+public:
+  /// The process-wide cache, sized from `TYPECOIN_SIGCACHE_SIZE` (number
+  /// of entries; 0 disables caching) on first use.
+  static SignatureCache &instance();
+
+  explicit SignatureCache(size_t MaxEntries);
+
+  using Key = crypto::Digest32;
+
+  /// Salted digest of the verified triple.
+  Key makeKey(const crypto::Digest32 &SigHash, const Bytes &PubKey,
+              const Bytes &SigDer) const;
+
+  /// True if the triple behind \p K was verified before. Bumps
+  /// sigcache.hit / sigcache.miss.
+  bool contains(const Key &K) const;
+
+  /// Record a successfully verified triple. Evicts oldest-first beyond
+  /// capacity (bumping sigcache.evict). No-op when sized to 0.
+  void add(const Key &K);
+
+  size_t size() const;
+  size_t capacity() const;
+
+  /// Drop all entries (tests/benchmarks; never required for correctness).
+  void clear();
+  /// Re-bound the cache, evicting oldest-first if shrinking.
+  void resize(size_t NewMaxEntries);
+
+private:
+  struct KeyHash {
+    // Keys are salted SHA-256 outputs: any 8 bytes are already a good
+    // hash.
+    size_t operator()(const Key &K) const {
+      size_t H;
+      static_assert(sizeof(H) <= 32);
+      __builtin_memcpy(&H, K.data(), sizeof(H));
+      return H;
+    }
+  };
+
+  void evictToCapacityLocked();
+
+  crypto::Digest32 Salt;
+  size_t MaxEntries;
+  mutable std::shared_mutex Mu;
+  std::unordered_set<Key, KeyHash> Entries;
+  std::deque<Key> InsertionOrder; ///< FIFO eviction queue
+};
+
+} // namespace bitcoin
+} // namespace typecoin
+
+#endif // TYPECOIN_BITCOIN_SIGCACHE_H

@@ -2,8 +2,12 @@
 
 #include "bitcoin/transaction.h"
 
+#include "bitcoin/sigcache.h"
 #include "crypto/ecdsa.h"
 #include "crypto/keys.h"
+
+#include <cstdio>
+#include <cstdlib>
 
 namespace typecoin {
 namespace bitcoin {
@@ -73,12 +77,32 @@ Result<Transaction> Transaction::deserialize(const Bytes &Data) {
   return Tx;
 }
 
-TxId Transaction::txid() const { return TxId{crypto::sha256d(serialize())}; }
+TxId Transaction::txid() const {
+  std::lock_guard<std::mutex> L(Cache.Mu);
+  if (!Cache.HasId) {
+    Cache.Id = TxId{crypto::sha256d(serialize())};
+    Cache.HasId = true;
+  }
+#ifdef TYPECOIN_AUDIT
+  if (Cache.Id != TxId{crypto::sha256d(serialize())}) {
+    std::fprintf(stderr, "typecoin audit: stale txid cache: transaction "
+                         "mutated without invalidateCaches()\n");
+    std::abort();
+  }
+#endif
+  return Cache.Id;
+}
 
-Result<crypto::Digest32> signatureHash(const Transaction &Tx,
-                                       size_t InputIndex,
-                                       const Script &ScriptCode,
-                                       uint8_t HashType) {
+void Transaction::invalidateCaches() {
+  std::lock_guard<std::mutex> L(Cache.Mu);
+  Cache.HasId = false;
+  Cache.SigHashes.clear();
+}
+
+static Result<crypto::Digest32> computeSignatureHash(const Transaction &Tx,
+                                                     size_t InputIndex,
+                                                     const Script &ScriptCode,
+                                                     uint8_t HashType) {
   if (InputIndex >= Tx.Inputs.size())
     return makeError("signatureHash: input index out of range");
 
@@ -123,6 +147,38 @@ Result<crypto::Digest32> signatureHash(const Transaction &Tx,
   return crypto::sha256d(W.buffer());
 }
 
+Result<crypto::Digest32> signatureHash(const Transaction &Tx,
+                                       size_t InputIndex,
+                                       const Script &ScriptCode,
+                                       uint8_t HashType) {
+  {
+    std::lock_guard<std::mutex> L(Tx.Cache.Mu);
+    for (const Transaction::SigHashMemo &M : Tx.Cache.SigHashes)
+      if (M.Input == InputIndex && M.HashType == HashType &&
+          M.ScriptCode == ScriptCode.bytes()) {
+#ifdef TYPECOIN_AUDIT
+        auto Recomputed =
+            computeSignatureHash(Tx, InputIndex, ScriptCode, HashType);
+        if (!Recomputed || *Recomputed != M.Digest) {
+          std::fprintf(stderr, "typecoin audit: stale sighash cache: "
+                               "transaction mutated without "
+                               "invalidateCaches()\n");
+          std::abort();
+        }
+#endif
+        return M.Digest;
+      }
+  }
+  TC_UNWRAP(Digest, computeSignatureHash(Tx, InputIndex, ScriptCode, HashType));
+  std::lock_guard<std::mutex> L(Tx.Cache.Mu);
+  // A concurrent caller may have raced us to the same memo; a duplicate
+  // entry is harmless (first match wins, values are equal).
+  Tx.Cache.SigHashes.push_back(
+      Transaction::SigHashMemo{InputIndex, HashType, ScriptCode.bytes(),
+                               Digest});
+  return Digest;
+}
+
 bool TransactionSignatureChecker::checkSignature(const Bytes &SigWithType,
                                                  const Bytes &PubKey) const {
   if (SigWithType.empty())
@@ -138,7 +194,17 @@ bool TransactionSignatureChecker::checkSignature(const Bytes &SigWithType,
   auto Hash = signatureHash(Tx, InputIndex, ScriptCode, HashType);
   if (!Hash)
     return false;
-  return Pub->verify(*Hash, *Sig);
+  // One ECDSA verification per distinct (sighash, key, signature) triple
+  // per process: a signature verified at mempool accept is a set lookup
+  // at block connect, revalidate, and reorg replay.
+  SignatureCache &SC = SignatureCache::instance();
+  SignatureCache::Key Key = SC.makeKey(*Hash, PubKey, Der);
+  if (SC.contains(Key))
+    return true;
+  if (!Pub->verify(*Hash, *Sig))
+    return false;
+  SC.add(Key);
+  return true;
 }
 
 } // namespace bitcoin

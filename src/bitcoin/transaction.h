@@ -24,6 +24,7 @@
 #include "support/serialize.h"
 
 #include <algorithm>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -99,11 +100,49 @@ enum SigHashType : uint8_t {
 };
 
 /// A Bitcoin transaction.
+///
+/// txid() and signatureHash() memoize their digests in a mutex-guarded
+/// cache carried by the transaction, so chain connect, mempool maps,
+/// merkle building, and the typecoin journal stop re-serializing and
+/// re-hashing. The cache is bound to the exact field contents: copies
+/// start cold (a copy is routinely made precisely to mutate it —
+/// signing, malleation), and assignment resets the destination's cache.
+/// Code that mutates a transaction *in place* after taking its identity
+/// must call invalidateCaches(); TYPECOIN_AUDIT builds recompute every
+/// cached digest on use and abort on a stale hit.
 struct Transaction {
   int32_t Version = 1;
   std::vector<TxIn> Inputs;
   std::vector<TxOut> Outputs;
   uint32_t LockTime = 0;
+
+  Transaction() = default;
+  Transaction(const Transaction &O)
+      : Version(O.Version), Inputs(O.Inputs), Outputs(O.Outputs),
+        LockTime(O.LockTime) {}
+  Transaction(Transaction &&O) noexcept
+      : Version(O.Version), Inputs(std::move(O.Inputs)),
+        Outputs(std::move(O.Outputs)), LockTime(O.LockTime) {}
+  Transaction &operator=(const Transaction &O) {
+    if (this == &O)
+      return *this;
+    Version = O.Version;
+    Inputs = O.Inputs;
+    Outputs = O.Outputs;
+    LockTime = O.LockTime;
+    invalidateCaches();
+    return *this;
+  }
+  Transaction &operator=(Transaction &&O) noexcept {
+    if (this == &O)
+      return *this;
+    Version = O.Version;
+    Inputs = std::move(O.Inputs);
+    Outputs = std::move(O.Outputs);
+    LockTime = O.LockTime;
+    invalidateCaches();
+    return *this;
+  }
 
   /// Serialize to the wire format.
   Bytes serialize() const;
@@ -113,8 +152,12 @@ struct Transaction {
   /// transactions without length prefixes).
   static Result<Transaction> deserializeFrom(Reader &R);
 
-  /// Double-SHA256 of the serialization.
+  /// Double-SHA256 of the serialization (memoized).
   TxId txid() const;
+
+  /// Drop all memoized digests. Required after mutating a transaction
+  /// in place once txid()/signatureHash() have been called on it.
+  void invalidateCaches();
 
   /// True for the block-reward transaction (single null-prevout input).
   bool isCoinbase() const {
@@ -127,6 +170,32 @@ struct Transaction {
       Sum += Out.Value;
     return Sum;
   }
+
+private:
+  /// One memoized legacy sighash. ScriptCode participates in the key
+  /// because the same input may be hashed under different script codes
+  /// (e.g. during soft-fork style re-checks).
+  struct SigHashMemo {
+    size_t Input;
+    uint8_t HashType;
+    Bytes ScriptCode;
+    crypto::Digest32 Digest;
+  };
+  /// Digest memos. Guarded by Mu; mutable because taking a transaction's
+  /// identity is logically const. Deliberately not propagated by
+  /// copy/move (see struct comment).
+  struct IdentityCache {
+    std::mutex Mu;
+    bool HasId = false;
+    TxId Id{};
+    std::vector<SigHashMemo> SigHashes;
+  };
+  mutable IdentityCache Cache;
+
+  friend Result<crypto::Digest32> signatureHash(const Transaction &Tx,
+                                                size_t InputIndex,
+                                                const Script &ScriptCode,
+                                                uint8_t HashType);
 };
 
 /// The legacy signature hash: the digest an input signature commits to.

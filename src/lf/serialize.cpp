@@ -2,8 +2,24 @@
 
 #include "lf/serialize.h"
 
+#include <unordered_map>
+#include <utility>
+
 namespace typecoin {
 namespace lf {
+
+namespace {
+/// Write-side memo shared across the term/type mutual recursion: a node
+/// (term or type — the pointers never collide) maps to the (offset,
+/// length) of its first serialization in this writer's buffer, and every
+/// later occurrence is one bulk copy instead of a re-walk. Mirrors
+/// logic's writeProp memo; the wire format is unchanged, since the
+/// copied bytes are exactly what the re-walk would have produced.
+using SpanMemo = std::unordered_map<const void *, std::pair<size_t, size_t>>;
+
+void writeTermMemo(Writer &W, const TermPtr &T, SpanMemo &Memo);
+void writeTypeMemo(Writer &W, const LFTypePtr &T, SpanMemo &Memo);
+} // namespace
 
 void writeConstName(Writer &W, const ConstName &Name) {
   W.writeU8(static_cast<uint8_t>(Name.Kind));
@@ -24,7 +40,19 @@ Result<ConstName> readConstName(Reader &R) {
   return Name;
 }
 
-void writeTerm(Writer &W, const TermPtr &T) {
+namespace {
+void writeTermMemo(Writer &W, const TermPtr &T, SpanMemo &Memo) {
+  // use_count() > 1 marks nodes that can possibly recur in this walk;
+  // unique nodes skip the map entirely, so pure trees pay nothing.
+  bool Shared = T.use_count() > 1;
+  if (Shared) {
+    auto It = Memo.find(T.get());
+    if (It != Memo.end()) {
+      W.copyFromSelf(It->second.first, It->second.second);
+      return;
+    }
+  }
+  size_t Start = W.size();
   W.writeU8(static_cast<uint8_t>(T->Kind));
   switch (T->Kind) {
   case Term::Tag::Var:
@@ -34,12 +62,12 @@ void writeTerm(Writer &W, const TermPtr &T) {
     writeConstName(W, T->Name);
     break;
   case Term::Tag::Lam:
-    writeType(W, T->Annot);
-    writeTerm(W, T->Body);
+    writeTypeMemo(W, T->Annot, Memo);
+    writeTermMemo(W, T->Body, Memo);
     break;
   case Term::Tag::App:
-    writeTerm(W, T->Fn);
-    writeTerm(W, T->Arg);
+    writeTermMemo(W, T->Fn, Memo);
+    writeTermMemo(W, T->Arg, Memo);
     break;
   case Term::Tag::Principal:
     W.writeString(T->PrincipalHash);
@@ -48,6 +76,14 @@ void writeTerm(Writer &W, const TermPtr &T) {
     W.writeU64(T->NatValue);
     break;
   }
+  if (Shared)
+    Memo.emplace(T.get(), std::make_pair(Start, W.size() - Start));
+}
+} // namespace
+
+void writeTerm(Writer &W, const TermPtr &T) {
+  SpanMemo Memo;
+  writeTermMemo(W, T, Memo);
 }
 
 Result<TermPtr> readTerm(Reader &R) {
@@ -83,21 +119,39 @@ Result<TermPtr> readTerm(Reader &R) {
   return makeError("lf: bad term tag");
 }
 
-void writeType(Writer &W, const LFTypePtr &T) {
+namespace {
+void writeTypeMemo(Writer &W, const LFTypePtr &T, SpanMemo &Memo) {
+  bool Shared = T.use_count() > 1;
+  if (Shared) {
+    auto It = Memo.find(T.get());
+    if (It != Memo.end()) {
+      W.copyFromSelf(It->second.first, It->second.second);
+      return;
+    }
+  }
+  size_t Start = W.size();
   W.writeU8(static_cast<uint8_t>(T->Kind));
   switch (T->Kind) {
   case LFType::Tag::Const:
     writeConstName(W, T->Name);
     break;
   case LFType::Tag::App:
-    writeType(W, T->Head);
-    writeTerm(W, T->Arg);
+    writeTypeMemo(W, T->Head, Memo);
+    writeTermMemo(W, T->Arg, Memo);
     break;
   case LFType::Tag::Pi:
-    writeType(W, T->Head);
-    writeType(W, T->Cod);
+    writeTypeMemo(W, T->Head, Memo);
+    writeTypeMemo(W, T->Cod, Memo);
     break;
   }
+  if (Shared)
+    Memo.emplace(T.get(), std::make_pair(Start, W.size() - Start));
+}
+} // namespace
+
+void writeType(Writer &W, const LFTypePtr &T) {
+  SpanMemo Memo;
+  writeTypeMemo(W, T, Memo);
 }
 
 Result<LFTypePtr> readType(Reader &R) {

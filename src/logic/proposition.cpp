@@ -3,6 +3,9 @@
 #include "logic/proposition.h"
 
 #include <cassert>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
 
 namespace typecoin {
 namespace logic {
@@ -389,8 +392,60 @@ static std::string printPropPrec(const PropPtr &P, int Prec) {
 std::string printProp(const PropPtr &P) { return printPropPrec(P, 0); }
 
 // Serialization ------------------------------------------------------------------
+//
+// Propositions are routinely DAGs: substitution, pTensorAll, and the
+// example workloads reference the same subtree from several parents. A
+// naive tree walk re-serializes (and re-parses) each shared subtree once
+// per *reference*, which is exponential in DAG depth. The write side
+// below remembers the byte span each shared node produced and re-appends
+// it with one bulk copy; the read side remembers which spans decoded to
+// which nodes and, on seeing the same bytes again, reuses the node and
+// skips the span. The wire format is unchanged either way.
 
-void writeProp(Writer &W, const PropPtr &P) {
+namespace {
+/// Write-side memo: shared node -> (offset, length) of its first
+/// serialization in this writer's buffer.
+using WriteMemo = std::unordered_map<const Prop *, std::pair<size_t, size_t>>;
+
+/// Read-side intern table over one buffer: spans already decoded,
+/// bucketed by their first 8 bytes. Soundness: parsing is deterministic
+/// and each position has exactly one parse, so if the bytes at the
+/// current position equal a previously decoded span, decoding here would
+/// yield an equal node consuming exactly that many bytes.
+struct ReadIntern {
+  struct Entry {
+    size_t Off;
+    size_t Len;
+    PropPtr P;
+  };
+  std::unordered_map<uint64_t, std::vector<Entry>> Buckets;
+  size_t Entries = 0;
+
+  /// Spans shorter than this are cheaper to re-parse than to look up.
+  static constexpr size_t MinSpan = 16;
+  static constexpr size_t MaxPerBucket = 8;
+  static constexpr size_t MaxEntries = 1 << 16;
+};
+
+uint64_t spanPrefix(const uint8_t *Data) {
+  uint64_t V;
+  __builtin_memcpy(&V, Data, sizeof(V));
+  return V;
+}
+} // namespace
+
+static void writePropMemo(Writer &W, const PropPtr &P, WriteMemo &Memo) {
+  // use_count() > 1 marks nodes that can possibly recur in this walk;
+  // unique nodes skip the map entirely, so pure trees pay nothing.
+  bool Shared = P.use_count() > 1;
+  if (Shared) {
+    auto It = Memo.find(P.get());
+    if (It != Memo.end()) {
+      W.copyFromSelf(It->second.first, It->second.second);
+      return;
+    }
+  }
+  size_t Start = W.size();
   W.writeU8(static_cast<uint8_t>(P->Kind));
   switch (P->Kind) {
   case Prop::Tag::Atom:
@@ -400,92 +455,163 @@ void writeProp(Writer &W, const PropPtr &P) {
   case Prop::Tag::Lolli:
   case Prop::Tag::With:
   case Prop::Tag::Plus:
-    writeProp(W, P->L);
-    writeProp(W, P->R);
+    writePropMemo(W, P->L, Memo);
+    writePropMemo(W, P->R, Memo);
     break;
   case Prop::Tag::Zero:
   case Prop::Tag::One:
     break;
   case Prop::Tag::Bang:
-    writeProp(W, P->Body);
+    writePropMemo(W, P->Body, Memo);
     break;
   case Prop::Tag::Forall:
   case Prop::Tag::Exists:
     lf::writeType(W, P->QType);
-    writeProp(W, P->Body);
+    writePropMemo(W, P->Body, Memo);
     break;
   case Prop::Tag::Says:
     lf::writeTerm(W, P->Who);
-    writeProp(W, P->Body);
+    writePropMemo(W, P->Body, Memo);
     break;
   case Prop::Tag::Receipt:
     W.writeU8(P->Body ? 1 : 0);
     if (P->Body)
-      writeProp(W, P->Body);
+      writePropMemo(W, P->Body, Memo);
     W.writeU64(P->Amount);
     lf::writeTerm(W, P->Who);
     break;
   case Prop::Tag::If:
     writeCond(W, P->Cond);
-    writeProp(W, P->Body);
+    writePropMemo(W, P->Body, Memo);
     break;
   }
+  if (Shared)
+    Memo.emplace(P.get(), std::make_pair(Start, W.size() - Start));
 }
 
-Result<PropPtr> readProp(Reader &R) {
+void writeProp(Writer &W, const PropPtr &P) {
+  WriteMemo Memo;
+  writePropMemo(W, P, Memo);
+}
+
+static Result<PropPtr> readPropIntern(Reader &R, ReadIntern &Intern) {
+  size_t Start = R.pos();
+  if (R.remaining() >= sizeof(uint64_t)) {
+    auto It = Intern.Buckets.find(spanPrefix(R.data() + Start));
+    if (It != Intern.Buckets.end())
+      for (const ReadIntern::Entry &E : It->second)
+        if (E.Len <= R.remaining() &&
+            std::memcmp(R.data() + Start, R.data() + E.Off, E.Len) == 0) {
+          TC_TRY(R.skip(E.Len));
+          return E.P;
+        }
+  }
+
+  PropPtr Out;
   TC_UNWRAP(Tag, R.readU8());
   switch (static_cast<Prop::Tag>(Tag)) {
   case Prop::Tag::Atom: {
     TC_UNWRAP(T, lf::readType(R));
-    return pAtom(T);
+    Out = pAtom(T);
+    break;
   }
   case Prop::Tag::Tensor:
   case Prop::Tag::Lolli:
   case Prop::Tag::With:
   case Prop::Tag::Plus: {
-    TC_UNWRAP(L, readProp(R));
-    TC_UNWRAP(Right, readProp(R));
-    return binary(static_cast<Prop::Tag>(Tag), L, Right);
+    TC_UNWRAP(L, readPropIntern(R, Intern));
+    TC_UNWRAP(Right, readPropIntern(R, Intern));
+    Out = binary(static_cast<Prop::Tag>(Tag), L, Right);
+    break;
   }
   case Prop::Tag::Zero:
-    return pZero();
+    Out = pZero();
+    break;
   case Prop::Tag::One:
-    return pOne();
+    Out = pOne();
+    break;
   case Prop::Tag::Bang: {
-    TC_UNWRAP(Body, readProp(R));
-    return pBang(Body);
+    TC_UNWRAP(Body, readPropIntern(R, Intern));
+    Out = pBang(Body);
+    break;
   }
   case Prop::Tag::Forall:
   case Prop::Tag::Exists: {
     TC_UNWRAP(QType, lf::readType(R));
-    TC_UNWRAP(Body, readProp(R));
-    return static_cast<Prop::Tag>(Tag) == Prop::Tag::Forall
-               ? pForall(QType, Body)
-               : pExists(QType, Body);
+    TC_UNWRAP(Body, readPropIntern(R, Intern));
+    Out = static_cast<Prop::Tag>(Tag) == Prop::Tag::Forall
+              ? pForall(QType, Body)
+              : pExists(QType, Body);
+    break;
   }
   case Prop::Tag::Says: {
     TC_UNWRAP(Who, lf::readTerm(R));
-    TC_UNWRAP(Body, readProp(R));
-    return pSays(Who, Body);
+    TC_UNWRAP(Body, readPropIntern(R, Intern));
+    Out = pSays(Who, Body);
+    break;
   }
   case Prop::Tag::Receipt: {
     TC_UNWRAP(HasBody, R.readU8());
     PropPtr Body;
     if (HasBody) {
-      TC_UNWRAP(B, readProp(R));
+      TC_UNWRAP(B, readPropIntern(R, Intern));
       Body = B;
     }
     TC_UNWRAP(Amount, R.readU64());
     TC_UNWRAP(Who, lf::readTerm(R));
-    return pReceipt(Body, Amount, Who);
+    Out = pReceipt(Body, Amount, Who);
+    break;
   }
   case Prop::Tag::If: {
     TC_UNWRAP(C, readCond(R));
-    TC_UNWRAP(Body, readProp(R));
-    return pIf(C, Body);
+    TC_UNWRAP(Body, readPropIntern(R, Intern));
+    Out = pIf(C, Body);
+    break;
   }
+  default:
+    return makeError("logic: bad proposition tag");
   }
-  return makeError("logic: bad proposition tag");
+
+  size_t Len = R.pos() - Start;
+  if (Len >= ReadIntern::MinSpan && Intern.Entries < ReadIntern::MaxEntries) {
+    std::vector<ReadIntern::Entry> &Bucket =
+        Intern.Buckets[spanPrefix(R.data() + Start)];
+    if (Bucket.size() < ReadIntern::MaxPerBucket) {
+      Bucket.push_back(ReadIntern::Entry{Start, Len, Out});
+      ++Intern.Entries;
+    }
+  }
+  return Out;
+}
+
+Result<PropPtr> readProp(Reader &R) {
+  ReadIntern Intern;
+  return readPropIntern(R, Intern);
+}
+
+crypto::Digest32 propDigest(const PropPtr &P) {
+  // Bounded pointer-keyed cache. Entries pin their node (the PropPtr in
+  // the value), so a pointer hit can never refer to a freed-and-reused
+  // allocation. Wholesale clear on overflow keeps the policy trivial; a
+  // digest is only ever a serialize+hash away.
+  static std::mutex Mu;
+  static std::unordered_map<const Prop *, std::pair<PropPtr, crypto::Digest32>>
+      Cache;
+  static constexpr size_t MaxEntries = 1 << 14;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Cache.find(P.get());
+    if (It != Cache.end())
+      return It->second.second;
+  }
+  Writer W;
+  writeProp(W, P);
+  crypto::Digest32 D = crypto::sha256(W.buffer());
+  std::lock_guard<std::mutex> L(Mu);
+  if (Cache.size() >= MaxEntries)
+    Cache.clear();
+  Cache.emplace(P.get(), std::make_pair(P, D));
+  return D;
 }
 
 // Formation ---------------------------------------------------------------------

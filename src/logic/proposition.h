@@ -27,6 +27,7 @@
 #ifndef TYPECOIN_LOGIC_PROPOSITION_H
 #define TYPECOIN_LOGIC_PROPOSITION_H
 
+#include "crypto/sha256.h"
 #include "lf/serialize.h"
 #include "lf/typecheck.h"
 #include "logic/condition.h"
@@ -103,8 +104,22 @@ bool propHasLocal(const PropPtr &P);
 
 std::string printProp(const PropPtr &P);
 
+/// Serialize a proposition. Shared subtrees (DAG nodes referenced more
+/// than once) are serialized once and re-appended as bulk byte copies —
+/// the wire format is unchanged (byte-identical to a naive tree walk),
+/// but the recursion cost is paid per *unique* node.
 void writeProp(Writer &W, const PropPtr &P);
+/// Parse a proposition. Repeated byte spans decode to *shared* nodes
+/// (pointer-equal PropPtrs), so a DAG serialized by writeProp comes back
+/// as a DAG and downstream propEqual/propDigest hit their fast paths.
 Result<PropPtr> readProp(Reader &R);
+
+/// Content digest of a proposition: SHA-256 of its canonical
+/// serialization, memoized per node in a bounded process-wide cache
+/// (the cache pins the node, so a pointer hit can never alias a freed
+/// prop). Used by the typecoin checker/state fingerprint in place of
+/// re-printing/re-serializing the full proposition.
+crypto::Digest32 propDigest(const PropPtr &P);
 
 /// Proposition formation: Sigma; Psi |- A prop (Appendix A).
 Status checkProp(const lf::Signature &Sig, const lf::Context &Psi,

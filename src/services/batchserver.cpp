@@ -4,6 +4,7 @@
 
 #include "analysis/lint.h"
 #include "obs/metrics.h"
+#include "support/threadpool.h"
 
 namespace typecoin {
 namespace services {
@@ -102,6 +103,24 @@ Result<bool> BatchServer::verifyResource(const std::string &Txid,
   if (Node.state().isConsumed(Txid, Index))
     return false;
   return logic::propEqual(Node.state().outputType(Txid, Index), Type);
+}
+
+std::vector<Result<bool>>
+BatchServer::verifyResources(const std::vector<ResourceClaim> &Claims) const {
+  static obs::Counter &Queries = obs::counter("batch.verify.count");
+  Queries.inc(Claims.size());
+  std::vector<Result<bool>> Results(Claims.size(), Result<bool>(false));
+  auto One = [&](size_t I) {
+    Results[I] =
+        verifyResource(Claims[I].Txid, Claims[I].Index, Claims[I].Type);
+  };
+  ThreadPool *Pool = ThreadPool::shared();
+  if (Pool && Claims.size() > 1)
+    Pool->parallelFor(Claims.size(), One);
+  else
+    for (size_t I = 0; I < Claims.size(); ++I)
+      One(I);
+  return Results;
 }
 
 Result<std::string>

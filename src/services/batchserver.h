@@ -70,6 +70,22 @@ public:
   Result<bool> verifyResource(const std::string &Txid, uint32_t Index,
                               const logic::PropPtr &Type) const;
 
+  /// One validity query of a batch of claims.
+  struct ResourceClaim {
+    std::string Txid;
+    uint32_t Index = 0;
+    logic::PropPtr Type;
+  };
+
+  /// Answer a batch of validity queries, fanned across the shared
+  /// TYPECOIN_PAR_VERIFY worker pool when it is enabled (each claim only
+  /// reads the ledger, chain, and typecoin state). Results align
+  /// positionally with \p Claims and are identical to calling
+  /// verifyResource per claim. The caller must not mutate the server or
+  /// node concurrently.
+  std::vector<Result<bool>>
+  verifyResources(const std::vector<ResourceClaim> &Claims) const;
+
   /// Withdraw: submit an on-chain routing transaction sending the held
   /// resource to \p Receiver (which must match the ledger owner). One
   /// Bitcoin transaction regardless of how many off-chain transfers

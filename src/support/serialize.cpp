@@ -54,6 +54,15 @@ void Writer::writeString(const std::string &S) {
   Buffer.insert(Buffer.end(), S.begin(), S.end());
 }
 
+void Writer::copyFromSelf(size_t Off, size_t Len) {
+  // Resize first, then copy: a self-referential insert() would be UB
+  // when the growth reallocates while reading from the old storage.
+  size_t Dst = Buffer.size();
+  Buffer.resize(Dst + Len);
+  std::copy(Buffer.begin() + Off, Buffer.begin() + Off + Len,
+            Buffer.begin() + Dst);
+}
+
 Result<uint8_t> Reader::readU8() {
   if (Pos + 1 > Len)
     return makeError("read past end of buffer");
@@ -129,6 +138,13 @@ Result<Bytes> Reader::readVarBytes() {
 Result<std::string> Reader::readString() {
   TC_UNWRAP(Raw, readVarBytes());
   return std::string(Raw.begin(), Raw.end());
+}
+
+Status Reader::skip(size_t N) {
+  if (Pos + N > Len)
+    return makeError("read past end of buffer");
+  Pos += N;
+  return Status::success();
 }
 
 Status Reader::expectEnd() const {

@@ -54,6 +54,15 @@ public:
   Bytes takeBuffer() { return std::move(Buffer); }
   size_t size() const { return Buffer.size(); }
 
+  /// Pre-size the underlying buffer (capacity, not length).
+  void reserve(size_t N) { Buffer.reserve(Buffer.size() + N); }
+
+  /// Re-append \p Len bytes already written at \p Off — the write-side
+  /// half of serialization memoization: a structure serialized earlier
+  /// in this buffer is repeated as a bulk copy instead of a recursive
+  /// re-serialization.
+  void copyFromSelf(size_t Off, size_t Len);
+
 private:
   Bytes Buffer;
 };
@@ -86,6 +95,14 @@ public:
   /// Bytes remaining to be read.
   size_t remaining() const { return Len - Pos; }
   bool atEnd() const { return Pos == Len; }
+
+  /// Current read offset / raw access, for readers that memoize decoded
+  /// structures by their byte span.
+  size_t pos() const { return Pos; }
+  const uint8_t *data() const { return Data; }
+  /// Advance past \p N bytes without decoding them (the caller has
+  /// already interpreted the span).
+  Status skip(size_t N);
 
   /// Fails unless the entire buffer has been consumed; used to reject
   /// trailing garbage after a complete structure.

@@ -1,0 +1,163 @@
+//===- support/threadpool.cpp - Shared validation worker pool --------------===//
+
+#include "support/threadpool.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace typecoin {
+
+namespace {
+/// Set while this thread is executing batch items; a nested parallelFor
+/// must not try to join the batch it is already part of.
+thread_local bool InsideBatch = false;
+} // namespace
+
+ThreadPool::ThreadPool(unsigned Workers)
+    : NumWorkers(Workers < 1 ? 1 : Workers) {
+  for (unsigned I = 1; I < NumWorkers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::runItems(const std::function<void(size_t)> &F, size_t Start,
+                          size_t End) {
+  InsideBatch = true;
+  while (true) {
+    // Claim by compare-exchange against this batch's end: a worker that
+    // woke late for an already-finished batch sees the counter at or
+    // past its captured End and exits without consuming an index that
+    // belongs to a newer batch.
+    size_t I = NextIndex.load(std::memory_order_relaxed);
+    bool Claimed = false;
+    while (I < End) {
+      if (NextIndex.compare_exchange_weak(I, I + 1,
+                                          std::memory_order_relaxed)) {
+        Claimed = true;
+        break;
+      }
+    }
+    if (!Claimed)
+      break;
+    F(I - Start);
+    std::lock_guard<std::mutex> L(Mu);
+    if (++CompletedCount == BatchSize)
+      DoneCv.notify_all();
+  }
+  InsideBatch = false;
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &F) {
+  if (N == 0)
+    return;
+  if (Threads.empty() || N == 1 || InsideBatch) {
+    bool SavedInside = InsideBatch;
+    InsideBatch = true; // nested calls stay inline
+    for (size_t I = 0; I < N; ++I)
+      F(I);
+    InsideBatch = SavedInside;
+    return;
+  }
+
+  std::lock_guard<std::mutex> BatchLock(BatchMu);
+  size_t Start, End;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Fn = &F;
+    // The index counter is monotonic across batches; each batch owns the
+    // window [BatchStart, BatchEnd).
+    Start = NextIndex.load(std::memory_order_relaxed);
+    End = Start + N;
+    BatchStart = Start;
+    BatchEnd = End;
+    BatchSize = N;
+    CompletedCount = 0;
+    ++BatchGeneration;
+  }
+  WorkCv.notify_all();
+
+  // The caller is a worker too.
+  runItems(F, Start, End);
+
+  std::unique_lock<std::mutex> L(Mu);
+  DoneCv.wait(L, [&] { return CompletedCount == BatchSize; });
+  Fn = nullptr;
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    const std::function<void(size_t)> *F;
+    size_t Start, End;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkCv.wait(L, [&] {
+        return ShuttingDown || (Fn && BatchGeneration != SeenGeneration);
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = BatchGeneration;
+      F = Fn;
+      Start = BatchStart;
+      End = BatchEnd;
+    }
+    runItems(*F, Start, End);
+  }
+}
+
+// --- process-wide pool ----------------------------------------------------
+
+namespace {
+std::mutex &sharedPoolMu() {
+  static std::mutex M;
+  return M;
+}
+std::unique_ptr<ThreadPool> &sharedPoolSlot() {
+  static std::unique_ptr<ThreadPool> P;
+  return P;
+}
+bool SharedPoolInited = false;
+} // namespace
+
+unsigned ThreadPool::configuredWorkers() {
+  const char *Env = std::getenv("TYPECOIN_PAR_VERIFY");
+  if (!Env || !*Env)
+    return 1;
+  char *EndPtr = nullptr;
+  long V = std::strtol(Env, &EndPtr, 10);
+  if (EndPtr == Env || V < 2)
+    return 1;
+  if (V > 64)
+    V = 64;
+  return static_cast<unsigned>(V);
+}
+
+ThreadPool *ThreadPool::shared() {
+  std::lock_guard<std::mutex> L(sharedPoolMu());
+  if (!SharedPoolInited) {
+    SharedPoolInited = true;
+    unsigned W = configuredWorkers();
+    if (W > 1)
+      sharedPoolSlot() = std::make_unique<ThreadPool>(W);
+  }
+  return sharedPoolSlot().get();
+}
+
+void ThreadPool::configure(unsigned Workers) {
+  std::lock_guard<std::mutex> L(sharedPoolMu());
+  SharedPoolInited = true;
+  sharedPoolSlot().reset();
+  if (Workers > 1)
+    sharedPoolSlot() = std::make_unique<ThreadPool>(Workers);
+}
+
+} // namespace typecoin

@@ -1,0 +1,107 @@
+//===- support/threadpool.h - Shared validation worker pool ----*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent worker pool used by the validation fast path: block
+/// connect fans its input-script checks across the pool, and batch-mode
+/// servers fan proof/resource checks the same way. The design is
+/// deliberately minimal — one batch at a time, the calling thread
+/// participates, work items are indices pulled from an atomic counter —
+/// because that is exactly the shape of "verify N independent things and
+/// join" and nothing else in the tree needs more.
+///
+/// The pool is gated by the `TYPECOIN_PAR_VERIFY` environment knob:
+/// unset, `0`, or `1` keeps every consumer on the serial path (no
+/// threads are ever created); `N > 1` runs N-1 persistent workers plus
+/// the caller. `ThreadPool::configure()` overrides the knob
+/// programmatically for benchmarks and tests.
+///
+/// Thread-safety: parallelFor may be called from any thread, but calls
+/// are serialized internally (one batch owns the workers at a time). A
+/// nested parallelFor from inside a work item runs its items inline on
+/// the calling thread rather than deadlocking on the batch lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_SUPPORT_THREADPOOL_H
+#define TYPECOIN_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace typecoin {
+
+class ThreadPool {
+public:
+  /// Spin up \p Workers - 1 persistent threads (the caller is the last
+  /// worker). \p Workers <= 1 creates no threads; parallelFor then runs
+  /// inline.
+  explicit ThreadPool(unsigned Workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total workers participating in a batch (including the caller).
+  unsigned workers() const { return NumWorkers; }
+
+  /// Run Fn(I) for every I in [0, N), across the pool plus the calling
+  /// thread, and block until all N items completed. Fn must not throw.
+  /// Item order is unspecified; callers needing deterministic results
+  /// must write into per-index slots and aggregate afterwards.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  // --- process-wide pool, gated by TYPECOIN_PAR_VERIFY ------------------
+
+  /// Worker count from the environment: `TYPECOIN_PAR_VERIFY=N`.
+  /// Unset, 0, 1, or unparsable mean "serial" (returns 1).
+  static unsigned configuredWorkers();
+
+  /// The shared validation pool, or nullptr when parallel verification
+  /// is disabled. First call sizes it from configuredWorkers().
+  static ThreadPool *shared();
+
+  /// Re-size the shared pool (0 or 1 disables it). Not safe concurrently
+  /// with in-flight parallelFor calls on the old pool; intended for
+  /// benchmark/test setup.
+  static void configure(unsigned Workers);
+
+private:
+  void workerLoop();
+  /// Pull indices in [Start, End) from NextIndex and run F on each
+  /// (translated back to [0, BatchSize)); used by both the caller and
+  /// the persistent workers.
+  void runItems(const std::function<void(size_t)> &F, size_t Start,
+                size_t End);
+
+  unsigned NumWorkers = 1;
+  std::vector<std::thread> Threads;
+
+  std::mutex Mu;
+  std::condition_variable WorkCv;  ///< workers wait for a batch
+  std::condition_variable DoneCv;  ///< the caller waits for completion
+  uint64_t BatchGeneration = 0;    ///< bumped when a new batch is posted
+  bool ShuttingDown = false;
+
+  // Current batch (valid while Fn != nullptr).
+  const std::function<void(size_t)> *Fn = nullptr;
+  size_t BatchSize = 0;
+  size_t BatchStart = 0; ///< index window [BatchStart, BatchEnd); guarded by Mu
+  size_t BatchEnd = 0;
+  std::atomic<size_t> NextIndex{0};
+  size_t CompletedCount = 0; ///< guarded by Mu
+
+  std::mutex BatchMu; ///< serializes concurrent parallelFor callers
+};
+
+} // namespace typecoin
+
+#endif // TYPECOIN_SUPPORT_THREADPOOL_H

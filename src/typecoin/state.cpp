@@ -287,8 +287,14 @@ std::string State::fingerprint() const {
   for (const auto &[Txid, E] : Txs) {
     Feed(Txid);
     Feed(E.Spoiled ? "spoiled" : "valid");
-    for (const logic::PropPtr &P : E.ResolvedOutputTypes)
-      Feed(logic::printProp(P));
+    Feed(std::to_string(E.ResolvedOutputTypes.size()));
+    for (const logic::PropPtr &P : E.ResolvedOutputTypes) {
+      // Feed the memoized content digest instead of re-printing the
+      // proposition: fingerprints are only ever compared against other
+      // in-process fingerprints, so any injective encoding works.
+      crypto::Digest32 D = logic::propDigest(P);
+      Hasher.update(D.data(), D.size());
+    }
   }
   Feed("|consumed|");
   for (const auto &[Txid, Index] : Consumed) {

@@ -48,6 +48,10 @@ protected:
     EXPECT_TRUE(Sig.hasValue());
     Work.Inputs[0].ScriptSig = *Sig;
     Mutate(Work);
+    // The mutation happens in place after signing computed (and
+    // memoized) signature hashes; drop them so verification sees the
+    // mutated transaction.
+    Work.invalidateCaches();
     TransactionSignatureChecker Checker(Work, 0, Lock);
     return verifyScript(Work.Inputs[0].ScriptSig, Lock, Checker)
         .hasValue();

@@ -62,8 +62,22 @@ TEST(Transaction, DeserializeRejectsTruncation) {
 TEST(Transaction, TxIdChangesWithContent) {
   Transaction Tx = sampleTx();
   TxId Before = Tx.txid();
+  // In-place mutation after txid() requires dropping the memoized id.
   Tx.Outputs[0].Value += 1;
+  Tx.invalidateCaches();
   EXPECT_NE(Tx.txid(), Before);
+}
+
+TEST(Transaction, TxIdMemoSurvivesRepeatedCalls) {
+  Transaction Tx = sampleTx();
+  EXPECT_EQ(Tx.txid(), Tx.txid());
+  // Copies and assignments start with cold caches bound to their own
+  // contents.
+  Transaction Copy = Tx;
+  Copy.Outputs[0].Value += 1;
+  EXPECT_NE(Copy.txid(), Tx.txid());
+  Copy = Tx;
+  EXPECT_EQ(Copy.txid(), Tx.txid());
 }
 
 TEST(Transaction, CoinbaseDetection) {
@@ -91,6 +105,7 @@ TEST(SigHash, CommitsToOutputsUnderAll) {
   Script Code = makeP2PKH(keyFromSeed(1).id());
   auto H1 = signatureHash(Tx, 0, Code, SIGHASH_ALL);
   Tx.Outputs[0].Value += 1;
+  Tx.invalidateCaches();
   auto H2 = signatureHash(Tx, 0, Code, SIGHASH_ALL);
   ASSERT_TRUE(H1.hasValue() && H2.hasValue());
   EXPECT_NE(*H1, *H2);
@@ -113,11 +128,13 @@ TEST(SigHash, SingleCoversOnlyMatchingOutput) {
   auto H1 = signatureHash(Tx, 0, Code, SIGHASH_SINGLE);
   // Changing output 1 (not matching input 0) leaves the hash unchanged.
   Tx.Outputs[1].Value += 7;
+  Tx.invalidateCaches();
   auto H2 = signatureHash(Tx, 0, Code, SIGHASH_SINGLE);
   ASSERT_TRUE(H1.hasValue() && H2.hasValue());
   EXPECT_EQ(*H1, *H2);
   // Changing output 0 does change it.
   Tx.Outputs[0].Value += 7;
+  Tx.invalidateCaches();
   auto H3 = signatureHash(Tx, 0, Code, SIGHASH_SINGLE);
   ASSERT_TRUE(H3.hasValue());
   EXPECT_NE(*H1, *H3);
@@ -185,6 +202,7 @@ TEST(SignatureChecker, TamperedTxFailsVerification) {
   Tx.Inputs[0].ScriptSig = *Sig;
   // Tamper with an output after signing.
   Tx.Outputs[0].Value -= 1;
+  Tx.invalidateCaches();
   TransactionSignatureChecker Checker(Tx, 0, Lock);
   EXPECT_FALSE(
       verifyScript(Tx.Inputs[0].ScriptSig, Lock, Checker).hasValue());

@@ -1,0 +1,173 @@
+//===- tests/fastpath/parallel_connect_test.cpp - Parallel verification ---===//
+//
+// Parallel block connect must be an invisible optimization: the same
+// blocks accepted or rejected, the same chain state, and — because error
+// aggregation is by block order, not completion order — the same error
+// for an invalid block no matter how the work interleaves. The typecoin
+// layer check is the strongest one available: byte-identical
+// State::fingerprint between a serial and a parallel node. Run under
+// TSan in CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bitcoin/chain.h"
+
+#include "bitcoin/miner.h"
+#include "bitcoin/standard.h"
+#include "chaosutil.h"
+#include "support/threadpool.h"
+#include "typecoin/node.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::bitcoin;
+
+namespace {
+
+using chaosutil::keyFromSeed;
+
+ChainParams testParams() {
+  ChainParams P;
+  P.CoinbaseMaturity = 1;
+  return P;
+}
+
+/// Restores the shared pool to "disabled" on scope exit so no other test
+/// inherits a parallel configuration.
+struct PoolGuard {
+  explicit PoolGuard(unsigned Workers) { ThreadPool::configure(Workers); }
+  ~PoolGuard() { ThreadPool::configure(0); }
+};
+
+/// A signed spend of the coinbase at height \p H.
+Transaction spendCoinbase(const Blockchain &Chain, int H,
+                          const crypto::PrivateKey &Owner, uint64_t DestSeed) {
+  TxId Coinbase = Chain.blockByHash(*Chain.blockHashAt(H))->Txs[0].txid();
+  Transaction Spend;
+  Spend.Inputs.push_back(TxIn{OutPoint{Coinbase, 0}, {}});
+  Spend.Outputs.push_back(TxOut{Chain.params().Subsidy - 10000,
+                                makeP2PKH(keyFromSeed(DestSeed).id())});
+  Script Lock = makeP2PKH(Owner.id());
+  auto Sig = signInput(Spend, 0, Lock, {Owner});
+  EXPECT_TRUE(Sig.hasValue());
+  Spend.Inputs[0].ScriptSig = *Sig;
+  return Spend;
+}
+
+/// Builds a reference chain: 5 coinbases, a maturity block, then one
+/// block spending four of them (5 txs, 4 signed inputs). Returns every
+/// block above genesis in height order.
+std::vector<Block> buildWorkload() {
+  Blockchain Chain(testParams());
+  Mempool Pool;
+  auto Miner = keyFromSeed(1);
+  uint32_t Clock = 0;
+  std::vector<Block> Blocks;
+  for (int I = 0; I < 6; ++I) {
+    Clock += 600;
+    auto B = mineAndSubmit(Chain, Pool, Miner.id(), Clock);
+    EXPECT_TRUE(B.hasValue());
+    Blocks.push_back(*B);
+  }
+  for (int H = 1; H <= 4; ++H) {
+    Transaction Spend = spendCoinbase(Chain, H, Miner, 100 + H);
+    EXPECT_TRUE(Pool.acceptTransaction(Spend, Chain).hasValue());
+  }
+  Clock += 600;
+  auto B = mineAndSubmit(Chain, Pool, Miner.id(), Clock);
+  EXPECT_TRUE(B.hasValue());
+  EXPECT_EQ(B->Txs.size(), 5u);
+  Blocks.push_back(*B);
+  return Blocks;
+}
+
+/// Feeds \p Blocks into a fresh chain under \p Workers pool threads and
+/// returns the resulting tip hash (all submissions must succeed).
+BlockHash connectAll(const std::vector<Block> &Blocks, unsigned Workers) {
+  PoolGuard Guard(Workers);
+  Blockchain Chain(testParams());
+  for (const Block &B : Blocks) {
+    auto S = Chain.submitBlock(B);
+    EXPECT_TRUE(S.hasValue()) << S.error().message();
+  }
+  EXPECT_EQ(Chain.utxo().size(), 7u); // 3 unspent coinbases + 4 spends
+  return Chain.tipHash();
+}
+
+TEST(ParallelConnect, MatchesSerialChainState) {
+  std::vector<Block> Blocks = buildWorkload();
+  BlockHash Serial = connectAll(Blocks, 0);
+  EXPECT_EQ(connectAll(Blocks, 2), Serial);
+  EXPECT_EQ(connectAll(Blocks, 4), Serial);
+}
+
+TEST(ParallelConnect, ErrorIsDeterministicallyFirstInBlockOrder) {
+  Blockchain Chain(testParams());
+  Mempool Pool;
+  auto Miner = keyFromSeed(1);
+  uint32_t Clock = 0;
+  for (int I = 0; I < 3; ++I) {
+    Clock += 600;
+    ASSERT_TRUE(mineAndSubmit(Chain, Pool, Miner.id(), Clock).hasValue());
+  }
+
+  // A block whose txs 1 and 2 BOTH carry corrupted signatures. Whatever
+  // order the workers finish in, the reported failure must be the
+  // earliest bad input in block order: tx 1.
+  auto Corrupt = [](Transaction Tx) {
+    Bytes Raw = Tx.Inputs[0].ScriptSig.bytes();
+    Raw[5] ^= 1;
+    Tx.Inputs[0].ScriptSig = Script(Raw);
+    return Tx;
+  };
+  PoolGuard Guard(4);
+  // Distinct timestamps give distinct block hashes, so every attempt is
+  // a full (parallel) validation, not the duplicate-block fast path.
+  for (uint32_t Attempt = 0; Attempt < 5; ++Attempt) {
+    Block Bad =
+        assembleBlock(Chain, Pool, Miner.id(), Clock + 600 + Attempt);
+    Bad.Txs.push_back(Corrupt(spendCoinbase(Chain, 1, Miner, 201)));
+    Bad.Txs.push_back(Corrupt(spendCoinbase(Chain, 2, Miner, 202)));
+    Bad.updateMerkleRoot();
+    ASSERT_TRUE(mineBlock(Bad));
+    auto S = Chain.submitBlock(Bad);
+    ASSERT_FALSE(S.hasValue());
+    EXPECT_NE(S.error().message().find("block: tx 1"), std::string::npos)
+        << S.error().message();
+  }
+}
+
+/// The same deterministic typecoin workload (fund, grant, confirm) on a
+/// fresh node; fingerprints must match bit-for-bit across pool sizes.
+std::string runTypecoinWorkload(unsigned Workers) {
+  PoolGuard Guard(Workers);
+  tc::Node Node;
+  chaosutil::Actor Alice(7101);
+  uint32_t Clock = 0;
+  for (int I = 0; I < 3; ++I) {
+    Clock += 600;
+    EXPECT_TRUE(Node.mineBlock(Alice.id(), Clock).hasValue());
+  }
+  Clock += 600;
+  EXPECT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+
+  auto P =
+      chaosutil::buildGrantPair(Alice, "parfp", Alice.pub(), Node.chain());
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+  EXPECT_TRUE(Node.submitPair(*P).hasValue());
+  Clock += 600;
+  EXPECT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+  Clock += 600;
+  EXPECT_TRUE(Node.mineBlock(crypto::KeyId{}, Clock).hasValue());
+  EXPECT_EQ(Node.state().registeredTxids().size(), 1u);
+  return Node.state().fingerprint();
+}
+
+TEST(ParallelConnect, TypecoinFingerprintIsByteIdentical) {
+  std::string Serial = runTypecoinWorkload(0);
+  ASSERT_FALSE(Serial.empty());
+  EXPECT_EQ(runTypecoinWorkload(4), Serial);
+}
+
+} // namespace
