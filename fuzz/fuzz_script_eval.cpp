@@ -1,0 +1,83 @@
+//===- fuzz/fuzz_script_eval.cpp - libFuzzer: script eval vs tcsym --------===//
+//
+// Differential fuzzing of the concrete script interpreter against the
+// symbolic verifier. The input bytes split into an initial stack and a
+// script; the invariants checked on every input:
+//
+//  * neither interpreter crashes, hangs, or trips a sanitizer on
+//    arbitrary bytes;
+//  * soundness of the Unspendable verdict: when tcsym (closed world,
+//    this exact stack) proves the script unsatisfiable, the concrete
+//    interpreter must not accept it;
+//  * on closed-world inputs the symbolic path verdict must agree with
+//    the concrete run exactly (one path, same success).
+//
+// Build with -DTYPECOIN_FUZZ=ON (requires clang's -fsanitize=fuzzer;
+// the option is OFF by default so non-clang toolchains configure
+// cleanly).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/tcsym.h"
+
+#include "bitcoin/script.h"
+
+#include <cstddef>
+#include <cstdint>
+
+using namespace typecoin;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size < 2)
+    return 0;
+
+  // Layout: [stack-depth byte][stack elements, length-prefixed][script].
+  size_t Pos = 0;
+  size_t Depth = Data[Pos++] % 5;
+  std::vector<Bytes> Init;
+  for (size_t I = 0; I < Depth && Pos < Size; ++I) {
+    size_t Len = Data[Pos++] % 8;
+    Len = std::min(Len, Size - Pos);
+    Init.emplace_back(Data + Pos, Data + Pos + Len);
+    Pos += Len;
+  }
+  bitcoin::Script Script(Bytes(Data + Pos, Data + Size));
+
+  std::vector<Bytes> Stack = Init;
+  bitcoin::NullSignatureChecker Checker;
+  Status Conc = bitcoin::evalScript(Script, Stack, Checker);
+  bool ConcOk = Conc.hasValue() && !Stack.empty() &&
+                bitcoin::castToBool(Stack.back());
+
+  // Closed world over the same stack: one path, exact agreement. The
+  // sig-check opcodes are witness-optimistic symbolically but always
+  // false under NullSignatureChecker, so skip the agreement check (not
+  // the crash check) when the script contains one.
+  analysis::SymOptions Opts;
+  Opts.ClosedWorld = true;
+  Opts.InitialStack = Init;
+  analysis::ScriptVerdict Closed = analysis::analyzeScript(Script, Opts);
+
+  bool HasSigOp = false;
+  if (auto Elems = Script.decode()) {
+    for (const auto &E : *Elems)
+      if (!E.IsPush && E.Op >= bitcoin::OP_CHECKSIG &&
+          E.Op <= bitcoin::OP_CHECKMULTISIGVERIFY)
+        HasSigOp = true;
+  }
+  if (!HasSigOp && !Closed.PathLimitHit) {
+    if (Closed.Spend == analysis::Spendability::Unspendable && ConcOk)
+      __builtin_trap(); // Unsoundness: a "proven" unspendable accepted.
+    if (Closed.Spend == analysis::Spendability::Spendable && !ConcOk)
+      __builtin_trap(); // Closed world is exact: no optimism allowed.
+  }
+
+  // Open world must never crash either; its Unspendable proof covers
+  // every witness, including the concrete stack we just ran.
+  analysis::ScriptVerdict Open = analysis::analyzeScript(Script);
+  if (!HasSigOp && Open.Spend == analysis::Spendability::Unspendable &&
+      ConcOk)
+    __builtin_trap();
+
+  return 0;
+}

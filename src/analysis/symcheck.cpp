@@ -1,0 +1,118 @@
+//===- analysis/symcheck.cpp - The TYPECOIN_SYMCHECK gate -----------------===//
+
+#include "analysis/symcheck.h"
+
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace typecoin {
+namespace analysis {
+
+bool symCheckEnabled() {
+  const char *Env = std::getenv("TYPECOIN_SYMCHECK");
+  return Env && *Env && std::strcmp(Env, "0") != 0;
+}
+
+namespace {
+
+struct GateMetrics {
+  obs::Counter &Checked = obs::counter("symcheck.gate.checked");
+  obs::Counter &Rejected = obs::counter("symcheck.gate.rejected");
+  obs::Histogram &GateNs = obs::latencyHistogram("symcheck.gate_ns");
+
+  static GateMetrics &get() {
+    static GateMetrics M;
+    return M;
+  }
+};
+
+Status gateReport(const LintReport &R, GateMetrics &M) {
+  if (const Diagnostic *D = R.firstAtLeast(Severity::Error)) {
+    M.Rejected.inc();
+    return makeError("symcheck: [" + D->Code + "] " +
+                     (D->Span.empty() ? "" : D->Span + ": ") + D->Message);
+  }
+  return Status::success();
+}
+
+} // namespace
+
+Status symGate(const tc::Pair &P, const bitcoin::Blockchain &Chain,
+               const SymOptions &Opts) {
+  if (!symCheckEnabled())
+    return Status::success();
+  GateMetrics &M = GateMetrics::get();
+  obs::ScopedTimer Timer(M.GateNs);
+  M.Checked.inc();
+
+  LintReport R = analyzeCarrierScripts(P.Btc, Opts);
+  DataflowLedger Ledger = DataflowLedger::fromChain(Chain);
+  R.merge(analyzeAffineDataflow({DataflowTx::fromPair(P.Tc, P.Btc)}, Ledger),
+          "dataflow");
+  return gateReport(R, M);
+}
+
+Status symGate(const tc::Transaction &T, const bitcoin::Blockchain &Chain,
+               const SymOptions &Opts) {
+  (void)Opts; // No carrier yet: nothing to verify symbolically.
+  if (!symCheckEnabled())
+    return Status::success();
+  GateMetrics &M = GateMetrics::get();
+  obs::ScopedTimer Timer(M.GateNs);
+  M.Checked.inc();
+
+  DataflowLedger Ledger = DataflowLedger::fromChain(Chain);
+  DataflowTx Tx;
+  Tx.Txid = "(pending)";
+  for (const tc::Input &In : T.Inputs)
+    Tx.Consumes.push_back(In.SourceTxid + ":" +
+                          std::to_string(In.SourceIndex));
+  Tx.NumOutputs = T.Outputs.size();
+  LintReport R = analyzeAffineDataflow({Tx}, Ledger);
+  return gateReport(R, M);
+}
+
+obs::Json findingsJson(const LintReport &R) {
+  obs::Json Doc = obs::Json::object();
+  Doc.set("schema", "typecoin-findings/1");
+  obs::Json Counts = obs::Json::object();
+  Counts.set("note", static_cast<int64_t>(R.count(Severity::Note)));
+  Counts.set("warning", static_cast<int64_t>(R.count(Severity::Warning)));
+  Counts.set("error", static_cast<int64_t>(R.count(Severity::Error)));
+  Doc.set("counts", std::move(Counts));
+  obs::Json Findings = obs::Json::array();
+  for (const Diagnostic &D : R.diagnostics()) {
+    obs::Json F = obs::Json::object();
+    F.set("severity", severityName(D.Sev));
+    F.set("code", D.Code);
+    F.set("message", D.Message);
+    F.set("span", D.Span);
+    Findings.push(std::move(F));
+  }
+  Doc.set("findings", std::move(Findings));
+  return Doc;
+}
+
+obs::Json verdictJson(const ScriptVerdict &V) {
+  obs::Json Doc = obs::Json::object();
+  Doc.set("wellFormed", V.WellFormed);
+  Doc.set("stackSafe", V.StackSafe);
+  Doc.set("spendability", spendabilityName(V.Spend));
+  obs::Json Mall = obs::Json::array();
+  if (V.Malleability & MalleableDER)
+    Mall.push("der");
+  if (V.Malleability & MalleableExtraStack)
+    Mall.push("extra-stack");
+  if (V.Malleability & MalleableSigSubst)
+    Mall.push("sig-subst");
+  Doc.set("malleability", std::move(Mall));
+  Doc.set("inputsNeeded", static_cast<int64_t>(V.InputsNeeded));
+  Doc.set("pathsExplored", static_cast<int64_t>(V.PathsExplored));
+  Doc.set("pathLimitHit", V.PathLimitHit);
+  return Doc;
+}
+
+} // namespace analysis
+} // namespace typecoin

@@ -1,0 +1,69 @@
+//===- analysis/symcheck.h - The TYPECOIN_SYMCHECK gate ----------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The opt-in symbolic verification gate: tcsym (analysis/tcsym.h) over
+/// every carrier output script plus the whole-ledger affine dataflow
+/// pass (analysis/dataflow.h), wired into Node::submitPair and
+/// BatchServer::recordWriteThrough behind the `TYPECOIN_SYMCHECK`
+/// environment variable (unset or "0" = off, anything else = on,
+/// re-read on every call so tests can toggle it).
+///
+/// Severity contract: the gate rejects only on Error findings — a
+/// provably unspendable non-OP_RETURN carrier output (a resource frozen
+/// forever), a stack-unsafe script, a double-consume, or a consumption
+/// of an already-consumed resource. Malleability classes and
+/// reorg/provenance hazards are warnings: real, but the pair is still
+/// acceptable. Verdict counters (`sym.verdict.*`), the path-count
+/// histogram (`sym.paths`), and analysis latency (`sym.analyze_ns`) are
+/// exported through the obs registry by tcsym itself; this gate adds
+/// `symcheck.gate.{checked,rejected}` and `symcheck.gate_ns`.
+///
+/// Findings also render to a machine-readable JSON document (schema
+/// `typecoin-findings/1`), shared by `tclint --json` and the CI
+/// symcheck job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_ANALYSIS_SYMCHECK_H
+#define TYPECOIN_ANALYSIS_SYMCHECK_H
+
+#include "analysis/dataflow.h"
+#include "analysis/tcsym.h"
+#include "obs/json.h"
+#include "typecoin/node.h"
+
+namespace typecoin {
+namespace analysis {
+
+/// Is the TYPECOIN_SYMCHECK gate on? (Env re-read per call.)
+bool symCheckEnabled();
+
+/// Gate a coupled pair: symbolic verification of every carrier output
+/// script, then the affine dataflow of the Typecoin inputs against the
+/// node's chain snapshot. Success when the gate is off or no Error
+/// finding is produced.
+Status symGate(const tc::Pair &P, const bitcoin::Blockchain &Chain,
+               const SymOptions &Opts = SymOptions());
+
+/// Gate a bare Typecoin transaction (the batch-server write-through
+/// path, before the Bitcoin carrier exists): dataflow only.
+Status symGate(const tc::Transaction &T, const bitcoin::Blockchain &Chain,
+               const SymOptions &Opts = SymOptions());
+
+/// Render a report as a `typecoin-findings/1` JSON document:
+/// `{schema, counts{note,warning,error}, findings[{severity,code,
+/// message,span}]}`.
+obs::Json findingsJson(const LintReport &R);
+
+/// Render one script verdict as JSON (embedded into findings documents
+/// by `tclint --sym --json`).
+obs::Json verdictJson(const ScriptVerdict &V);
+
+} // namespace analysis
+} // namespace typecoin
+
+#endif // TYPECOIN_ANALYSIS_SYMCHECK_H

@@ -159,6 +159,17 @@ const Block *Blockchain::blockByHash(const BlockHash &Hash) const {
   return It == Blocks.end() ? nullptr : &It->second.Blk;
 }
 
+void Blockchain::forEachBlock(
+    const std::function<void(const Block &B, int Height, bool OnBestChain)>
+        &Fn) const {
+  for (const auto &[Hash, Entry] : Blocks) {
+    bool OnBest =
+        static_cast<size_t>(Entry.Height) < ActiveChain.size() &&
+        ActiveChain[static_cast<size_t>(Entry.Height)] == Hash;
+    Fn(Entry.Blk, Entry.Height, OnBest);
+  }
+}
+
 Status Blockchain::checkBlock(const Block &B, const BlockHash &Hash) const {
   if (!checkProofOfWork(Hash.Hash, B.Header.Bits))
     return makeError("block: proof of work is invalid");

@@ -76,6 +76,15 @@ public:
   std::optional<BlockHash> blockHashAt(int Height) const;
   const Block *blockByHash(const BlockHash &Hash) const;
 
+  /// Visit every stored block — all branches, not just the best chain —
+  /// in deterministic (block-hash) order, with its height and whether it
+  /// currently sits on the best chain. The whole-ledger affine dataflow
+  /// analysis (analysis/dataflow.h) uses this to see consumptions that
+  /// only exist on abandoned branches.
+  void forEachBlock(
+      const std::function<void(const Block &B, int Height, bool OnBestChain)>
+          &Fn) const;
+
   /// The UTXO set of the best chain.
   const UtxoSet &utxo() const { return Utxo; }
 

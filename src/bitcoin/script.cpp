@@ -184,12 +184,6 @@ bool castToBool(const Bytes &Item) {
 
 namespace {
 
-/// Bounded interpreter limits (Bitcoin consensus values).
-constexpr size_t MaxStackSize = 1000;
-constexpr size_t MaxScriptSize = 10000;
-constexpr size_t MaxOpsPerScript = 201;
-constexpr size_t MaxPushSize = 520;
-
 Bytes boolBytes(bool B) { return B ? Bytes{1} : Bytes(); }
 
 class Interpreter {
@@ -220,7 +214,7 @@ private:
   }
 
   Status pushValue(Bytes V) {
-    if (Stack.size() + AltStack.size() >= MaxStackSize)
+    if (Stack.size() + AltStack.size() >= MaxScriptStackSize)
       return makeError("script: stack size limit exceeded");
     Stack.push_back(std::move(V));
     return Status::success();
@@ -250,7 +244,7 @@ Status Interpreter::run(const Script &S) {
     if (!Executing && E.IsPush)
       continue;
     if (E.IsPush) {
-      if (E.Push.size() > MaxPushSize)
+      if (E.Push.size() > MaxScriptPushSize)
         return makeError("script: push exceeds 520 bytes");
       TC_TRY(pushValue(E.Push));
       continue;
@@ -612,7 +606,7 @@ Status evalScript(const Script &S, std::vector<Bytes> &Stack,
   return Interp.run(S);
 }
 
-static bool isPushOnly(const Script &S) {
+bool isPushOnly(const Script &S) {
   auto Elems = S.decode();
   if (!Elems)
     return false;

@@ -155,6 +155,18 @@ private:
   Bytes Data;
 };
 
+/// Bounded interpreter limits (Bitcoin consensus values). Shared by the
+/// concrete interpreter below and the symbolic verifier
+/// (analysis/tcsym.h), which must agree on them exactly.
+constexpr size_t MaxScriptStackSize = 1000;
+constexpr size_t MaxScriptSize = 10000;
+constexpr size_t MaxOpsPerScript = 201;
+constexpr size_t MaxScriptPushSize = 520;
+
+/// Is the script only data pushes (plus the small-integer opcodes)?
+/// Relay policy requires this of every scriptSig.
+bool isPushOnly(const Script &S);
+
 /// Script numbers: minimally-encoded little-endian signed integers, at
 /// most 4 bytes when used as interpreter operands.
 Bytes scriptNumEncode(int64_t Value);

@@ -3,6 +3,7 @@
 #include "services/batchserver.h"
 
 #include "analysis/lint.h"
+#include "analysis/symcheck.h"
 #include "obs/metrics.h"
 #include "support/threadpool.h"
 
@@ -180,6 +181,14 @@ BatchServer::recordWriteThrough(const tc::Transaction &T) {
   // carrier; a transaction the node would reject never leaves here, and
   // a lint rejection is permanent — it is not worth deferring.
   if (auto S = analysis::lintGate(T); !S) {
+    M.WriteRejected.inc();
+    return S.takeError();
+  }
+  // Opt-in symbolic gate (TYPECOIN_SYMCHECK): the carrier does not
+  // exist yet, so this is the dataflow-only overload — it catches a
+  // write that consumes an already-consumed resource before we pay for
+  // building and signing the carrier.
+  if (auto S = analysis::symGate(T, Node.chain()); !S) {
     M.WriteRejected.inc();
     return S.takeError();
   }

@@ -4,6 +4,7 @@
 
 #include "analysis/audit.h"
 #include "analysis/lint.h"
+#include "analysis/symcheck.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -124,6 +125,7 @@ struct SubmitMetrics {
       obs::counter("node.submit.rejected.correspondence");
   obs::Counter &RejectedPrecheck =
       obs::counter("node.submit.rejected.precheck");
+  obs::Counter &RejectedSym = obs::counter("node.submit.rejected.sym");
   obs::Counter &RejectedMempool =
       obs::counter("node.submit.rejected.mempool");
   obs::Histogram &LintNs = obs::latencyHistogram("node.submit.lint_ns");
@@ -153,6 +155,14 @@ Status Node::submitPair(const Pair &P) {
       M.RejectedLint.inc();
       return S;
     }
+  }
+
+  // Opt-in symbolic gate (TYPECOIN_SYMCHECK): tcsym over the carrier
+  // output scripts plus the whole-ledger affine dataflow pass. A no-op
+  // (single env read) when the gate is off.
+  if (auto S = analysis::symGate(P, Chain); !S) {
+    M.RejectedSym.inc();
+    return S;
   }
 
   {

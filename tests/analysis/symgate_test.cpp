@@ -1,0 +1,244 @@
+//===- tests/analysis/symgate_test.cpp - TYPECOIN_SYMCHECK gate tests -----===//
+//
+// The opt-in symbolic gate: environment toggling, the severity contract
+// (errors reject, warnings pass), the obs counters, the JSON findings
+// schema, and an end-to-end Node::submitPair rejection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/symcheck.h"
+
+#include "bitcoin/standard.h"
+#include "obs/metrics.h"
+#include "typecoin/builder.h"
+
+#include "../typecoin/testutil.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::analysis;
+
+namespace {
+
+/// RAII TYPECOIN_SYMCHECK setting, restored on scope exit.
+struct SymEnv {
+  explicit SymEnv(const char *Value) {
+    const char *Old = std::getenv("TYPECOIN_SYMCHECK");
+    Saved = Old ? std::optional<std::string>(Old) : std::nullopt;
+    if (Value)
+      ::setenv("TYPECOIN_SYMCHECK", Value, 1);
+    else
+      ::unsetenv("TYPECOIN_SYMCHECK");
+  }
+  ~SymEnv() {
+    if (Saved)
+      ::setenv("TYPECOIN_SYMCHECK", Saved->c_str(), 1);
+    else
+      ::unsetenv("TYPECOIN_SYMCHECK");
+  }
+  std::optional<std::string> Saved;
+};
+
+crypto::PrivateKey keyFromSeed(uint64_t Seed) {
+  Rng Rand(Seed);
+  return crypto::PrivateKey::generate(Rand);
+}
+
+/// A minimal pair: one unknown-provenance Typecoin input, and a carrier
+/// whose single output has the given locking script.
+tc::Pair pairWithCarrierScript(bitcoin::Script Lock) {
+  tc::Pair P;
+  tc::Input In;
+  In.SourceTxid = std::string(64, 'a');
+  In.SourceIndex = 0;
+  In.Type = logic::pOne();
+  In.Amount = 50000;
+  P.Tc.Inputs.push_back(std::move(In));
+  P.Btc.Inputs.push_back(
+      bitcoin::TxIn{bitcoin::OutPoint{{}, 0}, bitcoin::Script()});
+  P.Btc.Outputs.push_back(bitcoin::TxOut{50000, std::move(Lock)});
+  return P;
+}
+
+uint64_t counterNow(const std::string &Name) {
+  return obs::Registry::instance().snapshot().counter(Name);
+}
+
+TEST(SymGate, EnvParsing) {
+  {
+    SymEnv E(nullptr);
+    EXPECT_FALSE(symCheckEnabled());
+  }
+  {
+    SymEnv E("0");
+    EXPECT_FALSE(symCheckEnabled());
+  }
+  {
+    SymEnv E("");
+    EXPECT_FALSE(symCheckEnabled());
+  }
+  {
+    SymEnv E("1");
+    EXPECT_TRUE(symCheckEnabled());
+  }
+  {
+    SymEnv E("yes");
+    EXPECT_TRUE(symCheckEnabled());
+  }
+}
+
+TEST(SymGate, OffGatePassesEvenUnspendableCarriers) {
+  SymEnv E(nullptr);
+  bitcoin::Blockchain Chain{bitcoin::ChainParams()};
+  bitcoin::Script Bad;
+  Bad.pushInt(1).pushInt(2).op(bitcoin::OP_EQUALVERIFY).pushInt(1);
+  uint64_t Before = counterNow("symcheck.gate.checked");
+  EXPECT_TRUE(symGate(pairWithCarrierScript(Bad), Chain).hasValue());
+  // Off means off: the gate did not even count a check.
+  EXPECT_EQ(counterNow("symcheck.gate.checked"), Before);
+}
+
+TEST(SymGate, RejectsUnspendableCarrierOutput) {
+  SymEnv E("1");
+  bitcoin::Blockchain Chain{bitcoin::ChainParams()};
+  bitcoin::Script Bad;
+  Bad.pushInt(1).pushInt(2).op(bitcoin::OP_EQUALVERIFY).pushInt(1);
+  uint64_t Rejected = counterNow("symcheck.gate.rejected");
+  uint64_t Unspendable = counterNow("sym.verdict.unspendable");
+  Status S = symGate(pairWithCarrierScript(Bad), Chain);
+  ASSERT_FALSE(S.hasValue());
+  EXPECT_NE(S.error().message().find("sym-unspendable"), std::string::npos)
+      << S.error().message();
+  EXPECT_EQ(counterNow("symcheck.gate.rejected"), Rejected + 1);
+  EXPECT_EQ(counterNow("sym.verdict.unspendable"), Unspendable + 1);
+}
+
+TEST(SymGate, WarningsDoNotReject) {
+  SymEnv E("1");
+  bitcoin::Blockchain Chain{bitcoin::ChainParams()};
+  // P2PKH carrier: DER slack warning; unknown-provenance input: orphan
+  // warning. Warnings pass the gate.
+  uint64_t Spendable = counterNow("sym.verdict.spendable");
+  Status S = symGate(
+      pairWithCarrierScript(bitcoin::makeP2PKH(keyFromSeed(1).id())), Chain);
+  EXPECT_TRUE(S.hasValue()) << S.error().message();
+  EXPECT_EQ(counterNow("sym.verdict.spendable"), Spendable + 1);
+}
+
+TEST(SymGate, TransactionOverloadCatchesDoubleConsume) {
+  SymEnv E("1");
+  bitcoin::Blockchain Chain{bitcoin::ChainParams()};
+  tc::Transaction T;
+  tc::Input In;
+  In.SourceTxid = std::string(64, 'b');
+  In.SourceIndex = 3;
+  In.Type = logic::pOne();
+  In.Amount = 1000;
+  T.Inputs.push_back(In);
+  T.Inputs.push_back(In); // Same resource twice.
+  Status S = symGate(T, Chain);
+  ASSERT_FALSE(S.hasValue());
+  EXPECT_NE(S.error().message().find("dataflow-double-consume"),
+            std::string::npos)
+      << S.error().message();
+}
+
+TEST(SymGate, FindingsJsonSchema) {
+  LintReport R;
+  R.note("a-note", "n");
+  R.warn("a-warn", "w", "output[0]");
+  R.error("an-error", "e");
+  std::string Doc = findingsJson(R).dump();
+  EXPECT_NE(Doc.find("\"typecoin-findings/1\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"a-warn\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"output[0]\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"error\": 1"), std::string::npos) << Doc;
+}
+
+TEST(SymGate, VerdictJsonNamesMalleabilityClasses) {
+  std::vector<Bytes> Keys = {keyFromSeed(2).publicKey().serialize(),
+                             keyFromSeed(3).publicKey().serialize()};
+  ScriptVerdict V = analyzeScript(bitcoin::makeMultiSig(1, Keys));
+  std::string Doc = verdictJson(V).dump();
+  EXPECT_NE(Doc.find("\"spendable\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"der\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"extra-stack\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"sig-subst\""), std::string::npos);
+}
+
+// --- End to end: Node::submitPair behind the gate -------------------------
+
+TEST(SymGate, NodeSubmitPairGatedEndToEnd) {
+  using namespace typecoin::tc;
+  using testutil::Actor;
+  SymEnv E("1");
+
+  Node Node;
+  Actor Alice(7001);
+  uint32_t Clock = 0;
+  testutil::fund(Node, Alice, 2, Clock);
+
+  // A grant transaction in the paper's shape (Section 2): Alice grants
+  // herself a pass, consuming one trivial wallet output.
+  Transaction T;
+  ASSERT_TRUE(T.LocalBasis
+                  .declareFamily(lf::ConstName::local("pass"), lf::kProp())
+                  .hasValue());
+  T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local("pass")));
+  Input In;
+  bool Found = false;
+  for (const auto &S : Alice.Wallet.findSpendable(Node.chain())) {
+    if (Node.state().outputType(S.Point.Tx.toHex(), S.Point.Index)->Kind !=
+        logic::Prop::Tag::One)
+      continue;
+    In.SourceTxid = S.Point.Tx.toHex();
+    In.SourceIndex = S.Point.Index;
+    In.Type = logic::pOne();
+    In.Amount = S.Value;
+    Found = true;
+    break;
+  }
+  ASSERT_TRUE(Found);
+  T.Inputs.push_back(In);
+  Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 10000;
+  Out.Owner = Alice.pub();
+  T.Outputs.push_back(Out);
+  {
+    using namespace logic;
+    T.Proof = mLam(
+        "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+        mTensorLet("c", "ar", mVar("x"),
+                   mTensorLet("a", "r", mVar("ar"),
+                              mOneLet(mVar("a"), mVar("c")))));
+  }
+  auto P = buildPair(T, Alice.Wallet, Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+
+  // The gate is on and the pair is clean: checked, not rejected.
+  uint64_t Checked = counterNow("symcheck.gate.checked");
+  uint64_t RejectedSym = counterNow("node.submit.rejected.sym");
+  auto S = Node.submitPair(*P);
+  ASSERT_TRUE(S.hasValue()) << S.error().message();
+  EXPECT_GT(counterNow("symcheck.gate.checked"), Checked);
+  EXPECT_EQ(counterNow("node.submit.rejected.sym"), RejectedSym);
+
+  testutil::mine(Node, crypto::KeyId{}, 1, Clock);
+
+  // Resubmitting the confirmed pair re-consumes a resource the chain
+  // already consumed: the symbolic gate rejects it before the pipeline's
+  // later stages run.
+  Status Again = Node.submitPair(*P);
+  ASSERT_FALSE(Again.hasValue());
+  EXPECT_NE(Again.error().message().find("symcheck:"), std::string::npos)
+      << Again.error().message();
+  EXPECT_NE(Again.error().message().find("dataflow-consumed"),
+            std::string::npos)
+      << Again.error().message();
+  EXPECT_EQ(counterNow("node.submit.rejected.sym"), RejectedSym + 1);
+}
+
+} // namespace

@@ -12,15 +12,21 @@
 ///   tclint tx1.tc tx2.tc            lint Typecoin transactions
 ///   tclint --btc carrier.btc        lint a Bitcoin transaction's scripts
 ///   tclint --pair tx.tc carrier.btc lint a coupled pair end-to-end
+///   tclint --sym --btc carrier.btc  symbolic script verification (tcsym)
+///   tclint --script lock.script     tcsym on a raw locking script
+///   tclint --dataflow --btc a.btc b.btc   affine dataflow over the set
+///   tclint --json ...               machine-readable findings
 ///   tclint --hex tx.hex             input files hold hex text
 ///   tclint --selftest               run the built-in self checks
 ///   tclint --emit-demo PREFIX       write demo transactions to disk
 ///
-/// Exit status: 0 no errors, 1 lint errors found, 2 usage or I/O failure.
+/// Exit status: 0 clean, 1 error findings, 2 warning findings only,
+/// 3 usage or I/O failure.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/lint.h"
+#include "analysis/symcheck.h"
 
 #include "bitcoin/standard.h"
 #include "support/rng.h"
@@ -35,10 +41,46 @@ namespace {
 
 struct CliOptions {
   analysis::LintOptions Lint;
+  analysis::SymOptions Sym;
   bool Hex = false;
   bool Btc = false;
   bool Quiet = false;
+  bool SymMode = false;     ///< --sym: tcsym over carrier output scripts.
+  bool Dataflow = false;    ///< --dataflow: affine dataflow over the set.
+  bool ScriptMode = false;  ///< --script: files are raw locking scripts.
+  bool Json = false;        ///< --json: typecoin-findings/1 document.
 };
+
+/// Exit codes: clean beats nothing, warnings beat clean, errors beat
+/// warnings, usage/IO beats all. Numerically 0 < 2 < 1 < 3.
+constexpr int ExitClean = 0;
+constexpr int ExitError = 1;
+constexpr int ExitWarn = 2;
+constexpr int ExitUsage = 3;
+
+int combineExit(int A, int B) {
+  auto Rank = [](int E) {
+    switch (E) {
+    case ExitClean:
+      return 0;
+    case ExitWarn:
+      return 1;
+    case ExitError:
+      return 2;
+    default:
+      return 3;
+    }
+  };
+  return Rank(A) >= Rank(B) ? A : B;
+}
+
+int reportExit(const analysis::LintReport &R) {
+  if (R.hasErrors())
+    return ExitError;
+  if (R.count(analysis::Severity::Warning) != 0)
+    return ExitWarn;
+  return ExitClean;
+}
 
 void usage(std::ostream &OS) {
   OS << "usage: tclint [options] [file...]\n"
@@ -50,6 +92,16 @@ void usage(std::ostream &OS) {
         "                    standardness lint only)\n"
         "  --pair TC BTC     lint a Typecoin transaction together with its\n"
         "                    Bitcoin carrier (embedding + correspondence)\n"
+        "  --sym             symbolic script verification (tcsym): prove\n"
+        "                    spendability, stack safety, and malleability\n"
+        "                    classes of every output script (--btc, --pair\n"
+        "                    and --script inputs)\n"
+        "  --script          files are raw locking scripts, verified with\n"
+        "                    tcsym (implies --sym)\n"
+        "  --dataflow        affine dataflow over the whole file set:\n"
+        "                    double-consume and consumption cycles\n"
+        "  --json            emit a typecoin-findings/1 JSON document on\n"
+        "                    stdout instead of text\n"
         "  --hex             files hold hex text instead of raw bytes\n"
         "  --non-standard    relay policy does not require standard\n"
         "                    scripts (standardness findings become\n"
@@ -59,10 +111,12 @@ void usage(std::ostream &OS) {
         "  --selftest        run the built-in self checks and exit\n"
         "  --emit-demo P     write P.tc (clean), P.bad.tc (duplicated\n"
         "                    affine hypothesis), P.btc (non-standard\n"
-        "                    script) and exit\n"
+        "                    script), P.unspendable.btc, P.malleable.btc,\n"
+        "                    P.doubleconsume.btc and exit\n"
         "  --help, -h        this text\n"
         "\n"
-        "exit status: 0 clean, 1 lint errors, 2 usage or I/O failure\n";
+        "exit status: 0 clean, 1 errors, 2 warnings only, 3 usage or I/O\n"
+        "failure\n";
 }
 
 Result<Bytes> readInput(const std::string &Path, bool Hex) {
@@ -89,21 +143,48 @@ Status writeOutput(const std::string &Path, const Bytes &Data) {
   return Status::success();
 }
 
-/// Print a report, one diagnostic per line, then a summary. Returns 1
-/// when the report has errors, 0 otherwise.
-int printReport(const std::string &Label, const analysis::LintReport &R,
-                const CliOptions &Cli) {
-  for (const analysis::Diagnostic &D : R.diagnostics()) {
-    if (Cli.Quiet && D.Sev != analysis::Severity::Error)
-      continue;
-    std::cout << Label << ": " << D.str() << "\n";
+/// Everything a run accumulates, so text and JSON modes share one
+/// pipeline: per-file reports (label-prefixed), tcsym verdicts, and the
+/// pending set for the final dataflow pass.
+struct Session {
+  CliOptions Cli;
+  analysis::LintReport All;
+  obs::Json Verdicts = obs::Json::array();
+  std::vector<analysis::DataflowTx> Pending;
+  bool IoError = false;
+
+  void ioError(const std::string &Message) {
+    std::cerr << "tclint: " << Message << "\n";
+    IoError = true;
   }
-  if (!Cli.Quiet || R.hasErrors())
-    std::cout << Label << ": " << R.count(analysis::Severity::Error)
-              << " error(s), " << R.count(analysis::Severity::Warning)
-              << " warning(s)\n";
-  return R.hasErrors() ? 1 : 0;
-}
+
+  /// Print (text mode) and fold one unit's report into the session.
+  void addReport(const std::string &Label, const analysis::LintReport &R) {
+    if (!Cli.Json) {
+      for (const analysis::Diagnostic &D : R.diagnostics()) {
+        if (Cli.Quiet && D.Sev != analysis::Severity::Error)
+          continue;
+        std::cout << Label << ": " << D.str() << "\n";
+      }
+      if (!Cli.Quiet || R.hasErrors())
+        std::cout << Label << ": " << R.count(analysis::Severity::Error)
+                  << " error(s), " << R.count(analysis::Severity::Warning)
+                  << " warning(s)\n";
+    }
+    All.merge(R, Label);
+  }
+
+  void addVerdict(const std::string &Label,
+                  const analysis::ScriptVerdict &V) {
+    obs::Json J = analysis::verdictJson(V);
+    J.set("file", Label);
+    Verdicts.push(std::move(J));
+    if (!Cli.Json && !Cli.Quiet)
+      std::cout << Label << ": " << analysis::spendabilityName(V.Spend)
+                << ", " << V.PathsExplored << " path(s), inputs needed "
+                << V.InputsNeeded << "\n";
+  }
+};
 
 //===----------------------------------------------------------------------===//
 // Demo transactions (--selftest / --emit-demo)
@@ -157,6 +238,40 @@ bitcoin::Transaction demoNonStandard() {
   return Btc;
 }
 
+/// A carrier with a provably unspendable (non-OP_RETURN) output:
+/// `1 2 EQUALVERIFY 1` fails on every path. tcsym flags it as an error
+/// — the output is permanent UTXO deadweight.
+bitcoin::Transaction demoUnspendable() {
+  bitcoin::Transaction Btc = demoNonStandard();
+  Btc.Outputs[0].ScriptPubKey = bitcoin::Script()
+                                    .pushInt(1)
+                                    .pushInt(2)
+                                    .op(bitcoin::OP_EQUALVERIFY)
+                                    .pushInt(1);
+  return Btc;
+}
+
+/// The paper's 1-of-2 multisig embedding shape: spendable, but carrying
+/// all three malleability classes (witness signature DER slack, the
+/// never-examined CHECKMULTISIG dummy, and m < n signature
+/// substitution).
+bitcoin::Transaction demoMalleable() {
+  bitcoin::Transaction Btc = demoNonStandard();
+  Bytes Metadata(33, 0x02); // Metadata-as-key blob, as the embedding does.
+  Btc.Outputs[0].ScriptPubKey = bitcoin::makeMultiSig(
+      1, {demoOwner().serialize(), Metadata});
+  return Btc;
+}
+
+/// Two inputs consuming the same resource: the affine dataflow pass
+/// proves at most one consumer can exist.
+bitcoin::Transaction demoDoubleConsume() {
+  bitcoin::Transaction Btc = demoNonStandard();
+  Btc.Inputs.push_back(Btc.Inputs[0]);
+  Btc.Outputs[0].ScriptPubKey = bitcoin::makeP2PKH(demoOwner().id());
+  return Btc;
+}
+
 int selftest() {
   int Failures = 0;
   auto Expect = [&](bool Cond, const char *What) {
@@ -190,6 +305,29 @@ int selftest() {
   Expect(Back.hasValue() && analysis::lint(*Back).has("affine-reuse"),
          "affine-reuse survives a serialize/deserialize round trip");
 
+  // tcsym: the symbolic verifier's headline verdicts.
+  auto P2PKH = analysis::analyzeScript(bitcoin::makeP2PKH(demoOwner().id()));
+  Expect(P2PKH.Spend == analysis::Spendability::Spendable &&
+             P2PKH.StackSafe,
+         "P2PKH is symbolically spendable and stack-safe");
+  auto Dead = analysis::analyzeScript(
+      demoUnspendable().Outputs[0].ScriptPubKey);
+  Expect(Dead.Spend == analysis::Spendability::Unspendable,
+         "contradictory script is proven unspendable");
+  auto Mall = analysis::analyzeScript(
+      demoMalleable().Outputs[0].ScriptPubKey);
+  Expect(Mall.Malleability ==
+             (analysis::MalleableDER | analysis::MalleableExtraStack |
+              analysis::MalleableSigSubst),
+         "1-of-2 multisig shows all three malleability classes");
+
+  // Dataflow: a self-double-consume is an error.
+  analysis::LintReport Flow = analysis::analyzeAffineDataflow(
+      {analysis::DataflowTx::fromBitcoinTx(demoDoubleConsume())},
+      analysis::DataflowLedger{});
+  Expect(Flow.has("dataflow-double-consume"),
+         "double consumption is flagged by the dataflow pass");
+
   std::cout << (Failures ? "selftest FAILED\n" : "selftest passed\n");
   return Failures ? 1 : 0;
 }
@@ -198,7 +336,7 @@ int emitDemo(const std::string &Prefix) {
   auto Check = [](Status S) {
     if (!S) {
       std::cerr << "tclint: " << S.error().message() << "\n";
-      return 2;
+      return ExitUsage;
     }
     return 0;
   };
@@ -210,8 +348,19 @@ int emitDemo(const std::string &Prefix) {
   if (int E =
           Check(writeOutput(Prefix + ".btc", demoNonStandard().serialize())))
     return E;
+  if (int E = Check(writeOutput(Prefix + ".unspendable.btc",
+                                demoUnspendable().serialize())))
+    return E;
+  if (int E = Check(writeOutput(Prefix + ".malleable.btc",
+                                demoMalleable().serialize())))
+    return E;
+  if (int E = Check(writeOutput(Prefix + ".doubleconsume.btc",
+                                demoDoubleConsume().serialize())))
+    return E;
   std::cout << "wrote " << Prefix << ".tc, " << Prefix << ".bad.tc, "
-            << Prefix << ".btc\n";
+            << Prefix << ".btc, " << Prefix << ".unspendable.btc, "
+            << Prefix << ".malleable.btc, " << Prefix
+            << ".doubleconsume.btc\n";
   return 0;
 }
 
@@ -219,62 +368,100 @@ int emitDemo(const std::string &Prefix) {
 // File linting
 //===----------------------------------------------------------------------===//
 
-/// Lint one file; returns 0/1/2 like the process exit status.
-int lintFile(const std::string &Path, const CliOptions &Cli) {
-  auto Data = readInput(Path, Cli.Hex);
-  if (!Data) {
-    std::cerr << "tclint: " << Data.error().message() << "\n";
-    return 2;
+void lintBtc(const std::string &Path, const bitcoin::Transaction &Btc,
+             Session &S) {
+  analysis::LintReport R = analysis::lintScripts(Btc, S.Cli.Lint);
+  if (S.Cli.SymMode) {
+    std::vector<analysis::ScriptVerdict> Verdicts;
+    R.merge(analysis::analyzeCarrierScripts(Btc, S.Cli.Sym, &Verdicts));
+    for (size_t I = 0; I < Verdicts.size(); ++I)
+      S.addVerdict(Path + "/output[" + std::to_string(I) + "]",
+                   Verdicts[I]);
   }
-  if (Cli.Btc) {
+  if (S.Cli.Dataflow)
+    S.Pending.push_back(analysis::DataflowTx::fromBitcoinTx(Btc));
+  S.addReport(Path, R);
+}
+
+void lintFile(const std::string &Path, Session &S) {
+  auto Data = readInput(Path, S.Cli.Hex);
+  if (!Data) {
+    S.ioError(Data.error().message());
+    return;
+  }
+  if (S.Cli.ScriptMode) {
+    bitcoin::Script Lock(*Data);
+    analysis::ScriptVerdict V = analysis::analyzeScript(Lock, S.Cli.Sym);
+    S.addVerdict(Path, V);
+    S.addReport(Path, V.Report);
+    return;
+  }
+  if (S.Cli.Btc) {
     auto Btc = bitcoin::Transaction::deserialize(*Data);
     if (!Btc) {
-      std::cerr << "tclint: " << Path
-                << ": not a Bitcoin transaction: " << Btc.error().message()
-                << "\n";
-      return 2;
+      S.ioError(Path + ": not a Bitcoin transaction: " +
+                Btc.error().message());
+      return;
     }
-    return printReport(Path, analysis::lintScripts(*Btc, Cli.Lint), Cli);
+    lintBtc(Path, *Btc, S);
+    return;
   }
   auto T = tc::Transaction::deserialize(*Data);
   if (!T) {
-    std::cerr << "tclint: " << Path
-              << ": not a Typecoin transaction: " << T.error().message()
-              << "\n";
-    return 2;
+    S.ioError(Path + ": not a Typecoin transaction: " +
+              T.error().message());
+    return;
   }
-  return printReport(Path, analysis::lint(*T, Cli.Lint), Cli);
+  if (S.Cli.Dataflow) {
+    analysis::DataflowTx Tx;
+    Tx.Txid = Path;
+    for (const tc::Input &In : T->Inputs)
+      Tx.Consumes.push_back(In.SourceTxid + ":" +
+                            std::to_string(In.SourceIndex));
+    Tx.NumOutputs = T->Outputs.size();
+    S.Pending.push_back(std::move(Tx));
+  }
+  S.addReport(Path, analysis::lint(*T, S.Cli.Lint));
 }
 
-int lintPair(const std::string &TcPath, const std::string &BtcPath,
-             const CliOptions &Cli) {
-  auto TcData = readInput(TcPath, Cli.Hex);
-  auto BtcData = readInput(BtcPath, Cli.Hex);
+void lintPair(const std::string &TcPath, const std::string &BtcPath,
+              Session &S) {
+  auto TcData = readInput(TcPath, S.Cli.Hex);
+  auto BtcData = readInput(BtcPath, S.Cli.Hex);
   if (!TcData || !BtcData) {
-    std::cerr << "tclint: "
-              << (!TcData ? TcData.error().message()
-                          : BtcData.error().message())
-              << "\n";
-    return 2;
+    S.ioError(!TcData ? TcData.error().message()
+                      : BtcData.error().message());
+    return;
   }
   auto T = tc::Transaction::deserialize(*TcData);
   auto Btc = bitcoin::Transaction::deserialize(*BtcData);
   if (!T || !Btc) {
-    std::cerr << "tclint: cannot parse pair: "
-              << (!T ? T.error().message() : Btc.error().message()) << "\n";
-    return 2;
+    S.ioError("cannot parse pair: " +
+              (!T ? T.error().message() : Btc.error().message()));
+    return;
   }
   tc::Pair P;
   P.Tc = *T;
   P.Btc = *Btc;
-  return printReport(TcPath + "+" + BtcPath, analysis::lint(P, Cli.Lint),
-                     Cli);
+  const std::string Label = TcPath + "+" + BtcPath;
+  analysis::LintReport R = analysis::lint(P, S.Cli.Lint);
+  if (S.Cli.SymMode) {
+    std::vector<analysis::ScriptVerdict> Verdicts;
+    R.merge(analysis::analyzeCarrierScripts(P.Btc, S.Cli.Sym, &Verdicts));
+    for (size_t I = 0; I < Verdicts.size(); ++I)
+      S.addVerdict(Label + "/output[" + std::to_string(I) + "]",
+                   Verdicts[I]);
+  }
+  if (S.Cli.Dataflow)
+    S.Pending.push_back(analysis::DataflowTx::fromPair(P.Tc, P.Btc));
+  S.addReport(Label, R);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  CliOptions Cli;
+  Session S;
+  CliOptions &Cli = S.Cli;
   std::vector<std::string> Files;
   std::string PairTc, PairBtc, DemoPrefix;
   bool Selftest = false, PairMode = false, EmitDemo = false;
@@ -287,6 +474,15 @@ int main(int argc, char **argv) {
       Cli.Hex = true;
     } else if (A == "--btc") {
       Cli.Btc = true;
+    } else if (A == "--sym") {
+      Cli.SymMode = true;
+    } else if (A == "--script") {
+      Cli.ScriptMode = true;
+      Cli.SymMode = true;
+    } else if (A == "--dataflow") {
+      Cli.Dataflow = true;
+    } else if (A == "--json") {
+      Cli.Json = true;
     } else if (A == "--non-standard") {
       Cli.Lint.RequireStandard = false;
     } else if (A == "--no-unused") {
@@ -296,7 +492,7 @@ int main(int argc, char **argv) {
     } else if (A == "--pair") {
       if (I + 2 >= argc) {
         std::cerr << "tclint: --pair needs two file arguments\n";
-        return 2;
+        return ExitUsage;
       }
       PairMode = true;
       PairTc = argv[++I];
@@ -304,7 +500,7 @@ int main(int argc, char **argv) {
     } else if (A == "--emit-demo") {
       if (I + 1 >= argc) {
         std::cerr << "tclint: --emit-demo needs a path prefix\n";
-        return 2;
+        return ExitUsage;
       }
       EmitDemo = true;
       DemoPrefix = argv[++I];
@@ -314,7 +510,7 @@ int main(int argc, char **argv) {
     } else if (!A.empty() && A[0] == '-') {
       std::cerr << "tclint: unknown option '" << A << "'\n";
       usage(std::cerr);
-      return 2;
+      return ExitUsage;
     } else {
       Files.push_back(A);
     }
@@ -325,14 +521,37 @@ int main(int argc, char **argv) {
   if (EmitDemo)
     return emitDemo(DemoPrefix);
 
-  int Exit = 0;
-  if (PairMode)
-    Exit = std::max(Exit, lintPair(PairTc, PairBtc, Cli));
   if (!PairMode && Files.empty()) {
     usage(std::cerr);
-    return 2;
+    return ExitUsage;
   }
+
+  if (PairMode)
+    lintPair(PairTc, PairBtc, S);
   for (const std::string &F : Files)
-    Exit = std::max(Exit, lintFile(F, Cli));
-  return Exit;
+    lintFile(F, S);
+
+  if (Cli.Dataflow) {
+    // The CLI has no chain snapshot, so provenance cannot be decided:
+    // keep intra-set findings (double-consume, cycles) and drop the
+    // orphan warnings an empty ledger would produce for every input.
+    analysis::LintReport Flow = analysis::analyzeAffineDataflow(
+        S.Pending, analysis::DataflowLedger{});
+    analysis::LintReport Kept;
+    for (const analysis::Diagnostic &D : Flow.diagnostics())
+      if (D.Code != "dataflow-orphan")
+        Kept.add(D.Sev, D.Code, D.Message, D.Span);
+    S.addReport("dataflow", Kept);
+  }
+
+  if (Cli.Json) {
+    obs::Json Doc = analysis::findingsJson(S.All);
+    if (Cli.SymMode)
+      Doc.set("verdicts", std::move(S.Verdicts));
+    std::cout << Doc.dump(2) << "\n";
+  }
+
+  if (S.IoError)
+    return ExitUsage;
+  return combineExit(ExitClean, reportExit(S.All));
 }
