@@ -1,0 +1,183 @@
+//===- bench/bench_t10_store.cpp - Experiment T10 --------------------------===//
+//
+// Durable-store recovery cost: what a node pays at startup to rebuild
+// chainstate from disk. Two regimes over the same MemVfs store image:
+//
+//   cold  — the epoch snapshot is stale (bootstrap-time, height 0), so
+//           every block above it replays through full script
+//           validation, exactly the post-corruption fallback path.
+//   warm  — the snapshot attests the tip, so the replay runs
+//           assume-valid (script checks skipped up to the epoch tip)
+//           and is cross-checked against the snapshot's UTXO digest.
+//
+// A third benchmark prices the flush epoch itself (serialize UTXO +
+// journal, atomic snapshot replace, WAL truncation) — the recurring
+// runtime cost that buys the warm restart.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bitcoin/sigcache.h"
+#include "store/chainstore.h"
+#include "store/vfs.h"
+#include "typecoin/builder.h"
+#include "typecoin/node.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace typecoin;
+
+namespace {
+
+constexpr int kFundingBlocks = 8;
+constexpr int kPairs = 6;
+
+/// Grant one atom of a fresh prop family to \p To, funded from the
+/// issuer's largest spendable output (bench twin of the chaos suite's
+/// buildGrantPair).
+Result<tc::Pair> grantPair(tc::Wallet &Issuer, const std::string &Name,
+                           const crypto::PublicKey &To,
+                           const bitcoin::Blockchain &Chain) {
+  tc::Transaction T;
+  TC_TRY(T.LocalBasis.declareFamily(lf::ConstName::local(Name), lf::kProp()));
+  T.Grant = logic::pAtom(lf::tConst(lf::ConstName::local(Name)));
+
+  auto Spendable = Issuer.findSpendable(Chain);
+  if (Spendable.empty())
+    return makeError("bench: issuer has no spendable output");
+  const auto *Best = &Spendable[0];
+  for (const auto &S : Spendable)
+    if (S.Value > Best->Value)
+      Best = &S;
+  tc::Input In;
+  In.SourceTxid = Best->Point.Tx.toHex();
+  In.SourceIndex = Best->Point.Index;
+  In.Type = logic::pOne();
+  In.Amount = Best->Value;
+  T.Inputs.push_back(std::move(In));
+
+  tc::Output Out;
+  Out.Type = T.Grant;
+  Out.Amount = 10000;
+  Out.Owner = To;
+  T.Outputs.push_back(std::move(Out));
+
+  using namespace logic;
+  T.Proof = mLam(
+      "x", pTensor(T.Grant, pTensor(T.inputTensor(), T.receiptTensor())),
+      mTensorLet("c", "ar", mVar("x"),
+                 mTensorLet("a", "r", mVar("ar"),
+                            mOneLet(mVar("a"), mVar("c")))));
+  return tc::buildPair(T, Issuer, Chain);
+}
+
+/// Populate a store image on \p Mem: funding blocks, then kPairs
+/// registrations each confirmed by a mined block. With \p FlushAtTip
+/// the image ends on a tip-attesting epoch snapshot (warm restart);
+/// without it only the bootstrap-time height-0 snapshot exists (cold).
+void buildStoreImage(store::MemVfs &Mem, bool FlushAtTip) {
+  tc::Node N;
+  // Interval beyond the workload: flush timing is controlled here, not
+  // by the block counter.
+  if (!N.openStore(Mem, "store", /*EpochInterval=*/1u << 20))
+    std::abort();
+  tc::Wallet Issuer(9401), Holder(9402);
+  auto IssuerKey = Issuer.newKey();
+  auto HolderKey = Holder.newKey();
+  uint32_t Clock = 0;
+  for (int I = 0; I < kFundingBlocks; ++I) {
+    Clock += 600;
+    if (!N.mineBlock(IssuerKey.id(), Clock))
+      std::abort();
+  }
+  for (int I = 0; I < kPairs; ++I) {
+    auto P = grantPair(Issuer, "res" + std::to_string(I),
+                       HolderKey.publicKey(), N.chain());
+    if (!P || !N.submitPair(*P))
+      std::abort();
+    Clock += 600;
+    if (!N.mineBlock(crypto::KeyId{}, Clock))
+      std::abort();
+  }
+  if (FlushAtTip && !N.flushStoreEpoch())
+    std::abort();
+}
+
+store::MemVfs &storeImage(bool FlushAtTip) {
+  static store::MemVfs Cold, Warm;
+  static bool Built[2] = {false, false};
+  store::MemVfs &Mem = FlushAtTip ? Warm : Cold;
+  if (!Built[FlushAtTip]) {
+    buildStoreImage(Mem, FlushAtTip);
+    Built[FlushAtTip] = true;
+  }
+  return Mem;
+}
+
+/// Arg: warm (0 = stale snapshot, full validation; 1 = tip snapshot,
+/// assume-valid + digest cross-check). The signature cache is cleared
+/// every iteration so the cold path pays real ECDSA, as a genuinely
+/// fresh process would.
+void BM_StoreRecovery(benchmark::State &State) {
+  bool Warm = State.range(0) != 0;
+  store::MemVfs &Mem = storeImage(Warm);
+  int64_t Blocks = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    bitcoin::SignatureCache::instance().clear();
+    State.ResumeTiming();
+    tc::Node N;
+    auto R = N.openStore(Mem, "store", /*EpochInterval=*/1u << 20);
+    if (!R || !R->FromDisk || R->DigestMismatch || R->BlockReplayErrors)
+      std::abort(); // The image is clean by construction.
+    Blocks = static_cast<int64_t>(R->BlocksReplayed);
+    benchmark::DoNotOptimize(N.state().fingerprint());
+  }
+  State.SetItemsProcessed(State.iterations() * Blocks);
+  State.counters["blocks"] = static_cast<double>(Blocks);
+}
+BENCHMARK(BM_StoreRecovery)
+    ->Arg(0) // cold: full-validation replay
+    ->Arg(1) // warm: assume-valid snapshot connect
+    ->Unit(benchmark::kMicrosecond);
+
+/// The recurring write-side cost: one flush epoch (snapshot the UTXO
+/// set + journal, atomic replace, truncate the WAL) at the workload's
+/// terminal state.
+void BM_EpochFlush(benchmark::State &State) {
+  store::MemVfs Mem;
+  tc::Node N;
+  if (!N.openStore(Mem, "store", /*EpochInterval=*/1u << 20))
+    std::abort();
+  tc::Wallet Issuer(9403), Holder(9404);
+  auto IssuerKey = Issuer.newKey();
+  auto HolderKey = Holder.newKey();
+  uint32_t Clock = 0;
+  for (int I = 0; I < kFundingBlocks; ++I) {
+    Clock += 600;
+    if (!N.mineBlock(IssuerKey.id(), Clock))
+      std::abort();
+  }
+  for (int I = 0; I < kPairs; ++I) {
+    auto P = grantPair(Issuer, "flush" + std::to_string(I),
+                       HolderKey.publicKey(), N.chain());
+    if (!P || !N.submitPair(*P))
+      std::abort();
+    Clock += 600;
+    if (!N.mineBlock(crypto::KeyId{}, Clock))
+      std::abort();
+  }
+  for (auto _ : State) {
+    if (!N.flushStoreEpoch())
+      std::abort();
+    benchmark::DoNotOptimize(N.store()->epochNumber());
+  }
+}
+BENCHMARK(BM_EpochFlush)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

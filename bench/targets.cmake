@@ -21,3 +21,4 @@ typecoin_bench(bench_t6_baseline)
 typecoin_bench(bench_t7_checker_scaling)
 typecoin_bench(bench_t8_validation_fastpath)
 typecoin_bench(bench_t9_symcheck)
+typecoin_bench(bench_t10_store)

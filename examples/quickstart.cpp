@@ -11,6 +11,7 @@
 #include "typecoin/builder.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace typecoin;
 using namespace typecoin::tc;
@@ -38,8 +39,17 @@ void mine(Node &N, const crypto::KeyId &Payout, int Count,
 int main() {
   std::printf("== Typecoin quickstart ==\n\n");
 
-  // A fresh regtest-style node: Bitcoin chain + Typecoin state.
+  // A fresh regtest-style node: Bitcoin chain + Typecoin state. With
+  // TYPECOIN_STORE_DIR set, chainstate is durable: every accepted pair
+  // is WAL'd before submitPair acknowledges, and a rerun recovers the
+  // chain from disk (TYPECOIN_STORE_FAULTS injects storage faults).
   Node N;
+  if (auto S = N.openStoreFromEnv(); !S)
+    die("store", S.error());
+  else if (*S)
+    std::printf("durable store attached at %s (%d blocks recovered)\n\n",
+                std::getenv("TYPECOIN_STORE_DIR"),
+                static_cast<int>(N.chain().height()));
   uint32_t Clock = 0;
 
   // Two principals. A principal *is* the hash of a public key
@@ -67,12 +77,25 @@ int main() {
     die("declare", S.error());
   Grant.Grant = logic::pAtom(lf::tConst(lf::ConstName::local("ticket")));
 
+  // Fund from the largest spendable that carries no Typecoin type: on a
+  // recovered store Alice's wallet also sees small *typed* outputs from
+  // earlier runs, and those must not be claimed at the trivial type.
   auto Funds = AliceWallet.findSpendable(N.chain());
+  const Wallet::Spendable *Fund = nullptr;
+  for (const auto &S : Funds) {
+    logic::PropPtr T = N.state().outputType(S.Point.Tx.toHex(), S.Point.Index);
+    if (T->Kind != logic::Prop::Tag::One)
+      continue;
+    if (!Fund || S.Value > Fund->Value)
+      Fund = &S;
+  }
+  if (!Fund)
+    die("funding", makeError("no untyped spendable output"));
   Input In;
-  In.SourceTxid = Funds[0].Point.Tx.toHex();
-  In.SourceIndex = Funds[0].Point.Index;
+  In.SourceTxid = Fund->Point.Tx.toHex();
+  In.SourceIndex = Fund->Point.Index;
   In.Type = logic::pOne(); // Non-Typecoin txouts have the trivial type.
-  In.Amount = Funds[0].Value;
+  In.Amount = Fund->Value;
   Grant.Inputs.push_back(In);
 
   Output Out;
@@ -92,7 +115,9 @@ int main() {
                               mOneLet(mVar("a"), mVar("c")))));
   }
 
-  auto GrantPair = buildPair(Grant, AliceWallet, N.chain());
+  BuildOptions Opts;
+  Opts.AvoidTypedOutputsOf = &N.state(); // Fee inputs stay untyped too.
+  auto GrantPair = buildPair(Grant, AliceWallet, N.chain(), Opts);
   if (!GrantPair)
     die("build", GrantPair.error());
   if (auto S = N.submitPair(*GrantPair); !S)
@@ -123,7 +148,7 @@ int main() {
   else
     die("proof", Proof.error());
 
-  auto PassPair = buildPair(Pass, BobWallet, N.chain());
+  auto PassPair = buildPair(Pass, BobWallet, N.chain(), Opts);
   if (!PassPair)
     die("build2", PassPair.error());
   if (auto S = N.submitPair(*PassPair); !S)

@@ -117,6 +117,15 @@ public:
   using AuditHook = std::function<Status(const Blockchain &)>;
   void setAuditHook(AuditHook Hook) { Audit = std::move(Hook); }
 
+  /// Assume-valid replay (store recovery): skip input-script checks for
+  /// blocks connecting at heights up to \p Height — their validity is
+  /// attested by a durable epoch snapshot whose UTXO digest the caller
+  /// cross-checks after replay (Node::openStore). All structural, PoW,
+  /// amount and double-spend checks still run. Set to -1 (the default)
+  /// to verify everything.
+  void setAssumeValidHeight(int Height) { AssumeValidHeight = Height; }
+  int assumeValidHeight() const { return AssumeValidHeight; }
+
 private:
   struct IndexEntry {
     Block Blk;
@@ -152,6 +161,7 @@ private:
   /// Tx index over the active chain.
   std::map<TxId, TxLocation> TxIndex;
   AuditHook Audit;
+  int AssumeValidHeight = -1;
 };
 
 /// A deferred input-script verification: everything needed to check one

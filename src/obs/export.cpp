@@ -2,6 +2,8 @@
 
 #include "obs/export.h"
 
+#include "store/vfs.h"
+
 #include <cstdlib>
 #include <fstream>
 
@@ -72,13 +74,12 @@ Json currentExportJson() {
 }
 
 Status writeSnapshotFile(const std::string &Path) {
-  std::ofstream Out(Path);
-  if (!Out)
-    return makeError("obs: cannot open " + Path + " for writing");
-  Out << currentExportJson().dump(2) << "\n";
-  if (!Out)
-    return makeError("obs: write to " + Path + " failed");
-  return Status::success();
+  // Crash-safe replace (temp + fsync + rename + dir sync) through the
+  // store Vfs: a crash mid-export leaves the previous complete snapshot
+  // in place, never a truncated JSON file.
+  std::string Doc = currentExportJson().dump(2) + "\n";
+  store::PosixVfs V;
+  return store::writeFileAtomic(V, Path, Bytes(Doc.begin(), Doc.end()));
 }
 
 Result<Snapshot> readSnapshotJson(const Json &Doc) {

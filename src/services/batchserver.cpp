@@ -5,6 +5,7 @@
 #include "analysis/lint.h"
 #include "analysis/symcheck.h"
 #include "obs/metrics.h"
+#include "store/chainstore.h"
 #include "support/threadpool.h"
 
 namespace typecoin {
@@ -156,14 +157,53 @@ BatchServer::withdraw(const std::string &Txid, uint32_t Index,
   return tc::txidHex(P.Btc);
 }
 
-static double deferredBackoff(const tc::RetryPolicy &Retry, int Attempts) {
-  double Delay = Retry.InitialDelaySeconds;
-  for (int I = 1; I < Attempts; ++I) {
-    Delay *= Retry.BackoffFactor;
-    if (Delay >= Retry.MaxDelaySeconds)
-      return Retry.MaxDelaySeconds;
+void BatchServer::persistDeferred(const tc::Transaction &T) {
+  store::ChainStore *S = Node.store();
+  if (!S)
+    return;
+  // A deferred write-through is a durable obligation (Section 5: it
+  // must reach the blockchain); journal it so a crash cannot drop it.
+  // WAL failure is counted, not fatal — the in-memory queue still
+  // drains it if the process survives.
+  if (!S->appendWal(store::WalKind::DeferredAdd, toHex(T.hash()),
+                    T.serialize())) {
+    static obs::Counter &Failed = obs::counter("batch.deferred.wal_failed");
+    Failed.inc();
   }
-  return std::min(Delay, Retry.MaxDelaySeconds);
+}
+
+void BatchServer::resolveDeferred(const tc::Transaction &T) {
+  store::ChainStore *S = Node.store();
+  if (!S)
+    return;
+  if (!S->appendWal(store::WalKind::DeferredDone, toHex(T.hash()),
+                    Bytes())) {
+    static obs::Counter &Failed = obs::counter("batch.deferred.wal_failed");
+    Failed.inc();
+  }
+}
+
+size_t BatchServer::recoverDeferred() {
+  store::ChainStore *S = Node.store();
+  if (!S)
+    return 0;
+  Deferred.clear();
+  for (const auto &[Key, Payload] : S->liveDeferred()) {
+    (void)Key;
+    auto T = tc::Transaction::deserialize(Payload);
+    if (!T) {
+      static obs::Counter &Bad = obs::counter("batch.deferred.bad_records");
+      Bad.inc();
+      continue;
+    }
+    DeferredWrite D;
+    D.T = T.takeValue();
+    D.Attempts = 0;
+    D.NextRetryTime = 0; // Eligible at the next retryPending.
+    Deferred.push_back(std::move(D));
+  }
+  BatchMetrics::get().DeferredSize.set(static_cast<int64_t>(Deferred.size()));
+  return Deferred.size();
 }
 
 Result<std::string> BatchServer::trySubmit(const tc::Transaction &T) {
@@ -205,7 +245,8 @@ BatchServer::recordWriteThrough(const tc::Transaction &T) {
   D.T = T;
   D.Attempts = 1;
   D.NextRetryTime = static_cast<double>(Node.chain().tipTime()) +
-                    deferredBackoff(Retry, 1);
+                    tc::retryDelay(Retry, 1, toHex(T.hash()));
+  persistDeferred(T);
   Deferred.push_back(std::move(D));
   M.WriteDeferred.inc();
   M.DeferredSize.set(static_cast<int64_t>(Deferred.size()));
@@ -214,19 +255,26 @@ BatchServer::recordWriteThrough(const tc::Transaction &T) {
 
 size_t BatchServer::retryPending(double Now) {
   BatchMetrics &M = BatchMetrics::get();
+  static obs::Counter &Attempts = obs::counter("batch.retry.attempts");
+  static obs::Counter &Exhausted = obs::counter("batch.retry.exhausted");
   size_t Succeeded = 0;
   for (auto It = Deferred.begin(); It != Deferred.end();) {
     if (Now < It->NextRetryTime || It->Attempts >= Retry.MaxAttempts) {
       ++It;
       continue;
     }
+    Attempts.inc();
     if (trySubmit(It->T)) {
+      resolveDeferred(It->T);
       It = Deferred.erase(It);
       ++Succeeded;
       continue;
     }
     ++It->Attempts;
-    It->NextRetryTime = Now + deferredBackoff(Retry, It->Attempts);
+    if (It->Attempts >= Retry.MaxAttempts)
+      Exhausted.inc();
+    It->NextRetryTime = Now + tc::retryDelay(Retry, It->Attempts,
+                                             toHex(It->T.hash()));
     ++It;
   }
   M.RetryFlushed.inc(Succeeded);

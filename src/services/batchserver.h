@@ -110,6 +110,13 @@ public:
   /// submissions succeeded.
   size_t retryPending(double Now);
 
+  /// Reload the deferred queue from the node's durable store (the
+  /// snapshot's deferred set folded with the WAL). Call after a crash
+  /// restart, once the node's store is open; entries re-enter the queue
+  /// eligible at the next \ref retryPending. Returns how many were
+  /// restored. No-op (0) without a store.
+  size_t recoverDeferred();
+
   /// Write-throughs waiting in the deferred queue.
   size_t deferredCount() const { return Deferred.size(); }
 
@@ -136,6 +143,10 @@ private:
   };
 
   Result<std::string> trySubmit(const tc::Transaction &T);
+  /// WAL a deferred write-through (durable obligation; Section 5).
+  void persistDeferred(const tc::Transaction &T);
+  /// WAL the resolution of a deferred write-through.
+  void resolveDeferred(const tc::Transaction &T);
 
   tc::Node &Node;
   tc::Wallet ServerWallet;

@@ -1,0 +1,280 @@
+//===- store/faultvfs.cpp - Fault-injecting VFS wrapper -------------------===//
+
+#include "store/faultvfs.h"
+
+#include "support/strings.h"
+
+namespace typecoin {
+namespace store {
+
+const char *faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::Clean:
+    return "clean";
+  case FaultKind::Torn:
+    return "torn";
+  case FaultKind::Corrupt:
+    return "corrupt";
+  case FaultKind::FsyncLie:
+    return "fsynclie";
+  case FaultKind::Enospc:
+    return "enospc";
+  case FaultKind::Short:
+    return "short";
+  }
+  return "?";
+}
+
+Result<StoreFaultPlan> parseFaultPlan(const std::string &Spec) {
+  size_t At = Spec.find('@');
+  if (At == std::string::npos)
+    return makeError("fault plan '" + Spec + "': expected <kind>@<op>[:seed]");
+  std::string KindName = Spec.substr(0, At);
+  std::string Rest = Spec.substr(At + 1);
+  StoreFaultPlan P;
+  bool Known = false;
+  for (FaultKind K : {FaultKind::Clean, FaultKind::Torn, FaultKind::Corrupt,
+                      FaultKind::FsyncLie, FaultKind::Enospc,
+                      FaultKind::Short}) {
+    if (KindName == faultKindName(K)) {
+      P.Kind = K;
+      Known = true;
+      break;
+    }
+  }
+  if (!Known)
+    return makeError("fault plan '" + Spec + "': unknown kind '" + KindName +
+                     "'");
+  size_t Colon = Rest.find(':');
+  std::string OpStr = Rest.substr(0, Colon);
+  try {
+    P.TriggerOp = std::stoull(OpStr);
+    if (Colon != std::string::npos)
+      P.Seed = std::stoull(Rest.substr(Colon + 1));
+  } catch (const std::exception &) {
+    return makeError("fault plan '" + Spec + "': bad number");
+  }
+  return P;
+}
+
+FaultVfs::Gate FaultVfs::gate(bool IsSync, Status &Err) {
+  if (Crashed) {
+    Err = makeError("vfs: simulated power loss");
+    return Gate::Fail;
+  }
+  if (Plan.Kind == FaultKind::FsyncLie && IsSync) {
+    // The lying disk acknowledges every fsync without persisting.
+    // Syncs still count as crash points below.
+    ++Ops;
+    if (Plan.TriggerOp != 0 && Ops == Plan.TriggerOp) {
+      Crashed = true;
+      Err = makeError("vfs: simulated power loss");
+      return Gate::Fail;
+    }
+    return Gate::LieOk;
+  }
+  ++Ops;
+  if (Plan.TriggerOp == 0 || Ops != Plan.TriggerOp)
+    return Gate::Proceed;
+  switch (Plan.Kind) {
+  case FaultKind::Clean:
+  case FaultKind::Torn:
+  case FaultKind::Corrupt:
+  case FaultKind::FsyncLie:
+    Crashed = true;
+    Err = makeError("vfs: simulated power loss");
+    return Gate::Fail;
+  case FaultKind::Enospc:
+    if (FaultSpent)
+      return Gate::Proceed;
+    FaultSpent = true;
+    Err = makeError("vfs: no space left on device");
+    return Gate::Fail;
+  case FaultKind::Short:
+    // Handled by FaultFile::append (needs the data); other ops treat a
+    // short fault like a transient failure.
+    if (FaultSpent)
+      return Gate::Proceed;
+    FaultSpent = true;
+    Err = makeError("vfs: short write");
+    return Gate::Fail;
+  }
+  return Gate::Proceed;
+}
+
+void FaultVfs::powerLoss() {
+  Crashed = true;
+  if (Mem)
+    Mem->crash(CrashOpt);
+}
+
+// Named (not anonymous) namespace so the friend declaration in
+// FaultVfs binds.
+class FaultFile : public VfsFile {
+public:
+  FaultFile(VfsFilePtr Inner, FaultVfs &Owner, std::string Path)
+      : Inner(std::move(Inner)), Owner(Owner), Path(std::move(Path)) {}
+
+  Result<size_t> size() override {
+    if (Owner.crashed())
+      return makeError("vfs: simulated power loss");
+    return Inner->size();
+  }
+
+  Status append(const uint8_t *Data, size_t Len) override {
+    if (Owner.crashed())
+      return makeError("vfs: simulated power loss");
+    const StoreFaultPlan &Plan = Owner.plan();
+    bool AtTrigger =
+        Plan.TriggerOp != 0 && Owner.Ops + 1 == Plan.TriggerOp &&
+        Plan.Kind != FaultKind::FsyncLie;
+    if (AtTrigger &&
+        (Plan.Kind == FaultKind::Torn || Plan.Kind == FaultKind::Corrupt)) {
+      // A seeded prefix of the in-flight write reaches the file before
+      // the power cut. The tail is unsynced, so it survives the crash
+      // only if MemVfs::crash is told to keep it (torn sector).
+      ++Owner.Ops;
+      Owner.Crashed = true;
+      Rng R(Plan.Seed);
+      size_t Keep = Len == 0 ? 0 : R.nextBelow(Len);
+      if (Keep > 0)
+        (void)Inner->append(Data, Keep);
+      Owner.CrashOpt.KeepUnsyncedPath = Path;
+      Owner.CrashOpt.FlipBitInTail = Plan.Kind == FaultKind::Corrupt;
+      return makeError("vfs: simulated power loss");
+    }
+    if (AtTrigger && Plan.Kind == FaultKind::Short && !Owner.FaultSpent) {
+      // Half the data lands, then the write errors; the process lives
+      // on and must repair the partial record.
+      ++Owner.Ops;
+      Owner.FaultSpent = true;
+      if (Len / 2 > 0)
+        (void)Inner->append(Data, Len / 2);
+      return makeError("vfs: short write");
+    }
+    Status Err = Status::success();
+    switch (Owner.gate(/*IsSync=*/false, Err)) {
+    case FaultVfs::Gate::Fail:
+      return Err;
+    case FaultVfs::Gate::LieOk:
+    case FaultVfs::Gate::Proceed:
+      break;
+    }
+    return Inner->append(Data, Len);
+  }
+
+  Result<Bytes> readAll() override {
+    if (Owner.crashed())
+      return makeError("vfs: simulated power loss");
+    return Inner->readAll();
+  }
+
+  Status truncate(size_t NewSize) override {
+    Status Err = Status::success();
+    switch (Owner.gate(/*IsSync=*/false, Err)) {
+    case FaultVfs::Gate::Fail:
+      return Err;
+    case FaultVfs::Gate::LieOk:
+    case FaultVfs::Gate::Proceed:
+      break;
+    }
+    return Inner->truncate(NewSize);
+  }
+
+  Status sync() override {
+    Status Err = Status::success();
+    switch (Owner.gate(/*IsSync=*/true, Err)) {
+    case FaultVfs::Gate::Fail:
+      return Err;
+    case FaultVfs::Gate::LieOk:
+      return Status::success();
+    case FaultVfs::Gate::Proceed:
+      break;
+    }
+    return Inner->sync();
+  }
+
+private:
+  VfsFilePtr Inner;
+  FaultVfs &Owner;
+  std::string Path;
+};
+
+Result<VfsFilePtr> FaultVfs::open(const std::string &Path, bool Create) {
+  if (Crashed)
+    return makeError("vfs: simulated power loss");
+  if (Create) {
+    // Creating a file is a namespace mutation: a crash point.
+    TC_UNWRAP(Exists, Inner.exists(Path));
+    if (!Exists) {
+      Status Err = Status::success();
+      switch (gate(/*IsSync=*/false, Err)) {
+      case Gate::Fail:
+        return Err.takeError();
+      case Gate::LieOk:
+      case Gate::Proceed:
+        break;
+      }
+    }
+  }
+  TC_UNWRAP(F, Inner.open(Path, Create));
+  return VfsFilePtr(new FaultFile(std::move(F), *this, Path));
+}
+
+Result<bool> FaultVfs::exists(const std::string &Path) {
+  if (Crashed)
+    return makeError("vfs: simulated power loss");
+  return Inner.exists(Path);
+}
+
+Status FaultVfs::remove(const std::string &Path) {
+  Status Err = Status::success();
+  switch (gate(/*IsSync=*/false, Err)) {
+  case Gate::Fail:
+    return Err;
+  case Gate::LieOk:
+  case Gate::Proceed:
+    break;
+  }
+  return Inner.remove(Path);
+}
+
+Status FaultVfs::rename(const std::string &From, const std::string &To) {
+  Status Err = Status::success();
+  switch (gate(/*IsSync=*/false, Err)) {
+  case Gate::Fail:
+    return Err;
+  case Gate::LieOk:
+  case Gate::Proceed:
+    break;
+  }
+  return Inner.rename(From, To);
+}
+
+Status FaultVfs::mkdirs(const std::string &Dir) {
+  if (Crashed)
+    return makeError("vfs: simulated power loss");
+  return Inner.mkdirs(Dir);
+}
+
+Result<std::vector<std::string>> FaultVfs::list(const std::string &Dir) {
+  if (Crashed)
+    return makeError("vfs: simulated power loss");
+  return Inner.list(Dir);
+}
+
+Status FaultVfs::syncDir(const std::string &Dir) {
+  Status Err = Status::success();
+  switch (gate(/*IsSync=*/true, Err)) {
+  case Gate::Fail:
+    return Err;
+  case Gate::LieOk:
+    return Status::success();
+  case Gate::Proceed:
+    break;
+  }
+  return Inner.syncDir(Dir);
+}
+
+} // namespace store
+} // namespace typecoin

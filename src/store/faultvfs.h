@@ -1,0 +1,116 @@
+//===- store/faultvfs.h - Fault-injecting VFS wrapper -----------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage-layer sibling of the network `FaultPlan` (bitcoin/
+/// network.h): a \ref Vfs wrapper that numbers every state-changing I/O
+/// operation as a *crash point* and injects a planned fault at one of
+/// them. The crash matrix in tests/store sweeps (crash point × fault
+/// kind) and asserts that recovery always reproduces the fingerprint of
+/// an uninterrupted twin.
+///
+/// Fault kinds:
+///
+///  * Clean    — power loss at the crash point: the op and everything
+///               after it fails; unsynced data is gone.
+///  * Torn     — like Clean, but a prefix of the in-flight write
+///               survives (a torn record the log reader must truncate).
+///  * Corrupt  — like Torn, plus a flipped bit in the surviving tail
+///               (bit-rot; caught by the per-record checksum).
+///  * FsyncLie — every fsync claims success without making anything
+///               durable (the infamous lying disk); power loss at the
+///               crash point. Recovery can only promise a consistent
+///               *prefix* here, never completeness.
+///  * Enospc   — the write at the crash point fails (disk full) but the
+///               process survives; the engine must surface the error
+///               and stay consistent. Power loss only at \ref powerLoss.
+///  * Short    — the write at the crash point writes a prefix and
+///               fails; the engine must repair (truncate) and stay
+///               usable. Power loss only at \ref powerLoss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_STORE_FAULTVFS_H
+#define TYPECOIN_STORE_FAULTVFS_H
+
+#include "store/vfs.h"
+#include "support/rng.h"
+
+namespace typecoin {
+namespace store {
+
+enum class FaultKind { Clean, Torn, Corrupt, FsyncLie, Enospc, Short };
+
+const char *faultKindName(FaultKind K);
+
+/// The plan for one crash-matrix cell.
+struct StoreFaultPlan {
+  FaultKind Kind = FaultKind::Clean;
+  /// 1-based index of the state-changing op the fault fires at;
+  /// 0 = never fire (counting runs).
+  uint64_t TriggerOp = 0;
+  /// Seed for the torn-prefix length choice.
+  uint64_t Seed = 1;
+};
+
+/// Parse a `TYPECOIN_STORE_FAULTS` spec: `<kind>@<op>[:<seed>]`, e.g.
+/// `torn@17` or `fsynclie@4:99`. Kinds are the lower-case enumerator
+/// names.
+Result<StoreFaultPlan> parseFaultPlan(const std::string &Spec);
+
+/// A Vfs wrapper injecting the planned fault. Wraps any backend; the
+/// power-loss simulation additionally needs the backend to be the
+/// \ref MemVfs whose crash() models it.
+class FaultVfs : public Vfs {
+public:
+  explicit FaultVfs(Vfs &Inner, MemVfs *Mem = nullptr)
+      : Inner(Inner), Mem(Mem) {}
+
+  void setPlan(const StoreFaultPlan &P) { Plan = P; }
+  const StoreFaultPlan &plan() const { return Plan; }
+
+  /// State-changing ops gated so far — the number of crash points this
+  /// workload exposes. A counting run (TriggerOp = 0) measures the
+  /// matrix dimension.
+  uint64_t opCount() const { return Ops; }
+  /// Has the planned crash fired (every later op fails)?
+  bool crashed() const { return Crashed; }
+
+  /// Simulate the power loss on the wrapped MemVfs: apply the recorded
+  /// torn-tail effect and rewind everything unsynced. For Enospc/Short/
+  /// FsyncLie cells (where the process survives the fault) this is the
+  /// end-of-workload power cut.
+  void powerLoss();
+
+  Result<VfsFilePtr> open(const std::string &Path, bool Create) override;
+  Result<bool> exists(const std::string &Path) override;
+  Status remove(const std::string &Path) override;
+  Status rename(const std::string &From, const std::string &To) override;
+  Status mkdirs(const std::string &Dir) override;
+  Result<std::vector<std::string>> list(const std::string &Dir) override;
+  Status syncDir(const std::string &Dir) override;
+
+private:
+  friend class FaultFile;
+
+  /// Gate one state-changing op. Returns the action the caller takes.
+  enum class Gate { Proceed, Fail, LieOk };
+  Gate gate(bool IsSync, Status &Err);
+
+  Vfs &Inner;
+  MemVfs *Mem;
+  StoreFaultPlan Plan;
+  uint64_t Ops = 0;
+  bool Crashed = false;
+  bool FaultSpent = false; ///< Enospc/Short fire once.
+  /// Torn-tail record: which file's unsynced tail survives the crash.
+  CrashOptions CrashOpt;
+};
+
+} // namespace store
+} // namespace typecoin
+
+#endif // TYPECOIN_STORE_FAULTVFS_H

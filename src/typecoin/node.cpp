@@ -7,8 +7,13 @@
 #include "analysis/symcheck.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/chainstore.h"
+#include "store/faultvfs.h"
+#include "support/rng.h"
+#include "typecoin/persist.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace typecoin {
 namespace tc {
@@ -104,14 +109,40 @@ Node::Node(bitcoin::ChainParams Params, int RegistrationDepth)
 #endif
 }
 
-double Node::backoffDelay(int Attempts) const {
-  double Delay = Retry.InitialDelaySeconds;
+Node::~Node() = default;
+
+double retryDelay(const RetryPolicy &Policy, int Attempts,
+                  const std::string &JitterKey) {
+  double Delay = Policy.InitialDelaySeconds;
   for (int I = 1; I < Attempts; ++I) {
-    Delay *= Retry.BackoffFactor;
-    if (Delay >= Retry.MaxDelaySeconds)
-      return Retry.MaxDelaySeconds;
+    Delay *= Policy.BackoffFactor;
+    if (Delay >= Policy.MaxDelaySeconds) {
+      Delay = Policy.MaxDelaySeconds;
+      break;
+    }
   }
-  return std::min(Delay, Retry.MaxDelaySeconds);
+  Delay = std::min(Delay, Policy.MaxDelaySeconds);
+  if (Policy.JitterFraction > 0.0) {
+    // Deterministic per-(key, attempt) jitter: a stable hash of the
+    // retried item folded with the policy seed and the attempt count,
+    // so replays of the same schedule are reproducible and two items
+    // recovering together fan out instead of stampeding.
+    uint64_t H = 1469598103934665603ull ^ Policy.JitterSeed;
+    for (char C : JitterKey) {
+      H ^= static_cast<uint8_t>(C);
+      H *= 1099511628211ull;
+    }
+    H ^= static_cast<uint64_t>(Attempts);
+    H *= 1099511628211ull;
+    Rng R(H);
+    double Scale = 1.0 + Policy.JitterFraction * (2.0 * R.nextDouble() - 1.0);
+    Delay *= Scale;
+  }
+  return Delay;
+}
+
+double Node::backoffDelay(int Attempts, const std::string &JitterKey) const {
+  return retryDelay(Retry, Attempts, JitterKey);
 }
 
 /// Obs probes for the submission pipeline: one counter per gate outcome
@@ -172,6 +203,16 @@ Status Node::submitPair(const Pair &P) {
       return S;
     }
   }
+  // Late adoption: the carrier already confirmed, so the provisional
+  // mempool path is meaningless — its inputs were spent by its own
+  // confirmation, and the authoritative Typecoin check already ran (or
+  // will run) at the block's own timestamp during registration. This
+  // happens when a client retries after a crash (or a refused durable
+  // ack) on a node that meanwhile saw the carrier confirm, or when a
+  // peer re-sends a confirmed pair during healing.
+  if (Chain.confirmations(P.Btc.txid()) >= 1)
+    return adoptConfirmedPair(P);
+
   // Provisional Typecoin check against the present chain view; the
   // authoritative check happens at confirmation time.
   ChainOracle Oracle(Chain, Chain.tipTime());
@@ -192,16 +233,58 @@ Status Node::submitPair(const Pair &P) {
   }
 
   std::string Payload = payloadKey(P);
+  // Durable-ack contract: once a store is attached, the pair's WAL
+  // record is fsync'd before submitPair returns success. A write
+  // failure (e.g. ENOSPC) rejects the submission — the caller retries —
+  // rather than acking state a crash would forget.
+  if (Store) {
+    if (auto S = Store->appendWal(store::WalKind::PairAdd, Payload,
+                                  serializePair(P));
+        !S) {
+      static obs::Counter &WalFailed = obs::counter("store.wal.failed");
+      WalFailed.inc();
+      return S.takeError().withContext("store: journal write-through");
+    }
+    updateStoreGauges();
+  }
   Journal[Payload] = P;
   if (!Registered.count(Payload)) {
     PendingCarrier PC;
     PC.P = P;
     PC.Attempts = 1;
     PC.NextRetryTime =
-        static_cast<double>(Chain.tipTime()) + backoffDelay(1);
+        static_cast<double>(Chain.tipTime()) + backoffDelay(1, Payload);
     Pending[Payload] = std::move(PC);
   }
   M.Accepted.inc();
+  return Status::success();
+}
+
+Status Node::adoptConfirmedPair(const Pair &P) {
+  std::string Payload = payloadKey(P);
+  if (Journal.count(Payload))
+    return Status::success(); // Already known; registration is chain-driven.
+  // Same durable-ack contract as the pending path: the journal entry
+  // must be WAL-durable before the adoption is acknowledged.
+  if (Store) {
+    if (auto S = Store->appendWal(store::WalKind::PairAdd, Payload,
+                                  serializePair(P));
+        !S) {
+      static obs::Counter &WalFailed = obs::counter("store.wal.failed");
+      WalFailed.inc();
+      return S.takeError().withContext("store: journal write-through");
+    }
+    updateStoreGauges();
+  }
+  Journal[Payload] = P;
+  static obs::Counter &Adopted = obs::counter("node.submit.late_adopted");
+  Adopted.inc();
+  // The incremental scan frontier is already past the carrier's block:
+  // rebuild the Typecoin view from the chain so the adopted pair
+  // registers (or lands back in the resubmission queue if its carrier
+  // has not matured to registration depth yet).
+  if (auto R = rebuildVolatileState(); !R)
+    return R.takeError().withContext("late adoption rebuild");
   return Status::success();
 }
 
@@ -279,7 +362,7 @@ Result<std::vector<std::string>> Node::syncRegistrations() {
 Result<std::vector<std::string>>
 Node::mineBlock(const crypto::KeyId &Payout, uint32_t Time) {
   TC_UNWRAP(Block, bitcoin::mineAndSubmit(Chain, Pool, Payout, Time));
-  (void)Block; // Registration scans matured heights, not just this block.
+  persistBlock(Block);
   TC_UNWRAP(Spoiled, syncRegistrations());
 #ifdef TYPECOIN_AUDIT
   TC_TRY(analysis::auditMempool(Pool, Chain));
@@ -290,6 +373,7 @@ Node::mineBlock(const crypto::KeyId &Payout, uint32_t Time) {
 
 Result<std::vector<std::string>> Node::submitBlock(const bitcoin::Block &B) {
   TC_TRY(Chain.submitBlock(B));
+  persistBlock(B);
   // The block may have extended the tip or triggered a reorganization;
   // either way the pool must be consistent with the new best chain.
   Pool.revalidate(Chain);
@@ -303,13 +387,17 @@ Result<std::vector<std::string>> Node::submitBlock(const bitcoin::Block &B) {
 
 Result<Node::RecoverStats> Node::recover() {
   static obs::Counter &Runs = obs::counter("node.recover.runs");
+  Runs.inc();
+  return rebuildVolatileState();
+}
+
+Result<Node::RecoverStats> Node::rebuildVolatileState() {
   static obs::Counter &RegisteredC = obs::counter("node.recover.registered");
   static obs::Counter &RequeuedC = obs::counter("node.recover.requeued");
   static obs::Counter &ReadmittedC =
       obs::counter("node.recover.mempool_readmitted");
   static obs::Histogram &RecoverNs =
       obs::latencyHistogram("node.recover_ns");
-  Runs.inc();
   obs::ScopedTimer Timer(RecoverNs);
   obs::Span Trace("node.recover");
 
@@ -364,6 +452,8 @@ Result<Node::RecoverStats> Node::recover() {
 }
 
 size_t Node::tick(double Now) {
+  static obs::Counter &Attempts = obs::counter("node.resubmit.attempts");
+  static obs::Counter &Exhausted = obs::counter("node.resubmit.exhausted");
   size_t Resubmitted = 0;
   for (auto &[Payload, PC] : Pending) {
     if (PC.Attempts >= Retry.MaxAttempts)
@@ -377,7 +467,10 @@ size_t Node::tick(double Now) {
     if (Relay)
       Relay(PC.P);
     ++PC.Attempts;
-    PC.NextRetryTime = Now + backoffDelay(PC.Attempts);
+    Attempts.inc();
+    if (PC.Attempts >= Retry.MaxAttempts)
+      Exhausted.inc();
+    PC.NextRetryTime = Now + backoffDelay(PC.Attempts, Payload);
     ++Resubmitted;
   }
   if (Resubmitted) {
@@ -385,6 +478,210 @@ size_t Node::tick(double Now) {
     Resubmits.inc(Resubmitted);
   }
   return Resubmitted;
+}
+
+void Node::updateStoreGauges() {
+  if (!Store)
+    return;
+  static obs::Gauge &WalBytes = obs::gauge("store.wal.bytes");
+  static obs::Gauge &DirtyBlocks = obs::gauge("store.dirty.blocks");
+  static obs::Gauge &EpochG = obs::gauge("store.epoch");
+  WalBytes.set(static_cast<int64_t>(Store->walBytes()));
+  DirtyBlocks.set(static_cast<int64_t>(Store->dirtyBlocks()));
+  EpochG.set(static_cast<int64_t>(Store->epochNumber()));
+}
+
+void Node::persistBlock(const bitcoin::Block &B) {
+  if (!Store)
+    return;
+  // Block bytes are re-derivable from peers, so a failed append is
+  // survivable (counted, not fatal): recovery replays a shorter log and
+  // heals by resync. Journal writes, by contrast, are durable-ack.
+  if (!Store->appendBlock(B.hash().toHex(), B.serialize())) {
+    static obs::Counter &Failed = obs::counter("store.block_persist.failed");
+    Failed.inc();
+    updateStoreGauges();
+    return;
+  }
+  if (Store->dirtyBlocks() >= EpochInterval) {
+    if (!flushStoreEpoch()) {
+      static obs::Counter &Failed = obs::counter("store.flush.failed");
+      Failed.inc();
+    }
+  }
+  updateStoreGauges();
+}
+
+Status Node::flushStoreEpoch() {
+  if (!Store)
+    return Status::success();
+  static obs::Histogram &FlushNs = obs::latencyHistogram("store.flush_ns");
+  obs::ScopedTimer Timer(FlushNs);
+
+  store::EpochData Data;
+  Data.Number = Store->epochNumber() + 1;
+  Data.TipHashHex = Chain.tipHash().toHex();
+  Data.TipHeight = static_cast<uint32_t>(Chain.height());
+  Data.UtxoDigestHex = utxoDigestHex(Chain.utxo());
+  for (const auto &[Payload, P] : Journal)
+    Data.Journal.emplace_back(Payload, serializePair(P));
+  // Unresolved deferred write-throughs (batch server) roll forward into
+  // the new snapshot so truncating the WAL cannot lose them.
+  Data.Deferred = Store->liveDeferred();
+  Data.Utxo = serializeUtxo(Chain.utxo());
+  TC_TRY(Store->flushEpoch(Data));
+  updateStoreGauges();
+  return Status::success();
+}
+
+Result<Node::StoreRecoverStats>
+Node::openStore(store::Vfs &V, const std::string &Dir,
+                uint64_t EpochIntervalBlocks) {
+  static obs::Counter &FromDiskC = obs::counter("store.recover.from_disk");
+  static obs::Counter &BootstrapC = obs::counter("store.recover.bootstrap");
+  static obs::Counter &EpochCorruptC =
+      obs::counter("store.recover.epoch_corrupt");
+  static obs::Counter &ReplayErrC =
+      obs::counter("store.recover.block_replay_errors");
+  static obs::Counter &DigestMismatchC =
+      obs::counter("store.recover.digest_mismatch");
+  static obs::Counter &DigestUnhealedC =
+      obs::counter("store.recover.digest_mismatch_unhealed");
+
+  obs::Span Trace("node.openStore");
+  EpochInterval = EpochIntervalBlocks == 0 ? 1 : EpochIntervalBlocks;
+  TC_UNWRAP(Opened, store::ChainStore::open(V, Dir));
+  Store = std::move(Opened);
+
+  StoreRecoverStats Stats;
+  const store::OpenStats &OS = Store->openStats();
+  if (OS.EpochCorrupt)
+    EpochCorruptC.inc();
+  Stats.FromDisk = OS.HadEpoch || OS.BlockRecords > 0 || OS.WalRecords > 0;
+
+  if (!Stats.FromDisk) {
+    // Fresh store: seed it from the node's current in-memory state
+    // (from-genesis bootstrap). The genesis block is derived from the
+    // chain parameters, so only heights >= 1 are logged.
+    BootstrapC.inc();
+    std::vector<std::pair<int, const bitcoin::Block *>> Blocks;
+    Chain.forEachBlock([&](const bitcoin::Block &B, int Height, bool) {
+      if (Height > 0)
+        Blocks.emplace_back(Height, &B);
+    });
+    std::stable_sort(Blocks.begin(), Blocks.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.first < B.first;
+                     });
+    for (const auto &[Height, B] : Blocks) {
+      (void)Height;
+      TC_TRY(Store->appendBlock(B->hash().toHex(), B->serialize()));
+    }
+    TC_TRY(flushStoreEpoch());
+    Stats.Epoch = Store->epochNumber();
+    updateStoreGauges();
+    return Stats;
+  }
+
+  // Rebuild from disk. Blocks replay through the full validated connect
+  // path; when a durable epoch attests a tip, script checks are skipped
+  // up to its height and the snapshot's UTXO digest is cross-checked
+  // the moment the rebuilt tip matches it.
+  FromDiskC.inc();
+  const store::EpochData *Epoch = Store->epoch();
+  Stats.Epoch = Epoch ? Epoch->Number : 0;
+
+  auto ReplayBlocks = [&](bool AssumeValid) -> bool {
+    // Returns whether the digest cross-check held (vacuously true
+    // without an epoch or when the tip never reached the epoch tip).
+    Stats.BlocksReplayed = 0;
+    Stats.BlockReplayErrors = 0;
+    if (AssumeValid && Epoch)
+      Chain.setAssumeValidHeight(static_cast<int>(Epoch->TipHeight));
+    bool DigestOk = true;
+    bool DigestChecked = false;
+    for (const auto &[HashHex, BlockBytes] : Store->blockRecords()) {
+      auto B = bitcoin::Block::deserialize(BlockBytes);
+      if (!B || !Chain.submitBlock(*B)) {
+        // Undecodable or unconnectable records (e.g. children of a
+        // crash-truncated parent) are counted and skipped; resync from
+        // peers heals the gap.
+        ++Stats.BlockReplayErrors;
+        continue;
+      }
+      ++Stats.BlocksReplayed;
+      if (Epoch && !DigestChecked &&
+          Chain.tipHash().toHex() == Epoch->TipHashHex) {
+        DigestChecked = true;
+        DigestOk = utxoDigestHex(Chain.utxo()) == Epoch->UtxoDigestHex;
+      }
+    }
+    Chain.setAssumeValidHeight(-1);
+    return DigestOk;
+  };
+
+  if (!ReplayBlocks(/*AssumeValid=*/true)) {
+    // The snapshot's UTXO digest disagrees with the assume-valid
+    // replay: distrust the snapshot and re-validate everything.
+    DigestMismatchC.inc();
+    Stats.DigestMismatch = true;
+    Chain = bitcoin::Blockchain(Chain.params());
+#ifdef TYPECOIN_AUDIT
+    analysis::installChainAuditor(Chain);
+#endif
+    if (!ReplayBlocks(/*AssumeValid=*/false)) {
+      // Full validation accepted the blocks yet the digest still
+      // disagrees: the snapshot itself is wrong. The fully-validated
+      // chain wins; flag loudly.
+      DigestUnhealedC.inc();
+    }
+  }
+  ReplayErrC.inc(Stats.BlockReplayErrors);
+
+  // Registration journal: snapshot entries first, then WAL records
+  // appended since the snapshot (idempotent map inserts).
+  Journal.clear();
+  auto RestorePair = [&](const std::string &Key, const Bytes &Payload) {
+    auto P = deserializePair(Payload);
+    if (!P) {
+      static obs::Counter &BadPairs =
+          obs::counter("store.recover.bad_pair_records");
+      BadPairs.inc();
+      return;
+    }
+    Journal[Key] = P.takeValue();
+  };
+  if (Epoch)
+    for (const auto &[Key, Payload] : Epoch->Journal)
+      RestorePair(Key, Payload);
+  for (const store::WalRecord &Rec : Store->walRecords())
+    if (Rec.Kind == store::WalKind::PairAdd)
+      RestorePair(Rec.Key, Rec.Payload);
+  Stats.JournalRestored = Journal.size();
+
+  // Volatile state rebuilds exactly as in recover().
+  TC_UNWRAP(Rebuild, rebuildVolatileState());
+  Stats.Rebuild = Rebuild;
+  updateStoreGauges();
+  return Stats;
+}
+
+Result<bool> Node::openStoreFromEnv() {
+  const char *Dir = std::getenv("TYPECOIN_STORE_DIR");
+  if (!Dir || !*Dir)
+    return false;
+  OwnedVfs.reset(new store::PosixVfs());
+  store::Vfs *V = OwnedVfs.get();
+  if (const char *Faults = std::getenv("TYPECOIN_STORE_FAULTS");
+      Faults && *Faults) {
+    TC_UNWRAP(Plan, store::parseFaultPlan(Faults));
+    auto FV = std::make_unique<store::FaultVfs>(*OwnedVfs);
+    FV->setPlan(Plan);
+    OwnedFaultVfs = std::move(FV);
+    V = OwnedFaultVfs.get();
+  }
+  TC_TRY(openStore(*V, Dir));
+  return true;
 }
 
 int Node::attemptsOf(const std::string &PayloadHex) const {

@@ -40,6 +40,12 @@
 #include <functional>
 
 namespace typecoin {
+
+namespace store {
+class ChainStore;
+class Vfs;
+} // namespace store
+
 namespace tc {
 
 /// Condition oracle backed by a Bitcoin blockchain: `before(t)` is
@@ -85,12 +91,26 @@ struct Registration {
 using PairJournal = std::map<std::string, Pair>;
 
 /// Resubmission backoff for pairs whose carriers have not confirmed.
+/// Exponential with optional deterministic jitter: with JitterFraction
+/// > 0, each delay is scaled by a factor in [1 - J, 1 + J) drawn from a
+/// PRNG seeded by (JitterSeed, retry key, attempt) — reproducible, and
+/// it de-synchronizes the post-recovery stampede where every pending
+/// pair becomes eligible at the same tick. Defaults to 0 (exact
+/// schedule) so simulation timelines stay byte-stable.
 struct RetryPolicy {
   double InitialDelaySeconds = 2.0;
   double BackoffFactor = 2.0;
   double MaxDelaySeconds = 64.0;
   int MaxAttempts = 8;
+  double JitterFraction = 0.0;
+  uint64_t JitterSeed = 0;
 };
+
+/// The backoff delay before attempt \p Attempts + 1 (Attempts >= 1),
+/// jittered per the policy. \p JitterKey identifies the retried item
+/// (payload key, txid) so distinct items jitter independently.
+double retryDelay(const RetryPolicy &Policy, int Attempts,
+                  const std::string &JitterKey = std::string());
 
 /// Rebuilt-from-genesis Typecoin view of a chain: scan every matured
 /// block for carriers of journaled pairs and register them in chain
@@ -110,6 +130,7 @@ class Node {
 public:
   explicit Node(bitcoin::ChainParams Params = defaultParams(),
                 int RegistrationDepth = 1);
+  ~Node(); // Out of line: owns a forward-declared store::ChainStore.
 
   /// Regtest-style parameters with instant coinbase maturity.
   static bitcoin::ChainParams defaultParams();
@@ -169,6 +190,49 @@ public:
   /// Returns counts of everything rebuilt (mirrored on obs counters).
   Result<RecoverStats> recover();
 
+  // --- Durable store ----------------------------------------------------
+
+  /// What \ref openStore found and rebuilt.
+  struct StoreRecoverStats {
+    /// State was rebuilt from the on-disk store (vs. a fresh/bootstrap
+    /// store that was seeded from this node's in-memory state).
+    bool FromDisk = false;
+    uint64_t Epoch = 0;            ///< Last durable epoch (0 = none).
+    size_t BlocksReplayed = 0;     ///< Blocks re-connected from the log.
+    size_t BlockReplayErrors = 0;  ///< Log records the chain rejected.
+    size_t JournalRestored = 0;    ///< Pairs from snapshot + WAL.
+    bool DigestMismatch = false;   ///< Snapshot UTXO digest cross-check
+                                   ///< failed; fell back to full
+                                   ///< validation.
+    RecoverStats Rebuild;          ///< The volatile-state rebuild.
+  };
+
+  /// Attach a durable chainstate store at \p Dir (see store/
+  /// chainstore.h). When the store already holds state, the node
+  /// rebuilds from disk: blocks replay through the validated connect
+  /// path (script checks skipped up to the last durable epoch's tip,
+  /// whose UTXO digest is cross-checked), the registration journal is
+  /// restored from the snapshot plus the WAL, and volatile state is
+  /// rebuilt as in \ref recover. When the store is empty, the node's
+  /// current in-memory state seeds it (from-genesis bootstrap). After
+  /// this call every accepted pair is WAL-durable before submitPair
+  /// returns, and every \p EpochInterval persisted blocks trigger a
+  /// flush epoch. The Vfs must outlive the node.
+  Result<StoreRecoverStats> openStore(store::Vfs &V, const std::string &Dir,
+                                      uint64_t EpochInterval = 8);
+
+  /// Env-driven convenience: attach a PosixVfs store at
+  /// `$TYPECOIN_STORE_DIR` (no-op when unset), wrapped in a FaultVfs
+  /// per `$TYPECOIN_STORE_FAULTS` (`<kind>@<op>[:seed]`) when set.
+  Result<bool> openStoreFromEnv();
+
+  /// The attached store, or nullptr.
+  store::ChainStore *store() { return Store.get(); }
+
+  /// Force a flush epoch now (blocks fsync'd, snapshot replaced, WAL
+  /// truncated). No-op without a store.
+  Status flushStoreEpoch();
+
   // --- Resubmission queue -----------------------------------------------
 
   /// Hook invoked whenever \ref tick resubmits a pair (wire this to a
@@ -219,7 +283,21 @@ private:
   /// detecting that scanned history was reorganized away, rebuild
   /// everything via \ref replayChain. Returns newly-spoiled txids.
   Result<std::vector<std::string>> syncRegistrations();
-  double backoffDelay(int Attempts) const;
+  /// Journal a pair whose carrier already confirmed on the best chain
+  /// (a client retrying after a refused durable ack, or a peer
+  /// re-sending a confirmed pair) and rebuild registrations from the
+  /// chain. Idempotent for already-journaled payloads.
+  Status adoptConfirmedPair(const Pair &P);
+  double backoffDelay(int Attempts,
+                      const std::string &JitterKey = std::string()) const;
+
+  /// The shared rebuild of volatile state from (Chain, Journal) —
+  /// recover()'s body, also run by openStore after a disk replay.
+  Result<RecoverStats> rebuildVolatileState();
+  /// Write \p B through to the block log and run the epoch trigger.
+  void persistBlock(const bitcoin::Block &B);
+  /// Refresh the store.* obs gauges.
+  void updateStoreGauges();
 
   bitcoin::Blockchain Chain;
   bitcoin::Mempool Pool;
@@ -236,6 +314,12 @@ private:
 
   RetryPolicy Retry;
   std::function<void(const Pair &)> Relay;
+
+  std::unique_ptr<store::ChainStore> Store;
+  uint64_t EpochInterval = 8;
+  /// Backends owned when the store came from \ref openStoreFromEnv.
+  std::unique_ptr<store::Vfs> OwnedVfs;
+  std::unique_ptr<store::Vfs> OwnedFaultVfs;
 };
 
 } // namespace tc

@@ -10,6 +10,7 @@
 
 #include "chaosutil.h"
 
+#include "obs/metrics.h"
 #include "services/batchserver.h"
 
 using namespace typecoin;
@@ -32,6 +33,74 @@ protected:
   Actor Alice;
   uint32_t Clock = 0;
 };
+
+TEST(RetryJitter, ZeroFractionPreservesTheExactSchedule) {
+  tc::RetryPolicy P;
+  P.InitialDelaySeconds = 2;
+  P.BackoffFactor = 2;
+  P.MaxDelaySeconds = 16;
+  // The default JitterFraction = 0 keeps simulation timelines
+  // byte-stable: the schedule is exactly the capped exponential.
+  EXPECT_EQ(tc::retryDelay(P, 1), 2.0);
+  EXPECT_EQ(tc::retryDelay(P, 2), 4.0);
+  EXPECT_EQ(tc::retryDelay(P, 3), 8.0);
+  EXPECT_EQ(tc::retryDelay(P, 4), 16.0);
+  EXPECT_EQ(tc::retryDelay(P, 5), 16.0); // Capped.
+  // The key is irrelevant without jitter.
+  EXPECT_EQ(tc::retryDelay(P, 2, "a"), tc::retryDelay(P, 2, "b"));
+}
+
+TEST(RetryJitter, JitterIsDeterministicKeyedAndBounded) {
+  tc::RetryPolicy P;
+  P.InitialDelaySeconds = 2;
+  P.BackoffFactor = 2;
+  P.MaxDelaySeconds = 64;
+  P.JitterFraction = 0.25;
+  P.JitterSeed = 42;
+
+  double D = tc::retryDelay(P, 1, "keyA");
+  // Deterministic: same (policy, attempt, key) → same delay, always.
+  EXPECT_EQ(D, tc::retryDelay(P, 1, "keyA"));
+  // Keyed: distinct items de-synchronize (the post-recovery stampede).
+  EXPECT_NE(D, tc::retryDelay(P, 1, "keyB"));
+  // Seeded: a different deployment jitters differently.
+  tc::RetryPolicy Q = P;
+  Q.JitterSeed = 43;
+  EXPECT_NE(D, tc::retryDelay(Q, 1, "keyA"));
+  // Bounded: within [base(1-J), base(1+J)] of the unjittered schedule.
+  for (int Attempt = 1; Attempt <= 6; ++Attempt) {
+    tc::RetryPolicy Exact = P;
+    Exact.JitterFraction = 0;
+    double B = tc::retryDelay(Exact, Attempt);
+    double J = tc::retryDelay(P, Attempt, "keyA");
+    EXPECT_GE(J, B * 0.75) << "attempt " << Attempt;
+    EXPECT_LE(J, B * 1.25) << "attempt " << Attempt;
+  }
+}
+
+TEST_F(Resubmission, ResubmissionCountersTrackAttemptsAndExhaustion) {
+  tc::RetryPolicy Policy;
+  Policy.InitialDelaySeconds = 2;
+  Policy.BackoffFactor = 2;
+  Policy.MaxDelaySeconds = 4;
+  Policy.MaxAttempts = 3;
+  Node.setRetryPolicy(Policy);
+
+  uint64_t Attempts0 = obs::counter("node.resubmit.attempts").value();
+  uint64_t Exhausted0 = obs::counter("node.resubmit.exhausted").value();
+
+  auto P = buildGrantPair(Alice, "counted", Alice.pub(), Node.chain());
+  ASSERT_TRUE(P.hasValue()) << P.error().message();
+  ASSERT_TRUE(Node.submitPair(*P).hasValue());
+  double T0 = static_cast<double>(Node.now());
+  EXPECT_EQ(Node.tick(T0 + 3), 1u);   // Attempt 2.
+  EXPECT_EQ(Node.tick(T0 + 100), 1u); // Attempt 3 = MaxAttempts.
+  EXPECT_EQ(Node.tick(T0 + 1000), 0u);
+
+  EXPECT_EQ(obs::counter("node.resubmit.attempts").value() - Attempts0, 2u);
+  EXPECT_EQ(obs::counter("node.resubmit.exhausted").value() - Exhausted0,
+            1u);
+}
 
 TEST_F(Resubmission, TickFollowsExponentialBackoffAndGivesUp) {
   tc::RetryPolicy Policy;

@@ -1,0 +1,68 @@
+//===- tests/obs/export_atomic_test.cpp - Crash-safe snapshot export ------===//
+//
+// writeSnapshotFile goes through the store Vfs's atomic-replace path
+// (temp + fsync + rename + dir sync): an export can never leave a
+// truncated JSON file behind, and a previous complete snapshot is
+// always replaced wholesale.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace typecoin;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+TEST(ObsExportAtomic, WritesParseableJsonAndLeavesNoTempFile) {
+  char Template[] = "/tmp/tc-obs-export-XXXXXX";
+  ASSERT_NE(mkdtemp(Template), nullptr);
+  std::string Path = std::string(Template) + "/snapshot.json";
+
+  obs::counter("export.atomic.test").inc(3);
+  ASSERT_TRUE(obs::writeSnapshotFile(Path));
+
+  // No temp leftover, and the file is a complete export document.
+  std::ifstream Tmp(Path + ".tmp");
+  EXPECT_FALSE(Tmp.good());
+  auto Doc = obs::Json::parse(slurp(Path));
+  ASSERT_TRUE(Doc.hasValue()) << Doc.error().message();
+  ASSERT_NE(Doc->get("schema"), nullptr);
+  EXPECT_EQ(Doc->get("schema")->str(), "typecoin-obs/1");
+  auto Snap = obs::readSnapshotJson(*Doc);
+  ASSERT_TRUE(Snap.hasValue());
+  EXPECT_GE(Snap->counter("export.atomic.test"), 3u);
+}
+
+TEST(ObsExportAtomic, ReplacesAPreviousSnapshotWholesale) {
+  char Template[] = "/tmp/tc-obs-export-XXXXXX";
+  ASSERT_NE(mkdtemp(Template), nullptr);
+  std::string Path = std::string(Template) + "/snapshot.json";
+
+  // Plant something that is not even JSON where the snapshot goes; the
+  // export must replace it with a complete document, not append or
+  // partially overwrite.
+  {
+    std::ofstream Out(Path);
+    Out << "NOT JSON {{{ truncated garbage";
+  }
+  ASSERT_TRUE(obs::writeSnapshotFile(Path));
+  auto Doc = obs::Json::parse(slurp(Path));
+  ASSERT_TRUE(Doc.hasValue()) << Doc.error().message();
+  EXPECT_NE(Doc->get("metrics"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,283 @@
+//===- tests/store/chainstore_test.cpp - Chainstate engine invariants -----===//
+//
+// The engine's durability contract in isolation (the node-level story
+// lives in store_node_test.cpp and the crash matrix): WAL appends are
+// durable before they return, flush epochs replace the snapshot
+// atomically and only then truncate the WAL, and recovery folds
+// snapshot + WAL back into exactly the pre-crash picture.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/chainstore.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::store;
+
+namespace {
+
+Bytes bytesOf(const std::string &S) { return Bytes(S.begin(), S.end()); }
+
+std::unique_ptr<ChainStore> openOrDie(Vfs &V, const std::string &Dir) {
+  auto S = ChainStore::open(V, Dir);
+  EXPECT_TRUE(S.hasValue()) << (S.hasValue() ? "" : S.error().message());
+  return S.hasValue() ? std::move(*S) : nullptr;
+}
+
+EpochData sampleEpoch(uint64_t Number) {
+  EpochData E;
+  E.Number = Number;
+  E.TipHashHex = "aa00bb";
+  E.TipHeight = 7;
+  E.UtxoDigestHex = "deadbeef";
+  E.Journal.push_back({"pair1", bytesOf("pair1-bytes")});
+  E.Deferred.push_back({"def1", bytesOf("def1-bytes")});
+  E.Utxo = bytesOf("utxo-image");
+  return E;
+}
+
+TEST(EpochCodec, RoundTrips) {
+  EpochData E = sampleEpoch(3);
+  auto Back = deserializeEpoch(serializeEpoch(E));
+  ASSERT_TRUE(Back.hasValue()) << Back.error().message();
+  EXPECT_EQ(Back->Number, 3u);
+  EXPECT_EQ(Back->TipHashHex, "aa00bb");
+  EXPECT_EQ(Back->TipHeight, 7u);
+  EXPECT_EQ(Back->UtxoDigestHex, "deadbeef");
+  ASSERT_EQ(Back->Journal.size(), 1u);
+  EXPECT_EQ(Back->Journal[0].first, "pair1");
+  ASSERT_EQ(Back->Deferred.size(), 1u);
+  EXPECT_EQ(Back->Deferred[0].second, bytesOf("def1-bytes"));
+  EXPECT_EQ(Back->Utxo, bytesOf("utxo-image"));
+
+  EXPECT_FALSE(deserializeEpoch(bytesOf("garbage")).hasValue());
+}
+
+TEST(WalCodec, RejectsUnknownKinds) {
+  Bytes Bad;
+  Bad.push_back(99); // No such WalKind.
+  EXPECT_FALSE(deserializeWalRecord(Bad).hasValue());
+}
+
+TEST(ChainStore, FreshStoreIsEmpty) {
+  MemVfs V;
+  auto S = openOrDie(V, "cs");
+  ASSERT_NE(S, nullptr);
+  EXPECT_FALSE(S->openStats().HadEpoch);
+  EXPECT_EQ(S->epoch(), nullptr);
+  EXPECT_TRUE(S->blockRecords().empty());
+  EXPECT_TRUE(S->walRecords().empty());
+  EXPECT_EQ(S->epochNumber(), 0u);
+  EXPECT_EQ(S->dirtyBlocks(), 0u);
+}
+
+TEST(ChainStore, AppendBlockDeduplicatesByHash) {
+  MemVfs V;
+  auto S = openOrDie(V, "cs");
+  ASSERT_NE(S, nullptr);
+  ASSERT_TRUE(S->appendBlock("h1", bytesOf("block-one")));
+  ASSERT_TRUE(S->appendBlock("h1", bytesOf("block-one")));
+  ASSERT_TRUE(S->appendBlock("h2", bytesOf("block-two")));
+  EXPECT_EQ(S->blockRecords().size(), 2u);
+  EXPECT_EQ(S->dirtyBlocks(), 2u);
+}
+
+TEST(ChainStore, WalAppendsAreDurableImmediately) {
+  MemVfs V;
+  {
+    auto S = openOrDie(V, "cs");
+    ASSERT_NE(S, nullptr);
+    ASSERT_TRUE(S->appendWal(WalKind::PairAdd, "k1", bytesOf("p1")));
+    ASSERT_TRUE(S->appendWal(WalKind::DeferredAdd, "k2", bytesOf("p2")));
+    EXPECT_GT(S->walBytes(), 0u);
+    // Blocks, by contrast, are only durable at the next epoch.
+    ASSERT_TRUE(S->appendBlock("h1", bytesOf("volatile-block")));
+  }
+  V.crash();
+  auto S = openOrDie(V, "cs");
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->walRecords().size(), 2u);
+  EXPECT_EQ(S->walRecords()[0].Kind, WalKind::PairAdd);
+  EXPECT_EQ(S->walRecords()[0].Key, "k1");
+  EXPECT_EQ(S->walRecords()[0].Payload, bytesOf("p1"));
+  EXPECT_EQ(S->walRecords()[1].Kind, WalKind::DeferredAdd);
+  EXPECT_TRUE(S->blockRecords().empty()); // The unsynced block died.
+}
+
+TEST(ChainStore, FlushEpochPersistsEverythingAndTruncatesTheWal) {
+  MemVfs V;
+  {
+    auto S = openOrDie(V, "cs");
+    ASSERT_NE(S, nullptr);
+    ASSERT_TRUE(S->appendBlock("h1", bytesOf("block-one")));
+    ASSERT_TRUE(S->appendWal(WalKind::PairAdd, "pair1", bytesOf("p")));
+    ASSERT_TRUE(S->flushEpoch(sampleEpoch(1)));
+    EXPECT_EQ(S->epochNumber(), 1u);
+    EXPECT_EQ(S->walBytes(), 0u);
+    EXPECT_EQ(S->dirtyBlocks(), 0u);
+    EXPECT_TRUE(S->walRecords().empty());
+  }
+  V.crash();
+  auto S = openOrDie(V, "cs");
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(S->epoch(), nullptr);
+  EXPECT_EQ(S->epoch()->Number, 1u);
+  EXPECT_EQ(S->epoch()->TipHashHex, "aa00bb");
+  ASSERT_EQ(S->blockRecords().size(), 1u); // Synced by the flush.
+  EXPECT_EQ(S->blockRecords()[0].second, bytesOf("block-one"));
+  EXPECT_TRUE(S->walRecords().empty());
+  EXPECT_FALSE(S->openStats().WalTruncated);
+  EXPECT_FALSE(S->openStats().EpochCorrupt);
+}
+
+TEST(ChainStore, LiveDeferredFoldsWalIntoTheSnapshot) {
+  MemVfs V;
+  auto S = openOrDie(V, "cs");
+  ASSERT_NE(S, nullptr);
+  EpochData E;
+  E.Number = 1;
+  E.Deferred.push_back({"a", bytesOf("A")});
+  E.Deferred.push_back({"b", bytesOf("B")});
+  ASSERT_TRUE(S->flushEpoch(E));
+  ASSERT_TRUE(S->appendWal(WalKind::DeferredAdd, "c", bytesOf("C")));
+  ASSERT_TRUE(S->appendWal(WalKind::DeferredDone, "a", Bytes()));
+
+  auto Live = S->liveDeferred();
+  ASSERT_EQ(Live.size(), 2u);
+  EXPECT_EQ(Live[0].first, "b");
+  EXPECT_EQ(Live[1].first, "c");
+
+  // Folding survives reopen (snapshot + WAL are both durable).
+  auto S2 = openOrDie(V, "cs");
+  ASSERT_NE(S2, nullptr);
+  auto Live2 = S2->liveDeferred();
+  ASSERT_EQ(Live2.size(), 2u);
+  EXPECT_EQ(Live2[0].first, "b");
+  EXPECT_EQ(Live2[1].first, "c");
+}
+
+TEST(ChainStore, CorruptEpochSnapshotIsSurvivable) {
+  MemVfs V;
+  {
+    auto S = openOrDie(V, "cs");
+    ASSERT_NE(S, nullptr);
+    ASSERT_TRUE(S->appendWal(WalKind::PairAdd, "k", bytesOf("p")));
+  }
+  // Something that is not even a valid frame where the snapshot goes.
+  {
+    auto F = V.open(std::string("cs/") + ChainStore::EpochFile, true);
+    ASSERT_TRUE(F.hasValue());
+    ASSERT_TRUE((*F)->append(bytesOf("not a snapshot")));
+    ASSERT_TRUE((*F)->sync());
+  }
+  auto S = openOrDie(V, "cs");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->openStats().EpochCorrupt);
+  EXPECT_EQ(S->epoch(), nullptr);
+  EXPECT_EQ(S->walRecords().size(), 1u); // The WAL still replays.
+}
+
+TEST(ChainStore, LeftoverEpochTempFileIsCleanedUp) {
+  MemVfs V;
+  ASSERT_TRUE(V.mkdirs("cs"));
+  std::string Tmp = std::string("cs/") + ChainStore::EpochFile + ".tmp";
+  {
+    auto F = V.open(Tmp, true);
+    ASSERT_TRUE(F.hasValue());
+    ASSERT_TRUE((*F)->append(bytesOf("half-written snapshot")));
+    ASSERT_TRUE((*F)->sync());
+  }
+  auto S = openOrDie(V, "cs");
+  ASSERT_NE(S, nullptr);
+  auto Still = V.exists(Tmp);
+  ASSERT_TRUE(Still.hasValue());
+  EXPECT_FALSE(*Still);
+}
+
+TEST(ChainStore, TornWalTailIsTruncatedAndCounted) {
+  MemVfs V;
+  {
+    auto S = openOrDie(V, "cs");
+    ASSERT_NE(S, nullptr);
+    ASSERT_TRUE(S->appendWal(WalKind::PairAdd, "k1", bytesOf("p1")));
+  }
+  {
+    // A torn frame at the end of the WAL (power loss mid-append).
+    auto F = V.open(std::string("cs/") + ChainStore::WalFile, false);
+    ASSERT_TRUE(F.hasValue());
+    ASSERT_TRUE((*F)->append(bytesOf("\x54\x43\x52\x31torn")));
+    ASSERT_TRUE((*F)->sync());
+  }
+  auto S = openOrDie(V, "cs");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->openStats().WalTruncated);
+  ASSERT_EQ(S->walRecords().size(), 1u);
+  EXPECT_EQ(S->walRecords()[0].Key, "k1");
+}
+
+TEST(InspectStore, ReportsWhatRecoveryWouldSee) {
+  MemVfs V;
+  auto Missing = inspectStore(V, "nowhere");
+  ASSERT_TRUE(Missing.hasValue());
+  EXPECT_FALSE(Missing->DirExists);
+
+  {
+    auto S = openOrDie(V, "cs");
+    ASSERT_NE(S, nullptr);
+    ASSERT_TRUE(S->appendBlock("h1", bytesOf("b1")));
+    ASSERT_TRUE(S->appendWal(WalKind::PairAdd, "k1", bytesOf("p1")));
+    EpochData E = sampleEpoch(4);
+    ASSERT_TRUE(S->flushEpoch(E));
+    ASSERT_TRUE(S->appendWal(WalKind::PairAdd, "k2", bytesOf("p2")));
+  }
+  // Damage the WAL tail and plant a leftover tmp; inspection must see
+  // both without repairing anything.
+  {
+    auto F = V.open(std::string("cs/") + ChainStore::WalFile, false);
+    ASSERT_TRUE(F.hasValue());
+    ASSERT_TRUE((*F)->append(bytesOf("garbage-tail")));
+  }
+  {
+    auto F = V.open(std::string("cs/") + ChainStore::EpochFile + ".tmp",
+                    true);
+    ASSERT_TRUE(F.hasValue());
+  }
+
+  auto I = inspectStore(V, "cs");
+  ASSERT_TRUE(I.hasValue()) << I.error().message();
+  EXPECT_TRUE(I->DirExists);
+  EXPECT_TRUE(I->EpochPresent);
+  EXPECT_FALSE(I->EpochCorrupt);
+  EXPECT_EQ(I->EpochNumber, 4u);
+  EXPECT_EQ(I->TipHashHex, "aa00bb");
+  EXPECT_EQ(I->TipHeight, 7u);
+  EXPECT_EQ(I->BlockRecords, 1u);
+  EXPECT_EQ(I->BlockTailBytes, 0u);
+  EXPECT_EQ(I->WalRecords, 1u);
+  EXPECT_GT(I->WalTailBytes, 0u);
+  EXPECT_EQ(I->UndecodableWalRecords, 0u);
+  EXPECT_TRUE(I->TmpLeftover);
+
+  // The damage is still on disk afterwards (read-only inspection).
+  auto Again = inspectStore(V, "cs");
+  ASSERT_TRUE(Again.hasValue());
+  EXPECT_GT(Again->WalTailBytes, 0u);
+
+  // An intact frame whose payload is not a WAL record.
+  {
+    auto S = openOrDie(V, "cs"); // Repairs the torn tail.
+    ASSERT_NE(S, nullptr);
+  }
+  {
+    auto F = V.open(std::string("cs/") + ChainStore::WalFile, false);
+    ASSERT_TRUE(F.hasValue());
+    ASSERT_TRUE((*F)->append(frameRecord(bytesOf("not-a-wal-record"))));
+    ASSERT_TRUE((*F)->sync());
+  }
+  auto Bad = inspectStore(V, "cs");
+  ASSERT_TRUE(Bad.hasValue());
+  EXPECT_EQ(Bad->UndecodableWalRecords, 1u);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/store/faultvfs_test.cpp - Fault-injection semantics ----------===//
+//
+// The crash matrix is only as trustworthy as its fault injector: these
+// tests pin down what each FaultKind does to the wrapped MemVfs, that
+// crash points count exactly the state-changing operations, and that
+// the TYPECOIN_STORE_FAULTS spec parses the way the README documents.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/faultvfs.h"
+#include "store/log.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::store;
+
+namespace {
+
+Bytes bytesOf(const std::string &S) { return Bytes(S.begin(), S.end()); }
+
+TEST(FaultPlanParse, AcceptsEveryDocumentedForm) {
+  auto P = parseFaultPlan("torn@17");
+  ASSERT_TRUE(P.hasValue());
+  EXPECT_EQ(P->Kind, FaultKind::Torn);
+  EXPECT_EQ(P->TriggerOp, 17u);
+  EXPECT_EQ(P->Seed, 1u);
+
+  P = parseFaultPlan("fsynclie@4:99");
+  ASSERT_TRUE(P.hasValue());
+  EXPECT_EQ(P->Kind, FaultKind::FsyncLie);
+  EXPECT_EQ(P->TriggerOp, 4u);
+  EXPECT_EQ(P->Seed, 99u);
+
+  for (const char *Name :
+       {"clean", "torn", "corrupt", "fsynclie", "enospc", "short"}) {
+    auto Q = parseFaultPlan(std::string(Name) + "@1");
+    ASSERT_TRUE(Q.hasValue()) << Name;
+    EXPECT_STREQ(faultKindName(Q->Kind), Name);
+  }
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parseFaultPlan("").hasValue());
+  EXPECT_FALSE(parseFaultPlan("torn").hasValue());
+  EXPECT_FALSE(parseFaultPlan("bogus@1").hasValue());
+  EXPECT_FALSE(parseFaultPlan("torn@x").hasValue());
+  EXPECT_FALSE(parseFaultPlan("torn@1:y").hasValue());
+}
+
+TEST(FaultVfs, CountsOnlyStateChangingOps) {
+  MemVfs Mem;
+  FaultVfs F(Mem, &Mem);
+  // TriggerOp = 0: pure counting run.
+  auto H = F.open("f", true); // Creation: 1 op.
+  ASSERT_TRUE(H.hasValue());
+  EXPECT_EQ(F.opCount(), 1u);
+  ASSERT_TRUE((*H)->append(bytesOf("x"))); // 2
+  ASSERT_TRUE((*H)->sync());               // 3
+  ASSERT_TRUE((*H)->truncate(0));          // 4
+  ASSERT_TRUE(F.exists("f").hasValue());   // Read-only: not counted.
+  ASSERT_TRUE(F.list(".").hasValue());     // Not counted.
+  ASSERT_TRUE((*H)->size().hasValue());    // Not counted.
+  ASSERT_TRUE((*H)->readAll().hasValue()); // Not counted.
+  ASSERT_TRUE(F.open("f", true).hasValue()); // Exists: not a creation.
+  EXPECT_EQ(F.opCount(), 4u);
+  ASSERT_TRUE(F.rename("f", "g")); // 5
+  ASSERT_TRUE(F.syncDir("."));     // 6
+  ASSERT_TRUE(F.remove("g"));      // 7
+  EXPECT_EQ(F.opCount(), 7u);
+  EXPECT_FALSE(F.crashed());
+}
+
+TEST(FaultVfs, CleanCrashFailsTheOpAndEverythingAfter) {
+  MemVfs Mem;
+  FaultVfs F(Mem, &Mem);
+  F.setPlan({FaultKind::Clean, /*TriggerOp=*/3, /*Seed=*/1});
+
+  auto H = F.open("f", true); // 1
+  ASSERT_TRUE(H.hasValue());
+  ASSERT_TRUE((*H)->append(bytesOf("pre")));  // 2
+  EXPECT_FALSE((*H)->sync());                 // 3: the crash.
+  EXPECT_TRUE(F.crashed());
+  EXPECT_FALSE((*H)->append(bytesOf("post"))); // Dead after the crash.
+  EXPECT_FALSE(F.open("g", true).hasValue());
+
+  F.powerLoss();
+  // Nothing was ever synced: the file is durable-empty.
+  auto After = readFileAll(Mem, "f");
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_TRUE(After->empty());
+}
+
+TEST(FaultVfs, EnospcFiresOnceAndTheProcessSurvives) {
+  MemVfs Mem;
+  FaultVfs F(Mem, &Mem);
+  F.setPlan({FaultKind::Enospc, /*TriggerOp=*/2, /*Seed=*/1});
+
+  auto H = F.open("f", true); // 1
+  ASSERT_TRUE(H.hasValue());
+  auto S = (*H)->append(bytesOf("fails")); // 2: disk full.
+  ASSERT_FALSE(S.hasValue());
+  EXPECT_NE(S.error().message().find("no space"), std::string::npos);
+  EXPECT_FALSE(F.crashed());
+  // The fault is spent: later writes go through.
+  ASSERT_TRUE((*H)->append(bytesOf("ok")));
+  ASSERT_TRUE((*H)->sync());
+  auto After = readFileAll(Mem, "f");
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_EQ(*After, bytesOf("ok"));
+}
+
+TEST(FaultVfs, ShortWriteLeavesAPrefixTheWriterMustRepair) {
+  MemVfs Mem;
+  FaultVfs F(Mem, &Mem);
+  auto L = openLog(F, "log");
+  ASSERT_TRUE(L.hasValue());
+  ASSERT_TRUE(L->Writer->append(bytesOf("good")));
+  ASSERT_TRUE(L->Writer->sync());
+  size_t Good = L->Writer->goodBytes();
+
+  F.setPlan({FaultKind::Short, F.opCount() + 1, /*Seed=*/1});
+  // The append fails mid-frame; RecordWriter truncates the partial
+  // frame away (the truncate proceeds — Short is spent) and stays
+  // usable.
+  EXPECT_FALSE(L->Writer->append(bytesOf("interrupted")));
+  EXPECT_EQ(L->Writer->goodBytes(), Good);
+  EXPECT_FALSE(F.crashed());
+  ASSERT_TRUE(L->Writer->append(bytesOf("after")));
+  ASSERT_TRUE(L->Writer->sync());
+
+  auto OnDisk = readFileAll(Mem, "log");
+  ASSERT_TRUE(OnDisk.hasValue());
+  LogScan Scan = scanRecords(*OnDisk);
+  ASSERT_EQ(Scan.Records.size(), 2u);
+  EXPECT_EQ(Scan.Records[0], bytesOf("good"));
+  EXPECT_EQ(Scan.Records[1], bytesOf("after"));
+  EXPECT_FALSE(Scan.Tail);
+}
+
+TEST(FaultVfs, TornWriteKeepsASeededPrefixAcrossPowerLoss) {
+  MemVfs Mem;
+  FaultVfs F(Mem, &Mem);
+  auto H = F.open("f", true); // 1
+  ASSERT_TRUE(H.hasValue());
+  ASSERT_TRUE((*H)->append(bytesOf("synced.")));  // 2
+  ASSERT_TRUE((*H)->sync());                      // 3
+  F.setPlan({FaultKind::Torn, F.opCount() + 1, /*Seed=*/7});
+  Bytes InFlight = bytesOf("in-flight-record");
+  EXPECT_FALSE((*H)->append(InFlight));
+  EXPECT_TRUE(F.crashed());
+
+  F.powerLoss();
+  auto After = readFileAll(Mem, "f");
+  ASSERT_TRUE(After.hasValue());
+  // The synced prefix survives plus a strict prefix of the torn write.
+  ASSERT_GE(After->size(), 7u);
+  EXPECT_LT(After->size(), 7u + InFlight.size());
+  EXPECT_EQ(Bytes(After->begin(), After->begin() + 7), bytesOf("synced."));
+}
+
+TEST(FaultVfs, CorruptTailIsRejectedByTheRecordScan) {
+  MemVfs Mem;
+  FaultVfs F(Mem, &Mem);
+  auto L = openLog(F, "log");
+  ASSERT_TRUE(L.hasValue());
+  ASSERT_TRUE(L->Writer->append(bytesOf("durable-record")));
+  ASSERT_TRUE(L->Writer->sync());
+  size_t Good = L->Writer->goodBytes();
+
+  F.setPlan({FaultKind::Corrupt, F.opCount() + 1, /*Seed=*/5});
+  EXPECT_FALSE(L->Writer->append(bytesOf("bit-rotted-record")));
+  EXPECT_TRUE(F.crashed());
+  F.powerLoss();
+
+  auto OnDisk = readFileAll(Mem, "log");
+  ASSERT_TRUE(OnDisk.hasValue());
+  LogScan Scan = scanRecords(*OnDisk);
+  // Whatever survived of the torn+rotted frame, the checksum rejects
+  // it; the intact record is all a replay sees.
+  ASSERT_EQ(Scan.Records.size(), 1u);
+  EXPECT_EQ(Scan.Records[0], bytesOf("durable-record"));
+  EXPECT_EQ(Scan.GoodBytes, Good);
+}
+
+TEST(FaultVfs, FsyncLiesUntilThePowerCut) {
+  MemVfs Mem;
+  FaultVfs F(Mem, &Mem);
+  F.setPlan({FaultKind::FsyncLie, /*TriggerOp=*/100, /*Seed=*/1});
+  auto H = F.open("f", true);
+  ASSERT_TRUE(H.hasValue());
+  ASSERT_TRUE((*H)->append(bytesOf("claimed-durable")));
+  ASSERT_TRUE((*H)->sync()); // Lies: reports success, syncs nothing.
+  auto D = Mem.durableSize("f");
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 0u); // The lie, observed.
+
+  F.powerLoss();
+  auto After = readFileAll(Mem, "f");
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_TRUE(After->empty());
+}
+
+} // namespace

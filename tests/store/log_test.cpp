@@ -1,0 +1,156 @@
+//===- tests/store/log_test.cpp - Checksummed record-log framing ----------===//
+//
+// The framing invariant every durable file relies on: scanRecords
+// accepts exactly the intact frame prefix, and openLog repairs the file
+// back to that boundary so a torn or bit-rotted tail can never poison a
+// replay.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/log.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::store;
+
+namespace {
+
+Bytes bytesOf(const std::string &S) { return Bytes(S.begin(), S.end()); }
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  // The standard CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(crc32(bytesOf("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytesOf("")), 0u);
+}
+
+TEST(LogScan, RoundTripsMultipleRecords) {
+  Bytes File;
+  for (const char *P : {"one", "two", "three"}) {
+    Bytes F = frameRecord(bytesOf(P));
+    File.insert(File.end(), F.begin(), F.end());
+  }
+  LogScan S = scanRecords(File);
+  ASSERT_EQ(S.Records.size(), 3u);
+  EXPECT_EQ(S.Records[1], bytesOf("two"));
+  EXPECT_EQ(S.GoodBytes, File.size());
+  EXPECT_FALSE(S.Tail);
+}
+
+TEST(LogScan, EmptyFileIsCleanlyEmpty) {
+  LogScan S = scanRecords(Bytes());
+  EXPECT_TRUE(S.Records.empty());
+  EXPECT_EQ(S.GoodBytes, 0u);
+  EXPECT_FALSE(S.Tail);
+}
+
+TEST(LogScan, TornTailStopsAtTheLastIntactFrame) {
+  Bytes File = frameRecord(bytesOf("intact"));
+  size_t Good = File.size();
+  Bytes Torn = frameRecord(bytesOf("torn-away"));
+  // Only half of the second frame reached the platter.
+  File.insert(File.end(), Torn.begin(), Torn.begin() + Torn.size() / 2);
+
+  LogScan S = scanRecords(File);
+  ASSERT_EQ(S.Records.size(), 1u);
+  EXPECT_EQ(S.Records[0], bytesOf("intact"));
+  EXPECT_EQ(S.GoodBytes, Good);
+  EXPECT_TRUE(S.Tail);
+}
+
+TEST(LogScan, BitRotFailsTheChecksum) {
+  Bytes File = frameRecord(bytesOf("first"));
+  size_t Good = File.size();
+  Bytes Second = frameRecord(bytesOf("second"));
+  Second.back() ^= 0x01; // Rot one bit of the payload.
+  File.insert(File.end(), Second.begin(), Second.end());
+
+  LogScan S = scanRecords(File);
+  ASSERT_EQ(S.Records.size(), 1u);
+  EXPECT_EQ(S.GoodBytes, Good);
+  EXPECT_TRUE(S.Tail);
+}
+
+TEST(LogScan, DamagedMiddleFrameTruncatesEverythingAfterIt) {
+  Bytes File = frameRecord(bytesOf("a"));
+  Bytes B = frameRecord(bytesOf("b"));
+  B[B.size() - 1] ^= 0xFF;
+  File.insert(File.end(), B.begin(), B.end());
+  Bytes C = frameRecord(bytesOf("c")); // Intact, but unreachable.
+  File.insert(File.end(), C.begin(), C.end());
+
+  LogScan S = scanRecords(File);
+  ASSERT_EQ(S.Records.size(), 1u);
+  EXPECT_EQ(S.Records[0], bytesOf("a"));
+  EXPECT_TRUE(S.Tail);
+}
+
+TEST(LogScan, RejectsWrongMagicAndInsaneLengths) {
+  Bytes Garbage = bytesOf("this is not a record log at all!");
+  LogScan S = scanRecords(Garbage);
+  EXPECT_TRUE(S.Records.empty());
+  EXPECT_EQ(S.GoodBytes, 0u);
+  EXPECT_TRUE(S.Tail);
+
+  // A correct magic claiming a payload far beyond MaxRecordSize.
+  Bytes Huge = frameRecord(bytesOf("x"));
+  Huge[4] = 0xFF; // payloadLen LSB
+  Huge[5] = 0xFF;
+  Huge[6] = 0xFF;
+  Huge[7] = 0x7F;
+  LogScan H = scanRecords(Huge);
+  EXPECT_TRUE(H.Records.empty());
+  EXPECT_TRUE(H.Tail);
+}
+
+TEST(OpenLog, TruncatesTheDamagedTailOnDisk) {
+  MemVfs V;
+  Bytes File = frameRecord(bytesOf("keep1"));
+  Bytes K2 = frameRecord(bytesOf("keep2"));
+  File.insert(File.end(), K2.begin(), K2.end());
+  size_t Good = File.size();
+  File.push_back(0xDE); // Torn garbage past the frames.
+  File.push_back(0xAD);
+  {
+    auto F = V.open("log", true);
+    ASSERT_TRUE(F.hasValue());
+    ASSERT_TRUE((*F)->append(File));
+    ASSERT_TRUE((*F)->sync());
+  }
+
+  auto L = openLog(V, "log");
+  ASSERT_TRUE(L.hasValue());
+  EXPECT_EQ(L->Scan.Records.size(), 2u);
+  EXPECT_TRUE(L->Scan.Tail);
+  EXPECT_EQ(L->Writer->goodBytes(), Good);
+
+  // The file itself was repaired back to the frame boundary.
+  auto OnDisk = readFileAll(V, "log");
+  ASSERT_TRUE(OnDisk.hasValue());
+  EXPECT_EQ(OnDisk->size(), Good);
+
+  // Appending after repair extends the intact prefix.
+  ASSERT_TRUE(L->Writer->append(bytesOf("three")));
+  ASSERT_TRUE(L->Writer->sync());
+  auto Again = openLog(V, "log");
+  ASSERT_TRUE(Again.hasValue());
+  ASSERT_EQ(Again->Scan.Records.size(), 3u);
+  EXPECT_EQ(Again->Scan.Records[2], bytesOf("three"));
+  EXPECT_FALSE(Again->Scan.Tail);
+}
+
+TEST(OpenLog, ResetEmptiesTheLog) {
+  MemVfs V;
+  auto L = openLog(V, "log");
+  ASSERT_TRUE(L.hasValue());
+  ASSERT_TRUE(L->Writer->append(bytesOf("ephemeral")));
+  ASSERT_TRUE(L->Writer->reset());
+  EXPECT_EQ(L->Writer->goodBytes(), 0u);
+
+  V.crash(); // reset() syncs: emptiness is durable.
+  auto Again = openLog(V, "log");
+  ASSERT_TRUE(Again.hasValue());
+  EXPECT_TRUE(Again->Scan.Records.empty());
+}
+
+} // namespace

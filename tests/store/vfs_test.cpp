@@ -1,0 +1,238 @@
+//===- tests/store/vfs_test.cpp - Vfs backends and crash semantics --------===//
+//
+// The storage layer's foundation: PosixVfs must round-trip through the
+// real filesystem, and MemVfs must model durability *honestly* — what
+// survives MemVfs::crash() is exactly what an fsync made durable, so
+// the crash matrix built on top of it proves something about real
+// power loss.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace typecoin;
+using namespace typecoin::store;
+
+namespace {
+
+Bytes bytesOf(const std::string &S) { return Bytes(S.begin(), S.end()); }
+
+std::string stringOf(const Bytes &B) {
+  return std::string(B.begin(), B.end());
+}
+
+TEST(Dirname, Components) {
+  EXPECT_EQ(dirnameOf("a/b/c"), "a/b");
+  EXPECT_EQ(dirnameOf("dir/file"), "dir");
+  EXPECT_EQ(dirnameOf("file"), ".");
+}
+
+TEST(MemVfs, BasicFileOperations) {
+  MemVfs V;
+  ASSERT_TRUE(V.mkdirs("d"));
+
+  auto Missing = V.open("d/f", /*Create=*/false);
+  EXPECT_FALSE(Missing.hasValue());
+
+  auto F = V.open("d/f", /*Create=*/true);
+  ASSERT_TRUE(F.hasValue());
+  ASSERT_TRUE((*F)->append(bytesOf("hello ")));
+  ASSERT_TRUE((*F)->append(bytesOf("world")));
+  auto Size = (*F)->size();
+  ASSERT_TRUE(Size.hasValue());
+  EXPECT_EQ(*Size, 11u);
+  auto All = (*F)->readAll();
+  ASSERT_TRUE(All.hasValue());
+  EXPECT_EQ(stringOf(*All), "hello world");
+
+  ASSERT_TRUE((*F)->truncate(5));
+  All = (*F)->readAll();
+  ASSERT_TRUE(All.hasValue());
+  EXPECT_EQ(stringOf(*All), "hello");
+
+  auto Exists = V.exists("d/f");
+  ASSERT_TRUE(Exists.hasValue());
+  EXPECT_TRUE(*Exists);
+  ASSERT_TRUE(V.remove("d/f"));
+  Exists = V.exists("d/f");
+  ASSERT_TRUE(Exists.hasValue());
+  EXPECT_FALSE(*Exists);
+}
+
+TEST(MemVfs, ListReturnsDirectoryEntries) {
+  MemVfs V;
+  ASSERT_TRUE(V.mkdirs("d"));
+  ASSERT_TRUE(V.open("d/a", true).hasValue());
+  ASSERT_TRUE(V.open("d/b", true).hasValue());
+  auto L = V.list("d");
+  ASSERT_TRUE(L.hasValue());
+  EXPECT_EQ(L->size(), 2u);
+}
+
+TEST(MemVfs, CrashDropsUnsyncedContent) {
+  MemVfs V;
+  auto F = V.open("f", true);
+  ASSERT_TRUE(F.hasValue());
+  ASSERT_TRUE((*F)->append(bytesOf("durable")));
+  ASSERT_TRUE((*F)->sync());
+  ASSERT_TRUE((*F)->append(bytesOf("+volatile")));
+
+  auto D = V.durableSize("f");
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 7u);
+
+  V.crash();
+  auto After = readFileAll(V, "f");
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_EQ(stringOf(*After), "durable");
+}
+
+TEST(MemVfs, CrashKeepsTornTailWhenRequested) {
+  MemVfs V;
+  auto F = V.open("f", true);
+  ASSERT_TRUE(F.hasValue());
+  ASSERT_TRUE((*F)->append(bytesOf("base")));
+  ASSERT_TRUE((*F)->sync());
+  ASSERT_TRUE((*F)->append(bytesOf("tail")));
+
+  CrashOptions Opt;
+  Opt.KeepUnsyncedPath = "f";
+  V.crash(Opt);
+  auto After = readFileAll(V, "f");
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_EQ(stringOf(*After), "basetail");
+}
+
+TEST(MemVfs, CrashFlipsBitInKeptTail) {
+  MemVfs V;
+  auto F = V.open("f", true);
+  ASSERT_TRUE(F.hasValue());
+  ASSERT_TRUE((*F)->append(bytesOf("base")));
+  ASSERT_TRUE((*F)->sync());
+  ASSERT_TRUE((*F)->append(bytesOf("tail")));
+
+  CrashOptions Opt;
+  Opt.KeepUnsyncedPath = "f";
+  Opt.FlipBitInTail = true;
+  V.crash(Opt);
+  auto After = readFileAll(V, "f");
+  ASSERT_TRUE(After.hasValue());
+  ASSERT_EQ(After->size(), 8u);
+  EXPECT_EQ(stringOf(*After).substr(0, 7), "basetai");
+  EXPECT_NE((*After)[7], static_cast<uint8_t>('l')); // Bit-rotted.
+}
+
+TEST(MemVfs, RenameIsProvisionalUntilDirSync) {
+  MemVfs V;
+  // Old target content, fully durable.
+  {
+    auto Old = V.open("f", true);
+    ASSERT_TRUE(Old.hasValue());
+    ASSERT_TRUE((*Old)->append(bytesOf("old")));
+    ASSERT_TRUE((*Old)->sync());
+  }
+  // New content under a temp name, durable, then renamed over.
+  {
+    auto Tmp = V.open("f.tmp", true);
+    ASSERT_TRUE(Tmp.hasValue());
+    ASSERT_TRUE((*Tmp)->append(bytesOf("new")));
+    ASSERT_TRUE((*Tmp)->sync());
+  }
+  ASSERT_TRUE(V.rename("f.tmp", "f"));
+  {
+    auto Now = readFileAll(V, "f");
+    ASSERT_TRUE(Now.hasValue());
+    EXPECT_EQ(stringOf(*Now), "new");
+  }
+
+  // Crash before syncDir: the rename rolls back.
+  V.crash();
+  auto After = readFileAll(V, "f");
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_EQ(stringOf(*After), "old");
+  auto TmpBack = V.exists("f.tmp");
+  ASSERT_TRUE(TmpBack.hasValue());
+  EXPECT_TRUE(*TmpBack);
+}
+
+TEST(MemVfs, RenameSurvivesCrashAfterDirSync) {
+  MemVfs V;
+  {
+    auto Tmp = V.open("f.tmp", true);
+    ASSERT_TRUE(Tmp.hasValue());
+    ASSERT_TRUE((*Tmp)->append(bytesOf("new")));
+    ASSERT_TRUE((*Tmp)->sync());
+  }
+  ASSERT_TRUE(V.rename("f.tmp", "f"));
+  ASSERT_TRUE(V.syncDir(dirnameOf("f")));
+
+  V.crash();
+  auto After = readFileAll(V, "f");
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_EQ(stringOf(*After), "new");
+}
+
+TEST(MemVfs, WriteFileAtomicSurvivesCrashAndLeavesNoTemp) {
+  MemVfs V;
+  ASSERT_TRUE(V.mkdirs("d"));
+  ASSERT_TRUE(writeFileAtomic(V, "d/snap", bytesOf("v1")));
+  ASSERT_TRUE(writeFileAtomic(V, "d/snap", bytesOf("v2-longer")));
+  auto Tmp = V.exists("d/snap.tmp");
+  ASSERT_TRUE(Tmp.hasValue());
+  EXPECT_FALSE(*Tmp);
+
+  V.crash();
+  auto After = readFileAll(V, "d/snap");
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_EQ(stringOf(*After), "v2-longer");
+}
+
+TEST(PosixVfs, RoundTripThroughRealFilesystem) {
+  char Template[] = "/tmp/tc-store-vfs-XXXXXX";
+  ASSERT_NE(mkdtemp(Template), nullptr);
+  std::string Dir = Template;
+
+  PosixVfs V;
+  ASSERT_TRUE(V.mkdirs(Dir + "/sub"));
+  std::string Path = Dir + "/sub/f";
+
+  {
+    auto F = V.open(Path, true);
+    ASSERT_TRUE(F.hasValue());
+    ASSERT_TRUE((*F)->append(bytesOf("alpha beta")));
+    ASSERT_TRUE((*F)->sync());
+    auto Size = (*F)->size();
+    ASSERT_TRUE(Size.hasValue());
+    EXPECT_EQ(*Size, 10u);
+    ASSERT_TRUE((*F)->truncate(5));
+  }
+  {
+    auto Back = readFileAll(V, Path);
+    ASSERT_TRUE(Back.hasValue());
+    EXPECT_EQ(stringOf(*Back), "alpha");
+  }
+
+  ASSERT_TRUE(V.rename(Path, Dir + "/sub/g"));
+  ASSERT_TRUE(V.syncDir(Dir + "/sub"));
+  auto Gone = V.exists(Path);
+  ASSERT_TRUE(Gone.hasValue());
+  EXPECT_FALSE(*Gone);
+  auto L = V.list(Dir + "/sub");
+  ASSERT_TRUE(L.hasValue());
+  ASSERT_EQ(L->size(), 1u);
+  EXPECT_EQ((*L)[0], "g");
+
+  ASSERT_TRUE(writeFileAtomic(V, Dir + "/snap", bytesOf("atomic")));
+  auto Snap = readFileAll(V, Dir + "/snap");
+  ASSERT_TRUE(Snap.hasValue());
+  EXPECT_EQ(stringOf(*Snap), "atomic");
+
+  ASSERT_TRUE(V.remove(Dir + "/sub/g"));
+  ASSERT_TRUE(V.remove(Dir + "/snap"));
+}
+
+} // namespace

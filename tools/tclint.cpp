@@ -17,6 +17,7 @@
 ///   tclint --dataflow --btc a.btc b.btc   affine dataflow over the set
 ///   tclint --json ...               machine-readable findings
 ///   tclint --hex tx.hex             input files hold hex text
+///   tclint --store DIR              offline durable-store verification
 ///   tclint --selftest               run the built-in self checks
 ///   tclint --emit-demo PREFIX       write demo transactions to disk
 ///
@@ -29,6 +30,7 @@
 #include "analysis/symcheck.h"
 
 #include "bitcoin/standard.h"
+#include "store/chainstore.h"
 #include "support/rng.h"
 
 #include <cctype>
@@ -103,6 +105,11 @@ void usage(std::ostream &OS) {
         "  --json            emit a typecoin-findings/1 JSON document on\n"
         "                    stdout instead of text\n"
         "  --hex             files hold hex text instead of raw bytes\n"
+        "  --store DIR       open a durable chainstate store directory\n"
+        "                    offline: verify record checksums and WAL\n"
+        "                    consistency, report the last durable epoch.\n"
+        "                    Torn tails (crash-legal damage) are warnings;\n"
+        "                    corruption is an error\n"
         "  --non-standard    relay policy does not require standard\n"
         "                    scripts (standardness findings become\n"
         "                    warnings)\n"
@@ -457,14 +464,74 @@ void lintPair(const std::string &TcPath, const std::string &BtcPath,
   S.addReport(Label, R);
 }
 
+//===----------------------------------------------------------------------===//
+// Durable-store verification (--store)
+//===----------------------------------------------------------------------===//
+
+/// Offline store check: map what a recovery would see onto lint
+/// severities. Torn tails are the damage the durability contract
+/// explicitly permits (a crash mid-append) and recovery repairs them,
+/// so they rate a warning; an undecodable snapshot or WAL record is
+/// corruption the contract does not allow — an error.
+void lintStore(const std::string &Dir, Session &S) {
+  store::PosixVfs V;
+  auto Inspect = store::inspectStore(V, Dir);
+  if (!Inspect) {
+    S.ioError(Inspect.error().message());
+    return;
+  }
+  if (!Inspect->DirExists) {
+    S.ioError("store '" + Dir + "': no store files found");
+    return;
+  }
+  analysis::LintReport R;
+  if (Inspect->EpochPresent) {
+    if (Inspect->EpochCorrupt)
+      R.error("store-epoch-corrupt",
+              "epoch snapshot does not decode; recovery falls back to "
+              "from-genesis replay");
+    else if (!S.Cli.Quiet && !S.Cli.Json)
+      std::cout << Dir << ": last durable epoch " << Inspect->EpochNumber
+                << " (tip height " << Inspect->TipHeight << ", "
+                << Inspect->TipHashHex << ")\n";
+  } else {
+    R.note("store-no-epoch",
+           "no epoch snapshot yet; recovery replays the block log from "
+           "genesis");
+  }
+  if (Inspect->BlockTailBytes)
+    R.warn("store-torn-tail",
+           "block log has a torn tail of " +
+               std::to_string(Inspect->BlockTailBytes) +
+               " byte(s); recovery truncates it");
+  if (Inspect->WalTailBytes)
+    R.warn("store-torn-tail",
+           "WAL has a torn tail of " +
+               std::to_string(Inspect->WalTailBytes) +
+               " byte(s); recovery truncates it");
+  if (Inspect->UndecodableWalRecords)
+    R.error("store-wal-corrupt",
+            std::to_string(Inspect->UndecodableWalRecords) +
+                " WAL record(s) pass their checksum but do not decode");
+  if (Inspect->TmpLeftover)
+    R.note("store-tmp-leftover",
+           "a crash left an epoch temp file behind; recovery removes it");
+  if (!S.Cli.Quiet && !S.Cli.Json)
+    std::cout << Dir << ": " << Inspect->BlockRecords
+              << " block record(s), " << Inspect->WalRecords
+              << " WAL record(s)\n";
+  S.addReport(Dir, R);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   Session S;
   CliOptions &Cli = S.Cli;
   std::vector<std::string> Files;
-  std::string PairTc, PairBtc, DemoPrefix;
+  std::string PairTc, PairBtc, DemoPrefix, StoreDir;
   bool Selftest = false, PairMode = false, EmitDemo = false;
+  bool StoreMode = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -497,6 +564,13 @@ int main(int argc, char **argv) {
       PairMode = true;
       PairTc = argv[++I];
       PairBtc = argv[++I];
+    } else if (A == "--store") {
+      if (I + 1 >= argc) {
+        std::cerr << "tclint: --store needs a directory argument\n";
+        return ExitUsage;
+      }
+      StoreMode = true;
+      StoreDir = argv[++I];
     } else if (A == "--emit-demo") {
       if (I + 1 >= argc) {
         std::cerr << "tclint: --emit-demo needs a path prefix\n";
@@ -521,11 +595,13 @@ int main(int argc, char **argv) {
   if (EmitDemo)
     return emitDemo(DemoPrefix);
 
-  if (!PairMode && Files.empty()) {
+  if (!PairMode && !StoreMode && Files.empty()) {
     usage(std::cerr);
     return ExitUsage;
   }
 
+  if (StoreMode)
+    lintStore(StoreDir, S);
   if (PairMode)
     lintPair(PairTc, PairBtc, S);
   for (const std::string &F : Files)
