@@ -1,0 +1,154 @@
+//===- bench/bench_t11_gossip.cpp - Experiment T11 ------------------------===//
+//
+// Block-relay cost over the P2P runtime (src/net): a fully-meshed
+// cluster of N nodes gossips a mempool of spends, then one node mines
+// and the block propagates to everyone. Measured per relayed block:
+//
+//   full    — compact relay disabled: Inv / GetData / full Block
+//             transfer on every link; wire bytes scale with block size
+//             times the peer count.
+//   compact — BIP 152-style short-id announcement reconstructed from
+//             the warm mempool; the block body never crosses the wire
+//             (net.compact.hit on every receiver).
+//
+// Both regimes run with the mempool (and hence the signature cache)
+// warm from tx gossip, so the timed region is pure relay: framing,
+// transport, reconstruction, and chain connection — the sigcache-warm
+// relay latency of ROADMAP item 2.
+//
+// Wire volume is reported from the runtime's own counters
+// (net.bytes.out delta per block) alongside wall time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bitcoin/script.h"
+#include "net/cluster.h"
+#include "obs/metrics.h"
+#include "support/rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace typecoin;
+using namespace typecoin::net;
+
+namespace {
+
+constexpr int kTxPerBlock = 24;
+
+bitcoin::ChainParams benchParams() {
+  bitcoin::ChainParams P;
+  P.CoinbaseMaturity = 1;
+  return P;
+}
+
+crypto::PrivateKey keyFromSeed(uint64_t Seed) {
+  Rng Rand(Seed);
+  return crypto::PrivateKey::generate(Rand);
+}
+
+/// Spend the coinbase of best-chain block \p Height.
+bitcoin::Transaction spendCoinbase(const bitcoin::Blockchain &Chain,
+                                   int Height, const crypto::PrivateKey &Key,
+                                   const crypto::KeyId &To) {
+  const bitcoin::Block *B = Chain.blockByHash(*Chain.blockHashAt(Height));
+  bitcoin::Transaction Tx;
+  Tx.Inputs.push_back(
+      bitcoin::TxIn{bitcoin::OutPoint{B->Txs[0].txid(), 0}, {}});
+  Tx.Outputs.push_back(bitcoin::TxOut{B->Txs[0].Outputs[0].Value - 10000,
+                                      bitcoin::makeP2PKH(To)});
+  auto Sig =
+      bitcoin::signInput(Tx, 0, B->Txs[0].Outputs[0].ScriptPubKey, {Key});
+  Tx.Inputs[0].ScriptSig = *Sig;
+  return Tx;
+}
+
+/// One relay round: fresh cluster, kTxPerBlock gossiped spends, then
+/// the timed mine + propagate. Returns wire bytes moved by the block.
+void relayOneBlock(benchmark::State &State, size_t Peers, bool Compact) {
+  uint64_t Bytes = 0, Blocks = 0;
+  auto Miner = keyFromSeed(1101);
+  auto Sink = keyFromSeed(1102).id();
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    NetConfig Base;
+    Base.CompactRelay = Compact;
+    Cluster C(benchParams(), Peers, /*ChaosSeed=*/Blocks, Base);
+    // kTxPerBlock mature coinbases, all synced, then gossip the spends
+    // so every mempool (and the sigcache) is warm before the block.
+    for (int I = 1; I <= kTxPerBlock; ++I)
+      (void)!C.mineAt(0, Miner.id(), 600.0 * I);
+    C.settle();
+    for (int I = 1; I <= kTxPerBlock; ++I)
+      (void)!C.submitTransaction(0, spendCoinbase(C.chain(0), I, Miner, Sink));
+    C.settle();
+    uint64_t Out0 = obs::counter("net.bytes.out").value();
+    State.ResumeTiming();
+
+    (void)!C.mineAt(0, Miner.id(), 600.0 * (kTxPerBlock + 1));
+    C.settle();
+
+    State.PauseTiming();
+    Bytes += obs::counter("net.bytes.out").value() - Out0;
+    ++Blocks;
+    if (C.chain(Peers - 1).height() != kTxPerBlock + 1)
+      State.SkipWithError("cluster failed to converge");
+    State.ResumeTiming();
+  }
+  State.counters["bytes_per_block"] =
+      benchmark::Counter(Blocks ? double(Bytes) / double(Blocks) : 0);
+  State.counters["tx_per_block"] = benchmark::Counter(kTxPerBlock);
+}
+
+void BM_BlockRelay_Full(benchmark::State &State) {
+  relayOneBlock(State, static_cast<size_t>(State.range(0)), false);
+}
+
+void BM_BlockRelay_Compact(benchmark::State &State) {
+  relayOneBlock(State, static_cast<size_t>(State.range(0)), true);
+}
+
+BENCHMARK(BM_BlockRelay_Full)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BlockRelay_Compact)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Headers-first catch-up: a fresh node joins a 30-block chain. Prices
+/// initial sync (locators, header batches, capped body fetch) rather
+/// than steady-state relay.
+void BM_HeadersFirstSync(benchmark::State &State) {
+  auto Miner = keyFromSeed(1103);
+  const int Height = static_cast<int>(State.range(0));
+  uint64_t Round = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    LoopbackHub Hub;
+    auto Clk = std::make_shared<VirtualClock>();
+    NetConfig Cfg;
+    Cfg.Seed = 1100 + Round++;
+    NetNode A(benchParams(), Cfg, Hub.open("a"), Clk);
+    for (int I = 1; I <= Height; ++I)
+      (void)!A.mine(Miner.id(), 600u * I);
+    NetNode B(benchParams(), Cfg, Hub.open("b"), Clk);
+    State.ResumeTiming();
+
+    (void)!B.connectTo("a");
+    while (A.pump() + B.pump() > 0)
+      ;
+
+    State.PauseTiming();
+    if (B.chain().height() != Height)
+      State.SkipWithError("sync incomplete");
+    State.ResumeTiming();
+  }
+}
+
+BENCHMARK(BM_HeadersFirstSync)->Arg(30)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

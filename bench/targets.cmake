@@ -4,7 +4,7 @@
 function(typecoin_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE benchmark::benchmark
-    typecoin_core typecoin_services typecoin_baseline)
+    typecoin_core typecoin_services typecoin_baseline typecoin_net)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -22,3 +22,4 @@ typecoin_bench(bench_t7_checker_scaling)
 typecoin_bench(bench_t8_validation_fastpath)
 typecoin_bench(bench_t9_symcheck)
 typecoin_bench(bench_t10_store)
+typecoin_bench(bench_t11_gossip)

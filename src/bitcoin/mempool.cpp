@@ -179,5 +179,10 @@ std::optional<Amount> Mempool::feeOf(const TxId &Id) const {
   return It->second.Fee;
 }
 
+const Transaction *Mempool::get(const TxId &Id) const {
+  auto It = Pool.find(Id);
+  return It == Pool.end() ? nullptr : &It->second.Tx;
+}
+
 } // namespace bitcoin
 } // namespace typecoin

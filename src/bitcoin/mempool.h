@@ -65,6 +65,10 @@ public:
   /// Fee carried by a pool entry.
   std::optional<Amount> feeOf(const TxId &Id) const;
 
+  /// Fetch a pool entry by txid (compact-block reconstruction resolves
+  /// announced short ids against this). Null when absent.
+  const Transaction *get(const TxId &Id) const;
+
   /// The relay policy in force (read by the lint gate so its
   /// standardness severity matches what this pool will enforce).
   const MempoolPolicy &policy() const { return Policy; }

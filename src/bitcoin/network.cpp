@@ -69,10 +69,7 @@ std::optional<Transaction> malleateTxSignatures(const Transaction &Tx) {
   return Out;
 }
 
-/// An invalid block a byzantine peer emits in place of a valid relay:
-/// same parent and payload claim, corrupted Merkle root, PoW re-ground
-/// so only full validation exposes it.
-static Block corruptBlock(Block B) {
+Block byzantineCorruptBlock(Block B) {
   B.Header.MerkleRoot[0] ^= 0xff;
   B.Header.Nonce = 0;
   mineBlock(B);
@@ -121,6 +118,14 @@ void LocalNetwork::crash(size_t Node) {
   N.SeenBlocks.clear();
   N.SeenTxs.clear();
   N.BanScore.clear();
+  N.PeerKnownBlocks.clear();
+  N.PeerKnownTxs.clear();
+  // Peers must also forget what this node knew: the announcements that
+  // populated their filters died with its volatile state.
+  for (auto &Peer : Nodes) {
+    Peer->PeerKnownBlocks.erase(Node);
+    Peer->PeerKnownTxs.erase(Node);
+  }
 }
 
 Status LocalNetwork::restart(size_t Node, double Now) {
@@ -163,6 +168,13 @@ void LocalNetwork::partitionAt(size_t Boundary) { Partition = Boundary; }
 
 void LocalNetwork::heal(double Now) {
   Partition.reset();
+  // Announcements lost to faults or the partition still populated the
+  // known-inventory filters at send time; reset them so the heal's
+  // cross-announcement is not suppressed.
+  for (auto &N : Nodes) {
+    N->PeerKnownBlocks.clear();
+    N->PeerKnownTxs.clear();
+  }
   // Cross-announce every node's active chain (skipping genesis, which
   // everyone shares) so the sides reconcile.
   for (size_t From = 0; From < Nodes.size(); ++From) {
@@ -221,6 +233,8 @@ struct NetMetrics {
   obs::Counter &OrphanAdded = obs::counter("net.orphan.added");
   obs::Counter &OrphanEvicted = obs::counter("net.orphan.evicted");
   obs::Counter &Delivered = obs::counter("net.msg.delivered");
+  obs::Counter &InvDup = obs::counter("net.inv.dup");
+  obs::Counter &InvDedup = obs::counter("net.inv.dedup");
 
   static NetMetrics &get() {
     static NetMetrics M;
@@ -263,7 +277,13 @@ void LocalNetwork::broadcastBlock(size_t From, const Block &B, double Now) {
       continue;
     if (Byz && Byz->InvalidBlock > 0 && Chaos.nextBool(Byz->InvalidBlock)) {
       NetMetrics::get().InvalidBlock.inc();
-      send(From, Dest, corruptBlock(B), std::nullopt, Now);
+      send(From, Dest, byzantineCorruptBlock(B), std::nullopt, Now);
+      continue;
+    }
+    // Known-inventory filter: do not echo a block back to whoever sent
+    // it, or re-announce on a link that already carried it.
+    if (!Nodes[From]->PeerKnownBlocks[Dest].insert(B.hash()).second) {
+      NetMetrics::get().InvDedup.inc();
       continue;
     }
     send(From, Dest, B, std::nullopt, Now);
@@ -282,6 +302,10 @@ void LocalNetwork::broadcastTx(size_t From, const Transaction &Tx,
         send(From, Dest, std::nullopt, *Twisted, Now);
         continue;
       }
+    }
+    if (!Nodes[From]->PeerKnownTxs[Dest].insert(Tx.txid()).second) {
+      NetMetrics::get().InvDedup.inc();
+      continue;
     }
     send(From, Dest, std::nullopt, Tx, Now);
   }
@@ -307,10 +331,15 @@ void LocalNetwork::acceptBlock(size_t Node, size_t From, const Block &B,
                                double Now) {
   NodeState &N = *Nodes[Node];
   BlockHash Hash = B.hash();
-  if (N.SeenBlocks.count(Hash))
+  // Whoever announced it evidently holds it: never echo it back.
+  N.PeerKnownBlocks[From].insert(Hash);
+  if (N.SeenBlocks.count(Hash)) {
+    NetMetrics::get().InvDup.inc(); // Duplicate announcement arrived.
     return;
+  }
   if (N.Chain.blockByHash(Hash)) { // Known (e.g. replayed after restart).
     N.SeenBlocks.insert(Hash);
+    NetMetrics::get().InvDup.inc();
     return;
   }
 
@@ -342,12 +371,15 @@ void LocalNetwork::acceptBlock(size_t Node, size_t From, const Block &B,
     acceptBlock(Node, From, Child, Now);
 }
 
-void LocalNetwork::acceptTx(size_t Node, const Transaction &Tx,
+void LocalNetwork::acceptTx(size_t Node, size_t From, const Transaction &Tx,
                             double Now) {
   NodeState &N = *Nodes[Node];
   TxId Id = Tx.txid();
-  if (N.SeenTxs.count(Id))
+  N.PeerKnownTxs[From].insert(Id);
+  if (N.SeenTxs.count(Id)) {
+    NetMetrics::get().InvDup.inc();
     return;
+  }
   if (!N.Pool.acceptTransaction(Tx, N.Chain))
     return;
   N.SeenTxs.insert(Id);
@@ -370,7 +402,7 @@ void LocalNetwork::deliver(const Message &M) {
   if (M.Blk)
     acceptBlock(M.Dest, M.From, *M.Blk, M.Time);
   else if (M.Tx)
-    acceptTx(M.Dest, *M.Tx, M.Time);
+    acceptTx(M.Dest, M.From, *M.Tx, M.Time);
 }
 
 size_t LocalNetwork::run() {

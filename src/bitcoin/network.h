@@ -82,6 +82,13 @@ struct ByzantinePlan {
 /// result verifies under the same keys but has a different txid.
 std::optional<Transaction> malleateTxSignatures(const Transaction &Tx);
 
+/// The invalid block a byzantine peer emits in place of a valid relay:
+/// same parent and payload claim, corrupted Merkle root, PoW re-ground
+/// so only full validation exposes it. Shared by the discrete-event
+/// simulator's byzantine relay and the real stack's chaos transport
+/// (net/fault.h).
+Block byzantineCorruptBlock(Block B);
+
 /// A network of full nodes with latency-delayed relay and optional
 /// fault injection.
 class LocalNetwork {
@@ -198,6 +205,13 @@ private:
     std::multimap<BlockHash, OrphanEntry> Orphans;
     std::set<BlockHash> SeenBlocks;
     std::set<TxId> SeenTxs;
+    /// Per-peer known inventory: what we have already announced to (or
+    /// received from) each peer. Relay skips items the peer is known to
+    /// hold instead of echoing them back, and the suppressed/duplicate
+    /// volume is accounted (net.inv.dedup / net.inv.dup) so gossip
+    /// amplification is measurable.
+    std::map<size_t, std::set<BlockHash>> PeerKnownBlocks;
+    std::map<size_t, std::set<TxId>> PeerKnownTxs;
     /// The simulated disk: every block this node accepted, in accept
     /// order (so parents precede children on replay).
     std::vector<Block> Persisted;
@@ -231,7 +245,7 @@ private:
   void broadcastBlock(size_t From, const Block &B, double Now);
   void broadcastTx(size_t From, const Transaction &Tx, double Now);
   void acceptBlock(size_t Node, size_t From, const Block &B, double Now);
-  void acceptTx(size_t Node, const Transaction &Tx, double Now);
+  void acceptTx(size_t Node, size_t From, const Transaction &Tx, double Now);
   void deliver(const Message &M);
   void addOrphan(NodeState &N, const Block &B);
 

@@ -1,0 +1,116 @@
+//===- net/fault.h - Chaos plans as a transport wrapper ---------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete-event simulator's chaos machinery — per-link \ref
+/// bitcoin::FaultPlan (drop / duplicate / jitter) and per-node \ref
+/// bitcoin::ByzantinePlan (invalid-block and malleated-transaction
+/// relay) — re-expressed as a \ref Transport decorator, so the entire
+/// chaos suite runs unchanged over the real P2P runtime.
+///
+/// One \ref ChaosState is shared by every \ref ChaosTransport of a
+/// scenario: it holds the mutable plan table (plans may change mid-run,
+/// exactly like LocalNetwork::clearFaults quiescing a chaos run), the
+/// partition predicate, and the release schedule of jittered frames so
+/// a deterministic driver can advance a VirtualClock straight to the
+/// next delivery.
+///
+/// Fault application is receiver-side (frames are pulled from the inner
+/// connection and then dropped / duplicated / delayed under the plan of
+/// the directed link), byzantine corruption is sender-side (outbound
+/// frames are decoded, mangled, re-encoded). Every draw comes from a
+/// per-directed-link PRNG seeded from (scenario seed, from, to), so
+/// outcomes are independent of thread interleaving: the same seed
+/// produces the same drops on every run, threaded or pumped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_NET_FAULT_H
+#define TYPECOIN_NET_FAULT_H
+
+#include "bitcoin/network.h"
+#include "net/transport.h"
+
+#include <set>
+
+namespace typecoin {
+namespace net {
+
+/// Shared, mutable chaos configuration for one scenario.
+class ChaosState {
+public:
+  explicit ChaosState(uint64_t Seed) : Seed(Seed) {}
+
+  // --- Plan table (LocalNetwork-compatible surface) --------------------
+
+  void setDefaultFault(const bitcoin::FaultPlan &Plan);
+  void setLinkFault(const std::string &From, const std::string &To,
+                    const bitcoin::FaultPlan &Plan);
+  void clearFaults();
+
+  void setByzantine(const std::string &Addr,
+                    const bitcoin::ByzantinePlan &Plan);
+
+  /// Sever every link crossing \p GroupA vs the rest (frames crossing
+  /// the cut are dropped at delivery, like LocalNetwork::partitionAt).
+  void partition(std::set<std::string> GroupA);
+  void heal();
+
+  /// The effective plan for the directed link \p From -> \p To (a
+  /// partition cut reports an unconditional drop).
+  bitcoin::FaultPlan planFor(const std::string &From,
+                             const std::string &To) const;
+  std::optional<bitcoin::ByzantinePlan> byzantineFor(
+      const std::string &Addr) const;
+
+  /// Deterministic per-directed-link seed.
+  uint64_t linkSeed(const std::string &From, const std::string &To) const;
+
+  // --- Jitter release schedule -----------------------------------------
+
+  void addPendingRelease(double T);
+  void removePendingRelease(double T);
+  /// Earliest scheduled release of a jitter-delayed frame, if any — the
+  /// deterministic driver advances its VirtualClock here when pumping
+  /// makes no progress.
+  std::optional<double> nextRelease() const;
+
+private:
+  mutable std::mutex Mu;
+  uint64_t Seed;
+  bitcoin::FaultPlan Default;
+  std::map<std::pair<std::string, std::string>, bitcoin::FaultPlan> Links;
+  std::map<std::string, bitcoin::ByzantinePlan> Byzantine;
+  std::optional<std::set<std::string>> PartitionA;
+  std::multiset<double> Pending;
+};
+
+/// Wrap \p Inner so every connection it produces applies \p Chaos:
+/// receive-side drop/dup/jitter per the directed link's plan, send-side
+/// byzantine mangling when this endpoint has a ByzantinePlan.
+class ChaosTransport : public Transport {
+public:
+  ChaosTransport(std::unique_ptr<Transport> Inner,
+                 std::shared_ptr<ChaosState> Chaos, const Clock &Clk);
+  ~ChaosTransport() override;
+
+  std::string listenAddress() const override;
+  Result<std::shared_ptr<Connection>> connect(
+      const std::string &Addr) override;
+  std::shared_ptr<Connection> accept() override;
+
+private:
+  std::shared_ptr<Connection> wrap(std::shared_ptr<Connection> C);
+
+  std::unique_ptr<Transport> Inner;
+  std::shared_ptr<ChaosState> Chaos;
+  const Clock &Clk;
+};
+
+} // namespace net
+} // namespace typecoin
+
+#endif // TYPECOIN_NET_FAULT_H

@@ -1,0 +1,184 @@
+//===- net/transport.cpp - Injectable P2P transport -----------------------===//
+
+#include "net/transport.h"
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace typecoin {
+namespace net {
+
+// --- Clocks -------------------------------------------------------------
+
+SteadyClock::SteadyClock() : StartNs(obs::monotonicNowNs()) {}
+
+double SteadyClock::now() const {
+  return static_cast<double>(obs::monotonicNowNs() - StartNs) * 1e-9;
+}
+
+double VirtualClock::now() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return T;
+}
+
+void VirtualClock::advanceTo(double NewT) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  T = std::max(T, NewT);
+}
+
+// --- Loopback hub -------------------------------------------------------
+
+namespace {
+class LoopbackConnection;
+} // namespace
+
+/// Hub-wide shared state: one mutex + condvar covers every queue, so a
+/// deterministic driver sees a single, totally-ordered world.
+struct LoopbackHub::State {
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  /// Listen address -> pending inbound connections.
+  std::map<std::string, std::deque<std::shared_ptr<Connection>>> AcceptQueues;
+  /// Addresses with a live endpoint.
+  std::map<std::string, bool> Endpoints;
+  size_t InFlight = 0; ///< Frames queued across all connections.
+};
+
+namespace {
+
+/// One direction of a loopback link: a FIFO of frames.
+struct Pipe {
+  std::deque<Bytes> Frames;
+  bool Closed = false;
+};
+
+/// A connection endpoint: reads from one pipe, writes the other. The two
+/// endpoints of a link share the pipes (and the hub state for locking).
+class LoopbackConnection : public Connection {
+public:
+  LoopbackConnection(std::shared_ptr<LoopbackHub::State> Hub,
+                     std::shared_ptr<Pipe> In, std::shared_ptr<Pipe> Out,
+                     std::string PeerAddr)
+      : Hub(std::move(Hub)), In(std::move(In)), Out(std::move(Out)),
+        PeerAddr(std::move(PeerAddr)) {}
+
+  ~LoopbackConnection() override { close(); }
+
+  Status send(const Bytes &Frame) override {
+    std::lock_guard<std::mutex> Lock(Hub->Mu);
+    if (Out->Closed)
+      return makeError("loopback: connection closed");
+    Out->Frames.push_back(Frame);
+    ++Hub->InFlight;
+    Hub->Cv.notify_all();
+    return Status::success();
+  }
+
+  std::optional<Bytes> receive() override {
+    std::lock_guard<std::mutex> Lock(Hub->Mu);
+    if (In->Frames.empty())
+      return std::nullopt;
+    Bytes F = std::move(In->Frames.front());
+    In->Frames.pop_front();
+    --Hub->InFlight;
+    return F;
+  }
+
+  bool waitReadable(double TimeoutSec) override {
+    std::unique_lock<std::mutex> Lock(Hub->Mu);
+    if (!In->Frames.empty() || In->Closed)
+      return true;
+    Hub->Cv.wait_for(Lock, std::chrono::duration<double>(TimeoutSec));
+    return !In->Frames.empty() || In->Closed;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> Lock(Hub->Mu);
+    if (!In->Closed) {
+      // Undelivered inbound frames will never be read.
+      Hub->InFlight -= In->Frames.size();
+      In->Frames.clear();
+    }
+    In->Closed = true;
+    Out->Closed = true;
+    Hub->Cv.notify_all();
+  }
+
+  bool isOpen() const override {
+    std::lock_guard<std::mutex> Lock(Hub->Mu);
+    return !In->Closed;
+  }
+
+  std::string peerAddress() const override { return PeerAddr; }
+
+private:
+  std::shared_ptr<LoopbackHub::State> Hub;
+  std::shared_ptr<Pipe> In;
+  std::shared_ptr<Pipe> Out;
+  std::string PeerAddr;
+};
+
+class LoopbackTransport : public Transport {
+public:
+  LoopbackTransport(std::shared_ptr<LoopbackHub::State> Hub, std::string Addr)
+      : Hub(std::move(Hub)), Addr(std::move(Addr)) {}
+
+  ~LoopbackTransport() override {
+    std::lock_guard<std::mutex> Lock(Hub->Mu);
+    Hub->Endpoints.erase(Addr);
+    Hub->AcceptQueues.erase(Addr);
+  }
+
+  std::string listenAddress() const override { return Addr; }
+
+  Result<std::shared_ptr<Connection>> connect(
+      const std::string &Remote) override {
+    std::lock_guard<std::mutex> Lock(Hub->Mu);
+    if (!Hub->Endpoints.count(Remote))
+      return makeError("loopback: no endpoint at " + Remote);
+    auto AtoB = std::make_shared<Pipe>();
+    auto BtoA = std::make_shared<Pipe>();
+    auto Ours =
+        std::make_shared<LoopbackConnection>(Hub, BtoA, AtoB, Remote);
+    auto Theirs =
+        std::make_shared<LoopbackConnection>(Hub, AtoB, BtoA, Addr);
+    Hub->AcceptQueues[Remote].push_back(std::move(Theirs));
+    Hub->Cv.notify_all();
+    return std::shared_ptr<Connection>(std::move(Ours));
+  }
+
+  std::shared_ptr<Connection> accept() override {
+    std::lock_guard<std::mutex> Lock(Hub->Mu);
+    auto &Q = Hub->AcceptQueues[Addr];
+    if (Q.empty())
+      return nullptr;
+    std::shared_ptr<Connection> C = std::move(Q.front());
+    Q.pop_front();
+    return C;
+  }
+
+private:
+  std::shared_ptr<LoopbackHub::State> Hub;
+  std::string Addr;
+};
+
+} // namespace
+
+LoopbackHub::LoopbackHub() : S(std::make_shared<State>()) {}
+LoopbackHub::~LoopbackHub() = default;
+
+std::unique_ptr<Transport> LoopbackHub::open(const std::string &Addr) {
+  std::lock_guard<std::mutex> Lock(S->Mu);
+  S->Endpoints[Addr] = true;
+  return std::make_unique<LoopbackTransport>(S, Addr);
+}
+
+size_t LoopbackHub::inFlightFrames() const {
+  std::lock_guard<std::mutex> Lock(S->Mu);
+  return S->InFlight;
+}
+
+} // namespace net
+} // namespace typecoin

@@ -1,0 +1,437 @@
+//===- net/wire.cpp - Typed P2P wire messages and framing -----------------===//
+
+#include "net/wire.h"
+
+#include "support/serialize.h"
+
+namespace typecoin {
+namespace net {
+
+const char *msgTypeName(MsgType T) {
+  switch (T) {
+  case MsgType::Version:
+    return "version";
+  case MsgType::Verack:
+    return "verack";
+  case MsgType::Ping:
+    return "ping";
+  case MsgType::Pong:
+    return "pong";
+  case MsgType::Inv:
+    return "inv";
+  case MsgType::GetData:
+    return "getdata";
+  case MsgType::GetHeaders:
+    return "getheaders";
+  case MsgType::Headers:
+    return "headers";
+  case MsgType::Block:
+    return "block";
+  case MsgType::Tx:
+    return "tx";
+  case MsgType::CmpctBlock:
+    return "cmpctblock";
+  case MsgType::GetBlockTxn:
+    return "getblocktxn";
+  case MsgType::BlockTxn:
+    return "blocktxn";
+  }
+  return "unknown";
+}
+
+MsgType messageType(const Message &M) {
+  struct Visitor {
+    MsgType operator()(const VersionMsg &) { return MsgType::Version; }
+    MsgType operator()(const VerackMsg &) { return MsgType::Verack; }
+    MsgType operator()(const PingMsg &) { return MsgType::Ping; }
+    MsgType operator()(const PongMsg &) { return MsgType::Pong; }
+    MsgType operator()(const InvMsg &) { return MsgType::Inv; }
+    MsgType operator()(const GetDataMsg &) { return MsgType::GetData; }
+    MsgType operator()(const GetHeadersMsg &) { return MsgType::GetHeaders; }
+    MsgType operator()(const HeadersMsg &) { return MsgType::Headers; }
+    MsgType operator()(const BlockMsg &) { return MsgType::Block; }
+    MsgType operator()(const TxMsg &) { return MsgType::Tx; }
+    MsgType operator()(const CmpctBlockMsg &) { return MsgType::CmpctBlock; }
+    MsgType operator()(const GetBlockTxnMsg &) { return MsgType::GetBlockTxn; }
+    MsgType operator()(const BlockTxnMsg &) { return MsgType::BlockTxn; }
+  };
+  return std::visit(Visitor{}, M);
+}
+
+// --- Payload encoders ---------------------------------------------------
+
+namespace {
+
+void writeInvItems(Writer &W, const std::vector<InvItem> &Items) {
+  W.writeCompactSize(Items.size());
+  for (const InvItem &It : Items) {
+    W.writeU8(static_cast<uint8_t>(It.Kind));
+    W.writeBytes(It.Hash);
+  }
+}
+
+Result<std::vector<InvItem>> readInvItems(Reader &R) {
+  uint64_t N;
+  TC_ASSIGN(N, R.readCompactSize());
+  if (N > MaxVectorItems)
+    return makeError("wire: inv count exceeds cap");
+  std::vector<InvItem> Items;
+  Items.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    uint8_t Kind;
+    TC_ASSIGN(Kind, R.readU8());
+    if (Kind != static_cast<uint8_t>(InvKind::Tx) &&
+        Kind != static_cast<uint8_t>(InvKind::Block))
+      return makeError("wire: unknown inv kind");
+    InvItem It;
+    It.Kind = static_cast<InvKind>(Kind);
+    TC_ASSIGN(It.Hash, R.readArray<32>());
+    Items.push_back(It);
+  }
+  return Items;
+}
+
+void encodePayload(Writer &W, const VersionMsg &M) {
+  W.writeU32(static_cast<uint32_t>(M.Protocol));
+  W.writeU64(M.Services);
+  W.writeU64(M.Nonce);
+  W.writeU32(static_cast<uint32_t>(M.StartHeight));
+  W.writeString(M.UserAgent);
+}
+void encodePayload(Writer &, const VerackMsg &) {}
+void encodePayload(Writer &W, const PingMsg &M) { W.writeU64(M.Nonce); }
+void encodePayload(Writer &W, const PongMsg &M) { W.writeU64(M.Nonce); }
+void encodePayload(Writer &W, const InvMsg &M) { writeInvItems(W, M.Items); }
+void encodePayload(Writer &W, const GetDataMsg &M) {
+  writeInvItems(W, M.Items);
+}
+void encodePayload(Writer &W, const GetHeadersMsg &M) {
+  W.writeCompactSize(M.Locator.size());
+  for (const bitcoin::BlockHash &H : M.Locator)
+    W.writeBytes(H.Hash);
+  W.writeBytes(M.Stop.Hash);
+}
+void encodePayload(Writer &W, const HeadersMsg &M) {
+  W.writeCompactSize(M.Headers.size());
+  for (const bitcoin::BlockHeader &H : M.Headers)
+    W.writeBytes(H.serialize());
+}
+void encodePayload(Writer &W, const BlockMsg &M) {
+  W.writeBytes(M.B.serialize());
+}
+void encodePayload(Writer &W, const TxMsg &M) {
+  W.writeBytes(M.Tx.serialize());
+}
+void encodePayload(Writer &W, const CmpctBlockMsg &M) {
+  W.writeBytes(M.Header.serialize());
+  W.writeU64(M.Nonce);
+  W.writeCompactSize(M.ShortIds.size());
+  for (uint64_t Id : M.ShortIds) {
+    // 48-bit little-endian.
+    W.writeU32(static_cast<uint32_t>(Id & 0xffffffffu));
+    W.writeU16(static_cast<uint16_t>((Id >> 32) & 0xffffu));
+  }
+  W.writeCompactSize(M.Prefilled.size());
+  for (const PrefilledTx &P : M.Prefilled) {
+    W.writeCompactSize(P.Index);
+    W.writeBytes(P.Tx.serialize());
+  }
+}
+void encodePayload(Writer &W, const GetBlockTxnMsg &M) {
+  W.writeBytes(M.Block.Hash);
+  W.writeCompactSize(M.Indexes.size());
+  for (uint64_t I : M.Indexes)
+    W.writeCompactSize(I);
+}
+void encodePayload(Writer &W, const BlockTxnMsg &M) {
+  W.writeBytes(M.Block.Hash);
+  W.writeCompactSize(M.Txs.size());
+  for (const bitcoin::Transaction &Tx : M.Txs)
+    W.writeBytes(Tx.serialize());
+}
+
+// --- Payload decoders ---------------------------------------------------
+
+Result<Message> decodeVersion(Reader &R) {
+  VersionMsg M;
+  uint32_t Proto, Height;
+  TC_ASSIGN(Proto, R.readU32());
+  M.Protocol = static_cast<int32_t>(Proto);
+  TC_ASSIGN(M.Services, R.readU64());
+  TC_ASSIGN(M.Nonce, R.readU64());
+  TC_ASSIGN(Height, R.readU32());
+  M.StartHeight = static_cast<int32_t>(Height);
+  TC_ASSIGN(M.UserAgent, R.readString());
+  return Message(std::move(M));
+}
+
+Result<Message> decodeGetHeaders(Reader &R) {
+  GetHeadersMsg M;
+  uint64_t N;
+  TC_ASSIGN(N, R.readCompactSize());
+  if (N > MaxVectorItems)
+    return makeError("wire: locator count exceeds cap");
+  M.Locator.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    bitcoin::BlockHash H;
+    TC_ASSIGN(H.Hash, R.readArray<32>());
+    M.Locator.push_back(H);
+  }
+  TC_ASSIGN(M.Stop.Hash, R.readArray<32>());
+  return Message(std::move(M));
+}
+
+Result<Message> decodeHeaders(Reader &R) {
+  HeadersMsg M;
+  uint64_t N;
+  TC_ASSIGN(N, R.readCompactSize());
+  if (N > MaxVectorItems)
+    return makeError("wire: header count exceeds cap");
+  M.Headers.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    Bytes Raw;
+    TC_ASSIGN(Raw, R.readBytes(80));
+    bitcoin::BlockHeader H;
+    TC_ASSIGN(H, bitcoin::BlockHeader::deserialize(Raw));
+    M.Headers.push_back(H);
+  }
+  return Message(std::move(M));
+}
+
+/// Decode one transaction starting at the reader's position (the
+/// transaction codec knows its own length).
+Result<bitcoin::Transaction> readTx(Reader &R) {
+  return bitcoin::Transaction::deserializeFrom(R);
+}
+
+Result<Message> decodeCmpctBlock(Reader &R) {
+  CmpctBlockMsg M;
+  Bytes RawHeader;
+  TC_ASSIGN(RawHeader, R.readBytes(80));
+  TC_ASSIGN(M.Header, bitcoin::BlockHeader::deserialize(RawHeader));
+  TC_ASSIGN(M.Nonce, R.readU64());
+  uint64_t N;
+  TC_ASSIGN(N, R.readCompactSize());
+  if (N > MaxVectorItems)
+    return makeError("wire: shortid count exceeds cap");
+  M.ShortIds.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    uint32_t Lo;
+    uint16_t Hi;
+    TC_ASSIGN(Lo, R.readU32());
+    TC_ASSIGN(Hi, R.readU16());
+    M.ShortIds.push_back(static_cast<uint64_t>(Hi) << 32 | Lo);
+  }
+  TC_ASSIGN(N, R.readCompactSize());
+  if (N > MaxVectorItems)
+    return makeError("wire: prefilled count exceeds cap");
+  M.Prefilled.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    PrefilledTx P;
+    TC_ASSIGN(P.Index, R.readCompactSize());
+    TC_ASSIGN(P.Tx, readTx(R));
+    M.Prefilled.push_back(std::move(P));
+  }
+  return Message(std::move(M));
+}
+
+Result<Message> decodeGetBlockTxn(Reader &R) {
+  GetBlockTxnMsg M;
+  TC_ASSIGN(M.Block.Hash, R.readArray<32>());
+  uint64_t N;
+  TC_ASSIGN(N, R.readCompactSize());
+  if (N > MaxVectorItems)
+    return makeError("wire: index count exceeds cap");
+  M.Indexes.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t Idx;
+    TC_ASSIGN(Idx, R.readCompactSize());
+    M.Indexes.push_back(Idx);
+  }
+  return Message(std::move(M));
+}
+
+Result<Message> decodeBlockTxn(Reader &R) {
+  BlockTxnMsg M;
+  TC_ASSIGN(M.Block.Hash, R.readArray<32>());
+  uint64_t N;
+  TC_ASSIGN(N, R.readCompactSize());
+  if (N > MaxVectorItems)
+    return makeError("wire: tx count exceeds cap");
+  M.Txs.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    bitcoin::Transaction Tx;
+    TC_ASSIGN(Tx, readTx(R));
+    M.Txs.push_back(std::move(Tx));
+  }
+  return Message(std::move(M));
+}
+
+Result<Message> decodePayload(MsgType T, const Bytes &Payload) {
+  Reader R(Payload);
+  Result<Message> Out = makeError("wire: unknown message type");
+  switch (T) {
+  case MsgType::Version:
+    Out = decodeVersion(R);
+    break;
+  case MsgType::Verack:
+    Out = Message(VerackMsg{});
+    break;
+  case MsgType::Ping: {
+    PingMsg M;
+    if (auto V = R.readU64())
+      M.Nonce = *V;
+    else
+      return V.takeError();
+    Out = Message(M);
+    break;
+  }
+  case MsgType::Pong: {
+    PongMsg M;
+    if (auto V = R.readU64())
+      M.Nonce = *V;
+    else
+      return V.takeError();
+    Out = Message(M);
+    break;
+  }
+  case MsgType::Inv: {
+    InvMsg M;
+    TC_ASSIGN(M.Items, readInvItems(R));
+    Out = Message(std::move(M));
+    break;
+  }
+  case MsgType::GetData: {
+    GetDataMsg M;
+    TC_ASSIGN(M.Items, readInvItems(R));
+    Out = Message(std::move(M));
+    break;
+  }
+  case MsgType::GetHeaders:
+    Out = decodeGetHeaders(R);
+    break;
+  case MsgType::Headers:
+    Out = decodeHeaders(R);
+    break;
+  case MsgType::Block: {
+    BlockMsg M;
+    Bytes Rest;
+    TC_ASSIGN(Rest, R.readBytes(R.remaining()));
+    TC_ASSIGN(M.B, bitcoin::Block::deserialize(Rest));
+    return Message(std::move(M)); // Block codec checks its own end.
+  }
+  case MsgType::Tx: {
+    TxMsg M;
+    TC_ASSIGN(M.Tx, readTx(R));
+    Out = Message(std::move(M));
+    break;
+  }
+  case MsgType::CmpctBlock:
+    Out = decodeCmpctBlock(R);
+    break;
+  case MsgType::GetBlockTxn:
+    Out = decodeGetBlockTxn(R);
+    break;
+  case MsgType::BlockTxn:
+    Out = decodeBlockTxn(R);
+    break;
+  }
+  if (!Out)
+    return Out;
+  TC_TRY(R.expectEnd());
+  return Out;
+}
+
+uint32_t payloadChecksum(const uint8_t *Data, size_t Len) {
+  crypto::Digest32 D = crypto::sha256d(Data, Len);
+  return static_cast<uint32_t>(D[0]) | static_cast<uint32_t>(D[1]) << 8 |
+         static_cast<uint32_t>(D[2]) << 16 |
+         static_cast<uint32_t>(D[3]) << 24;
+}
+
+constexpr size_t FrameHeaderBytes = 4 + 1 + 4 + 4;
+
+} // namespace
+
+Bytes encodeMessage(const Message &M) {
+  Writer Payload;
+  std::visit([&Payload](const auto &Msg) { encodePayload(Payload, Msg); },
+             M);
+  const Bytes &Body = Payload.buffer();
+
+  Writer Frame;
+  Frame.reserve(FrameHeaderBytes + Body.size());
+  Frame.writeU32(FrameMagic);
+  Frame.writeU8(static_cast<uint8_t>(messageType(M)));
+  Frame.writeU32(static_cast<uint32_t>(Body.size()));
+  Frame.writeU32(payloadChecksum(Body.data(), Body.size()));
+  Frame.writeBytes(Body);
+  return Frame.takeBuffer();
+}
+
+uint64_t shortTxId(const bitcoin::BlockHash &Block, uint64_t Nonce,
+                   const bitcoin::TxId &Txid) {
+  Writer W;
+  W.writeBytes(Block.Hash);
+  W.writeU64(Nonce);
+  W.writeBytes(Txid.Hash);
+  crypto::Digest32 D = crypto::sha256(W.buffer());
+  uint64_t Id = 0;
+  for (int I = 5; I >= 0; --I)
+    Id = Id << 8 | D[I];
+  return Id;
+}
+
+void FrameDecoder::feed(const uint8_t *Data, size_t Len) {
+  // Compact the consumed prefix before growing the buffer.
+  if (Consumed > 0) {
+    Buffer.erase(Buffer.begin(),
+                 Buffer.begin() + static_cast<ptrdiff_t>(Consumed));
+    Consumed = 0;
+  }
+  Buffer.insert(Buffer.end(), Data, Data + Len);
+}
+
+Result<std::optional<Message>> FrameDecoder::next() {
+  if (Poisoned)
+    return makeError(*Poisoned);
+  auto Poison = [this](std::string Why) -> Result<std::optional<Message>> {
+    Poisoned = Why;
+    return makeError(std::move(Why));
+  };
+
+  size_t Avail = Buffer.size() - Consumed;
+  if (Avail < FrameHeaderBytes)
+    return std::optional<Message>();
+  Reader Header(Buffer.data() + Consumed, FrameHeaderBytes);
+  uint32_t Magic = *Header.readU32();
+  uint8_t Type = *Header.readU8();
+  uint32_t Length = *Header.readU32();
+  uint32_t Checksum = *Header.readU32();
+
+  if (Magic != FrameMagic)
+    return Poison("wire: bad frame magic");
+  if (Type < static_cast<uint8_t>(MsgType::Version) ||
+      Type > static_cast<uint8_t>(MsgType::BlockTxn))
+    return Poison("wire: unknown message type " + std::to_string(Type));
+  if (Length > MaxPayloadBytes)
+    return Poison("wire: oversized frame (" + std::to_string(Length) + ")");
+  if (Avail < FrameHeaderBytes + Length)
+    return std::optional<Message>(); // Incomplete frame; wait for more.
+
+  const uint8_t *Body = Buffer.data() + Consumed + FrameHeaderBytes;
+  if (payloadChecksum(Body, Length) != Checksum)
+    return Poison("wire: payload checksum mismatch");
+
+  Bytes Payload(Body, Body + Length);
+  auto Decoded = decodePayload(static_cast<MsgType>(Type), Payload);
+  if (!Decoded)
+    return Poison("wire: " + std::string(msgTypeName(static_cast<MsgType>(
+                                 Type))) +
+                  " payload: " + Decoded.takeError().message());
+  Consumed += FrameHeaderBytes + Length;
+  return std::optional<Message>(std::move(*Decoded));
+}
+
+} // namespace net
+} // namespace typecoin

@@ -1,0 +1,228 @@
+//===- net/wire.h - Typed P2P wire messages and framing ---------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed wire protocol of the concurrent P2P runtime (net/node.h):
+/// a closed set of message structs, their Bitcoin-wire-format payload
+/// codecs, and a length/checksum frame around each encoded message.
+///
+/// Frame layout (all integers little-endian):
+///
+///   magic    u32   0x5443'4e31 ("TCN1")
+///   type     u8    MsgType discriminant
+///   length   u32   payload byte count (<= MaxPayloadBytes)
+///   checksum u32   first four bytes of double-SHA256(payload)
+///   payload  bytes
+///
+/// \ref FrameDecoder consumes an arbitrary byte stream (frames may be
+/// split or concatenated across reads) and yields decoded messages; any
+/// framing or payload defect is a hard error, after which the stream is
+/// poisoned — the peer loop bans the sender rather than resynchronizing
+/// on a corrupt stream. The decoder is the surface the
+/// `fuzz_net_message` libFuzzer target drives.
+///
+/// Compact-block relay (BIP 152 in the small): \ref CmpctBlockMsg
+/// announces a block as its header plus 6-byte \ref shortTxId values
+/// (keyed by the block hash and a per-announcement nonce so an attacker
+/// cannot precompute collisions), with the coinbase prefilled. Receivers
+/// reconstruct from their mempool and fall back to \ref GetBlockTxnMsg
+/// for the misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_NET_WIRE_H
+#define TYPECOIN_NET_WIRE_H
+
+#include "bitcoin/block.h"
+
+#include <variant>
+
+namespace typecoin {
+namespace net {
+
+/// Frame magic ("TCN1") — rejects cross-protocol and misaligned reads.
+constexpr uint32_t FrameMagic = 0x5443'4e31;
+
+/// Hard cap on a single payload; larger frames are a protocol error
+/// (bans the sender) before any allocation happens.
+constexpr uint32_t MaxPayloadBytes = 8u << 20;
+
+/// Cap on vector counts inside payloads (inv items, headers, txs);
+/// prevents a tiny frame from claiming a huge count.
+constexpr uint64_t MaxVectorItems = 64 * 1024;
+
+/// Message discriminants, also the frame `type` byte.
+enum class MsgType : uint8_t {
+  Version = 1,
+  Verack = 2,
+  Ping = 3,
+  Pong = 4,
+  Inv = 5,
+  GetData = 6,
+  GetHeaders = 7,
+  Headers = 8,
+  Block = 9,
+  Tx = 10,
+  CmpctBlock = 11,
+  GetBlockTxn = 12,
+  BlockTxn = 13,
+};
+
+/// Printable message-type name (obs counter suffixes, diagnostics).
+const char *msgTypeName(MsgType T);
+
+/// Service bits advertised in \ref VersionMsg.
+constexpr uint64_t ServiceCompactRelay = 1u << 0;
+
+/// Handshake opener: both sides send one immediately after the
+/// connection is established.
+struct VersionMsg {
+  int32_t Protocol = 1;
+  uint64_t Services = 0;
+  uint64_t Nonce = 0;    ///< Self-connection detection.
+  int32_t StartHeight = 0;
+  std::string UserAgent;
+};
+
+struct VerackMsg {};
+
+struct PingMsg {
+  uint64_t Nonce = 0;
+};
+struct PongMsg {
+  uint64_t Nonce = 0;
+};
+
+/// What an inventory item announces.
+enum class InvKind : uint8_t { Tx = 1, Block = 2 };
+
+struct InvItem {
+  InvKind Kind = InvKind::Tx;
+  crypto::Digest32 Hash{};
+
+  bool operator==(const InvItem &O) const {
+    return Kind == O.Kind && Hash == O.Hash;
+  }
+  bool operator<(const InvItem &O) const {
+    if (Kind != O.Kind)
+      return Kind < O.Kind;
+    return Hash < O.Hash;
+  }
+};
+
+inline InvItem invTx(const bitcoin::TxId &Id) {
+  return InvItem{InvKind::Tx, Id.Hash};
+}
+inline InvItem invBlock(const bitcoin::BlockHash &H) {
+  return InvItem{InvKind::Block, H.Hash};
+}
+
+/// Announcement of known inventory.
+struct InvMsg {
+  std::vector<InvItem> Items;
+};
+
+/// Request for announced inventory.
+struct GetDataMsg {
+  std::vector<InvItem> Items;
+};
+
+/// Headers-first sync request: \p Locator is a sparse
+/// exponentially-spaced sample of the sender's best chain, newest
+/// first; the responder finds the latest locator entry on its best
+/// chain and answers with the headers after it (up to
+/// \ref MaxHeadersPerMsg), stopping early at \p Stop when non-null.
+struct GetHeadersMsg {
+  std::vector<bitcoin::BlockHash> Locator;
+  bitcoin::BlockHash Stop;
+};
+
+constexpr size_t MaxHeadersPerMsg = 2000;
+
+struct HeadersMsg {
+  std::vector<bitcoin::BlockHeader> Headers;
+};
+
+struct BlockMsg {
+  bitcoin::Block B;
+};
+
+struct TxMsg {
+  bitcoin::Transaction Tx;
+};
+
+/// A transaction sent along with a compact block because the announcer
+/// knows the receiver cannot have it (the coinbase, always index 0).
+struct PrefilledTx {
+  uint64_t Index = 0;
+  bitcoin::Transaction Tx;
+};
+
+/// Compact block announcement: header + short ids for every
+/// non-prefilled transaction, in block order.
+struct CmpctBlockMsg {
+  bitcoin::BlockHeader Header;
+  uint64_t Nonce = 0; ///< Keys the short ids of this announcement.
+  std::vector<uint64_t> ShortIds; ///< 48-bit values (see shortTxId).
+  std::vector<PrefilledTx> Prefilled;
+};
+
+/// Fallback request for the block transactions the receiver could not
+/// reconstruct from its mempool, by index into the block.
+struct GetBlockTxnMsg {
+  bitcoin::BlockHash Block;
+  std::vector<uint64_t> Indexes;
+};
+
+struct BlockTxnMsg {
+  bitcoin::BlockHash Block;
+  std::vector<bitcoin::Transaction> Txs;
+};
+
+using Message =
+    std::variant<VersionMsg, VerackMsg, PingMsg, PongMsg, InvMsg, GetDataMsg,
+                 GetHeadersMsg, HeadersMsg, BlockMsg, TxMsg, CmpctBlockMsg,
+                 GetBlockTxnMsg, BlockTxnMsg>;
+
+/// The discriminant of a message value.
+MsgType messageType(const Message &M);
+
+/// Encode \p M as one frame (header + payload), ready for
+/// Connection::send.
+Bytes encodeMessage(const Message &M);
+
+/// The 48-bit short transaction id of \p Txid under a compact-block
+/// announcement of \p Block with \p Nonce: the low six bytes of
+/// SHA256(blockhash || nonce || txid). Keyed per announcement so
+/// collisions cannot be precomputed against the mempool.
+uint64_t shortTxId(const bitcoin::BlockHash &Block, uint64_t Nonce,
+                   const bitcoin::TxId &Txid);
+
+/// Incremental frame decoder over a byte stream. Feed chunks in any
+/// split; next() yields one decoded message at a time, std::nullopt when
+/// the buffered bytes do not yet complete a frame, and an error on any
+/// framing or payload defect (bad magic, oversized length, checksum
+/// mismatch, malformed payload, trailing payload bytes). After an error
+/// the decoder stays poisoned: every further next() repeats the error.
+class FrameDecoder {
+public:
+  void feed(const uint8_t *Data, size_t Len);
+  void feed(const Bytes &Chunk) { feed(Chunk.data(), Chunk.size()); }
+
+  Result<std::optional<Message>> next();
+
+  size_t bufferedBytes() const { return Buffer.size() - Consumed; }
+
+private:
+  Bytes Buffer;
+  size_t Consumed = 0; ///< Prefix of Buffer already decoded.
+  std::optional<std::string> Poisoned;
+};
+
+} // namespace net
+} // namespace typecoin
+
+#endif // TYPECOIN_NET_WIRE_H

@@ -140,6 +140,18 @@ using Status = Result<void>;
     return var##Result_.takeError();                                           \
   auto &var = *var##Result_
 
+/// Assign the value of a fallible expression to an existing lvalue \p lhs
+/// (a member, an array slot), propagating the error otherwise. Unlike
+/// TC_UNWRAP it introduces no name, so it composes inside loops and
+/// switch cases.
+#define TC_ASSIGN(lhs, expr)                                                   \
+  do {                                                                         \
+    auto TcAssignResult_ = (expr);                                             \
+    if (!TcAssignResult_)                                                      \
+      return TcAssignResult_.takeError();                                      \
+    (lhs) = std::move(*TcAssignResult_);                                       \
+  } while (false)
+
 } // namespace typecoin
 
 #endif // TYPECOIN_SUPPORT_RESULT_H

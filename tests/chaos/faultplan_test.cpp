@@ -12,6 +12,7 @@
 
 #include "analysis/audit.h"
 #include "bitcoin/standard.h"
+#include "obs/metrics.h"
 #include "support/replay.h"
 #include "support/rng.h"
 
@@ -113,6 +114,38 @@ TEST(ChaosFaults, DuplicatedDeliveryIsIdempotent) {
     for (size_t J = 0; J < Net.size(); ++J)
       EXPECT_EQ(Net.banScore(I, J), 0);
   }
+}
+
+TEST(ChaosFaults, GossipDedupIsAccounted) {
+  // The flood relay must not echo a block back to its sender, and
+  // duplicate announcements that do arrive (duplicate faults, diamond
+  // topologies) are counted rather than silently reprocessed.
+  uint64_t Dedup0 = obs::counter("net.inv.dedup").value();
+  uint64_t Dup0 = obs::counter("net.inv.dup").value();
+
+  LocalNetwork Net(testParams(), 3, 2.0, 21);
+  auto Miner = keyFromSeed(21);
+  ASSERT_TRUE(Net.mineAt(0, Miner.id(), 600).hasValue());
+  Net.run();
+  EXPECT_TRUE(Net.converged());
+  // Nodes 1 and 2 each relay to each other and back towards node 0:
+  // every one of those re-announcements hits a known-inventory filter
+  // or lands as a counted duplicate.
+  uint64_t Suppressed =
+      (obs::counter("net.inv.dedup").value() - Dedup0) +
+      (obs::counter("net.inv.dup").value() - Dup0);
+  EXPECT_GE(Suppressed, 2u);
+
+  // Under a duplicate-everything plan the second copy of each delivery
+  // is visible as a counted duplicate.
+  FaultPlan Dup;
+  Dup.Duplicate = 1.0;
+  Net.setDefaultFault(Dup);
+  uint64_t Dup1 = obs::counter("net.inv.dup").value();
+  ASSERT_TRUE(Net.mineAt(0, Miner.id(), 1200).hasValue());
+  Net.run();
+  EXPECT_TRUE(Net.converged());
+  EXPECT_GE(obs::counter("net.inv.dup").value() - Dup1, 2u);
 }
 
 TEST(ChaosFaults, JitterReordersThroughOrphanPool) {

@@ -1,0 +1,286 @@
+//===- tests/net/chaos_parity_test.cpp - Chaos suite over the real stack --===//
+//
+// The discrete-event simulator's chaos scenarios replayed over the real
+// message-passing runtime: the same FaultPlan / ByzantinePlan semantics
+// re-expressed as a fault-injecting Transport must yield the same
+// outcomes — deterministic replay under a fixed seed, convergence after
+// lossy links heal, idempotent duplicate delivery, reordering absorbed
+// by the orphan pool, invalid-block relayers banned, and crash/restart
+// recovering the chain while losing the mempool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/cluster.h"
+
+#include "../chaos/chaosutil.h"
+#include "analysis/audit.h"
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace typecoin;
+using namespace typecoin::net;
+using namespace typecoin::chaosutil;
+
+namespace {
+
+/// The simulator has no liveness timers, so parity runs disable pings:
+/// heavy jitter plans would otherwise trip ping timeouts that
+/// LocalNetwork scenarios cannot express.
+NetConfig quietTimers() {
+  NetConfig Cfg;
+  Cfg.Timers.PingIntervalSec = 1e9;
+  Cfg.Timers.HandshakeTimeoutSec = 1e9;
+  return Cfg;
+}
+
+/// One run of the fixed mining schedule under \p Plan: final tip of
+/// every node plus node 0's Typecoin state fingerprint.
+struct Outcome {
+  std::vector<bitcoin::BlockHash> Tips;
+  std::string Fingerprint;
+
+  bool operator==(const Outcome &O) const {
+    return Tips == O.Tips && Fingerprint == O.Fingerprint;
+  }
+};
+
+Outcome runScenario(uint64_t Seed, const bitcoin::FaultPlan &Plan) {
+  Cluster C(testParams(), 4, Seed, quietTimers());
+  C.setDefaultFault(Plan);
+  auto Miner = keyFromSeed(11);
+  double Clock = 0;
+  for (int I = 0; I < 8; ++I) {
+    Clock += 600;
+    EXPECT_TRUE(
+        C.mineAt(static_cast<size_t>(I % 4), Miner.id(), Clock).hasValue());
+    C.settle();
+  }
+  Outcome O;
+  for (size_t I = 0; I < C.size(); ++I)
+    O.Tips.push_back(C.chain(I).tipHash());
+  O.Fingerprint = C.node(0).typecoin().state().fingerprint();
+  return O;
+}
+
+TEST(NetChaosParity, SameSeedSameOutcome) {
+  bitcoin::FaultPlan Plan;
+  Plan.Drop = 0.2;
+  Plan.Duplicate = 0.2;
+  Plan.JitterSeconds = 900;
+  announce("net-determinism", 77, Plan.describe());
+  Outcome A = runScenario(77, Plan);
+  Outcome B = runScenario(77, Plan);
+  ASSERT_EQ(A.Tips.size(), B.Tips.size());
+  for (size_t I = 0; I < A.Tips.size(); ++I)
+    EXPECT_TRUE(A.Tips[I] == B.Tips[I]) << "node " << I
+                                        << " diverged on replay";
+  EXPECT_EQ(A.Fingerprint, B.Fingerprint);
+}
+
+TEST(NetChaosParity, LossyLinksConvergeAfterHeal) {
+  Cluster C(testParams(), 4, 5, quietTimers());
+  bitcoin::FaultPlan Lossy;
+  Lossy.Drop = 0.4;
+  announce("net-lossy-links", 5, Lossy.describe());
+  C.setDefaultFault(Lossy);
+  auto Miner = keyFromSeed(12);
+  double Clock = 0;
+  for (int I = 0; I < 10; ++I) {
+    Clock += 600;
+    ASSERT_TRUE(
+        C.mineAt(static_cast<size_t>(I % 4), Miner.id(), Clock).hasValue());
+    C.settle();
+  }
+  // Drops may have left nodes behind (possibly on shorter forks).
+  // Quiesce: lift the plans; clearFaults re-syncs every node because
+  // dropped announcements never retransmit themselves.
+  C.clearFaults();
+  C.settle();
+  EXPECT_TRUE(C.converged());
+  for (size_t I = 0; I < C.size(); ++I)
+    EXPECT_TRUE(analysis::auditChain(C.chain(I)).hasValue()) << "node " << I;
+}
+
+TEST(NetChaosParity, DuplicatedDeliveryIsIdempotent) {
+  Cluster C(testParams(), 3, 6, quietTimers());
+  bitcoin::FaultPlan Dup;
+  Dup.Duplicate = 1.0; // Every frame delivered twice.
+  C.setDefaultFault(Dup);
+  auto Miner = keyFromSeed(13);
+  double Clock = 0;
+  for (int I = 0; I < 5; ++I) {
+    Clock += 600;
+    ASSERT_TRUE(C.mineAt(0, Miner.id(), Clock).hasValue());
+    C.settle();
+  }
+  EXPECT_TRUE(C.converged());
+  for (size_t I = 0; I < C.size(); ++I) {
+    EXPECT_EQ(C.chain(I).height(), 5) << "node " << I;
+    // Duplicates must not inflate stored state or ban honest peers.
+    EXPECT_EQ(C.chain(I).blockCount(), 6u) << "node " << I;
+    for (size_t J = 0; J < C.size(); ++J)
+      EXPECT_EQ(C.node(I).banScore(Cluster::addressOf(J)), 0)
+          << I << " vs " << J;
+  }
+}
+
+TEST(NetChaosParity, JitterReordersThroughOrphanPool) {
+  Cluster C(testParams(), 3, 7, quietTimers());
+  bitcoin::FaultPlan Jitter;
+  Jitter.JitterSeconds = 5000; // Far larger than the mining cadence:
+                               // children routinely land first.
+  C.setDefaultFault(Jitter);
+  auto Miner = keyFromSeed(14);
+  double Clock = 0;
+  for (int I = 0; I < 6; ++I) {
+    Clock += 600;
+    ASSERT_TRUE(C.mineAt(0, Miner.id(), Clock).hasValue());
+    // No settle(): all six announcements are in flight at once with
+    // independent jitter draws.
+  }
+  C.settle();
+  EXPECT_TRUE(C.converged());
+  EXPECT_EQ(C.chain(2).height(), 6);
+}
+
+TEST(NetChaosParity, OrphanPoolIsBoundedWithOldestFirstEviction) {
+  NetConfig Base = quietTimers();
+  Base.OrphanLimit = 2;
+  Cluster C(testParams(), 2, 8, Base);
+  auto Miner = keyFromSeed(15);
+
+  // Lose the first block towards node 1, and silence node 1's return
+  // path so its orphan-triggered GetHeaders recovery cannot kick in —
+  // the runtime is better at self-healing than the simulator, and this
+  // scenario is about the pool's bound, not recovery.
+  bitcoin::FaultPlan DropAll;
+  DropAll.Drop = 1.0;
+  C.setLinkFault(0, 1, DropAll);
+  C.setLinkFault(1, 0, DropAll);
+  ASSERT_TRUE(C.mineAt(0, Miner.id(), 600).hasValue());
+  C.settle();
+  C.setLinkFault(0, 1, bitcoin::FaultPlan());
+
+  auto Snap0 = obs::Registry::instance().snapshot();
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(C.mineAt(0, Miner.id(), 1200 + 600 * I).hasValue());
+  C.settle();
+  EXPECT_EQ(C.chain(1).height(), 0);
+  EXPECT_LE(C.node(1).orphanCount(), 2u); // Cap held.
+  auto Snap1 = obs::Registry::instance().snapshot();
+  EXPECT_GE(Snap1.counter("net.orphan.evicted") -
+                Snap0.counter("net.orphan.evicted"),
+            1u); // Oldest orphan actually evicted.
+
+  // Recovery: lift the faults; the re-sync supplies the missing parent
+  // and the evicted orphan again.
+  C.clearFaults();
+  C.settle();
+  EXPECT_TRUE(C.converged());
+  EXPECT_EQ(C.chain(1).height(), 4);
+  EXPECT_EQ(C.node(1).orphanCount(), 0u);
+}
+
+TEST(NetChaosParity, InvalidBlockRelayGetsPeerBanned) {
+  // Full-block relay only: the byzantine wrapper corrupts Block frames
+  // in flight, mirroring the simulator's InvalidBlock plan.
+  NetConfig Base = quietTimers();
+  Base.CompactRelay = false;
+  Base.Services = 0;
+  Cluster C(testParams(), 3, 9, Base);
+  bitcoin::ByzantinePlan Byz;
+  Byz.InvalidBlock = 1.0;
+  announce("net-byzantine-invalid-block", 9, Byz.describe());
+  C.setByzantine(2, Byz);
+  auto Honest = keyFromSeed(16), Evil = keyFromSeed(17);
+
+  // The byzantine node mines a perfectly valid block but its relayed
+  // copies are corrupted (broken Merkle root, valid PoW): both honest
+  // nodes reject the block and ban the relayer.
+  ASSERT_TRUE(C.mineAt(2, Evil.id(), 600).hasValue());
+  C.settle();
+  EXPECT_EQ(C.chain(0).height(), 0);
+  EXPECT_EQ(C.chain(1).height(), 0);
+  EXPECT_GE(C.node(0).banScore(Cluster::addressOf(2)), 100);
+  EXPECT_GE(C.node(1).banScore(Cluster::addressOf(2)), 100);
+  EXPECT_TRUE(C.node(0).isBanned(Cluster::addressOf(2)));
+  EXPECT_FALSE(C.node(0).isBanned(Cluster::addressOf(1)));
+
+  // Honest traffic is unaffected; the honest majority converges.
+  ASSERT_TRUE(C.mineAt(0, Honest.id(), 1200).hasValue());
+  C.settle();
+  ASSERT_TRUE(C.mineAt(0, Honest.id(), 1800).hasValue());
+  C.settle();
+  EXPECT_TRUE(C.convergedAmong({0, 1}));
+  EXPECT_EQ(C.chain(1).height(), 2);
+}
+
+TEST(NetChaosParity, CrashLosesMempoolRestartRecoversChain) {
+  Cluster C(testParams(), 3, 10, quietTimers());
+  auto Miner = keyFromSeed(19);
+  auto Alice = keyFromSeed(20);
+  double Clock = 0;
+
+  // Give node 1 some chain and a mempool entry.
+  for (int I = 0; I < 3; ++I) {
+    Clock += 600;
+    ASSERT_TRUE(C.mineAt(1, Miner.id(), Clock).hasValue());
+  }
+  C.settle();
+
+  bitcoin::Transaction Spend;
+  {
+    auto CoinbaseHash = C.chain(1).blockHashAt(1);
+    ASSERT_TRUE(CoinbaseHash.has_value());
+    const bitcoin::Block *B1 = C.chain(1).blockByHash(*CoinbaseHash);
+    ASSERT_NE(B1, nullptr);
+    Spend.Inputs.push_back(
+        bitcoin::TxIn{bitcoin::OutPoint{B1->Txs[0].txid(), 0}, {}});
+    Spend.Outputs.push_back(bitcoin::TxOut{
+        B1->Txs[0].Outputs[0].Value - 10000, bitcoin::makeP2PKH(Alice.id())});
+    auto Sig = bitcoin::signInput(Spend, 0,
+                                  B1->Txs[0].Outputs[0].ScriptPubKey, {Miner});
+    ASSERT_TRUE(Sig.hasValue());
+    Spend.Inputs[0].ScriptSig = *Sig;
+  }
+  // Keep the transaction local to node 1 so the crash genuinely loses
+  // it.
+  bitcoin::FaultPlan DropAll;
+  DropAll.Drop = 1.0;
+  C.setDefaultFault(DropAll);
+  ASSERT_TRUE(C.submitTransaction(1, Spend).hasValue());
+  C.settle();
+  C.clearFaults();
+  C.settle();
+  EXPECT_EQ(C.mempool(1).size(), 1u);
+
+  C.crash(1);
+  EXPECT_TRUE(C.isCrashed(1));
+  // Traffic to a crashed node goes nowhere; the rest keeps mining.
+  Clock += 600;
+  ASSERT_TRUE(C.mineAt(0, Miner.id(), Clock).hasValue());
+  C.settle();
+
+  ASSERT_TRUE(C.restart(1).hasValue());
+  C.settle();
+  // The mempool is gone (it was volatile); the chain is rebuilt from
+  // the persisted blocks and caught up headers-first on reconnect.
+  EXPECT_EQ(C.mempool(1).size(), 0u);
+  EXPECT_TRUE(C.converged());
+  EXPECT_EQ(C.chain(1).height(), 4);
+  EXPECT_TRUE(analysis::auditChain(C.chain(1)).hasValue());
+
+  // Entry-for-entry agreement with a never-crashed peer.
+  const auto &Healthy = C.chain(0).utxo().entries();
+  const auto &Restarted = C.chain(1).utxo().entries();
+  ASSERT_EQ(Healthy.size(), Restarted.size());
+  auto HIt = Healthy.begin();
+  for (const auto &[Point, Coin] : Restarted) {
+    EXPECT_TRUE(HIt->first == Point);
+    EXPECT_EQ(HIt->second.Out.Value, Coin.Out.Value);
+    ++HIt;
+  }
+}
+
+} // namespace
