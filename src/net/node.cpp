@@ -169,6 +169,16 @@ bool NetNode::isBanned(const std::string &Addr) const {
   return banScore(Addr) >= Cfg.BanThreshold;
 }
 
+int NetNode::chainHeight() const {
+  std::lock_guard<std::mutex> Lock(NodeMu);
+  return Tc->chain().height();
+}
+
+bitcoin::BlockHash NetNode::chainTip() const {
+  std::lock_guard<std::mutex> Lock(NodeMu);
+  return Tc->chain().tipHash();
+}
+
 size_t NetNode::orphanCount() const {
   std::lock_guard<std::mutex> Lock(NodeMu);
   return Orphans.size();
@@ -192,10 +202,13 @@ std::shared_ptr<Peer> NetNode::addPeerLocked(std::shared_ptr<Connection> C,
   V.UserAgent = Cfg.UserAgent;
   sendLocked(*P, V);
 
-  if (Running.load() && (MaxThreads == 0 || PeerThreads < MaxThreads)) {
-    P->Dedicated = true;
-    ++PeerThreads;
-    Threads.emplace_back(&NetNode::peerLoop, this, P);
+  if (Running.load()) {
+    reapThreadsLocked(); // Free slots held by exited peer threads.
+    if (MaxThreads == 0 || PeerThreads < MaxThreads) {
+      P->Dedicated = true;
+      ++PeerThreads;
+      Threads.emplace_back(&NetNode::peerLoop, this, P);
+    }
   }
   return P;
 }
@@ -214,9 +227,14 @@ void NetNode::disconnectLocked(Peer &P, const char *Why) {
   if (P.St == Peer::State::Disconnected)
     return;
   P.St = Peer::State::Disconnected;
-  for (const InvItem &It : P.Requested)
-    if (It.Kind == InvKind::Block)
-      BlocksInFlight.erase(asBlockHash(It));
+  // Release every in-flight mark this peer holds — both bodies already
+  // requested and bodies still queued for a GetData slot — or no other
+  // peer would ever be asked for them.
+  for (const auto &R : P.Requested)
+    if (R.first.Kind == InvKind::Block)
+      BlocksInFlight.erase(asBlockHash(R.first));
+  for (const bitcoin::BlockHash &H : P.BodiesToFetch)
+    BlocksInFlight.erase(H);
   P.Requested.clear();
   P.Reconstructing.clear();
   P.BodiesToFetch.clear();
@@ -342,6 +360,7 @@ size_t NetNode::drainPeerLocked(const std::shared_ptr<Peer> &P) {
 }
 
 void NetNode::timersLocked(double Now) {
+  bool BlocksReleased = false;
   for (const auto &E : Peers) {
     Peer &P = *E.second;
     if (P.St == Peer::State::Handshaking &&
@@ -351,6 +370,26 @@ void NetNode::timersLocked(double Now) {
     }
     if (!P.ready())
       continue;
+    // Stalled download: a peer that answers pings but never delivers a
+    // requested block would keep the hash in BlocksInFlight forever,
+    // locking every other peer out of fetching it. Cut the peer loose
+    // (releasing its marks) and nudge the survivors below.
+    bool Stalled = false;
+    for (auto It = P.Requested.begin(); It != P.Requested.end();) {
+      if (Now - It->second <= Cfg.Timers.StallTimeoutSec) {
+        ++It;
+      } else if (It->first.Kind == InvKind::Block) {
+        Stalled = true;
+        break;
+      } else {
+        It = P.Requested.erase(It); // Tx: a future Inv may re-request.
+      }
+    }
+    if (Stalled) {
+      disconnectLocked(P, "stalling block download");
+      BlocksReleased = true;
+      continue;
+    }
     if (P.LastPingSent >= 0 &&
         Now - P.LastPingSent > Cfg.Timers.PingTimeoutSec) {
       disconnectLocked(P, "ping timeout");
@@ -361,6 +400,13 @@ void NetNode::timersLocked(double Now) {
       P.LastPingSent = Now;
       sendLocked(P, PingMsg{P.PingNonce});
     }
+  }
+  if (BlocksReleased) {
+    // Reassign: ask everyone else for headers; the released blocks are
+    // fetchable again, so the answers re-schedule their bodies.
+    for (const auto &E : Peers)
+      if (E.second->ready())
+        sendGetHeadersLocked(*E.second);
   }
 }
 
@@ -404,12 +450,31 @@ void NetNode::stop() {
   }
   for (std::thread &T : Joinable)
     T.join();
+  std::lock_guard<std::mutex> Lock(NodeMu);
+  ExitedThreads.clear(); // All of them are joined now.
+}
+
+void NetNode::reapThreadsLocked() {
+  // Exiting peer threads park their id here as their last locked
+  // action; by the time anyone else holds NodeMu and reads it, the
+  // corresponding join can only block momentarily.
+  for (std::thread::id Id : ExitedThreads) {
+    for (auto It = Threads.begin(); It != Threads.end(); ++It) {
+      if (It->get_id() == Id) {
+        It->join();
+        Threads.erase(It);
+        break;
+      }
+    }
+  }
+  ExitedThreads.clear();
 }
 
 void NetNode::acceptorLoop() {
   while (Running.load()) {
     {
       std::lock_guard<std::mutex> Lock(NodeMu);
+      reapThreadsLocked();
       if (!Crashed) {
         acceptPendingLocked();
         // Serve peers without a dedicated thread, round-robin.
@@ -429,14 +494,29 @@ void NetNode::acceptorLoop() {
 }
 
 void NetNode::peerLoop(std::shared_ptr<Peer> P) {
-  while (Running.load()) {
-    if (!P->Conn->isOpen() || P->St == Peer::State::Disconnected)
-      return;
-    if (!P->Conn->waitReadable(0.05))
-      continue;
-    std::lock_guard<std::mutex> Lock(NodeMu);
-    drainPeerLocked(P);
+  // Peer state (St, Dedicated) is only ever read or written under
+  // NodeMu; the Connection itself is internally synchronized, so the
+  // waitReadable block happens lock-free.
+  bool Gone = false;
+  while (Running.load() && !Gone) {
+    {
+      std::lock_guard<std::mutex> Lock(NodeMu);
+      if (P->St != Peer::State::Disconnected)
+        drainPeerLocked(P); // Disconnects on a closed pipe itself.
+      Gone = P->St == Peer::State::Disconnected;
+    }
+    if (!Gone)
+      P->Conn->waitReadable(0.05);
   }
+  // Hand the thread slot back so churned peers do not pin capacity;
+  // the acceptor (or the next addPeer) joins the exited handle.
+  std::lock_guard<std::mutex> Lock(NodeMu);
+  if (P->Dedicated) {
+    P->Dedicated = false;
+    if (PeerThreads > 0)
+      --PeerThreads;
+  }
+  ExitedThreads.push_back(std::this_thread::get_id());
 }
 
 // --- Crash / restart ----------------------------------------------------
@@ -474,6 +554,16 @@ void NetNode::resync() {
     if (!P.ready())
       continue;
     sendGetHeadersLocked(P);
+    // Retransmit outstanding GetData: the original may have been eaten
+    // by a fault plan, and nothing else ever re-requests an item that
+    // is already marked in flight. Duplicate answers are idempotent.
+    if (!P.Requested.empty()) {
+      GetDataMsg Again;
+      for (const auto &R : P.Requested)
+        Again.Items.push_back(R.first);
+      sendLocked(P, Again);
+    }
+    requestBodiesLocked(P);
     // Forced tip re-announcement: a drop may have eaten the original,
     // so bypass the Known filter (the duplicate is counted, not
     // suppressed, on the receiving side).
@@ -604,6 +694,7 @@ void NetNode::handleHeaders(Peer &P, const HeadersMsg &M) {
   const bitcoin::Blockchain &Chain = Tc->chain();
   std::set<bitcoin::BlockHash> Batch;
   size_t Accepted = 0;
+  bool Truncated = false;
   for (const bitcoin::BlockHeader &H : M.Headers) {
     bitcoin::BlockHash HH = H.hash();
     bool Connects = Chain.blockByHash(H.Prev) != nullptr ||
@@ -615,11 +706,17 @@ void NetNode::handleHeaders(Peer &P, const HeadersMsg &M) {
     ++Accepted;
     if (Chain.blockByHash(HH) || BlocksInFlight.count(HH))
       continue; // Body already present or scheduled.
+    if (P.BodiesToFetch.size() >= Cfg.MaxBodiesQueued) {
+      // Bounded schedule: the rest re-arrives on the next GetHeaders
+      // round once this queue drains.
+      Truncated = true;
+      continue;
+    }
     BlocksInFlight.insert(HH);
     P.BodiesToFetch.push_back(HH);
   }
   NetMetrics::get().HeadersIn.inc(Accepted);
-  P.MoreHeadersExpected = M.Headers.size() == MaxHeadersPerMsg;
+  P.MoreHeadersExpected = Truncated || M.Headers.size() == MaxHeadersPerMsg;
   requestBodiesLocked(P);
 }
 
@@ -634,7 +731,7 @@ void NetNode::requestBodiesLocked(Peer &P) {
       continue;
     }
     InvItem It = invBlock(H);
-    P.Requested.insert(It);
+    P.Requested.emplace(It, Clk->now());
     G.Items.push_back(It);
   }
   if (!G.Items.empty())
@@ -659,7 +756,7 @@ void NetNode::handleInv(Peer &P, const InvMsg &M) {
       if (Tc->mempool().contains(T) || Tc->chain().findTransaction(T))
         continue;
     }
-    P.Requested.insert(It);
+    P.Requested.emplace(It, Clk->now());
     G.Items.push_back(It);
   }
   if (!G.Items.empty())
@@ -837,7 +934,7 @@ void NetNode::acceptBlockLocked(Peer *From, const bitcoin::Block &B,
       // retry with the full block before blaming the sender.
       NetMetrics::get().CompactFallback.inc();
       InvItem It = invBlock(H);
-      From->Requested.insert(It);
+      From->Requested.emplace(It, Clk->now());
       BlocksInFlight.insert(H);
       sendLocked(*From, GetDataMsg{{It}});
     } else {

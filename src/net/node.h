@@ -77,6 +77,10 @@ struct NetConfig {
   size_t OrphanLimit = 64;
   /// Outstanding body requests per peer during headers-first sync.
   size_t MaxBlocksInFlight = 16;
+  /// Cap on bodies queued (accepted headers awaiting a GetData slot)
+  /// per peer; headers beyond it are re-fetched on the next GetHeaders
+  /// round instead of growing the queue without bound.
+  size_t MaxBodiesQueued = 1024;
   PeerTimers Timers;
   /// Seeds the node's nonce generator (handshake nonces, compact-block
   /// announcement nonces) — deterministic runs stay deterministic.
@@ -107,6 +111,12 @@ public:
   const tc::Node &typecoin() const { return *Tc; }
   const bitcoin::Blockchain &chain() const { return Tc->chain(); }
   const bitcoin::Mempool &mempool() const { return Tc->mempool(); }
+
+  /// Locked snapshots of the chain tip for polling while service
+  /// threads are running — the bare chain() reference is only safe
+  /// when no threads mutate the node (pumped mode, or after stop()).
+  int chainHeight() const;
+  bitcoin::BlockHash chainTip() const;
 
   // --- Connections ------------------------------------------------------
 
@@ -231,6 +241,9 @@ private:
 
   void acceptorLoop();
   void peerLoop(std::shared_ptr<Peer> P);
+  /// Join and drop the handles of peer threads that have exited, so a
+  /// churning peer set does not pin thread slots until stop().
+  void reapThreadsLocked();
 
   NetConfig Cfg;
   std::unique_ptr<Transport> Trans;
@@ -252,8 +265,11 @@ private:
 
   std::atomic<bool> Running{false};
   std::vector<std::thread> Threads;
+  /// Ids of peer threads that finished their loop and are ready to
+  /// join (the exiting thread cannot join itself).
+  std::vector<std::thread::id> ExitedThreads;
   size_t MaxThreads = 0;
-  size_t PeerThreads = 0; ///< Dedicated peer threads spawned.
+  size_t PeerThreads = 0; ///< Dedicated peer threads currently live.
 };
 
 } // namespace net

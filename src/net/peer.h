@@ -21,6 +21,7 @@
 #include "net/wire.h"
 
 #include <deque>
+#include <map>
 #include <set>
 
 namespace typecoin {
@@ -61,6 +62,10 @@ struct PeerTimers {
   double HandshakeTimeoutSec = 10.0;
   double PingIntervalSec = 60.0;
   double PingTimeoutSec = 20.0;
+  /// A ready peer holding a block GetData outstanding longer than this
+  /// is disconnected as stalling: disconnect releases its in-flight
+  /// marks so the blocks become fetchable from other peers again.
+  double StallTimeoutSec = 60.0;
 };
 
 /// A compact block being reconstructed: the slots we could not fill from
@@ -106,8 +111,9 @@ struct Peer {
   /// Items this link already knows about (either direction); suppresses
   /// re-announcement and measures duplicate-INV amplification.
   BoundedInvSet Known;
-  /// Outstanding GETDATA requests to this peer.
-  std::set<InvItem> Requested;
+  /// Outstanding GETDATA requests to this peer, with the time each was
+  /// sent (drives the stall timeout).
+  std::map<InvItem, double> Requested;
 
   /// Headers-first sync: block hashes whose headers we accepted from
   /// this peer and whose bodies are not yet requested, oldest first.

@@ -126,9 +126,18 @@ public:
       : Hub(std::move(Hub)), Addr(std::move(Addr)) {}
 
   ~LoopbackTransport() override {
-    std::lock_guard<std::mutex> Lock(Hub->Mu);
-    Hub->Endpoints.erase(Addr);
-    Hub->AcceptQueues.erase(Addr);
+    // Pending un-accepted connections must destruct outside the lock:
+    // ~LoopbackConnection calls close(), which takes Hub->Mu itself.
+    std::deque<std::shared_ptr<Connection>> Pending;
+    {
+      std::lock_guard<std::mutex> Lock(Hub->Mu);
+      Hub->Endpoints.erase(Addr);
+      auto It = Hub->AcceptQueues.find(Addr);
+      if (It != Hub->AcceptQueues.end()) {
+        Pending.swap(It->second);
+        Hub->AcceptQueues.erase(It);
+      }
+    }
   }
 
   std::string listenAddress() const override { return Addr; }

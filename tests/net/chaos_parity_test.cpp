@@ -24,13 +24,14 @@ using namespace typecoin::chaosutil;
 
 namespace {
 
-/// The simulator has no liveness timers, so parity runs disable pings:
-/// heavy jitter plans would otherwise trip ping timeouts that
-/// LocalNetwork scenarios cannot express.
+/// The simulator has no liveness timers, so parity runs disable pings
+/// and the download-stall cutoff: heavy jitter plans would otherwise
+/// trip timeouts that LocalNetwork scenarios cannot express.
 NetConfig quietTimers() {
   NetConfig Cfg;
   Cfg.Timers.PingIntervalSec = 1e9;
   Cfg.Timers.HandshakeTimeoutSec = 1e9;
+  Cfg.Timers.StallTimeoutSec = 1e9;
   return Cfg;
 }
 

@@ -144,6 +144,82 @@ TEST(NetRuntime, TxGossipReachesEveryoneWithDedupAccounting) {
   EXPECT_GE(Dup + Dedup, 1u);
 }
 
+TEST(NetRuntime, StallingBlockDownloadIsCutAndReassigned) {
+  // A peer that completes the handshake and announces a block but never
+  // answers the GetData keeps the hash marked in flight; after the
+  // stall timeout it must be disconnected (not banned — losing a race
+  // is not misbehaviour) and the hash must be fetchable from others.
+  LoopbackHub Hub;
+  auto Clk = std::make_shared<VirtualClock>();
+  NetConfig Cfg;
+  Cfg.Seed = 8;
+  NetNode A(testParams(), Cfg, Hub.open("a"), Clk);
+
+  auto drainFrames = [](Connection &C, auto OnMsg) {
+    FrameDecoder Dec;
+    while (auto F = C.receive())
+      Dec.feed(*F);
+    for (;;) {
+      auto R = Dec.next();
+      ASSERT_TRUE(R.hasValue());
+      if (!*R)
+        break;
+      OnMsg(**R);
+    }
+  };
+  auto handshake = [&](const char *Addr, uint64_t Nonce) {
+    auto T = Hub.open(Addr);
+    auto CR = T->connect("a");
+    EXPECT_TRUE(CR.hasValue());
+    auto Conn = *CR;
+    VersionMsg V;
+    V.Nonce = Nonce;
+    EXPECT_TRUE(Conn->send(encodeMessage(V)).hasValue());
+    EXPECT_TRUE(Conn->send(encodeMessage(VerackMsg{})).hasValue());
+    while (A.pump() > 0)
+      ;
+    return Conn;
+  };
+
+  auto Staller = handshake("staller", 99);
+  ASSERT_EQ(A.readyPeerCount(), 1u);
+
+  bitcoin::BlockHash Fake;
+  Fake.Hash[0] = 0xab;
+  ASSERT_TRUE(
+      Staller->send(encodeMessage(InvMsg{{invBlock(Fake)}})).hasValue());
+  while (A.pump() > 0)
+    ;
+  bool SawGetData = false;
+  drainFrames(*Staller,
+              [&](const Message &M) {
+                SawGetData |= std::holds_alternative<GetDataMsg>(M);
+              });
+  ASSERT_TRUE(SawGetData);
+
+  // The body never comes. Past the stall timeout the peer is cut.
+  Clk->advanceTo(Cfg.Timers.StallTimeoutSec + 1);
+  A.pump();
+  EXPECT_EQ(A.peerCount(), 0u);
+  EXPECT_FALSE(A.isBanned("staller"));
+
+  // A fresh peer announcing the same hash gets the GetData that the
+  // stalled in-flight mark used to suppress.
+  auto Helper = handshake("helper", 100);
+  ASSERT_TRUE(
+      Helper->send(encodeMessage(InvMsg{{invBlock(Fake)}})).hasValue());
+  while (A.pump() > 0)
+    ;
+  bool ReRequested = false;
+  drainFrames(*Helper, [&](const Message &M) {
+    if (const auto *G = std::get_if<GetDataMsg>(&M))
+      for (const InvItem &It : G->Items)
+        if (It == invBlock(Fake))
+          ReRequested = true;
+  });
+  EXPECT_TRUE(ReRequested);
+}
+
 TEST(NetRuntime, CrashDropsVolatileStateRestartRecovers) {
   Cluster C(testParams(), 3, 6);
   auto Miner = keyFromSeed(23);
@@ -202,10 +278,10 @@ TEST(NetRuntime, ThreadedModeRelaysBlocksAndStopsCleanly) {
 
   auto Miner = keyFromSeed(25);
   ASSERT_TRUE(A.mine(Miner.id(), 600).hasValue());
-  EXPECT_TRUE(WaitFor([&] { return B.chain().height() == 1; }));
+  EXPECT_TRUE(WaitFor([&] { return B.chainHeight() == 1; }));
 
   ASSERT_TRUE(B.mine(Miner.id(), 1200).hasValue());
-  EXPECT_TRUE(WaitFor([&] { return A.chain().height() == 2; }));
+  EXPECT_TRUE(WaitFor([&] { return A.chainHeight() == 2; }));
 
   A.stop();
   B.stop();

@@ -87,6 +87,21 @@ TEST(NetTransport, WaitReadableSeesQueuedFrame) {
   EXPECT_TRUE(B->waitReadable(0.0));
 }
 
+TEST(NetTransport, DestroyEndpointWithPendingInboundDialDoesNotDeadlock) {
+  LoopbackHub Hub;
+  auto TA = Hub.open("a");
+  std::shared_ptr<Connection> A;
+  {
+    auto TB = Hub.open("b");
+    auto CR = TA->connect("b");
+    ASSERT_TRUE(CR.hasValue());
+    A = *CR;
+    // TB dies with the inbound half still sitting un-accepted in its
+    // queue; its destructor must not re-take the hub lock it holds.
+  }
+  EXPECT_FALSE(A->isOpen()); // The pending half closed the link.
+}
+
 /// Deliver N frames over a chaos link; return which arrived (by tag).
 std::vector<uint8_t> chaosDeliver(uint64_t Seed, const bitcoin::FaultPlan &Plan,
                                   int N) {
