@@ -23,3 +23,4 @@ typecoin_bench(bench_t8_validation_fastpath)
 typecoin_bench(bench_t9_symcheck)
 typecoin_bench(bench_t10_store)
 typecoin_bench(bench_t11_gossip)
+typecoin_bench(bench_t12_crypto)

@@ -6,9 +6,31 @@
 ///
 /// \file
 /// From-scratch secp256k1 group arithmetic: y^2 = x^3 + 7 over the prime
-/// field p = 2^256 - 2^32 - 977. Jacobian-coordinate point arithmetic with
-/// Montgomery field elements; affine conversion and SEC1 point
+/// field p = 2^256 - 2^32 - 977. Jacobian-coordinate point arithmetic over
+/// pseudo-Mersenne field elements; affine conversion and SEC1 point
 /// serialization (compressed and uncompressed).
+///
+/// Scalar multiplication is table-driven (ROADMAP item 4c):
+///
+///  * `multiplyBase` walks a fixed-base comb table (one mixed addition per
+///    window, zero doublings), built once at startup; window width comes
+///    from `TYPECOIN_ECMULT_WINDOW` (default 4, 0 disables the table).
+///  * `multiply` uses width-5 wNAF over on-the-fly odd multiples of P.
+///  * `doubleMultiply` — the exact shape `ecdsaVerify` computes — is an
+///    interleaved Straus/Shamir ladder mixing width-8 wNAF over a
+///    precomputed odd-multiples-of-G table with width-5 wNAF over P.
+///
+/// `multiply` and `doubleMultiply` additionally exploit the GLV
+/// endomorphism: secp256k1 has j-invariant 0, so phi(x, y) = (beta*x, y)
+/// is an order-3 group automorphism acting as multiplication by lambda
+/// (a cube root of 1 mod n). Each 256-bit scalar splits as
+/// k = k1 + k2*lambda with |k1|, |k2| ~ 128 bits, and k*P is evaluated
+/// as k1*P + k2*phi(P) on a shared ladder — halving the doubling count,
+/// with phi applied to table entries for one field multiply each.
+///
+/// The bit-at-a-time reference ladders are retained as `multiplyNaive` /
+/// `doubleMultiplyNaive`; the property sweep in tests/crypto compares the
+/// table paths against them over random and edge-case inputs.
 ///
 /// This implementation favors clarity over side-channel resistance; the
 /// repo is a systems reproduction, not a hardened wallet.
@@ -21,6 +43,7 @@
 #include "crypto/u256.h"
 
 #include <optional>
+#include <vector>
 
 namespace typecoin {
 namespace crypto {
@@ -51,7 +74,12 @@ struct AffinePoint {
 /// serialization. A process-wide singleton is available via \ref instance.
 class Secp256k1 {
 public:
-  Secp256k1();
+  /// \p CombWindowOverride selects the fixed-base comb window width in
+  /// bits; -1 reads `TYPECOIN_ECMULT_WINDOW` (default 4), 0 disables the
+  /// comb so `multiplyBase` falls back to wNAF over the odd-G table.
+  /// Values are clamped to [0, 8]. Tests construct private instances to
+  /// sweep window widths; production code uses \ref instance.
+  explicit Secp256k1(int CombWindowOverride = -1);
 
   /// The curve's field arithmetic (mod p).
   const ModArith &field() const { return Fp; }
@@ -64,6 +92,14 @@ public:
   const U256 &halfOrder() const { return HalfN; }
   /// The standard generator G.
   const AffinePoint &generator() const { return G; }
+  /// The comb window width this instance was built with (0 = disabled).
+  unsigned combWindow() const { return CombW; }
+
+  /// GLV endomorphism constants (exposed for the property sweep):
+  /// lambda^3 = 1 mod n and beta^3 = 1 mod p, with
+  /// lambda * (x, y) = (beta * x, y).
+  const U256 &endoLambda() const { return Lambda; }
+  const U256 &endoBeta() const { return Beta; }
 
   /// True if \p P is on the curve (or infinity).
   bool isOnCurve(const AffinePoint &P) const;
@@ -71,41 +107,119 @@ public:
   /// Group operations (affine interface; Jacobian internally).
   AffinePoint add(const AffinePoint &P, const AffinePoint &Q) const;
   AffinePoint negate(const AffinePoint &P) const;
-  /// Scalar multiplication k*P; k is reduced mod n.
+  /// Scalar multiplication k*P (width-5 wNAF); k is reduced mod n.
   AffinePoint multiply(const U256 &K, const AffinePoint &P) const;
-  /// k*G.
+  /// k*G via the fixed-base comb (or the odd-G wNAF table when the comb
+  /// is disabled).
   AffinePoint multiplyBase(const U256 &K) const;
-  /// a*G + b*P in one pass (the ECDSA verification shape).
+  /// a*G + b*P in one interleaved Straus pass (the ECDSA verification
+  /// shape): width-8 wNAF against the precomputed odd-G table, width-5
+  /// wNAF against odd multiples of P.
   AffinePoint doubleMultiply(const U256 &A, const U256 &B,
                              const AffinePoint &P) const;
+
+  /// Reference double-and-add ladder; the oracle for the property sweep
+  /// and the "before" side of bench_t12.
+  AffinePoint multiplyNaive(const U256 &K, const AffinePoint &P) const;
+  /// Reference bit-at-a-time Shamir ladder (the pre-table-era
+  /// doubleMultiply).
+  AffinePoint doubleMultiplyNaive(const U256 &A, const U256 &B,
+                                  const AffinePoint &P) const;
 
   /// SEC1 serialization: 33 bytes (compressed) or 65 (uncompressed).
   Bytes serialize(const AffinePoint &P, bool Compressed = true) const;
   /// SEC1 parse, with decompression (p = 3 mod 4 square root).
   Result<AffinePoint> parse(const Bytes &Data) const;
 
-  /// Process-wide instance (curve constants are fixed).
+  /// Process-wide instance (curve constants are fixed; tables are built
+  /// exactly once and read-only afterwards, so sharing is thread-safe).
   static const Secp256k1 &instance();
 
 private:
-  /// Jacobian point with Montgomery-form coordinates; Z == 0 encodes
+  /// Jacobian point with field-internal coordinates; Z == 0 encodes
   /// infinity.
   struct JacobianPoint {
     U256 X, Y, Z;
   };
 
+  /// Precomputed table entry: an affine point in field-internal form
+  /// (never infinity), so additions against it use the cheap mixed
+  /// formulas.
+  struct MontAffine {
+    U256 X, Y;
+  };
+
+  /// A scalar decomposed along the lambda endomorphism:
+  /// k = (-1)^Neg1 * K1 + (-1)^Neg2 * K2 * lambda (mod n), with K1 and
+  /// K2 nonnegative and roughly 128 bits.
+  struct SplitScalar {
+    U256 K1, K2;
+    bool Neg1 = false, Neg2 = false;
+  };
+  SplitScalar splitLambda(const U256 &K) const;
+  /// phi applied to a table entry: (beta*x, y), one field multiply.
+  MontAffine endoEntry(const MontAffine &P) const;
+  /// One Straus table lookup: add digit D (negated when \p Neg) from
+  /// table \p T into \p Acc; no-op for D == 0.
+  void strausAdd(JacobianPoint &Acc, int D, bool Neg,
+                 const std::vector<MontAffine> &T) const;
+  /// As \ref strausAdd, but rescales the (true-affine) entry onto the
+  /// iso-curve of the per-call tables by Z2 = IsoZ^2, Z3 = IsoZ^3
+  /// first: two extra field multiplies per addition in exchange for
+  /// running the whole ladder inversion-free.
+  void strausAddScaled(JacobianPoint &Acc, int D, bool Neg,
+                       const std::vector<MontAffine> &T, const U256 &Z2,
+                       const U256 &Z3) const;
+
   JacobianPoint toJacobian(const AffinePoint &P) const;
   AffinePoint toAffine(const JacobianPoint &P) const;
   JacobianPoint jacDouble(const JacobianPoint &P) const;
   JacobianPoint jacAdd(const JacobianPoint &P, const JacobianPoint &Q) const;
+  /// Mixed addition P + Q with Q affine (Z2 = 1): saves ~5 field muls
+  /// over the general formula.
+  JacobianPoint jacAddMixed(const JacobianPoint &P, const MontAffine &Q) const;
+  /// As \ref jacAddMixed, additionally reporting the Z ratio
+  /// Z_out / Z_in in \p Zr. Requires P finite and P != +-Q (true for
+  /// the odd-multiple chains that use it).
+  JacobianPoint jacAddMixedZr(const JacobianPoint &P, const MontAffine &Q,
+                              U256 &Zr) const;
   JacobianPoint jacMultiply(const U256 &K, const JacobianPoint &P) const;
+  MontAffine negateEntry(const MontAffine &P) const;
+
+  /// Batch-convert Jacobian points to MontAffine with a single field
+  /// inversion (Montgomery's trick). No input may be infinity.
+  std::vector<MontAffine>
+  normalizeBatch(const std::vector<JacobianPoint> &Pts) const;
+  /// Odd multiples {1, 3, 5, ...}*P, Table.size() entries.
+  void oddMultiples(const JacobianPoint &P,
+                    std::vector<MontAffine> &Table) const;
+  /// As \ref oddMultiples, but inversion-free: entries are affine on an
+  /// isomorphic curve sharing one global denominator \p IsoZ. A ladder
+  /// run against them yields the true point after multiplying the final
+  /// accumulator's Z by IsoZ. \p P must be finite with Z = 1.
+  void oddMultiplesGlobalZ(const JacobianPoint &P,
+                           std::vector<MontAffine> &Table, U256 &IsoZ) const;
+  void buildTables();
 
   ModArith Fp;
   ModArith Fn;
   U256 N;
   U256 HalfN;
   AffinePoint G;
-  U256 SevenMont; ///< Curve constant b = 7 in Montgomery form.
+  U256 SevenMont; ///< Curve constant b = 7 in field-internal form.
+
+  U256 Lambda;   ///< Cube root of 1 mod n (scalar action of phi).
+  U256 Beta;     ///< Cube root of 1 mod p (x-coordinate action of phi).
+  U256 BetaMont; ///< beta in field-internal form.
+  /// Lattice constants for the lambda decomposition (libsecp256k1's
+  /// basis): k2 = -(round(k*G1/2^384)*B1 + round(k*G2/2^384)*B2),
+  /// k1 = k - k2*lambda. MinusB1/MinusB2 store -b1/-b2 mod n.
+  U256 SplitG1, SplitG2, MinusB1, MinusB2;
+
+  unsigned CombW = 0;          ///< Comb window width in bits; 0 = disabled.
+  std::vector<MontAffine> Comb; ///< [block][digit-1]: d * 2^(W*block) * G.
+  std::vector<MontAffine> GOdd; ///< Odd multiples of G for width-8 wNAF.
+  std::vector<MontAffine> GLamOdd; ///< phi(GOdd): odd multiples of phi(G).
 };
 
 } // namespace crypto

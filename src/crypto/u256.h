@@ -38,8 +38,18 @@ struct U256 {
     return Limbs[0] == 0 && Limbs[1] == 0 && Limbs[2] == 0 && Limbs[3] == 0;
   }
 
-  /// Three-way comparison: -1, 0, or 1.
-  int cmp(const U256 &Other) const;
+  /// Three-way comparison: -1, 0, or 1. Inline (with the other
+  /// single-digit helpers below) so the EC hot loops in secp256k1.cpp
+  /// can fold it into the surrounding arithmetic.
+  int cmp(const U256 &Other) const {
+    for (int I = 3; I >= 0; --I) {
+      if (Limbs[I] < Other.Limbs[I])
+        return -1;
+      if (Limbs[I] > Other.Limbs[I])
+        return 1;
+    }
+    return 0;
+  }
 
   bool operator==(const U256 &O) const { return cmp(O) == 0; }
   bool operator!=(const U256 &O) const { return cmp(O) != 0; }
@@ -49,9 +59,27 @@ struct U256 {
   bool operator>=(const U256 &O) const { return cmp(O) >= 0; }
 
   /// `*this += Other`; returns the carry out.
-  uint64_t addInPlace(const U256 &Other);
+  uint64_t addInPlace(const U256 &Other) {
+    unsigned __int128 Carry = 0;
+    for (int I = 0; I < 4; ++I) {
+      unsigned __int128 Sum =
+          static_cast<unsigned __int128>(Limbs[I]) + Other.Limbs[I] + Carry;
+      Limbs[I] = static_cast<uint64_t>(Sum);
+      Carry = Sum >> 64;
+    }
+    return static_cast<uint64_t>(Carry);
+  }
   /// `*this -= Other`; returns the borrow out.
-  uint64_t subInPlace(const U256 &Other);
+  uint64_t subInPlace(const U256 &Other) {
+    uint64_t Borrow = 0;
+    for (int I = 0; I < 4; ++I) {
+      unsigned __int128 Diff =
+          static_cast<unsigned __int128>(Limbs[I]) - Other.Limbs[I] - Borrow;
+      Limbs[I] = static_cast<uint64_t>(Diff);
+      Borrow = (Diff >> 64) ? 1 : 0;
+    }
+    return Borrow;
+  }
 
   /// Logical shifts by one bit.
   void shl1();
@@ -79,12 +107,80 @@ struct U512 {
   uint64_t Limbs[8] = {0, 0, 0, 0, 0, 0, 0, 0};
 };
 
-/// Schoolbook 256x256 -> 512 multiplication.
-U512 mulWide(const U256 &A, const U256 &B);
+/// Schoolbook 256x256 -> 512 multiplication. Defined inline: a field
+/// multiplication is ~70% of every scalar multiplication's cost, and
+/// keeping the limb loops visible to the caller's translation unit is
+/// worth roughly a third of the EC runtime over an opaque call.
+inline U512 mulWide(const U256 &A, const U256 &B) {
+  U512 Out;
+  for (int I = 0; I < 4; ++I) {
+    unsigned __int128 Carry = 0;
+    for (int J = 0; J < 4; ++J) {
+      unsigned __int128 Cur =
+          static_cast<unsigned __int128>(A.Limbs[I]) * B.Limbs[J] +
+          Out.Limbs[I + J] + Carry;
+      Out.Limbs[I + J] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+    }
+    Out.Limbs[I + 4] = static_cast<uint64_t>(Carry);
+  }
+  return Out;
+}
 
-/// Modular arithmetic for a fixed odd prime modulus, using Montgomery
-/// multiplication internally. Values passed in and out are ordinary
-/// (non-Montgomery) residues in [0, M).
+/// 512-bit square of a U256: the off-diagonal limb products are computed
+/// once and doubled, saving 6 of the 16 schoolbook multiplies.
+inline U512 sqrWide(const U256 &A) {
+  // Off-diagonal products a_i * a_j (i < j), accumulated once.
+  U512 Out;
+  for (int I = 0; I < 4; ++I) {
+    unsigned __int128 Carry = 0;
+    for (int J = I + 1; J < 4; ++J) {
+      unsigned __int128 Cur =
+          static_cast<unsigned __int128>(A.Limbs[I]) * A.Limbs[J] +
+          Out.Limbs[I + J] + Carry;
+      Out.Limbs[I + J] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+    }
+    Out.Limbs[I + 4] = static_cast<uint64_t>(Carry);
+  }
+  // Double the off-diagonal sum (< 2^511, so the top bit never escapes).
+  uint64_t Top = 0;
+  for (int I = 0; I < 8; ++I) {
+    uint64_t Next = Out.Limbs[I] >> 63;
+    Out.Limbs[I] = (Out.Limbs[I] << 1) | Top;
+    Top = Next;
+  }
+  // Add the diagonal squares a_i^2 at limb position 2i.
+  unsigned __int128 Carry = 0;
+  for (int I = 0; I < 4; ++I) {
+    unsigned __int128 D =
+        static_cast<unsigned __int128>(A.Limbs[I]) * A.Limbs[I];
+    unsigned __int128 Cur = static_cast<unsigned __int128>(Out.Limbs[2 * I]) +
+                            static_cast<uint64_t>(D) + Carry;
+    Out.Limbs[2 * I] = static_cast<uint64_t>(Cur);
+    Cur = static_cast<unsigned __int128>(Out.Limbs[2 * I + 1]) +
+          static_cast<uint64_t>(D >> 64) + (Cur >> 64);
+    Out.Limbs[2 * I + 1] = static_cast<uint64_t>(Cur);
+    Carry = Cur >> 64;
+  }
+  return Out;
+}
+
+/// Modular arithmetic for a fixed odd prime modulus. Values passed in
+/// and out are ordinary residues in [0, M).
+///
+/// Internally one of two reduction strategies is selected at
+/// construction:
+///
+///  * **Pseudo-Mersenne** when M = 2^256 - c with c < 2^64 (true for the
+///    secp256k1 field prime p, where c = 2^32 + 977): products are
+///    reduced by folding the high 256 bits times c back into the low
+///    half — two small multiply-accumulate passes instead of a full
+///    Montgomery reduction, roughly halving the cost of a field
+///    multiplication. In this mode the "Montgomery form" is the identity
+///    (toMont/fromMont are no-ops and montOne() is 1), so callers using
+///    the mont* entry points consistently are unaffected.
+///  * **Montgomery** otherwise (the secp256k1 group order n).
 class ModArith {
 public:
   /// \p Modulus must be odd with its top bit set (true for both the
@@ -93,11 +189,28 @@ public:
 
   const U256 &modulus() const { return M; }
 
-  U256 add(const U256 &A, const U256 &B) const;
-  U256 sub(const U256 &A, const U256 &B) const;
-  U256 neg(const U256 &A) const;
+  U256 add(const U256 &A, const U256 &B) const {
+    U256 Out = A;
+    uint64_t Carry = Out.addInPlace(B);
+    if (Carry || Out >= M)
+      Out.subInPlace(M);
+    return Out;
+  }
+  U256 sub(const U256 &A, const U256 &B) const {
+    U256 Out = A;
+    if (Out.subInPlace(B))
+      Out.addInPlace(M);
+    return Out;
+  }
+  U256 neg(const U256 &A) const {
+    if (A.isZero())
+      return A;
+    U256 Out = M;
+    Out.subInPlace(A);
+    return Out;
+  }
   U256 mul(const U256 &A, const U256 &B) const;
-  U256 sqr(const U256 &A) const { return mul(A, A); }
+  U256 sqr(const U256 &A) const { return fromMont(montSqr(toMont(A))); }
   U256 pow(const U256 &Base, const U256 &Exp) const;
   /// Inverse via Fermat's little theorem; requires a prime modulus and
   /// nonzero \p A.
@@ -106,19 +219,83 @@ public:
   U256 reduce(const U256 &A) const;
 
   /// Montgomery-form entry points for hot loops (EC point arithmetic).
-  U256 toMont(const U256 &A) const { return montMul(A, RR); }
-  U256 fromMont(const U256 &A) const { return montMul(A, U256::one()); }
-  U256 montMul(const U256 &A, const U256 &B) const;
+  /// Under the pseudo-Mersenne strategy these degrade gracefully:
+  /// to/fromMont are the identity and montMul is a plain modular
+  /// multiply with fast folding reduction.
+  U256 toMont(const U256 &A) const { return Pseudo ? A : montMul(A, RR); }
+  U256 fromMont(const U256 &A) const {
+    return Pseudo ? A : montMul(A, U256::one());
+  }
+  U256 montMul(const U256 &A, const U256 &B) const {
+    return reduce512(mulWide(A, B));
+  }
+  /// Squaring on internal representatives: same reduction as montMul but
+  /// over the cheaper sqrWide product. The EC point formulas are
+  /// squaring-heavy (5 of the 7 multiplies in a Jacobian doubling), so
+  /// this shaves a constant factor off every scalar multiplication.
+  U256 montSqr(const U256 &A) const { return reduce512(sqrWide(A)); }
   /// Addition/subtraction work identically on Montgomery representatives.
   U256 montAdd(const U256 &A, const U256 &B) const { return add(A, B); }
   U256 montSub(const U256 &A, const U256 &B) const { return sub(A, B); }
-  const U256 &montOne() const { return RModM; }
+  const U256 &montOne() const { return MontOneV; }
+
+  /// True when the pseudo-Mersenne folding reducer is active.
+  bool isPseudoMersenne() const { return Pseudo; }
 
 private:
+  /// Reduce a full 512-bit product to [0, M) with whichever strategy
+  /// this instance selected. The pseudo-Mersenne fold lives here inline
+  /// (it is the secp256k1 field path and sits under every point
+  /// operation); the generic Montgomery reduction stays out of line.
+  U256 reduce512(const U512 &T) const {
+    if (!Pseudo)
+      return montReduce512(T);
+    // Fold: A*B = Hi*2^256 + Lo = Hi*c + Lo (mod M). Hi*c is at most
+    // ~2^290, so one fold leaves a 5-limb value; folding the top limb
+    // once more (plus a final carry correction of +c, which cannot
+    // itself carry because the low part is tiny when it fires) lands in
+    // [0, 2M), finished by one conditional subtract.
+    uint64_t R[5] = {T.Limbs[0], T.Limbs[1], T.Limbs[2], T.Limbs[3], 0};
+    unsigned __int128 Carry = 0;
+    for (int J = 0; J < 4; ++J) {
+      unsigned __int128 Cur =
+          static_cast<unsigned __int128>(T.Limbs[4 + J]) * C64 + R[J] + Carry;
+      R[J] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+    }
+    R[4] = static_cast<uint64_t>(Carry);
+
+    U256 Out;
+    unsigned __int128 Add = static_cast<unsigned __int128>(R[4]) * C64;
+    unsigned __int128 Cur =
+        static_cast<unsigned __int128>(R[0]) + static_cast<uint64_t>(Add);
+    Out.Limbs[0] = static_cast<uint64_t>(Cur);
+    Cur = static_cast<unsigned __int128>(R[1]) +
+          static_cast<uint64_t>(Add >> 64) + static_cast<uint64_t>(Cur >> 64);
+    Out.Limbs[1] = static_cast<uint64_t>(Cur);
+    Cur = static_cast<unsigned __int128>(R[2]) +
+          static_cast<uint64_t>(Cur >> 64);
+    Out.Limbs[2] = static_cast<uint64_t>(Cur);
+    Cur = static_cast<unsigned __int128>(R[3]) +
+          static_cast<uint64_t>(Cur >> 64);
+    Out.Limbs[3] = static_cast<uint64_t>(Cur);
+    if (Cur >> 64)
+      Out.addInPlace(U256(C64)); // 2^256 = c (mod M); cannot carry here.
+    if (Out >= M)
+      Out.subInPlace(M);
+    return Out;
+  }
+  /// Montgomery SOS reduction of a 512-bit product (the group-order
+  /// ring; not performance-critical enough to inline).
+  U256 montReduce512(U512 T) const;
+
   U256 M;
-  U256 RModM; ///< 2^256 mod M (the Montgomery representation of 1).
-  U256 RR;    ///< 2^512 mod M, for conversion into Montgomery form.
-  uint64_t Inv; ///< -M^{-1} mod 2^64.
+  U256 RModM;    ///< 2^256 mod M; doubles as the fold constant c.
+  U256 RR;       ///< 2^512 mod M, for conversion into Montgomery form.
+  U256 MontOneV; ///< The internal representation of 1.
+  uint64_t Inv;  ///< -M^{-1} mod 2^64.
+  uint64_t C64 = 0;    ///< c = 2^256 - M when it fits a limb.
+  bool Pseudo = false; ///< M = 2^256 - c with c < 2^64.
 };
 
 } // namespace crypto

@@ -1,0 +1,64 @@
+//===- lf/intern.cpp - Hash-consing arena for LF terms --------------------===//
+
+#include "lf/intern.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace typecoin {
+namespace lf {
+
+namespace {
+// -1 = read the environment on first use; 0/1 = forced by a test.
+std::atomic<int> ForcedEnabled{-1};
+
+bool envEnabled() {
+  const char *Env = std::getenv("TYPECOIN_INTERN");
+  return Env && Env[0] != '\0' && Env[0] != '0';
+}
+
+InternArena<Term> &termArena() {
+  static InternArena<Term> A;
+  return A;
+}
+
+InternArena<LFType> &typeArena() {
+  static InternArena<LFType> A;
+  return A;
+}
+} // namespace
+
+bool internEnabled() {
+  int Forced = ForcedEnabled.load(std::memory_order_relaxed);
+  if (Forced >= 0)
+    return Forced != 0;
+  static const bool FromEnv = envEnabled();
+  return FromEnv;
+}
+
+void setInternEnabled(bool Enabled) {
+  ForcedEnabled.store(Enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+TermPtr internTerm(TermPtr T) {
+  if (!internEnabled())
+    return T;
+  return termArena().intern(std::move(T));
+}
+
+LFTypePtr internType(LFTypePtr T) {
+  if (!internEnabled())
+    return T;
+  return typeArena().intern(std::move(T));
+}
+
+size_t termArenaSize() { return termArena().size(); }
+size_t typeArenaSize() { return typeArena().size(); }
+
+void internClearLF() {
+  termArena().clear();
+  typeArena().clear();
+}
+
+} // namespace lf
+} // namespace typecoin

@@ -1,0 +1,193 @@
+//===- lf/intern.h - Hash-consing arena for LF terms ------------*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global hash-consing of LF syntax nodes (ROADMAP item 4a). Every
+/// constructor in lf/syntax.cpp (and logic/proposition.cpp, via the same
+/// template) funnels its freshly built node through an \ref InternArena:
+/// if a structurally identical node already exists, the existing
+/// `shared_ptr` is returned and the new allocation is dropped, so
+/// structurally equal terms built bottom-up through the constructors are
+/// *pointer*-equal and every equality/digest fast path that starts with
+/// `A.get() == B.get()` fires.
+///
+/// Soundness contract:
+///
+///  * Interning is a **positive-only** accelerator. Pointer equality
+///    implies structural equality (the arena never merges distinct
+///    structures); pointer *in*equality implies nothing — callers always
+///    keep their structural fallback. This is what makes eviction, the
+///    off-by-default gate, and mixed interned/non-interned nodes all
+///    trivially sound.
+///  * Nodes are keyed one level deep: leaf fields by value, children by
+///    pointer. Children built through the constructors are already
+///    canonical, so bottom-up construction dedups whole trees.
+///  * Bounded: each of the 16 shards wholesale-clears when it reaches
+///    its cap (an "epoch" bump). Evicted nodes stay alive as long as
+///    anyone holds them — the arena only gives up its claim to be the
+///    canonical home, so later duplicates simply re-intern.
+///
+/// Gated by `TYPECOIN_INTERN` (off by default; \ref setInternEnabled is
+/// the test override). Counters: `intern.hit`, `intern.miss`,
+/// `intern.evict`, gauge `intern.size`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LF_INTERN_H
+#define TYPECOIN_LF_INTERN_H
+
+#include "lf/syntax.h"
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace typecoin {
+namespace lf {
+
+/// True when hash-consing is on (TYPECOIN_INTERN=1 or a test override).
+bool internEnabled();
+/// Test hook: force interning on/off for this process, overriding the
+/// environment. Does not clear existing arena contents.
+void setInternEnabled(bool Enabled);
+
+/// FNV-1a style 64-bit mixing for intern keys.
+inline uint64_t internMix(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  return H;
+}
+inline uint64_t internMixPtr(uint64_t H, const void *P) {
+  return internMix(H, reinterpret_cast<uintptr_t>(P));
+}
+inline uint64_t internMixStr(uint64_t H, const std::string &S) {
+  for (char C : S)
+    H = (H ^ static_cast<unsigned char>(C)) * 0x100000001b3ull;
+  return H;
+}
+
+/// Node-type traits: a one-level hash and one-level equality (leaf
+/// fields by value, children by pointer). Specialized for Term and
+/// LFType here and Prop in logic/intern.cpp.
+template <typename NodeT> struct InternTraits;
+
+/// A sharded, bounded hash-consing table for `shared_ptr<const NodeT>`
+/// nodes. Thread-safe: each shard is guarded by its own mutex and a
+/// lookup touches exactly one shard, so there is no lock ordering to get
+/// wrong and eviction (a per-shard clear) never holds two locks.
+template <typename NodeT> class InternArena {
+public:
+  using Ptr = std::shared_ptr<const NodeT>;
+
+  /// Return the canonical node for \p P's structure (possibly \p P
+  /// itself, which then becomes canonical).
+  Ptr intern(Ptr P) {
+    static obs::Counter &Hits = obs::counter("intern.hit");
+    static obs::Counter &Misses = obs::counter("intern.miss");
+    static obs::Counter &Evicts = obs::counter("intern.evict");
+    static obs::Gauge &Size = obs::gauge("intern.size");
+    uint64_t H = InternTraits<NodeT>::hash(*P);
+    Shard &S = Shards[(H >> 60) & (ShardCount - 1)];
+    std::lock_guard<std::mutex> L(S.Mu);
+    auto Range = S.Map.equal_range(H);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (InternTraits<NodeT>::equal(*It->second, *P)) {
+        Hits.inc();
+        return It->second;
+      }
+    Misses.inc();
+    if (S.Map.size() >= MaxPerShard) {
+      Evicts.inc(S.Map.size());
+      Size.add(-static_cast<int64_t>(S.Map.size()));
+      S.Map.clear(); // Epoch bump: this shard starts a fresh generation.
+    }
+    S.Map.emplace(H, P);
+    Size.add(1);
+    return P;
+  }
+
+  size_t size() const {
+    size_t Total = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> L(S.Mu);
+      Total += S.Map.size();
+    }
+    return Total;
+  }
+
+  void clear() {
+    static obs::Gauge &Size = obs::gauge("intern.size");
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> L(S.Mu);
+      Size.add(-static_cast<int64_t>(S.Map.size()));
+      S.Map.clear();
+    }
+  }
+
+private:
+  static constexpr unsigned ShardCount = 16; // Power of two.
+  static constexpr size_t MaxPerShard = 1u << 14;
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_multimap<uint64_t, Ptr> Map;
+  };
+  Shard Shards[ShardCount];
+};
+
+template <> struct InternTraits<Term> {
+  static uint64_t hash(const Term &T) {
+    uint64_t H = internMix(0xa5a5, static_cast<uint64_t>(T.Kind));
+    H = internMix(H, T.VarIndex);
+    H = internMix(H, static_cast<uint64_t>(T.Name.Kind));
+    H = internMixStr(H, T.Name.Txid);
+    H = internMixStr(H, T.Name.Label);
+    H = internMixPtr(H, T.Annot.get());
+    H = internMixPtr(H, T.Body.get());
+    H = internMixPtr(H, T.Fn.get());
+    H = internMixPtr(H, T.Arg.get());
+    H = internMixStr(H, T.PrincipalHash);
+    return internMix(H, T.NatValue);
+  }
+  static bool equal(const Term &A, const Term &B) {
+    return A.Kind == B.Kind && A.VarIndex == B.VarIndex && A.Name == B.Name &&
+           A.Annot.get() == B.Annot.get() && A.Body.get() == B.Body.get() &&
+           A.Fn.get() == B.Fn.get() && A.Arg.get() == B.Arg.get() &&
+           A.PrincipalHash == B.PrincipalHash && A.NatValue == B.NatValue;
+  }
+};
+
+template <> struct InternTraits<LFType> {
+  static uint64_t hash(const LFType &T) {
+    uint64_t H = internMix(0x5a5a, static_cast<uint64_t>(T.Kind));
+    H = internMix(H, static_cast<uint64_t>(T.Name.Kind));
+    H = internMixStr(H, T.Name.Txid);
+    H = internMixStr(H, T.Name.Label);
+    H = internMixPtr(H, T.Head.get());
+    H = internMixPtr(H, T.Arg.get());
+    return internMixPtr(H, T.Cod.get());
+  }
+  static bool equal(const LFType &A, const LFType &B) {
+    return A.Kind == B.Kind && A.Name == B.Name &&
+           A.Head.get() == B.Head.get() && A.Arg.get() == B.Arg.get() &&
+           A.Cod.get() == B.Cod.get();
+  }
+};
+
+/// Canonicalize through the process-wide Term/LFType arenas. No-ops
+/// (returning \p T unchanged) when interning is disabled.
+TermPtr internTerm(TermPtr T);
+LFTypePtr internType(LFTypePtr T);
+
+/// Current entry counts (tests/diagnostics).
+size_t termArenaSize();
+size_t typeArenaSize();
+/// Drop all canonical claims (tests). Outstanding nodes stay valid.
+void internClearLF();
+
+} // namespace lf
+} // namespace typecoin
+
+#endif // TYPECOIN_LF_INTERN_H

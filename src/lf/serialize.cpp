@@ -86,6 +86,10 @@ void writeTerm(Writer &W, const TermPtr &T) {
   writeTermMemo(W, T, Memo);
 }
 
+// Note on interning: the readers below build nodes exclusively through
+// the lf constructors, so with TYPECOIN_INTERN=1 every deserialized
+// term/type lands in the hash-consing arena — decoding the same wire
+// bytes twice (or in two different streams) yields pointer-equal trees.
 Result<TermPtr> readTerm(Reader &R) {
   TC_UNWRAP(Tag, R.readU8());
   switch (static_cast<Term::Tag>(Tag)) {

@@ -2,6 +2,8 @@
 
 #include "lf/syntax.h"
 
+#include "lf/intern.h"
+
 #include "support/strings.h"
 
 #include <cassert>
@@ -10,31 +12,37 @@ namespace typecoin {
 namespace lf {
 
 // Constructors --------------------------------------------------------------
+//
+// Every constructor funnels its node through the hash-consing arena
+// (lf/intern.h). With TYPECOIN_INTERN off, internTerm/internType return
+// the node unchanged; with it on, structurally equal nodes built
+// bottom-up come back pointer-equal, which feeds the `A.get() == B.get()`
+// fast paths in the equality functions below and in logic/proposition.
 
 TermPtr var(unsigned Index) {
   auto T = std::make_shared<Term>(Term::Tag::Var);
   T->VarIndex = Index;
-  return T;
+  return internTerm(std::move(T));
 }
 
 TermPtr constant(ConstName Name) {
   auto T = std::make_shared<Term>(Term::Tag::Const);
   T->Name = std::move(Name);
-  return T;
+  return internTerm(std::move(T));
 }
 
 TermPtr lam(LFTypePtr Annot, TermPtr Body) {
   auto T = std::make_shared<Term>(Term::Tag::Lam);
   T->Annot = std::move(Annot);
   T->Body = std::move(Body);
-  return T;
+  return internTerm(std::move(T));
 }
 
 TermPtr app(TermPtr Fn, TermPtr Arg) {
   auto T = std::make_shared<Term>(Term::Tag::App);
   T->Fn = std::move(Fn);
   T->Arg = std::move(Arg);
-  return T;
+  return internTerm(std::move(T));
 }
 
 TermPtr apps(TermPtr Head, const std::vector<TermPtr> &Args) {
@@ -47,26 +55,26 @@ TermPtr apps(TermPtr Head, const std::vector<TermPtr> &Args) {
 TermPtr principal(std::string Hash) {
   auto T = std::make_shared<Term>(Term::Tag::Principal);
   T->PrincipalHash = std::move(Hash);
-  return T;
+  return internTerm(std::move(T));
 }
 
 TermPtr nat(uint64_t Value) {
   auto T = std::make_shared<Term>(Term::Tag::Nat);
   T->NatValue = Value;
-  return T;
+  return internTerm(std::move(T));
 }
 
 LFTypePtr tConst(ConstName Name) {
   auto T = std::make_shared<LFType>(LFType::Tag::Const);
   T->Name = std::move(Name);
-  return T;
+  return internType(std::move(T));
 }
 
 LFTypePtr tApp(LFTypePtr Head, TermPtr Arg) {
   auto T = std::make_shared<LFType>(LFType::Tag::App);
   T->Head = std::move(Head);
   T->Arg = std::move(Arg);
-  return T;
+  return internType(std::move(T));
 }
 
 LFTypePtr tApps(LFTypePtr Head, const std::vector<TermPtr> &Args) {
@@ -80,7 +88,7 @@ LFTypePtr tPi(LFTypePtr Dom, LFTypePtr Cod) {
   auto T = std::make_shared<LFType>(LFType::Tag::Pi);
   T->Head = std::move(Dom);
   T->Cod = std::move(Cod);
-  return T;
+  return internType(std::move(T));
 }
 
 KindPtr kType() {
@@ -324,6 +332,11 @@ bool typeIdentical(const LFTypePtr &A, const LFTypePtr &B) {
 }
 
 bool termEqual(const TermPtr &A, const TermPtr &B) {
+  // Pointer-equal terms are definitionally equal; the converse does not
+  // hold (beta-equal terms may be distinct nodes), so this is a
+  // positive-only fast path — exactly what hash-consing guarantees.
+  if (A.get() == B.get())
+    return true;
   auto NA = normalizeTerm(A);
   auto NB = normalizeTerm(B);
   if (!NA || !NB)
@@ -332,6 +345,8 @@ bool termEqual(const TermPtr &A, const TermPtr &B) {
 }
 
 bool typeEqual(const LFTypePtr &A, const LFTypePtr &B) {
+  if (A.get() == B.get())
+    return true;
   auto NA = normalizeType(A);
   auto NB = normalizeType(B);
   if (!NA || !NB)

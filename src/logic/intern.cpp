@@ -1,0 +1,60 @@
+//===- logic/intern.cpp - Hash-consing arena for propositions -------------===//
+
+#include "logic/intern.h"
+
+#include "lf/intern.h"
+
+namespace typecoin {
+namespace lf {
+
+// One-level key for propositions: leaf fields by value, children (LF
+// nodes, subprops, and conditions) by pointer. Conditions are keyed by
+// identity only — two separately built but equal conditions keep their
+// props distinct, which merely costs a missed dedup, never soundness.
+template <> struct InternTraits<logic::Prop> {
+  static uint64_t hash(const logic::Prop &P) {
+    uint64_t H = internMix(0xc3c3, static_cast<uint64_t>(P.Kind));
+    H = internMixPtr(H, P.Atom.get());
+    H = internMixPtr(H, P.L.get());
+    H = internMixPtr(H, P.R.get());
+    H = internMixPtr(H, P.Body.get());
+    H = internMixPtr(H, P.QType.get());
+    H = internMixPtr(H, P.Who.get());
+    H = internMixPtr(H, P.Cond.get());
+    return internMix(H, P.Amount);
+  }
+  static bool equal(const logic::Prop &A, const logic::Prop &B) {
+    return A.Kind == B.Kind && A.Atom.get() == B.Atom.get() &&
+           A.L.get() == B.L.get() && A.R.get() == B.R.get() &&
+           A.Body.get() == B.Body.get() && A.QType.get() == B.QType.get() &&
+           A.Who.get() == B.Who.get() && A.Cond.get() == B.Cond.get() &&
+           A.Amount == B.Amount;
+  }
+};
+
+} // namespace lf
+
+namespace logic {
+
+namespace {
+lf::InternArena<Prop> &propArena() {
+  static lf::InternArena<Prop> A;
+  return A;
+}
+} // namespace
+
+PropPtr internProp(PropPtr P) {
+  if (!lf::internEnabled())
+    return P;
+  return propArena().intern(std::move(P));
+}
+
+size_t propArenaSize() { return propArena().size(); }
+
+void internClearAll() {
+  propArena().clear();
+  lf::internClearLF();
+}
+
+} // namespace logic
+} // namespace typecoin

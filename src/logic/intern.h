@@ -1,0 +1,39 @@
+//===- logic/intern.h - Hash-consing arena for propositions -----*- C++ -*-===//
+//
+// Part of the Typecoin reproduction of Crary & Sullivan (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The proposition instance of the lf/intern.h hash-consing arena. The
+/// constructors in logic/proposition.cpp funnel through \ref internProp,
+/// so with `TYPECOIN_INTERN=1` structurally equal propositions built
+/// bottom-up are pointer-equal: `propEqual`'s `A.get() == B.get()` fast
+/// path fires and the per-node digest cache behind `propDigest` is
+/// computed once per structure process-wide. Same soundness contract as
+/// lf/intern.h: positive-only, bounded, eviction-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPECOIN_LOGIC_INTERN_H
+#define TYPECOIN_LOGIC_INTERN_H
+
+#include "logic/proposition.h"
+
+namespace typecoin {
+namespace logic {
+
+/// Canonicalize through the process-wide Prop arena; no-op (returning
+/// \p P unchanged) when interning is disabled.
+PropPtr internProp(PropPtr P);
+
+/// Current entry count (tests/diagnostics).
+size_t propArenaSize();
+/// Drop all canonical claims — Prop, Term, and LFType arenas (tests).
+/// Outstanding nodes stay valid; they are just no longer canonical.
+void internClearAll();
+
+} // namespace logic
+} // namespace typecoin
+
+#endif // TYPECOIN_LOGIC_INTERN_H

@@ -2,6 +2,8 @@
 
 #include "logic/proposition.h"
 
+#include "logic/intern.h"
+
 #include <cassert>
 #include <cstring>
 #include <mutex>
@@ -19,7 +21,7 @@ using lf::TermPtr;
 PropPtr pAtom(LFTypePtr Applied) {
   auto P = std::make_shared<Prop>(Prop::Tag::Atom);
   P->Atom = std::move(Applied);
-  return P;
+  return internProp(std::move(P));
 }
 
 PropPtr pAtom(lf::ConstName Head, const std::vector<TermPtr> &Args) {
@@ -30,7 +32,7 @@ static PropPtr binary(Prop::Tag Kind, PropPtr L, PropPtr R) {
   auto P = std::make_shared<Prop>(Kind);
   P->L = std::move(L);
   P->R = std::move(R);
-  return P;
+  return internProp(std::move(P));
 }
 
 PropPtr pTensor(PropPtr L, PropPtr R) {
@@ -71,28 +73,28 @@ PropPtr pOne() {
 PropPtr pBang(PropPtr Body) {
   auto P = std::make_shared<Prop>(Prop::Tag::Bang);
   P->Body = std::move(Body);
-  return P;
+  return internProp(std::move(P));
 }
 
 PropPtr pForall(LFTypePtr QType, PropPtr Body) {
   auto P = std::make_shared<Prop>(Prop::Tag::Forall);
   P->QType = std::move(QType);
   P->Body = std::move(Body);
-  return P;
+  return internProp(std::move(P));
 }
 
 PropPtr pExists(LFTypePtr QType, PropPtr Body) {
   auto P = std::make_shared<Prop>(Prop::Tag::Exists);
   P->QType = std::move(QType);
   P->Body = std::move(Body);
-  return P;
+  return internProp(std::move(P));
 }
 
 PropPtr pSays(TermPtr Who, PropPtr Body) {
   auto P = std::make_shared<Prop>(Prop::Tag::Says);
   P->Who = std::move(Who);
   P->Body = std::move(Body);
-  return P;
+  return internProp(std::move(P));
 }
 
 PropPtr pReceipt(PropPtr Body, uint64_t Amount, TermPtr Who) {
@@ -100,14 +102,14 @@ PropPtr pReceipt(PropPtr Body, uint64_t Amount, TermPtr Who) {
   P->Body = std::move(Body);
   P->Amount = Amount;
   P->Who = std::move(Who);
-  return P;
+  return internProp(std::move(P));
 }
 
 PropPtr pIf(CondPtr C, PropPtr Body) {
   auto P = std::make_shared<Prop>(Prop::Tag::If);
   P->Cond = std::move(C);
   P->Body = std::move(Body);
-  return P;
+  return internProp(std::move(P));
 }
 
 // Shifting / substitution ------------------------------------------------------
@@ -590,27 +592,24 @@ Result<PropPtr> readProp(Reader &R) {
 }
 
 crypto::Digest32 propDigest(const PropPtr &P) {
-  // Bounded pointer-keyed cache. Entries pin their node (the PropPtr in
-  // the value), so a pointer hit can never refer to a freed-and-reused
-  // allocation. Wholesale clear on overflow keeps the policy trivial; a
-  // digest is only ever a serialize+hash away.
-  static std::mutex Mu;
-  static std::unordered_map<const Prop *, std::pair<PropPtr, crypto::Digest32>>
-      Cache;
-  static constexpr size_t MaxEntries = 1 << 14;
-  {
-    std::lock_guard<std::mutex> L(Mu);
-    auto It = Cache.find(P.get());
-    if (It != Cache.end())
-      return It->second.second;
-  }
+  // Per-node memo: the digest lives on the Prop itself (no global map,
+  // no pointer-reuse hazard, nothing to evict). A racing recompute on
+  // the same node produces the same bytes; the striped lock only
+  // serializes the publish so the release-store of DigestState can
+  // never expose a half-written DigestCache.
+  if (P->DigestState.load(std::memory_order_acquire) == 2)
+    return P->DigestCache;
   Writer W;
   writeProp(W, P);
   crypto::Digest32 D = crypto::sha256(W.buffer());
+  static std::mutex Stripes[16];
+  std::mutex &Mu =
+      Stripes[(reinterpret_cast<uintptr_t>(P.get()) >> 4) & 15];
   std::lock_guard<std::mutex> L(Mu);
-  if (Cache.size() >= MaxEntries)
-    Cache.clear();
-  Cache.emplace(P.get(), std::make_pair(P, D));
+  if (P->DigestState.load(std::memory_order_relaxed) == 0) {
+    P->DigestCache = D;
+    P->DigestState.store(2, std::memory_order_release);
+  }
   return D;
 }
 

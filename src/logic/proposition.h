@@ -32,6 +32,8 @@
 #include "lf/typecheck.h"
 #include "logic/condition.h"
 
+#include <atomic>
+
 namespace typecoin {
 namespace logic {
 
@@ -64,6 +66,15 @@ struct Prop {
   lf::TermPtr Who;       ///< Says / Receipt: the principal term.
   uint64_t Amount = 0;   ///< Receipt: satoshi amount (0 if pure-type).
   CondPtr Cond;          ///< If.
+
+  /// Per-node digest memo (see propDigest): 0 = unset, 2 = DigestCache
+  /// valid. Written once under a striped lock, published with a release
+  /// store; readers acquire-load the flag before touching the cache.
+  /// Living on the node (rather than in a global pointer-keyed map)
+  /// makes the memo immune to pointer reuse and lets hash-consed nodes
+  /// share one computed digest process-wide.
+  mutable std::atomic<uint8_t> DigestState{0};
+  mutable crypto::Digest32 DigestCache{};
 
   explicit Prop(Tag Kind) : Kind(Kind) {}
 };
@@ -115,9 +126,10 @@ void writeProp(Writer &W, const PropPtr &P);
 Result<PropPtr> readProp(Reader &R);
 
 /// Content digest of a proposition: SHA-256 of its canonical
-/// serialization, memoized per node in a bounded process-wide cache
-/// (the cache pins the node, so a pointer hit can never alias a freed
-/// prop). Used by the typecoin checker/state fingerprint in place of
+/// serialization, memoized directly on the node (Prop::DigestCache), so
+/// a hit is an atomic flag read plus a 32-byte copy — O(1) regardless of
+/// proposition depth once any holder of the same node has computed it.
+/// Used by the typecoin checker/state fingerprint in place of
 /// re-printing/re-serializing the full proposition.
 crypto::Digest32 propDigest(const PropPtr &P);
 

@@ -12,6 +12,12 @@
 ///
 ///   tcstat dump FILE            print counters, gauges, histograms
 ///   tcstat diff BEFORE AFTER    print what changed between snapshots
+///   tcstat benchdiff BEFORE AFTER
+///                               compare two benchrunner BENCH_*.json
+///                               files (schema typecoin-bench/1):
+///                               per-benchmark real_time deltas and
+///                               speedups, so a perf regression is one
+///                               command to spot
 ///   tcstat --demo FILE          generate a demo snapshot (for tests)
 ///   tcstat --selftest           run the built-in self checks
 ///
@@ -22,6 +28,7 @@
 #include "obs/export.h"
 
 #include <cinttypes>
+#include <map>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -34,6 +41,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: tcstat dump FILE\n"
                "       tcstat diff BEFORE AFTER\n"
+               "       tcstat benchdiff BEFORE AFTER\n"
                "       tcstat --demo FILE\n"
                "       tcstat --selftest\n");
   return 2;
@@ -132,6 +140,99 @@ void diffSnapshots(const obs::Snapshot &A, const obs::Snapshot &B) {
     std::printf("no differences\n");
 }
 
+// --- benchdiff: typecoin-bench/1 comparison --------------------------------
+
+struct BenchTimes {
+  /// (binary, benchmark name) -> real_time; insertion-ordered so output
+  /// follows the AFTER file's run order.
+  std::vector<std::pair<std::string, double>> Order;
+  std::map<std::string, double> ByKey;
+  std::map<std::string, std::string> Units;
+};
+
+Result<BenchTimes> readBenchFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError("tcstat: cannot open " + Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  TC_UNWRAP(Doc, obs::Json::parse(Buf.str()));
+  const obs::Json *Schema = Doc.get("schema");
+  if (!Schema || !Schema->isString() || Schema->str() != "typecoin-bench/1")
+    return makeError("tcstat: " + Path + " is not a typecoin-bench/1 file");
+  const obs::Json *Runs = Doc.get("runs");
+  if (!Runs || !Runs->isArray())
+    return makeError("tcstat: " + Path + " has no runs array");
+  BenchTimes Out;
+  for (const obs::Json &Run : Runs->items()) {
+    const obs::Json *Binary = Run.get("binary");
+    const obs::Json *Benchmarks = Run.get("benchmarks");
+    if (!Binary || !Binary->isString() || !Benchmarks ||
+        !Benchmarks->isArray())
+      continue;
+    for (const obs::Json &B : Benchmarks->items()) {
+      const obs::Json *Name = B.get("name");
+      const obs::Json *Real = B.get("real_time");
+      if (!Name || !Name->isString() || !Real || !Real->isNumber())
+        continue;
+      // Aggregate rows (mean/median/stddev) would double-count; the
+      // runner emits plain runs only, but skip them defensively.
+      if (const obs::Json *RunType = B.get("run_type"))
+        if (RunType->isString() && RunType->str() != "iteration")
+          continue;
+      std::string Key = Binary->str() + "/" + Name->str();
+      if (Out.ByKey.count(Key))
+        continue;
+      Out.Order.emplace_back(Key, Real->number());
+      Out.ByKey[Key] = Real->number();
+      if (const obs::Json *Unit = B.get("time_unit"))
+        if (Unit->isString())
+          Out.Units[Key] = Unit->str();
+    }
+  }
+  return Out;
+}
+
+int benchDiff(const std::string &BeforePath, const std::string &AfterPath) {
+  auto Before = readBenchFile(BeforePath);
+  auto After = readBenchFile(AfterPath);
+  if (!Before || !After) {
+    std::fprintf(stderr, "%s\n",
+                 (!Before ? Before.error() : After.error()).message().c_str());
+    return 1;
+  }
+  std::printf("%-72s %14s %14s %9s\n", "benchmark", "before", "after",
+              "speedup");
+  size_t Matched = 0;
+  for (const auto &[Key, AfterTime] : After->Order) {
+    auto It = Before->ByKey.find(Key);
+    if (It == Before->ByKey.end())
+      continue;
+    ++Matched;
+    double BeforeTime = It->second;
+    std::string Unit =
+        After->Units.count(Key) ? After->Units.at(Key) : "ns";
+    double Speedup = AfterTime > 0 ? BeforeTime / AfterTime : 0;
+    std::printf("%-72s %12.1f%s %12.1f%s %8.2fx\n", Key.c_str(), BeforeTime,
+                Unit.c_str(), AfterTime, Unit.c_str(), Speedup);
+  }
+  auto PrintOnly = [](const BenchTimes &Own, const BenchTimes &Other,
+                      const char *Label) {
+    for (const auto &[Key, Time] : Own.Order) {
+      (void)Time;
+      if (!Other.ByKey.count(Key))
+        std::printf("%-72s (%s only)\n", Key.c_str(), Label);
+    }
+  };
+  PrintOnly(*Before, *After, "before");
+  PrintOnly(*After, *Before, "after");
+  if (Matched == 0) {
+    std::fprintf(stderr, "tcstat: no benchmarks in common\n");
+    return 1;
+  }
+  return 0;
+}
+
 /// Produce a deterministic non-trivial snapshot: exercises every metric
 /// kind plus the trace ring, so the e2e test (and a curious user) gets
 /// a file with all sections populated.
@@ -210,6 +311,11 @@ int main(int Argc, char **Argv) {
     }
     dumpSnapshot(*S);
     return 0;
+  }
+  if (Args[0] == "benchdiff") {
+    if (Args.size() != 3)
+      return usage();
+    return benchDiff(Args[1], Args[2]);
   }
   if (Args[0] == "diff") {
     if (Args.size() != 3)
